@@ -1,0 +1,27 @@
+//! # pg-apoc — Neo4j APOC trigger subsystem emulation + translator
+//!
+//! Implements the paper's §5.1 twice over:
+//!
+//! 1. [`system::ApocDb`] emulates the `apoc.trigger.*` procedures — install
+//!    / drop / dropAll / stop / start, the four phases (`before`,
+//!    `rollback`, `after`, `afterAsync`), the Table 2/3 transition metadata
+//!    (`$createdNodes`, `$assignedNodeProperties` quadruples, …), and
+//!    `apoc.do.when` — **including the limitations the paper reports**: no
+//!    cascading, alphabetical all-trigger execution in the `before` phase,
+//!    and the `afterAsync` stale-state race.
+//! 2. [`translate::translate`] is the syntax-directed translation of
+//!    Figure 2, generalized to all ten event kinds.
+//!
+//! Together they let the test suite and benchmarks compare native
+//! PG-Trigger semantics against what a Neo4j+APOC deployment would do.
+
+pub mod meta;
+pub mod paper63;
+pub mod statement;
+pub mod system;
+pub mod translate;
+
+pub use meta::{apoc_params, APOC_PARAM_NAMES};
+pub use statement::{execute_apoc_statement, parse_apoc_statement, ApocStatement, DoWhen};
+pub use system::{ApocDb, ApocError, Phase};
+pub use translate::{translate, ApocInstall, TranslateError};

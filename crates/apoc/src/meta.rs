@@ -1,0 +1,216 @@
+//! APOC trigger transition metadata (paper Table 2 / Table 3).
+//!
+//! Neo4j APOC triggers receive the transaction's changes through implicit
+//! parameters: `$createdNodes`, `$deletedRels`, `$assignedLabels`,
+//! `$assignedNodeProperties` (⟨node, property, old, new⟩ quadruples grouped
+//! by property key), and so on. This module materializes exactly those
+//! structures from a [`Delta`].
+//!
+//! Faithfulness notes (§5.1):
+//! * `assignedLabels` / `assignedNodeProperties` **include** the labels and
+//!   initial properties of nodes created in the same transaction (APOC does
+//!   not separate creation from assignment) — we use the delta's raw views;
+//! * deleted items are delivered as maps (their node identity is gone), with
+//!   labels under `__labels` and the relationship type under `__type`.
+
+use pg_cypher::Params;
+use pg_graph::{Delta, Value};
+use std::collections::BTreeMap;
+
+/// Build the full APOC parameter set for a transaction delta.
+pub fn apoc_params(delta: &Delta) -> Params {
+    let mut p = Params::new();
+    p.insert(
+        "createdNodes".into(),
+        Value::List(delta.created_nodes.iter().map(|n| Value::Node(n.id)).collect()),
+    );
+    p.insert(
+        "createdRelationships".into(),
+        Value::List(delta.created_rels.iter().map(|r| Value::Rel(r.id)).collect()),
+    );
+    p.insert(
+        "deletedNodes".into(),
+        Value::List(delta.deleted_nodes.iter().map(|n| n.to_value()).collect()),
+    );
+    p.insert(
+        "deletedRelationships".into(),
+        Value::List(delta.deleted_rels.iter().map(|r| r.to_value()).collect()),
+    );
+
+    // label -> list of nodes
+    let mut assigned_labels: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    for ev in delta.raw_assigned_labels() {
+        assigned_labels.entry(ev.label).or_default().push(Value::Node(ev.node));
+    }
+    p.insert(
+        "assignedLabels".into(),
+        Value::Map(assigned_labels.into_iter().map(|(k, v)| (k, Value::List(v))).collect()),
+    );
+    let mut removed_labels: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    for ev in &delta.removed_labels {
+        removed_labels
+            .entry(ev.label.clone())
+            .or_default()
+            .push(Value::Node(ev.node));
+    }
+    p.insert(
+        "removedLabels".into(),
+        Value::Map(removed_labels.into_iter().map(|(k, v)| (k, Value::List(v))).collect()),
+    );
+
+    // property key -> list of {node|relationship, key, old[, new]}
+    let mut anp: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    for pa in delta.raw_assigned_node_props() {
+        anp.entry(pa.key.clone()).or_default().push(Value::map([
+            ("node".to_string(), Value::Node(pa.target)),
+            ("key".to_string(), Value::Str(pa.key.clone())),
+            ("old".to_string(), pa.old.clone()),
+            ("new".to_string(), pa.new.clone()),
+        ]));
+    }
+    p.insert(
+        "assignedNodeProperties".into(),
+        Value::Map(anp.into_iter().map(|(k, v)| (k, Value::List(v))).collect()),
+    );
+
+    let mut arp: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    for pa in delta.raw_assigned_rel_props() {
+        arp.entry(pa.key.clone()).or_default().push(Value::map([
+            ("relationship".to_string(), Value::Rel(pa.target)),
+            ("key".to_string(), Value::Str(pa.key.clone())),
+            ("old".to_string(), pa.old.clone()),
+            ("new".to_string(), pa.new.clone()),
+        ]));
+    }
+    p.insert(
+        "assignedRelProperties".into(),
+        Value::Map(arp.into_iter().map(|(k, v)| (k, Value::List(v))).collect()),
+    );
+
+    let mut rnp: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    for pr in &delta.removed_node_props {
+        rnp.entry(pr.key.clone()).or_default().push(Value::map([
+            ("node".to_string(), Value::Node(pr.target)),
+            ("key".to_string(), Value::Str(pr.key.clone())),
+            ("old".to_string(), pr.old.clone()),
+        ]));
+    }
+    p.insert(
+        "removedNodeProperties".into(),
+        Value::Map(rnp.into_iter().map(|(k, v)| (k, Value::List(v))).collect()),
+    );
+
+    let mut rrp: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    for pr in &delta.removed_rel_props {
+        rrp.entry(pr.key.clone()).or_default().push(Value::map([
+            ("relationship".to_string(), Value::Rel(pr.target)),
+            ("key".to_string(), Value::Str(pr.key.clone())),
+            ("old".to_string(), pr.old.clone()),
+        ]));
+    }
+    p.insert(
+        "removedRelProperties".into(),
+        Value::Map(rrp.into_iter().map(|(k, v)| (k, Value::List(v))).collect()),
+    );
+    p
+}
+
+/// The names of all APOC transition parameters (Table 2).
+pub const APOC_PARAM_NAMES: [&str; 10] = [
+    "createdNodes",
+    "createdRelationships",
+    "deletedNodes",
+    "deletedRelationships",
+    "assignedLabels",
+    "removedLabels",
+    "assignedNodeProperties",
+    "assignedRelProperties",
+    "removedNodeProperties",
+    "removedRelProperties",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_graph::{Graph, PropertyMap};
+
+    fn props(entries: &[(&str, Value)]) -> PropertyMap {
+        entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn all_ten_parameters_present() {
+        let p = apoc_params(&Delta::default());
+        for name in APOC_PARAM_NAMES {
+            assert!(p.contains_key(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn created_nodes_and_raw_assigned_included() {
+        let mut g = Graph::new();
+        g.begin().unwrap();
+        let mark = g.mark();
+        g.create_node(["L"], props(&[("x", Value::Int(1))])).unwrap();
+        let delta = g.delta_since(mark);
+        let p = apoc_params(&delta);
+        assert_eq!(p["createdNodes"].as_list().unwrap().len(), 1);
+        // APOC also reports the creation's labels and properties as assigned
+        match &p["assignedLabels"] {
+            Value::Map(m) => assert_eq!(m["L"].as_list().unwrap().len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p["assignedNodeProperties"] {
+            Value::Map(m) => {
+                let quad = &m["x"].as_list().unwrap()[0];
+                match quad {
+                    Value::Map(q) => {
+                        assert_eq!(q["old"], Value::Null);
+                        assert_eq!(q["new"], Value::Int(1));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deleted_nodes_are_maps_with_labels() {
+        let mut g = Graph::new();
+        let n = g.create_node(["Gone"], props(&[("name", Value::str("x"))])).unwrap();
+        g.begin().unwrap();
+        let mark = g.mark();
+        g.detach_delete_node(n).unwrap();
+        let p = apoc_params(&g.delta_since(mark));
+        match &p["deletedNodes"].as_list().unwrap()[0] {
+            Value::Map(m) => {
+                assert_eq!(m["name"], Value::str("x"));
+                assert_eq!(m["__labels"], Value::list([Value::str("Gone")]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assigned_props_quadruples() {
+        let mut g = Graph::new();
+        let n = g.create_node(["L"], props(&[("v", Value::Int(1))])).unwrap();
+        g.begin().unwrap();
+        let mark = g.mark();
+        g.set_node_prop(n, "v", Value::Int(2)).unwrap();
+        g.remove_node_prop(n, "v").unwrap();
+        let p = apoc_params(&g.delta_since(mark));
+        // net effect: removal with old = 1
+        match &p["removedNodeProperties"] {
+            Value::Map(m) => {
+                let triple = &m["v"].as_list().unwrap()[0];
+                match triple {
+                    Value::Map(t) => assert_eq!(t["old"], Value::Int(1)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's §6.3 hand-written APOC translations, as executable
+//! artifacts.
+//!
+//! §6.3 presents four manual translations of the §6.2 triggers. They are
+//! reproduced here with the *minimal* edits needed to execute (quoting
+//! fixes the paper itself would need on real APOC: a missing closing brace
+//! in `MoveToNearHospital`'s region pattern, `IcuBeds` vs `icuBeds` casing,
+//! and string-literal escaping). Two observations the tests document:
+//!
+//! * `WhoDesignationChange` is faithful: it reproduces the native trigger's
+//!   behaviour exactly.
+//! * `IcuPatientIncrease` (verbatim) groups `COUNT(cNodes)`/`COUNT(p)` by
+//!   the `cNodes` pass-through, so both counts equal the per-group row
+//!   count and the ratio is always 1 — the trigger fires whenever *any*
+//!   ICU patient exists at Sacco. The paper's translation scheme is
+//!   intricate exactly as §5.1 warns; our machine translation
+//!   ([`mod@crate::translate`]) preserves the intended semantics instead.
+//!
+//! The §6.3 prototypes model the type hierarchy with explicit `Isa`
+//! relationships ("type hierarchies are not supported in Neo4j"), so the
+//! test fixtures here do the same.
+
+/// §6.3 — WhoDesignationChange (adapted: string escaping only).
+pub const WHO_DESIGNATION_CHANGE_63: &str = r#"
+UNWIND keys($assignedNodeProperties) AS k
+UNWIND $assignedNodeProperties[k] AS aProp
+WITH aProp.node AS node, collect(aProp.key) AS propList,
+     aProp.old AS oldValue, aProp.new AS newValue
+CALL apoc.do.when(
+  node:Lineage AND 'whoDesignation' IN propList
+    AND oldValue <> newValue,
+  'CREATE (:Alert{time: DATETIME(),
+     desc: "New Designation for an existing Lineage"})',
+  '', {})
+YIELD value RETURN *"#;
+
+/// §6.3 — IcuPatientIncrease (adapted: casing; semantics verbatim,
+/// including its grouping quirk — see module docs).
+pub const ICU_PATIENT_INCREASE_63: &str = r#"
+UNWIND $createdNodes AS cNodes
+MATCH (p:IcuPatient)-[:Isa]-(:HospitalizedPatient)
+  -[:TreatedAt]-(h:Hospital{name:'Sacco'})
+WITH COUNT(cNodes) AS NewIcuPat,
+     COUNT(p) AS TotalIcuPat, cNodes
+CALL apoc.do.when(
+  cNodes:IcuPatient AND NewIcuPat * 1.0 / TotalIcuPat > 0.1,
+  'MERGE (:Alert{desc: "ICU patients at Sacco Hospital have increased more than 10%"})',
+  '', {} )
+YIELD value RETURN *"#;
+
+/// §6.3 — IcuPatientMove (adapted: `icuBeds` casing, escaping).
+pub const ICU_PATIENT_MOVE_63: &str = r#"
+UNWIND $createdNodes AS cNodes
+MATCH (:IcuPatient)-[:Isa]-(p:HospitalizedPatient)-
+  [:TreatedAt]-(h:Hospital{name:'Sacco'})
+WITH COUNT(p) AS TotalIcuPat,
+     h.icuBeds AS TotalBeds,
+     cNodes
+CALL apoc.do.when(
+  cNodes:IcuPatient AND TotalIcuPat > TotalBeds,
+  'MATCH (pt:IcuPatient)-[:Isa]-(:HospitalizedPatient)
+     -[:TreatedAt]-(ht:Hospital{name:$Meyer})
+   WITH COUNT(pt) AS MeyerICU, ht.icuBeds AS MeyerBeds,
+        COUNT(cNodes) AS newICUSacco, ht, cNodes
+   WHERE newICUSacco + MeyerICU <= MeyerBeds
+   MATCH (cNodes)-[:Isa]-(:HospitalizedPatient)
+     -[c:TreatedAt]-(:Hospital{name:$Sacco})
+   FOREACH (p IN [cNodes] | DELETE c)
+   FOREACH (p IN [cNodes] | CREATE (p)-[:TreatedAt]->(ht))',
+  '', {cNodes: cNodes, Meyer: 'Meyer', Sacco: 'Sacco'})
+YIELD value RETURN count(*)"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::ApocDb;
+    use pg_graph::Value;
+
+    fn count(db: &mut ApocDb, label: &str) -> i64 {
+        db.query(&format!("MATCH (n:{label}) RETURN count(*) AS n"))
+            .unwrap()
+            .single()
+            .and_then(|v| v.as_i64())
+            .unwrap()
+    }
+
+    #[test]
+    fn who_designation_change_63_is_faithful() {
+        let mut db = ApocDb::new();
+        db.install("neo4j", "WhoDesignationChange", WHO_DESIGNATION_CHANGE_63, "afterAsync")
+            .unwrap();
+        db.run_tx(&["CREATE (:Lineage {name: 'B.1.617.2', whoDesignation: 'Indian'})"])
+            .unwrap();
+        // the creation itself assigns whoDesignation with old = null →
+        // null <> 'Indian' is NULL → no alert (3-valued logic)
+        assert_eq!(count(&mut db, "Alert"), 0);
+        db.run_tx(&["MATCH (l:Lineage) SET l.whoDesignation = 'Delta'"]).unwrap();
+        assert_eq!(count(&mut db, "Alert"), 1);
+        // same-value set: no event at all (delta normalization)
+        db.run_tx(&["MATCH (l:Lineage) SET l.whoDesignation = 'Delta'"]).unwrap();
+        assert_eq!(count(&mut db, "Alert"), 1);
+        let out = db.query("MATCH (a:Alert) RETURN a.desc AS d").unwrap();
+        assert_eq!(
+            out.rows,
+            vec![vec![Value::str("New Designation for an existing Lineage")]]
+        );
+    }
+
+    /// Build the §6.3-style Isa-modelled hospital fixture: `n` ICU patients
+    /// at Sacco, each an `IcuPatient` node Isa-linked to a
+    /// `HospitalizedPatient` node treated at Sacco.
+    fn admit_isa_patients(db: &mut ApocDb, n: usize, offset: usize) {
+        for i in 0..n {
+            let k = offset + i;
+            db.run_tx(&[&format!(
+                "MATCH (h:Hospital {{name: 'Sacco'}})
+                 CREATE (icu:IcuPatient {{id: {k}}})-[:Isa]->
+                        (:HospitalizedPatient {{id: {k}}})-[:TreatedAt]->(h)"
+            )])
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn icu_patient_increase_63_fires_whenever_icu_nonempty() {
+        // Documents the verbatim translation's grouping quirk: because
+        // cNodes is a pass-through group key, NewIcuPat == TotalIcuPat per
+        // group and the ratio is always 1 → the alert appears on every
+        // admission once any ICU patient is treated at Sacco. (The machine
+        // translation in crate::translate preserves the intended 10%
+        // semantics; the native trigger too.)
+        let mut db = ApocDb::new();
+        db.install("neo4j", "IcuPatientIncrease", ICU_PATIENT_INCREASE_63, "afterAsync")
+            .unwrap();
+        db.run_tx(&["CREATE (:Hospital {name: 'Sacco', icuBeds: 100})"]).unwrap();
+        admit_isa_patients(&mut db, 20, 0);
+        // 21st admission adds < 10% of 20 — the intended semantics would be
+        // silent, but the verbatim translation fires (ratio always 1):
+        admit_isa_patients(&mut db, 1, 20);
+        assert_eq!(count(&mut db, "Alert"), 1, "verbatim §6.3 fires (MERGE dedups)");
+    }
+
+    #[test]
+    fn icu_patient_move_63_relocates_to_meyer() {
+        let mut db = ApocDb::new();
+        db.install("neo4j", "IcuPatientMove", ICU_PATIENT_MOVE_63, "afterAsync").unwrap();
+        db.run_tx(&[
+            "CREATE (:Hospital {name: 'Sacco', icuBeds: 3})",
+            "CREATE (:Hospital {name: 'Meyer', icuBeds: 10})",
+        ])
+        .unwrap();
+        // The verbatim translation's inner `MATCH (pt:…)-[:TreatedAt]-(ht)`
+        // yields zero rows when Meyer's ICU is empty, so the move silently
+        // does nothing — a real quirk of §6.3's text (the native trigger in
+        // pg-covid uses OPTIONAL MATCH instead). Pre-seed one Meyer patient
+        // so the verbatim statement has rows to work with.
+        db.run_tx(&[
+            "MATCH (h:Hospital {name: 'Meyer'})
+             CREATE (:IcuPatient {id: 900})-[:Isa]->
+                    (:HospitalizedPatient {id: 900})-[:TreatedAt]->(h)",
+        ])
+        .unwrap();
+        // four admissions at Sacco: the fourth overflows it (4 > 3); the
+        // NEW patient moves to Meyer (per-creation UNWIND).
+        admit_isa_patients(&mut db, 4, 0);
+        // §6.3 creates the new TreatedAt from the IcuPatient node itself.
+        let moved = db
+            .query(
+                "MATCH (i:IcuPatient)-[:TreatedAt]-(:Hospital {name: 'Meyer'})
+                 RETURN count(DISTINCT i) AS n",
+            )
+            .unwrap()
+            .single()
+            .and_then(|v| v.as_i64())
+            .unwrap();
+        assert!(moved >= 1, "no §6.3 relocation happened");
+        let still_at_sacco = db
+            .query(
+                "MATCH (:IcuPatient)-[:Isa]-(p:HospitalizedPatient)-[:TreatedAt]-(:Hospital {name: 'Sacco'})
+                 RETURN count(DISTINCT p) AS n",
+            )
+            .unwrap()
+            .single()
+            .and_then(|v| v.as_i64())
+            .unwrap();
+        assert_eq!(still_at_sacco + moved, 4, "patients conserved");
+    }
+
+    #[test]
+    fn all_63_translations_parse() {
+        for (name, src) in [
+            ("WhoDesignationChange", WHO_DESIGNATION_CHANGE_63),
+            ("IcuPatientIncrease", ICU_PATIENT_INCREASE_63),
+            ("IcuPatientMove", ICU_PATIENT_MOVE_63),
+        ] {
+            crate::statement::parse_apoc_statement(src)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! APOC trigger statement parsing and execution.
+//!
+//! An APOC trigger statement is a Cypher query that may end in the
+//! conditional-execution procedure the paper's translation scheme relies on
+//! (Figure 2):
+//!
+//! ```text
+//! UNWIND $createdNodes AS cNodes
+//! <condition_query…>
+//! CALL apoc.do.when(<cond>, '<then>', '<else>', {<args>})
+//! YIELD value RETURN *
+//! ```
+//!
+//! We parse the prefix with `pg-cypher`, and `apoc.do.when` into its four
+//! arguments (condition expression, then/else query strings, argument map).
+
+use pg_cypher::lexer::lex;
+use pg_cypher::token::TokenKind;
+use pg_cypher::{
+    parse_expression, parse_query_lenient, run_ast, CypherError, Expr, Params, Query, Row,
+};
+use pg_graph::Graph;
+
+/// A parsed APOC trigger statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApocStatement {
+    /// Clauses before the `CALL` (usually `UNWIND $…` + condition query).
+    pub prefix: Query,
+    /// The conditional tail, when present.
+    pub do_when: Option<DoWhen>,
+}
+
+/// `apoc.do.when(cond, then, else, args)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoWhen {
+    pub cond: Expr,
+    pub then_query: Query,
+    pub else_query: Query,
+    /// Fourth parameter: the operands available inside then/else.
+    pub args: Vec<(String, Expr)>,
+}
+
+/// Parse an APOC trigger statement.
+pub fn parse_apoc_statement(src: &str) -> Result<ApocStatement, CypherError> {
+    let tokens = lex(src)?;
+    // Find top-level `CALL` (an identifier in our token set).
+    let mut call_idx = None;
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.kind {
+            TokenKind::LParen | TokenKind::LBrace | TokenKind::LBracket => depth += 1,
+            TokenKind::RParen | TokenKind::RBrace | TokenKind::RBracket => depth -= 1,
+            TokenKind::Ident(s) if depth == 0 && s.eq_ignore_ascii_case("call") => {
+                call_idx = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(ci) = call_idx else {
+        return Ok(ApocStatement {
+            prefix: parse_query_lenient(src)?,
+            do_when: None,
+        });
+    };
+
+    let prefix_src = &src[..tokens[ci].pos];
+    let prefix = parse_query_lenient(prefix_src)?;
+
+    // Expect `apoc . do . when (`
+    let err = |msg: &str, pos: usize| CypherError::parse(pos, msg.to_string());
+    let mut i = ci + 1;
+    let expect_word = |i: &mut usize, w: &str| -> Result<(), CypherError> {
+        match &tokens[*i].kind {
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case(w) => {
+                *i += 1;
+                Ok(())
+            }
+            TokenKind::When if w == "when" => {
+                *i += 1;
+                Ok(())
+            }
+            other => Err(err(&format!("expected '{w}', found {other}"), tokens[*i].pos)),
+        }
+    };
+    expect_word(&mut i, "apoc")?;
+    if tokens[i].kind != TokenKind::Dot {
+        return Err(err("expected '.'", tokens[i].pos));
+    }
+    i += 1;
+    expect_word(&mut i, "do")?;
+    if tokens[i].kind != TokenKind::Dot {
+        return Err(err("expected '.'", tokens[i].pos));
+    }
+    i += 1;
+    expect_word(&mut i, "when")?;
+    if tokens[i].kind != TokenKind::LParen {
+        return Err(err("expected '(' after apoc.do.when", tokens[i].pos));
+    }
+    let open = i;
+    // Split the call arguments at top-level commas.
+    let mut splits: Vec<usize> = Vec::new(); // token indices of commas
+    let mut close = None;
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokenKind::LParen | TokenKind::LBrace | TokenKind::LBracket => depth += 1,
+            TokenKind::RParen | TokenKind::RBrace | TokenKind::RBracket => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(j);
+                    break;
+                }
+            }
+            TokenKind::Comma if depth == 1 => splits.push(j),
+            _ => {}
+        }
+    }
+    let close = close.ok_or_else(|| err("unbalanced apoc.do.when call", tokens[open].pos))?;
+    if splits.len() != 3 {
+        return Err(err(
+            &format!("apoc.do.when expects 4 arguments, found {}", splits.len() + 1),
+            tokens[open].pos,
+        ));
+    }
+
+    let arg_src = |from_tok: usize, to_tok: usize| -> &str {
+        &src[tokens[from_tok].pos..tokens[to_tok].pos]
+    };
+    let cond = parse_expression(arg_src(open + 1, splits[0]).trim())?;
+
+    let string_arg = |tok_idx: usize| -> Result<String, CypherError> {
+        match &tokens[tok_idx].kind {
+            TokenKind::Str(s) => Ok(s.clone()),
+            other => Err(err(
+                &format!("apoc.do.when then/else must be a string literal, found {other}"),
+                tokens[tok_idx].pos,
+            )),
+        }
+    };
+    let then_src = string_arg(splits[0] + 1)?;
+    let else_src = string_arg(splits[1] + 1)?;
+    let then_query = parse_query_lenient(&then_src)?;
+    let else_query = parse_query_lenient(&else_src)?;
+
+    let args_expr = parse_expression(arg_src(splits[2] + 1, close).trim())?;
+    let args = match args_expr {
+        Expr::MapLit(entries) => entries,
+        other => {
+            return Err(err(
+                &format!("apoc.do.when args must be a map literal, found {other:?}"),
+                tokens[splits[2]].pos,
+            ))
+        }
+    };
+
+    // Tolerate a trailing `YIELD value RETURN *` (and variants).
+    // Everything after the call's closing paren is ignored if it only
+    // consists of YIELD/RETURN tokens.
+    for t in tokens.iter().skip(close + 1) {
+        match &t.kind {
+            TokenKind::Eof | TokenKind::Semicolon => break,
+            TokenKind::Ident(s)
+                if s.eq_ignore_ascii_case("yield") || s.eq_ignore_ascii_case("value") => {}
+            TokenKind::Return | TokenKind::Star => {}
+            TokenKind::Ident(_) | TokenKind::Comma | TokenKind::LParen | TokenKind::RParen => {}
+            other => {
+                return Err(err(
+                    &format!("unexpected token after apoc.do.when: {other}"),
+                    t.pos,
+                ))
+            }
+        }
+    }
+
+    Ok(ApocStatement { prefix, do_when: Some(DoWhen { cond, then_query, else_query, args }) })
+}
+
+/// Execute an APOC statement against the graph with the given transition
+/// parameters. Returns the number of rows for which the `then` branch ran.
+pub fn execute_apoc_statement(
+    graph: &mut Graph,
+    stmt: &ApocStatement,
+    params: &Params,
+    now_ms: i64,
+) -> Result<u64, CypherError> {
+    let out = run_ast(graph, &stmt.prefix, Vec::new(), params, now_ms)?;
+    let rows = out.bindings;
+    let Some(dw) = &stmt.do_when else {
+        return Ok(rows.len() as u64);
+    };
+    let mut then_count = 0u64;
+    for row in rows {
+        // Evaluate the condition and the argument map against the row. The
+        // operands are visible to the inner queries both as plain variables
+        // and as `$`-parameters (APOC passes them as query parameters).
+        let (cond_val, seed, inner_params) = {
+            let ctx = pg_cypher::expr::EvalCtx::new(graph, params, now_ms);
+            let cond_val = pg_cypher::expr::eval(&ctx, &row, &dw.cond)?;
+            let mut seed = Row::new();
+            let mut inner_params = params.clone();
+            for (name, e) in &dw.args {
+                let v = pg_cypher::expr::eval(&ctx, &row, e)?;
+                seed.set(name.clone(), v.clone());
+                inner_params.insert(name.clone(), v);
+            }
+            (cond_val, seed, inner_params)
+        };
+        if cond_val.is_truthy() {
+            run_ast(graph, &dw.then_query, vec![seed], &inner_params, now_ms)?;
+            then_count += 1;
+        } else {
+            run_ast(graph, &dw.else_query, vec![seed], &inner_params, now_ms)?;
+        }
+    }
+    Ok(then_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_cypher::run_query;
+    use pg_graph::{GraphView, Value};
+
+    /// The paper's Figure 2 shape, lightly concretized.
+    const FIG2: &str = "
+        UNWIND $createdNodes AS cNodes
+        CALL apoc.do.when(cNodes:Mutation AND EXISTS (cNodes)-[:Risk]-(:CriticalEffect),
+          'CREATE (:Alert{desc: \\'New critical mutation\\', mutation: cNodes.name})',
+          '',
+          {cNodes: cNodes})
+        YIELD value RETURN *";
+
+    #[test]
+    fn parse_figure_2_statement() {
+        let stmt = parse_apoc_statement(FIG2).unwrap();
+        assert_eq!(stmt.prefix.clauses.len(), 1);
+        let dw = stmt.do_when.unwrap();
+        assert_eq!(dw.args.len(), 1);
+        assert!(dw.else_query.clauses.is_empty());
+        assert_eq!(dw.then_query.clauses.len(), 1);
+    }
+
+    #[test]
+    fn plain_statement_without_call() {
+        let stmt = parse_apoc_statement("UNWIND $createdNodes AS n SET n.seen = true").unwrap();
+        assert!(stmt.do_when.is_none());
+        assert_eq!(stmt.prefix.clauses.len(), 2);
+    }
+
+    #[test]
+    fn execute_figure_2_fires_on_matching_node() {
+        let mut g = Graph::new();
+        run_query(
+            &mut g,
+            "CREATE (m:Mutation {name: 'D614G'})-[:Risk]->(:CriticalEffect), (:Mutation {name: 'benign'})",
+            &Params::new(),
+            0,
+        )
+        .unwrap();
+        let created: Vec<Value> = g
+            .nodes_with_label("Mutation")
+            .into_iter()
+            .map(Value::Node)
+            .collect();
+        let mut params = Params::new();
+        params.insert("createdNodes".into(), Value::List(created));
+        let stmt = parse_apoc_statement(FIG2).unwrap();
+        let fired = execute_apoc_statement(&mut g, &stmt, &params, 0).unwrap();
+        assert_eq!(fired, 1);
+        let alerts = run_query(
+            &mut g,
+            "MATCH (a:Alert) RETURN a.mutation AS m",
+            &Params::new(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(alerts.rows, vec![vec![Value::str("D614G")]]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_apoc_statement("CALL apoc.do.when(1, 2)").is_err());
+        assert!(parse_apoc_statement("CALL apoc.do.when(true, notastring, '', {})").is_err());
+        assert!(parse_apoc_statement("CALL apoc.do.if(true, '', '', {})").is_err());
+    }
+
+    #[test]
+    fn else_branch_runs_when_false() {
+        let mut g = Graph::new();
+        let stmt = parse_apoc_statement(
+            "UNWIND [1] AS x CALL apoc.do.when(x > 5, 'CREATE (:ThenBranch)', 'CREATE (:ElseBranch)', {x: x}) YIELD value RETURN *",
+        )
+        .unwrap();
+        let fired = execute_apoc_statement(&mut g, &stmt, &Params::new(), 0).unwrap();
+        assert_eq!(fired, 0);
+        assert_eq!(g.nodes_with_label("ElseBranch").len(), 1);
+        assert!(g.nodes_with_label("ThenBranch").is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! * activation-order policy (creation time — the paper's choice — vs
+//!   PostgreSQL-style name order): ordering itself must be cost-free;
+//! * ONCOMMIT fixpoint rounds: cost of derived-data chains at commit vs
+//!   the same chain as cascading AFTER triggers;
+//! * BEFORE pre-state views: the overhead of building PreStateView
+//!   overlays per statement as statements grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::workloads::batch_create;
+use pg_triggers::{EngineConfig, OrderPolicy, Session};
+
+fn bench_order_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_order_policy");
+    group.sample_size(20);
+    for (name, order) in [
+        ("creation_time", OrderPolicy::CreationTime),
+        ("name", OrderPolicy::Name),
+    ] {
+        group.bench_with_input(BenchmarkId::new("policy", name), &order, |b, &o| {
+            b.iter_batched(
+                || {
+                    let mut s = Session::with_config(EngineConfig { order: o, ..EngineConfig::default() });
+                    for i in 0..32 {
+                        s.install(&format!(
+                            "CREATE TRIGGER t{:02} AFTER CREATE ON 'Target' FOR ALL NODES \
+                             BEGIN CREATE (:Fired) END",
+                            31 - i // reverse-alphabetical install order
+                        ))
+                        .unwrap();
+                    }
+                    s
+                },
+                |mut s| {
+                    s.run(&batch_create("Target", 5, 0)).unwrap();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_oncommit_vs_after_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_commit_chain");
+    group.sample_size(20);
+    for &depth in &[2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("after_cascade", depth), &depth, |b, &d| {
+            b.iter_batched(
+                || {
+                    let mut s = Session::new();
+                    for i in 0..d {
+                        s.install(&format!(
+                            "CREATE TRIGGER a{i} AFTER CREATE ON 'L{i}' FOR EACH NODE BEGIN CREATE (:L{}) END",
+                            i + 1
+                        ))
+                        .unwrap();
+                    }
+                    s
+                },
+                |mut s| {
+                    s.run("CREATE (:L0)").unwrap();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("oncommit_fixpoint", depth), &depth, |b, &d| {
+            b.iter_batched(
+                || {
+                    let mut s = Session::with_config(EngineConfig {
+                        max_commit_rounds: d + 4,
+                        ..EngineConfig::default()
+                    });
+                    for i in 0..d {
+                        s.install(&format!(
+                            "CREATE TRIGGER o{i} ONCOMMIT CREATE ON 'L{i}' FOR EACH NODE BEGIN CREATE (:L{}) END",
+                            i + 1
+                        ))
+                        .unwrap();
+                    }
+                    s
+                },
+                |mut s| {
+                    s.run("CREATE (:L0)").unwrap();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_before_prestate_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_before_prestate");
+    group.sample_size(20);
+    for &batch in &[10usize, 100] {
+        for time in ["BEFORE", "AFTER"] {
+            group.bench_with_input(
+                BenchmarkId::new(time, batch),
+                &batch,
+                |b, &n| {
+                    b.iter_batched(
+                        || {
+                            let mut s = Session::new();
+                            let body = if time == "BEFORE" {
+                                "SET NEW.audited = true"
+                            } else {
+                                "MATCH (x:Target) WHERE x = NEW SET x.audited = true"
+                            };
+                            s.install(&format!(
+                                "CREATE TRIGGER t {time} CREATE ON 'Target' FOR EACH NODE BEGIN {body} END"
+                            ))
+                            .unwrap();
+                            s
+                        },
+                        |mut s| {
+                            s.run(&batch_create("Target", n, 0)).unwrap();
+                            s
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_order_policy,
+    bench_oncommit_vs_after_chain,
+    bench_before_prestate_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! P4 — action-time comparison: the per-statement cost of one trigger at
+//! each of the four action times (§4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_triggers::Session;
+
+fn bench_action_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p4_action_time");
+    group.sample_size(30);
+    for time in ["BEFORE", "AFTER", "ONCOMMIT", "DETACHED"] {
+        group.bench_with_input(BenchmarkId::new("time", time), &time, |b, &t| {
+            b.iter_batched(
+                || {
+                    let mut s = Session::new();
+                    let body = if t == "BEFORE" {
+                        "SET NEW.audited = true"
+                    } else {
+                        "CREATE (:Log)"
+                    };
+                    s.install(&format!(
+                        "CREATE TRIGGER t {t} CREATE ON 'Target' FOR EACH NODE BEGIN {body} END"
+                    ))
+                    .unwrap();
+                    s
+                },
+                |mut s| {
+                    s.run("CREATE (:Target {i: 1})").unwrap();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_action_time);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! P2 — cascading: chain depth scaling, native cascading vs the
+//! APOC/Memgraph-style no-cascade mode (§5.1 limitation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::workloads::{install_chain, session_no_cascade};
+use pg_triggers::{EngineConfig, Session};
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_cascade");
+    group.sample_size(20);
+    for &depth in &[1usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("native", depth), &depth, |b, &d| {
+            b.iter_batched(
+                || {
+                    let mut s = Session::with_config(EngineConfig {
+                        max_cascade_depth: d + 4,
+                        ..EngineConfig::default()
+                    });
+                    install_chain(&mut s, d);
+                    s
+                },
+                |mut s| {
+                    s.run("CREATE (:L0)").unwrap();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("no_cascade", depth), &depth, |b, &d| {
+            b.iter_batched(
+                || {
+                    let mut s = session_no_cascade();
+                    install_chain(&mut s, d);
+                    s
+                },
+                |mut s: Session| {
+                    s.run("CREATE (:L0)").unwrap();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade);
+criterion_main!(benches);

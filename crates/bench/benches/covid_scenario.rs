@@ -1,0 +1,41 @@
+//! P6 — the COVID scenario end-to-end: admission waves with the full §6.2
+//! trigger suite at growing scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_covid::{GeneratorConfig, Scenario, ScenarioConfig};
+
+fn cfg(patients: usize, admissions: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        generator: GeneratorConfig {
+            patients,
+            sequences: patients / 2,
+            ..GeneratorConfig::default()
+        },
+        waves: 3,
+        admissions_per_wave: admissions,
+        discoveries: 2,
+        redesignations: 1,
+    }
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p6_covid_scenario");
+    group.sample_size(10);
+    for &(patients, admissions) in &[(100usize, 5usize), (500, 10), (2000, 20)] {
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("{patients}p_{admissions}a")),
+            &(patients, admissions),
+            |b, &(p, a)| {
+                b.iter_batched(
+                    || Scenario::new(cfg(p, a)),
+                    |mut sc| sc.run().unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! P3 — FOR EACH vs FOR ALL granularity over growing batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::workloads::batch_create;
+use pg_triggers::Session;
+
+fn session_with(granularity: &str) -> Session {
+    let mut s = Session::new();
+    let (var, item) = match granularity {
+        "each" => ("NEW", "EACH NODE"),
+        _ => ("NEWNODES", "ALL NODES"),
+    };
+    let body = if granularity == "each" {
+        format!("CREATE (:Log {{of: {var}.i}})")
+    } else {
+        format!("CREATE (:Log {{n: size({var})}})")
+    };
+    s.install(&format!(
+        "CREATE TRIGGER g AFTER CREATE ON 'Target' FOR {item} BEGIN {body} END"
+    ))
+    .unwrap();
+    s
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p3_granularity");
+    group.sample_size(20);
+    for &batch in &[1usize, 10, 100, 1000] {
+        for gran in ["each", "all"] {
+            group.bench_with_input(
+                BenchmarkId::new(gran, batch),
+                &batch,
+                |b, &n| {
+                    b.iter_batched(
+                        || session_with(gran),
+                        |mut s| {
+                            s.run(&batch_create("Target", n, 0)).unwrap();
+                            s
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! P7 — query-engine baseline (no triggers): MATCH patterns and CREATE
+//! batches, the substrate costs the trigger numbers sit on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::workloads::{batch_create, session_with_items};
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p7_query_baseline");
+    group.sample_size(20);
+    for &n in &[100usize, 1000, 10000] {
+        group.bench_with_input(BenchmarkId::new("match_filter", n), &n, |b, &n| {
+            let mut s = session_with_items(n);
+            b.iter(|| {
+                s.run("MATCH (i:Item) WHERE i.k % 7 = 0 RETURN count(*) AS n").unwrap()
+            })
+        });
+    }
+    for &n in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("create_batch", n), &n, |b, &n| {
+            b.iter_batched(
+                || session_with_items(0),
+                |mut s| {
+                    s.run(&batch_create("Item", n, 0)).unwrap();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("two_hop_pattern", |b| {
+        let mut s = session_with_items(0);
+        s.run("FOREACH (i IN range(0, 99) | CREATE (:A {i: i})-[:R]->(:B {i: i}))").unwrap();
+        s.run("MATCH (a:A), (b:B) WHERE a.i = b.i - 1 CREATE (b)-[:S]->(a)").unwrap();
+        b.iter(|| {
+            s.run("MATCH (a:A)-[:R]->(b:B)-[:S]->(c:A) RETURN count(*) AS n").unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

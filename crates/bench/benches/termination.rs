@@ -1,0 +1,36 @@
+//! P8 — termination analysis: triggering-graph construction and cycle
+//! detection vs catalog size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_triggers::{analyze, Session};
+
+fn catalog_of(n: usize) -> Session {
+    let mut s = Session::new();
+    for i in 0..n {
+        // a chain with a deliberate cycle at the end
+        let target = if i + 1 == n { "L0".to_string() } else { format!("L{}", i + 1) };
+        s.install(&format!(
+            "CREATE TRIGGER t{i} AFTER CREATE ON 'L{i}' FOR EACH NODE BEGIN CREATE (:{target}) END"
+        ))
+        .unwrap();
+    }
+    s
+}
+
+fn bench_termination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p8_termination");
+    for &n in &[4usize, 16, 64, 256] {
+        let s = catalog_of(n);
+        group.bench_with_input(BenchmarkId::new("analyze", n), &n, |b, _| {
+            b.iter(|| {
+                let report = analyze(s.catalog());
+                assert!(!report.is_acyclic());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_termination);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! P5 — DDL parse and translation throughput (Figures 1–3 machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pg_triggers::{parse_trigger_ddl, DdlStatement};
+
+fn bench_translation(c: &mut Criterion) {
+    let ddl = pg_covid::triggers::MOVE_TO_NEAR_HOSPITAL;
+    let spec = match parse_trigger_ddl(ddl).unwrap() {
+        DdlStatement::CreateTrigger(s) => s,
+        _ => unreachable!(),
+    };
+    let simple = match parse_trigger_ddl(pg_covid::triggers::NEW_CRITICAL_MUTATION).unwrap() {
+        DdlStatement::CreateTrigger(s) => s,
+        _ => unreachable!(),
+    };
+
+    let mut group = c.benchmark_group("p5_translation");
+    group.bench_function("parse_ddl_complex", |b| {
+        b.iter(|| parse_trigger_ddl(std::hint::black_box(ddl)).unwrap())
+    });
+    group.bench_function("translate_apoc", |b| {
+        b.iter(|| pg_apoc::translate(std::hint::black_box(&simple)).unwrap())
+    });
+    group.bench_function("translate_memgraph", |b| {
+        b.iter(|| pg_memgraph::translate(std::hint::black_box(&simple)).unwrap())
+    });
+    group.bench_function("termination_analysis_of_spec", |b| {
+        b.iter(|| pg_triggers::termination::generated_events(std::hint::black_box(&spec)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! P1 — trigger firing overhead: per-statement cost of create operations
+//! with 0/1/4/16/64 installed triggers, matching vs non-matching labels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::workloads::{batch_create, install_n_triggers};
+use pg_triggers::Session;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_trigger_overhead");
+    group.sample_size(20);
+    for &n_triggers in &[0usize, 1, 4, 16, 64] {
+        for &matching in &[true, false] {
+            let label = format!("{n_triggers}_{}", if matching { "match" } else { "nomatch" });
+            group.bench_with_input(
+                BenchmarkId::new("create10", &label),
+                &(n_triggers, matching),
+                |b, &(n, m)| {
+                    b.iter_batched(
+                        || {
+                            let mut s = Session::new();
+                            if n > 0 {
+                                install_n_triggers(&mut s, n, m);
+                            }
+                            s
+                        },
+                        |mut s| {
+                            s.run(&batch_create("Target", 10, 0)).unwrap();
+                            s
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

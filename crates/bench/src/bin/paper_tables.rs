@@ -1,0 +1,49 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p pg-bench --bin paper_tables -- all
+//! cargo run -p pg-bench --bin paper_tables -- table1 figure2
+//! cargo run -p pg-bench --bin paper_tables -- --json all > artifacts.json
+//! ```
+
+use pg_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_mode = args.iter().any(|a| a == "--json");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    let want_all = selected.is_empty() || selected.contains(&"all");
+
+    let artifacts = tables::all_artifacts();
+    let chosen: Vec<_> = artifacts
+        .iter()
+        .filter(|a| want_all || selected.contains(&a.id))
+        .collect();
+    if chosen.is_empty() {
+        eprintln!(
+            "unknown artifact id(s); available: {}",
+            artifacts.iter().map(|a| a.id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    }
+
+    if json_mode {
+        let out: serde_json::Map<String, serde_json::Value> = chosen
+            .iter()
+            .map(|a| (a.id.to_string(), a.data.clone()))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    } else {
+        for a in chosen {
+            println!("{}", "=".repeat(72));
+            println!("{}", a.title);
+            println!("{}", "=".repeat(72));
+            println!("{}", a.text);
+            println!();
+        }
+    }
+}

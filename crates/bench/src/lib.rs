@@ -1,0 +1,11 @@
+//! # pg-bench — paper-artifact regeneration and benchmark harness
+//!
+//! * [`tables`] regenerates every table and figure of the paper as a
+//!   checkable artifact (see `EXPERIMENTS.md` for the index);
+//! * [`workloads`] builds the shared benchmark fixtures;
+//! * the `paper_tables` binary prints the artifacts
+//!   (`cargo run -p pg-bench --bin paper_tables -- all`);
+//! * `benches/` holds the Criterion performance experiments P1–P8.
+
+pub mod tables;
+pub mod workloads;

@@ -1,0 +1,94 @@
+//! Shared benchmark fixtures.
+
+use pg_triggers::{EngineConfig, Session};
+
+/// A session preloaded with `n` uniform `Item` nodes (bulk-loaded, no
+/// trigger processing).
+pub fn session_with_items(n: usize) -> Session {
+    let mut s = Session::new();
+    let g = s.graph_mut();
+    for i in 0..n {
+        let props: pg_graph::PropertyMap = [
+            ("k".to_string(), pg_graph::Value::Int(i as i64)),
+        ]
+        .into_iter()
+        .collect();
+        g.create_node(["Item"], props).unwrap();
+    }
+    s
+}
+
+/// Install `n` AFTER-CREATE triggers on distinct labels; when
+/// `matching` is true they all monitor `Target`, otherwise none does.
+pub fn install_n_triggers(s: &mut Session, n: usize, matching: bool) {
+    for i in 0..n {
+        let label = if matching { "Target".to_string() } else { format!("Other{i}") };
+        s.install(&format!(
+            "CREATE TRIGGER bench_t{i} AFTER CREATE ON '{label}' FOR EACH NODE
+             BEGIN CREATE (:Fired {{by: {i}}}) END"
+        ))
+        .unwrap();
+    }
+}
+
+/// A chain of `n` triggers: `CREATE (:L0)` cascades through `L1 … Ln`.
+pub fn install_chain(s: &mut Session, n: usize) {
+    for i in 0..n {
+        s.install(&format!(
+            "CREATE TRIGGER chain{i} AFTER CREATE ON 'L{i}' FOR EACH NODE
+             BEGIN CREATE (:L{}) END",
+            i + 1
+        ))
+        .unwrap();
+    }
+}
+
+/// A session with cascading disabled (the APOC/Memgraph limitation mode).
+pub fn session_no_cascade() -> Session {
+    Session::with_config(EngineConfig { cascading_enabled: false, ..EngineConfig::default() })
+}
+
+/// A batched node-creation statement: `CREATE (:Target {i: 0}), …`.
+pub fn batch_create(label: &str, n: usize, offset: usize) -> String {
+    let parts: Vec<String> = (0..n)
+        .map(|i| format!("(:{label} {{i: {}}})", offset + i))
+        .collect();
+    format!("CREATE {}", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_work() {
+        let mut s = session_with_items(10);
+        assert_eq!(s.graph().node_count(), 10);
+        install_n_triggers(&mut s, 3, true);
+        s.run(&batch_create("Target", 2, 0)).unwrap();
+        // 3 matching triggers × 2 nodes = 6 Fired nodes
+        let fired = s
+            .run("MATCH (f:Fired) RETURN count(*) AS n")
+            .unwrap()
+            .single()
+            .and_then(|v| v.as_i64())
+            .unwrap();
+        assert_eq!(fired, 6);
+    }
+
+    #[test]
+    fn chain_cascades_fully() {
+        let mut s = Session::new();
+        install_chain(&mut s, 5);
+        s.run("CREATE (:L0)").unwrap();
+        for i in 1..=5 {
+            let n = s
+                .run(&format!("MATCH (x:L{i}) RETURN count(*) AS n"))
+                .unwrap()
+                .single()
+                .and_then(|v| v.as_i64())
+                .unwrap();
+            assert_eq!(n, 1, "L{i}");
+        }
+    }
+}

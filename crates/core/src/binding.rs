@@ -1,0 +1,486 @@
+//! Transition-variable binding: from a [`Delta`] to the seed rows a trigger
+//! activation runs with (paper §4.2 "Transition Variables" and Table 3).
+//!
+//! Binding rules:
+//!
+//! | event               | `NEW`                     | `OLD`                              |
+//! |---------------------|---------------------------|------------------------------------|
+//! | node/rel creation   | the live item             | —                                  |
+//! | node/rel deletion   | —                         | deletion-time record as a map      |
+//! | label set           | the live node             | pre-statement record as a map      |
+//! | label removal       | the live node             | pre-statement record as a map      |
+//! | property set        | the live item             | pre-statement record as a map      |
+//! | property removal    | the live item             | pre-statement record as a map      |
+//!
+//! With `FOR ALL` granularity the same values are delivered as aligned lists
+//! through `NEWNODES`/`OLDNODES`/`NEWRELS`/`OLDRELS`. `REFERENCING … AS`
+//! renames apply. `OLD` maps carry the *full* pre-state of the item (a
+//! superset of APOC's ⟨item, property, old⟩ triples — `OLD.p` reads the old
+//! value of any property, which is what the paper's
+//! `WHEN OLD.whoDesignation <> NEW.whoDesignation` needs).
+
+use crate::spec::{EventType, Granularity, ItemKind, TransitionVar, TriggerSpec};
+use pg_cypher::Row;
+use pg_graph::{Delta, GraphView, NodeId, RelId, Value};
+
+/// The items a trigger activation is about: per item an optional NEW
+/// reference and an optional OLD snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Affected {
+    /// `(new_ref, old_snapshot)` per affected item, in delta order.
+    pub items: Vec<(Option<Value>, Option<Value>)>,
+}
+
+impl Affected {
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The NEW item references (for the BEFORE write policy).
+    pub fn new_refs(&self) -> Vec<pg_graph::ItemRef> {
+        self.items
+            .iter()
+            .filter_map(|(n, _)| match n {
+                Some(Value::Node(id)) => Some(pg_graph::ItemRef::Node(*id)),
+                Some(Value::Rel(id)) => Some(pg_graph::ItemRef::Rel(*id)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Materialize a node's state (from any view) as a map value.
+fn node_snapshot(view: &dyn GraphView, id: NodeId) -> Value {
+    let mut m = std::collections::BTreeMap::new();
+    for k in view.node_prop_keys(id) {
+        if let Some(v) = view.node_prop(id, &k) {
+            m.insert(k, v);
+        }
+    }
+    let mut labels = view.node_labels(id);
+    labels.sort();
+    m.insert(
+        "__labels".to_string(),
+        Value::List(labels.into_iter().map(Value::Str).collect()),
+    );
+    m.insert("__id".to_string(), Value::Int(id.0 as i64));
+    Value::Map(m)
+}
+
+/// Materialize a relationship's state as a map value.
+fn rel_snapshot(view: &dyn GraphView, id: RelId) -> Value {
+    let mut m = std::collections::BTreeMap::new();
+    for k in view.rel_prop_keys(id) {
+        if let Some(v) = view.rel_prop(id, &k) {
+            m.insert(k, v);
+        }
+    }
+    if let Some(t) = view.rel_type(id) {
+        m.insert("__type".to_string(), Value::Str(t));
+    }
+    if let Some((s, d)) = view.rel_endpoints(id) {
+        m.insert("__src".to_string(), Value::Int(s.0 as i64));
+        m.insert("__dst".to_string(), Value::Int(d.0 as i64));
+    }
+    m.insert("__id".to_string(), Value::Int(id.0 as i64));
+    Value::Map(m)
+}
+
+/// Compute the items of `delta` this trigger is about. `pre` is the
+/// pre-statement view (used to build OLD snapshots); `post` is the current
+/// state (used to check the target label of property events).
+pub fn affected_items(
+    spec: &TriggerSpec,
+    delta: &Delta,
+    pre: &dyn GraphView,
+    post: &dyn GraphView,
+) -> Affected {
+    let mut out = Affected::default();
+    match (spec.event, spec.item) {
+        (EventType::Create, ItemKind::Node) => {
+            for rec in &delta.created_nodes {
+                if rec.has_label(&spec.label) {
+                    out.items.push((Some(Value::Node(rec.id)), None));
+                }
+            }
+        }
+        (EventType::Create, ItemKind::Relationship) => {
+            for rec in &delta.created_rels {
+                if rec.rel_type == spec.label {
+                    out.items.push((Some(Value::Rel(rec.id)), None));
+                }
+            }
+        }
+        (EventType::Delete, ItemKind::Node) => {
+            for rec in &delta.deleted_nodes {
+                if rec.has_label(&spec.label) {
+                    out.items.push((None, Some(rec.to_value())));
+                }
+            }
+        }
+        (EventType::Delete, ItemKind::Relationship) => {
+            for rec in &delta.deleted_rels {
+                if rec.rel_type == spec.label {
+                    out.items.push((None, Some(rec.to_value())));
+                }
+            }
+        }
+        (EventType::Set, ItemKind::Node) => match &spec.property {
+            None => {
+                // label-set events for the target label
+                for ev in &delta.assigned_labels {
+                    if ev.label == spec.label {
+                        out.items
+                            .push((Some(Value::Node(ev.node)), Some(node_snapshot(pre, ev.node))));
+                    }
+                }
+            }
+            Some(p) => {
+                for pa in &delta.assigned_node_props {
+                    if &pa.key == p && post.node_has_label(pa.target, &spec.label) {
+                        out.items.push((
+                            Some(Value::Node(pa.target)),
+                            Some(node_snapshot(pre, pa.target)),
+                        ));
+                    }
+                }
+            }
+        },
+        (EventType::Set, ItemKind::Relationship) => {
+            if let Some(p) = &spec.property {
+                for pa in &delta.assigned_rel_props {
+                    if &pa.key == p && post.rel_type(pa.target).as_deref() == Some(&spec.label) {
+                        out.items.push((
+                            Some(Value::Rel(pa.target)),
+                            Some(rel_snapshot(pre, pa.target)),
+                        ));
+                    }
+                }
+            }
+        }
+        (EventType::Remove, ItemKind::Node) => match &spec.property {
+            None => {
+                for ev in &delta.removed_labels {
+                    if ev.label == spec.label {
+                        out.items
+                            .push((Some(Value::Node(ev.node)), Some(node_snapshot(pre, ev.node))));
+                    }
+                }
+            }
+            Some(p) => {
+                for pr in &delta.removed_node_props {
+                    if &pr.key == p && post.node_has_label(pr.target, &spec.label) {
+                        out.items.push((
+                            Some(Value::Node(pr.target)),
+                            Some(node_snapshot(pre, pr.target)),
+                        ));
+                    }
+                }
+            }
+        },
+        (EventType::Remove, ItemKind::Relationship) => {
+            if let Some(p) = &spec.property {
+                for pr in &delta.removed_rel_props {
+                    if &pr.key == p && post.rel_type(pr.target).as_deref() == Some(&spec.label) {
+                        out.items.push((
+                            Some(Value::Rel(pr.target)),
+                            Some(rel_snapshot(pre, pr.target)),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the seed rows for an activation: one row per item (`FOR EACH`) or
+/// a single row with list bindings (`FOR ALL`).
+pub fn seed_rows(spec: &TriggerSpec, affected: &Affected) -> Vec<Row> {
+    if affected.is_empty() {
+        return Vec::new();
+    }
+    match spec.granularity {
+        Granularity::Each => {
+            let new_name = spec.var_name(TransitionVar::New);
+            let old_name = spec.var_name(TransitionVar::Old);
+            affected
+                .items
+                .iter()
+                .map(|(new, old)| {
+                    let mut row = Row::new();
+                    if let Some(n) = new {
+                        row.set(new_name.clone(), n.clone());
+                    }
+                    if let Some(o) = old {
+                        row.set(old_name.clone(), o.clone());
+                    }
+                    row
+                })
+                .collect()
+        }
+        Granularity::All => {
+            let (new_var, old_var) = match spec.item {
+                ItemKind::Node => (TransitionVar::NewNodes, TransitionVar::OldNodes),
+                ItemKind::Relationship => (TransitionVar::NewRels, TransitionVar::OldRels),
+            };
+            let mut row = Row::new();
+            let news: Vec<Value> = affected
+                .items
+                .iter()
+                .filter_map(|(n, _)| n.clone())
+                .collect();
+            let olds: Vec<Value> = affected
+                .items
+                .iter()
+                .filter_map(|(_, o)| o.clone())
+                .collect();
+            if !news.is_empty() {
+                row.set(spec.var_name(new_var), Value::List(news));
+            }
+            if !olds.is_empty() {
+                row.set(spec.var_name(old_var), Value::List(olds));
+            }
+            vec![row]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::{parse_trigger_ddl, DdlStatement};
+    use pg_graph::{Graph, PreStateView, PropertyMap};
+
+    fn spec(src: &str) -> TriggerSpec {
+        match parse_trigger_ddl(src).unwrap() {
+            DdlStatement::CreateTrigger(s) => s,
+            _ => panic!(),
+        }
+    }
+
+    fn props(entries: &[(&str, Value)]) -> PropertyMap {
+        entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    /// Run `stmt` inside a tx and return (graph, delta, ops).
+    fn capture(
+        setup: impl FnOnce(&mut Graph) -> Vec<NodeId>,
+        stmt: impl FnOnce(&mut Graph, &[NodeId]),
+    ) -> (Graph, Delta, Vec<pg_graph::Op>) {
+        let mut g = Graph::new();
+        let ids = setup(&mut g);
+        g.begin().unwrap();
+        let mark = g.mark();
+        stmt(&mut g, &ids);
+        let delta = g.delta_since(mark);
+        let ops = g.ops_since(mark).to_vec();
+        (g, delta, ops)
+    }
+
+    #[test]
+    fn create_node_binds_new() {
+        let t = spec("CREATE TRIGGER t AFTER CREATE ON 'Mutation' FOR EACH NODE BEGIN CREATE (:X) END");
+        let (g, delta, ops) = capture(
+            |_| vec![],
+            |g, _| {
+                g.create_node(["Mutation"], PropertyMap::new()).unwrap();
+                g.create_node(["Other"], PropertyMap::new()).unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        let aff = affected_items(&t, &delta, &pre, &g);
+        assert_eq!(aff.len(), 1);
+        let rows = seed_rows(&t, &aff);
+        assert_eq!(rows.len(), 1);
+        assert!(matches!(rows[0].get("NEW"), Some(Value::Node(_))));
+        assert!(rows[0].get("OLD").is_none());
+    }
+
+    #[test]
+    fn delete_node_binds_old_map() {
+        let t = spec("CREATE TRIGGER t AFTER DELETE ON 'P' FOR EACH NODE BEGIN CREATE (:X) END");
+        let (g, delta, ops) = capture(
+            |g| vec![g.create_node(["P"], props(&[("name", Value::str("gone"))])).unwrap()],
+            |g, ids| g.detach_delete_node(ids[0]).unwrap(),
+        );
+        let pre = PreStateView::new(&g, &ops);
+        let aff = affected_items(&t, &delta, &pre, &g);
+        let rows = seed_rows(&t, &aff);
+        assert_eq!(rows.len(), 1);
+        match rows[0].get("OLD") {
+            Some(Value::Map(m)) => assert_eq!(m["name"], Value::str("gone")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(rows[0].get("NEW").is_none());
+    }
+
+    #[test]
+    fn property_set_binds_old_and_new() {
+        let t = spec(
+            "CREATE TRIGGER t AFTER SET ON 'Lineage'.'whoDesignation' FOR EACH NODE BEGIN CREATE (:X) END",
+        );
+        let (g, delta, ops) = capture(
+            |g| {
+                vec![g
+                    .create_node(["Lineage"], props(&[("whoDesignation", Value::str("Indian"))]))
+                    .unwrap()]
+            },
+            |g, ids| {
+                g.set_node_prop(ids[0], "whoDesignation", Value::str("Delta")).unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        let aff = affected_items(&t, &delta, &pre, &g);
+        let rows = seed_rows(&t, &aff);
+        assert_eq!(rows.len(), 1);
+        // OLD.whoDesignation = Indian (pre-state map); NEW = live node with Delta
+        match rows[0].get("OLD") {
+            Some(Value::Map(m)) => assert_eq!(m["whoDesignation"], Value::str("Indian")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match rows[0].get("NEW") {
+            Some(Value::Node(n)) => {
+                assert_eq!(g.node_prop(*n, "whoDesignation"), Some(Value::str("Delta")))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn property_event_filters_by_target_label() {
+        let t = spec("CREATE TRIGGER t AFTER SET ON 'Lineage'.'x' FOR EACH NODE BEGIN CREATE (:X) END");
+        let (g, delta, ops) = capture(
+            |g| {
+                vec![
+                    g.create_node(["Lineage"], props(&[("x", Value::Int(1))])).unwrap(),
+                    g.create_node(["Other"], props(&[("x", Value::Int(1))])).unwrap(),
+                ]
+            },
+            |g, ids| {
+                g.set_node_prop(ids[0], "x", Value::Int(2)).unwrap();
+                g.set_node_prop(ids[1], "x", Value::Int(2)).unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        let aff = affected_items(&t, &delta, &pre, &g);
+        assert_eq!(aff.len(), 1);
+    }
+
+    #[test]
+    fn label_set_event() {
+        let t = spec("CREATE TRIGGER t AFTER SET ON 'Flagged' FOR EACH NODE BEGIN CREATE (:X) END");
+        let (g, delta, ops) = capture(
+            |g| vec![g.create_node(["P"], PropertyMap::new()).unwrap()],
+            |g, ids| {
+                g.set_label(ids[0], "Flagged").unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        let aff = affected_items(&t, &delta, &pre, &g);
+        assert_eq!(aff.len(), 1);
+        let rows = seed_rows(&t, &aff);
+        assert!(matches!(rows[0].get("NEW"), Some(Value::Node(_))));
+        // OLD snapshot shows the pre-state without the label
+        match rows[0].get("OLD") {
+            Some(Value::Map(m)) => {
+                assert_eq!(m["__labels"], Value::list([Value::str("P")]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_granularity_builds_lists() {
+        let t = spec(
+            "CREATE TRIGGER t AFTER CREATE ON 'IcuPatient' FOR ALL NODES BEGIN CREATE (:X) END",
+        );
+        let (g, delta, ops) = capture(
+            |_| vec![],
+            |g, _| {
+                for _ in 0..3 {
+                    g.create_node(["IcuPatient"], PropertyMap::new()).unwrap();
+                }
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        let aff = affected_items(&t, &delta, &pre, &g);
+        let rows = seed_rows(&t, &aff);
+        assert_eq!(rows.len(), 1);
+        match rows[0].get("NEWNODES") {
+            Some(Value::List(items)) => assert_eq!(items.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn referencing_renames_bindings() {
+        let t = spec(
+            "CREATE TRIGGER t AFTER CREATE ON 'P'
+             REFERENCING NEWNODES AS admitted
+             FOR ALL NODES BEGIN CREATE (:X) END",
+        );
+        let (g, delta, ops) = capture(
+            |_| vec![],
+            |g, _| {
+                g.create_node(["P"], PropertyMap::new()).unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        let rows = seed_rows(&t, &affected_items(&t, &delta, &pre, &g));
+        assert!(rows[0].get("admitted").is_some());
+        assert!(rows[0].get("NEWNODES").is_none());
+    }
+
+    #[test]
+    fn rel_create_and_prop_events() {
+        let t_create = spec(
+            "CREATE TRIGGER t AFTER CREATE ON 'BelongsTo' FOR EACH RELATIONSHIP BEGIN CREATE (:X) END",
+        );
+        let t_set = spec(
+            "CREATE TRIGGER s AFTER SET ON 'BelongsTo'.'conf' FOR EACH RELATIONSHIP BEGIN CREATE (:X) END",
+        );
+        let (g, delta, ops) = capture(
+            |g| {
+                let a = g.create_node(["Sequence"], PropertyMap::new()).unwrap();
+                let b = g.create_node(["Lineage"], PropertyMap::new()).unwrap();
+                vec![a, b]
+            },
+            |g, ids| {
+                let r = g.create_rel(ids[0], ids[1], "BelongsTo", PropertyMap::new()).unwrap();
+                let _ = r;
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        assert_eq!(affected_items(&t_create, &delta, &pre, &g).len(), 1);
+        assert_eq!(affected_items(&t_set, &delta, &pre, &g).len(), 0);
+
+        // now a property set on the existing rel
+        let (g2, delta2, ops2) = capture(
+            |g| {
+                let a = g.create_node(["Sequence"], PropertyMap::new()).unwrap();
+                let b = g.create_node(["Lineage"], PropertyMap::new()).unwrap();
+                g.create_rel(a, b, "BelongsTo", PropertyMap::new()).unwrap();
+                vec![]
+            },
+            |g, _| {
+                let r = g.all_rel_ids()[0];
+                g.set_rel_prop(r, "conf", Value::Float(0.9)).unwrap();
+            },
+        );
+        let pre2 = PreStateView::new(&g2, &ops2);
+        assert_eq!(affected_items(&t_set, &delta2, &pre2, &g2).len(), 1);
+        assert_eq!(affected_items(&t_create, &delta2, &pre2, &g2).len(), 0);
+    }
+
+    #[test]
+    fn empty_affected_yields_no_rows() {
+        let t = spec("CREATE TRIGGER t AFTER CREATE ON 'Nope' FOR ALL NODES BEGIN CREATE (:X) END");
+        let aff = Affected::default();
+        assert!(seed_rows(&t, &aff).is_empty());
+    }
+}

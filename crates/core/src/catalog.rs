@@ -1,0 +1,175 @@
+//! The trigger catalog: installed triggers with a total activation order.
+
+use crate::error::InstallError;
+use crate::spec::{ActionTime, TriggerSpec};
+
+/// How triggers sharing an action time are ordered (paper §4.2: "the most
+/// sensible option … is to resort to the trigger creation time"; footnote 3
+/// mentions name order as PostgreSQL's alternative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderPolicy {
+    /// Total order by installation sequence (the paper's choice).
+    #[default]
+    CreationTime,
+    /// Alphabetical by trigger name (PostgreSQL-style; also what APOC's
+    /// `before` phase does, §5.1).
+    Name,
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub struct InstalledTrigger {
+    pub spec: TriggerSpec,
+    /// Installation sequence number (creation-time order).
+    pub seq: u64,
+    /// Paused triggers (APOC `stop`/`start` parity) don't activate.
+    pub enabled: bool,
+}
+
+/// The catalog of installed triggers.
+#[derive(Debug, Default)]
+pub struct TriggerCatalog {
+    triggers: Vec<InstalledTrigger>,
+    next_seq: u64,
+    pub order: OrderPolicy,
+}
+
+impl TriggerCatalog {
+    pub fn new() -> Self {
+        TriggerCatalog::default()
+    }
+
+    /// Install a trigger (name must be fresh). Returns its sequence number.
+    pub fn install(&mut self, spec: TriggerSpec) -> Result<u64, InstallError> {
+        if self.triggers.iter().any(|t| t.spec.name == spec.name) {
+            return Err(InstallError::DuplicateName(spec.name));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.triggers.push(InstalledTrigger { spec, seq, enabled: true });
+        Ok(seq)
+    }
+
+    /// Drop a trigger by name; `true` if it existed.
+    pub fn drop_trigger(&mut self, name: &str) -> bool {
+        let before = self.triggers.len();
+        self.triggers.retain(|t| t.spec.name != name);
+        self.triggers.len() != before
+    }
+
+    /// Drop all triggers (APOC `dropAll`).
+    pub fn drop_all(&mut self) {
+        self.triggers.clear();
+    }
+
+    /// Pause (`false`) or resume (`true`) a trigger; `true` if found.
+    pub fn set_enabled(&mut self, name: &str, enabled: bool) -> bool {
+        match self.triggers.iter_mut().find(|t| t.spec.name == name) {
+            Some(t) => {
+                t.enabled = enabled;
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&InstalledTrigger> {
+        self.triggers.iter().find(|t| t.spec.name == name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.triggers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// All triggers in catalog order (unsorted).
+    pub fn all(&self) -> impl Iterator<Item = &InstalledTrigger> {
+        self.triggers.iter()
+    }
+
+    /// Enabled triggers with the given action time, in activation order.
+    pub fn scheduled(&self, time: ActionTime) -> Vec<&InstalledTrigger> {
+        let mut out: Vec<&InstalledTrigger> = self
+            .triggers
+            .iter()
+            .filter(|t| t.enabled && t.spec.time == time)
+            .collect();
+        match self.order {
+            OrderPolicy::CreationTime => out.sort_by_key(|t| t.seq),
+            OrderPolicy::Name => out.sort_by(|a, b| a.spec.name.cmp(&b.spec.name)),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::{parse_trigger_ddl, DdlStatement};
+
+    fn spec(name: &str, time: &str) -> TriggerSpec {
+        let src = format!(
+            "CREATE TRIGGER {name} {time} CREATE ON 'L' FOR EACH NODE BEGIN CREATE (:X) END"
+        );
+        match parse_trigger_ddl(&src).unwrap() {
+            DdlStatement::CreateTrigger(s) => s,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn install_orders_by_creation() {
+        let mut c = TriggerCatalog::new();
+        c.install(spec("zeta", "AFTER")).unwrap();
+        c.install(spec("alpha", "AFTER")).unwrap();
+        let names: Vec<_> = c
+            .scheduled(ActionTime::After)
+            .iter()
+            .map(|t| t.spec.name.clone())
+            .collect();
+        assert_eq!(names, vec!["zeta", "alpha"]);
+    }
+
+    #[test]
+    fn name_order_policy() {
+        let mut c = TriggerCatalog::new();
+        c.order = OrderPolicy::Name;
+        c.install(spec("zeta", "AFTER")).unwrap();
+        c.install(spec("alpha", "AFTER")).unwrap();
+        let names: Vec<_> = c
+            .scheduled(ActionTime::After)
+            .iter()
+            .map(|t| t.spec.name.clone())
+            .collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = TriggerCatalog::new();
+        c.install(spec("t", "AFTER")).unwrap();
+        assert!(matches!(
+            c.install(spec("t", "AFTER")),
+            Err(InstallError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn drop_and_pause() {
+        let mut c = TriggerCatalog::new();
+        c.install(spec("a", "AFTER")).unwrap();
+        c.install(spec("b", "ONCOMMIT")).unwrap();
+        assert_eq!(c.scheduled(ActionTime::After).len(), 1);
+        assert_eq!(c.scheduled(ActionTime::OnCommit).len(), 1);
+        assert!(c.set_enabled("a", false));
+        assert!(c.scheduled(ActionTime::After).is_empty());
+        assert!(c.set_enabled("a", true));
+        assert!(c.drop_trigger("a"));
+        assert!(!c.drop_trigger("a"));
+        c.drop_all();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! The view `BEFORE` trigger conditions evaluate against.
+//!
+//! SQL3 `BEFORE` semantics adapted to graphs (paper §4.2): the condition
+//! observes the database as it was **before** the activating statement —
+//! scans (`MATCH` over labels, full scans, adjacency) see the pre-state —
+//! while the statement's NEW items expose their proposed (post-statement)
+//! record state through **direct reference**: that is what
+//! `NEW.icuBeds < 0` must read. This mirrors relational BEFORE triggers,
+//! where table scans do not see the incoming row but the `NEW` record
+//! variable does.
+
+use pg_graph::{Direction, Graph, GraphView, NodeId, PreStateView, RelId, Value};
+use std::collections::BTreeSet;
+
+/// Pre-statement state overlaid with the post-state of the NEW items.
+pub struct NewStateOverlay<'g> {
+    pre: PreStateView<'g>,
+    post: &'g Graph,
+    new_nodes: BTreeSet<NodeId>,
+    new_rels: BTreeSet<RelId>,
+}
+
+impl<'g> NewStateOverlay<'g> {
+    pub fn new(
+        pre: PreStateView<'g>,
+        post: &'g Graph,
+        new_items: impl IntoIterator<Item = pg_graph::ItemRef>,
+    ) -> Self {
+        let mut new_nodes = BTreeSet::new();
+        let mut new_rels = BTreeSet::new();
+        for item in new_items {
+            match item {
+                pg_graph::ItemRef::Node(n) => {
+                    new_nodes.insert(n);
+                }
+                pg_graph::ItemRef::Rel(r) => {
+                    new_rels.insert(r);
+                }
+            }
+        }
+        NewStateOverlay { pre, post, new_nodes, new_rels }
+    }
+}
+
+impl GraphView for NewStateOverlay<'_> {
+    fn node_exists(&self, id: NodeId) -> bool {
+        if self.new_nodes.contains(&id) {
+            self.post.node_exists(id)
+        } else {
+            self.pre.node_exists(id)
+        }
+    }
+
+    fn rel_exists(&self, id: RelId) -> bool {
+        if self.new_rels.contains(&id) {
+            self.post.rel_exists(id)
+        } else {
+            self.pre.rel_exists(id)
+        }
+    }
+
+    fn node_labels(&self, id: NodeId) -> Vec<String> {
+        if self.new_nodes.contains(&id) {
+            self.post.node_labels(id)
+        } else {
+            self.pre.node_labels(id)
+        }
+    }
+
+    fn node_has_label(&self, id: NodeId, label: &str) -> bool {
+        if self.new_nodes.contains(&id) {
+            self.post.node_has_label(id, label)
+        } else {
+            self.pre.node_has_label(id, label)
+        }
+    }
+
+    fn node_prop(&self, id: NodeId, key: &str) -> Option<Value> {
+        if self.new_nodes.contains(&id) {
+            self.post.node_prop(id, key)
+        } else {
+            self.pre.node_prop(id, key)
+        }
+    }
+
+    fn node_prop_keys(&self, id: NodeId) -> Vec<String> {
+        if self.new_nodes.contains(&id) {
+            self.post.node_prop_keys(id)
+        } else {
+            self.pre.node_prop_keys(id)
+        }
+    }
+
+    fn rel_type(&self, id: RelId) -> Option<String> {
+        if self.new_rels.contains(&id) {
+            self.post.rel_type(id)
+        } else {
+            self.pre.rel_type(id)
+        }
+    }
+
+    fn rel_prop(&self, id: RelId, key: &str) -> Option<Value> {
+        if self.new_rels.contains(&id) {
+            self.post.rel_prop(id, key)
+        } else {
+            self.pre.rel_prop(id, key)
+        }
+    }
+
+    fn rel_prop_keys(&self, id: RelId) -> Vec<String> {
+        if self.new_rels.contains(&id) {
+            self.post.rel_prop_keys(id)
+        } else {
+            self.pre.rel_prop_keys(id)
+        }
+    }
+
+    fn rel_endpoints(&self, id: RelId) -> Option<(NodeId, NodeId)> {
+        if self.new_rels.contains(&id) {
+            self.post.rel_endpoints(id)
+        } else {
+            self.pre.rel_endpoints(id)
+        }
+    }
+
+    // Scans observe the pre-statement state only (SQL-style: a BEFORE
+    // INSERT trigger's table scans do not see the incoming row).
+
+    fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        self.pre.nodes_with_label(label)
+    }
+
+    fn all_node_ids(&self) -> Vec<NodeId> {
+        self.pre.all_node_ids()
+    }
+
+    fn all_rel_ids(&self) -> Vec<RelId> {
+        self.pre.all_rel_ids()
+    }
+
+    fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
+        self.pre.rels_of(node, dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_graph::{ItemRef, PropertyMap};
+
+    #[test]
+    fn overlay_shows_new_items_post_state_rest_pre_state() {
+        let mut g = Graph::new();
+        let old = g
+            .create_node(["P"], [("v".to_string(), Value::Int(1))].into_iter().collect::<PropertyMap>())
+            .unwrap();
+        g.begin().unwrap();
+        let mark = g.mark();
+        // statement: modify old node AND create a fresh node
+        g.set_node_prop(old, "v", Value::Int(2)).unwrap();
+        let fresh = g.create_node(["P"], PropertyMap::new()).unwrap();
+        let ops = g.ops_since(mark).to_vec();
+
+        // Only `fresh` is a NEW item here (e.g. a CREATE trigger on P).
+        let pre = PreStateView::new(&g, &ops);
+        let view = NewStateOverlay::new(pre, &g, [ItemRef::Node(fresh)]);
+        // fresh visible through direct reference (post-state)
+        assert!(view.node_exists(fresh));
+        assert!(view.node_has_label(fresh, "P"));
+        // old node reads pre-state value
+        assert_eq!(view.node_prop(old, "v"), Some(Value::Int(1)));
+        // scans see only the pre-state
+        assert_eq!(view.nodes_with_label("P"), vec![old]);
+        assert_eq!(view.all_node_ids(), vec![old]);
+    }
+
+    #[test]
+    fn overlay_exposes_new_rel_adjacency() {
+        let mut g = Graph::new();
+        let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let b = g.create_node(["B"], PropertyMap::new()).unwrap();
+        g.begin().unwrap();
+        let mark = g.mark();
+        let r = g.create_rel(a, b, "R", PropertyMap::new()).unwrap();
+        let ops = g.ops_since(mark).to_vec();
+        let pre = PreStateView::new(&g, &ops);
+        let view = NewStateOverlay::new(pre, &g, [ItemRef::Rel(r)]);
+        // direct reference sees the proposed relationship…
+        assert_eq!(view.rel_type(r), Some("R".to_string()));
+        assert_eq!(view.rel_endpoints(r), Some((a, b)));
+        // …but scans and adjacency see the pre-state
+        assert!(view.rels_of(a, Direction::Out).is_empty());
+        assert!(view.all_rel_ids().is_empty());
+    }
+}

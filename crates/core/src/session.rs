@@ -1,0 +1,679 @@
+//! The active-graph session: statement execution with full PG-Trigger
+//! semantics (paper §4.2).
+//!
+//! Execution model:
+//!
+//! 1. Each top-level query is a **statement**; its net effect is a delta.
+//! 2. `BEFORE` triggers run first: conditions are evaluated against the
+//!    **pre-statement state** (a [`PreStateView`]), transition variables
+//!    come from the delta, and statements run under a write policy that
+//!    only allows conditioning the NEW items (property assignments) or
+//!    aborting.
+//! 3. `AFTER` triggers run next, in activation order (creation time by
+//!    default). Each fired statement produces its own delta which
+//!    recursively activates `BEFORE`/`AFTER` triggers — the SQL3 execution-
+//!    context stack — bounded by a configurable cascade depth.
+//! 4. At commit, `ONCOMMIT` triggers run on the cumulative transaction
+//!    delta; their side effects join the transaction and may re-activate
+//!    `ONCOMMIT` triggers in subsequent rounds (bounded fixpoint). Any
+//!    failure rolls back the whole transaction.
+//! 5. After a successful commit, `DETACHED` triggers run, each in its own
+//!    autonomous transaction; failures are recorded but do not affect the
+//!    committed transaction.
+
+use crate::binding::{affected_items, seed_rows, Affected};
+use crate::catalog::{OrderPolicy, TriggerCatalog};
+use crate::ddl::{is_trigger_ddl, parse_trigger_ddl, DdlStatement};
+use crate::error::{InstallError, TriggerError};
+use crate::spec::{ActionTime, TriggerSpec};
+use pg_cypher::{parse_query, run_ast, run_read_only, Params, Query, QueryOutput, Row};
+use pg_graph::{Graph, PreStateView, StatementMark, WritePolicy};
+use std::collections::VecDeque;
+
+use crate::schema_guard::SchemaGuard;
+
+/// Engine tunables.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum trigger cascade depth (SQL3-style context stack bound).
+    pub max_cascade_depth: usize,
+    /// Maximum ONCOMMIT fixpoint rounds before declaring divergence.
+    pub max_commit_rounds: usize,
+    /// Maximum chained DETACHED activations per commit.
+    pub max_detached_chain: usize,
+    /// When `false`, trigger statements do not re-activate triggers —
+    /// emulates the APOC/Memgraph limitation the paper reports in §5.1
+    /// ("APOC triggers do not cascade correctly").
+    pub cascading_enabled: bool,
+    /// Activation order for triggers sharing an action time.
+    pub order: OrderPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_cascade_depth: 32,
+            max_commit_rounds: 16,
+            max_detached_chain: 256,
+            cascading_enabled: true,
+            order: OrderPolicy::CreationTime,
+        }
+    }
+}
+
+/// Cumulative execution statistics (instrumentation for the benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Trigger statements executed (condition held).
+    pub fired: u64,
+    /// Trigger activations whose condition did not hold.
+    pub suppressed: u64,
+    /// Deepest cascade observed.
+    pub max_depth_seen: usize,
+    /// DETACHED autonomous transactions executed.
+    pub detached_runs: u64,
+    /// ONCOMMIT rounds executed.
+    pub commit_rounds: u64,
+}
+
+/// Result of [`Session::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    Query(QueryOutput),
+    TriggerCreated(String),
+    TriggerDropped(String),
+}
+
+/// An active-graph session: graph + trigger catalog + engine.
+pub struct Session {
+    graph: Graph,
+    catalog: TriggerCatalog,
+    config: EngineConfig,
+    now_ms: i64,
+    /// Mark at the start of the current explicit transaction.
+    tx_mark: Option<StatementMark>,
+    detached_errors: Vec<(String, TriggerError)>,
+    stats: EngineStats,
+    /// Optional PG-Schema guard validated at every commit (an implicit
+    /// highest-priority ONCOMMIT integrity check).
+    schema: Option<SchemaGuard>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    pub fn new() -> Self {
+        Session::with_config(EngineConfig::default())
+    }
+
+    pub fn with_config(config: EngineConfig) -> Self {
+        let mut catalog = TriggerCatalog::new();
+        catalog.order = config.order;
+        Session {
+            graph: Graph::new(),
+            catalog,
+            config,
+            now_ms: 0,
+            tx_mark: None,
+            detached_errors: Vec::new(),
+            stats: EngineStats::default(),
+            schema: None,
+        }
+    }
+
+    /// Attach a PG-Schema graph type; every subsequent commit validates the
+    /// transaction's net effect and rolls back on violation (see
+    /// [`crate::schema_guard`]).
+    pub fn set_schema(&mut self, graph_type: pg_schema::GraphType) {
+        self.schema = Some(SchemaGuard::new(graph_type));
+    }
+
+    /// Detach the schema guard, returning it.
+    pub fn clear_schema(&mut self) -> Option<pg_schema::GraphType> {
+        self.schema.take().map(|g| g.graph_type)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Direct mutable access to the graph. **Bypasses triggers** — intended
+    /// for bulk loading and test setup only.
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    pub fn catalog(&self) -> &TriggerCatalog {
+        &self.catalog
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Failures of DETACHED triggers from the most recent commit (they do
+    /// not fail the transaction, per §4.2).
+    pub fn detached_errors(&self) -> &[(String, TriggerError)] {
+        &self.detached_errors
+    }
+
+    /// The session's logical clock (milliseconds); advances by one second
+    /// per statement so `DATETIME()` is deterministic and monotonic.
+    pub fn now_ms(&self) -> i64 {
+        self.now_ms
+    }
+
+    pub fn set_now_ms(&mut self, now_ms: i64) {
+        self.now_ms = now_ms;
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Install a trigger from DDL text; returns its name.
+    pub fn install(&mut self, ddl: &str) -> Result<String, InstallError> {
+        match parse_trigger_ddl(ddl)? {
+            DdlStatement::CreateTrigger(spec) => self.install_spec(spec),
+            DdlStatement::DropTrigger(_) => {
+                Err(InstallError::Syntax("expected CREATE TRIGGER, got DROP".into()))
+            }
+        }
+    }
+
+    /// Install a pre-built spec (validated).
+    pub fn install_spec(&mut self, spec: TriggerSpec) -> Result<String, InstallError> {
+        crate::ddl::validate_spec(&spec)?;
+        let name = spec.name.clone();
+        self.catalog.install(spec)?;
+        Ok(name)
+    }
+
+    pub fn drop_trigger(&mut self, name: &str) -> Result<(), TriggerError> {
+        if self.catalog.drop_trigger(name) {
+            Ok(())
+        } else {
+            Err(TriggerError::UnknownTrigger(name.to_string()))
+        }
+    }
+
+    /// Pause/resume a trigger (APOC `stop`/`start` parity).
+    pub fn set_trigger_enabled(&mut self, name: &str, enabled: bool) -> Result<(), TriggerError> {
+        if self.catalog.set_enabled(name, enabled) {
+            Ok(())
+        } else {
+            Err(TriggerError::UnknownTrigger(name.to_string()))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    /// Execute DDL or a query, dispatching on the text.
+    pub fn execute(&mut self, src: &str) -> Result<ExecResult, TriggerError> {
+        if is_trigger_ddl(src) {
+            match parse_trigger_ddl(src).map_err(TriggerError::Install)? {
+                DdlStatement::CreateTrigger(spec) => {
+                    let name = self.install_spec(spec).map_err(TriggerError::Install)?;
+                    Ok(ExecResult::TriggerCreated(name))
+                }
+                DdlStatement::DropTrigger(name) => {
+                    self.drop_trigger(&name)?;
+                    Ok(ExecResult::TriggerDropped(name))
+                }
+            }
+        } else {
+            self.run(src).map(ExecResult::Query)
+        }
+    }
+
+    /// Run one query as a statement (auto-commit unless inside an explicit
+    /// transaction), with full trigger processing.
+    pub fn run(&mut self, src: &str) -> Result<QueryOutput, TriggerError> {
+        self.run_with_params(src, &Params::new())
+    }
+
+    pub fn run_with_params(&mut self, src: &str, params: &Params) -> Result<QueryOutput, TriggerError> {
+        let query = parse_query(src)?;
+        self.run_query_ast(&query, Vec::new(), params)
+    }
+
+    /// Run a pre-parsed query with seed rows.
+    pub fn run_query_ast(
+        &mut self,
+        query: &Query,
+        seeds: Vec<Row>,
+        params: &Params,
+    ) -> Result<QueryOutput, TriggerError> {
+        self.now_ms += 1000;
+        if self.tx_mark.is_some() {
+            // Statement inside an explicit transaction: statement-level
+            // rollback on error, transaction survives.
+            let stmt_mark = self.graph.mark();
+            match self.exec_statement(query, seeds, params, 0) {
+                Ok(out) => Ok(out),
+                Err(e) => {
+                    self.graph.rollback_to(stmt_mark)?;
+                    Err(e)
+                }
+            }
+        } else {
+            // Auto-commit statement.
+            self.graph.begin()?;
+            self.tx_mark = Some(self.graph.mark());
+            let result = self.exec_statement(query, seeds, params, 0);
+            match result {
+                Ok(out) => match self.commit() {
+                    Ok(()) => Ok(out),
+                    Err(e) => Err(e),
+                },
+                Err(e) => {
+                    self.tx_mark = None;
+                    self.graph.rollback()?;
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Begin an explicit transaction.
+    pub fn begin(&mut self) -> Result<(), TriggerError> {
+        if self.tx_mark.is_some() {
+            return Err(TriggerError::Session("transaction already active"));
+        }
+        self.graph.begin()?;
+        self.tx_mark = Some(self.graph.mark());
+        Ok(())
+    }
+
+    /// Roll back the explicit transaction.
+    pub fn rollback(&mut self) -> Result<(), TriggerError> {
+        if self.tx_mark.take().is_none() {
+            return Err(TriggerError::Session("no active transaction"));
+        }
+        self.graph.rollback()?;
+        Ok(())
+    }
+
+    /// Commit: run the ONCOMMIT fixpoint, commit the store transaction,
+    /// then run DETACHED triggers in autonomous transactions.
+    pub fn commit(&mut self) -> Result<(), TriggerError> {
+        let tx_mark = self
+            .tx_mark
+            .ok_or(TriggerError::Session("no active transaction"))?;
+        match self.commit_inner(tx_mark) {
+            Ok(detached) => {
+                self.tx_mark = None;
+                self.run_detached_queue(detached);
+                Ok(())
+            }
+            Err(e) => {
+                // ONCOMMIT failure rolls back the entire transaction (§4.2).
+                self.tx_mark = None;
+                let _ = self.graph.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// ONCOMMIT fixpoint + detached activation capture + store commit.
+    fn commit_inner(
+        &mut self,
+        tx_mark: StatementMark,
+    ) -> Result<VecDeque<(TriggerSpec, Vec<Row>)>, TriggerError> {
+        let oncommit: Vec<TriggerSpec> = self
+            .catalog
+            .scheduled(ActionTime::OnCommit)
+            .iter()
+            .map(|t| t.spec.clone())
+            .collect();
+
+        let mut round_mark = tx_mark;
+        let mut rounds = 0usize;
+        loop {
+            let ops = self.graph.ops_since(round_mark).to_vec();
+            if ops.is_empty() {
+                break;
+            }
+            let delta = self.graph.delta_since(round_mark);
+            if delta.is_empty() || oncommit.is_empty() {
+                break;
+            }
+            // Activations for this round are bound against the round delta.
+            let mut activations: Vec<(TriggerSpec, Vec<Row>, Affected)> = Vec::new();
+            {
+                let pre = PreStateView::new(&self.graph, &ops);
+                for spec in &oncommit {
+                    let affected = affected_items(spec, &delta, &pre, &self.graph);
+                    if !affected.is_empty() {
+                        let seeds = seed_rows(spec, &affected);
+                        activations.push((spec.clone(), seeds, affected));
+                    }
+                }
+            }
+            if activations.is_empty() {
+                break;
+            }
+            rounds += 1;
+            self.stats.commit_rounds += 1;
+            if rounds > self.config.max_commit_rounds {
+                return Err(TriggerError::CommitFixpointDiverged { rounds });
+            }
+            let next_mark = self.graph.mark();
+            let mut fired_any = false;
+            for (spec, seeds, _aff) in activations {
+                for unit in activation_units(&spec, seeds) {
+                    let surviving = self.eval_condition_current(&spec, unit)?;
+                    if surviving.is_empty() {
+                        self.stats.suppressed += 1;
+                        continue;
+                    }
+                    let stmt_mark = self.graph.mark();
+                    run_ast(&mut self.graph, &spec.statement, surviving, &Params::new(), self.now_ms)?;
+                    self.stats.fired += 1;
+                    if self.config.cascading_enabled {
+                        self.fire_statement_triggers(stmt_mark, 1)?;
+                    }
+                    fired_any = true;
+                }
+            }
+            if !fired_any {
+                break;
+            }
+            round_mark = next_mark;
+        }
+
+        // Capture DETACHED activations against the full transaction delta
+        // before the op log disappears with the commit.
+        let detached: Vec<TriggerSpec> = self
+            .catalog
+            .scheduled(ActionTime::Detached)
+            .iter()
+            .map(|t| t.spec.clone())
+            .collect();
+        let mut queue = VecDeque::new();
+        if !detached.is_empty() {
+            let tx_ops = self.graph.ops_since(tx_mark).to_vec();
+            let tx_delta = self.graph.delta_since(tx_mark);
+            let pre = PreStateView::new(&self.graph, &tx_ops);
+            for spec in detached {
+                let affected = affected_items(&spec, &tx_delta, &pre, &self.graph);
+                if !affected.is_empty() {
+                    for unit in activation_units(&spec, seed_rows(&spec, &affected)) {
+                        queue.push_back((spec.clone(), unit));
+                    }
+                }
+            }
+        }
+
+        // Schema guard: the transaction's net effect must conform (§2
+        // PG-Schema + triggers-as-constraints). Violations roll back.
+        if let Some(guard) = &self.schema {
+            let tx_delta = self.graph.delta_since(tx_mark);
+            guard
+                .check(&self.graph, &tx_delta)
+                .map_err(TriggerError::Schema)?;
+        }
+
+        self.graph.commit()?;
+        Ok(queue)
+    }
+
+    /// Run queued DETACHED activations, each in an autonomous transaction.
+    /// Their own deltas may enqueue further DETACHED activations (bounded).
+    fn run_detached_queue(&mut self, mut queue: VecDeque<(TriggerSpec, Vec<Row>)>) {
+        if queue.is_empty() {
+            return;
+        }
+        self.detached_errors.clear();
+        let mut executed = 0usize;
+        while let Some((spec, seeds)) = queue.pop_front() {
+            if executed >= self.config.max_detached_chain {
+                self.detached_errors.push((
+                    spec.name.clone(),
+                    TriggerError::RecursionLimit {
+                        depth: self.config.max_detached_chain,
+                        trigger: spec.name.clone(),
+                    },
+                ));
+                break;
+            }
+            executed += 1;
+            self.stats.detached_runs += 1;
+            let result = self.run_one_detached(&spec, seeds, &mut queue);
+            if let Err(e) = result {
+                self.detached_errors.push((spec.name.clone(), e));
+            }
+        }
+    }
+
+    fn run_one_detached(
+        &mut self,
+        spec: &TriggerSpec,
+        seeds: Vec<Row>,
+        queue: &mut VecDeque<(TriggerSpec, Vec<Row>)>,
+    ) -> Result<(), TriggerError> {
+        // Condition is considered at action time, i.e. post-commit (§4.2).
+        // (Each queue entry is already one activation unit.)
+        let surviving = self.eval_condition_current(spec, seeds)?;
+        if surviving.is_empty() {
+            self.stats.suppressed += 1;
+            return Ok(());
+        }
+        self.graph.begin()?;
+        let tx_mark = self.graph.mark();
+        let body = (|| -> Result<(), TriggerError> {
+            let stmt_mark = self.graph.mark();
+            run_ast(&mut self.graph, &spec.statement, surviving, &Params::new(), self.now_ms)?;
+            self.stats.fired += 1;
+            if self.config.cascading_enabled {
+                self.fire_statement_triggers(stmt_mark, 1)?;
+            }
+            Ok(())
+        })();
+        match body {
+            Ok(()) => {
+                // ONCOMMIT + nested DETACHED of the autonomous transaction.
+                let saved_tx = self.tx_mark.take();
+                self.tx_mark = Some(tx_mark);
+                let res = self.commit_inner(tx_mark);
+                self.tx_mark = saved_tx;
+                match res {
+                    Ok(nested) => {
+                        queue.extend(nested);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        let _ = self.graph.rollback();
+                        Err(e)
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = self.graph.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Execute a statement and process its BEFORE/AFTER triggers.
+    fn exec_statement(
+        &mut self,
+        query: &Query,
+        seeds: Vec<Row>,
+        params: &Params,
+        depth: usize,
+    ) -> Result<QueryOutput, TriggerError> {
+        let mark = self.graph.mark();
+        let out = run_ast(&mut self.graph, query, seeds, params, self.now_ms)?;
+        self.fire_statement_triggers(mark, depth)?;
+        Ok(out)
+    }
+
+    /// BEFORE + AFTER processing for the ops recorded since `mark`.
+    fn fire_statement_triggers(&mut self, mark: StatementMark, depth: usize) -> Result<(), TriggerError> {
+        if depth > self.stats.max_depth_seen {
+            self.stats.max_depth_seen = depth;
+        }
+        let ops = self.graph.ops_since(mark).to_vec();
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let delta = self.graph.delta_since(mark);
+        if delta.is_empty() {
+            return Ok(());
+        }
+
+        // ---- BEFORE triggers -------------------------------------------
+        let before: Vec<TriggerSpec> = self
+            .catalog
+            .scheduled(ActionTime::Before)
+            .iter()
+            .map(|t| t.spec.clone())
+            .collect();
+        for spec in before {
+            let (units, allowed) = {
+                let pre = PreStateView::new(&self.graph, &ops);
+                let affected = affected_items(&spec, &delta, &pre, &self.graph);
+                if affected.is_empty() {
+                    continue;
+                }
+                let seeds = seed_rows(&spec, &affected);
+                let allowed = affected.new_refs();
+                // BEFORE conditions see the pre-statement state overlaid
+                // with the proposed state of the NEW items (§4.2).
+                let view = crate::overlay::NewStateOverlay::new(
+                    pre,
+                    &self.graph,
+                    allowed.iter().copied(),
+                );
+                let mut units = Vec::new();
+                for unit in activation_units(&spec, seeds) {
+                    units.push(eval_condition(&view, &spec, unit, self.now_ms)?);
+                }
+                (units, allowed)
+            };
+            for surviving in units {
+                if surviving.is_empty() {
+                    self.stats.suppressed += 1;
+                    continue;
+                }
+                // BEFORE statements may only condition the NEW items (§4.2).
+                let prev = self.graph.set_write_policy(WritePolicy::ConditionNewOnly(
+                    allowed.iter().copied().collect(),
+                ));
+                let res =
+                    run_ast(&mut self.graph, &spec.statement, surviving, &Params::new(), self.now_ms);
+                self.graph.set_write_policy(prev);
+                res?;
+                self.stats.fired += 1;
+            }
+        }
+
+        // BEFORE triggers may have conditioned NEW properties; recompute the
+        // statement delta so AFTER triggers observe the final values.
+        let ops = self.graph.ops_since(mark).to_vec();
+        let delta = self.graph.delta_since(mark);
+
+        // ---- AFTER triggers (cascading) --------------------------------
+        let after: Vec<TriggerSpec> = self
+            .catalog
+            .scheduled(ActionTime::After)
+            .iter()
+            .map(|t| t.spec.clone())
+            .collect();
+        for spec in after {
+            let units = {
+                let pre = PreStateView::new(&self.graph, &ops);
+                let affected = affected_items(&spec, &delta, &pre, &self.graph);
+                if affected.is_empty() {
+                    continue;
+                }
+                activation_units(&spec, seed_rows(&spec, &affected))
+            };
+            // FOR EACH: one statement execution per affected item (SQL3
+            // row-trigger semantics); FOR ALL: one per statement.
+            for unit in units {
+                let surviving = self.eval_condition_current(&spec, unit)?;
+                if surviving.is_empty() {
+                    self.stats.suppressed += 1;
+                    continue;
+                }
+                if depth >= self.config.max_cascade_depth {
+                    return Err(TriggerError::RecursionLimit { depth, trigger: spec.name.clone() });
+                }
+                let stmt_mark = self.graph.mark();
+                run_ast(&mut self.graph, &spec.statement, surviving, &Params::new(), self.now_ms)?;
+                self.stats.fired += 1;
+                if self.config.cascading_enabled {
+                    self.fire_statement_triggers(stmt_mark, depth + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a condition against the current graph state (AFTER,
+    /// ONCOMMIT, DETACHED). Returns the surviving binding rows.
+    fn eval_condition_current(
+        &self,
+        spec: &TriggerSpec,
+        seeds: Vec<Row>,
+    ) -> Result<Vec<Row>, TriggerError> {
+        eval_condition(&self.graph, spec, seeds, self.now_ms)
+    }
+}
+
+/// Evaluate a trigger condition **per seed row** against `view`. The
+/// surviving rows are the condition's output bindings merged with the seed's
+/// transition variables (a condition projecting `WITH count(p) AS n` must
+/// not lose `NEW`/`NEWNODES` for the statement — §4.2: the statement refers
+/// to the transition variables and any bindings established by the
+/// condition, as in the paper's `NewCriticalLineage` and
+/// `MoveToNearHospital` examples).
+/// Split seed rows into activation units: `FOR EACH` executes the
+/// condition and statement once per affected item; `FOR ALL` once per
+/// statement (paper §4.2 "Granularity").
+fn activation_units(spec: &TriggerSpec, seeds: Vec<Row>) -> Vec<Vec<Row>> {
+    match spec.granularity {
+        crate::spec::Granularity::Each => seeds.into_iter().map(|s| vec![s]).collect(),
+        crate::spec::Granularity::All => vec![seeds],
+    }
+}
+
+fn eval_condition(
+    view: &dyn pg_graph::GraphView,
+    spec: &TriggerSpec,
+    seeds: Vec<Row>,
+    now_ms: i64,
+) -> Result<Vec<Row>, TriggerError> {
+    let Some(cond) = &spec.condition else {
+        return Ok(seeds);
+    };
+    let mut out = Vec::new();
+    for seed in seeds {
+        let rows = run_read_only(view, cond, vec![seed.clone()], &Params::new(), now_ms)?.bindings;
+        for mut row in rows {
+            for (k, v) in seed.iter() {
+                if !row.contains(k) {
+                    row.set(k.clone(), v.clone());
+                }
+            }
+            out.push(row);
+        }
+    }
+    Ok(out)
+}

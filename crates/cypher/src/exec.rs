@@ -1,0 +1,793 @@
+//! Clause-pipeline execution, including updating clauses and projections.
+
+use crate::ast::*;
+use crate::error::{CypherError, Result};
+use crate::expr::{eval, EvalCtx};
+use crate::functions::{is_aggregate, Accumulator};
+use crate::pattern::{match_patterns, pattern_vars};
+use crate::row::{Params, QueryOutput, Row};
+use pg_graph::{Direction, Graph, GraphView, PropertyMap, Value};
+
+/// The execution target: a mutable graph (full query power) or a read-only
+/// view (conditions, pre-state evaluation). Updating clauses against a
+/// read-only target fail with [`CypherError::ReadOnly`].
+pub enum Target<'a> {
+    Write(&'a mut Graph),
+    Read(&'a dyn GraphView),
+}
+
+/// Executes a parsed query over a target.
+pub struct Executor<'a> {
+    target: Target<'a>,
+    params: &'a Params,
+    now_ms: i64,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(target: Target<'a>, params: &'a Params, now_ms: i64) -> Self {
+        Executor { target, params, now_ms }
+    }
+
+    fn view(&self) -> &dyn GraphView {
+        match &self.target {
+            Target::Write(g) => *g as &dyn GraphView,
+            Target::Read(v) => *v,
+        }
+    }
+
+    fn graph_mut(&mut self, what: &'static str) -> Result<&mut Graph> {
+        match &mut self.target {
+            Target::Write(g) => Ok(g),
+            Target::Read(_) => Err(CypherError::ReadOnly(what)),
+        }
+    }
+
+    /// Run the query from the given seed rows (an empty seed list means one
+    /// empty row, i.e. a fresh pipeline).
+    pub fn run(&mut self, query: &Query, seeds: Vec<Row>) -> Result<QueryOutput> {
+        let mut rows = if seeds.is_empty() { vec![Row::new()] } else { seeds };
+        let mut output: Option<(Vec<String>, Vec<Row>)> = None;
+        rows = self.run_clauses(&query.clauses, rows, &mut output)?;
+        let mut qo = QueryOutput {
+            bindings: rows,
+            ..QueryOutput::default()
+        };
+        if let Some((columns, out_rows)) = output {
+            qo.rows = out_rows
+                .iter()
+                .map(|r| {
+                    columns
+                        .iter()
+                        .map(|c| r.get(c).cloned().unwrap_or(Value::Null))
+                        .collect()
+                })
+                .collect();
+            qo.columns = columns;
+        }
+        Ok(qo)
+    }
+
+    fn run_clauses(
+        &mut self,
+        clauses: &[Clause],
+        mut rows: Vec<Row>,
+        output: &mut Option<(Vec<String>, Vec<Row>)>,
+    ) -> Result<Vec<Row>> {
+        for clause in clauses {
+            rows = self.exec_clause(clause, rows, output)?;
+        }
+        Ok(rows)
+    }
+
+    fn exec_clause(
+        &mut self,
+        clause: &Clause,
+        rows: Vec<Row>,
+        output: &mut Option<(Vec<String>, Vec<Row>)>,
+    ) -> Result<Vec<Row>> {
+        match clause {
+            Clause::Match { optional, patterns, where_clause } => {
+                let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                let mut out = Vec::new();
+                for row in &rows {
+                    let matches = match_patterns(&ctx, row, patterns, where_clause.as_ref(), None)?;
+                    if matches.is_empty() && *optional {
+                        let mut r2 = row.clone();
+                        for v in pattern_vars(patterns) {
+                            if !r2.contains(&v) {
+                                r2.set(v, Value::Null);
+                            }
+                        }
+                        out.push(r2);
+                    } else {
+                        out.extend(matches);
+                    }
+                }
+                Ok(out)
+            }
+            Clause::Where(pred) => {
+                let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                let mut out = Vec::new();
+                for row in rows {
+                    if eval(&ctx, &row, pred)?.is_truthy() {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Clause::Unwind { expr, alias } => {
+                let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                let mut out = Vec::new();
+                for row in &rows {
+                    match eval(&ctx, row, expr)? {
+                        Value::Null => {}
+                        Value::List(items) => {
+                            for item in items {
+                                let mut r2 = row.clone();
+                                r2.set(alias.clone(), item);
+                                out.push(r2);
+                            }
+                        }
+                        single => {
+                            let mut r2 = row.clone();
+                            r2.set(alias.clone(), single);
+                            out.push(r2);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Clause::With(proj) => {
+                let (_cols, out) = self.project(proj, rows, true)?;
+                Ok(out)
+            }
+            Clause::Return(proj) => {
+                let (cols, out) = self.project(proj, rows, false)?;
+                *output = Some((cols, out.clone()));
+                Ok(out)
+            }
+            Clause::Create { patterns } => {
+                let mut out = Vec::new();
+                for mut row in rows {
+                    for p in patterns {
+                        self.create_path(&mut row, p)?;
+                    }
+                    out.push(row);
+                }
+                Ok(out)
+            }
+            Clause::Merge { pattern, on_create, on_match } => {
+                let mut out = Vec::new();
+                for row in rows {
+                    let matches = {
+                        let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                        match_patterns(&ctx, &row, std::slice::from_ref(pattern), None, None)?
+                    };
+                    if matches.is_empty() {
+                        let mut r2 = row.clone();
+                        self.create_path(&mut r2, pattern)?;
+                        self.apply_set_items(on_create, std::slice::from_mut(&mut r2))?;
+                        out.push(r2);
+                    } else {
+                        let mut matched = matches;
+                        self.apply_set_items(on_match, &mut matched)?;
+                        out.extend(matched);
+                    }
+                }
+                Ok(out)
+            }
+            Clause::Set { items } => {
+                let mut rows = rows;
+                self.apply_set_items(items, &mut rows)?;
+                Ok(rows)
+            }
+            Clause::Remove { items } => {
+                for row in &rows {
+                    for item in items {
+                        match item {
+                            RemoveItem::Prop { target, key } => {
+                                let tv = {
+                                    let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                                    eval(&ctx, row, target)?
+                                };
+                                match tv {
+                                    Value::Node(n) => {
+                                        self.graph_mut("REMOVE")?.remove_node_prop(n, key)?;
+                                    }
+                                    Value::Rel(r) => {
+                                        self.graph_mut("REMOVE")?.remove_rel_prop(r, key)?;
+                                    }
+                                    Value::Null => {}
+                                    other => {
+                                        return Err(CypherError::type_err(format!(
+                                            "REMOVE on {}",
+                                            other.type_name()
+                                        )))
+                                    }
+                                }
+                            }
+                            RemoveItem::Labels { var, labels } => {
+                                let tv = row
+                                    .get(var)
+                                    .cloned()
+                                    .ok_or_else(|| CypherError::UnboundVariable(var.clone()))?;
+                                match tv {
+                                    Value::Node(n) => {
+                                        let g = self.graph_mut("REMOVE")?;
+                                        for l in labels {
+                                            g.remove_label(n, l)?;
+                                        }
+                                    }
+                                    Value::Null => {}
+                                    other => {
+                                        return Err(CypherError::type_err(format!(
+                                            "REMOVE label on {}",
+                                            other.type_name()
+                                        )))
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(rows)
+            }
+            Clause::Delete { detach, exprs } => {
+                // Collect targets first (eval needs the read view), then
+                // mutate; tolerate items already deleted by an earlier row.
+                let mut nodes = Vec::new();
+                let mut rels = Vec::new();
+                {
+                    let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                    for row in &rows {
+                        for e in exprs {
+                            collect_delete_targets(
+                                eval(&ctx, row, e)?,
+                                &mut nodes,
+                                &mut rels,
+                            )?;
+                        }
+                    }
+                }
+                let g = self.graph_mut("DELETE")?;
+                for r in rels {
+                    if g.rel_exists(r) {
+                        g.delete_rel(r)?;
+                    }
+                }
+                for n in nodes {
+                    if g.node_exists(n) {
+                        if *detach {
+                            g.detach_delete_node(n)?;
+                        } else {
+                            g.delete_node(n)?;
+                        }
+                    }
+                }
+                Ok(rows)
+            }
+            Clause::Foreach { var, list, body } => {
+                for row in &rows {
+                    let lv = {
+                        let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                        eval(&ctx, row, list)?
+                    };
+                    let items = match lv {
+                        Value::Null => continue,
+                        Value::List(items) => items,
+                        single => vec![single],
+                    };
+                    for item in items {
+                        let mut inner = row.clone();
+                        inner.set(var.clone(), item);
+                        let mut ignored = None;
+                        self.run_clauses(body, vec![inner], &mut ignored)?;
+                    }
+                }
+                Ok(rows)
+            }
+            Clause::Abort(msg_expr) => {
+                if let Some(first) = rows.first() {
+                    let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                    let msg = match eval(&ctx, first, msg_expr)? {
+                        Value::Str(s) => s,
+                        other => other.to_string(),
+                    };
+                    return Err(CypherError::Aborted(msg));
+                }
+                Ok(rows)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Updating helpers
+    // ------------------------------------------------------------------
+
+    fn apply_set_items(&mut self, items: &[SetItem], rows: &mut [Row]) -> Result<()> {
+        for row in rows.iter() {
+            for item in items {
+                match item {
+                    SetItem::Prop { target, key, value } => {
+                        let (tv, v) = {
+                            let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                            (eval(&ctx, row, target)?, eval(&ctx, row, value)?)
+                        };
+                        match tv {
+                            Value::Node(n) => {
+                                self.graph_mut("SET")?.set_node_prop(n, key.clone(), v)?;
+                            }
+                            Value::Rel(r) => {
+                                self.graph_mut("SET")?.set_rel_prop(r, key.clone(), v)?;
+                            }
+                            Value::Null => {}
+                            other => {
+                                return Err(CypherError::type_err(format!(
+                                    "SET property on {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                    SetItem::Labels { var, labels } => {
+                        let tv = row
+                            .get(var)
+                            .cloned()
+                            .ok_or_else(|| CypherError::UnboundVariable(var.clone()))?;
+                        match tv {
+                            Value::Node(n) => {
+                                let g = self.graph_mut("SET")?;
+                                for l in labels {
+                                    g.set_label(n, l.clone())?;
+                                }
+                            }
+                            Value::Null => {}
+                            other => {
+                                return Err(CypherError::type_err(format!(
+                                    "SET label on {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                    SetItem::ReplaceProps { var, value } | SetItem::MergeProps { var, value } => {
+                        let replace = matches!(item, SetItem::ReplaceProps { .. });
+                        let (tv, v) = {
+                            let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                            let tv = row
+                                .get(var)
+                                .cloned()
+                                .ok_or_else(|| CypherError::UnboundVariable(var.clone()))?;
+                            (tv, eval(&ctx, row, value)?)
+                        };
+                        let map = match v {
+                            Value::Map(m) => m,
+                            Value::Null => continue,
+                            other => {
+                                return Err(CypherError::type_err(format!(
+                                    "SET {} = expects a map, got {}",
+                                    var,
+                                    other.type_name()
+                                )))
+                            }
+                        };
+                        match tv {
+                            Value::Node(n) => {
+                                if replace {
+                                    let keys = self.view().node_prop_keys(n);
+                                    let g = self.graph_mut("SET")?;
+                                    for k in keys {
+                                        if !map.contains_key(&k) {
+                                            g.remove_node_prop(n, &k)?;
+                                        }
+                                    }
+                                }
+                                let g = self.graph_mut("SET")?;
+                                for (k, val) in map {
+                                    g.set_node_prop(n, k, val)?;
+                                }
+                            }
+                            Value::Rel(r) => {
+                                if replace {
+                                    let keys = self.view().rel_prop_keys(r);
+                                    let g = self.graph_mut("SET")?;
+                                    for k in keys {
+                                        if !map.contains_key(&k) {
+                                            g.remove_rel_prop(r, &k)?;
+                                        }
+                                    }
+                                }
+                                let g = self.graph_mut("SET")?;
+                                for (k, val) in map {
+                                    g.set_rel_prop(r, k, val)?;
+                                }
+                            }
+                            Value::Null => {}
+                            other => {
+                                return Err(CypherError::type_err(format!(
+                                    "SET map on {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `CREATE` one path for one row, binding any fresh variables.
+    fn create_path(&mut self, row: &mut Row, path: &PathPattern) -> Result<()> {
+        let mut prev = self.resolve_or_create_node(row, &path.start)?;
+        for (rel_pat, node_pat) in &path.segments {
+            if rel_pat.hops.is_some() {
+                return Err(CypherError::type_err(
+                    "variable-length relationships cannot be created",
+                ));
+            }
+            if rel_pat.types.len() != 1 {
+                return Err(CypherError::type_err(
+                    "CREATE requires exactly one relationship type",
+                ));
+            }
+            let next = self.resolve_or_create_node(row, node_pat)?;
+            let (src, dst) = match rel_pat.direction {
+                Direction::Out => (prev, next),
+                Direction::In => (next, prev),
+                Direction::Both => {
+                    return Err(CypherError::type_err(
+                        "CREATE requires a directed relationship",
+                    ))
+                }
+            };
+            let props = self.eval_prop_map(row, &rel_pat.props)?;
+            let rid = self
+                .graph_mut("CREATE")?
+                .create_rel(src, dst, rel_pat.types[0].clone(), props)?;
+            if let Some(v) = &rel_pat.var {
+                row.set(v.clone(), Value::Rel(rid));
+            }
+            prev = next;
+        }
+        Ok(())
+    }
+
+    fn resolve_or_create_node(
+        &mut self,
+        row: &mut Row,
+        np: &NodePattern,
+    ) -> Result<pg_graph::NodeId> {
+        if let Some(v) = &np.var {
+            if let Some(bound) = row.get(v) {
+                return match bound {
+                    Value::Node(n) => Ok(*n),
+                    other => Err(CypherError::type_err(format!(
+                        "CREATE cannot reuse '{v}' bound to {}",
+                        other.type_name()
+                    ))),
+                };
+            }
+        }
+        let props = self.eval_prop_map(row, &np.props)?;
+        let id = self
+            .graph_mut("CREATE")?
+            .create_node(np.labels.iter().cloned(), props)?;
+        if let Some(v) = &np.var {
+            row.set(v.clone(), Value::Node(id));
+        }
+        Ok(id)
+    }
+
+    fn eval_prop_map(&self, row: &Row, props: &[(String, Expr)]) -> Result<PropertyMap> {
+        let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+        let mut pm = PropertyMap::new();
+        for (k, e) in props {
+            pm.set(k.clone(), eval(&ctx, row, e)?);
+        }
+        Ok(pm)
+    }
+
+    // ------------------------------------------------------------------
+    // Projection (WITH / RETURN) with grouping & aggregation
+    // ------------------------------------------------------------------
+
+    fn project(
+        &mut self,
+        proj: &Projection,
+        rows: Vec<Row>,
+        allow_where: bool,
+    ) -> Result<(Vec<String>, Vec<Row>)> {
+        // Expand `*` into identity items over all bound names.
+        let mut items: Vec<ProjItem> = Vec::new();
+        if proj.star {
+            let mut names: Vec<String> = Vec::new();
+            for r in &rows {
+                for n in r.names() {
+                    if !names.contains(n) {
+                        names.push(n.clone());
+                    }
+                }
+            }
+            names.sort();
+            for n in names {
+                items.push(ProjItem { expr: Expr::Var(n.clone()), alias: Some(n) });
+            }
+        }
+        items.extend(proj.items.iter().cloned());
+        let columns: Vec<String> = items.iter().map(|i| i.name()).collect();
+
+        let has_agg = items.iter().any(|i| i.expr.has_aggregate());
+        let mut projected: Vec<Row> = if has_agg {
+            self.project_grouped(&items, &columns, &rows)?
+        } else {
+            let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+            let mut out = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let mut r2 = Row::new();
+                for (item, col) in items.iter().zip(&columns) {
+                    r2.set(col.clone(), eval(&ctx, row, &item.expr)?);
+                }
+                out.push(r2);
+            }
+            out
+        };
+
+        if proj.distinct {
+            let mut seen: Vec<Row> = Vec::new();
+            for r in projected {
+                if !seen.contains(&r) {
+                    seen.push(r);
+                }
+            }
+            projected = seen;
+        }
+
+        if allow_where {
+            if let Some(pred) = &proj.where_clause {
+                let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                let mut kept = Vec::new();
+                for r in projected {
+                    if eval(&ctx, &r, pred)?.is_truthy() {
+                        kept.push(r);
+                    }
+                }
+                projected = kept;
+            }
+        }
+
+        if !proj.order_by.is_empty() {
+            let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(projected.len());
+            for r in projected {
+                let mut keys = Vec::with_capacity(proj.order_by.len());
+                for (e, _) in &proj.order_by {
+                    keys.push(eval(&ctx, &r, e)?);
+                }
+                keyed.push((keys, r));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, (_, asc)) in proj.order_by.iter().enumerate() {
+                    let ord = ka[i].cmp_order(&kb[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            projected = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+
+        let skip = match &proj.skip {
+            Some(e) => self.eval_const_int(e)? as usize,
+            None => 0,
+        };
+        let limit = match &proj.limit {
+            Some(e) => Some(self.eval_const_int(e)? as usize),
+            None => None,
+        };
+        let mut projected: Vec<Row> = projected.into_iter().skip(skip).collect();
+        if let Some(l) = limit {
+            projected.truncate(l);
+        }
+
+        Ok((columns, projected))
+    }
+
+    fn eval_const_int(&self, e: &Expr) -> Result<i64> {
+        let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+        let v = eval(&ctx, &Row::new(), e)?;
+        v.as_i64()
+            .filter(|n| *n >= 0)
+            .ok_or_else(|| CypherError::type_err("SKIP/LIMIT must be a non-negative integer"))
+    }
+
+    fn project_grouped(
+        &mut self,
+        items: &[ProjItem],
+        columns: &[String],
+        rows: &[Row],
+    ) -> Result<Vec<Row>> {
+        // Split items into group keys and aggregate-bearing expressions; the
+        // latter get their aggregate subexpressions replaced by placeholder
+        // variables resolved per group.
+        struct AggSpec {
+            arg: Option<Expr>, // None = count(*)
+            name: String,
+            distinct: bool,
+        }
+        let mut specs: Vec<AggSpec> = Vec::new();
+        fn rewrite(e: &Expr, specs: &mut Vec<AggSpec>) -> Expr
+        where
+            AggSpec: Sized,
+        {
+            match e {
+                Expr::CountStar => {
+                    specs.push(AggSpec { arg: None, name: "count".into(), distinct: false });
+                    Expr::Var(format!("__agg{}", specs.len() - 1))
+                }
+                Expr::Func { name, args, distinct } if is_aggregate(name) => {
+                    specs.push(AggSpec {
+                        arg: args.first().cloned(),
+                        name: name.clone(),
+                        distinct: *distinct,
+                    });
+                    Expr::Var(format!("__agg{}", specs.len() - 1))
+                }
+                Expr::Prop(b, k) => Expr::Prop(Box::new(rewrite(b, specs)), k.clone()),
+                Expr::HasLabel(b, ls) => {
+                    Expr::HasLabel(Box::new(rewrite(b, specs)), ls.clone())
+                }
+                Expr::Unary(op, b) => Expr::Unary(*op, Box::new(rewrite(b, specs))),
+                Expr::IsNull(b, neg) => Expr::IsNull(Box::new(rewrite(b, specs)), *neg),
+                Expr::Binary(op, a, b) => Expr::Binary(
+                    *op,
+                    Box::new(rewrite(a, specs)),
+                    Box::new(rewrite(b, specs)),
+                ),
+                Expr::Func { name, args, distinct } => Expr::Func {
+                    name: name.clone(),
+                    args: args.iter().map(|a| rewrite(a, specs)).collect(),
+                    distinct: *distinct,
+                },
+                Expr::ListLit(xs) => {
+                    Expr::ListLit(xs.iter().map(|x| rewrite(x, specs)).collect())
+                }
+                Expr::MapLit(es) => Expr::MapLit(
+                    es.iter().map(|(k, v)| (k.clone(), rewrite(v, specs))).collect(),
+                ),
+                Expr::Index(a, b) => {
+                    Expr::Index(Box::new(rewrite(a, specs)), Box::new(rewrite(b, specs)))
+                }
+                Expr::Slice(a, f, t) => Expr::Slice(
+                    Box::new(rewrite(a, specs)),
+                    f.as_ref().map(|x| Box::new(rewrite(x, specs))),
+                    t.as_ref().map(|x| Box::new(rewrite(x, specs))),
+                ),
+                Expr::Case { operand, whens, else_ } => Expr::Case {
+                    operand: operand.as_ref().map(|o| Box::new(rewrite(o, specs))),
+                    whens: whens
+                        .iter()
+                        .map(|(w, t)| (rewrite(w, specs), rewrite(t, specs)))
+                        .collect(),
+                    else_: else_.as_ref().map(|e| Box::new(rewrite(e, specs))),
+                },
+                other => other.clone(),
+            }
+        }
+
+        enum ItemKind {
+            GroupKey(Expr),
+            Agg(Expr), // rewritten with placeholders
+        }
+        let kinds: Vec<ItemKind> = items
+            .iter()
+            .map(|i| {
+                if i.expr.has_aggregate() {
+                    ItemKind::Agg(rewrite(&i.expr, &mut specs))
+                } else {
+                    ItemKind::GroupKey(i.expr.clone())
+                }
+            })
+            .collect();
+
+        // Group rows by evaluated group-key tuples.
+        struct Group {
+            key: Vec<Value>,
+            accs: Vec<Accumulator>,
+            rep: Row,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        {
+            let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+            for row in rows {
+                let mut key = Vec::new();
+                for k in &kinds {
+                    if let ItemKind::GroupKey(e) = k {
+                        key.push(eval(&ctx, row, e)?);
+                    }
+                }
+                let group = match groups.iter_mut().find(|g| g.key == key) {
+                    Some(g) => g,
+                    None => {
+                        let accs = specs
+                            .iter()
+                            .map(|s| Accumulator::new(&s.name, s.distinct).expect("aggregate"))
+                            .collect();
+                        groups.push(Group { key, accs, rep: row.clone() });
+                        groups.last_mut().unwrap()
+                    }
+                };
+                for (si, spec) in specs.iter().enumerate() {
+                    let v = match &spec.arg {
+                        None => Value::Int(1), // count(*): count every row
+                        Some(arg) => eval(&ctx, row, arg)?,
+                    };
+                    group.accs[si].push(v)?;
+                }
+            }
+            // Aggregation over the empty input with no group keys yields a
+            // single group (so `RETURN count(*)` on no rows is 0).
+            let no_group_keys = kinds.iter().all(|k| matches!(k, ItemKind::Agg(_)));
+            if groups.is_empty() && no_group_keys {
+                groups.push(Group {
+                    key: Vec::new(),
+                    accs: specs
+                        .iter()
+                        .map(|s| Accumulator::new(&s.name, s.distinct).expect("aggregate"))
+                        .collect(),
+                    rep: Row::new(),
+                });
+            }
+        }
+
+        // Materialize one output row per group.
+        let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+        let mut out = Vec::with_capacity(groups.len());
+        for g in groups {
+            let mut env = g.rep.clone();
+            for (si, acc) in g.accs.into_iter().enumerate() {
+                env.set(format!("__agg{si}"), acc.finish());
+            }
+            let mut r2 = Row::new();
+            let mut key_iter = g.key.into_iter();
+            for (kind, col) in kinds.iter().zip(columns) {
+                match kind {
+                    ItemKind::GroupKey(_) => {
+                        r2.set(col.clone(), key_iter.next().expect("group key"));
+                    }
+                    ItemKind::Agg(rewritten) => {
+                        r2.set(col.clone(), eval(&ctx, &env, rewritten)?);
+                    }
+                }
+            }
+            out.push(r2);
+        }
+        Ok(out)
+    }
+}
+
+fn collect_delete_targets(
+    v: Value,
+    nodes: &mut Vec<pg_graph::NodeId>,
+    rels: &mut Vec<pg_graph::RelId>,
+) -> Result<()> {
+    match v {
+        Value::Node(n) => nodes.push(n),
+        Value::Rel(r) => rels.push(r),
+        Value::Null => {}
+        Value::List(items) => {
+            for i in items {
+                collect_delete_targets(i, nodes, rels)?;
+            }
+        }
+        other => {
+            return Err(CypherError::type_err(format!(
+                "DELETE on {}",
+                other.type_name()
+            )))
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,489 @@
+//! The lexer: source text → token stream.
+
+use crate::error::CypherError;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize a query string. Comments (`// …` and `/* … */`) are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, CypherError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CypherError::lex(pos, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, pos });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, pos });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, pos });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, pos });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, pos });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token { kind: TokenKind::Pipe, pos });
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token { kind: TokenKind::Caret, pos });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { kind: TokenKind::Colon, pos });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, pos });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, pos });
+                i += 1;
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::PlusEq, pos });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Plus, pos });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::ArrowRight, pos });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, pos });
+                    i += 1;
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'-') => {
+                    tokens.push(Token { kind: TokenKind::ArrowLeft, pos });
+                    i += 2;
+                }
+                Some(&b'=') => {
+                    tokens.push(Token { kind: TokenKind::Le, pos });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token { kind: TokenKind::Neq, pos });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Lt, pos });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, pos });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, pos });
+                    i += 1;
+                }
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, pos });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Neq, pos });
+                    i += 2;
+                } else {
+                    return Err(CypherError::lex(pos, "unexpected '!'"));
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    tokens.push(Token { kind: TokenKind::DotDot, pos });
+                    i += 2;
+                } else if bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                    // .5 style float
+                    let (tok, next) = lex_number(bytes, i)?;
+                    tokens.push(Token { kind: tok, pos });
+                    i = next;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Dot, pos });
+                    i += 1;
+                }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(CypherError::lex(pos, "expected parameter name after '$'"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Param(src[start..j].to_string()),
+                    pos,
+                });
+                i = j;
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                let mut j = i + 1;
+                let mut out = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(CypherError::lex(pos, "unterminated string literal"));
+                    }
+                    let b = bytes[j];
+                    if b == quote {
+                        j += 1;
+                        break;
+                    }
+                    if b == b'\\' {
+                        j += 1;
+                        match bytes.get(j) {
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'\'') => out.push('\''),
+                            Some(b'"') => out.push('"'),
+                            _ => return Err(CypherError::lex(j, "invalid escape sequence")),
+                        }
+                        j += 1;
+                    } else {
+                        // copy one UTF-8 character
+                        let ch_len = utf8_len(b);
+                        out.push_str(&src[j..j + ch_len]);
+                        j += ch_len;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(out),
+                    pos,
+                });
+                i = j;
+            }
+            '`' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'`' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(CypherError::lex(pos, "unterminated backtick identifier"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..j].to_string()),
+                    pos,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(bytes, i)?;
+                tokens.push(Token { kind: tok, pos });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                tokens.push(Token {
+                    kind: keyword_or_ident(word),
+                    pos,
+                });
+                i = j;
+            }
+            other => {
+                return Err(CypherError::lex(pos, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: bytes.len(),
+    });
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first >> 5 == 0b110 {
+        2
+    } else if first >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+fn lex_number(bytes: &[u8], start: usize) -> Result<(TokenKind, usize), CypherError> {
+    let mut j = start;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while j < bytes.len() {
+        let b = bytes[j];
+        if b.is_ascii_digit() {
+            j += 1;
+        } else if b == b'.' && !saw_dot && !saw_exp {
+            // Don't consume `..` (range) or `.prop` (property access).
+            if bytes.get(j + 1).map(|n| n.is_ascii_digit()).unwrap_or(false) {
+                saw_dot = true;
+                j += 1;
+            } else {
+                break;
+            }
+        } else if (b == b'e' || b == b'E') && !saw_exp {
+            let mut k = j + 1;
+            if bytes.get(k) == Some(&b'+') || bytes.get(k) == Some(&b'-') {
+                k += 1;
+            }
+            if bytes.get(k).map(|n| n.is_ascii_digit()).unwrap_or(false) {
+                saw_exp = true;
+                j = k + 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..j]).unwrap();
+    if saw_dot || saw_exp {
+        text.parse::<f64>()
+            .map(|f| (TokenKind::Float(f), j))
+            .map_err(|_| CypherError::lex(start, format!("invalid float literal '{text}'")))
+    } else {
+        text.parse::<i64>()
+            .map(|i| (TokenKind::Int(i), j))
+            .map_err(|_| CypherError::lex(start, format!("invalid integer literal '{text}'")))
+    }
+}
+
+fn keyword_or_ident(word: &str) -> TokenKind {
+    match word.to_ascii_uppercase().as_str() {
+        "MATCH" => TokenKind::Match,
+        "OPTIONAL" => TokenKind::Optional,
+        "WHERE" => TokenKind::Where,
+        "CREATE" => TokenKind::Create,
+        "MERGE" => TokenKind::Merge,
+        "DELETE" => TokenKind::Delete,
+        "DETACH" => TokenKind::Detach,
+        "SET" => TokenKind::Set,
+        "REMOVE" => TokenKind::Remove,
+        "RETURN" => TokenKind::Return,
+        "WITH" => TokenKind::With,
+        "UNWIND" => TokenKind::Unwind,
+        "AS" => TokenKind::As,
+        "ORDER" => TokenKind::Order,
+        "BY" => TokenKind::By,
+        "ASC" | "ASCENDING" => TokenKind::Asc,
+        "DESC" | "DESCENDING" => TokenKind::Desc,
+        "SKIP" => TokenKind::Skip,
+        "LIMIT" => TokenKind::Limit,
+        "DISTINCT" => TokenKind::Distinct,
+        "AND" => TokenKind::And,
+        "OR" => TokenKind::Or,
+        "XOR" => TokenKind::Xor,
+        "NOT" => TokenKind::Not,
+        "IN" => TokenKind::In,
+        "STARTS" => TokenKind::Starts,
+        "ENDS" => TokenKind::Ends,
+        "CONTAINS" => TokenKind::Contains,
+        "IS" => TokenKind::Is,
+        "NULL" => TokenKind::Null,
+        "TRUE" => TokenKind::True,
+        "FALSE" => TokenKind::False,
+        "CASE" => TokenKind::Case,
+        "WHEN" => TokenKind::When,
+        "THEN" => TokenKind::Then,
+        "ELSE" => TokenKind::Else,
+        "END" => TokenKind::End,
+        "EXISTS" => TokenKind::Exists,
+        "FOREACH" => TokenKind::Foreach,
+        "ON" => TokenKind::On,
+        "ABORT" => TokenKind::Abort,
+        _ => TokenKind::Ident(word.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("match MATCH Match"),
+            vec![TokenKind::Match, TokenKind::Match, TokenKind::Match, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 .5 10..20"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.5),
+                TokenKind::Int(10),
+                TokenKind::DotDot,
+                TokenKind::Int(20),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds(r#"'it\'s' "a\nb""#),
+            vec![
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("'héllo→'"),
+            vec![TokenKind::Str("héllo→".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn arrows_and_comparisons() {
+        assert_eq!(
+            kinds("-> <- <= >= <> != < > ="),
+            vec![
+                TokenKind::ArrowRight,
+                TokenKind::ArrowLeft,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Neq,
+                TokenKind::Neq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_backticks() {
+        assert_eq!(
+            kinds("$p `weird name`"),
+            vec![
+                TokenKind::Param("p".into()),
+                TokenKind::Ident("weird name".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 // line\n 2 /* block\n */ 3"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Int(3), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn property_access_not_float() {
+        assert_eq!(
+            kinds("n.prop"),
+            vec![
+                TokenKind::Ident("n".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("prop".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("héllo").is_err()); // non-ascii identifier start
+    }
+
+    #[test]
+    fn plus_eq() {
+        assert_eq!(
+            kinds("n += m"),
+            vec![
+                TokenKind::Ident("n".into()),
+                TokenKind::PlusEq,
+                TokenKind::Ident("m".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

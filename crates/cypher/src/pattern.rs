@@ -1,0 +1,622 @@
+//! Graph pattern matching.
+//!
+//! Backtracking join over path patterns with Cypher's relationship-
+//! uniqueness semantics (a relationship may be traversed at most once per
+//! `MATCH` clause).
+//!
+//! **Transition-variable candidates** (PG-Triggers §6.2): a label position
+//! whose name is bound in the current row to a node, a relationship, or a
+//! list of them restricts the candidate set to those items instead of being
+//! treated as a stored label. This is what makes the paper's patterns
+//! `MATCH (pn:NEWNODES)-[:TreatedAt]-(h)` and `MATCH (pn:NEW)-…` work: the
+//! trigger engine binds `NEWNODES`/`NEW` in the seed row.
+
+use crate::ast::{Expr, NodePattern, PathPattern, RelPattern};
+use crate::error::{CypherError, Result};
+use crate::expr::{eval, EvalCtx};
+use crate::row::Row;
+use pg_graph::{Direction, NodeId, RelId, Value};
+
+/// One in-progress match: the binding row plus relationships already used in
+/// this MATCH clause.
+#[derive(Debug, Clone)]
+struct MatchState {
+    row: Row,
+    used: Vec<RelId>,
+}
+
+/// Match a list of path patterns (as one joint MATCH clause) against the
+/// view, starting from `seed`. Returns the extended binding rows; when
+/// `limit` is given, stops after that many (EXISTS only needs one).
+pub fn match_patterns(
+    ctx: &EvalCtx<'_>,
+    seed: &Row,
+    patterns: &[PathPattern],
+    where_clause: Option<&Expr>,
+    limit: Option<usize>,
+) -> Result<Vec<Row>> {
+    let mut states = vec![MatchState { row: seed.clone(), used: Vec::new() }];
+    for pattern in patterns {
+        let mut next = Vec::new();
+        for st in &states {
+            match_path(ctx, pattern, st, &mut next, None)?;
+        }
+        states = next;
+        if states.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+    let mut rows = Vec::new();
+    for st in states {
+        if let Some(w) = where_clause {
+            if !eval(ctx, &st.row, w)?.is_truthy() {
+                continue;
+            }
+        }
+        rows.push(st.row);
+        if let Some(l) = limit {
+            if rows.len() >= l {
+                break;
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// The variable names a pattern list can bind (used by OPTIONAL MATCH to
+/// null-bind on failure).
+pub fn pattern_vars(patterns: &[PathPattern]) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in patterns {
+        if let Some(v) = &p.start.var {
+            out.push(v.clone());
+        }
+        for (r, n) in &p.segments {
+            if let Some(v) = &r.var {
+                out.push(v.clone());
+            }
+            if let Some(v) = &n.var {
+                out.push(v.clone());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn match_path(
+    ctx: &EvalCtx<'_>,
+    path: &PathPattern,
+    st: &MatchState,
+    out: &mut Vec<MatchState>,
+    cap: Option<usize>,
+) -> Result<()> {
+    let candidates = node_candidates(ctx, &st.row, &path.start)?;
+    for cand in candidates {
+        if !node_matches(ctx, &st.row, cand, &path.start)? {
+            continue;
+        }
+        let mut st2 = st.clone();
+        if let Some(v) = &path.start.var {
+            if let Some(bound) = st2.row.get(v) {
+                if bound.eq3(&Value::Node(cand)) != Some(true) {
+                    continue;
+                }
+            } else {
+                st2.row.set(v.clone(), Value::Node(cand));
+            }
+        }
+        extend_segments(ctx, path, 0, cand, st2, out, cap)?;
+        if let Some(c) = cap {
+            if out.len() >= c {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn extend_segments(
+    ctx: &EvalCtx<'_>,
+    path: &PathPattern,
+    seg_idx: usize,
+    current: NodeId,
+    st: MatchState,
+    out: &mut Vec<MatchState>,
+    cap: Option<usize>,
+) -> Result<()> {
+    if seg_idx == path.segments.len() {
+        out.push(st);
+        return Ok(());
+    }
+    let (rel_pat, node_pat) = &path.segments[seg_idx];
+
+    if let Some((min, max)) = rel_pat.hops {
+        // Variable-length expansion (DFS with per-path rel uniqueness).
+        let max = max.unwrap_or(64); // practical bound for unbounded patterns
+        let mut stack: Vec<(NodeId, Vec<RelId>)> = vec![(current, Vec::new())];
+        // Depth-first enumeration of all paths with length in [min, max].
+        fn dfs(
+            ctx: &EvalCtx<'_>,
+            st: &MatchState,
+            rel_pat: &RelPattern,
+            node_pat: &NodePattern,
+            path: &PathPattern,
+            seg_idx: usize,
+            frontier: &mut Vec<(NodeId, Vec<RelId>)>,
+            min: u32,
+            max: u32,
+            out: &mut Vec<MatchState>,
+            cap: Option<usize>,
+        ) -> Result<()> {
+            while let Some((node, rels)) = frontier.pop() {
+                let depth = rels.len() as u32;
+                if depth >= min && node_matches(ctx, &st.row, node, node_pat)? {
+                    // Complete this segment here.
+                    let mut st2 = st.clone();
+                    st2.used.extend(rels.iter().copied());
+                    if let Some(v) = &rel_pat.var {
+                        st2.row.set(
+                            v.clone(),
+                            Value::List(rels.iter().map(|&r| Value::Rel(r)).collect()),
+                        );
+                    }
+                    let mut ok = true;
+                    if let Some(v) = &node_pat.var {
+                        if let Some(bound) = st2.row.get(v) {
+                            ok = bound.eq3(&Value::Node(node)) == Some(true);
+                        } else {
+                            st2.row.set(v.clone(), Value::Node(node));
+                        }
+                    }
+                    if ok {
+                        extend_segments(ctx, path, seg_idx + 1, node, st2, out, cap)?;
+                        if let Some(c) = cap {
+                            if out.len() >= c {
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                if depth < max {
+                    for (rid, other) in hop_candidates(ctx, &st.row, node, rel_pat)? {
+                        if rels.contains(&rid) || st.used.contains(&rid) {
+                            continue;
+                        }
+                        let mut rels2 = rels.clone();
+                        rels2.push(rid);
+                        frontier.push((other, rels2));
+                    }
+                }
+            }
+            Ok(())
+        }
+        dfs(ctx, &st, rel_pat, node_pat, path, seg_idx, &mut stack, min, max, out, cap)?;
+        return Ok(());
+    }
+
+    // Single-hop segment.
+    for (rid, other) in hop_candidates(ctx, &st.row, current, rel_pat)? {
+        if st.used.contains(&rid) {
+            continue;
+        }
+        if !node_matches(ctx, &st.row, other, node_pat)? {
+            continue;
+        }
+        let mut st2 = st.clone();
+        st2.used.push(rid);
+        if let Some(v) = &rel_pat.var {
+            if let Some(bound) = st2.row.get(v) {
+                if bound.eq3(&Value::Rel(rid)) != Some(true) {
+                    continue;
+                }
+            } else {
+                st2.row.set(v.clone(), Value::Rel(rid));
+            }
+        }
+        if let Some(v) = &node_pat.var {
+            if let Some(bound) = st2.row.get(v) {
+                if bound.eq3(&Value::Node(other)) != Some(true) {
+                    continue;
+                }
+            } else {
+                st2.row.set(v.clone(), Value::Node(other));
+            }
+        }
+        extend_segments(ctx, path, seg_idx + 1, other, st2, out, cap)?;
+        if let Some(c) = cap {
+            if out.len() >= c {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Enumerate (relationship, other-end) pairs from `node` that satisfy the
+/// relationship pattern (direction, types, properties, pre-bound rel var).
+fn hop_candidates(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    node: NodeId,
+    rel_pat: &RelPattern,
+) -> Result<Vec<(RelId, NodeId)>> {
+    // A pre-bound relationship variable fixes the candidate.
+    if let Some(v) = &rel_pat.var {
+        if let Some(Value::Rel(rid)) = row.get(v) {
+            let rid = *rid;
+            if let Some((s, d)) = ctx.view.rel_endpoints(rid) {
+                let other = if s == node {
+                    Some(d)
+                } else if d == node {
+                    Some(s)
+                } else {
+                    None
+                };
+                let dir_ok = match rel_pat.direction {
+                    Direction::Out => s == node,
+                    Direction::In => d == node,
+                    Direction::Both => true,
+                };
+                if let (Some(other), true) = (other, dir_ok) {
+                    if rel_matches(ctx, row, rid, rel_pat)? {
+                        return Ok(vec![(rid, other)]);
+                    }
+                }
+            }
+            return Ok(Vec::new());
+        }
+    }
+    let mut out = Vec::new();
+    for rid in ctx.view.rels_of(node, rel_pat.direction) {
+        let Some((s, d)) = ctx.view.rel_endpoints(rid) else {
+            continue;
+        };
+        let other = match rel_pat.direction {
+            Direction::Out => {
+                if s != node {
+                    continue;
+                }
+                d
+            }
+            Direction::In => {
+                if d != node {
+                    continue;
+                }
+                s
+            }
+            Direction::Both => {
+                if s == node {
+                    d
+                } else {
+                    s
+                }
+            }
+        };
+        if rel_matches(ctx, row, rid, rel_pat)? {
+            out.push((rid, other));
+        }
+    }
+    Ok(out)
+}
+
+fn rel_matches(ctx: &EvalCtx<'_>, row: &Row, rid: RelId, pat: &RelPattern) -> Result<bool> {
+    if !pat.types.is_empty() {
+        let t = ctx.view.rel_type(rid);
+        if !pat.types.iter().any(|want| t.as_deref() == Some(want)) {
+            return Ok(false);
+        }
+    }
+    for (k, e) in &pat.props {
+        let want = eval(ctx, row, e)?;
+        let have = ctx.view.rel_prop(rid, k).unwrap_or(Value::Null);
+        if have.eq3(&want) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Candidate start nodes for a node pattern: a pre-bound variable, a
+/// transition-variable label, a stored-label index lookup, or (worst case)
+/// a full scan.
+fn node_candidates(ctx: &EvalCtx<'_>, row: &Row, np: &NodePattern) -> Result<Vec<NodeId>> {
+    if let Some(v) = &np.var {
+        match row.get(v) {
+            Some(Value::Node(n)) => return Ok(vec![*n]),
+            Some(Value::Null) => return Ok(Vec::new()),
+            Some(other) => {
+                return Err(CypherError::type_err(format!(
+                    "variable '{v}' is bound to {}, expected a node",
+                    other.type_name()
+                )))
+            }
+            None => {}
+        }
+    }
+    // Transition-variable labels restrict candidates.
+    for l in &np.labels {
+        if let Some(v) = row.get(l) {
+            return nodes_from_value(l, v);
+        }
+    }
+    // Index lookup on the first stored label, if any.
+    if let Some(first) = np.labels.first() {
+        return Ok(ctx.view.nodes_with_label(first));
+    }
+    Ok(ctx.view.all_node_ids())
+}
+
+fn nodes_from_value(name: &str, v: &Value) -> Result<Vec<NodeId>> {
+    match v {
+        Value::Node(n) => Ok(vec![*n]),
+        Value::List(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for i in items {
+                match i {
+                    Value::Node(n) => out.push(*n),
+                    Value::Null => {}
+                    other => {
+                        return Err(CypherError::type_err(format!(
+                            "transition variable '{name}' contains {}, expected nodes",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Value::Null => Ok(Vec::new()),
+        other => Err(CypherError::type_err(format!(
+            "label position '{name}' is bound to {}, expected node(s)",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Check labels and property predicates of a node pattern against a concrete
+/// node. Labels bound in the row act as candidate restrictions (checked via
+/// membership), not stored labels.
+fn node_matches(ctx: &EvalCtx<'_>, row: &Row, node: NodeId, np: &NodePattern) -> Result<bool> {
+    for l in &np.labels {
+        if let Some(v) = row.get(l) {
+            // transition-variable label: membership test
+            let members = nodes_from_value(l, v)?;
+            if !members.contains(&node) {
+                return Ok(false);
+            }
+        } else if !ctx.view.node_has_label(node, l) {
+            return Ok(false);
+        }
+    }
+    for (k, e) in &np.props {
+        let want = eval(ctx, row, e)?;
+        let have = ctx.view.node_prop(node, k).unwrap_or(Value::Null);
+        if have.eq3(&want) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::ast::Clause;
+    use crate::row::Params;
+    use pg_graph::{Graph, PropertyMap};
+
+    fn props(entries: &[(&str, Value)]) -> PropertyMap {
+        entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    /// Extract patterns + where from a `MATCH … RETURN 1` query.
+    fn patterns_of(src: &str) -> (Vec<PathPattern>, Option<Expr>) {
+        let q = parse_query(src).unwrap();
+        match q.clauses.into_iter().next().unwrap() {
+            Clause::Match { patterns, where_clause, .. } => (patterns, where_clause),
+            _ => panic!("expected MATCH"),
+        }
+    }
+
+    fn run_match(g: &Graph, src: &str, seed: Row) -> Vec<Row> {
+        let (pats, where_) = patterns_of(src);
+        let params = Params::new();
+        let ctx = EvalCtx::new(g, &params, 0);
+        match_patterns(&ctx, &seed, &pats, where_.as_ref(), None).unwrap()
+    }
+
+    /// Small CoV2K-flavoured fixture:
+    /// (m:Mutation)-[:Risk]->(e:CriticalEffect), (m)-[:FoundIn]->(s:Sequence)
+    fn fixture() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let m = g
+            .create_node(["Mutation"], props(&[("name", Value::str("D614G"))]))
+            .unwrap();
+        let e = g
+            .create_node(["CriticalEffect"], props(&[("description", Value::str("Enhanced infectivity"))]))
+            .unwrap();
+        let s = g
+            .create_node(["Sequence"], props(&[("accession", Value::str("SEQ1"))]))
+            .unwrap();
+        g.create_rel(m, e, "Risk", PropertyMap::new()).unwrap();
+        g.create_rel(m, s, "FoundIn", PropertyMap::new()).unwrap();
+        (g, m, e, s)
+    }
+
+    #[test]
+    fn label_scan_and_prop_filter() {
+        let (g, m, ..) = fixture();
+        let rows = run_match(&g, "MATCH (x:Mutation {name: 'D614G'}) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("x"), Some(&Value::Node(m)));
+        let rows = run_match(&g, "MATCH (x:Mutation {name: 'nope'}) RETURN 1", Row::new());
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn directed_and_undirected_hops() {
+        let (g, m, e, _) = fixture();
+        let rows = run_match(&g, "MATCH (a:Mutation)-[:Risk]->(b) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("b"), Some(&Value::Node(e)));
+        // wrong direction
+        let rows = run_match(&g, "MATCH (a:Mutation)<-[:Risk]-(b) RETURN 1", Row::new());
+        assert!(rows.is_empty());
+        // undirected from the effect side
+        let rows = run_match(&g, "MATCH (x:CriticalEffect)-[:Risk]-(y) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("y"), Some(&Value::Node(m)));
+    }
+
+    #[test]
+    fn multi_segment_path() {
+        let (g, _, e, s) = fixture();
+        let rows = run_match(
+            &g,
+            "MATCH (c:CriticalEffect)-[:Risk]-(:Mutation)-[:FoundIn]-(q:Sequence) RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("c"), Some(&Value::Node(e)));
+        assert_eq!(rows[0].get("q"), Some(&Value::Node(s)));
+    }
+
+    #[test]
+    fn prebound_node_variable() {
+        let (g, m, ..) = fixture();
+        let mut seed = Row::new();
+        seed.set("a", Value::Node(m));
+        let rows = run_match(&g, "MATCH (a)-[:Risk]->(b) RETURN 1", seed);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn prebound_rel_variable() {
+        // Paper's NewCriticalLineage binds the relationship variable NEW.
+        let mut g = Graph::new();
+        let s = g.create_node(["Sequence"], PropertyMap::new()).unwrap();
+        let l = g.create_node(["Lineage"], props(&[("name", Value::str("B.1.1.7"))])).unwrap();
+        let r = g.create_rel(s, l, "BelongsTo", PropertyMap::new()).unwrap();
+        let mut seed = Row::new();
+        seed.set("NEW", Value::Rel(r));
+        let rows = run_match(&g, "MATCH (s:Sequence)-[NEW]-(l:Lineage) RETURN 1", seed);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("l"), Some(&Value::Node(l)));
+    }
+
+    #[test]
+    fn transition_variable_label() {
+        // (pn:NEWNODES) restricts candidates to the bound list.
+        let mut g = Graph::new();
+        let a = g.create_node(["P"], PropertyMap::new()).unwrap();
+        let b = g.create_node(["P"], PropertyMap::new()).unwrap();
+        let _c = g.create_node(["P"], PropertyMap::new()).unwrap();
+        let mut seed = Row::new();
+        seed.set("NEWNODES", Value::list([Value::Node(a), Value::Node(b)]));
+        let rows = run_match(&g, "MATCH (pn:NEWNODES) RETURN 1", seed.clone());
+        assert_eq!(rows.len(), 2);
+        // combined with a stored label
+        let rows = run_match(&g, "MATCH (pn:NEWNODES:P) RETURN 1", seed);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn rel_uniqueness_within_match() {
+        // a-KNOWS-b only: pattern (x)-[:KNOWS]-(y)-[:KNOWS]-(z) must not
+        // reuse the same relationship for both hops.
+        let mut g = Graph::new();
+        let a = g.create_node(["X"], PropertyMap::new()).unwrap();
+        let b = g.create_node(["X"], PropertyMap::new()).unwrap();
+        g.create_rel(a, b, "KNOWS", PropertyMap::new()).unwrap();
+        let rows = run_match(&g, "MATCH (x)-[:KNOWS]-(y)-[:KNOWS]-(z) RETURN 1", Row::new());
+        assert!(rows.is_empty());
+        // but a triangle works
+        let c = g.create_node(["X"], PropertyMap::new()).unwrap();
+        g.create_rel(b, c, "KNOWS", PropertyMap::new()).unwrap();
+        let rows = run_match(&g, "MATCH (x)-[:KNOWS]-(y)-[:KNOWS]-(z) RETURN 1", Row::new());
+        // paths: a-b-c, c-b-a (x/z symmetric)
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn var_length_paths() {
+        // chain a->b->c->d
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| {
+                g.create_node(["N"], props(&[("i", Value::Int(i))])).unwrap()
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.create_rel(w[0], w[1], "NEXT", PropertyMap::new()).unwrap();
+        }
+        let mut seed = Row::new();
+        seed.set("a", Value::Node(ids[0]));
+        let rows = run_match(&g, "MATCH (a)-[:NEXT*1..3]->(b) RETURN 1", seed.clone());
+        assert_eq!(rows.len(), 3); // b, c, d
+        let rows = run_match(&g, "MATCH (a)-[:NEXT*2]->(b) RETURN 1", seed.clone());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("b"), Some(&Value::Node(ids[2])));
+        // rel var binds the list of traversed rels
+        let rows = run_match(&g, "MATCH (a)-[r:NEXT*3]->(b) RETURN 1", seed);
+        assert_eq!(rows.len(), 1);
+        match rows[0].get("r") {
+            Some(Value::List(rels)) => assert_eq!(rels.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_filter_applies() {
+        let (g, ..) = fixture();
+        let rows = run_match(
+            &g,
+            "MATCH (x:Mutation) WHERE x.name STARTS WITH 'D' RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 1);
+        let rows = run_match(
+            &g,
+            "MATCH (x:Mutation) WHERE x.name STARTS WITH 'Z' RETURN 1",
+            Row::new(),
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn multiple_patterns_join() {
+        let (g, m, e, s) = fixture();
+        let rows = run_match(
+            &g,
+            "MATCH (a:Mutation)-[:Risk]-(b:CriticalEffect), (a)-[:FoundIn]-(c:Sequence) RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("a"), Some(&Value::Node(m)));
+        assert_eq!(rows[0].get("b"), Some(&Value::Node(e)));
+        assert_eq!(rows[0].get("c"), Some(&Value::Node(s)));
+    }
+
+    #[test]
+    fn pattern_vars_collects_names() {
+        let (pats, _) = patterns_of("MATCH (a)-[r:T]->(b), (c) RETURN 1");
+        assert_eq!(pattern_vars(&pats), vec!["a", "b", "c", "r"]);
+    }
+
+    #[test]
+    fn multi_label_pattern_requires_all() {
+        let mut g = Graph::new();
+        let both = g.create_node(["HospitalizedPatient", "IcuPatient"], PropertyMap::new()).unwrap();
+        let _only = g.create_node(["HospitalizedPatient"], PropertyMap::new()).unwrap();
+        let rows = run_match(
+            &g,
+            "MATCH (p:HospitalizedPatient:IcuPatient) RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("p"), Some(&Value::Node(both)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Binding rows: the unit of data flowing through a clause pipeline.
+
+use pg_graph::Value;
+use std::collections::BTreeMap;
+
+/// Query parameters (`$name`).
+pub type Params = BTreeMap<String, Value>;
+
+/// A binding row: variable name → value. Ordered for deterministic output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Row {
+    vars: BTreeMap<String, Value>,
+}
+
+impl Row {
+    pub fn new() -> Row {
+        Row::default()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        self.vars.insert(name.into(), value);
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &String> {
+        self.vars.keys()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.vars.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Build a row from `(name, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (String, Value)>) -> Row {
+        Row {
+            vars: pairs.into_iter().collect(),
+        }
+    }
+}
+
+/// The result of executing a query: the `RETURN` projection (if any) plus
+/// the final binding rows (used by the trigger engine to seed trigger
+/// statements with the bindings surviving the condition).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryOutput {
+    /// Column names of the `RETURN` clause (empty when the query does not
+    /// return anything).
+    pub columns: Vec<String>,
+    /// Returned rows, aligned with `columns`.
+    pub rows: Vec<Vec<Value>>,
+    /// The binding rows after the last clause.
+    pub bindings: Vec<Row>,
+}
+
+impl QueryOutput {
+    /// First returned value of the first row, if any. Convenience accessor
+    /// for single-value queries in tests and examples.
+    pub fn single(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_basics() {
+        let mut r = Row::new();
+        assert!(r.is_empty());
+        r.set("a", Value::Int(1));
+        r.set("a", Value::Int(2));
+        assert_eq!(r.get("a"), Some(&Value::Int(2)));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains("a"));
+        assert!(!r.contains("b"));
+    }
+
+    #[test]
+    fn rows_ordered_by_name() {
+        let r = Row::from_pairs([
+            ("z".to_string(), Value::Int(1)),
+            ("a".to_string(), Value::Int(2)),
+        ]);
+        let names: Vec<_> = r.names().cloned().collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn output_single() {
+        let out = QueryOutput {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(42)]],
+            bindings: vec![],
+        };
+        assert_eq!(out.single(), Some(&Value::Int(42)));
+        assert_eq!(QueryOutput::default().single(), None);
+    }
+}

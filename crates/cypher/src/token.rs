@@ -1,0 +1,158 @@
+//! Tokens produced by the lexer.
+
+use std::fmt;
+
+/// A lexical token with its source position (byte offset) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively by the lexer and
+/// normalized here; identifiers preserve their original spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // literals & names
+    Ident(String),
+    /// `'...'` or `"..."` string literal (escapes resolved).
+    Str(String),
+    Int(i64),
+    Float(f64),
+    /// `$name` query parameter.
+    Param(String),
+
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    DotDot,
+    Colon,
+    Semicolon,
+    Pipe,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusEq,
+    /// `->` arrow head.
+    ArrowRight,
+    /// `<-` arrow tail.
+    ArrowLeft,
+
+    // keywords (upper-cased canonical spelling)
+    Match,
+    Optional,
+    Where,
+    Create,
+    Merge,
+    Delete,
+    Detach,
+    Set,
+    Remove,
+    Return,
+    With,
+    Unwind,
+    As,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Skip,
+    Limit,
+    Distinct,
+    And,
+    Or,
+    Xor,
+    Not,
+    In,
+    Starts,
+    Ends,
+    Contains,
+    Is,
+    Null,
+    True,
+    False,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Exists,
+    Foreach,
+    On,
+    Abort,
+
+    Eof,
+}
+
+impl TokenKind {
+    /// The identifier text, when this token can serve as a name. Most
+    /// keywords double as identifiers in property/label position (Cypher is
+    /// permissive there: `n.end`, `:Case` are legal).
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            TokenKind::Match => Some("match"),
+            TokenKind::Optional => Some("optional"),
+            TokenKind::Where => Some("where"),
+            TokenKind::Create => Some("create"),
+            TokenKind::Merge => Some("merge"),
+            TokenKind::Delete => Some("delete"),
+            TokenKind::Detach => Some("detach"),
+            TokenKind::Set => Some("set"),
+            TokenKind::Remove => Some("remove"),
+            TokenKind::Return => Some("return"),
+            TokenKind::With => Some("with"),
+            TokenKind::Unwind => Some("unwind"),
+            TokenKind::As => Some("as"),
+            TokenKind::Order => Some("order"),
+            TokenKind::By => Some("by"),
+            TokenKind::Asc => Some("asc"),
+            TokenKind::Desc => Some("desc"),
+            TokenKind::Skip => Some("skip"),
+            TokenKind::Limit => Some("limit"),
+            TokenKind::Distinct => Some("distinct"),
+            TokenKind::Contains => Some("contains"),
+            TokenKind::Case => Some("case"),
+            TokenKind::When => Some("when"),
+            TokenKind::Then => Some("then"),
+            TokenKind::Else => Some("else"),
+            TokenKind::End => Some("end"),
+            TokenKind::Exists => Some("exists"),
+            TokenKind::Foreach => Some("foreach"),
+            TokenKind::On => Some("on"),
+            TokenKind::Abort => Some("abort"),
+            TokenKind::Starts => Some("starts"),
+            TokenKind::Ends => Some("ends"),
+            TokenKind::Is => Some("is"),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Param(p) => write!(f, "${p}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Additional evaluator coverage: interactions between clauses, edge cases
+//! of aggregation, OPTIONAL MATCH, MERGE, FOREACH nesting, and functions.
+
+use pg_cypher::{run_query, CypherError, Params};
+use pg_graph::{Graph, Value};
+
+fn run(g: &mut Graph, src: &str) -> pg_cypher::QueryOutput {
+    run_query(g, src, &Params::new(), 0).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+#[test]
+fn multiple_group_keys() {
+    let mut g = Graph::new();
+    run(
+        &mut g,
+        "CREATE (:S {a: 1, b: 'x', v: 10}), (:S {a: 1, b: 'x', v: 20}),
+                (:S {a: 1, b: 'y', v: 5}), (:S {a: 2, b: 'x', v: 1})",
+    );
+    let out = run(
+        &mut g,
+        "MATCH (s:S) RETURN s.a AS a, s.b AS b, sum(s.v) AS total ORDER BY a, b",
+    );
+    assert_eq!(
+        out.rows,
+        vec![
+            vec![Value::Int(1), Value::str("x"), Value::Int(30)],
+            vec![Value::Int(1), Value::str("y"), Value::Int(5)],
+            vec![Value::Int(2), Value::str("x"), Value::Int(1)],
+        ]
+    );
+}
+
+#[test]
+fn min_max_avg_over_mixed() {
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (:N {v: 1}), (:N {v: 4}), (:N)");
+    let out = run(
+        &mut g,
+        "MATCH (n:N) RETURN min(n.v) AS lo, max(n.v) AS hi, avg(n.v) AS mean, count(n.v) AS nonnull",
+    );
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::Int(1), Value::Int(4), Value::Float(2.5), Value::Int(2)]]
+    );
+}
+
+#[test]
+fn optional_match_chain_preserves_rows() {
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (:A {i: 1})-[:R]->(:B {i: 1}) CREATE (:A {i: 2})");
+    let out = run(
+        &mut g,
+        "MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(b:B) \
+         RETURN a.i AS a, b.i AS b ORDER BY a",
+    );
+    assert_eq!(
+        out.rows,
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(2), Value::Null],
+        ]
+    );
+}
+
+#[test]
+fn merge_reuses_bound_endpoints() {
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (:U {id: 1}), (:U {id: 2})");
+    // merging the same relationship twice in separate statements
+    for _ in 0..2 {
+        run(
+            &mut g,
+            "MATCH (a:U {id: 1}), (b:U {id: 2}) MERGE (a)-[:FOLLOWS]->(b)",
+        );
+    }
+    assert_eq!(g.rel_count(), 1);
+    // opposite direction is a different pattern → new rel
+    run(
+        &mut g,
+        "MATCH (a:U {id: 1}), (b:U {id: 2}) MERGE (b)-[:FOLLOWS]->(a)",
+    );
+    assert_eq!(g.rel_count(), 2);
+}
+
+#[test]
+fn nested_foreach() {
+    let mut g = Graph::new();
+    run(
+        &mut g,
+        "FOREACH (i IN range(0, 2) | FOREACH (j IN range(0, 2) | CREATE (:Cell {i: i, j: j})))",
+    );
+    let out = run(&mut g, "MATCH (c:Cell) RETURN count(*) AS n");
+    assert_eq!(out.single(), Some(&Value::Int(9)));
+}
+
+#[test]
+fn foreach_sees_outer_bindings() {
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (:Hub {name: 'h'})");
+    run(
+        &mut g,
+        "MATCH (h:Hub) FOREACH (i IN range(1, 3) | CREATE (h)-[:SPOKE]->(:Leaf {i: i}))",
+    );
+    let out = run(&mut g, "MATCH (:Hub)-[:SPOKE]->(l:Leaf) RETURN count(l) AS n");
+    assert_eq!(out.single(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn exists_with_where_inside() {
+    let mut g = Graph::new();
+    run(
+        &mut g,
+        "CREATE (:P {name: 'a'})-[:OWNS]->(:Car {year: 2020})
+         CREATE (:P {name: 'b'})-[:OWNS]->(:Car {year: 1999})",
+    );
+    let out = run(
+        &mut g,
+        "MATCH (p:P) WHERE EXISTS { MATCH (p)-[:OWNS]->(c:Car) WHERE c.year > 2010 } \
+         RETURN p.name AS n",
+    );
+    assert_eq!(out.rows, vec![vec![Value::str("a")]]);
+}
+
+#[test]
+fn var_length_with_rel_type_filter() {
+    let mut g = Graph::new();
+    run(
+        &mut g,
+        "CREATE (a:V {i: 0})-[:GOOD]->(b:V {i: 1})-[:BAD]->(c:V {i: 2}) \
+         WITH 1 AS _ MATCH (b:V {i: 1}) CREATE (b)-[:GOOD]->(:V {i: 3})",
+    );
+    let out = run(
+        &mut g,
+        "MATCH (a:V {i: 0})-[:GOOD*1..3]->(x) RETURN collect(x.i) AS xs",
+    );
+    // only GOOD edges traversed: 1 then 3
+    match out.single() {
+        Some(Value::List(xs)) => {
+            let mut got: Vec<i64> = xs.iter().map(|v| v.as_i64().unwrap()).collect();
+            got.sort();
+            assert_eq!(got, vec![1, 3]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn unwind_nested_lists_and_maps() {
+    let mut g = Graph::new();
+    let out = run(
+        &mut g,
+        "UNWIND [{k: 'a', v: 1}, {k: 'b', v: 2}] AS row RETURN row.k AS k, row.v + 10 AS v",
+    );
+    assert_eq!(
+        out.rows,
+        vec![
+            vec![Value::str("a"), Value::Int(11)],
+            vec![Value::str("b"), Value::Int(12)],
+        ]
+    );
+}
+
+#[test]
+fn with_distinct_then_aggregate() {
+    let mut g = Graph::new();
+    let out = run(
+        &mut g,
+        "UNWIND [1, 1, 2, 2, 3] AS x WITH DISTINCT x RETURN sum(x) AS s",
+    );
+    assert_eq!(out.single(), Some(&Value::Int(6)));
+}
+
+#[test]
+fn delete_inside_foreach() {
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (:T {i: 1}), (:T {i: 2}), (:T {i: 3})");
+    run(
+        &mut g,
+        "MATCH (t:T) WITH collect(t) AS ts FOREACH (x IN ts | DETACH DELETE x)",
+    );
+    assert_eq!(g.node_count(), 0);
+}
+
+#[test]
+fn set_case_expression() {
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (:G {score: 85}), (:G {score: 40})");
+    run(
+        &mut g,
+        "MATCH (x:G) SET x.grade = CASE WHEN x.score >= 60 THEN 'pass' ELSE 'fail' END",
+    );
+    let out = run(&mut g, "MATCH (x:G) RETURN x.grade AS g ORDER BY g");
+    assert_eq!(out.rows, vec![vec![Value::str("fail")], vec![Value::str("pass")]]);
+}
+
+#[test]
+fn parameters_in_patterns_and_props() {
+    let mut g = Graph::new();
+    let mut params = Params::new();
+    params.insert("nm".into(), Value::str("Ada"));
+    params.insert("age".into(), Value::Int(36));
+    run_query(&mut g, "CREATE (:P {name: $nm, age: $age})", &params, 0).unwrap();
+    let out = run_query(
+        &mut g,
+        "MATCH (p:P {name: $nm}) RETURN p.age AS a",
+        &params,
+        0,
+    )
+    .unwrap();
+    assert_eq!(out.rows, vec![vec![Value::Int(36)]]);
+}
+
+#[test]
+fn coalesce_head_collect_pipeline() {
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (:I {v: 3}), (:I {v: 1}), (:I)");
+    let out = run(
+        &mut g,
+        "MATCH (i:I) WITH coalesce(i.v, 0) AS v ORDER BY v DESC \
+         RETURN head(collect(v)) AS top",
+    );
+    assert_eq!(out.single(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn abort_does_not_fire_without_rows() {
+    let mut g = Graph::new();
+    run(&mut g, "MATCH (n:Missing) ABORT 'never'");
+    let err = run_query(&mut g, "CREATE (:X) WITH 1 AS one ABORT 'now'", &Params::new(), 0)
+        .unwrap_err();
+    assert_eq!(err, CypherError::Aborted("now".into()));
+}
+
+#[test]
+fn startnode_endnode_and_type() {
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (:A {n: 'a'})-[:LIKES]->(:B {n: 'b'})");
+    let out = run(
+        &mut g,
+        "MATCH ()-[r]->() RETURN type(r) AS t, startNode(r).n AS s, endNode(r).n AS e",
+    );
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::str("LIKES"), Value::str("a"), Value::str("b")]]
+    );
+}
+
+#[test]
+fn detach_delete_is_idempotent_across_rows() {
+    // the same node matched by several rows deletes cleanly once
+    let mut g = Graph::new();
+    run(&mut g, "CREATE (h:H)-[:R]->(:S), (h2:H)-[:R]->(:S)");
+    run(&mut g, "MATCH (h:H)-[:R]->(s:S) DETACH DELETE s, s");
+    let out = run(&mut g, "MATCH (s:S) RETURN count(*) AS n");
+    assert_eq!(out.single(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn skip_limit_expressions() {
+    let mut g = Graph::new();
+    let out = run(&mut g, "UNWIND range(1, 10) AS x RETURN x SKIP 2 + 1 LIMIT 2 * 2");
+    assert_eq!(out.rows.len(), 4);
+    assert_eq!(out.rows[0], vec![Value::Int(4)]);
+}

@@ -1,0 +1,39 @@
+//! # pg-graph — in-memory property graph store
+//!
+//! The storage substrate for the PG-Triggers reproduction. It provides:
+//!
+//! * a directed **property graph** (multi-labeled nodes, typed relationships,
+//!   `⟨property, value⟩` pairs on both), following the data model of
+//!   *PG-Triggers: Triggers for Property Graphs* (SIGMOD-Companion '24) §2;
+//! * **transactions** with statement marks, commit and rollback, built on an
+//!   undo-capable operation log;
+//! * **change deltas** mirroring the transition metadata that Neo4j APOC
+//!   (paper Table 2/3) and Memgraph (paper Table 4) expose to triggers:
+//!   created/deleted nodes and relationships, assigned/removed labels, and
+//!   assigned/removed properties with old and new values;
+//! * read **views**: the live graph, and a [`PreStateView`] that exposes the
+//!   state *before* a statement ran (needed for `BEFORE` trigger semantics).
+//!
+//! The crate is deliberately free of query-language concerns; `pg-cypher`
+//! layers a Cypher subset on top of the [`GraphView`] trait and the mutation
+//! API of [`Graph`].
+
+pub mod delta;
+pub mod error;
+pub mod ids;
+pub mod op;
+pub mod props;
+pub mod record;
+pub mod store;
+pub mod value;
+pub mod view;
+
+pub use delta::{Delta, LabelEvent, PropAssign, PropRemove};
+pub use error::{GraphError, Result};
+pub use ids::{ItemRef, NodeId, RelId};
+pub use op::Op;
+pub use props::PropertyMap;
+pub use record::{NodeRecord, RelRecord};
+pub use store::{Graph, StatementMark, WritePolicy};
+pub use value::{Direction, Value};
+pub use view::{GraphView, PreStateView};

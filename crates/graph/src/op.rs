@@ -1,0 +1,119 @@
+//! The undo-capable operation log.
+//!
+//! Every mutation performed inside a transaction appends one [`Op`]. The log
+//! serves three purposes:
+//!
+//! 1. **Rollback** — applying inverses in reverse order restores the
+//!    pre-transaction state;
+//! 2. **Deltas** — a slice of the log normalizes into a [`crate::Delta`],
+//!    the statement- or transaction-level change set that drives trigger
+//!    activation (paper §4.2 "Granularity");
+//! 3. **Pre-state views** — [`crate::PreStateView`] reverses a slice on the
+//!    fly so `BEFORE` triggers can evaluate conditions against the state
+//!    preceding the activating statement.
+
+use crate::ids::{NodeId, RelId};
+use crate::record::{NodeRecord, RelRecord};
+use crate::value::Value;
+
+/// One primitive mutation. Ops carry enough old state to be inverted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A node was created (the record snapshot includes its initial labels
+    /// and properties).
+    CreateNode { record: NodeRecord },
+    /// A node was deleted; `record` is its state at deletion time.
+    DeleteNode { record: NodeRecord },
+    /// A relationship was created.
+    CreateRel { record: RelRecord },
+    /// A relationship was deleted; `record` is its state at deletion time.
+    DeleteRel { record: RelRecord },
+    /// A label was added to an existing node (recorded only when it was not
+    /// already present).
+    SetLabel { node: NodeId, label: String },
+    /// A label was removed from a node (recorded only when present).
+    RemoveLabel { node: NodeId, label: String },
+    /// A node property was assigned. `old` is `None` when the property did
+    /// not previously exist.
+    SetNodeProp {
+        node: NodeId,
+        key: String,
+        old: Option<Value>,
+        new: Value,
+    },
+    /// A node property was removed; `old` is its previous value.
+    RemoveNodeProp {
+        node: NodeId,
+        key: String,
+        old: Value,
+    },
+    /// A relationship property was assigned.
+    SetRelProp {
+        rel: RelId,
+        key: String,
+        old: Option<Value>,
+        new: Value,
+    },
+    /// A relationship property was removed.
+    RemoveRelProp { rel: RelId, key: String, old: Value },
+}
+
+impl Op {
+    /// The node this op touches, if it is a node-directed op.
+    pub fn node_id(&self) -> Option<NodeId> {
+        match self {
+            Op::CreateNode { record } | Op::DeleteNode { record } => Some(record.id),
+            Op::SetLabel { node, .. }
+            | Op::RemoveLabel { node, .. }
+            | Op::SetNodeProp { node, .. }
+            | Op::RemoveNodeProp { node, .. } => Some(*node),
+            _ => None,
+        }
+    }
+
+    /// The relationship this op touches, if it is a relationship-directed op.
+    pub fn rel_id(&self) -> Option<RelId> {
+        match self {
+            Op::CreateRel { record } | Op::DeleteRel { record } => Some(record.id),
+            Op::SetRelProp { rel, .. } | Op::RemoveRelProp { rel, .. } => Some(*rel),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable tag, used in traces and error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::CreateNode { .. } => "CreateNode",
+            Op::DeleteNode { .. } => "DeleteNode",
+            Op::CreateRel { .. } => "CreateRel",
+            Op::DeleteRel { .. } => "DeleteRel",
+            Op::SetLabel { .. } => "SetLabel",
+            Op::RemoveLabel { .. } => "RemoveLabel",
+            Op::SetNodeProp { .. } => "SetNodeProp",
+            Op::RemoveNodeProp { .. } => "RemoveNodeProp",
+            Op::SetRelProp { .. } => "SetRelProp",
+            Op::RemoveRelProp { .. } => "RemoveRelProp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_accessors() {
+        let n = NodeRecord::new(NodeId(1));
+        assert_eq!(Op::CreateNode { record: n.clone() }.node_id(), Some(NodeId(1)));
+        assert_eq!(Op::CreateNode { record: n }.rel_id(), None);
+        let op = Op::SetRelProp {
+            rel: RelId(4),
+            key: "k".into(),
+            old: None,
+            new: Value::Int(1),
+        };
+        assert_eq!(op.rel_id(), Some(RelId(4)));
+        assert_eq!(op.node_id(), None);
+        assert_eq!(op.kind(), "SetRelProp");
+    }
+}

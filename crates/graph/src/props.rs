@@ -1,0 +1,130 @@
+//! Property maps attached to nodes and relationships.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An ordered `⟨property, value⟩` map. `NULL` is never stored: assigning
+/// `NULL` to a property removes it, following Cypher `SET` semantics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PropertyMap {
+    entries: BTreeMap<String, Value>,
+}
+
+impl PropertyMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get a property value (`None` when absent; callers usually map this to
+    /// `Value::Null`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Insert/overwrite a property, returning the previous value. Inserting
+    /// `NULL` removes the key instead.
+    pub fn set(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        if value.is_null() {
+            self.entries.remove(&key)
+        } else {
+            self.entries.insert(key, value)
+        }
+    }
+
+    /// Remove a property, returning its old value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.keys()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Convert into a `Value::Map` (used to materialize `OLD` transition
+    /// variables for deleted items, paper §4.2 "Transition Variables").
+    pub fn to_value(&self) -> Value {
+        Value::Map(self.entries.clone())
+    }
+}
+
+impl FromIterator<(String, Value)> for PropertyMap {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut pm = PropertyMap::new();
+        for (k, v) in iter {
+            pm.set(k, v);
+        }
+        pm
+    }
+}
+
+impl<'a> IntoIterator for &'a PropertyMap {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut pm = PropertyMap::new();
+        assert_eq!(pm.set("a", Value::Int(1)), None);
+        assert_eq!(pm.get("a"), Some(&Value::Int(1)));
+        assert_eq!(pm.set("a", Value::Int(2)), Some(Value::Int(1)));
+        assert_eq!(pm.remove("a"), Some(Value::Int(2)));
+        assert!(pm.is_empty());
+    }
+
+    #[test]
+    fn setting_null_removes() {
+        let mut pm = PropertyMap::new();
+        pm.set("a", Value::Int(1));
+        assert_eq!(pm.set("a", Value::Null), Some(Value::Int(1)));
+        assert!(!pm.contains("a"));
+        // setting NULL on an absent key is a no-op
+        assert_eq!(pm.set("b", Value::Null), None);
+        assert!(pm.is_empty());
+    }
+
+    #[test]
+    fn to_value_materializes_map() {
+        let pm: PropertyMap = [("x".to_string(), Value::Int(1))].into_iter().collect();
+        assert_eq!(
+            pm.to_value(),
+            Value::map([("x".to_string(), Value::Int(1))])
+        );
+    }
+
+    #[test]
+    fn from_iter_drops_nulls() {
+        let pm: PropertyMap = [
+            ("x".to_string(), Value::Int(1)),
+            ("y".to_string(), Value::Null),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(pm.len(), 1);
+    }
+}

@@ -1,0 +1,881 @@
+//! The graph store: storage, indexes, transactions, and the mutation API.
+
+use crate::delta::Delta;
+use crate::error::{GraphError, Result};
+use crate::ids::{ItemRef, NodeId, RelId};
+use crate::op::Op;
+use crate::props::PropertyMap;
+use crate::record::{NodeRecord, RelRecord};
+use crate::value::{Direction, Value};
+use crate::view::GraphView;
+use std::collections::{BTreeSet, HashMap};
+
+/// Controls which mutations the store accepts. The PG-Trigger engine uses
+/// this to enforce the paper's `BEFORE`-trigger restriction (§4.2: "BEFORE
+/// statements should not produce arbitrary changes, but just condition NEW
+/// states") and to make condition evaluation provably read-only.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum WritePolicy {
+    /// All mutations allowed.
+    #[default]
+    Unrestricted,
+    /// No mutations allowed (condition evaluation).
+    ReadOnly,
+    /// Only property assignment/removal on the listed items (the NEW items
+    /// of the activating statement) is allowed.
+    ConditionNewOnly(BTreeSet<ItemRef>),
+}
+
+/// An opaque position in the transaction's operation log, delimiting a
+/// statement. `Graph::delta_since(mark)` yields the statement-level delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatementMark(usize);
+
+#[derive(Debug, Default)]
+struct TxState {
+    ops: Vec<Op>,
+}
+
+/// The in-memory property graph.
+///
+/// Mutations performed while a transaction is active are recorded in an
+/// undo-capable operation log; outside a transaction they apply immediately
+/// without logging (bulk-load mode, used by data generators).
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: HashMap<NodeId, NodeRecord>,
+    rels: HashMap<RelId, RelRecord>,
+    out_adj: HashMap<NodeId, Vec<RelId>>,
+    in_adj: HashMap<NodeId, Vec<RelId>>,
+    label_index: HashMap<String, BTreeSet<NodeId>>,
+    type_index: HashMap<String, BTreeSet<RelId>>,
+    next_node: u64,
+    next_rel: u64,
+    tx: Option<TxState>,
+    policy: WritePolicy,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction. Fails if one is already active.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.tx.is_some() {
+            return Err(GraphError::TransactionActive);
+        }
+        self.tx = Some(TxState::default());
+        Ok(())
+    }
+
+    /// Whether a transaction is active.
+    pub fn in_tx(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Commit the active transaction, returning its full operation log.
+    pub fn commit(&mut self) -> Result<Vec<Op>> {
+        match self.tx.take() {
+            Some(tx) => Ok(tx.ops),
+            None => Err(GraphError::NoActiveTransaction),
+        }
+    }
+
+    /// Roll back the active transaction, restoring the pre-transaction state.
+    pub fn rollback(&mut self) -> Result<()> {
+        let tx = self.tx.take().ok_or(GraphError::NoActiveTransaction)?;
+        self.undo_ops(&tx.ops);
+        Ok(())
+    }
+
+    /// Roll back to a statement mark, undoing only the ops after it. Used to
+    /// abort a single statement (and its triggers) without losing earlier
+    /// work in the transaction.
+    pub fn rollback_to(&mut self, mark: StatementMark) -> Result<()> {
+        let tx = self.tx.as_mut().ok_or(GraphError::NoActiveTransaction)?;
+        let tail: Vec<Op> = tx.ops.split_off(mark.0);
+        self.undo_ops(&tail);
+        Ok(())
+    }
+
+    fn undo_ops(&mut self, ops: &[Op]) {
+        for op in ops.iter().rev() {
+            match op {
+                Op::CreateNode { record } => {
+                    self.raw_remove_node(record.id);
+                }
+                Op::DeleteNode { record } => {
+                    self.raw_insert_node(record.clone());
+                }
+                Op::CreateRel { record } => {
+                    self.raw_remove_rel(record.id);
+                }
+                Op::DeleteRel { record } => {
+                    self.raw_insert_rel(record.clone());
+                }
+                Op::SetLabel { node, label } => {
+                    if let Some(n) = self.nodes.get_mut(node) {
+                        n.labels.remove(label);
+                    }
+                    if let Some(ix) = self.label_index.get_mut(label) {
+                        ix.remove(node);
+                    }
+                }
+                Op::RemoveLabel { node, label } => {
+                    if let Some(n) = self.nodes.get_mut(node) {
+                        n.labels.insert(label.clone());
+                    }
+                    self.label_index.entry(label.clone()).or_default().insert(*node);
+                }
+                Op::SetNodeProp { node, key, old, .. } => {
+                    if let Some(n) = self.nodes.get_mut(node) {
+                        match old {
+                            Some(v) => {
+                                n.props.set(key.clone(), v.clone());
+                            }
+                            None => {
+                                n.props.remove(key);
+                            }
+                        }
+                    }
+                }
+                Op::RemoveNodeProp { node, key, old } => {
+                    if let Some(n) = self.nodes.get_mut(node) {
+                        n.props.set(key.clone(), old.clone());
+                    }
+                }
+                Op::SetRelProp { rel, key, old, .. } => {
+                    if let Some(r) = self.rels.get_mut(rel) {
+                        match old {
+                            Some(v) => {
+                                r.props.set(key.clone(), v.clone());
+                            }
+                            None => {
+                                r.props.remove(key);
+                            }
+                        }
+                    }
+                }
+                Op::RemoveRelProp { rel, key, old } => {
+                    if let Some(r) = self.rels.get_mut(rel) {
+                        r.props.set(key.clone(), old.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mark the current position in the op log (a statement boundary).
+    pub fn mark(&self) -> StatementMark {
+        StatementMark(self.tx.as_ref().map(|t| t.ops.len()).unwrap_or(0))
+    }
+
+    /// The ops recorded since `mark`.
+    pub fn ops_since(&self, mark: StatementMark) -> &[Op] {
+        match &self.tx {
+            Some(tx) => &tx.ops[mark.0.min(tx.ops.len())..],
+            None => &[],
+        }
+    }
+
+    /// The normalized delta of the ops since `mark`.
+    pub fn delta_since(&self, mark: StatementMark) -> Delta {
+        let ops = self.ops_since(mark);
+        Delta::from_ops(
+            ops,
+            |id| self.nodes.get(&id).cloned(),
+            |id| self.rels.get(&id).cloned(),
+        )
+    }
+
+    /// Normalize an arbitrary op slice against the **current** state (used
+    /// for transaction-level deltas after commit).
+    pub fn delta_of_ops(&self, ops: &[Op]) -> Delta {
+        Delta::from_ops(
+            ops,
+            |id| self.nodes.get(&id).cloned(),
+            |id| self.rels.get(&id).cloned(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Write policy
+    // ------------------------------------------------------------------
+
+    /// Replace the write policy, returning the previous one.
+    pub fn set_write_policy(&mut self, policy: WritePolicy) -> WritePolicy {
+        std::mem::replace(&mut self.policy, policy)
+    }
+
+    pub fn write_policy(&self) -> &WritePolicy {
+        &self.policy
+    }
+
+    fn check_write(&self, op: &'static str, item: Option<ItemRef>) -> Result<()> {
+        match &self.policy {
+            WritePolicy::Unrestricted => Ok(()),
+            WritePolicy::ReadOnly => Err(GraphError::WritePolicy { op, item }),
+            WritePolicy::ConditionNewOnly(allowed) => match item {
+                Some(i) if allowed.contains(&i) && (op.contains("prop")) => Ok(()),
+                _ => Err(GraphError::WritePolicy { op, item }),
+            },
+        }
+    }
+
+    fn log(&mut self, op: Op) {
+        if let Some(tx) = &mut self.tx {
+            tx.ops.push(op);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Raw (index-maintaining, unlogged) helpers
+    // ------------------------------------------------------------------
+
+    fn raw_insert_node(&mut self, record: NodeRecord) {
+        for l in &record.labels {
+            self.label_index.entry(l.clone()).or_default().insert(record.id);
+        }
+        self.out_adj.entry(record.id).or_default();
+        self.in_adj.entry(record.id).or_default();
+        self.nodes.insert(record.id, record);
+    }
+
+    fn raw_remove_node(&mut self, id: NodeId) {
+        if let Some(rec) = self.nodes.remove(&id) {
+            for l in &rec.labels {
+                if let Some(ix) = self.label_index.get_mut(l) {
+                    ix.remove(&id);
+                }
+            }
+        }
+        self.out_adj.remove(&id);
+        self.in_adj.remove(&id);
+    }
+
+    fn raw_insert_rel(&mut self, record: RelRecord) {
+        self.type_index.entry(record.rel_type.clone()).or_default().insert(record.id);
+        self.out_adj.entry(record.src).or_default().push(record.id);
+        self.in_adj.entry(record.dst).or_default().push(record.id);
+        self.rels.insert(record.id, record);
+    }
+
+    fn raw_remove_rel(&mut self, id: RelId) {
+        if let Some(rec) = self.rels.remove(&id) {
+            if let Some(ix) = self.type_index.get_mut(&rec.rel_type) {
+                ix.remove(&id);
+            }
+            if let Some(adj) = self.out_adj.get_mut(&rec.src) {
+                adj.retain(|&r| r != id);
+            }
+            if let Some(adj) = self.in_adj.get_mut(&rec.dst) {
+                adj.retain(|&r| r != id);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
+    /// Create a node with the given labels and properties.
+    pub fn create_node<L, S>(&mut self, labels: L, props: PropertyMap) -> Result<NodeId>
+    where
+        L: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.check_write("create node", None)?;
+        for (k, v) in props.iter() {
+            if !v.is_storable() {
+                return Err(GraphError::NotStorable {
+                    key: k.clone(),
+                    type_name: v.type_name(),
+                });
+            }
+        }
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let record = NodeRecord {
+            id,
+            labels: labels.into_iter().map(Into::into).collect(),
+            props,
+        };
+        self.raw_insert_node(record.clone());
+        self.log(Op::CreateNode { record });
+        Ok(id)
+    }
+
+    /// Delete a node. Fails with [`GraphError::HasRelationships`] when
+    /// relationships remain; use [`Graph::detach_delete_node`] for Cypher's
+    /// `DETACH DELETE`.
+    pub fn delete_node(&mut self, id: NodeId) -> Result<()> {
+        self.check_write("delete node", Some(id.into()))?;
+        let rec = self.nodes.get(&id).ok_or(GraphError::NodeNotFound(id))?.clone();
+        let degree = self.out_adj.get(&id).map(|v| v.len()).unwrap_or(0)
+            + self.in_adj.get(&id).map(|v| v.len()).unwrap_or(0);
+        if degree > 0 {
+            return Err(GraphError::HasRelationships(id));
+        }
+        self.raw_remove_node(id);
+        self.log(Op::DeleteNode { record: rec });
+        Ok(())
+    }
+
+    /// Delete a node together with all its relationships.
+    pub fn detach_delete_node(&mut self, id: NodeId) -> Result<()> {
+        self.check_write("delete node", Some(id.into()))?;
+        if !self.nodes.contains_key(&id) {
+            return Err(GraphError::NodeNotFound(id));
+        }
+        let mut attached: Vec<RelId> = Vec::new();
+        if let Some(out) = self.out_adj.get(&id) {
+            attached.extend(out.iter().copied());
+        }
+        if let Some(inc) = self.in_adj.get(&id) {
+            attached.extend(inc.iter().copied());
+        }
+        attached.sort();
+        attached.dedup();
+        for rid in attached {
+            self.delete_rel(rid)?;
+        }
+        self.delete_node(id)
+    }
+
+    /// Create a relationship.
+    pub fn create_rel(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        rel_type: impl Into<String>,
+        props: PropertyMap,
+    ) -> Result<RelId> {
+        self.check_write("create relationship", None)?;
+        if !self.nodes.contains_key(&src) {
+            return Err(GraphError::NodeNotFound(src));
+        }
+        if !self.nodes.contains_key(&dst) {
+            return Err(GraphError::NodeNotFound(dst));
+        }
+        for (k, v) in props.iter() {
+            if !v.is_storable() {
+                return Err(GraphError::NotStorable {
+                    key: k.clone(),
+                    type_name: v.type_name(),
+                });
+            }
+        }
+        let id = RelId(self.next_rel);
+        self.next_rel += 1;
+        let record = RelRecord {
+            id,
+            rel_type: rel_type.into(),
+            src,
+            dst,
+            props,
+        };
+        self.raw_insert_rel(record.clone());
+        self.log(Op::CreateRel { record });
+        Ok(id)
+    }
+
+    /// Delete a relationship.
+    pub fn delete_rel(&mut self, id: RelId) -> Result<()> {
+        self.check_write("delete relationship", Some(id.into()))?;
+        let rec = self.rels.get(&id).ok_or(GraphError::RelNotFound(id))?.clone();
+        self.raw_remove_rel(id);
+        self.log(Op::DeleteRel { record: rec });
+        Ok(())
+    }
+
+    /// Add a label to a node; returns `false` (and records nothing) when the
+    /// label was already present.
+    pub fn set_label(&mut self, node: NodeId, label: impl Into<String>) -> Result<bool> {
+        let label = label.into();
+        self.check_write("set label", Some(node.into()))?;
+        let rec = self.nodes.get_mut(&node).ok_or(GraphError::NodeNotFound(node))?;
+        if !rec.labels.insert(label.clone()) {
+            return Ok(false);
+        }
+        self.label_index.entry(label.clone()).or_default().insert(node);
+        self.log(Op::SetLabel { node, label });
+        Ok(true)
+    }
+
+    /// Remove a label from a node; `false` when it was absent.
+    pub fn remove_label(&mut self, node: NodeId, label: &str) -> Result<bool> {
+        self.check_write("remove label", Some(node.into()))?;
+        let rec = self.nodes.get_mut(&node).ok_or(GraphError::NodeNotFound(node))?;
+        if !rec.labels.remove(label) {
+            return Ok(false);
+        }
+        if let Some(ix) = self.label_index.get_mut(label) {
+            ix.remove(&node);
+        }
+        self.log(Op::RemoveLabel {
+            node,
+            label: label.to_string(),
+        });
+        Ok(true)
+    }
+
+    /// Assign a node property. Assigning `NULL` removes the property, per
+    /// Cypher `SET` semantics.
+    pub fn set_node_prop(&mut self, node: NodeId, key: impl Into<String>, value: Value) -> Result<()> {
+        let key = key.into();
+        self.check_write("set node prop", Some(node.into()))?;
+        if !value.is_storable() {
+            return Err(GraphError::NotStorable {
+                key,
+                type_name: value.type_name(),
+            });
+        }
+        let rec = self.nodes.get_mut(&node).ok_or(GraphError::NodeNotFound(node))?;
+        if value.is_null() {
+            if let Some(old) = rec.props.remove(&key) {
+                self.log(Op::RemoveNodeProp { node, key, old });
+            }
+            return Ok(());
+        }
+        let old = rec.props.set(key.clone(), value.clone());
+        self.log(Op::SetNodeProp {
+            node,
+            key,
+            old,
+            new: value,
+        });
+        Ok(())
+    }
+
+    /// Remove a node property, returning its old value (if any).
+    pub fn remove_node_prop(&mut self, node: NodeId, key: &str) -> Result<Option<Value>> {
+        self.check_write("remove node prop", Some(node.into()))?;
+        let rec = self.nodes.get_mut(&node).ok_or(GraphError::NodeNotFound(node))?;
+        let old = rec.props.remove(key);
+        if let Some(old_v) = &old {
+            self.log(Op::RemoveNodeProp {
+                node,
+                key: key.to_string(),
+                old: old_v.clone(),
+            });
+        }
+        Ok(old)
+    }
+
+    /// Assign a relationship property (`NULL` removes).
+    pub fn set_rel_prop(&mut self, rel: RelId, key: impl Into<String>, value: Value) -> Result<()> {
+        let key = key.into();
+        self.check_write("set rel prop", Some(rel.into()))?;
+        if !value.is_storable() {
+            return Err(GraphError::NotStorable {
+                key,
+                type_name: value.type_name(),
+            });
+        }
+        let rec = self.rels.get_mut(&rel).ok_or(GraphError::RelNotFound(rel))?;
+        if value.is_null() {
+            if let Some(old) = rec.props.remove(&key) {
+                self.log(Op::RemoveRelProp { rel, key, old });
+            }
+            return Ok(());
+        }
+        let old = rec.props.set(key.clone(), value.clone());
+        self.log(Op::SetRelProp {
+            rel,
+            key,
+            old,
+            new: value,
+        });
+        Ok(())
+    }
+
+    /// Remove a relationship property.
+    pub fn remove_rel_prop(&mut self, rel: RelId, key: &str) -> Result<Option<Value>> {
+        self.check_write("remove rel prop", Some(rel.into()))?;
+        let rec = self.rels.get_mut(&rel).ok_or(GraphError::RelNotFound(rel))?;
+        let old = rec.props.remove(key);
+        if let Some(old_v) = &old {
+            self.log(Op::RemoveRelProp {
+                rel,
+                key: key.to_string(),
+                old: old_v.clone(),
+            });
+        }
+        Ok(old)
+    }
+
+    // ------------------------------------------------------------------
+    // Direct reads (record access)
+    // ------------------------------------------------------------------
+
+    pub fn node(&self, id: NodeId) -> Option<&NodeRecord> {
+        self.nodes.get(&id)
+    }
+
+    pub fn rel(&self, id: RelId) -> Option<&RelRecord> {
+        self.rels.get(&id)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// All labels currently present (with non-empty extents).
+    pub fn labels(&self) -> Vec<String> {
+        let mut ls: Vec<String> = self
+            .label_index
+            .iter()
+            .filter(|(_, ix)| !ix.is_empty())
+            .map(|(l, _)| l.clone())
+            .collect();
+        ls.sort();
+        ls
+    }
+
+    /// All relationship types currently present.
+    pub fn rel_types(&self) -> Vec<String> {
+        let mut ts: Vec<String> = self
+            .type_index
+            .iter()
+            .filter(|(_, ix)| !ix.is_empty())
+            .map(|(t, _)| t.clone())
+            .collect();
+        ts.sort();
+        ts
+    }
+
+    /// Relationships of a given type (index lookup).
+    pub fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
+        self.type_index
+            .get(rel_type)
+            .map(|ix| ix.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+impl GraphView for Graph {
+    fn node_exists(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    fn rel_exists(&self, id: RelId) -> bool {
+        self.rels.contains_key(&id)
+    }
+
+    fn node_labels(&self, id: NodeId) -> Vec<String> {
+        self.nodes
+            .get(&id)
+            .map(|n| n.labels.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn node_has_label(&self, id: NodeId, label: &str) -> bool {
+        self.nodes.get(&id).map(|n| n.has_label(label)).unwrap_or(false)
+    }
+
+    fn node_prop(&self, id: NodeId, key: &str) -> Option<Value> {
+        self.nodes.get(&id).and_then(|n| n.props.get(key).cloned())
+    }
+
+    fn node_prop_keys(&self, id: NodeId) -> Vec<String> {
+        self.nodes
+            .get(&id)
+            .map(|n| n.props.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn rel_type(&self, id: RelId) -> Option<String> {
+        self.rels.get(&id).map(|r| r.rel_type.clone())
+    }
+
+    fn rel_prop(&self, id: RelId, key: &str) -> Option<Value> {
+        self.rels.get(&id).and_then(|r| r.props.get(key).cloned())
+    }
+
+    fn rel_prop_keys(&self, id: RelId) -> Vec<String> {
+        self.rels
+            .get(&id)
+            .map(|r| r.props.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn rel_endpoints(&self, id: RelId) -> Option<(NodeId, NodeId)> {
+        self.rels.get(&id).map(|r| (r.src, r.dst))
+    }
+
+    fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        self.label_index
+            .get(label)
+            .map(|ix| ix.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn all_node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn all_rel_ids(&self) -> Vec<RelId> {
+        let mut ids: Vec<RelId> = self.rels.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
+        let mut out: Vec<RelId> = Vec::new();
+        if matches!(dir, Direction::Out | Direction::Both) {
+            if let Some(adj) = self.out_adj.get(&node) {
+                out.extend(adj.iter().copied());
+            }
+        }
+        if matches!(dir, Direction::In | Direction::Both) {
+            if let Some(adj) = self.in_adj.get(&node) {
+                // Avoid double-counting self-loops in Both mode.
+                for &r in adj {
+                    if !(matches!(dir, Direction::Both) && out.contains(&r)) {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn props(entries: &[(&str, Value)]) -> PropertyMap {
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn create_and_read_node() {
+        let mut g = Graph::new();
+        let n = g
+            .create_node(["Mutation"], props(&[("name", Value::str("D614G"))]))
+            .unwrap();
+        assert!(g.node_exists(n));
+        assert!(g.node_has_label(n, "Mutation"));
+        assert_eq!(g.node_prop(n, "name"), Some(Value::str("D614G")));
+        assert_eq!(g.nodes_with_label("Mutation"), vec![n]);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn rels_and_adjacency() {
+        let mut g = Graph::new();
+        let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let b = g.create_node(["B"], PropertyMap::new()).unwrap();
+        let r = g.create_rel(a, b, "KNOWS", PropertyMap::new()).unwrap();
+        assert_eq!(g.rels_of(a, Direction::Out), vec![r]);
+        assert_eq!(g.rels_of(a, Direction::In), Vec::<RelId>::new());
+        assert_eq!(g.rels_of(b, Direction::In), vec![r]);
+        assert_eq!(g.rels_of(a, Direction::Both), vec![r]);
+        assert_eq!(g.rel_endpoints(r), Some((a, b)));
+        assert_eq!(g.rel_type(r), Some("KNOWS".to_string()));
+    }
+
+    #[test]
+    fn self_loop_not_double_counted_in_both() {
+        let mut g = Graph::new();
+        let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let r = g.create_rel(a, a, "SELF", PropertyMap::new()).unwrap();
+        assert_eq!(g.rels_of(a, Direction::Both), vec![r]);
+        assert_eq!(g.rels_of(a, Direction::Out), vec![r]);
+        assert_eq!(g.rels_of(a, Direction::In), vec![r]);
+    }
+
+    #[test]
+    fn delete_node_with_rels_requires_detach() {
+        let mut g = Graph::new();
+        let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let b = g.create_node(["B"], PropertyMap::new()).unwrap();
+        g.create_rel(a, b, "R", PropertyMap::new()).unwrap();
+        assert_eq!(g.delete_node(a), Err(GraphError::HasRelationships(a)));
+        g.detach_delete_node(a).unwrap();
+        assert!(!g.node_exists(a));
+        assert_eq!(g.rel_count(), 0);
+    }
+
+    #[test]
+    fn rel_to_missing_node_fails() {
+        let mut g = Graph::new();
+        let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let err = g.create_rel(a, NodeId(99), "R", PropertyMap::new());
+        assert_eq!(err, Err(GraphError::NodeNotFound(NodeId(99))));
+    }
+
+    #[test]
+    fn label_index_tracks_set_and_remove() {
+        let mut g = Graph::new();
+        let n = g.create_node(Vec::<String>::new(), PropertyMap::new()).unwrap();
+        assert!(g.set_label(n, "X").unwrap());
+        assert!(!g.set_label(n, "X").unwrap()); // idempotent
+        assert_eq!(g.nodes_with_label("X"), vec![n]);
+        assert!(g.remove_label(n, "X").unwrap());
+        assert!(!g.remove_label(n, "X").unwrap());
+        assert!(g.nodes_with_label("X").is_empty());
+    }
+
+    #[test]
+    fn setting_null_prop_removes() {
+        let mut g = Graph::new();
+        let n = g.create_node(["A"], props(&[("x", Value::Int(1))])).unwrap();
+        g.set_node_prop(n, "x", Value::Null).unwrap();
+        assert_eq!(g.node_prop(n, "x"), None);
+    }
+
+    #[test]
+    fn node_ref_not_storable() {
+        let mut g = Graph::new();
+        let n = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let err = g.set_node_prop(n, "bad", Value::Node(n));
+        assert!(matches!(err, Err(GraphError::NotStorable { .. })));
+    }
+
+    #[test]
+    fn tx_commit_returns_ops_and_delta() {
+        let mut g = Graph::new();
+        g.begin().unwrap();
+        let mark = g.mark();
+        let n = g.create_node(["A"], props(&[("x", Value::Int(1))])).unwrap();
+        g.set_node_prop(n, "x", Value::Int(2)).unwrap();
+        let d = g.delta_since(mark);
+        assert_eq!(d.created_nodes.len(), 1);
+        // prop change folded into creation
+        assert!(d.assigned_node_props.is_empty());
+        assert_eq!(d.created_nodes[0].props.get("x"), Some(&Value::Int(2)));
+        let ops = g.commit().unwrap();
+        assert_eq!(ops.len(), 2);
+        assert!(!g.in_tx());
+    }
+
+    #[test]
+    fn rollback_restores_everything() {
+        let mut g = Graph::new();
+        let keep = g.create_node(["Keep"], props(&[("x", Value::Int(1))])).unwrap();
+        g.begin().unwrap();
+        let n = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let r = g.create_rel(keep, n, "R", PropertyMap::new()).unwrap();
+        g.set_node_prop(keep, "x", Value::Int(99)).unwrap();
+        g.set_label(keep, "Extra").unwrap();
+        g.remove_node_prop(keep, "x").unwrap();
+        g.rollback().unwrap();
+        assert!(!g.node_exists(n));
+        assert!(!g.rel_exists(r));
+        assert_eq!(g.node_prop(keep, "x"), Some(Value::Int(1)));
+        assert!(!g.node_has_label(keep, "Extra"));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.rel_count(), 0);
+        assert!(g.nodes_with_label("A").is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_deleted_subgraph() {
+        let mut g = Graph::new();
+        let a = g.create_node(["A"], props(&[("k", Value::Int(5))])).unwrap();
+        let b = g.create_node(["B"], PropertyMap::new()).unwrap();
+        let r = g.create_rel(a, b, "R", props(&[("w", Value::Int(3))])).unwrap();
+        g.begin().unwrap();
+        g.detach_delete_node(a).unwrap();
+        assert!(!g.node_exists(a));
+        g.rollback().unwrap();
+        assert!(g.node_exists(a));
+        assert!(g.rel_exists(r));
+        assert_eq!(g.node_prop(a, "k"), Some(Value::Int(5)));
+        assert_eq!(g.rel_prop(r, "w"), Some(Value::Int(3)));
+        assert_eq!(g.rels_of(a, Direction::Out), vec![r]);
+        assert_eq!(g.nodes_with_label("A"), vec![a]);
+    }
+
+    #[test]
+    fn rollback_to_statement_mark_is_partial() {
+        let mut g = Graph::new();
+        g.begin().unwrap();
+        let n1 = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let mark = g.mark();
+        let n2 = g.create_node(["B"], PropertyMap::new()).unwrap();
+        g.rollback_to(mark).unwrap();
+        assert!(g.node_exists(n1));
+        assert!(!g.node_exists(n2));
+        // tx still active; committing keeps n1
+        g.commit().unwrap();
+        assert!(g.node_exists(n1));
+    }
+
+    #[test]
+    fn double_begin_and_stray_commit_fail() {
+        let mut g = Graph::new();
+        assert_eq!(g.commit().err(), Some(GraphError::NoActiveTransaction));
+        assert_eq!(g.rollback().err(), Some(GraphError::NoActiveTransaction));
+        g.begin().unwrap();
+        assert_eq!(g.begin().err(), Some(GraphError::TransactionActive));
+        g.commit().unwrap();
+    }
+
+    #[test]
+    fn read_only_policy_blocks_everything() {
+        let mut g = Graph::new();
+        let n = g.create_node(["A"], PropertyMap::new()).unwrap();
+        g.set_write_policy(WritePolicy::ReadOnly);
+        assert!(matches!(
+            g.create_node(["B"], PropertyMap::new()),
+            Err(GraphError::WritePolicy { .. })
+        ));
+        assert!(matches!(
+            g.set_node_prop(n, "x", Value::Int(1)),
+            Err(GraphError::WritePolicy { .. })
+        ));
+        g.set_write_policy(WritePolicy::Unrestricted);
+        assert!(g.set_node_prop(n, "x", Value::Int(1)).is_ok());
+    }
+
+    #[test]
+    fn condition_new_only_policy_allows_props_on_new_items() {
+        let mut g = Graph::new();
+        let fresh = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let other = g.create_node(["B"], PropertyMap::new()).unwrap();
+        let allowed: BTreeSet<ItemRef> = [ItemRef::Node(fresh)].into_iter().collect();
+        g.set_write_policy(WritePolicy::ConditionNewOnly(allowed));
+        assert!(g.set_node_prop(fresh, "x", Value::Int(1)).is_ok());
+        assert!(matches!(
+            g.set_node_prop(other, "x", Value::Int(1)),
+            Err(GraphError::WritePolicy { .. })
+        ));
+        assert!(matches!(
+            g.delete_node(fresh),
+            Err(GraphError::WritePolicy { .. })
+        ));
+        assert!(matches!(
+            g.create_node(["C"], PropertyMap::new()),
+            Err(GraphError::WritePolicy { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_and_types_listing() {
+        let mut g = Graph::new();
+        let a = g.create_node(["B", "A"], PropertyMap::new()).unwrap();
+        let b = g.create_node(["C"], PropertyMap::new()).unwrap();
+        g.create_rel(a, b, "T2", PropertyMap::new()).unwrap();
+        g.create_rel(a, b, "T1", PropertyMap::new()).unwrap();
+        assert_eq!(g.labels(), vec!["A", "B", "C"]);
+        assert_eq!(g.rel_types(), vec!["T1", "T2"]);
+        assert_eq!(g.rels_with_type("T1").len(), 1);
+    }
+}

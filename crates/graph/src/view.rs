@@ -1,0 +1,435 @@
+//! Read views over graph state.
+//!
+//! [`GraphView`] is the read interface consumed by the query layer; it is
+//! implemented by the live [`crate::Graph`] and by [`PreStateView`], which
+//! reconstructs the state *preceding* an op-log slice. The PG-Trigger engine
+//! evaluates `BEFORE` trigger conditions against a `PreStateView` so they
+//! observe the database as it was before the activating statement (paper
+//! §4.2 "Action Time").
+
+use crate::ids::{NodeId, RelId};
+use crate::op::Op;
+use crate::record::{NodeRecord, RelRecord};
+use crate::store::Graph;
+use crate::value::{Direction, Value};
+use std::collections::HashMap;
+
+/// Read-only access to a graph state.
+pub trait GraphView {
+    fn node_exists(&self, id: NodeId) -> bool;
+    fn rel_exists(&self, id: RelId) -> bool;
+    fn node_labels(&self, id: NodeId) -> Vec<String>;
+    fn node_has_label(&self, id: NodeId, label: &str) -> bool;
+    /// A property value (cloned); `None` when the node or key is absent.
+    fn node_prop(&self, id: NodeId, key: &str) -> Option<Value>;
+    fn node_prop_keys(&self, id: NodeId) -> Vec<String>;
+    fn rel_type(&self, id: RelId) -> Option<String>;
+    fn rel_prop(&self, id: RelId, key: &str) -> Option<Value>;
+    fn rel_prop_keys(&self, id: RelId) -> Vec<String>;
+    fn rel_endpoints(&self, id: RelId) -> Option<(NodeId, NodeId)>;
+    /// Nodes currently carrying `label` (index-backed on the live graph).
+    fn nodes_with_label(&self, label: &str) -> Vec<NodeId>;
+    fn all_node_ids(&self) -> Vec<NodeId>;
+    fn all_rel_ids(&self) -> Vec<RelId>;
+    /// Relationships incident to `node` in the given direction.
+    fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId>;
+}
+
+/// The state of the graph **before** a slice of operations was applied.
+///
+/// Constructed from the live graph and the op slice; overlays are
+/// materialized eagerly (the number of touched items is bounded by the slice
+/// length, not the graph size).
+pub struct PreStateView<'g> {
+    base: &'g Graph,
+    /// Pre-state of touched nodes: `None` = did not exist before the slice.
+    nodes: HashMap<NodeId, Option<NodeRecord>>,
+    /// Pre-state of touched relationships.
+    rels: HashMap<RelId, Option<RelRecord>>,
+}
+
+impl<'g> PreStateView<'g> {
+    /// Build the pre-state of `base` with respect to `ops` (which must be
+    /// the exact op sequence that produced the current state of `base` from
+    /// the desired pre-state).
+    pub fn new(base: &'g Graph, ops: &[Op]) -> Self {
+        let mut nodes: HashMap<NodeId, Option<NodeRecord>> = HashMap::new();
+        let mut rels: HashMap<RelId, Option<RelRecord>> = HashMap::new();
+        // Seed with the *current* state of every touched item, then unwind.
+        for op in ops {
+            if let Some(nid) = op.node_id() {
+                nodes
+                    .entry(nid)
+                    .or_insert_with(|| base.node(nid).cloned());
+            }
+            if let Some(rid) = op.rel_id() {
+                rels.entry(rid).or_insert_with(|| base.rel(rid).cloned());
+            }
+        }
+        for op in ops.iter().rev() {
+            match op {
+                Op::CreateNode { record } => {
+                    nodes.insert(record.id, None);
+                }
+                Op::DeleteNode { record } => {
+                    nodes.insert(record.id, Some(record.clone()));
+                }
+                Op::CreateRel { record } => {
+                    rels.insert(record.id, None);
+                }
+                Op::DeleteRel { record } => {
+                    rels.insert(record.id, Some(record.clone()));
+                }
+                Op::SetLabel { node, label } => {
+                    if let Some(Some(n)) = nodes.get_mut(node) {
+                        n.labels.remove(label);
+                    }
+                }
+                Op::RemoveLabel { node, label } => {
+                    if let Some(Some(n)) = nodes.get_mut(node) {
+                        n.labels.insert(label.clone());
+                    }
+                }
+                Op::SetNodeProp { node, key, old, .. } => {
+                    if let Some(Some(n)) = nodes.get_mut(node) {
+                        match old {
+                            Some(v) => {
+                                n.props.set(key.clone(), v.clone());
+                            }
+                            None => {
+                                n.props.remove(key);
+                            }
+                        }
+                    }
+                }
+                Op::RemoveNodeProp { node, key, old } => {
+                    if let Some(Some(n)) = nodes.get_mut(node) {
+                        n.props.set(key.clone(), old.clone());
+                    }
+                }
+                Op::SetRelProp { rel, key, old, .. } => {
+                    if let Some(Some(r)) = rels.get_mut(rel) {
+                        match old {
+                            Some(v) => {
+                                r.props.set(key.clone(), v.clone());
+                            }
+                            None => {
+                                r.props.remove(key);
+                            }
+                        }
+                    }
+                }
+                Op::RemoveRelProp { rel, key, old } => {
+                    if let Some(Some(r)) = rels.get_mut(rel) {
+                        r.props.set(key.clone(), old.clone());
+                    }
+                }
+            }
+        }
+        PreStateView { base, nodes, rels }
+    }
+
+    fn node_rec(&self, id: NodeId) -> Option<NodeRecord> {
+        match self.nodes.get(&id) {
+            Some(overlay) => overlay.clone(),
+            None => self.base.node(id).cloned(),
+        }
+    }
+
+    fn rel_rec(&self, id: RelId) -> Option<RelRecord> {
+        match self.rels.get(&id) {
+            Some(overlay) => overlay.clone(),
+            None => self.base.rel(id).cloned(),
+        }
+    }
+}
+
+impl GraphView for PreStateView<'_> {
+    fn node_exists(&self, id: NodeId) -> bool {
+        match self.nodes.get(&id) {
+            Some(overlay) => overlay.is_some(),
+            None => self.base.node_exists(id),
+        }
+    }
+
+    fn rel_exists(&self, id: RelId) -> bool {
+        match self.rels.get(&id) {
+            Some(overlay) => overlay.is_some(),
+            None => self.base.rel_exists(id),
+        }
+    }
+
+    fn node_labels(&self, id: NodeId) -> Vec<String> {
+        self.node_rec(id)
+            .map(|n| n.labels.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    fn node_has_label(&self, id: NodeId, label: &str) -> bool {
+        self.node_rec(id).map(|n| n.has_label(label)).unwrap_or(false)
+    }
+
+    fn node_prop(&self, id: NodeId, key: &str) -> Option<Value> {
+        self.node_rec(id).and_then(|n| n.props.get(key).cloned())
+    }
+
+    fn node_prop_keys(&self, id: NodeId) -> Vec<String> {
+        self.node_rec(id)
+            .map(|n| n.props.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn rel_type(&self, id: RelId) -> Option<String> {
+        self.rel_rec(id).map(|r| r.rel_type)
+    }
+
+    fn rel_prop(&self, id: RelId, key: &str) -> Option<Value> {
+        self.rel_rec(id).and_then(|r| r.props.get(key).cloned())
+    }
+
+    fn rel_prop_keys(&self, id: RelId) -> Vec<String> {
+        self.rel_rec(id)
+            .map(|r| r.props.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn rel_endpoints(&self, id: RelId) -> Option<(NodeId, NodeId)> {
+        self.rel_rec(id).map(|r| (r.src, r.dst))
+    }
+
+    fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .base
+            .nodes_with_label(label)
+            .into_iter()
+            .filter(|id| !self.nodes.contains_key(id))
+            .collect();
+        for (id, overlay) in &self.nodes {
+            if let Some(rec) = overlay {
+                if rec.has_label(label) {
+                    out.push(*id);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn all_node_ids(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .base
+            .all_node_ids()
+            .into_iter()
+            .filter(|id| match self.nodes.get(id) {
+                Some(overlay) => overlay.is_some(),
+                None => true,
+            })
+            .collect();
+        for (id, overlay) in &self.nodes {
+            if overlay.is_some() && !self.base.node_exists(*id) {
+                out.push(*id);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn all_rel_ids(&self) -> Vec<RelId> {
+        let mut out: Vec<RelId> = self
+            .base
+            .all_rel_ids()
+            .into_iter()
+            .filter(|id| match self.rels.get(id) {
+                Some(overlay) => overlay.is_some(),
+                None => true,
+            })
+            .collect();
+        for (id, overlay) in &self.rels {
+            if overlay.is_some() && !self.base.rel_exists(*id) {
+                out.push(*id);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
+        // Base adjacency minus rels that did not exist before, plus restored
+        // (deleted-in-slice) rels incident to `node`.
+        let mut out: Vec<RelId> = self
+            .base
+            .rels_of(node, dir)
+            .into_iter()
+            .filter(|id| match self.rels.get(id) {
+                Some(overlay) => overlay.is_some(),
+                None => true,
+            })
+            .collect();
+        for (id, overlay) in &self.rels {
+            if let Some(rec) = overlay {
+                if self.base.rel_exists(*id) {
+                    continue; // already covered by base adjacency
+                }
+                let incident = match dir {
+                    Direction::Out => rec.src == node,
+                    Direction::In => rec.dst == node,
+                    Direction::Both => rec.src == node || rec.dst == node,
+                };
+                if incident {
+                    out.push(*id);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::PropertyMap;
+
+    fn props(entries: &[(&str, Value)]) -> PropertyMap {
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// Build a graph, run mutations in a tx, return graph + ops since mark.
+    /// `setup` returns a value (usually ids) that is handed to `stmt`.
+    fn run<T>(
+        setup: impl FnOnce(&mut Graph) -> T,
+        stmt: impl FnOnce(&mut Graph, &T),
+    ) -> (Graph, Vec<Op>, T) {
+        let mut g = Graph::new();
+        let t = setup(&mut g);
+        g.begin().unwrap();
+        let mark = g.mark();
+        stmt(&mut g, &t);
+        let ops = g.ops_since(mark).to_vec();
+        (g, ops, t)
+    }
+
+    #[test]
+    fn created_node_absent_in_pre_state() {
+        let (g, ops, _) = run(
+            |_| (),
+            |g, _| {
+                g.create_node(["A"], PropertyMap::new()).unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        assert!(pre.all_node_ids().is_empty());
+        assert!(pre.nodes_with_label("A").is_empty());
+    }
+
+    #[test]
+    fn deleted_node_present_in_pre_state() {
+        let (g, ops, n) = run(
+            |g| g.create_node(["A"], props(&[("x", Value::Int(1))])).unwrap(),
+            |g, n| {
+                g.detach_delete_node(*n).unwrap();
+            },
+        );
+        assert!(!g.node_exists(n));
+        let pre = PreStateView::new(&g, &ops);
+        assert!(pre.node_exists(n));
+        assert_eq!(pre.node_prop(n, "x"), Some(Value::Int(1)));
+        assert_eq!(pre.nodes_with_label("A"), vec![n]);
+    }
+
+    #[test]
+    fn prop_changes_unwound() {
+        let (g, ops, n) = run(
+            |g| g.create_node(["A"], props(&[("x", Value::Int(1))])).unwrap(),
+            |g, n| {
+                g.set_node_prop(*n, "x", Value::Int(2)).unwrap();
+                g.set_node_prop(*n, "y", Value::Int(9)).unwrap();
+                g.remove_node_prop(*n, "x").unwrap();
+            },
+        );
+        assert_eq!(g.node_prop(n, "x"), None);
+        assert_eq!(g.node_prop(n, "y"), Some(Value::Int(9)));
+        let pre = PreStateView::new(&g, &ops);
+        assert_eq!(pre.node_prop(n, "x"), Some(Value::Int(1)));
+        assert_eq!(pre.node_prop(n, "y"), None);
+        assert_eq!(pre.node_prop_keys(n), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn label_changes_unwound() {
+        let (g, ops, n) = run(
+            |g| g.create_node(["A"], PropertyMap::new()).unwrap(),
+            |g, n| {
+                g.set_label(*n, "B").unwrap();
+                g.remove_label(*n, "A").unwrap();
+            },
+        );
+        assert!(g.node_has_label(n, "B") && !g.node_has_label(n, "A"));
+        let pre = PreStateView::new(&g, &ops);
+        assert!(pre.node_has_label(n, "A"));
+        assert!(!pre.node_has_label(n, "B"));
+        assert_eq!(pre.nodes_with_label("A"), vec![n]);
+        assert!(pre.nodes_with_label("B").is_empty());
+    }
+
+    #[test]
+    fn adjacency_reflects_pre_state() {
+        let (g, ops, (a, b, old_r)) = run(
+            |g| {
+                let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+                let b = g.create_node(["B"], PropertyMap::new()).unwrap();
+                let r = g.create_rel(a, b, "R", PropertyMap::new()).unwrap();
+                (a, b, r)
+            },
+            |g, (a, b, r)| {
+                g.delete_rel(*r).unwrap();
+                g.create_rel(*b, *a, "R2", PropertyMap::new()).unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        assert_eq!(pre.rels_of(a, Direction::Out), vec![old_r]);
+        assert_eq!(pre.rels_of(a, Direction::In), Vec::<RelId>::new());
+        assert_eq!(pre.rels_of(b, Direction::In), vec![old_r]);
+        assert_eq!(pre.rel_endpoints(old_r), Some((a, b)));
+        assert_eq!(pre.rel_type(old_r), Some("R".to_string()));
+        assert_eq!(pre.all_rel_ids(), vec![old_r]);
+    }
+
+    #[test]
+    fn rel_prop_changes_unwound() {
+        let (g, ops, r) = run(
+            |g| {
+                let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+                let b = g.create_node(["B"], PropertyMap::new()).unwrap();
+                g.create_rel(a, b, "R", props(&[("w", Value::Int(1))])).unwrap()
+            },
+            |g, r| {
+                g.set_rel_prop(*r, "w", Value::Int(5)).unwrap();
+            },
+        );
+        assert_eq!(g.rel_prop(r, "w"), Some(Value::Int(5)));
+        let pre = PreStateView::new(&g, &ops);
+        assert_eq!(pre.rel_prop(r, "w"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn untouched_items_read_through() {
+        let (g, ops, a) = run(
+            |g| g.create_node(["Stable"], props(&[("p", Value::Int(7))])).unwrap(),
+            |g, _| {
+                g.create_node(["Other"], PropertyMap::new()).unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        assert!(pre.node_exists(a));
+        assert_eq!(pre.node_prop(a, "p"), Some(Value::Int(7)));
+        assert_eq!(pre.nodes_with_label("Stable"), vec![a]);
+        assert_eq!(pre.all_node_ids(), vec![a]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Property-based tests for the graph store.
+//!
+//! Invariants checked under random operation sequences:
+//! * rollback restores the exact pre-transaction state;
+//! * the label index always equals a full scan;
+//! * adjacency is consistent with relationship endpoints;
+//! * the pre-state view of a statement equals the actual pre-state;
+//! * delta normalization is sound (created ∩ deleted = ∅, events never
+//!   reference items created later in the same slice).
+
+use pg_graph::{Direction, Graph, GraphView, NodeId, PreStateView, PropertyMap, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random mutation script step, referencing nodes/rels by dense index so
+/// scripts stay valid regardless of prior steps.
+#[derive(Debug, Clone)]
+enum Step {
+    CreateNode { label: u8, prop: u8, val: i64 },
+    DetachDelete { pick: usize },
+    CreateRel { src: usize, dst: usize, ty: u8 },
+    DeleteRel { pick: usize },
+    SetProp { pick: usize, prop: u8, val: i64 },
+    RemoveProp { pick: usize, prop: u8 },
+    SetLabel { pick: usize, label: u8 },
+    RemoveLabel { pick: usize, label: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..4, 0u8..3, -5i64..5).prop_map(|(label, prop, val)| Step::CreateNode { label, prop, val }),
+        (0usize..16).prop_map(|pick| Step::DetachDelete { pick }),
+        (0usize..16, 0usize..16, 0u8..3).prop_map(|(src, dst, ty)| Step::CreateRel { src, dst, ty }),
+        (0usize..16).prop_map(|pick| Step::DeleteRel { pick }),
+        (0usize..16, 0u8..3, -5i64..5).prop_map(|(pick, prop, val)| Step::SetProp { pick, prop, val }),
+        (0usize..16, 0u8..3).prop_map(|(pick, prop)| Step::RemoveProp { pick, prop }),
+        (0usize..16, 0u8..4).prop_map(|(pick, label)| Step::SetLabel { pick, label }),
+        (0usize..16, 0u8..4).prop_map(|(pick, label)| Step::RemoveLabel { pick, label }),
+    ]
+}
+
+fn label_name(i: u8) -> String {
+    format!("L{i}")
+}
+fn prop_name(i: u8) -> String {
+    format!("p{i}")
+}
+
+fn apply(g: &mut Graph, step: &Step) {
+    let nodes = g.all_node_ids();
+    let rels = g.all_rel_ids();
+    match step {
+        Step::CreateNode { label, prop, val } => {
+            let props: PropertyMap = [(prop_name(*prop), Value::Int(*val))].into_iter().collect();
+            g.create_node([label_name(*label)], props).unwrap();
+        }
+        Step::DetachDelete { pick } => {
+            if !nodes.is_empty() {
+                let id = nodes[pick % nodes.len()];
+                g.detach_delete_node(id).unwrap();
+            }
+        }
+        Step::CreateRel { src, dst, ty } => {
+            if !nodes.is_empty() {
+                let s = nodes[src % nodes.len()];
+                let d = nodes[dst % nodes.len()];
+                g.create_rel(s, d, format!("T{ty}"), PropertyMap::new()).unwrap();
+            }
+        }
+        Step::DeleteRel { pick } => {
+            if !rels.is_empty() {
+                g.delete_rel(rels[pick % rels.len()]).unwrap();
+            }
+        }
+        Step::SetProp { pick, prop, val } => {
+            if !nodes.is_empty() {
+                let id = nodes[pick % nodes.len()];
+                g.set_node_prop(id, prop_name(*prop), Value::Int(*val)).unwrap();
+            }
+        }
+        Step::RemoveProp { pick, prop } => {
+            if !nodes.is_empty() {
+                let id = nodes[pick % nodes.len()];
+                g.remove_node_prop(id, &prop_name(*prop)).unwrap();
+            }
+        }
+        Step::SetLabel { pick, label } => {
+            if !nodes.is_empty() {
+                let id = nodes[pick % nodes.len()];
+                g.set_label(id, label_name(*label)).unwrap();
+            }
+        }
+        Step::RemoveLabel { pick, label } => {
+            if !nodes.is_empty() {
+                let id = nodes[pick % nodes.len()];
+                g.remove_label(id, &label_name(*label)).unwrap();
+            }
+        }
+    }
+}
+
+/// A comparable snapshot of full graph state.
+fn snapshot(g: &Graph) -> Vec<String> {
+    let mut out = Vec::new();
+    for id in g.all_node_ids() {
+        let n = g.node(id).unwrap();
+        out.push(format!("{:?}", n));
+    }
+    for id in g.all_rel_ids() {
+        let r = g.rel(id).unwrap();
+        out.push(format!("{:?}", r));
+    }
+    out
+}
+
+fn check_indexes(g: &Graph) {
+    // label index == scan
+    for label in g.labels() {
+        let via_index: BTreeSet<NodeId> = g.nodes_with_label(&label).into_iter().collect();
+        let via_scan: BTreeSet<NodeId> = g
+            .all_node_ids()
+            .into_iter()
+            .filter(|&id| g.node_has_label(id, &label))
+            .collect();
+        assert_eq!(via_index, via_scan, "label index diverged for {label}");
+    }
+    // adjacency consistent with endpoints
+    for rid in g.all_rel_ids() {
+        let (s, d) = g.rel_endpoints(rid).unwrap();
+        assert!(g.rels_of(s, Direction::Out).contains(&rid));
+        assert!(g.rels_of(d, Direction::In).contains(&rid));
+    }
+    for nid in g.all_node_ids() {
+        for rid in g.rels_of(nid, Direction::Both) {
+            let (s, d) = g.rel_endpoints(rid).unwrap();
+            assert!(s == nid || d == nid, "adjacency lists phantom rel");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rollback_restores_state(pre in prop::collection::vec(step_strategy(), 0..20),
+                               tx in prop::collection::vec(step_strategy(), 0..20)) {
+        let mut g = Graph::new();
+        for s in &pre { apply(&mut g, s); }
+        let before = snapshot(&g);
+        g.begin().unwrap();
+        for s in &tx { apply(&mut g, s); }
+        g.rollback().unwrap();
+        prop_assert_eq!(snapshot(&g), before);
+        check_indexes(&g);
+    }
+
+    #[test]
+    fn indexes_consistent_after_commit(pre in prop::collection::vec(step_strategy(), 0..20),
+                                       tx in prop::collection::vec(step_strategy(), 0..20)) {
+        let mut g = Graph::new();
+        for s in &pre { apply(&mut g, s); }
+        g.begin().unwrap();
+        for s in &tx { apply(&mut g, s); }
+        g.commit().unwrap();
+        check_indexes(&g);
+    }
+
+    #[test]
+    fn pre_state_view_matches_actual_pre_state(pre in prop::collection::vec(step_strategy(), 0..15),
+                                               stmt in prop::collection::vec(step_strategy(), 0..15)) {
+        // Build the pre-state twice: once as a live graph (reference), once
+        // via PreStateView over the post-state.
+        let mut reference = Graph::new();
+        for s in &pre { apply(&mut reference, s); }
+
+        let mut g = Graph::new();
+        for s in &pre { apply(&mut g, s); }
+        g.begin().unwrap();
+        let mark = g.mark();
+        for s in &stmt { apply(&mut g, s); }
+        let ops = g.ops_since(mark).to_vec();
+        let view = PreStateView::new(&g, &ops);
+
+        prop_assert_eq!(view.all_node_ids(), reference.all_node_ids());
+        prop_assert_eq!(view.all_rel_ids(), reference.all_rel_ids());
+        for id in reference.all_node_ids() {
+            let mut want = reference.node_labels(id);
+            want.sort();
+            let mut got = view.node_labels(id);
+            got.sort();
+            prop_assert_eq!(got, want);
+            for key in reference.node_prop_keys(id) {
+                prop_assert_eq!(view.node_prop(id, &key), reference.node_prop(id, &key));
+            }
+            prop_assert_eq!(view.node_prop_keys(id), reference.node_prop_keys(id));
+            let mut want_r = reference.rels_of(id, Direction::Both);
+            want_r.sort();
+            let mut got_r = view.rels_of(id, Direction::Both);
+            got_r.sort();
+            prop_assert_eq!(got_r, want_r);
+        }
+        for id in reference.all_rel_ids() {
+            prop_assert_eq!(view.rel_type(id), reference.rel_type(id));
+            prop_assert_eq!(view.rel_endpoints(id), reference.rel_endpoints(id));
+        }
+    }
+
+    #[test]
+    fn delta_is_sound(pre in prop::collection::vec(step_strategy(), 0..15),
+                      stmt in prop::collection::vec(step_strategy(), 0..15)) {
+        let mut g = Graph::new();
+        for s in &pre { apply(&mut g, s); }
+        g.begin().unwrap();
+        let mark = g.mark();
+        for s in &stmt { apply(&mut g, s); }
+        let delta = g.delta_since(mark);
+
+        let created: BTreeSet<_> = delta.created_nodes.iter().map(|n| n.id).collect();
+        let deleted: BTreeSet<_> = delta.deleted_nodes.iter().map(|n| n.id).collect();
+        prop_assert!(created.is_disjoint(&deleted), "node created and deleted in same delta");
+
+        // Created nodes exist with exactly the recorded final state.
+        for rec in &delta.created_nodes {
+            prop_assert!(g.node_exists(rec.id));
+            prop_assert_eq!(g.node(rec.id).unwrap(), rec);
+        }
+        // Deleted nodes are gone.
+        for rec in &delta.deleted_nodes {
+            prop_assert!(!g.node_exists(rec.id));
+        }
+        // Net label assignments hold in the post-state, on pre-existing nodes.
+        for ev in &delta.assigned_labels {
+            prop_assert!(!created.contains(&ev.node));
+            prop_assert!(g.node_has_label(ev.node, &ev.label));
+        }
+        for ev in &delta.removed_labels {
+            prop_assert!(!g.node_has_label(ev.node, &ev.label));
+        }
+        // Assigned props carry the true old (pre-state) and new (post-state) values.
+        let ops = g.ops_since(mark).to_vec();
+        let pre_view = PreStateView::new(&g, &ops);
+        for pa in &delta.assigned_node_props {
+            prop_assert_eq!(g.node_prop(pa.target, &pa.key).unwrap_or(Value::Null), pa.new.clone());
+            prop_assert_eq!(pre_view.node_prop(pa.target, &pa.key).unwrap_or(Value::Null), pa.old.clone());
+        }
+        for pr in &delta.removed_node_props {
+            prop_assert_eq!(g.node_prop(pr.target, &pr.key), None);
+            prop_assert_eq!(pre_view.node_prop(pr.target, &pr.key), Some(pr.old.clone()));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # pg-memgraph — Memgraph trigger subsystem emulation + translator
+//!
+//! Implements the paper's §5.2:
+//!
+//! 1. [`system::MemgraphDb`] emulates Memgraph triggers: the
+//!    `CREATE TRIGGER … [ON [()|-->] CREATE|UPDATE|DELETE] [BEFORE|AFTER]
+//!    COMMIT EXECUTE …` DDL, the fifteen predefined variables of Table 4
+//!    (`createdVertices`, `updatedObjects`, `setVertexLabels`, …), and the
+//!    same no-cascading limitation the paper reports ("identical to those
+//!    of Neo4j APOC procedures").
+//! 2. [`translate::translate`] is the syntax-directed translation of
+//!    Figure 3 (the `CASE … THEN … END AS flag / WHERE flag IS NOT NULL`
+//!    scheme), generalized to all fifteen event kinds.
+
+pub mod system;
+pub mod translate;
+pub mod vars;
+
+pub use system::{
+    parse_memgraph_trigger, CommitPhase, MemgraphDb, MemgraphError, MemgraphTrigger,
+    ObjectFilter, OpFilter,
+};
+pub use translate::{translate, MemgraphInstall, TranslateError};
+pub use vars::{memgraph_vars, EventClasses, MEMGRAPH_VAR_NAMES};

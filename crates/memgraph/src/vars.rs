@@ -1,0 +1,301 @@
+//! Memgraph's predefined trigger variables (paper Table 4).
+//!
+//! Memgraph triggers receive the transaction's changes through predefined
+//! *variables* (not parameters): `createdVertices`, `updatedObjects`,
+//! `setVertexLabels`, and so on. This module materializes all fifteen of
+//! them from a [`Delta`] as a seed binding row.
+//!
+//! Shapes follow Memgraph's documentation:
+//! * `created*` / `deleted*` are lists of vertices/edges (deleted ones as
+//!   maps, since their identity is gone);
+//! * `updated*` are lists of event maps
+//!   `{event_type, vertex|edge, key?, label?, old_value?, value?}`;
+//! * `setVertexLabels` / `removedVertexLabels` are lists of
+//!   `{label, vertices}` groups;
+//! * `set*Properties` / `removed*Properties` are lists of per-item event
+//!   maps.
+
+use pg_cypher::Row;
+use pg_graph::{Delta, Value};
+use std::collections::BTreeMap;
+
+/// The fifteen predefined variable names of paper Table 4.
+pub const MEMGRAPH_VAR_NAMES: [&str; 15] = [
+    "createdVertices",
+    "createdEdges",
+    "createdObjects",
+    "updatedVertices",
+    "updatedEdges",
+    "updatedObjects",
+    "deletedVertices",
+    "deletedEdges",
+    "deletedObjects",
+    "setVertexLabels",
+    "removedVertexLabels",
+    "setVertexProperties",
+    "setEdgeProperties",
+    "removedVertexProperties",
+    "removedEdgeProperties",
+];
+
+fn event(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Build the seed row binding every Table 4 variable.
+pub fn memgraph_vars(delta: &Delta) -> Row {
+    let created_vertices: Vec<Value> =
+        delta.created_nodes.iter().map(|n| Value::Node(n.id)).collect();
+    let created_edges: Vec<Value> =
+        delta.created_rels.iter().map(|r| Value::Rel(r.id)).collect();
+    let deleted_vertices: Vec<Value> =
+        delta.deleted_nodes.iter().map(|n| n.to_value()).collect();
+    let deleted_edges: Vec<Value> = delta.deleted_rels.iter().map(|r| r.to_value()).collect();
+
+    let mut created_objects: Vec<Value> = Vec::new();
+    for v in &created_vertices {
+        created_objects.push(event(vec![
+            ("event_type", Value::str("created_vertex")),
+            ("vertex", v.clone()),
+        ]));
+    }
+    for e in &created_edges {
+        created_objects.push(event(vec![
+            ("event_type", Value::str("created_edge")),
+            ("edge", e.clone()),
+        ]));
+    }
+    let mut deleted_objects: Vec<Value> = Vec::new();
+    for v in &deleted_vertices {
+        deleted_objects.push(event(vec![
+            ("event_type", Value::str("deleted_vertex")),
+            ("vertex", v.clone()),
+        ]));
+    }
+    for e in &deleted_edges {
+        deleted_objects.push(event(vec![
+            ("event_type", Value::str("deleted_edge")),
+            ("edge", e.clone()),
+        ]));
+    }
+
+    // Vertex updates: property sets/removals and label sets/removals.
+    let mut updated_vertices: Vec<Value> = Vec::new();
+    let mut set_vertex_props: Vec<Value> = Vec::new();
+    for pa in delta.raw_assigned_node_props() {
+        let ev = event(vec![
+            ("event_type", Value::str("set_vertex_property")),
+            ("vertex", Value::Node(pa.target)),
+            ("key", Value::str(pa.key.clone())),
+            ("old_value", pa.old.clone()),
+            ("value", pa.new.clone()),
+        ]);
+        set_vertex_props.push(ev.clone());
+        updated_vertices.push(ev);
+    }
+    let mut removed_vertex_props: Vec<Value> = Vec::new();
+    for pr in &delta.removed_node_props {
+        let ev = event(vec![
+            ("event_type", Value::str("removed_vertex_property")),
+            ("vertex", Value::Node(pr.target)),
+            ("key", Value::str(pr.key.clone())),
+            ("old_value", pr.old.clone()),
+        ]);
+        removed_vertex_props.push(ev.clone());
+        updated_vertices.push(ev);
+    }
+    // label groups: label -> vertices
+    let mut set_label_groups: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    for ev in delta.raw_assigned_labels() {
+        set_label_groups.entry(ev.label.clone()).or_default().push(Value::Node(ev.node));
+        updated_vertices.push(event(vec![
+            ("event_type", Value::str("set_vertex_label")),
+            ("vertex", Value::Node(ev.node)),
+            ("label", Value::str(ev.label.clone())),
+        ]));
+    }
+    let mut removed_label_groups: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    for ev in &delta.removed_labels {
+        removed_label_groups
+            .entry(ev.label.clone())
+            .or_default()
+            .push(Value::Node(ev.node));
+        updated_vertices.push(event(vec![
+            ("event_type", Value::str("removed_vertex_label")),
+            ("vertex", Value::Node(ev.node)),
+            ("label", Value::str(ev.label.clone())),
+        ]));
+    }
+    let set_vertex_labels: Vec<Value> = set_label_groups
+        .into_iter()
+        .map(|(l, vs)| {
+            event(vec![("label", Value::str(l)), ("vertices", Value::List(vs))])
+        })
+        .collect();
+    let removed_vertex_labels: Vec<Value> = removed_label_groups
+        .into_iter()
+        .map(|(l, vs)| {
+            event(vec![("label", Value::str(l)), ("vertices", Value::List(vs))])
+        })
+        .collect();
+
+    // Edge updates.
+    let mut updated_edges: Vec<Value> = Vec::new();
+    let mut set_edge_props: Vec<Value> = Vec::new();
+    for pa in delta.raw_assigned_rel_props() {
+        let ev = event(vec![
+            ("event_type", Value::str("set_edge_property")),
+            ("edge", Value::Rel(pa.target)),
+            ("key", Value::str(pa.key.clone())),
+            ("old_value", pa.old.clone()),
+            ("value", pa.new.clone()),
+        ]);
+        set_edge_props.push(ev.clone());
+        updated_edges.push(ev);
+    }
+    let mut removed_edge_props: Vec<Value> = Vec::new();
+    for pr in &delta.removed_rel_props {
+        let ev = event(vec![
+            ("event_type", Value::str("removed_edge_property")),
+            ("edge", Value::Rel(pr.target)),
+            ("key", Value::str(pr.key.clone())),
+            ("old_value", pr.old.clone()),
+        ]);
+        removed_edge_props.push(ev.clone());
+        updated_edges.push(ev);
+    }
+    let mut updated_objects = updated_vertices.clone();
+    updated_objects.extend(updated_edges.iter().cloned());
+
+    let mut row = Row::new();
+    row.set("createdVertices", Value::List(created_vertices));
+    row.set("createdEdges", Value::List(created_edges));
+    row.set("createdObjects", Value::List(created_objects));
+    row.set("updatedVertices", Value::List(updated_vertices));
+    row.set("updatedEdges", Value::List(updated_edges));
+    row.set("updatedObjects", Value::List(updated_objects));
+    row.set("deletedVertices", Value::List(deleted_vertices));
+    row.set("deletedEdges", Value::List(deleted_edges));
+    row.set("deletedObjects", Value::List(deleted_objects));
+    row.set("setVertexLabels", Value::List(set_vertex_labels));
+    row.set("removedVertexLabels", Value::List(removed_vertex_labels));
+    row.set("setVertexProperties", Value::List(set_vertex_props));
+    row.set("setEdgeProperties", Value::List(set_edge_props));
+    row.set("removedVertexProperties", Value::List(removed_vertex_props));
+    row.set("removedEdgeProperties", Value::List(removed_edge_props));
+    row
+}
+
+/// Which event classes a delta contains (drives the `ON () CREATE`-style
+/// event filters of `CREATE TRIGGER`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventClasses {
+    pub vertex_create: bool,
+    pub vertex_update: bool,
+    pub vertex_delete: bool,
+    pub edge_create: bool,
+    pub edge_update: bool,
+    pub edge_delete: bool,
+}
+
+impl EventClasses {
+    pub fn of(delta: &Delta) -> EventClasses {
+        // Raw views for consistency with `memgraph_vars`: creating an item
+        // with labels/properties also counts as an update event (matching
+        // the metadata the trigger statement will observe).
+        EventClasses {
+            vertex_create: !delta.created_nodes.is_empty(),
+            vertex_update: !delta.raw_assigned_labels().is_empty()
+                || !delta.removed_labels.is_empty()
+                || !delta.raw_assigned_node_props().is_empty()
+                || !delta.removed_node_props.is_empty(),
+            vertex_delete: !delta.deleted_nodes.is_empty(),
+            edge_create: !delta.created_rels.is_empty(),
+            edge_update: !delta.raw_assigned_rel_props().is_empty()
+                || !delta.removed_rel_props.is_empty(),
+            edge_delete: !delta.deleted_rels.is_empty(),
+        }
+    }
+
+    pub fn any(&self) -> bool {
+        self.vertex_create
+            || self.vertex_update
+            || self.vertex_delete
+            || self.edge_create
+            || self.edge_update
+            || self.edge_delete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_graph::{Graph, PropertyMap};
+
+    #[test]
+    fn all_fifteen_variables_bound() {
+        let row = memgraph_vars(&Delta::default());
+        for name in MEMGRAPH_VAR_NAMES {
+            assert!(row.contains(name), "missing {name}");
+        }
+        assert_eq!(row.len(), 15);
+    }
+
+    #[test]
+    fn created_and_updated_shapes() {
+        let mut g = Graph::new();
+        let n = g.create_node(["P"], PropertyMap::new()).unwrap();
+        g.begin().unwrap();
+        let mark = g.mark();
+        g.set_node_prop(n, "x", Value::Int(1)).unwrap();
+        g.set_label(n, "Flagged").unwrap();
+        let row = memgraph_vars(&g.delta_since(mark));
+        match row.get("setVertexProperties").unwrap() {
+            Value::List(evs) => {
+                assert_eq!(evs.len(), 1);
+                match &evs[0] {
+                    Value::Map(m) => {
+                        assert_eq!(m["key"], Value::str("x"));
+                        assert_eq!(m["value"], Value::Int(1));
+                        assert_eq!(m["old_value"], Value::Null);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match row.get("setVertexLabels").unwrap() {
+            Value::List(groups) => match &groups[0] {
+                Value::Map(m) => {
+                    assert_eq!(m["label"], Value::str("Flagged"));
+                    assert_eq!(m["vertices"].as_list().unwrap().len(), 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // updatedVertices aggregates both event kinds
+        assert_eq!(
+            row.get("updatedVertices").unwrap().as_list().unwrap().len(),
+            2
+        );
+        // updatedObjects == updatedVertices (no edge updates here)
+        assert_eq!(
+            row.get("updatedObjects").unwrap().as_list().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn event_classes() {
+        let mut g = Graph::new();
+        g.begin().unwrap();
+        let mark = g.mark();
+        g.create_node(["P"], PropertyMap::new()).unwrap();
+        let classes = EventClasses::of(&g.delta_since(mark));
+        assert!(classes.vertex_create);
+        assert!(!classes.edge_create);
+        assert!(classes.any());
+        assert!(!EventClasses::of(&Delta::default()).any());
+    }
+}

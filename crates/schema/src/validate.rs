@@ -1,0 +1,456 @@
+//! Graph validation against a [`GraphType`], including PG-Key uniqueness.
+
+use crate::types::{GraphType, PropType};
+use pg_graph::{Graph, GraphView, NodeId, RelId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// STRICT graph: node labels match no declared type.
+    UntypedNode { node: NodeId, labels: Vec<String> },
+    /// Node labels match more than one declared type (ambiguous in STRICT).
+    AmbiguousNode { node: NodeId, types: Vec<String> },
+    /// A required property is missing.
+    MissingProp { node: NodeId, type_name: String, prop: String },
+    /// A property value has the wrong type.
+    WrongPropType {
+        node: NodeId,
+        prop: String,
+        expected: PropType,
+        got: &'static str,
+    },
+    /// A closed type carries an undeclared property.
+    UndeclaredProp { node: NodeId, type_name: String, prop: String },
+    /// Two nodes of the same type share a key (PG-Keys).
+    DuplicateKey {
+        type_name: String,
+        key: Vec<String>,
+        nodes: (NodeId, NodeId),
+    },
+    /// Relationship label matches no declared edge type.
+    UntypedRel { rel: RelId, rel_type: String },
+    /// Relationship endpoints don't conform to the edge type's signature.
+    BadEndpoints { rel: RelId, edge_type: String },
+    /// Edge property issues.
+    RelMissingProp { rel: RelId, edge_type: String, prop: String },
+    RelWrongPropType {
+        rel: RelId,
+        prop: String,
+        expected: PropType,
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UntypedNode { node, labels } => {
+                write!(f, "node {node} with labels {labels:?} matches no declared type")
+            }
+            Violation::AmbiguousNode { node, types } => {
+                write!(f, "node {node} matches multiple types {types:?}")
+            }
+            Violation::MissingProp { node, type_name, prop } => {
+                write!(f, "node {node} ({type_name}) misses required property '{prop}'")
+            }
+            Violation::WrongPropType { node, prop, expected, got } => {
+                write!(f, "node {node} property '{prop}': expected {expected}, got {got}")
+            }
+            Violation::UndeclaredProp { node, type_name, prop } => {
+                write!(f, "node {node} ({type_name}, closed) has undeclared property '{prop}'")
+            }
+            Violation::DuplicateKey { type_name, key, nodes } => {
+                write!(f, "duplicate key {key:?} on {type_name}: {} and {}", nodes.0, nodes.1)
+            }
+            Violation::UntypedRel { rel, rel_type } => {
+                write!(f, "relationship {rel} of type '{rel_type}' matches no edge type")
+            }
+            Violation::BadEndpoints { rel, edge_type } => {
+                write!(f, "relationship {rel} violates the endpoint signature of {edge_type}")
+            }
+            Violation::RelMissingProp { rel, edge_type, prop } => {
+                write!(f, "relationship {rel} ({edge_type}) misses required property '{prop}'")
+            }
+            Violation::RelWrongPropType { rel, prop, expected, got } => {
+                write!(f, "relationship {rel} property '{prop}': expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+/// Resolve the unique node type whose **full** label set equals the node's
+/// labels. Returns all candidates (0, 1 or more).
+fn node_types_of(gt: &GraphType, labels: &BTreeSet<String>) -> Vec<String> {
+    gt.node_types
+        .iter()
+        .filter(|t| &gt.full_labels(&t.name) == labels)
+        .map(|t| t.name.clone())
+        .collect()
+}
+
+/// Validate an entire graph against a graph type. Returns all violations
+/// (empty = conformant).
+pub fn validate_graph(graph: &Graph, gt: &GraphType) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // node typing map for edge validation
+    let mut type_of: BTreeMap<NodeId, String> = BTreeMap::new();
+    // key uniqueness: (type, key values) -> first node
+    let mut keys_seen: BTreeMap<(String, String), NodeId> = BTreeMap::new();
+
+    for id in graph.all_node_ids() {
+        let rec = graph.node(id).expect("listed node exists");
+        let candidates = node_types_of(gt, &rec.labels);
+        match candidates.len() {
+            0 => {
+                if gt.strict {
+                    out.push(Violation::UntypedNode {
+                        node: id,
+                        labels: rec.labels.iter().cloned().collect(),
+                    });
+                }
+                continue;
+            }
+            1 => {}
+            _ => {
+                out.push(Violation::AmbiguousNode { node: id, types: candidates.clone() });
+                continue;
+            }
+        }
+        let tname = &candidates[0];
+        type_of.insert(id, tname.clone());
+        let props = gt.full_props(tname);
+        let declared: BTreeSet<&str> = props.iter().map(|p| p.name.as_str()).collect();
+        for p in &props {
+            match rec.props.get(&p.name) {
+                None => {
+                    if p.required {
+                        out.push(Violation::MissingProp {
+                            node: id,
+                            type_name: tname.clone(),
+                            prop: p.name.clone(),
+                        });
+                    }
+                }
+                Some(v) => {
+                    if !p.prop_type.accepts(v) {
+                        out.push(Violation::WrongPropType {
+                            node: id,
+                            prop: p.name.clone(),
+                            expected: p.prop_type.clone(),
+                            got: v.type_name(),
+                        });
+                    }
+                }
+            }
+        }
+        if !gt.is_open(tname) {
+            for (k, _) in rec.props.iter() {
+                if !declared.contains(k.as_str()) {
+                    out.push(Violation::UndeclaredProp {
+                        node: id,
+                        type_name: tname.clone(),
+                        prop: k.clone(),
+                    });
+                }
+            }
+        }
+        // PG-Keys: uniqueness of the key tuple within the type.
+        let key_props = gt.key_props(tname);
+        if !key_props.is_empty() {
+            let key_vals: Vec<String> = key_props
+                .iter()
+                .map(|k| rec.props.get(k).cloned().unwrap_or(Value::Null).to_string())
+                .collect();
+            let composite = key_vals.join("\u{1}");
+            if let Some(&first) = keys_seen.get(&(tname.clone(), composite.clone())) {
+                out.push(Violation::DuplicateKey {
+                    type_name: tname.clone(),
+                    key: key_props.clone(),
+                    nodes: (first, id),
+                });
+            } else {
+                keys_seen.insert((tname.clone(), composite), id);
+            }
+        }
+    }
+
+    for rid in graph.all_rel_ids() {
+        let rec = graph.rel(rid).expect("listed rel exists");
+        let candidates: Vec<_> = gt
+            .edge_types
+            .iter()
+            .filter(|e| e.label == rec.rel_type)
+            .collect();
+        if candidates.is_empty() {
+            if gt.strict {
+                out.push(Violation::UntypedRel { rel: rid, rel_type: rec.rel_type.clone() });
+            }
+            continue;
+        }
+        // An edge conforms if at least one declared edge type with this
+        // label accepts its endpoints (endpoint subtyping allowed: the
+        // endpoint's type may inherit from the declared endpoint type).
+        let conforms = candidates.iter().any(|e| {
+            endpoint_ok(gt, type_of.get(&rec.src), &e.src_type)
+                && endpoint_ok(gt, type_of.get(&rec.dst), &e.dst_type)
+        });
+        if !conforms {
+            out.push(Violation::BadEndpoints {
+                rel: rid,
+                edge_type: candidates[0].name.clone(),
+            });
+            continue;
+        }
+        // Validate props against the first structurally matching edge type.
+        if let Some(e) = candidates.iter().find(|e| {
+            endpoint_ok(gt, type_of.get(&rec.src), &e.src_type)
+                && endpoint_ok(gt, type_of.get(&rec.dst), &e.dst_type)
+        }) {
+            for p in &e.props {
+                match rec.props.get(&p.name) {
+                    None if p.required => out.push(Violation::RelMissingProp {
+                        rel: rid,
+                        edge_type: e.name.clone(),
+                        prop: p.name.clone(),
+                    }),
+                    Some(v) if !p.prop_type.accepts(v) => {
+                        out.push(Violation::RelWrongPropType {
+                            rel: rid,
+                            prop: p.name.clone(),
+                            expected: p.prop_type.clone(),
+                            got: v.type_name(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An endpoint conforms when its resolved type is the declared type or a
+/// subtype of it.
+fn endpoint_ok(gt: &GraphType, actual: Option<&String>, declared: &str) -> bool {
+    let Some(actual) = actual else {
+        return false;
+    };
+    if actual == declared {
+        return true;
+    }
+    // walk actual's supertypes
+    let mut stack = vec![actual.clone()];
+    let mut seen = BTreeSet::new();
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t.clone()) {
+            continue;
+        }
+        if t == declared {
+            return true;
+        }
+        if let Some(def) = gt.node_type(&t) {
+            stack.extend(def.supertypes.iter().cloned());
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::parse_graph_type;
+    use pg_graph::PropertyMap;
+
+    fn schema() -> GraphType {
+        parse_graph_type(
+            "CREATE GRAPH TYPE G STRICT {
+               (PatientType: Patient {ssn STRING KEY, name STRING}),
+               (HospitalizedPatientType: PatientType & HospitalizedPatient {prognosis STRING}),
+               (HospitalType: Hospital {name STRING, icuBeds INT32}),
+               (AlertType: Alert OPEN {desc STRING}),
+               (:HospitalizedPatientType)-[TreatedAtType: TreatedAt]->(:HospitalType),
+               (:HospitalType)-[ConnType: ConnectedTo {distance INT32}]->(:HospitalType)
+             }",
+        )
+        .unwrap()
+    }
+
+    fn props(entries: &[(&str, Value)]) -> PropertyMap {
+        entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn valid_patient(g: &mut Graph, ssn: &str) -> NodeId {
+        g.create_node(
+            ["Patient"],
+            props(&[("ssn", Value::str(ssn)), ("name", Value::str("P"))]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conformant_graph_passes() {
+        let gt = schema();
+        let mut g = Graph::new();
+        valid_patient(&mut g, "a");
+        let hp = g
+            .create_node(
+                ["Patient", "HospitalizedPatient"],
+                props(&[
+                    ("ssn", Value::str("b")),
+                    ("name", Value::str("Q")),
+                    ("prognosis", Value::str("severe")),
+                ]),
+            )
+            .unwrap();
+        let h = g
+            .create_node(
+                ["Hospital"],
+                props(&[("name", Value::str("Sacco")), ("icuBeds", Value::Int(50))]),
+            )
+            .unwrap();
+        g.create_rel(hp, h, "TreatedAt", PropertyMap::new()).unwrap();
+        assert_eq!(validate_graph(&g, &gt), vec![]);
+    }
+
+    #[test]
+    fn strict_rejects_untyped_nodes() {
+        let gt = schema();
+        let mut g = Graph::new();
+        g.create_node(["Stranger"], PropertyMap::new()).unwrap();
+        let v = validate_graph(&g, &gt);
+        assert!(matches!(v[0], Violation::UntypedNode { .. }));
+    }
+
+    #[test]
+    fn missing_and_wrong_props_flagged() {
+        let gt = schema();
+        let mut g = Graph::new();
+        g.create_node(["Patient"], props(&[("ssn", Value::Int(1))])).unwrap();
+        let v = validate_graph(&g, &gt);
+        assert!(v.iter().any(|x| matches!(x, Violation::MissingProp { prop, .. } if prop == "name")));
+        assert!(v.iter().any(|x| matches!(x, Violation::WrongPropType { prop, .. } if prop == "ssn")));
+    }
+
+    #[test]
+    fn closed_type_rejects_extra_props_open_allows() {
+        let gt = schema();
+        let mut g = Graph::new();
+        g.create_node(
+            ["Patient"],
+            props(&[
+                ("ssn", Value::str("a")),
+                ("name", Value::str("x")),
+                ("surprise", Value::Int(1)),
+            ]),
+        )
+        .unwrap();
+        let v = validate_graph(&g, &gt);
+        assert!(v.iter().any(|x| matches!(x, Violation::UndeclaredProp { prop, .. } if prop == "surprise")));
+
+        // Alert is OPEN: arbitrary properties allowed (paper §6.2).
+        let mut g = Graph::new();
+        g.create_node(
+            ["Alert"],
+            props(&[
+                ("desc", Value::str("New critical mutation")),
+                ("mutation", Value::str("D614G")),
+                ("lineage", Value::str("B.1.1.7")),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(validate_graph(&g, &gt), vec![]);
+    }
+
+    #[test]
+    fn pg_key_uniqueness_enforced() {
+        let gt = schema();
+        let mut g = Graph::new();
+        valid_patient(&mut g, "dup");
+        valid_patient(&mut g, "dup");
+        let v = validate_graph(&g, &gt);
+        assert!(matches!(v[0], Violation::DuplicateKey { .. }));
+        // keys inherited: Patient + HospitalizedPatient share the ssn space?
+        // No — keys are per-type; subtypes have their own extent.
+    }
+
+    #[test]
+    fn edge_endpoint_signature_enforced() {
+        let gt = schema();
+        let mut g = Graph::new();
+        let p = valid_patient(&mut g, "a");
+        let h = g
+            .create_node(
+                ["Hospital"],
+                props(&[("name", Value::str("H")), ("icuBeds", Value::Int(1))]),
+            )
+            .unwrap();
+        // TreatedAt requires HospitalizedPatientType source; a plain Patient
+        // is a supertype, not a subtype → violation.
+        g.create_rel(p, h, "TreatedAt", PropertyMap::new()).unwrap();
+        let v = validate_graph(&g, &gt);
+        assert!(matches!(v[0], Violation::BadEndpoints { .. }));
+    }
+
+    #[test]
+    fn unknown_rel_label_in_strict() {
+        let gt = schema();
+        let mut g = Graph::new();
+        let a = valid_patient(&mut g, "a");
+        let b = valid_patient(&mut g, "b");
+        g.create_rel(a, b, "Mystery", PropertyMap::new()).unwrap();
+        let v = validate_graph(&g, &gt);
+        assert!(matches!(v[0], Violation::UntypedRel { .. }));
+    }
+
+    #[test]
+    fn edge_props_validated() {
+        let gt = schema();
+        let mut g = Graph::new();
+        let h1 = g
+            .create_node(
+                ["Hospital"],
+                props(&[("name", Value::str("A")), ("icuBeds", Value::Int(1))]),
+            )
+            .unwrap();
+        let h2 = g
+            .create_node(
+                ["Hospital"],
+                props(&[("name", Value::str("B")), ("icuBeds", Value::Int(1))]),
+            )
+            .unwrap();
+        g.create_rel(h1, h2, "ConnectedTo", props(&[("distance", Value::str("far"))]))
+            .unwrap();
+        let v = validate_graph(&g, &gt);
+        assert!(v.iter().any(|x| matches!(x, Violation::RelWrongPropType { .. })));
+        g.create_rel(h1, h2, "ConnectedTo", PropertyMap::new()).unwrap();
+        let v = validate_graph(&g, &gt);
+        assert!(v.iter().any(|x| matches!(x, Violation::RelMissingProp { .. })));
+    }
+
+    #[test]
+    fn subtype_endpoints_accepted() {
+        // ICU patients (subtype) can still be TreatedAt a hospital if the
+        // schema declares the supertype as endpoint.
+        let gt = parse_graph_type(
+            "CREATE GRAPH TYPE G STRICT {
+               (PatientType: Patient {ssn STRING}),
+               (HospitalizedPatientType: PatientType & HospitalizedPatient {}),
+               (HospitalType: Hospital {}),
+               (:PatientType)-[TreatedAtType: TreatedAt]->(:HospitalType)
+             }",
+        )
+        .unwrap();
+        let mut g = Graph::new();
+        let hp = g
+            .create_node(
+                ["Patient", "HospitalizedPatient"],
+                props(&[("ssn", Value::str("x"))]),
+            )
+            .unwrap();
+        let h = g.create_node(["Hospital"], PropertyMap::new()).unwrap();
+        g.create_rel(hp, h, "TreatedAt", PropertyMap::new()).unwrap();
+        assert_eq!(validate_graph(&g, &gt), vec![]);
+    }
+}

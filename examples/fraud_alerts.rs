@@ -1,0 +1,105 @@
+//! Reactive fraud monitoring on a financial transaction graph — a second
+//! domain exercising every action time: BEFORE integrity vetoes, AFTER
+//! alert derivation with cascading, ONCOMMIT invariants, and DETACHED
+//! audit logging. (The paper's last two authors work on financial
+//! knowledge graphs at a central bank; this is the scenario its
+//! introduction gestures at.)
+//!
+//! ```text
+//! cargo run --example fraud_alerts
+//! ```
+
+use pg_graph::Value;
+use pg_triggers::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new();
+
+    // BEFORE: transfers must have a positive amount — otherwise the whole
+    // statement is vetoed (§4.2: BEFORE conditions NEW states / aborts).
+    s.install(
+        "CREATE TRIGGER PositiveAmount
+         BEFORE CREATE ON 'Transfer' FOR EACH NODE
+         WHEN NEW.amount <= 0
+         BEGIN ABORT 'transfer amount must be positive' END",
+    )?;
+
+    // AFTER: large transfers raise a Suspicion (item-level).
+    s.install(
+        "CREATE TRIGGER LargeTransfer
+         AFTER CREATE ON 'Transfer' FOR EACH NODE
+         WHEN NEW.amount > 10000
+         BEGIN CREATE (:Suspicion {time: DATETIME(), amount: NEW.amount,
+                                   reason: 'large transfer'}) END",
+    )?;
+
+    // AFTER, cascading: three suspicions on the books freeze the account —
+    // a trigger fired by a trigger (the SQL3 execution-context stack).
+    s.install(
+        "CREATE TRIGGER FreezeOnRepeat
+         AFTER CREATE ON 'Suspicion' FOR ALL NODES
+         WHEN MATCH (x:Suspicion) WITH count(x) AS n WHERE n >= 3
+         BEGIN MATCH (a:Account {id: 'acc-1'}) SET a.frozen = true END",
+    )?;
+
+    // ONCOMMIT: the account balance may never go negative across a whole
+    // transaction; violation rolls the transaction back.
+    s.install(
+        "CREATE TRIGGER NonNegativeBalance
+         ONCOMMIT SET ON 'Account'.'balance' FOR EACH NODE
+         WHEN NEW.balance < 0
+         BEGIN ABORT 'balance went negative' END",
+    )?;
+
+    // DETACHED: audit trail written after the commit, in its own
+    // transaction — it survives even if later work fails.
+    s.install(
+        "CREATE TRIGGER AuditTransfers
+         DETACHED CREATE ON 'Transfer' FOR ALL NODES
+         BEGIN CREATE (:AuditEntry {time: DATETIME(), transfers: size(NEWNODES)}) END",
+    )?;
+
+    s.run("CREATE (:Account {id: 'acc-1', balance: 50000, frozen: false})")?;
+
+    // A rejected transfer: BEFORE veto.
+    match s.run("CREATE (:Transfer {amount: -5})") {
+        Err(e) => println!("rejected as expected: {e}"),
+        Ok(_) => unreachable!("negative transfer must be vetoed"),
+    }
+
+    // Three large transfers → three suspicions → account frozen by cascade.
+    for amount in [15000, 22000, 18000] {
+        s.run(&format!("CREATE (:Transfer {{amount: {amount}}})"))?;
+    }
+    let frozen = s
+        .run("MATCH (a:Account {id: 'acc-1'}) RETURN a.frozen AS f")?
+        .single()
+        .cloned();
+    println!("account frozen after 3 suspicions: {frozen:?}");
+    assert_eq!(frozen, Some(Value::Bool(true)));
+
+    // A transaction that would overdraw: ONCOMMIT rolls everything back.
+    s.begin()?;
+    s.run("MATCH (a:Account {id: 'acc-1'}) SET a.balance = a.balance - 80000")?;
+    match s.commit() {
+        Err(e) => println!("overdraft transaction rolled back: {e}"),
+        Ok(_) => unreachable!("overdraft must fail at commit"),
+    }
+    let balance = s
+        .run("MATCH (a:Account {id: 'acc-1'}) RETURN a.balance AS b")?
+        .single()
+        .cloned();
+    println!("balance preserved: {balance:?}");
+    assert_eq!(balance, Some(Value::Int(50000)));
+
+    // The detached audit trail recorded each transfer statement.
+    let audits = s
+        .run("MATCH (e:AuditEntry) RETURN count(*) AS n")?
+        .single()
+        .and_then(|v| v.as_i64());
+    println!("audit entries: {audits:?}");
+    assert_eq!(audits, Some(3));
+
+    println!("stats: {:?}", s.stats());
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! The §6.2.3 relocation triggers in isolation: overflow a hospital's ICU
+//! and watch `IcuPatientMove` / `MoveToNearHospital` redistribute the new
+//! admissions, plus the termination analysis the paper discusses for the
+//! potentially non-terminating variant.
+//!
+//! ```text
+//! cargo run --example hospital_relocation
+//! ```
+
+use pg_triggers::{analyze, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new();
+
+    // A tiny Lombardy: Sacco (4 ICU beds) near Niguarda (10 beds), with
+    // Meyer in Tuscany as the §6.2.3 fallback — but Meyer has only 2 ICU
+    // beds, so the bulk Sacco→Meyer move is blocked and the per-patient
+    // nearest-hospital trigger takes over.
+    s.run(
+        "CREATE (lom:Region {name: 'Lombardy'}), (tus:Region {name: 'Tuscany'})
+         CREATE (sacco:Hospital {name: 'Sacco', icuBeds: 4})-[:LocatedIn]->(lom)
+         CREATE (nig:Hospital {name: 'Niguarda', icuBeds: 10})-[:LocatedIn]->(lom)
+         CREATE (meyer:Hospital {name: 'Meyer', icuBeds: 2})-[:LocatedIn]->(tus)
+         CREATE (sacco)-[:ConnectedTo {distance: 7}]->(nig)
+         CREATE (sacco)-[:ConnectedTo {distance: 290}]->(meyer)",
+    )?;
+
+    // Install both §6.2.3 triggers (they coexist; creation order decides
+    // who reacts first, §4.2 "order of execution").
+    s.install(pg_covid::triggers::ICU_PATIENT_MOVE)?;
+    s.install(pg_covid::triggers::MOVE_TO_NEAR_HOSPITAL)?;
+
+    // Termination analysis (Baralis–Ceri–Widom, §6.2.3 discussion).
+    let report = analyze(s.catalog());
+    println!("triggering-graph edges: {:?}", report.edges);
+    println!(
+        "cycles: {:?} (the §6.2.3 relocation triggers monitor IcuPatient creation\n\
+         but relocate via TreatedAt edges, so the static graph stays acyclic)",
+        report.cyclic_triggers
+    );
+
+    // Admit 7 ICU patients to Sacco in one wave — 3 over capacity.
+    let patterns: Vec<String> = (0..7)
+        .map(|k| {
+            format!(
+                "(:Patient:HospitalizedPatient:IcuPatient {{ssn: 'P{k}', name: 'p{k}', sex: 'F',
+                  id: {k}, prognosis: 'severe', admittedToICU: true}})-[:TreatedAt]->(h)"
+            )
+        })
+        .collect();
+    s.run(&format!(
+        "MATCH (h:Hospital {{name: 'Sacco'}}) CREATE {}",
+        patterns.join(", ")
+    ))?;
+
+    let out = s.run(
+        "MATCH (p:IcuPatient)-[:TreatedAt]-(h:Hospital)
+         RETURN h.name AS hospital, count(DISTINCT p) AS load ORDER BY load DESC",
+    )?;
+    println!("\nICU load after the wave:");
+    for row in &out.rows {
+        println!("  {:<10} {}", row[0], row[1]);
+    }
+
+    // IcuPatientMove could not use Meyer (7 movers > 2 beds), so
+    // MoveToNearHospital relocated each new arrival to Niguarda
+    // (distance 7 beats Meyer's 290).
+    let at_niguarda = s
+        .run("MATCH (p:IcuPatient)-[:TreatedAt]-(:Hospital {name: 'Niguarda'}) RETURN count(DISTINCT p) AS n")?
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap_or(0);
+    let at_meyer = s
+        .run("MATCH (p:IcuPatient)-[:TreatedAt]-(:Hospital {name: 'Meyer'}) RETURN count(DISTINCT p) AS n")?
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap_or(0);
+    println!("\nrelocated to Niguarda: {at_niguarda} (Meyer: {at_meyer})");
+    assert!(at_niguarda > 0, "the relocation triggers moved nobody");
+    assert_eq!(at_meyer, 0, "the bulk move to Meyer should have been blocked");
+
+    println!("stats: {:?}", s.stats());
+    Ok(())
+}

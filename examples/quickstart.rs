@@ -1,0 +1,54 @@
+//! Quickstart: install a PG-Trigger, make a change, watch it react.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pg_triggers::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new();
+
+    // The paper's first trigger (§6.2.1): when a new Mutation linked to a
+    // CriticalEffect appears, raise an Alert carrying the mutation's name.
+    session.install(
+        "CREATE TRIGGER NewCriticalMutation
+         AFTER CREATE
+         ON 'Mutation'
+         FOR EACH NODE
+         WHEN EXISTS (NEW)-[:Risk]-(:CriticalEffect)
+         BEGIN
+           CREATE (:Alert{time: DATETIME(),
+                          desc: 'New critical mutation',
+                          mutation: NEW.name})
+         END",
+    )?;
+    println!("installed trigger NewCriticalMutation");
+
+    // Base knowledge: one critical effect.
+    session.run("CREATE (:CriticalEffect {description: 'Enhanced infectivity'})")?;
+
+    // A benign mutation — the trigger's condition is false, no alert.
+    session.run("CREATE (:Mutation {name: 'N:S202N', protein: 'N'})")?;
+
+    // A critical mutation — created together with its Risk edge; the
+    // trigger fires.
+    session.run(
+        "MATCH (e:CriticalEffect)
+         CREATE (:Mutation {name: 'Spike:D614G', protein: 'Spike'})-[:Risk]->(e)",
+    )?;
+
+    let out = session.run("MATCH (a:Alert) RETURN a.desc AS desc, a.mutation AS mutation")?;
+    println!("alerts:");
+    for row in &out.rows {
+        println!("  {} — {}", row[0], row[1]);
+    }
+    assert_eq!(out.rows.len(), 1, "exactly one alert expected");
+
+    let stats = session.stats();
+    println!(
+        "engine stats: fired = {}, suppressed = {}",
+        stats.fired, stats.suppressed
+    );
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! # pg-triggers-suite — umbrella crate
+//!
+//! Re-exports the whole PG-Triggers reproduction for the examples under
+//! `examples/` and the cross-crate integration tests under `tests/`.
+//! See the individual crates for the real APIs:
+//!
+//! * [`pg_triggers`] — the PG-Trigger engine (the paper's contribution);
+//! * [`pg_graph`] / [`pg_cypher`] / [`pg_schema`] — the substrates;
+//! * [`pg_apoc`] / [`pg_memgraph`] — target-system emulations + translators;
+//! * [`pg_covid`] — the §6 running example.
+
+pub use pg_apoc;
+pub use pg_covid;
+pub use pg_cypher;
+pub use pg_graph;
+pub use pg_memgraph;
+pub use pg_schema;
+pub use pg_triggers;

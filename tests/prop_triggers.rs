@@ -1,0 +1,162 @@
+//! Property-based tests over the trigger engine:
+//! * DDL unparse/re-parse round-trips for generated trigger specs;
+//! * a counting trigger observes exactly the statement's delta
+//!   (soundness & completeness of event matching) under random batches;
+//! * cascades never exceed the configured depth bound;
+//! * APOC/Memgraph translations of generated simple triggers produce the
+//!   same number of firings as the native engine.
+
+use pg_apoc::ApocDb;
+use pg_memgraph::MemgraphDb;
+use pg_triggers::{parse_trigger_ddl, DdlStatement, EngineConfig, Session, TriggerError};
+use proptest::prelude::*;
+
+fn time_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("AFTER"),
+        Just("ONCOMMIT"),
+        Just("DETACHED"),
+    ]
+}
+
+fn event_item_strategy() -> impl Strategy<Value = (&'static str, &'static str, &'static str)> {
+    // (event, item keyword, optional property suffix)
+    prop_oneof![
+        Just(("CREATE", "NODE", "")),
+        Just(("DELETE", "NODE", "")),
+        Just(("CREATE", "RELATIONSHIP", "")),
+        Just(("DELETE", "RELATIONSHIP", "")),
+        Just(("SET", "NODE", "")),
+        Just(("REMOVE", "NODE", "")),
+        Just(("SET", "NODE", ".'p'")),
+        Just(("REMOVE", "NODE", ".'p'")),
+        Just(("SET", "RELATIONSHIP", ".'p'")),
+        Just(("REMOVE", "RELATIONSHIP", ".'p'")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_ddl_round_trips(
+        time in time_strategy(),
+        (event, item, prop) in event_item_strategy(),
+        all in any::<bool>(),
+        label in "[A-Z][a-z]{2,8}",
+    ) {
+        let granularity = if all {
+            format!("ALL {item}S")
+        } else {
+            format!("EACH {item}")
+        };
+        let src = format!(
+            "CREATE TRIGGER gen {time} {event} ON '{label}'{prop} FOR {granularity} \
+             WHEN 1 = 1 BEGIN CREATE (:Log) END"
+        );
+        let spec = match parse_trigger_ddl(&src) {
+            Ok(DdlStatement::CreateTrigger(s)) => s,
+            Ok(_) => unreachable!(),
+            Err(e) => return Err(TestCaseError::fail(format!("{src}: {e}"))),
+        };
+        prop_assert_eq!(spec.label.as_str(), label.as_str());
+        prop_assert_eq!(spec.event.keyword(), event);
+        prop_assert_eq!(spec.time.keyword(), time);
+        // Display regenerates parseable header structure
+        let shown = spec.to_string();
+        let expected_on = format!("ON '{label}'");
+        prop_assert!(shown.contains(&expected_on));
+    }
+
+    #[test]
+    fn counting_trigger_sees_exact_delta(batch in 1usize..20, others in 0usize..10) {
+        let mut s = Session::new();
+        s.install(
+            "CREATE TRIGGER c AFTER CREATE ON 'T' FOR EACH NODE BEGIN CREATE (:Seen) END",
+        ).unwrap();
+        let mut parts: Vec<String> = (0..batch).map(|i| format!("(:T {{i: {i}}})")).collect();
+        parts.extend((0..others).map(|i| format!("(:U {{i: {i}}})")));
+        s.run(&format!("CREATE {}", parts.join(", "))).unwrap();
+        let seen = s.run("MATCH (x:Seen) RETURN count(*) AS n").unwrap()
+            .single().and_then(|v| v.as_i64()).unwrap();
+        prop_assert_eq!(seen as usize, batch);
+    }
+
+    #[test]
+    fn cascade_depth_is_bounded(limit in 1usize..12) {
+        let mut s = Session::with_config(EngineConfig {
+            max_cascade_depth: limit,
+            ..EngineConfig::default()
+        });
+        s.install(
+            "CREATE TRIGGER sp AFTER CREATE ON 'X' FOR EACH NODE BEGIN CREATE (:X) END",
+        ).unwrap();
+        let err = s.run("CREATE (:X)").unwrap_err();
+        let is_limit = matches!(err, TriggerError::RecursionLimit { depth, .. } if depth == limit);
+        prop_assert!(is_limit);
+        // everything rolled back
+        let n = s.run("MATCH (x:X) RETURN count(*) AS n").unwrap()
+            .single().and_then(|v| v.as_i64()).unwrap();
+        prop_assert_eq!(n, 0);
+        prop_assert!(s.stats().max_depth_seen <= limit);
+    }
+
+    #[test]
+    fn translations_agree_on_firing_counts(
+        batch in 1usize..8,
+        threshold in 0i64..10,
+    ) {
+        let ddl = format!(
+            "CREATE TRIGGER t AFTER CREATE ON 'P' FOR EACH NODE \
+             WHEN NEW.v > {threshold} BEGIN CREATE (:Probe) END"
+        );
+        let spec = match parse_trigger_ddl(&ddl).unwrap() {
+            DdlStatement::CreateTrigger(s) => s,
+            _ => unreachable!(),
+        };
+        let parts: Vec<String> = (0..batch).map(|i| format!("(:P {{v: {i}}})")).collect();
+        let event = format!("CREATE {}", parts.join(", "));
+        let expected = (0..batch as i64).filter(|v| *v > threshold).count() as i64;
+
+        let mut native = Session::new();
+        native.install(&ddl).unwrap();
+        native.run(&event).unwrap();
+        let n = native.run("MATCH (p:Probe) RETURN count(*) AS n").unwrap()
+            .single().and_then(|v| v.as_i64()).unwrap();
+        prop_assert_eq!(n, expected);
+
+        let mut apoc = ApocDb::new();
+        let i = pg_apoc::translate(&spec).unwrap();
+        apoc.install("neo4j", &i.name, &i.statement, i.phase.name()).unwrap();
+        apoc.run_tx(&[event.as_str()]).unwrap();
+        let a = apoc.query("MATCH (p:Probe) RETURN count(*) AS n").unwrap()
+            .single().and_then(|v| v.as_i64()).unwrap();
+        prop_assert_eq!(a, expected);
+
+        let mut mg = MemgraphDb::new();
+        let i = pg_memgraph::translate(&spec).unwrap();
+        mg.create_trigger(&i.ddl).unwrap();
+        mg.run_tx(&[event.as_str()]).unwrap();
+        let m = mg.query("MATCH (p:Probe) RETURN count(*) AS n").unwrap()
+            .single().and_then(|v| v.as_i64()).unwrap();
+        prop_assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn oncommit_fixpoint_conserves_rollback(seedlings in 1usize..6) {
+        // An ONCOMMIT trigger that always aborts must leave no trace, no
+        // matter how many statements the transaction contained.
+        let mut s = Session::new();
+        s.install(
+            "CREATE TRIGGER veto ONCOMMIT CREATE ON 'P' FOR ALL NODES BEGIN ABORT 'no' END",
+        ).unwrap();
+        s.begin().unwrap();
+        for i in 0..seedlings {
+            s.run(&format!("CREATE (:P {{i: {i}}})")).unwrap();
+        }
+        prop_assert!(s.commit().is_err());
+        let n = s.run("MATCH (p:P) RETURN count(*) AS n").unwrap()
+            .single().and_then(|v| v.as_i64()).unwrap();
+        prop_assert_eq!(n, 0);
+    }
+}

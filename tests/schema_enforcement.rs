@@ -1,0 +1,133 @@
+//! PG-Schema + PG-Triggers working together: a session with the CoV2K
+//! graph type attached validates every commit; violations roll back like a
+//! failing ONCOMMIT trigger, and triggers + schema compose.
+
+use pg_triggers::{Session, TriggerError};
+
+fn schema_session() -> Session {
+    let mut s = Session::new();
+    s.set_schema(pg_covid::covid_graph_type());
+    s
+}
+
+#[test]
+fn conformant_commit_passes() {
+    let mut s = schema_session();
+    s.run(
+        "CREATE (:Mutation {name: 'Spike:D614G', protein: 'Spike'}) \
+         CREATE (:CriticalEffect {description: 'bad'})",
+    )
+    .unwrap();
+    assert_eq!(s.graph().node_count(), 2);
+}
+
+#[test]
+fn untyped_node_rolls_back() {
+    let mut s = schema_session();
+    let err = s.run("CREATE (:Gremlin {x: 1})").unwrap_err();
+    assert!(matches!(err, TriggerError::Schema(_)), "{err}");
+    assert_eq!(s.graph().node_count(), 0);
+}
+
+#[test]
+fn missing_required_property_rolls_back() {
+    let mut s = schema_session();
+    let err = s.run("CREATE (:Mutation {name: 'x'})").unwrap_err(); // missing protein
+    assert!(matches!(err, TriggerError::Schema(_)), "{err}");
+    assert_eq!(s.graph().node_count(), 0);
+}
+
+#[test]
+fn wrong_property_type_rolls_back() {
+    let mut s = schema_session();
+    let err = s
+        .run("CREATE (:Hospital {name: 'Sacco', icuBeds: 'many'})")
+        .unwrap_err();
+    assert!(matches!(err, TriggerError::Schema(_)), "{err}");
+}
+
+#[test]
+fn pg_key_uniqueness_enforced_across_commits() {
+    let mut s = schema_session();
+    s.run("CREATE (:Sequence {accession: 'A1', collection: date()})").unwrap();
+    let err = s
+        .run("CREATE (:Sequence {accession: 'A1', collection: date()})")
+        .unwrap_err();
+    assert!(matches!(err, TriggerError::Schema(_)), "{err}");
+    // only the first sequence survives
+    let n = s
+        .run("MATCH (x:Sequence) RETURN count(*) AS n")
+        .unwrap()
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap();
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn bad_edge_signature_rolls_back() {
+    let mut s = schema_session();
+    s.run(
+        "CREATE (:Mutation {name: 'm', protein: 'Spike'}) \
+         CREATE (:Region {name: 'Lombardy'})",
+    )
+    .unwrap();
+    // Mutation-[:TreatedAt]->Region matches no edge type signature
+    let err = s
+        .run("MATCH (m:Mutation), (r:Region) CREATE (m)-[:TreatedAt]->(r)")
+        .unwrap_err();
+    assert!(matches!(err, TriggerError::Schema(_)), "{err}");
+    assert_eq!(s.graph().rel_count(), 0);
+}
+
+#[test]
+fn trigger_effects_are_also_validated() {
+    // A trigger that produces a schema-violating node fails the whole
+    // transaction — triggers cannot smuggle non-conformant data past the
+    // schema guard.
+    let mut s = schema_session();
+    s.install(
+        "CREATE TRIGGER rogue AFTER CREATE ON 'Region' FOR EACH NODE
+         BEGIN CREATE (:Gremlin) END",
+    )
+    .unwrap();
+    let err = s.run("CREATE (:Region {name: 'Lombardy'})").unwrap_err();
+    assert!(matches!(err, TriggerError::Schema(_)), "{err}");
+    assert_eq!(s.graph().node_count(), 0);
+}
+
+#[test]
+fn open_alert_type_lets_triggers_attach_arbitrary_props() {
+    // The §6.2 alert triggers attach mutation/lineage properties — legal
+    // because AlertType is OPEN.
+    let mut s = schema_session();
+    s.install(pg_covid::triggers::NEW_CRITICAL_MUTATION).unwrap();
+    s.run("CREATE (:CriticalEffect {description: 'bad'})").unwrap();
+    s.run(
+        "MATCH (e:CriticalEffect)
+         CREATE (:Mutation {name: 'Spike:E484K', protein: 'Spike'})-[:Risk]->(e)",
+    )
+    .unwrap();
+    let n = s
+        .run("MATCH (a:Alert) RETURN count(*) AS n")
+        .unwrap()
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap();
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn whole_scenario_stays_conformant_under_guard() {
+    use pg_covid::{GeneratorConfig, Scenario, ScenarioConfig};
+    let mut sc = Scenario::new(ScenarioConfig {
+        generator: GeneratorConfig { patients: 50, sequences: 40, ..GeneratorConfig::default() },
+        waves: 2,
+        admissions_per_wave: 5,
+        discoveries: 1,
+        redesignations: 1,
+    });
+    sc.session.set_schema(pg_covid::covid_graph_type());
+    let report = sc.run().unwrap();
+    assert!(report.total_alerts() > 0);
+}

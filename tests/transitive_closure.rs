@@ -1,0 +1,130 @@
+//! The application §5.1/§7 of the paper single out as *requiring* correct
+//! cascading: "inferring properties of paths of arbitrary length".
+//!
+//! Two triggers incrementally maintain the transitive closure of `Edge`
+//! relationships as derived `Reaches` relationships. The derivation rules
+//! fire each other (Reaches begets Reaches), so the maintenance only works
+//! on an engine with correct cascading — on the APOC/Memgraph no-cascade
+//! emulations the closure stays incomplete, exactly the limitation the
+//! paper reports.
+
+use pg_triggers::{EngineConfig, Session};
+
+/// Base case: every new Edge is a Reaches (unless already derived).
+const BASE: &str = "
+CREATE TRIGGER tc_base AFTER CREATE ON 'Edge' FOR EACH RELATIONSHIP
+BEGIN
+  MATCH (a)-[NEW]->(b)
+  MERGE (a)-[:Reaches]->(b)
+END";
+
+/// Inductive case: a new Reaches composes with existing ones on both sides.
+/// MERGE makes the rules convergent (no new relationship → no new event).
+const STEP: &str = "
+CREATE TRIGGER tc_step AFTER CREATE ON 'Reaches' FOR EACH RELATIONSHIP
+BEGIN
+  MATCH (a)-[NEW]->(b)
+  OPTIONAL MATCH (b)-[:Reaches]->(c) WHERE c IS NOT NULL AND NOT (c = a)
+  FOREACH (x IN CASE WHEN c IS NULL THEN [] ELSE [c] END | MERGE (a)-[:Reaches]->(x))
+  WITH a, b
+  OPTIONAL MATCH (z)-[:Reaches]->(a) WHERE z IS NOT NULL AND NOT (z = b)
+  FOREACH (y IN CASE WHEN z IS NULL THEN [] ELSE [z] END | MERGE (y)-[:Reaches]->(b))
+END";
+
+fn tc_session() -> Session {
+    let mut s = Session::with_config(EngineConfig {
+        max_cascade_depth: 64,
+        ..EngineConfig::default()
+    });
+    s.install(BASE).unwrap();
+    s.install(STEP).unwrap();
+    s
+}
+
+fn reaches(s: &mut Session) -> i64 {
+    s.run("MATCH ()-[r:Reaches]->() RETURN count(r) AS n")
+        .unwrap()
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap()
+}
+
+#[test]
+fn chain_closure_is_complete() {
+    let mut s = tc_session();
+    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2}), (:N {i: 3})").unwrap();
+    for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+        s.run(&format!(
+            "MATCH (a:N {{i: {a}}}), (b:N {{i: {b}}}) CREATE (a)-[:Edge]->(b)"
+        ))
+        .unwrap();
+    }
+    // closure of a 4-chain: 3 + 2 + 1 = 6 pairs
+    assert_eq!(reaches(&mut s), 6);
+    // and the long-range pair exists explicitly
+    let n = s
+        .run("MATCH (:N {i: 0})-[:Reaches]->(:N {i: 3}) RETURN count(*) AS n")
+        .unwrap()
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap();
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn closure_bridges_components() {
+    let mut s = tc_session();
+    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2}), (:N {i: 3})").unwrap();
+    // two disjoint edges…
+    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)").unwrap();
+    s.run("MATCH (a:N {i: 2}), (b:N {i: 3}) CREATE (a)-[:Edge]->(b)").unwrap();
+    assert_eq!(reaches(&mut s), 2);
+    // …bridged by a third: closure must include 0→2, 0→3, 1→2, 1→3
+    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)").unwrap();
+    assert_eq!(reaches(&mut s), 6);
+}
+
+#[test]
+fn closure_is_incremental_and_idempotent() {
+    let mut s = tc_session();
+    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2})").unwrap();
+    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)").unwrap();
+    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)").unwrap();
+    let after_first = reaches(&mut s);
+    assert_eq!(after_first, 3);
+    // adding a parallel Edge derives nothing new (MERGE-idempotent)
+    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)").unwrap();
+    assert_eq!(reaches(&mut s), 3);
+}
+
+#[test]
+fn no_cascade_mode_leaves_closure_incomplete() {
+    // The same rule set on the APOC/Memgraph-style engine: only the base
+    // rule fires (Edge→Reaches); Reaches-to-Reaches composition never runs.
+    let mut s = Session::with_config(EngineConfig {
+        cascading_enabled: false,
+        max_cascade_depth: 64,
+        ..EngineConfig::default()
+    });
+    s.install(BASE).unwrap();
+    s.install(STEP).unwrap();
+    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2})").unwrap();
+    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)").unwrap();
+    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)").unwrap();
+    // base pairs derived, but 0→2 is missing: the §5.1 limitation in action
+    assert_eq!(reaches(&mut s), 2);
+}
+
+#[test]
+fn termination_analysis_flags_the_rule_set() {
+    // The triggering graph has tc_step → tc_step (Reaches may beget
+    // Reaches): the conservative analysis reports a cycle, even though
+    // MERGE makes the runtime convergent — exactly the §6.2.3 discussion
+    // (conservative analyses may flag terminating rule sets).
+    let s = tc_session();
+    let report = pg_triggers::analyze(s.catalog());
+    assert!(report.cyclic_triggers.contains(&"tc_step".to_string()));
+    assert!(report
+        .edges
+        .contains(&("tc_base".to_string(), "tc_step".to_string())));
+}
