@@ -22,11 +22,23 @@ pub fn apoc_params(delta: &Delta) -> Params {
     let mut p = Params::new();
     p.insert(
         "createdNodes".into(),
-        Value::List(delta.created_nodes.iter().map(|n| Value::Node(n.id)).collect()),
+        Value::List(
+            delta
+                .created_nodes
+                .iter()
+                .map(|n| Value::Node(n.id))
+                .collect(),
+        ),
     );
     p.insert(
         "createdRelationships".into(),
-        Value::List(delta.created_rels.iter().map(|r| Value::Rel(r.id)).collect()),
+        Value::List(
+            delta
+                .created_rels
+                .iter()
+                .map(|r| Value::Rel(r.id))
+                .collect(),
+        ),
     );
     p.insert(
         "deletedNodes".into(),
@@ -40,11 +52,19 @@ pub fn apoc_params(delta: &Delta) -> Params {
     // label -> list of nodes
     let mut assigned_labels: BTreeMap<String, Vec<Value>> = BTreeMap::new();
     for ev in delta.raw_assigned_labels() {
-        assigned_labels.entry(ev.label).or_default().push(Value::Node(ev.node));
+        assigned_labels
+            .entry(ev.label)
+            .or_default()
+            .push(Value::Node(ev.node));
     }
     p.insert(
         "assignedLabels".into(),
-        Value::Map(assigned_labels.into_iter().map(|(k, v)| (k, Value::List(v))).collect()),
+        Value::Map(
+            assigned_labels
+                .into_iter()
+                .map(|(k, v)| (k, Value::List(v)))
+                .collect(),
+        ),
     );
     let mut removed_labels: BTreeMap<String, Vec<Value>> = BTreeMap::new();
     for ev in &delta.removed_labels {
@@ -55,7 +75,12 @@ pub fn apoc_params(delta: &Delta) -> Params {
     }
     p.insert(
         "removedLabels".into(),
-        Value::Map(removed_labels.into_iter().map(|(k, v)| (k, Value::List(v))).collect()),
+        Value::Map(
+            removed_labels
+                .into_iter()
+                .map(|(k, v)| (k, Value::List(v)))
+                .collect(),
+        ),
     );
 
     // property key -> list of {node|relationship, key, old[, new]}
@@ -135,7 +160,10 @@ mod tests {
     use pg_graph::{Graph, PropertyMap};
 
     fn props(entries: &[(&str, Value)]) -> PropertyMap {
-        entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -151,7 +179,8 @@ mod tests {
         let mut g = Graph::new();
         g.begin().unwrap();
         let mark = g.mark();
-        g.create_node(["L"], props(&[("x", Value::Int(1))])).unwrap();
+        g.create_node(["L"], props(&[("x", Value::Int(1))]))
+            .unwrap();
         let delta = g.delta_since(mark);
         let p = apoc_params(&delta);
         assert_eq!(p["createdNodes"].as_list().unwrap().len(), 1);
@@ -178,7 +207,9 @@ mod tests {
     #[test]
     fn deleted_nodes_are_maps_with_labels() {
         let mut g = Graph::new();
-        let n = g.create_node(["Gone"], props(&[("name", Value::str("x"))])).unwrap();
+        let n = g
+            .create_node(["Gone"], props(&[("name", Value::str("x"))]))
+            .unwrap();
         g.begin().unwrap();
         let mark = g.mark();
         g.detach_delete_node(n).unwrap();
@@ -195,7 +226,9 @@ mod tests {
     #[test]
     fn assigned_props_quadruples() {
         let mut g = Graph::new();
-        let n = g.create_node(["L"], props(&[("v", Value::Int(1))])).unwrap();
+        let n = g
+            .create_node(["L"], props(&[("v", Value::Int(1))]))
+            .unwrap();
         g.begin().unwrap();
         let mark = g.mark();
         g.set_node_prop(n, "v", Value::Int(2)).unwrap();

@@ -87,17 +87,24 @@ mod tests {
     #[test]
     fn who_designation_change_63_is_faithful() {
         let mut db = ApocDb::new();
-        db.install("neo4j", "WhoDesignationChange", WHO_DESIGNATION_CHANGE_63, "afterAsync")
-            .unwrap();
+        db.install(
+            "neo4j",
+            "WhoDesignationChange",
+            WHO_DESIGNATION_CHANGE_63,
+            "afterAsync",
+        )
+        .unwrap();
         db.run_tx(&["CREATE (:Lineage {name: 'B.1.617.2', whoDesignation: 'Indian'})"])
             .unwrap();
         // the creation itself assigns whoDesignation with old = null →
         // null <> 'Indian' is NULL → no alert (3-valued logic)
         assert_eq!(count(&mut db, "Alert"), 0);
-        db.run_tx(&["MATCH (l:Lineage) SET l.whoDesignation = 'Delta'"]).unwrap();
+        db.run_tx(&["MATCH (l:Lineage) SET l.whoDesignation = 'Delta'"])
+            .unwrap();
         assert_eq!(count(&mut db, "Alert"), 1);
         // same-value set: no event at all (delta normalization)
-        db.run_tx(&["MATCH (l:Lineage) SET l.whoDesignation = 'Delta'"]).unwrap();
+        db.run_tx(&["MATCH (l:Lineage) SET l.whoDesignation = 'Delta'"])
+            .unwrap();
         assert_eq!(count(&mut db, "Alert"), 1);
         let out = db.query("MATCH (a:Alert) RETURN a.desc AS d").unwrap();
         assert_eq!(
@@ -130,20 +137,31 @@ mod tests {
         // translation in crate::translate preserves the intended 10%
         // semantics; the native trigger too.)
         let mut db = ApocDb::new();
-        db.install("neo4j", "IcuPatientIncrease", ICU_PATIENT_INCREASE_63, "afterAsync")
+        db.install(
+            "neo4j",
+            "IcuPatientIncrease",
+            ICU_PATIENT_INCREASE_63,
+            "afterAsync",
+        )
+        .unwrap();
+        db.run_tx(&["CREATE (:Hospital {name: 'Sacco', icuBeds: 100})"])
             .unwrap();
-        db.run_tx(&["CREATE (:Hospital {name: 'Sacco', icuBeds: 100})"]).unwrap();
         admit_isa_patients(&mut db, 20, 0);
         // 21st admission adds < 10% of 20 — the intended semantics would be
         // silent, but the verbatim translation fires (ratio always 1):
         admit_isa_patients(&mut db, 1, 20);
-        assert_eq!(count(&mut db, "Alert"), 1, "verbatim §6.3 fires (MERGE dedups)");
+        assert_eq!(
+            count(&mut db, "Alert"),
+            1,
+            "verbatim §6.3 fires (MERGE dedups)"
+        );
     }
 
     #[test]
     fn icu_patient_move_63_relocates_to_meyer() {
         let mut db = ApocDb::new();
-        db.install("neo4j", "IcuPatientMove", ICU_PATIENT_MOVE_63, "afterAsync").unwrap();
+        db.install("neo4j", "IcuPatientMove", ICU_PATIENT_MOVE_63, "afterAsync")
+            .unwrap();
         db.run_tx(&[
             "CREATE (:Hospital {name: 'Sacco', icuBeds: 3})",
             "CREATE (:Hospital {name: 'Meyer', icuBeds: 10})",
@@ -154,12 +172,10 @@ mod tests {
         // does nothing — a real quirk of §6.3's text (the native trigger in
         // pg-covid uses OPTIONAL MATCH instead). Pre-seed one Meyer patient
         // so the verbatim statement has rows to work with.
-        db.run_tx(&[
-            "MATCH (h:Hospital {name: 'Meyer'})
+        db.run_tx(&["MATCH (h:Hospital {name: 'Meyer'})
              CREATE (:IcuPatient {id: 900})-[:Isa]->
-                    (:HospitalizedPatient {id: 900})-[:TreatedAt]->(h)",
-        ])
-        .unwrap();
+                    (:HospitalizedPatient {id: 900})-[:TreatedAt]->(h)"])
+            .unwrap();
         // four admissions at Sacco: the fourth overflows it (4 > 3); the
         // NEW patient moves to Meyer (per-creation UNWIND).
         admit_isa_patients(&mut db, 4, 0);
@@ -193,8 +209,7 @@ mod tests {
             ("IcuPatientIncrease", ICU_PATIENT_INCREASE_63),
             ("IcuPatientMove", ICU_PATIENT_MOVE_63),
         ] {
-            crate::statement::parse_apoc_statement(src)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            crate::statement::parse_apoc_statement(src).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 }

@@ -80,7 +80,10 @@ pub fn parse_apoc_statement(src: &str) -> Result<ApocStatement, CypherError> {
                 *i += 1;
                 Ok(())
             }
-            other => Err(err(&format!("expected '{w}', found {other}"), tokens[*i].pos)),
+            other => Err(err(
+                &format!("expected '{w}', found {other}"),
+                tokens[*i].pos,
+            )),
         }
     };
     expect_word(&mut i, "apoc")?;
@@ -119,14 +122,16 @@ pub fn parse_apoc_statement(src: &str) -> Result<ApocStatement, CypherError> {
     let close = close.ok_or_else(|| err("unbalanced apoc.do.when call", tokens[open].pos))?;
     if splits.len() != 3 {
         return Err(err(
-            &format!("apoc.do.when expects 4 arguments, found {}", splits.len() + 1),
+            &format!(
+                "apoc.do.when expects 4 arguments, found {}",
+                splits.len() + 1
+            ),
             tokens[open].pos,
         ));
     }
 
-    let arg_src = |from_tok: usize, to_tok: usize| -> &str {
-        &src[tokens[from_tok].pos..tokens[to_tok].pos]
-    };
+    let arg_src =
+        |from_tok: usize, to_tok: usize| -> &str { &src[tokens[from_tok].pos..tokens[to_tok].pos] };
     let cond = parse_expression(arg_src(open + 1, splits[0]).trim())?;
 
     let string_arg = |tok_idx: usize| -> Result<String, CypherError> {
@@ -173,7 +178,15 @@ pub fn parse_apoc_statement(src: &str) -> Result<ApocStatement, CypherError> {
         }
     }
 
-    Ok(ApocStatement { prefix, do_when: Some(DoWhen { cond, then_query, else_query, args }) })
+    Ok(ApocStatement {
+        prefix,
+        do_when: Some(DoWhen {
+            cond,
+            then_query,
+            else_query,
+            args,
+        }),
+    })
 }
 
 /// Execute an APOC statement against the graph with the given transition

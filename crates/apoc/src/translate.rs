@@ -78,7 +78,10 @@ pub fn translate(spec: &TriggerSpec) -> Result<ApocInstall, TranslateError> {
             Phase::Before
         }
     };
-    warnings.push("APOC triggers do not cascade (trigger-generated changes never re-activate triggers)".to_string());
+    warnings.push(
+        "APOC triggers do not cascade (trigger-generated changes never re-activate triggers)"
+            .to_string(),
+    );
 
     // ------------------------------------------------------------------
     // Event plan: UNWIND source, local variable names, label check.
@@ -279,10 +282,12 @@ pub fn translate(spec: &TriggerSpec) -> Result<ApocInstall, TranslateError> {
         plan.renames.clear();
         match spec.event {
             EventType::Create | EventType::Set => {
-                plan.renames.insert(spec.var_name(new_set), list_var.clone());
+                plan.renames
+                    .insert(spec.var_name(new_set), list_var.clone());
             }
             EventType::Delete | EventType::Remove => {
-                plan.renames.insert(spec.var_name(old_set), list_var.clone());
+                plan.renames
+                    .insert(spec.var_name(old_set), list_var.clone());
             }
         }
         if matches!(spec.event, EventType::Set | EventType::Remove) && spec.property.is_some() {
@@ -345,7 +350,10 @@ pub fn translate(spec: &TriggerSpec) -> Result<ApocInstall, TranslateError> {
     } else {
         format!(
             "{{{}}}",
-            args.iter().map(|v| format!("{v}: {v}")).collect::<Vec<_>>().join(", ")
+            args.iter()
+                .map(|v| format!("{v}: {v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
         )
     };
 
@@ -363,7 +371,12 @@ pub fn translate(spec: &TriggerSpec) -> Result<ApocInstall, TranslateError> {
         args = args_text,
     );
 
-    Ok(ApocInstall { name: spec.name.clone(), statement, phase, warnings })
+    Ok(ApocInstall {
+        name: spec.name.clone(),
+        statement,
+        phase,
+        warnings,
+    })
 }
 
 /// Variables bound by a query's clauses (approximate: pattern variables,
@@ -436,7 +449,11 @@ fn collect_var_refs(q: &Query, out: &mut BTreeSet<String>) {
     }
     for c in &q.clauses {
         match c {
-            Clause::Match { patterns, where_clause, .. } => {
+            Clause::Match {
+                patterns,
+                where_clause,
+                ..
+            } => {
                 for p in patterns {
                     from_pattern(p, out);
                 }
@@ -449,7 +466,11 @@ fn collect_var_refs(q: &Query, out: &mut BTreeSet<String>) {
                     from_pattern(p, out);
                 }
             }
-            Clause::Merge { pattern, on_create, on_match } => {
+            Clause::Merge {
+                pattern,
+                on_create,
+                on_match,
+            } => {
                 from_pattern(pattern, out);
                 for items in [on_create, on_match] {
                     for i in items {
@@ -520,7 +541,12 @@ fn collect_var_refs(q: &Query, out: &mut BTreeSet<String>) {
             }
             Clause::Foreach { list, body, .. } => {
                 collect_expr_refs(list, out);
-                collect_var_refs(&Query { clauses: body.clone() }, out);
+                collect_var_refs(
+                    &Query {
+                        clauses: body.clone(),
+                    },
+                    out,
+                );
             }
         }
     }
@@ -566,8 +592,16 @@ mod tests {
         );
         let out = translate(&t).unwrap();
         assert_eq!(out.phase, Phase::AfterAsync);
-        assert!(out.statement.starts_with("UNWIND $createdNodes AS cNodes"), "{}", out.statement);
-        assert!(out.statement.contains("apoc.do.when((cNodes:Mutation AND"), "{}", out.statement);
+        assert!(
+            out.statement.starts_with("UNWIND $createdNodes AS cNodes"),
+            "{}",
+            out.statement
+        );
+        assert!(
+            out.statement.contains("apoc.do.when((cNodes:Mutation AND"),
+            "{}",
+            out.statement
+        );
         assert!(out.statement.contains("cNodes.name"), "{}", out.statement);
         assert!(!out.statement.contains("NEW"), "{}", out.statement);
     }
@@ -576,22 +610,42 @@ mod tests {
     fn all_ten_event_kinds_translate() {
         let cases = [
             ("AFTER CREATE ON 'L' FOR EACH NODE", "$createdNodes"),
-            ("AFTER CREATE ON 'L' FOR EACH RELATIONSHIP", "$createdRelationships"),
+            (
+                "AFTER CREATE ON 'L' FOR EACH RELATIONSHIP",
+                "$createdRelationships",
+            ),
             ("AFTER DELETE ON 'L' FOR EACH NODE", "$deletedNodes"),
-            ("AFTER DELETE ON 'L' FOR EACH RELATIONSHIP", "$deletedRelationships"),
+            (
+                "AFTER DELETE ON 'L' FOR EACH RELATIONSHIP",
+                "$deletedRelationships",
+            ),
             ("AFTER SET ON 'L' FOR EACH NODE", "$assignedLabels['L']"),
             ("AFTER REMOVE ON 'L' FOR EACH NODE", "$removedLabels['L']"),
-            ("AFTER SET ON 'L'.'p' FOR EACH NODE", "$assignedNodeProperties['p']"),
-            ("AFTER REMOVE ON 'L'.'p' FOR EACH NODE", "$removedNodeProperties['p']"),
-            ("AFTER SET ON 'L'.'p' FOR EACH RELATIONSHIP", "$assignedRelProperties['p']"),
-            ("AFTER REMOVE ON 'L'.'p' FOR EACH RELATIONSHIP", "$removedRelProperties['p']"),
+            (
+                "AFTER SET ON 'L'.'p' FOR EACH NODE",
+                "$assignedNodeProperties['p']",
+            ),
+            (
+                "AFTER REMOVE ON 'L'.'p' FOR EACH NODE",
+                "$removedNodeProperties['p']",
+            ),
+            (
+                "AFTER SET ON 'L'.'p' FOR EACH RELATIONSHIP",
+                "$assignedRelProperties['p']",
+            ),
+            (
+                "AFTER REMOVE ON 'L'.'p' FOR EACH RELATIONSHIP",
+                "$removedRelProperties['p']",
+            ),
         ];
         for (middle, expect) in cases {
-            let t = spec(&format!(
-                "CREATE TRIGGER t {middle} BEGIN CREATE (:X) END"
-            ));
+            let t = spec(&format!("CREATE TRIGGER t {middle} BEGIN CREATE (:X) END"));
             let out = translate(&t).unwrap_or_else(|e| panic!("{middle}: {e}"));
-            assert!(out.statement.contains(expect), "{middle}: {}", out.statement);
+            assert!(
+                out.statement.contains(expect),
+                "{middle}: {}",
+                out.statement
+            );
         }
     }
 
@@ -608,8 +662,16 @@ mod tests {
              BEGIN CREATE (:Wave {n: size(NEWNODES)}) END",
         );
         let out = translate(&t).unwrap();
-        assert!(out.statement.contains("collect(cNodes) AS cNodesList"), "{}", out.statement);
-        assert!(out.statement.contains("size(cNodesList)"), "{}", out.statement);
+        assert!(
+            out.statement.contains("collect(cNodes) AS cNodesList"),
+            "{}",
+            out.statement
+        );
+        assert!(
+            out.statement.contains("size(cNodesList)"),
+            "{}",
+            out.statement
+        );
         assert!(!out.statement.contains("NEWNODES"), "{}", out.statement);
     }
 
@@ -621,8 +683,16 @@ mod tests {
              BEGIN CREATE (:Alert) END",
         );
         let out = translate(&t).unwrap();
-        assert!(out.statement.contains("MATCH (p:IcuPatient)"), "{}", out.statement);
-        assert!(out.statement.contains("WITH count(p) AS n WHERE (n > 50)"), "{}", out.statement);
+        assert!(
+            out.statement.contains("MATCH (p:IcuPatient)"),
+            "{}",
+            out.statement
+        );
+        assert!(
+            out.statement.contains("WITH count(p) AS n WHERE (n > 50)"),
+            "{}",
+            out.statement
+        );
     }
 
     #[test]
@@ -633,16 +703,27 @@ mod tests {
              BEGIN CREATE (:Alert {was: OLD.whoDesignation}) END",
         );
         let out = translate(&t).unwrap();
-        assert!(out.statement.contains("{whoDesignation: aProp.old} AS oldProps"), "{}", out.statement);
-        assert!(out.statement.contains("oldProps.whoDesignation"), "{}", out.statement);
-        assert!(out.statement.contains("node.whoDesignation"), "{}", out.statement);
+        assert!(
+            out.statement
+                .contains("{whoDesignation: aProp.old} AS oldProps"),
+            "{}",
+            out.statement
+        );
+        assert!(
+            out.statement.contains("oldProps.whoDesignation"),
+            "{}",
+            out.statement
+        );
+        assert!(
+            out.statement.contains("node.whoDesignation"),
+            "{}",
+            out.statement
+        );
     }
 
     #[test]
     fn for_all_property_events_unsupported() {
-        let t = spec(
-            "CREATE TRIGGER t AFTER SET ON 'L'.'p' FOR ALL NODES BEGIN CREATE (:X) END",
-        );
+        let t = spec("CREATE TRIGGER t AFTER SET ON 'L'.'p' FOR ALL NODES BEGIN CREATE (:X) END");
         assert!(matches!(translate(&t), Err(TranslateError::Unsupported(_))));
     }
 

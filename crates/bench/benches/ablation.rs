@@ -20,7 +20,10 @@ fn bench_order_policy(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("policy", name), &order, |b, &o| {
             b.iter_batched(
                 || {
-                    let mut s = Session::with_config(EngineConfig { order: o, ..EngineConfig::default() });
+                    let mut s = Session::with_config(EngineConfig {
+                        order: o,
+                        ..EngineConfig::default()
+                    });
                     for i in 0..32 {
                         s.install(&format!(
                             "CREATE TRIGGER t{:02} AFTER CREATE ON 'Target' FOR ALL NODES \

@@ -27,20 +27,16 @@ fn bench_granularity(c: &mut Criterion) {
     group.sample_size(20);
     for &batch in &[1usize, 10, 100, 1000] {
         for gran in ["each", "all"] {
-            group.bench_with_input(
-                BenchmarkId::new(gran, batch),
-                &batch,
-                |b, &n| {
-                    b.iter_batched(
-                        || session_with(gran),
-                        |mut s| {
-                            s.run(&batch_create("Target", n, 0)).unwrap();
-                            s
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(gran, batch), &batch, |b, &n| {
+                b.iter_batched(
+                    || session_with(gran),
+                    |mut s| {
+                        s.run(&batch_create("Target", n, 0)).unwrap();
+                        s
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
     }
     group.finish();

@@ -11,7 +11,8 @@ fn bench_baseline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("match_filter", n), &n, |b, &n| {
             let mut s = session_with_items(n);
             b.iter(|| {
-                s.run("MATCH (i:Item) WHERE i.k % 7 = 0 RETURN count(*) AS n").unwrap()
+                s.run("MATCH (i:Item) WHERE i.k % 7 = 0 RETURN count(*) AS n")
+                    .unwrap()
             })
         });
     }
@@ -29,10 +30,13 @@ fn bench_baseline(c: &mut Criterion) {
     }
     group.bench_function("two_hop_pattern", |b| {
         let mut s = session_with_items(0);
-        s.run("FOREACH (i IN range(0, 99) | CREATE (:A {i: i})-[:R]->(:B {i: i}))").unwrap();
-        s.run("MATCH (a:A), (b:B) WHERE a.i = b.i - 1 CREATE (b)-[:S]->(a)").unwrap();
+        s.run("FOREACH (i IN range(0, 99) | CREATE (:A {i: i})-[:R]->(:B {i: i}))")
+            .unwrap();
+        s.run("MATCH (a:A), (b:B) WHERE a.i = b.i - 1 CREATE (b)-[:S]->(a)")
+            .unwrap();
         b.iter(|| {
-            s.run("MATCH (a:A)-[:R]->(b:B)-[:S]->(c:A) RETURN count(*) AS n").unwrap()
+            s.run("MATCH (a:A)-[:R]->(b:B)-[:S]->(c:A) RETURN count(*) AS n")
+                .unwrap()
         })
     });
     group.finish();

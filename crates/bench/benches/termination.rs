@@ -8,7 +8,11 @@ fn catalog_of(n: usize) -> Session {
     let mut s = Session::new();
     for i in 0..n {
         // a chain with a deliberate cycle at the end
-        let target = if i + 1 == n { "L0".to_string() } else { format!("L{}", i + 1) };
+        let target = if i + 1 == n {
+            "L0".to_string()
+        } else {
+            format!("L{}", i + 1)
+        };
         s.install(&format!(
             "CREATE TRIGGER t{i} AFTER CREATE ON 'L{i}' FOR EACH NODE BEGIN CREATE (:{target}) END"
         ))

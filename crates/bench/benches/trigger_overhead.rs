@@ -10,7 +10,10 @@ fn bench_overhead(c: &mut Criterion) {
     group.sample_size(20);
     for &n_triggers in &[0usize, 1, 4, 16, 64] {
         for &matching in &[true, false] {
-            let label = format!("{n_triggers}_{}", if matching { "match" } else { "nomatch" });
+            let label = format!(
+                "{n_triggers}_{}",
+                if matching { "match" } else { "nomatch" }
+            );
             group.bench_with_input(
                 BenchmarkId::new("create10", &label),
                 &(n_triggers, matching),

@@ -7,6 +7,26 @@
 //! ```
 
 use pg_bench::tables;
+use std::io::Write;
+
+/// Write a line to stdout; `false` means the reader hung up (e.g. piped
+/// into `head`), in which case the caller should stop quietly instead of
+/// panicking on the broken pipe. Any other write failure (ENOSPC, I/O
+/// error) is fatal: truncated artifacts must not look like success.
+fn emit(line: &str) -> bool {
+    let mut out = std::io::stdout().lock();
+    match out
+        .write_all(line.as_bytes())
+        .and_then(|()| out.write_all(b"\n"))
+    {
+        Ok(()) => true,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => false,
+        Err(e) => {
+            eprintln!("error writing artifact output: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,7 +46,11 @@ fn main() {
     if chosen.is_empty() {
         eprintln!(
             "unknown artifact id(s); available: {}",
-            artifacts.iter().map(|a| a.id).collect::<Vec<_>>().join(", ")
+            artifacts
+                .iter()
+                .map(|a| a.id)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(2);
     }
@@ -36,14 +60,15 @@ fn main() {
             .iter()
             .map(|a| (a.id.to_string(), a.data.clone()))
             .collect();
-        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+        // a hung-up reader (emit == false) is fine; real errors exited above
+        let _ = emit(&serde_json::to_string_pretty(&out).unwrap());
     } else {
         for a in chosen {
-            println!("{}", "=".repeat(72));
-            println!("{}", a.title);
-            println!("{}", "=".repeat(72));
-            println!("{}", a.text);
-            println!();
+            let bar = "=".repeat(72);
+            let ok = emit(&bar) && emit(a.title) && emit(&bar) && emit(&a.text) && emit("");
+            if !ok {
+                return;
+            }
         }
     }
 }

@@ -51,8 +51,10 @@ pub fn table1() -> Artifact {
     // Probe 1: native PG-Triggers.
     let native_ok = {
         let mut s = Session::new();
-        s.install("CREATE TRIGGER probe AFTER CREATE ON 'P' FOR EACH NODE BEGIN CREATE (:Fired) END")
-            .unwrap();
+        s.install(
+            "CREATE TRIGGER probe AFTER CREATE ON 'P' FOR EACH NODE BEGIN CREATE (:Fired) END",
+        )
+        .unwrap();
         s.run("CREATE (:P)").unwrap();
         s.run("MATCH (f:Fired) RETURN count(*) AS n")
             .unwrap()
@@ -97,7 +99,10 @@ pub fn table1() -> Artifact {
         "Table 1 — reactive support in graph databases (survey rows from §3,\n\
          verified rows probed against this repository's engines)\n\n",
     );
-    text.push_str(&format!("{:<28} {:<12} {:<6} {:<14}\n", "System", "Tr-G", "Tr-R", "Ev-L"));
+    text.push_str(&format!(
+        "{:<28} {:<12} {:<6} {:<14}\n",
+        "System", "Tr-G", "Tr-R", "Ev-L"
+    ));
     text.push_str(&format!("{}\n", "-".repeat(64)));
     let mut rows = Vec::new();
     for (sys, g, r, l) in TABLE1_SURVEY {
@@ -144,7 +149,7 @@ pub fn figure1() -> Artifact {
                 for item in items {
                     for prop in props {
                         // property suffix only meaningful for SET/REMOVE
-                        if !prop.is_empty() && !(event == "SET" || event == "REMOVE") {
+                        if !prop.is_empty() && event != "SET" && event != "REMOVE" {
                             continue;
                         }
                         total += 1;
@@ -199,7 +204,11 @@ pub fn figure1() -> Artifact {
         rejected.len(),
         rejected
             .iter()
-            .map(|r| format!("  - {} : {}\n", r["combo"].as_str().unwrap(), r["reason"].as_str().unwrap()))
+            .map(|r| format!(
+                "  - {} : {}\n",
+                r["combo"].as_str().unwrap(),
+                r["reason"].as_str().unwrap()
+            ))
             .collect::<String>()
     );
     Artifact {
@@ -221,9 +230,12 @@ fn all_events_delta() -> (Graph, Delta, Vec<pg_graph::Op>) {
     let keep = g
         .create_node(
             ["Keep"],
-            [("p".to_string(), Value::Int(1)), ("gone".to_string(), Value::Int(0))]
-                .into_iter()
-                .collect::<PropertyMap>(),
+            [
+                ("p".to_string(), Value::Int(1)),
+                ("gone".to_string(), Value::Int(0)),
+            ]
+            .into_iter()
+            .collect::<PropertyMap>(),
         )
         .unwrap();
     let keep2 = g.create_node(["Keep"], PropertyMap::new()).unwrap();
@@ -235,16 +247,20 @@ fn all_events_delta() -> (Graph, Delta, Vec<pg_graph::Op>) {
             keep,
             keep2,
             "Rel",
-            [("w".to_string(), Value::Int(1)), ("gone".to_string(), Value::Int(0))]
-                .into_iter()
-                .collect::<PropertyMap>(),
+            [
+                ("w".to_string(), Value::Int(1)),
+                ("gone".to_string(), Value::Int(0)),
+            ]
+            .into_iter()
+            .collect::<PropertyMap>(),
         )
         .unwrap();
     g.begin().unwrap();
     let mark = g.mark();
     // every action type:
     g.create_node(["Created"], PropertyMap::new()).unwrap(); // node creation
-    g.create_rel(keep, keep2, "CreatedRel", PropertyMap::new()).unwrap(); // rel creation
+    g.create_rel(keep, keep2, "CreatedRel", PropertyMap::new())
+        .unwrap(); // rel creation
     g.detach_delete_node(doomed).unwrap(); // node deletion
     g.delete_rel(doomed_rel).unwrap(); // rel deletion
     g.set_label(keep, "Flagged").unwrap(); // label set
@@ -270,19 +286,37 @@ pub fn table2() -> Artifact {
         ("deletedRelationships", "list of deleted relationships"),
         ("assignedLabels", "set of new labels for an item"),
         ("removedLabels", "set of removed labels from an item"),
-        ("assignedNodeProperties", "quadruple <target node, property name, old value, new value>"),
-        ("assignedRelProperties", "quadruple <target rel, property name, old value, new value>"),
-        ("removedNodeProperties", "triple <target node, property name, old value>"),
-        ("removedRelProperties", "triple <target rel, property name, old value>"),
+        (
+            "assignedNodeProperties",
+            "quadruple <target node, property name, old value, new value>",
+        ),
+        (
+            "assignedRelProperties",
+            "quadruple <target rel, property name, old value, new value>",
+        ),
+        (
+            "removedNodeProperties",
+            "triple <target node, property name, old value>",
+        ),
+        (
+            "removedRelProperties",
+            "triple <target rel, property name, old value>",
+        ),
     ];
     let mut text = String::from("Table 2 — APOC trigger utility structures (populated counts)\n\n");
-    text.push_str(&format!("{:<26} {:<62} {}\n", "Statement", "Description", "count"));
+    text.push_str(&format!(
+        "{:<26} {:<62} {}\n",
+        "Statement", "Description", "count"
+    ));
     text.push_str(&format!("{}\n", "-".repeat(96)));
     let mut rows = Vec::new();
     for (name, desc) in describe {
         let count = match &params[name] {
             Value::List(items) => items.len(),
-            Value::Map(m) => m.values().map(|v| v.as_list().map(|l| l.len()).unwrap_or(0)).sum(),
+            Value::Map(m) => m
+                .values()
+                .map(|v| v.as_list().map(|l| l.len()).unwrap_or(0))
+                .sum(),
             _ => 0,
         };
         text.push_str(&format!("{name:<26} {desc:<62} {count}\n"));
@@ -303,20 +337,51 @@ pub fn table2() -> Artifact {
 pub fn table3() -> Artifact {
     let cases: [(&str, &str, &str); 8] = [
         // (row label, trigger middle, op description)
-        ("Nodes / Create", "AFTER CREATE ON 'Created' FOR EACH NODE", "NEW"),
-        ("Nodes / Delete", "AFTER DELETE ON 'Doomed' FOR EACH NODE", "OLD"),
-        ("Relationships / Create", "AFTER CREATE ON 'CreatedRel' FOR EACH RELATIONSHIP", "NEW"),
-        ("Relationships / Delete", "AFTER DELETE ON 'DoomedRel' FOR EACH RELATIONSHIP", "OLD"),
-        ("Labels / Set", "AFTER SET ON 'Flagged' FOR EACH NODE", "NEW+OLD"),
-        ("Labels / Remove", "AFTER REMOVE ON 'Keep' FOR EACH NODE", "NEW+OLD"),
-        ("Node props / Set", "AFTER SET ON 'Flagged'.'p' FOR EACH NODE", "NEW+OLD"),
-        ("Node props / Remove", "AFTER REMOVE ON 'Flagged'.'gone' FOR EACH NODE", "NEW+OLD"),
+        (
+            "Nodes / Create",
+            "AFTER CREATE ON 'Created' FOR EACH NODE",
+            "NEW",
+        ),
+        (
+            "Nodes / Delete",
+            "AFTER DELETE ON 'Doomed' FOR EACH NODE",
+            "OLD",
+        ),
+        (
+            "Relationships / Create",
+            "AFTER CREATE ON 'CreatedRel' FOR EACH RELATIONSHIP",
+            "NEW",
+        ),
+        (
+            "Relationships / Delete",
+            "AFTER DELETE ON 'DoomedRel' FOR EACH RELATIONSHIP",
+            "OLD",
+        ),
+        (
+            "Labels / Set",
+            "AFTER SET ON 'Flagged' FOR EACH NODE",
+            "NEW+OLD",
+        ),
+        (
+            "Labels / Remove",
+            "AFTER REMOVE ON 'Keep' FOR EACH NODE",
+            "NEW+OLD",
+        ),
+        (
+            "Node props / Set",
+            "AFTER SET ON 'Flagged'.'p' FOR EACH NODE",
+            "NEW+OLD",
+        ),
+        (
+            "Node props / Remove",
+            "AFTER REMOVE ON 'Flagged'.'gone' FOR EACH NODE",
+            "NEW+OLD",
+        ),
     ];
     let (g, delta, ops) = all_events_delta();
     let pre = PreStateView::new(&g, &ops);
-    let mut text = String::from(
-        "Table 3 — OLD/NEW transition-variable scheme (engine-verified)\n\n",
-    );
+    let mut text =
+        String::from("Table 3 — OLD/NEW transition-variable scheme (engine-verified)\n\n");
     text.push_str(&format!("{:<24} {:<10} {:<10}\n", "Event", "OLD", "NEW"));
     text.push_str(&format!("{}\n", "-".repeat(46)));
     let mut rows = Vec::new();
@@ -379,15 +444,30 @@ pub fn figure2() -> Artifact {
     );
     let kinds = [
         ("node creation", "AFTER CREATE ON 'L' FOR EACH NODE"),
-        ("relationship creation", "AFTER CREATE ON 'L' FOR EACH RELATIONSHIP"),
+        (
+            "relationship creation",
+            "AFTER CREATE ON 'L' FOR EACH RELATIONSHIP",
+        ),
         ("node deletion", "AFTER DELETE ON 'L' FOR EACH NODE"),
-        ("relationship deletion", "AFTER DELETE ON 'L' FOR EACH RELATIONSHIP"),
+        (
+            "relationship deletion",
+            "AFTER DELETE ON 'L' FOR EACH RELATIONSHIP",
+        ),
         ("label set", "AFTER SET ON 'L' FOR EACH NODE"),
         ("label removal", "AFTER REMOVE ON 'L' FOR EACH NODE"),
         ("node-property set", "AFTER SET ON 'L'.'p' FOR EACH NODE"),
-        ("node-property removal", "AFTER REMOVE ON 'L'.'p' FOR EACH NODE"),
-        ("rel-property set", "AFTER SET ON 'L'.'p' FOR EACH RELATIONSHIP"),
-        ("rel-property removal", "AFTER REMOVE ON 'L'.'p' FOR EACH RELATIONSHIP"),
+        (
+            "node-property removal",
+            "AFTER REMOVE ON 'L'.'p' FOR EACH NODE",
+        ),
+        (
+            "rel-property set",
+            "AFTER SET ON 'L'.'p' FOR EACH RELATIONSHIP",
+        ),
+        (
+            "rel-property removal",
+            "AFTER REMOVE ON 'L'.'p' FOR EACH RELATIONSHIP",
+        ),
     ];
     text.push_str("Event-kind matrix (all ten kinds of §5.1):\n");
     let mut rows = Vec::new();
@@ -456,16 +536,56 @@ pub fn figure3() -> Artifact {
         install.ddl
     );
     let kinds = [
-        ("vertex creation", "AFTER CREATE ON 'L' FOR EACH NODE", "createdVertices"),
-        ("edge creation", "AFTER CREATE ON 'L' FOR EACH RELATIONSHIP", "createdEdges"),
-        ("vertex deletion", "AFTER DELETE ON 'L' FOR EACH NODE", "deletedVertices"),
-        ("edge deletion", "AFTER DELETE ON 'L' FOR EACH RELATIONSHIP", "deletedEdges"),
-        ("label set", "AFTER SET ON 'L' FOR EACH NODE", "setVertexLabels"),
-        ("label removal", "AFTER REMOVE ON 'L' FOR EACH NODE", "removedVertexLabels"),
-        ("vertex-property set", "AFTER SET ON 'L'.'p' FOR EACH NODE", "setVertexProperties"),
-        ("vertex-property removal", "AFTER REMOVE ON 'L'.'p' FOR EACH NODE", "removedVertexProperties"),
-        ("edge-property set", "AFTER SET ON 'L'.'p' FOR EACH RELATIONSHIP", "setEdgeProperties"),
-        ("edge-property removal", "AFTER REMOVE ON 'L'.'p' FOR EACH RELATIONSHIP", "removedEdgeProperties"),
+        (
+            "vertex creation",
+            "AFTER CREATE ON 'L' FOR EACH NODE",
+            "createdVertices",
+        ),
+        (
+            "edge creation",
+            "AFTER CREATE ON 'L' FOR EACH RELATIONSHIP",
+            "createdEdges",
+        ),
+        (
+            "vertex deletion",
+            "AFTER DELETE ON 'L' FOR EACH NODE",
+            "deletedVertices",
+        ),
+        (
+            "edge deletion",
+            "AFTER DELETE ON 'L' FOR EACH RELATIONSHIP",
+            "deletedEdges",
+        ),
+        (
+            "label set",
+            "AFTER SET ON 'L' FOR EACH NODE",
+            "setVertexLabels",
+        ),
+        (
+            "label removal",
+            "AFTER REMOVE ON 'L' FOR EACH NODE",
+            "removedVertexLabels",
+        ),
+        (
+            "vertex-property set",
+            "AFTER SET ON 'L'.'p' FOR EACH NODE",
+            "setVertexProperties",
+        ),
+        (
+            "vertex-property removal",
+            "AFTER REMOVE ON 'L'.'p' FOR EACH NODE",
+            "removedVertexProperties",
+        ),
+        (
+            "edge-property set",
+            "AFTER SET ON 'L'.'p' FOR EACH RELATIONSHIP",
+            "setEdgeProperties",
+        ),
+        (
+            "edge-property removal",
+            "AFTER REMOVE ON 'L'.'p' FOR EACH RELATIONSHIP",
+            "removedEdgeProperties",
+        ),
     ];
     text.push_str("Event-kind matrix:\n");
     let mut rows = Vec::new();
@@ -479,7 +599,10 @@ pub fn figure3() -> Artifact {
         let t = pg_memgraph::translate(&spec).unwrap();
         let ok = t.ddl.contains(expect);
         all_ok &= ok;
-        text.push_str(&format!("  {kind:<26} → {expect} [{}]\n", if ok { "ok" } else { "MISSING" }));
+        text.push_str(&format!(
+            "  {kind:<26} → {expect} [{}]\n",
+            if ok { "ok" } else { "MISSING" }
+        ));
         rows.push(json!({"kind": kind, "variable": expect, "ok": ok}));
     }
     Artifact {
@@ -507,7 +630,9 @@ pub fn figure45() -> Artifact {
     let mut bad = Graph::new();
     bad.create_node(
         ["Patient"],
-        [("ssn".to_string(), Value::Int(1))].into_iter().collect::<PropertyMap>(),
+        [("ssn".to_string(), Value::Int(1))]
+            .into_iter()
+            .collect::<PropertyMap>(),
     )
     .unwrap();
     let bad_violations = pg_schema::validate_graph(&bad, &gt);
@@ -555,8 +680,14 @@ pub fn triggers62() -> Artifact {
     let report = scenario.run().expect("scenario runs");
     let mut text = String::from("§6.2 — running-example triggers (scenario outcomes)\n\n");
     text.push_str(&format!("admissions: {}\n", report.admissions));
-    text.push_str(&format!("trigger statements fired: {}\n", report.triggers_fired));
-    text.push_str(&format!("relocated patients: {}\n\nalerts:\n", report.relocated_patients));
+    text.push_str(&format!(
+        "trigger statements fired: {}\n",
+        report.triggers_fired
+    ));
+    text.push_str(&format!(
+        "relocated patients: {}\n\nalerts:\n",
+        report.relocated_patients
+    ));
     for (desc, n) in &report.alerts {
         text.push_str(&format!("  {n:>4} × {desc}\n"));
     }

@@ -8,11 +8,9 @@ pub fn session_with_items(n: usize) -> Session {
     let mut s = Session::new();
     let g = s.graph_mut();
     for i in 0..n {
-        let props: pg_graph::PropertyMap = [
-            ("k".to_string(), pg_graph::Value::Int(i as i64)),
-        ]
-        .into_iter()
-        .collect();
+        let props: pg_graph::PropertyMap = [("k".to_string(), pg_graph::Value::Int(i as i64))]
+            .into_iter()
+            .collect();
         g.create_node(["Item"], props).unwrap();
     }
     s
@@ -22,7 +20,11 @@ pub fn session_with_items(n: usize) -> Session {
 /// `matching` is true they all monitor `Target`, otherwise none does.
 pub fn install_n_triggers(s: &mut Session, n: usize, matching: bool) {
     for i in 0..n {
-        let label = if matching { "Target".to_string() } else { format!("Other{i}") };
+        let label = if matching {
+            "Target".to_string()
+        } else {
+            format!("Other{i}")
+        };
         s.install(&format!(
             "CREATE TRIGGER bench_t{i} AFTER CREATE ON '{label}' FOR EACH NODE
              BEGIN CREATE (:Fired {{by: {i}}}) END"
@@ -45,7 +47,10 @@ pub fn install_chain(s: &mut Session, n: usize) {
 
 /// A session with cascading disabled (the APOC/Memgraph limitation mode).
 pub fn session_no_cascade() -> Session {
-    Session::with_config(EngineConfig { cascading_enabled: false, ..EngineConfig::default() })
+    Session::with_config(EngineConfig {
+        cascading_enabled: false,
+        ..EngineConfig::default()
+    })
 }
 
 /// A batched node-creation statement: `CREATE (:Target {i: 0}), …`.

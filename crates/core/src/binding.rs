@@ -134,8 +134,10 @@ pub fn affected_items(
                 // label-set events for the target label
                 for ev in &delta.assigned_labels {
                     if ev.label == spec.label {
-                        out.items
-                            .push((Some(Value::Node(ev.node)), Some(node_snapshot(pre, ev.node))));
+                        out.items.push((
+                            Some(Value::Node(ev.node)),
+                            Some(node_snapshot(pre, ev.node)),
+                        ));
                     }
                 }
             }
@@ -166,8 +168,10 @@ pub fn affected_items(
             None => {
                 for ev in &delta.removed_labels {
                     if ev.label == spec.label {
-                        out.items
-                            .push((Some(Value::Node(ev.node)), Some(node_snapshot(pre, ev.node))));
+                        out.items.push((
+                            Some(Value::Node(ev.node)),
+                            Some(node_snapshot(pre, ev.node)),
+                        ));
                     }
                 }
             }
@@ -264,7 +268,10 @@ mod tests {
     }
 
     fn props(entries: &[(&str, Value)]) -> PropertyMap {
-        entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     /// Run `stmt` inside a tx and return (graph, delta, ops).
@@ -284,7 +291,8 @@ mod tests {
 
     #[test]
     fn create_node_binds_new() {
-        let t = spec("CREATE TRIGGER t AFTER CREATE ON 'Mutation' FOR EACH NODE BEGIN CREATE (:X) END");
+        let t =
+            spec("CREATE TRIGGER t AFTER CREATE ON 'Mutation' FOR EACH NODE BEGIN CREATE (:X) END");
         let (g, delta, ops) = capture(
             |_| vec![],
             |g, _| {
@@ -305,7 +313,11 @@ mod tests {
     fn delete_node_binds_old_map() {
         let t = spec("CREATE TRIGGER t AFTER DELETE ON 'P' FOR EACH NODE BEGIN CREATE (:X) END");
         let (g, delta, ops) = capture(
-            |g| vec![g.create_node(["P"], props(&[("name", Value::str("gone"))])).unwrap()],
+            |g| {
+                vec![g
+                    .create_node(["P"], props(&[("name", Value::str("gone"))]))
+                    .unwrap()]
+            },
             |g, ids| g.detach_delete_node(ids[0]).unwrap(),
         );
         let pre = PreStateView::new(&g, &ops);
@@ -327,11 +339,15 @@ mod tests {
         let (g, delta, ops) = capture(
             |g| {
                 vec![g
-                    .create_node(["Lineage"], props(&[("whoDesignation", Value::str("Indian"))]))
+                    .create_node(
+                        ["Lineage"],
+                        props(&[("whoDesignation", Value::str("Indian"))]),
+                    )
                     .unwrap()]
             },
             |g, ids| {
-                g.set_node_prop(ids[0], "whoDesignation", Value::str("Delta")).unwrap();
+                g.set_node_prop(ids[0], "whoDesignation", Value::str("Delta"))
+                    .unwrap();
             },
         );
         let pre = PreStateView::new(&g, &ops);
@@ -353,12 +369,15 @@ mod tests {
 
     #[test]
     fn property_event_filters_by_target_label() {
-        let t = spec("CREATE TRIGGER t AFTER SET ON 'Lineage'.'x' FOR EACH NODE BEGIN CREATE (:X) END");
+        let t =
+            spec("CREATE TRIGGER t AFTER SET ON 'Lineage'.'x' FOR EACH NODE BEGIN CREATE (:X) END");
         let (g, delta, ops) = capture(
             |g| {
                 vec![
-                    g.create_node(["Lineage"], props(&[("x", Value::Int(1))])).unwrap(),
-                    g.create_node(["Other"], props(&[("x", Value::Int(1))])).unwrap(),
+                    g.create_node(["Lineage"], props(&[("x", Value::Int(1))]))
+                        .unwrap(),
+                    g.create_node(["Other"], props(&[("x", Value::Int(1))]))
+                        .unwrap(),
                 ]
             },
             |g, ids| {
@@ -451,7 +470,9 @@ mod tests {
                 vec![a, b]
             },
             |g, ids| {
-                let r = g.create_rel(ids[0], ids[1], "BelongsTo", PropertyMap::new()).unwrap();
+                let r = g
+                    .create_rel(ids[0], ids[1], "BelongsTo", PropertyMap::new())
+                    .unwrap();
                 let _ = r;
             },
         );

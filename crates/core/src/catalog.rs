@@ -46,7 +46,11 @@ impl TriggerCatalog {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.triggers.push(InstalledTrigger { spec, seq, enabled: true });
+        self.triggers.push(InstalledTrigger {
+            spec,
+            seq,
+            enabled: true,
+        });
         Ok(seq)
     }
 

@@ -46,7 +46,11 @@ pub fn is_trigger_ddl(src: &str) -> bool {
 /// Parse a `CREATE TRIGGER` / `DROP TRIGGER` statement.
 pub fn parse_trigger_ddl(src: &str) -> Result<DdlStatement, InstallError> {
     let tokens = lex(src).map_err(InstallError::Parse)?;
-    let mut p = DdlParser { src, tokens, pos: 0 };
+    let mut p = DdlParser {
+        src,
+        tokens,
+        pos: 0,
+    };
     p.parse()
 }
 
@@ -70,7 +74,11 @@ impl<'a> DdlParser<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> InstallError {
-        InstallError::Syntax(format!("{} (near offset {})", msg.into(), self.tokens[self.pos].pos))
+        InstallError::Syntax(format!(
+            "{} (near offset {})",
+            msg.into(),
+            self.tokens[self.pos].pos
+        ))
     }
 
     /// A name: identifier, keyword-as-name, or quoted string (the paper
@@ -144,7 +152,9 @@ impl<'a> DdlParser<'a> {
             TokenKind::Delete => EventType::Delete,
             TokenKind::Set => EventType::Set,
             TokenKind::Remove => EventType::Remove,
-            other => return Err(self.err(format!("expected CREATE/DELETE/SET/REMOVE, found {other}"))),
+            other => {
+                return Err(self.err(format!("expected CREATE/DELETE/SET/REMOVE, found {other}")))
+            }
         };
         self.bump();
 
@@ -164,11 +174,7 @@ impl<'a> DdlParser<'a> {
         // [REFERENCING var AS alias ...]
         let mut referencing = Vec::new();
         if self.eat_ident("REFERENCING") {
-            loop {
-                let word = match self.peek().clone() {
-                    TokenKind::Ident(s) => s,
-                    _ => break,
-                };
+            while let TokenKind::Ident(word) = self.peek().clone() {
                 let Some(var) = TransitionVar::parse(&word) else {
                     break;
                 };
@@ -265,7 +271,9 @@ impl<'a> DdlParser<'a> {
                 }
             }
         }
-        Err(InstallError::Syntax("missing BEGIN after WHEN condition".into()))
+        Err(InstallError::Syntax(
+            "missing BEGIN after WHEN condition".into(),
+        ))
     }
 
     /// Index of the `END` matching the body's `BEGIN` (self.pos is just
@@ -304,7 +312,9 @@ fn parse_condition(text: &str) -> Result<Query, InstallError> {
         parse_query_lenient(trimmed).map_err(InstallError::Parse)
     } else {
         let expr = parse_expression(trimmed).map_err(InstallError::Parse)?;
-        Ok(Query { clauses: vec![Clause::Where(expr)] })
+        Ok(Query {
+            clauses: vec![Clause::Where(expr)],
+        })
     }
 }
 
@@ -381,12 +391,14 @@ fn statement_mutates_label(clauses: &[Clause], label: &str) -> bool {
             RemoveItem::Labels { labels, .. } => labels.iter().any(|l| l == label),
             _ => false,
         }),
-        Clause::Merge { on_create, on_match, .. } => {
-            on_create.iter().chain(on_match.iter()).any(|i| match i {
-                SetItem::Labels { labels, .. } => labels.iter().any(|l| l == label),
-                _ => false,
-            })
-        }
+        Clause::Merge {
+            on_create,
+            on_match,
+            ..
+        } => on_create.iter().chain(on_match.iter()).any(|i| match i {
+            SetItem::Labels { labels, .. } => labels.iter().any(|l| l == label),
+            _ => false,
+        }),
         Clause::Foreach { body, .. } => statement_mutates_label(body, label),
         _ => false,
     })
@@ -531,7 +543,10 @@ mod tests {
              FOR ALL NODES
              BEGIN CREATE (:Log{n: 1}) END",
         );
-        assert_eq!(t.referencing, vec![(TransitionVar::NewNodes, "admitted".into())]);
+        assert_eq!(
+            t.referencing,
+            vec![(TransitionVar::NewNodes, "admitted".into())]
+        );
         assert_eq!(t.var_name(TransitionVar::NewNodes), "admitted");
     }
 
@@ -545,7 +560,9 @@ mod tests {
 
     #[test]
     fn is_ddl_detects() {
-        assert!(is_trigger_ddl("  create trigger t AFTER CREATE ON 'x' FOR EACH NODE BEGIN RETURN 1 END"));
+        assert!(is_trigger_ddl(
+            "  create trigger t AFTER CREATE ON 'x' FOR EACH NODE BEGIN RETURN 1 END"
+        ));
         assert!(is_trigger_ddl("DROP TRIGGER t"));
         assert!(!is_trigger_ddl("MATCH (n) RETURN n"));
         assert!(!is_trigger_ddl("CREATE (n)"));
@@ -585,9 +602,8 @@ mod tests {
         );
         assert!(err.is_ok());
         // a condition that mutates is rejected — build via spec directly
-        let mut spec = create(
-            "CREATE TRIGGER t AFTER CREATE ON 'L' FOR EACH NODE BEGIN CREATE (:X) END",
-        );
+        let mut spec =
+            create("CREATE TRIGGER t AFTER CREATE ON 'L' FOR EACH NODE BEGIN CREATE (:X) END");
         spec.condition = Some(pg_cypher::parse_query("CREATE (:Evil)").unwrap());
         assert!(matches!(
             validate_spec(&spec),
@@ -624,7 +640,13 @@ mod tests {
              BEGIN CREATE (:X) END",
         )
         .unwrap_err();
-        assert!(matches!(err, InstallError::BeforeStatementTooStrong { clause: "CREATE", .. }));
+        assert!(matches!(
+            err,
+            InstallError::BeforeStatementTooStrong {
+                clause: "CREATE",
+                ..
+            }
+        ));
         // SET and ABORT are fine
         assert!(parse_trigger_ddl(
             "CREATE TRIGGER ok BEFORE CREATE ON 'L' FOR EACH NODE
@@ -677,9 +699,18 @@ mod tests {
 
     #[test]
     fn syntax_errors_reported() {
-        assert!(parse_trigger_ddl("CREATE TRIGGER t WHENEVER CREATE ON 'x' FOR EACH NODE BEGIN END").is_err());
-        assert!(parse_trigger_ddl("CREATE TRIGGER t AFTER CREATE ON 'x' FOR SOME NODE BEGIN END").is_err());
-        assert!(parse_trigger_ddl("CREATE TRIGGER t AFTER CREATE ON 'x' FOR EACH NODE BEGIN CREATE (:X)").is_err());
+        assert!(parse_trigger_ddl(
+            "CREATE TRIGGER t WHENEVER CREATE ON 'x' FOR EACH NODE BEGIN END"
+        )
+        .is_err());
+        assert!(
+            parse_trigger_ddl("CREATE TRIGGER t AFTER CREATE ON 'x' FOR SOME NODE BEGIN END")
+                .is_err()
+        );
+        assert!(parse_trigger_ddl(
+            "CREATE TRIGGER t AFTER CREATE ON 'x' FOR EACH NODE BEGIN CREATE (:X)"
+        )
+        .is_err());
         assert!(parse_trigger_ddl("MATCH (n) RETURN n").is_err());
     }
 

@@ -21,10 +21,17 @@ pub enum InstallError {
     /// A `BEFORE` trigger statement contains clauses other than property
     /// conditioning (`SET`) or `ABORT` (§4.2: BEFORE statements "should not
     /// produce arbitrary changes, but just condition NEW states").
-    BeforeStatementTooStrong { trigger: String, clause: &'static str },
+    BeforeStatementTooStrong {
+        trigger: String,
+        clause: &'static str,
+    },
     /// `REFERENCING` names a transition variable incompatible with the
     /// trigger's granularity or item kind.
-    BadReferencing { trigger: String, var: String, reason: &'static str },
+    BadReferencing {
+        trigger: String,
+        var: String,
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for InstallError {
@@ -86,7 +93,10 @@ impl fmt::Display for TriggerError {
                 "trigger cascade exceeded depth {depth} (last trigger: '{trigger}')"
             ),
             TriggerError::CommitFixpointDiverged { rounds } => {
-                write!(f, "ONCOMMIT processing did not converge after {rounds} rounds")
+                write!(
+                    f,
+                    "ONCOMMIT processing did not converge after {rounds} rounds"
+                )
             }
             TriggerError::Session(msg) => write!(f, "session error: {msg}"),
             TriggerError::UnknownTrigger(n) => write!(f, "unknown trigger '{n}'"),

@@ -38,7 +38,12 @@ impl<'g> NewStateOverlay<'g> {
                 }
             }
         }
-        NewStateOverlay { pre, post, new_nodes, new_rels }
+        NewStateOverlay {
+            pre,
+            post,
+            new_nodes,
+            new_rels,
+        }
     }
 }
 
@@ -152,7 +157,12 @@ mod tests {
     fn overlay_shows_new_items_post_state_rest_pre_state() {
         let mut g = Graph::new();
         let old = g
-            .create_node(["P"], [("v".to_string(), Value::Int(1))].into_iter().collect::<PropertyMap>())
+            .create_node(
+                ["P"],
+                [("v".to_string(), Value::Int(1))]
+                    .into_iter()
+                    .collect::<PropertyMap>(),
+            )
             .unwrap();
         g.begin().unwrap();
         let mark = g.mark();

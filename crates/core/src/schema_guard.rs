@@ -52,7 +52,10 @@ pub struct SchemaGuard {
 
 impl SchemaGuard {
     pub fn new(graph_type: GraphType) -> Self {
-        SchemaGuard { graph_type, mode: EnforcementMode::Incremental }
+        SchemaGuard {
+            graph_type,
+            mode: EnforcementMode::Incremental,
+        }
     }
 
     /// Check the transaction delta against the schema. Returns all
@@ -164,7 +167,8 @@ mod tests {
         let mut g = Graph::new();
         g.begin().unwrap();
         let mark = g.mark();
-        g.create_node(["Stranger"], pg_graph::PropertyMap::new()).unwrap();
+        g.create_node(["Stranger"], pg_graph::PropertyMap::new())
+            .unwrap();
         let delta = g.delta_since(mark);
         let err = guard.check(&g, &delta).unwrap_err();
         assert!(matches!(err.violations[0], Violation::UntypedNode { .. }));
@@ -177,11 +181,13 @@ mod tests {
         let mut g = Graph::new();
         g.begin().unwrap();
         let mark = g.mark();
-        let props: pg_graph::PropertyMap =
-            [("name".to_string(), pg_graph::Value::str("x"))].into_iter().collect();
+        let props: pg_graph::PropertyMap = [("name".to_string(), pg_graph::Value::str("x"))]
+            .into_iter()
+            .collect();
         let p = g.create_node(["P"], props).unwrap();
         let q = g.create_node(["Q"], pg_graph::PropertyMap::new()).unwrap();
-        g.create_rel(p, q, "Knows", pg_graph::PropertyMap::new()).unwrap();
+        g.create_rel(p, q, "Knows", pg_graph::PropertyMap::new())
+            .unwrap();
         let delta = g.delta_since(mark);
         assert!(guard.check(&g, &delta).is_ok());
     }
@@ -197,8 +203,9 @@ mod tests {
     fn key_duplicates_detected() {
         let guard = SchemaGuard::new(simple_type());
         let mut g = Graph::new();
-        let props: pg_graph::PropertyMap =
-            [("name".to_string(), pg_graph::Value::str("dup"))].into_iter().collect();
+        let props: pg_graph::PropertyMap = [("name".to_string(), pg_graph::Value::str("dup"))]
+            .into_iter()
+            .collect();
         g.create_node(["P"], props.clone()).unwrap();
         g.begin().unwrap();
         let mark = g.mark();

@@ -187,9 +187,9 @@ impl Session {
     pub fn install(&mut self, ddl: &str) -> Result<String, InstallError> {
         match parse_trigger_ddl(ddl)? {
             DdlStatement::CreateTrigger(spec) => self.install_spec(spec),
-            DdlStatement::DropTrigger(_) => {
-                Err(InstallError::Syntax("expected CREATE TRIGGER, got DROP".into()))
-            }
+            DdlStatement::DropTrigger(_) => Err(InstallError::Syntax(
+                "expected CREATE TRIGGER, got DROP".into(),
+            )),
         }
     }
 
@@ -246,7 +246,11 @@ impl Session {
         self.run_with_params(src, &Params::new())
     }
 
-    pub fn run_with_params(&mut self, src: &str, params: &Params) -> Result<QueryOutput, TriggerError> {
+    pub fn run_with_params(
+        &mut self,
+        src: &str,
+        params: &Params,
+    ) -> Result<QueryOutput, TriggerError> {
         let query = parse_query(src)?;
         self.run_query_ast(&query, Vec::new(), params)
     }
@@ -382,7 +386,13 @@ impl Session {
                         continue;
                     }
                     let stmt_mark = self.graph.mark();
-                    run_ast(&mut self.graph, &spec.statement, surviving, &Params::new(), self.now_ms)?;
+                    run_ast(
+                        &mut self.graph,
+                        &spec.statement,
+                        surviving,
+                        &Params::new(),
+                        self.now_ms,
+                    )?;
                     self.stats.fired += 1;
                     if self.config.cascading_enabled {
                         self.fire_statement_triggers(stmt_mark, 1)?;
@@ -477,7 +487,13 @@ impl Session {
         let tx_mark = self.graph.mark();
         let body = (|| -> Result<(), TriggerError> {
             let stmt_mark = self.graph.mark();
-            run_ast(&mut self.graph, &spec.statement, surviving, &Params::new(), self.now_ms)?;
+            run_ast(
+                &mut self.graph,
+                &spec.statement,
+                surviving,
+                &Params::new(),
+                self.now_ms,
+            )?;
             self.stats.fired += 1;
             if self.config.cascading_enabled {
                 self.fire_statement_triggers(stmt_mark, 1)?;
@@ -524,7 +540,11 @@ impl Session {
     }
 
     /// BEFORE + AFTER processing for the ops recorded since `mark`.
-    fn fire_statement_triggers(&mut self, mark: StatementMark, depth: usize) -> Result<(), TriggerError> {
+    fn fire_statement_triggers(
+        &mut self,
+        mark: StatementMark,
+        depth: usize,
+    ) -> Result<(), TriggerError> {
         if depth > self.stats.max_depth_seen {
             self.stats.max_depth_seen = depth;
         }
@@ -555,11 +575,8 @@ impl Session {
                 let allowed = affected.new_refs();
                 // BEFORE conditions see the pre-statement state overlaid
                 // with the proposed state of the NEW items (§4.2).
-                let view = crate::overlay::NewStateOverlay::new(
-                    pre,
-                    &self.graph,
-                    allowed.iter().copied(),
-                );
+                let view =
+                    crate::overlay::NewStateOverlay::new(pre, &self.graph, allowed.iter().copied());
                 let mut units = Vec::new();
                 for unit in activation_units(&spec, seeds) {
                     units.push(eval_condition(&view, &spec, unit, self.now_ms)?);
@@ -575,8 +592,13 @@ impl Session {
                 let prev = self.graph.set_write_policy(WritePolicy::ConditionNewOnly(
                     allowed.iter().copied().collect(),
                 ));
-                let res =
-                    run_ast(&mut self.graph, &spec.statement, surviving, &Params::new(), self.now_ms);
+                let res = run_ast(
+                    &mut self.graph,
+                    &spec.statement,
+                    surviving,
+                    &Params::new(),
+                    self.now_ms,
+                );
                 self.graph.set_write_policy(prev);
                 res?;
                 self.stats.fired += 1;
@@ -613,10 +635,19 @@ impl Session {
                     continue;
                 }
                 if depth >= self.config.max_cascade_depth {
-                    return Err(TriggerError::RecursionLimit { depth, trigger: spec.name.clone() });
+                    return Err(TriggerError::RecursionLimit {
+                        depth,
+                        trigger: spec.name.clone(),
+                    });
                 }
                 let stmt_mark = self.graph.mark();
-                run_ast(&mut self.graph, &spec.statement, surviving, &Params::new(), self.now_ms)?;
+                run_ast(
+                    &mut self.graph,
+                    &spec.statement,
+                    surviving,
+                    &Params::new(),
+                    self.now_ms,
+                )?;
                 self.stats.fired += 1;
                 if self.config.cascading_enabled {
                     self.fire_statement_triggers(stmt_mark, depth + 1)?;

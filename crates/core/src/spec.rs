@@ -246,7 +246,10 @@ mod tests {
             assert_eq!(TransitionVar::parse(v.keyword()), Some(v));
         }
         assert_eq!(TransitionVar::parse("nope"), None);
-        assert_eq!(TransitionVar::parse("newnodes"), Some(TransitionVar::NewNodes));
+        assert_eq!(
+            TransitionVar::parse("newnodes"),
+            Some(TransitionVar::NewNodes)
+        );
     }
 
     #[test]

@@ -103,10 +103,16 @@ pub fn generated_events(spec: &TriggerSpec) -> Vec<EventPattern> {
         for (r, n) in &p.segments {
             if let Some(v) = &r.var {
                 rel_vars.insert(v.clone());
-                rel_types.entry(v.clone()).or_default().extend(r.types.iter().cloned());
+                rel_types
+                    .entry(v.clone())
+                    .or_default()
+                    .extend(r.types.iter().cloned());
             }
             if let Some(v) = &n.var {
-                node_labels.entry(v.clone()).or_default().extend(n.labels.iter().cloned());
+                node_labels
+                    .entry(v.clone())
+                    .or_default()
+                    .extend(n.labels.iter().cloned());
             }
         }
     }
@@ -134,7 +140,12 @@ pub fn generated_events(spec: &TriggerSpec) -> Vec<EventPattern> {
             }
         }
     }
-    harvest_clauses(all_clauses.iter().copied(), &mut node_labels, &mut rel_types, &mut rel_vars);
+    harvest_clauses(
+        all_clauses.iter().copied(),
+        &mut node_labels,
+        &mut rel_types,
+        &mut rel_vars,
+    );
 
     // Transition variables carry the trigger's own target label.
     for tv in ["NEW", "OLD", "NEWNODES", "OLDNODES"] {
@@ -145,7 +156,10 @@ pub fn generated_events(spec: &TriggerSpec) -> Vec<EventPattern> {
             .map(|(_, a)| a.clone())
             .unwrap_or_else(|| tv.to_string());
         if spec.item == ItemKind::Node {
-            node_labels.entry(name).or_default().insert(spec.label.clone());
+            node_labels
+                .entry(name)
+                .or_default()
+                .insert(spec.label.clone());
         }
     }
 
@@ -218,9 +232,15 @@ pub fn generated_events(spec: &TriggerSpec) -> Vec<EventPattern> {
                         }
                     }
                 }
-                Clause::Merge { pattern, on_create, on_match } => {
+                Clause::Merge {
+                    pattern,
+                    on_create,
+                    on_match,
+                } => {
                     walk(
-                        &[Clause::Create { patterns: vec![pattern.clone()] }],
+                        &[Clause::Create {
+                            patterns: vec![pattern.clone()],
+                        }],
                         spec_item_hint,
                         rel_types,
                         rel_vars,
@@ -228,7 +248,9 @@ pub fn generated_events(spec: &TriggerSpec) -> Vec<EventPattern> {
                     );
                     for items in [on_create, on_match] {
                         walk(
-                            &[Clause::Set { items: items.clone() }],
+                            &[Clause::Set {
+                                items: items.clone(),
+                            }],
                             spec_item_hint,
                             rel_types,
                             rel_vars,
@@ -314,8 +336,7 @@ pub fn generated_events(spec: &TriggerSpec) -> Vec<EventPattern> {
                                 }
                             }
                             SetItem::ReplaceProps { var, .. } | SetItem::MergeProps { var, .. } => {
-                                for label in
-                                    labels_of_expr(&Expr::Var(var.clone()), spec_item_hint)
+                                for label in labels_of_expr(&Expr::Var(var.clone()), spec_item_hint)
                                 {
                                     push(EventPattern {
                                         event: EventType::Set,
@@ -363,7 +384,13 @@ pub fn generated_events(spec: &TriggerSpec) -> Vec<EventPattern> {
     }
 
     let mut push_fn = |ep: EventPattern| push(ep, &mut out);
-    walk(&spec.statement.clauses, &node_labels, &rel_types, &rel_vars, &mut push_fn);
+    walk(
+        &spec.statement.clauses,
+        &node_labels,
+        &rel_types,
+        &rel_vars,
+        &mut push_fn,
+    );
     out
 }
 
@@ -492,8 +519,12 @@ mod tests {
             "CREATE TRIGGER watch_other AFTER SET ON 'Q'.'other' FOR EACH NODE BEGIN CREATE (:L2) END",
         ]);
         let report = analyze(&c);
-        assert!(report.edges.contains(&("setter".into(), "watch_score".into())));
-        assert!(!report.edges.contains(&("setter".into(), "watch_other".into())));
+        assert!(report
+            .edges
+            .contains(&("setter".into(), "watch_score".into())));
+        assert!(!report
+            .edges
+            .contains(&("setter".into(), "watch_other".into())));
     }
 
     #[test]

@@ -25,7 +25,8 @@ fn after_trigger_fires_per_created_node() {
          BEGIN CREATE (:Log {of: NEW.name}) END",
     )
     .unwrap();
-    s.run("CREATE (:P {name: 'a'}), (:P {name: 'b'}), (:Q {name: 'c'})").unwrap();
+    s.run("CREATE (:P {name: 'a'}), (:P {name: 'b'}), (:Q {name: 'c'})")
+        .unwrap();
     assert_eq!(count(&mut s, "Log"), 2);
     let out = s.run("MATCH (l:Log) RETURN l.of AS o ORDER BY o").unwrap();
     assert_eq!(out.rows, vec![vec![Value::str("a")], vec![Value::str("b")]]);
@@ -70,12 +71,16 @@ fn before_trigger_abort_vetoes_statement() {
          BEGIN ABORT 'icuBeds must be non-negative' END",
     )
     .unwrap();
-    s.run("CREATE (:Hospital {name: 'Sacco', icuBeds: 10})").unwrap();
+    s.run("CREATE (:Hospital {name: 'Sacco', icuBeds: 10})")
+        .unwrap();
     let err = s.run("MATCH (h:Hospital) SET h.icuBeds = -5").unwrap_err();
-    assert!(matches!(err, TriggerError::Cypher(pg_cypher::CypherError::Aborted(_))));
+    assert!(matches!(
+        err,
+        TriggerError::Cypher(pg_cypher::CypherError::Aborted(_))
+    ));
     let out = s.run("MATCH (h:Hospital) RETURN h.icuBeds AS b").unwrap();
     assert_eq!(out.rows, vec![vec![Value::Int(10)]]); // rolled back
-    // a legal update passes
+                                                      // a legal update passes
     s.run("MATCH (h:Hospital) SET h.icuBeds = 20").unwrap();
     let out = s.run("MATCH (h:Hospital) RETURN h.icuBeds AS b").unwrap();
     assert_eq!(out.rows, vec![vec![Value::Int(20)]]);
@@ -136,7 +141,10 @@ fn oncommit_failure_rolls_back_whole_transaction() {
     s.begin().unwrap();
     s.run("CREATE (:P), (:P), (:P)").unwrap();
     let err = s.commit().unwrap_err();
-    assert!(matches!(err, TriggerError::Cypher(pg_cypher::CypherError::Aborted(_))));
+    assert!(matches!(
+        err,
+        TriggerError::Cypher(pg_cypher::CypherError::Aborted(_))
+    ));
     assert_eq!(count(&mut s, "P"), 0); // everything rolled back
 
     // two nodes commit fine
@@ -278,7 +286,9 @@ fn bounded_cascade_terminates_under_limit() {
     )
     .unwrap();
     s.run("MATCH (n:N {i: 0}) SET n.hot = true").unwrap();
-    let out = s.run("MATCH (n:N) WHERE n.hot = true RETURN count(*) AS c").unwrap();
+    let out = s
+        .run("MATCH (n:N) WHERE n.hot = true RETURN count(*) AS c")
+        .unwrap();
     assert_eq!(out.single(), Some(&Value::Int(3))); // propagated down the chain
 }
 
@@ -355,12 +365,20 @@ fn old_and_new_in_set_trigger() {
          BEGIN CREATE (:Alert {was: OLD.whoDesignation, now: NEW.whoDesignation}) END",
     )
     .unwrap();
-    s.run("CREATE (:Lineage {name: 'B.1.617.2', whoDesignation: 'Indian'})").unwrap();
-    s.run("MATCH (l:Lineage) SET l.whoDesignation = 'Delta'").unwrap();
-    let out = s.run("MATCH (a:Alert) RETURN a.was AS w, a.now AS n").unwrap();
-    assert_eq!(out.rows, vec![vec![Value::str("Indian"), Value::str("Delta")]]);
+    s.run("CREATE (:Lineage {name: 'B.1.617.2', whoDesignation: 'Indian'})")
+        .unwrap();
+    s.run("MATCH (l:Lineage) SET l.whoDesignation = 'Delta'")
+        .unwrap();
+    let out = s
+        .run("MATCH (a:Alert) RETURN a.was AS w, a.now AS n")
+        .unwrap();
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::str("Indian"), Value::str("Delta")]]
+    );
     // same-value set: condition false, no second alert
-    s.run("MATCH (l:Lineage) SET l.whoDesignation = 'Delta'").unwrap();
+    s.run("MATCH (l:Lineage) SET l.whoDesignation = 'Delta'")
+        .unwrap();
     assert_eq!(count(&mut s, "Alert"), 1);
 }
 
@@ -387,8 +405,10 @@ fn relationship_triggers() {
          BEGIN CREATE (:Alert {lineage: l.name}) END",
     )
     .unwrap();
-    s.run("CREATE (:Sequence {accession: 'S1'}) CREATE (:Lineage {name: 'Alpha'})").unwrap();
-    s.run("MATCH (s:Sequence), (l:Lineage) CREATE (s)-[:BelongsTo]->(l)").unwrap();
+    s.run("CREATE (:Sequence {accession: 'S1'}) CREATE (:Lineage {name: 'Alpha'})")
+        .unwrap();
+    s.run("MATCH (s:Sequence), (l:Lineage) CREATE (s)-[:BelongsTo]->(l)")
+        .unwrap();
     let out = s.run("MATCH (a:Alert) RETURN a.lineage AS l").unwrap();
     assert_eq!(out.rows, vec![vec![Value::str("Alpha")]]);
 }
@@ -454,7 +474,10 @@ fn statement_error_inside_tx_preserves_earlier_statements() {
     s.begin().unwrap();
     s.run("CREATE (:Good)").unwrap();
     let err = s.run("CREATE (:Bad)").unwrap_err();
-    assert!(matches!(err, TriggerError::Cypher(pg_cypher::CypherError::Aborted(_))));
+    assert!(matches!(
+        err,
+        TriggerError::Cypher(pg_cypher::CypherError::Aborted(_))
+    ));
     s.commit().unwrap();
     assert_eq!(count(&mut s, "Good"), 1);
     assert_eq!(count(&mut s, "Bad"), 0);
@@ -539,10 +562,8 @@ fn detached_chain_is_bounded() {
         max_detached_chain: 5,
         ..EngineConfig::default()
     });
-    s.install(
-        "CREATE TRIGGER chain DETACHED CREATE ON 'A' FOR EACH NODE BEGIN CREATE (:A) END",
-    )
-    .unwrap();
+    s.install("CREATE TRIGGER chain DETACHED CREATE ON 'A' FOR EACH NODE BEGIN CREATE (:A) END")
+        .unwrap();
     s.run("CREATE (:A)").unwrap();
     // chain executed 5 times then stopped with a recorded error
     assert!(!s.detached_errors().is_empty());

@@ -72,7 +72,10 @@ pub struct CovidDataset {
 }
 
 fn props(entries: Vec<(&str, Value)>) -> PropertyMap {
-    entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    entries
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
 }
 
 const EFFECT_DESCRIPTIONS: [&str; 8] = [
@@ -122,14 +125,20 @@ pub fn generate(graph: &mut Graph, cfg: &GeneratorConfig) -> CovidDataset {
                 (1, 0) => "Meyer".to_string(),
                 _ => format!("Hospital-{ri}-{hi}"),
             };
-            let beds = cfg.icu_beds_per_hospital + rng.gen_range(-2..=2).max(1 - cfg.icu_beds_per_hospital);
+            let beds = cfg.icu_beds_per_hospital
+                + rng.gen_range(-2..=2).max(1 - cfg.icu_beds_per_hospital);
             let id = graph
                 .create_node(
                     ["Hospital"],
-                    props(vec![("name", Value::str(name)), ("icuBeds", Value::Int(beds))]),
+                    props(vec![
+                        ("name", Value::str(name)),
+                        ("icuBeds", Value::Int(beds)),
+                    ]),
                 )
                 .unwrap();
-            graph.create_rel(id, region, "LocatedIn", PropertyMap::new()).unwrap();
+            graph
+                .create_rel(id, region, "LocatedIn", PropertyMap::new())
+                .unwrap();
             if name_of(graph, id) == "Sacco" {
                 ds.sacco = ds.hospitals.len();
             }
@@ -180,7 +189,9 @@ pub fn generate(graph: &mut Graph, cfg: &GeneratorConfig) -> CovidDataset {
                     props(vec![("name", Value::str(format!("Lab-{ri}-{li}")))]),
                 )
                 .unwrap();
-            graph.create_rel(id, region, "LocatedIn", PropertyMap::new()).unwrap();
+            graph
+                .create_rel(id, region, "LocatedIn", PropertyMap::new())
+                .unwrap();
             ds.labs.push(id);
         }
     }
@@ -211,7 +222,10 @@ pub fn generate(graph: &mut Graph, cfg: &GeneratorConfig) -> CovidDataset {
         let id = graph
             .create_node(
                 ["Mutation"],
-                props(vec![("name", Value::str(name)), ("protein", Value::str(protein))]),
+                props(vec![
+                    ("name", Value::str(name)),
+                    ("protein", Value::str(protein)),
+                ]),
             )
             .unwrap();
         if rng.gen_bool(cfg.critical_fraction) && !ds.effects.is_empty() {
@@ -222,7 +236,9 @@ pub fn generate(graph: &mut Graph, cfg: &GeneratorConfig) -> CovidDataset {
     }
 
     // Lineages.
-    const WHO: [&str; 8] = ["Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Lambda", "Mu", "Omicron"];
+    const WHO: [&str; 8] = [
+        "Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Lambda", "Mu", "Omicron",
+    ];
     for i in 0..cfg.lineages {
         let mut entries = vec![("name", Value::str(format!("B.1.{i}")))];
         if rng.gen_bool(cfg.designated_fraction) {
@@ -246,15 +262,21 @@ pub fn generate(graph: &mut Graph, cfg: &GeneratorConfig) -> CovidDataset {
         let k = rng.gen_range(1..=cfg.max_mutations_per_sequence.max(1));
         for _ in 0..k {
             let m = ds.mutations[rng.gen_range(0..ds.mutations.len().max(1))];
-            graph.create_rel(m, id, "FoundIn", PropertyMap::new()).unwrap();
+            graph
+                .create_rel(m, id, "FoundIn", PropertyMap::new())
+                .unwrap();
         }
         if !ds.lineages.is_empty() {
             let l = ds.lineages[rng.gen_range(0..ds.lineages.len())];
-            graph.create_rel(id, l, "BelongsTo", PropertyMap::new()).unwrap();
+            graph
+                .create_rel(id, l, "BelongsTo", PropertyMap::new())
+                .unwrap();
         }
         if !ds.labs.is_empty() {
             let lab = ds.labs[rng.gen_range(0..ds.labs.len())];
-            graph.create_rel(id, lab, "SequencedAt", PropertyMap::new()).unwrap();
+            graph
+                .create_rel(id, lab, "SequencedAt", PropertyMap::new())
+                .unwrap();
         }
         ds.sequences.push(id);
     }
@@ -276,7 +298,9 @@ pub fn generate(graph: &mut Graph, cfg: &GeneratorConfig) -> CovidDataset {
         let id = graph.create_node(["Patient"], props(entries)).unwrap();
         if !ds.sequences.is_empty() && rng.gen_bool(0.4) {
             let s = ds.sequences[rng.gen_range(0..ds.sequences.len())];
-            graph.create_rel(id, s, "HasSample", PropertyMap::new()).unwrap();
+            graph
+                .create_rel(id, s, "HasSample", PropertyMap::new())
+                .unwrap();
         }
         ds.patients.push(id);
     }

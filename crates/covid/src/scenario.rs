@@ -71,7 +71,12 @@ impl Scenario {
         let mut session = Session::new();
         let dataset = generate(session.graph_mut(), &cfg.generator);
         install_paper_triggers(&mut session).expect("paper triggers install");
-        Scenario { session, dataset, cfg, admission_counter: 0 }
+        Scenario {
+            session,
+            dataset,
+            cfg,
+            admission_counter: 0,
+        }
     }
 
     /// Discover a new mutation; when `critical`, it is linked to a critical
@@ -181,10 +186,7 @@ impl Scenario {
              WHERE p.ssn STARTS WITH 'ADM' AND NOT (h.name = 'Sacco' OR h.name = 'Hospital-0-1') \
              RETURN count(DISTINCT p) AS n",
         )?;
-        report.relocated_patients = out
-            .single()
-            .and_then(|v| v.as_i64())
-            .unwrap_or(0) as u64;
+        report.relocated_patients = out.single().and_then(|v| v.as_i64()).unwrap_or(0) as u64;
         Ok(report)
     }
 }
@@ -221,10 +223,18 @@ mod tests {
     fn scenario_produces_alerts() {
         let mut sc = Scenario::new(small_cfg());
         let report = sc.run().unwrap();
-        assert!(report.alerts.contains_key("New critical mutation"), "{report:?}");
-        assert!(report.alerts.contains_key("New critical lineage"), "{report:?}");
         assert!(
-            report.alerts.contains_key("New Designation for an existing Lineage"),
+            report.alerts.contains_key("New critical mutation"),
+            "{report:?}"
+        );
+        assert!(
+            report.alerts.contains_key("New critical lineage"),
+            "{report:?}"
+        );
+        assert!(
+            report
+                .alerts
+                .contains_key("New Designation for an existing Lineage"),
             "{report:?}"
         );
         assert_eq!(report.admissions, 18);
@@ -274,7 +284,9 @@ mod tests {
         let mut sc = Scenario::new(cfg);
         sc.admission_wave("Sacco", 40).unwrap();
         let report = sc.report().unwrap();
-        assert!(!report.alerts.contains_key("ICU patients at Sacco Hospital are more than 50"));
+        assert!(!report
+            .alerts
+            .contains_key("ICU patients at Sacco Hospital are more than 50"));
         sc.admission_wave("Sacco", 15).unwrap();
         let report = sc.report().unwrap();
         assert!(

@@ -159,7 +159,10 @@ pub const PAPER_TRIGGERS: [&str; 7] = [
 
 /// Install all §6.2 triggers into a session, returning their names.
 pub fn install_paper_triggers(session: &mut Session) -> Result<Vec<String>, InstallError> {
-    PAPER_TRIGGERS.iter().map(|ddl| session.install(ddl)).collect()
+    PAPER_TRIGGERS
+        .iter()
+        .map(|ddl| session.install(ddl))
+        .collect()
 }
 
 #[cfg(test)]

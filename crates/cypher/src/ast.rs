@@ -112,7 +112,11 @@ impl ProjItem {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SetItem {
     /// `SET n.key = expr`
-    Prop { target: Expr, key: String, value: Expr },
+    Prop {
+        target: Expr,
+        key: String,
+        value: Expr,
+    },
     /// `SET n:Label1:Label2`
     Labels { var: String, labels: Vec<String> },
     /// `SET n = expr` (replace all properties with map)
@@ -268,7 +272,11 @@ impl Expr {
                     t.collect_vars(out);
                 }
             }
-            Expr::Case { operand, whens, else_ } => {
+            Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
                 if let Some(o) = operand {
                     o.collect_vars(out);
                 }
@@ -282,14 +290,11 @@ impl Expr {
             }
             Expr::ExistsSubquery(patterns, where_) => {
                 for p in patterns {
-                    for (_, e) in p
-                        .start
-                        .props
-                        .iter()
-                        .chain(p.segments.iter().flat_map(|(r, n)| {
-                            r.props.iter().chain(n.props.iter())
-                        }))
-                    {
+                    for (_, e) in p.start.props.iter().chain(
+                        p.segments
+                            .iter()
+                            .flat_map(|(r, n)| r.props.iter().chain(n.props.iter())),
+                    ) {
                         e.collect_vars(out);
                     }
                     if let Some(v) = &p.start.var {
@@ -308,7 +313,9 @@ impl Expr {
                     w.collect_vars(out);
                 }
             }
-            Expr::ListComp { list, filter, map, .. } => {
+            Expr::ListComp {
+                list, filter, map, ..
+            } => {
                 list.collect_vars(out);
                 if let Some(f) = filter {
                     f.collect_vars(out);
@@ -341,9 +348,15 @@ impl Expr {
                     || f.as_ref().map(|e| e.has_aggregate()).unwrap_or(false)
                     || t.as_ref().map(|e| e.has_aggregate()).unwrap_or(false)
             }
-            Expr::Case { operand, whens, else_ } => {
+            Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
                 operand.as_ref().map(|e| e.has_aggregate()).unwrap_or(false)
-                    || whens.iter().any(|(w, t)| w.has_aggregate() || t.has_aggregate())
+                    || whens
+                        .iter()
+                        .any(|(w, t)| w.has_aggregate() || t.has_aggregate())
                     || else_.as_ref().map(|e| e.has_aggregate()).unwrap_or(false)
             }
             _ => false,

@@ -30,11 +30,17 @@ pub enum CypherError {
 
 impl CypherError {
     pub fn lex(pos: usize, msg: impl Into<String>) -> Self {
-        CypherError::Lex { pos, msg: msg.into() }
+        CypherError::Lex {
+            pos,
+            msg: msg.into(),
+        }
     }
 
     pub fn parse(pos: usize, msg: impl Into<String>) -> Self {
-        CypherError::Parse { pos, msg: msg.into() }
+        CypherError::Parse {
+            pos,
+            msg: msg.into(),
+        }
     }
 
     pub fn type_err(msg: impl Into<String>) -> Self {

@@ -25,7 +25,11 @@ pub struct Executor<'a> {
 
 impl<'a> Executor<'a> {
     pub fn new(target: Target<'a>, params: &'a Params, now_ms: i64) -> Self {
-        Executor { target, params, now_ms }
+        Executor {
+            target,
+            params,
+            now_ms,
+        }
     }
 
     fn view(&self) -> &dyn GraphView {
@@ -45,7 +49,11 @@ impl<'a> Executor<'a> {
     /// Run the query from the given seed rows (an empty seed list means one
     /// empty row, i.e. a fresh pipeline).
     pub fn run(&mut self, query: &Query, seeds: Vec<Row>) -> Result<QueryOutput> {
-        let mut rows = if seeds.is_empty() { vec![Row::new()] } else { seeds };
+        let mut rows = if seeds.is_empty() {
+            vec![Row::new()]
+        } else {
+            seeds
+        };
         let mut output: Option<(Vec<String>, Vec<Row>)> = None;
         rows = self.run_clauses(&query.clauses, rows, &mut output)?;
         let mut qo = QueryOutput {
@@ -86,7 +94,11 @@ impl<'a> Executor<'a> {
         output: &mut Option<(Vec<String>, Vec<Row>)>,
     ) -> Result<Vec<Row>> {
         match clause {
-            Clause::Match { optional, patterns, where_clause } => {
+            Clause::Match {
+                optional,
+                patterns,
+                where_clause,
+            } => {
                 let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
                 let mut out = Vec::new();
                 for row in &rows {
@@ -156,7 +168,11 @@ impl<'a> Executor<'a> {
                 }
                 Ok(out)
             }
-            Clause::Merge { pattern, on_create, on_match } => {
+            Clause::Merge {
+                pattern,
+                on_create,
+                on_match,
+            } => {
                 let mut out = Vec::new();
                 for row in rows {
                     let matches = {
@@ -241,11 +257,7 @@ impl<'a> Executor<'a> {
                     let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
                     for row in &rows {
                         for e in exprs {
-                            collect_delete_targets(
-                                eval(&ctx, row, e)?,
-                                &mut nodes,
-                                &mut rels,
-                            )?;
+                            collect_delete_targets(eval(&ctx, row, e)?, &mut nodes, &mut rels)?;
                         }
                     }
                 }
@@ -442,9 +454,9 @@ impl<'a> Executor<'a> {
                 }
             };
             let props = self.eval_prop_map(row, &rel_pat.props)?;
-            let rid = self
-                .graph_mut("CREATE")?
-                .create_rel(src, dst, rel_pat.types[0].clone(), props)?;
+            let rid =
+                self.graph_mut("CREATE")?
+                    .create_rel(src, dst, rel_pat.types[0].clone(), props)?;
             if let Some(v) = &rel_pat.var {
                 row.set(v.clone(), Value::Rel(rid));
             }
@@ -511,7 +523,10 @@ impl<'a> Executor<'a> {
             }
             names.sort();
             for n in names {
-                items.push(ProjItem { expr: Expr::Var(n.clone()), alias: Some(n) });
+                items.push(ProjItem {
+                    expr: Expr::Var(n.clone()),
+                    alias: Some(n),
+                });
             }
         }
         items.extend(proj.items.iter().cloned());
@@ -624,10 +639,18 @@ impl<'a> Executor<'a> {
         {
             match e {
                 Expr::CountStar => {
-                    specs.push(AggSpec { arg: None, name: "count".into(), distinct: false });
+                    specs.push(AggSpec {
+                        arg: None,
+                        name: "count".into(),
+                        distinct: false,
+                    });
                     Expr::Var(format!("__agg{}", specs.len() - 1))
                 }
-                Expr::Func { name, args, distinct } if is_aggregate(name) => {
+                Expr::Func {
+                    name,
+                    args,
+                    distinct,
+                } if is_aggregate(name) => {
                     specs.push(AggSpec {
                         arg: args.first().cloned(),
                         name: name.clone(),
@@ -636,9 +659,7 @@ impl<'a> Executor<'a> {
                     Expr::Var(format!("__agg{}", specs.len() - 1))
                 }
                 Expr::Prop(b, k) => Expr::Prop(Box::new(rewrite(b, specs)), k.clone()),
-                Expr::HasLabel(b, ls) => {
-                    Expr::HasLabel(Box::new(rewrite(b, specs)), ls.clone())
-                }
+                Expr::HasLabel(b, ls) => Expr::HasLabel(Box::new(rewrite(b, specs)), ls.clone()),
                 Expr::Unary(op, b) => Expr::Unary(*op, Box::new(rewrite(b, specs))),
                 Expr::IsNull(b, neg) => Expr::IsNull(Box::new(rewrite(b, specs)), *neg),
                 Expr::Binary(op, a, b) => Expr::Binary(
@@ -646,16 +667,20 @@ impl<'a> Executor<'a> {
                     Box::new(rewrite(a, specs)),
                     Box::new(rewrite(b, specs)),
                 ),
-                Expr::Func { name, args, distinct } => Expr::Func {
+                Expr::Func {
+                    name,
+                    args,
+                    distinct,
+                } => Expr::Func {
                     name: name.clone(),
                     args: args.iter().map(|a| rewrite(a, specs)).collect(),
                     distinct: *distinct,
                 },
-                Expr::ListLit(xs) => {
-                    Expr::ListLit(xs.iter().map(|x| rewrite(x, specs)).collect())
-                }
+                Expr::ListLit(xs) => Expr::ListLit(xs.iter().map(|x| rewrite(x, specs)).collect()),
                 Expr::MapLit(es) => Expr::MapLit(
-                    es.iter().map(|(k, v)| (k.clone(), rewrite(v, specs))).collect(),
+                    es.iter()
+                        .map(|(k, v)| (k.clone(), rewrite(v, specs)))
+                        .collect(),
                 ),
                 Expr::Index(a, b) => {
                     Expr::Index(Box::new(rewrite(a, specs)), Box::new(rewrite(b, specs)))
@@ -665,7 +690,11 @@ impl<'a> Executor<'a> {
                     f.as_ref().map(|x| Box::new(rewrite(x, specs))),
                     t.as_ref().map(|x| Box::new(rewrite(x, specs))),
                 ),
-                Expr::Case { operand, whens, else_ } => Expr::Case {
+                Expr::Case {
+                    operand,
+                    whens,
+                    else_,
+                } => Expr::Case {
                     operand: operand.as_ref().map(|o| Box::new(rewrite(o, specs))),
                     whens: whens
                         .iter()
@@ -715,7 +744,11 @@ impl<'a> Executor<'a> {
                             .iter()
                             .map(|s| Accumulator::new(&s.name, s.distinct).expect("aggregate"))
                             .collect();
-                        groups.push(Group { key, accs, rep: row.clone() });
+                        groups.push(Group {
+                            key,
+                            accs,
+                            rep: row.clone(),
+                        });
                         groups.last_mut().unwrap()
                     }
                 };

@@ -16,7 +16,11 @@ pub struct EvalCtx<'a> {
 
 impl<'a> EvalCtx<'a> {
     pub fn new(view: &'a dyn GraphView, params: &'a Params, now_ms: i64) -> Self {
-        EvalCtx { view, params, now_ms }
+        EvalCtx {
+            view,
+            params,
+            now_ms,
+        }
     }
 }
 
@@ -60,7 +64,11 @@ pub fn eval(ctx: &EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<Value> {
             }
         }
         Expr::Binary(op, lhs, rhs) => eval_binary(ctx, row, *op, lhs, rhs),
-        Expr::Func { name, args, distinct: _ } => {
+        Expr::Func {
+            name,
+            args,
+            distinct: _,
+        } => {
             if functions::is_aggregate(name) {
                 return Err(CypherError::type_err(format!(
                     "aggregate function {name}() not allowed in this context"
@@ -143,7 +151,11 @@ pub fn eval(ctx: &EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<Value> {
                 ))),
             }
         }
-        Expr::Case { operand, whens, else_ } => {
+        Expr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
             match operand {
                 Some(op) => {
                     let v = eval(ctx, row, op)?;
@@ -169,8 +181,7 @@ pub fn eval(ctx: &EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<Value> {
             }
         }
         Expr::ExistsSubquery(patterns, where_) => {
-            let matches =
-                pattern::match_patterns(ctx, row, patterns, where_.as_deref(), Some(1))?;
+            let matches = pattern::match_patterns(ctx, row, patterns, where_.as_deref(), Some(1))?;
             Ok(Value::Bool(!matches.is_empty()))
         }
         Expr::IsNull(inner, negated) => {
@@ -178,7 +189,12 @@ pub fn eval(ctx: &EvalCtx<'_>, row: &Row, expr: &Expr) -> Result<Value> {
             let isnull = v.is_null();
             Ok(Value::Bool(if *negated { !isnull } else { isnull }))
         }
-        Expr::ListComp { var, list, filter, map } => {
+        Expr::ListComp {
+            var,
+            list,
+            filter,
+            map,
+        } => {
             let lv = eval(ctx, row, list)?;
             let items = match lv {
                 Value::Null => return Ok(Value::Null),
@@ -331,7 +347,11 @@ fn eval_binary(ctx: &EvalCtx<'_>, row: &Row, op: BinOp, lhs: &Expr, rhs: &Expr) 
                             None => saw_null = true,
                         }
                     }
-                    Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+                    Ok(if saw_null {
+                        Value::Null
+                    } else {
+                        Value::Bool(false)
+                    })
                 }
                 other => Err(CypherError::type_err(format!(
                     "IN expects a list, got {}",
@@ -412,15 +432,24 @@ mod tests {
     fn three_valued_logic() {
         let g = Graph::new();
         let r = Row::new();
-        assert_eq!(eval_str("null AND false", &r, &g).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_str("null AND false", &r, &g).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(eval_str("null AND true", &r, &g).unwrap(), Value::Null);
         assert_eq!(eval_str("null OR true", &r, &g).unwrap(), Value::Bool(true));
         assert_eq!(eval_str("null OR false", &r, &g).unwrap(), Value::Null);
         assert_eq!(eval_str("NOT null", &r, &g).unwrap(), Value::Null);
         assert_eq!(eval_str("null = null", &r, &g).unwrap(), Value::Null);
         assert_eq!(eval_str("null IS NULL", &r, &g).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("1 IS NOT NULL", &r, &g).unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("true XOR false", &r, &g).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("1 IS NOT NULL", &r, &g).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("true XOR false", &r, &g).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_str("true XOR null", &r, &g).unwrap(), Value::Null);
     }
 
@@ -455,14 +484,13 @@ mod tests {
     #[test]
     fn property_access_on_node_map_null() {
         let mut g = Graph::new();
-        let props: PropertyMap = [("name".to_string(), Value::str("Alpha"))].into_iter().collect();
+        let props: PropertyMap = [("name".to_string(), Value::str("Alpha"))]
+            .into_iter()
+            .collect();
         let n = g.create_node(["Lineage"], props).unwrap();
         let mut row = Row::new();
         row.set("l", Value::Node(n));
-        row.set(
-            "m",
-            Value::map([("k".to_string(), Value::Int(3))]),
-        );
+        row.set("m", Value::map([("k".to_string(), Value::Int(3))]));
         row.set("x", Value::Null);
         assert_eq!(eval_str("l.name", &row, &g).unwrap(), Value::str("Alpha"));
         assert_eq!(eval_str("l.missing", &row, &g).unwrap(), Value::Null);
@@ -497,10 +525,7 @@ mod tests {
             eval_str("[1,2,3,4][..2]", &r, &g).unwrap(),
             Value::list([Value::Int(1), Value::Int(2)])
         );
-        assert_eq!(
-            eval_str("{a: 1}['a']", &r, &g).unwrap(),
-            Value::Int(1)
-        );
+        assert_eq!(eval_str("{a: 1}['a']", &r, &g).unwrap(), Value::Int(1));
     }
 
     #[test]

@@ -11,12 +11,7 @@ pub fn is_aggregate(name: &str) -> bool {
 /// Evaluate a scalar (non-aggregate) builtin. `now_ms` supplies the clock
 /// for `datetime()`/`date()`/`timestamp()` so executions are deterministic
 /// under test.
-pub fn eval_scalar(
-    name: &str,
-    args: &[Value],
-    view: &dyn GraphView,
-    now_ms: i64,
-) -> Result<Value> {
+pub fn eval_scalar(name: &str, args: &[Value], view: &dyn GraphView, now_ms: i64) -> Result<Value> {
     let argn = |i: usize| -> &Value { args.get(i).unwrap_or(&Value::Null) };
     match name {
         "id" => match argn(0) {
@@ -50,7 +45,10 @@ pub fn eval_scalar(
         },
         "keys" => match argn(0) {
             Value::Node(n) => Ok(Value::List(
-                view.node_prop_keys(*n).into_iter().map(Value::Str).collect(),
+                view.node_prop_keys(*n)
+                    .into_iter()
+                    .map(Value::Str)
+                    .collect(),
             )),
             Value::Rel(r) => Ok(Value::List(
                 view.rel_prop_keys(*r).into_iter().map(Value::Str).collect(),
@@ -152,15 +150,23 @@ pub fn eval_scalar(
             ))),
         },
         "range" => {
-            let from = argn(0).as_i64().ok_or_else(|| CypherError::type_err("range() start"))?;
-            let to = argn(1).as_i64().ok_or_else(|| CypherError::type_err("range() end"))?;
+            let from = argn(0)
+                .as_i64()
+                .ok_or_else(|| CypherError::type_err("range() start"))?;
+            let to = argn(1)
+                .as_i64()
+                .ok_or_else(|| CypherError::type_err("range() end"))?;
             let step = if args.len() > 2 {
-                argn(2).as_i64().ok_or_else(|| CypherError::type_err("range() step"))?
+                argn(2)
+                    .as_i64()
+                    .ok_or_else(|| CypherError::type_err("range() step"))?
             } else {
                 1
             };
             if step == 0 {
-                return Err(CypherError::Arithmetic("range() step must be non-zero".into()));
+                return Err(CypherError::Arithmetic(
+                    "range() step must be non-zero".into(),
+                ));
             }
             let mut out = Vec::new();
             let mut x = from;
@@ -177,11 +183,19 @@ pub fn eval_scalar(
             }
             Ok(Value::List(out))
         }
-        "coalesce" => Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null)),
+        "coalesce" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
         "tointeger" | "toint" => match argn(0) {
             Value::Int(i) => Ok(Value::Int(*i)),
             Value::Float(f) => Ok(Value::Int(*f as i64)),
-            Value::Str(s) => Ok(s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)),
+            Value::Str(s) => Ok(s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null)),
             Value::Bool(b) => Ok(Value::Int(*b as i64)),
             Value::Null => Ok(Value::Null),
             _ => Ok(Value::Null),
@@ -189,7 +203,11 @@ pub fn eval_scalar(
         "tofloat" => match argn(0) {
             Value::Int(i) => Ok(Value::Float(*i as f64)),
             Value::Float(f) => Ok(Value::Float(*f)),
-            Value::Str(s) => Ok(s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null)),
+            Value::Str(s) => Ok(s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null)),
             Value::Null => Ok(Value::Null),
             _ => Ok(Value::Null),
         },
@@ -220,7 +238,9 @@ pub fn eval_scalar(
         },
         "split" => match (argn(0), argn(1)) {
             (Value::Str(s), Value::Str(sep)) => Ok(Value::List(
-                s.split(sep.as_str()).map(|p| Value::Str(p.to_string())).collect(),
+                s.split(sep.as_str())
+                    .map(|p| Value::Str(p.to_string()))
+                    .collect(),
             )),
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
             _ => Err(CypherError::type_err("split() expects (string, string)")),
@@ -230,7 +250,9 @@ pub fn eval_scalar(
                 Ok(Value::Str(s.replace(from.as_str(), to)))
             }
             (Value::Null, _, _) => Ok(Value::Null),
-            _ => Err(CypherError::type_err("replace() expects (string, string, string)")),
+            _ => Err(CypherError::type_err(
+                "replace() expects (string, string, string)",
+            )),
         },
         "substring" => match (argn(0), argn(1)) {
             (Value::Str(s), Value::Int(start)) => {
@@ -245,7 +267,9 @@ pub fn eval_scalar(
                 Ok(Value::Str(chars[start..end].iter().collect()))
             }
             (Value::Null, _) => Ok(Value::Null),
-            _ => Err(CypherError::type_err("substring() expects (string, int[, int])")),
+            _ => Err(CypherError::type_err(
+                "substring() expects (string, int[, int])",
+            )),
         },
         "abs" => match argn(0) {
             Value::Int(i) => Ok(Value::Int(i.abs())),
@@ -306,24 +330,47 @@ pub fn eval_scalar(
 /// Accumulator for aggregate functions.
 #[derive(Debug, Clone)]
 pub enum Accumulator {
-    Count { n: i64, distinct: bool, seen: Vec<Value> },
-    Sum { acc: Value },
-    Avg { sum: f64, n: i64 },
-    Min { acc: Option<Value> },
-    Max { acc: Option<Value> },
-    Collect { items: Vec<Value>, distinct: bool },
+    Count {
+        n: i64,
+        distinct: bool,
+        seen: Vec<Value>,
+    },
+    Sum {
+        acc: Value,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    Min {
+        acc: Option<Value>,
+    },
+    Max {
+        acc: Option<Value>,
+    },
+    Collect {
+        items: Vec<Value>,
+        distinct: bool,
+    },
 }
 
 impl Accumulator {
     /// A fresh accumulator for the given aggregate function name.
     pub fn new(name: &str, distinct: bool) -> Option<Accumulator> {
         Some(match name {
-            "count" => Accumulator::Count { n: 0, distinct, seen: Vec::new() },
+            "count" => Accumulator::Count {
+                n: 0,
+                distinct,
+                seen: Vec::new(),
+            },
             "sum" => Accumulator::Sum { acc: Value::Int(0) },
             "avg" => Accumulator::Avg { sum: 0.0, n: 0 },
             "min" => Accumulator::Min { acc: None },
             "max" => Accumulator::Max { acc: None },
-            "collect" => Accumulator::Collect { items: Vec::new(), distinct },
+            "collect" => Accumulator::Collect {
+                items: Vec::new(),
+                distinct,
+            },
             _ => return None,
         })
     }
@@ -447,13 +494,23 @@ mod tests {
             Value::list([Value::str("a"), Value::str("b")])
         );
         assert_eq!(
-            eval_scalar("substring", &[Value::str("hello"), Value::Int(1), Value::Int(3)], &g, 0)
-                .unwrap(),
+            eval_scalar(
+                "substring",
+                &[Value::str("hello"), Value::Int(1), Value::Int(3)],
+                &g,
+                0
+            )
+            .unwrap(),
             Value::str("ell")
         );
         assert_eq!(
-            eval_scalar("replace", &[Value::str("aXa"), Value::str("X"), Value::str("b")], &g, 0)
-                .unwrap(),
+            eval_scalar(
+                "replace",
+                &[Value::str("aXa"), Value::str("X"), Value::str("b")],
+                &g,
+                0
+            )
+            .unwrap(),
             Value::str("aba")
         );
     }
@@ -461,10 +518,22 @@ mod tests {
     #[test]
     fn numeric_functions() {
         let g = empty_view();
-        assert_eq!(eval_scalar("abs", &[Value::Int(-3)], &g, 0).unwrap(), Value::Int(3));
-        assert_eq!(eval_scalar("sign", &[Value::Float(-0.5)], &g, 0).unwrap(), Value::Int(-1));
-        assert_eq!(eval_scalar("ceil", &[Value::Float(1.2)], &g, 0).unwrap(), Value::Float(2.0));
-        assert_eq!(eval_scalar("sqrt", &[Value::Int(9)], &g, 0).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            eval_scalar("abs", &[Value::Int(-3)], &g, 0).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_scalar("sign", &[Value::Float(-0.5)], &g, 0).unwrap(),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            eval_scalar("ceil", &[Value::Float(1.2)], &g, 0).unwrap(),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            eval_scalar("sqrt", &[Value::Int(9)], &g, 0).unwrap(),
+            Value::Float(3.0)
+        );
     }
 
     #[test]
@@ -474,7 +543,10 @@ mod tests {
             eval_scalar("datetime", &[], &g, 86_400_000).unwrap(),
             Value::DateTime(86_400_000)
         );
-        assert_eq!(eval_scalar("date", &[], &g, 86_400_000).unwrap(), Value::Date(1));
+        assert_eq!(
+            eval_scalar("date", &[], &g, 86_400_000).unwrap(),
+            Value::Date(1)
+        );
         assert_eq!(eval_scalar("timestamp", &[], &g, 5).unwrap(), Value::Int(5));
     }
 
@@ -482,15 +554,30 @@ mod tests {
     fn list_functions() {
         let g = empty_view();
         let l = Value::list([Value::Int(1), Value::Int(2)]);
-        assert_eq!(eval_scalar("size", &[l.clone()], &g, 0).unwrap(), Value::Int(2));
-        assert_eq!(eval_scalar("head", &[l.clone()], &g, 0).unwrap(), Value::Int(1));
-        assert_eq!(eval_scalar("last", &[l.clone()], &g, 0).unwrap(), Value::Int(2));
+        assert_eq!(
+            eval_scalar("size", std::slice::from_ref(&l), &g, 0).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_scalar("head", std::slice::from_ref(&l), &g, 0).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_scalar("last", std::slice::from_ref(&l), &g, 0).unwrap(),
+            Value::Int(2)
+        );
         assert_eq!(
             eval_scalar("range", &[Value::Int(1), Value::Int(3)], &g, 0).unwrap(),
             Value::list([Value::Int(1), Value::Int(2), Value::Int(3)])
         );
         assert_eq!(
-            eval_scalar("range", &[Value::Int(3), Value::Int(1), Value::Int(-1)], &g, 0).unwrap(),
+            eval_scalar(
+                "range",
+                &[Value::Int(3), Value::Int(1), Value::Int(-1)],
+                &g,
+                0
+            )
+            .unwrap(),
             Value::list([Value::Int(3), Value::Int(2), Value::Int(1)])
         );
     }
@@ -534,7 +621,10 @@ mod tests {
         a.push(Value::Int(1)).unwrap();
         a.push(Value::Int(3)).unwrap();
         assert_eq!(a.finish(), Value::Float(2.0));
-        assert_eq!(Accumulator::new("avg", false).unwrap().finish(), Value::Null);
+        assert_eq!(
+            Accumulator::new("avg", false).unwrap().finish(),
+            Value::Null
+        );
 
         let mut m = Accumulator::new("min", false).unwrap();
         m.push(Value::Int(5)).unwrap();

@@ -34,113 +34,191 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CypherError> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, pos });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    pos,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, pos });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    pos,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, pos });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    pos,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, pos });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    pos,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos,
+                });
                 i += 1;
             }
             '|' => {
-                tokens.push(Token { kind: TokenKind::Pipe, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    pos,
+                });
                 i += 1;
             }
             '^' => {
-                tokens.push(Token { kind: TokenKind::Caret, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Caret,
+                    pos,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Token { kind: TokenKind::Colon, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    pos,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    pos,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    pos,
+                });
                 i += 1;
             }
             '+' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::PlusEq, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::PlusEq,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Plus, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Plus,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::ArrowRight, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::ArrowRight,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'-') => {
-                    tokens.push(Token { kind: TokenKind::ArrowLeft, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::ArrowLeft,
+                        pos,
+                    });
                     i += 2;
                 }
                 Some(&b'=') => {
-                    tokens.push(Token { kind: TokenKind::Le, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        pos,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    tokens.push(Token { kind: TokenKind::Neq, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        pos,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Token { kind: TokenKind::Lt, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Neq, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        pos,
+                    });
                     i += 2;
                 } else {
                     return Err(CypherError::lex(pos, "unexpected '!'"));
@@ -148,15 +226,25 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CypherError> {
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
-                    tokens.push(Token { kind: TokenKind::DotDot, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::DotDot,
+                        pos,
+                    });
                     i += 2;
-                } else if bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                } else if bytes
+                    .get(i + 1)
+                    .map(|b| b.is_ascii_digit())
+                    .unwrap_or(false)
+                {
                     // .5 style float
                     let (tok, next) = lex_number(bytes, i)?;
                     tokens.push(Token { kind: tok, pos });
                     i = next;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Dot, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        pos,
+                    });
                     i += 1;
                 }
             }
@@ -247,7 +335,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CypherError> {
                 i = j;
             }
             other => {
-                return Err(CypherError::lex(pos, format!("unexpected character '{other}'")));
+                return Err(CypherError::lex(
+                    pos,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -280,7 +371,11 @@ fn lex_number(bytes: &[u8], start: usize) -> Result<(TokenKind, usize), CypherEr
             j += 1;
         } else if b == b'.' && !saw_dot && !saw_exp {
             // Don't consume `..` (range) or `.prop` (property access).
-            if bytes.get(j + 1).map(|n| n.is_ascii_digit()).unwrap_or(false) {
+            if bytes
+                .get(j + 1)
+                .map(|n| n.is_ascii_digit())
+                .unwrap_or(false)
+            {
                 saw_dot = true;
                 j += 1;
             } else {
@@ -372,7 +467,12 @@ mod tests {
     fn keywords_case_insensitive() {
         assert_eq!(
             kinds("match MATCH Match"),
-            vec![TokenKind::Match, TokenKind::Match, TokenKind::Match, TokenKind::Eof]
+            vec![
+                TokenKind::Match,
+                TokenKind::Match,
+                TokenKind::Match,
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -448,7 +548,12 @@ mod tests {
     fn comments_skipped() {
         assert_eq!(
             kinds("1 // line\n 2 /* block\n */ 3"),
-            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Int(3), TokenKind::Eof]
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(2),
+                TokenKind::Int(3),
+                TokenKind::Eof
+            ]
         );
     }
 

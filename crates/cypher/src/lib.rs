@@ -47,7 +47,12 @@ pub use unparse::{rename_vars, unparse_clause, unparse_expr, unparse_query};
 use pg_graph::{Graph, GraphView};
 
 /// Parse and run a query against a mutable graph.
-pub fn run_query(graph: &mut Graph, src: &str, params: &Params, now_ms: i64) -> Result<QueryOutput> {
+pub fn run_query(
+    graph: &mut Graph,
+    src: &str,
+    params: &Params,
+    now_ms: i64,
+) -> Result<QueryOutput> {
     let q = parse_query(src)?;
     run_ast(graph, &q, Vec::new(), params, now_ms)
 }

@@ -48,7 +48,11 @@ pub(crate) struct Parser {
 
 impl Parser {
     pub(crate) fn new(tokens: Vec<Token>, lenient: bool) -> Self {
-        Parser { tokens, pos: 0, lenient }
+        Parser {
+            tokens,
+            pos: 0,
+            lenient,
+        }
     }
 
     fn peek(&self) -> &TokenKind {
@@ -156,10 +160,9 @@ impl Parser {
             if self.lenient {
                 // Paper mode: THEN and BEGIN act as separators.
                 loop {
-                    if self.peek() == &TokenKind::Then {
-                        self.bump();
-                    } else if matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case("begin"))
-                    {
+                    let separator = self.peek() == &TokenKind::Then
+                        || matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case("begin"));
+                    if separator {
                         self.bump();
                     } else {
                         break;
@@ -218,24 +221,38 @@ impl Parser {
                         }
                     }
                 }
-                Ok(Clause::Merge { pattern, on_create, on_match })
+                Ok(Clause::Merge {
+                    pattern,
+                    on_create,
+                    on_match,
+                })
             }
             TokenKind::Detach => {
                 self.bump();
                 self.expect(TokenKind::Delete)?;
-                Ok(Clause::Delete { detach: true, exprs: self.parse_expr_list()? })
+                Ok(Clause::Delete {
+                    detach: true,
+                    exprs: self.parse_expr_list()?,
+                })
             }
             TokenKind::Delete => {
                 self.bump();
-                Ok(Clause::Delete { detach: false, exprs: self.parse_expr_list()? })
+                Ok(Clause::Delete {
+                    detach: false,
+                    exprs: self.parse_expr_list()?,
+                })
             }
             TokenKind::Set => {
                 self.bump();
-                Ok(Clause::Set { items: self.parse_set_items()? })
+                Ok(Clause::Set {
+                    items: self.parse_set_items()?,
+                })
             }
             TokenKind::Remove => {
                 self.bump();
-                Ok(Clause::Remove { items: self.parse_remove_items()? })
+                Ok(Clause::Remove {
+                    items: self.parse_remove_items()?,
+                })
             }
             TokenKind::With => {
                 self.bump();
@@ -265,7 +282,8 @@ impl Parser {
                 } else {
                     // Paper style: FOREACH (p IN pn) BEGIN … END
                     self.expect(TokenKind::RParen)?;
-                    if matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case("begin")) {
+                    if matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case("begin"))
+                    {
                         self.bump();
                         let mut body = Vec::new();
                         while self.peek() != &TokenKind::End && self.peek() != &TokenKind::Eof {
@@ -304,7 +322,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Clause::Match { optional, patterns, where_clause })
+        Ok(Clause::Match {
+            optional,
+            patterns,
+            where_clause,
+        })
     }
 
     fn parse_expr_list(&mut self) -> Result<Vec<Expr>> {
@@ -332,7 +354,11 @@ impl Parser {
                 let key = self.expect_name()?;
                 self.expect(TokenKind::Eq)?;
                 let value = self.parse_expr()?;
-                Ok(SetItem::Prop { target: Expr::Var(var), key, value })
+                Ok(SetItem::Prop {
+                    target: Expr::Var(var),
+                    key,
+                    value,
+                })
             }
             TokenKind::Colon => {
                 let mut labels = Vec::new();
@@ -364,7 +390,10 @@ impl Parser {
             let var = self.expect_name()?;
             if self.eat(&TokenKind::Dot) {
                 let key = self.expect_name()?;
-                items.push(RemoveItem::Prop { target: Expr::Var(var), key });
+                items.push(RemoveItem::Prop {
+                    target: Expr::Var(var),
+                    key,
+                });
             } else if self.peek() == &TokenKind::Colon {
                 let mut labels = Vec::new();
                 while self.eat(&TokenKind::Colon) {
@@ -434,7 +463,15 @@ impl Parser {
                 _ => break,
             }
         }
-        Ok(Projection { distinct, items, star, order_by, skip, limit, where_clause })
+        Ok(Projection {
+            distinct,
+            items,
+            star,
+            order_by,
+            skip,
+            limit,
+            where_clause,
+        })
     }
 
     fn parse_proj_items(&mut self) -> Result<Vec<ProjItem>> {
@@ -652,7 +689,11 @@ impl Parser {
             self.bump();
             self.expect(TokenKind::With)?;
             let rhs = self.parse_additive()?;
-            return Ok(Expr::Binary(BinOp::StartsWith, Box::new(lhs), Box::new(rhs)));
+            return Ok(Expr::Binary(
+                BinOp::StartsWith,
+                Box::new(lhs),
+                Box::new(rhs),
+            ));
         }
         if self.peek() == &TokenKind::Ends {
             self.bump();
@@ -881,7 +922,11 @@ impl Parser {
             }
         }
         self.expect(TokenKind::RParen)?;
-        Ok(Expr::Func { name: name.to_lowercase(), args, distinct })
+        Ok(Expr::Func {
+            name: name.to_lowercase(),
+            args,
+            distinct,
+        })
     }
 
     fn parse_case(&mut self) -> Result<Expr> {
@@ -898,7 +943,10 @@ impl Parser {
             whens.push((w, t));
         }
         if whens.is_empty() {
-            return Err(CypherError::parse(self.peek_pos(), "CASE requires at least one WHEN"));
+            return Err(CypherError::parse(
+                self.peek_pos(),
+                "CASE requires at least one WHEN",
+            ));
         }
         let else_ = if self.eat(&TokenKind::Else) {
             Some(Box::new(self.parse_expr()?))
@@ -906,7 +954,11 @@ impl Parser {
             None
         };
         self.expect(TokenKind::End)?;
-        Ok(Expr::Case { operand, whens, else_ })
+        Ok(Expr::Case {
+            operand,
+            whens,
+            else_,
+        })
     }
 
     /// `EXISTS { MATCH … [WHERE …] }`, `EXISTS (pattern)`, or
@@ -973,7 +1025,12 @@ impl Parser {
                     None
                 };
                 self.expect(TokenKind::RBracket)?;
-                return Ok(Expr::ListComp { var, list, filter, map });
+                return Ok(Expr::ListComp {
+                    var,
+                    list,
+                    filter,
+                    map,
+                });
             }
         }
         let mut items = Vec::new();
@@ -999,7 +1056,11 @@ mod tests {
         let q = parse_query("MATCH (n:Person) WHERE n.age > 30 RETURN n.name AS name").unwrap();
         assert_eq!(q.clauses.len(), 2);
         match &q.clauses[0] {
-            Clause::Match { optional, patterns, where_clause } => {
+            Clause::Match {
+                optional,
+                patterns,
+                where_clause,
+            } => {
                 assert!(!optional);
                 assert_eq!(patterns.len(), 1);
                 assert_eq!(patterns[0].start.labels, vec!["Person"]);
@@ -1107,7 +1168,10 @@ mod tests {
         )
         .unwrap();
         match &q.clauses[0] {
-            Clause::Match { where_clause: Some(Expr::ExistsSubquery(ps, None)), .. } => {
+            Clause::Match {
+                where_clause: Some(Expr::ExistsSubquery(ps, None)),
+                ..
+            } => {
                 assert_eq!(ps[0].segments.len(), 2);
             }
             other => panic!("unexpected {other:?}"),
@@ -1139,7 +1203,13 @@ mod tests {
         let e = parse_expression("CASE WHEN x > 1 THEN 'big' ELSE 'small' END").unwrap();
         assert!(matches!(e, Expr::Case { operand: None, .. }));
         let e = parse_expression("CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END").unwrap();
-        assert!(matches!(e, Expr::Case { operand: Some(_), .. }));
+        assert!(matches!(
+            e,
+            Expr::Case {
+                operand: Some(_),
+                ..
+            }
+        ));
         assert!(parse_expression("CASE END").is_err());
     }
 
@@ -1156,10 +1226,7 @@ mod tests {
 
     #[test]
     fn lenient_mode_skips_then_begin_end() {
-        let q = parse_query_lenient(
-            "MATCH (a:A) WITH a THEN BEGIN SET a.x = 1 END",
-        )
-        .unwrap();
+        let q = parse_query_lenient("MATCH (a:A) WITH a THEN BEGIN SET a.x = 1 END").unwrap();
         assert_eq!(q.clauses.len(), 3);
         assert!(matches!(&q.clauses[2], Clause::Set { .. }));
     }
@@ -1186,7 +1253,9 @@ mod tests {
             Clause::Remove { items } => {
                 assert_eq!(items.len(), 2);
                 assert!(matches!(items[0], RemoveItem::Prop { .. }));
-                assert!(matches!(&items[1], RemoveItem::Labels { labels, .. } if labels.len() == 2));
+                assert!(
+                    matches!(&items[1], RemoveItem::Labels { labels, .. } if labels.len() == 2)
+                );
             }
             _ => panic!(),
         }
@@ -1199,7 +1268,11 @@ mod tests {
         )
         .unwrap();
         match &q.clauses[0] {
-            Clause::Merge { on_create, on_match, .. } => {
+            Clause::Merge {
+                on_create,
+                on_match,
+                ..
+            } => {
                 assert_eq!(on_create.len(), 1);
                 assert_eq!(on_match.len(), 1);
             }
@@ -1272,10 +1345,7 @@ mod tests {
     fn paper_comma_match_style_is_two_clauses() {
         // `MATCH …, MATCH …` = two MATCH clauses, each with its own
         // relationship-uniqueness scope (the paper's §6.2 style).
-        let q = parse_query(
-            "MATCH (p:A)-[:T]-(h:B), MATCH (pn:C)-[:T]-(h2:B) RETURN p",
-        )
-        .unwrap();
+        let q = parse_query("MATCH (p:A)-[:T]-(h:B), MATCH (pn:C)-[:T]-(h2:B) RETURN p").unwrap();
         assert_eq!(q.clauses.len(), 3);
         assert!(matches!(&q.clauses[0], Clause::Match { patterns, .. } if patterns.len() == 1));
         assert!(matches!(&q.clauses[1], Clause::Match { patterns, .. } if patterns.len() == 1));
@@ -1295,7 +1365,10 @@ mod tests {
     #[test]
     fn optional_match_parses() {
         let q = parse_query("OPTIONAL MATCH (n:A) RETURN n").unwrap();
-        assert!(matches!(&q.clauses[0], Clause::Match { optional: true, .. }));
+        assert!(matches!(
+            &q.clauses[0],
+            Clause::Match { optional: true, .. }
+        ));
     }
 
     #[test]

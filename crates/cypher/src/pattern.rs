@@ -35,7 +35,10 @@ pub fn match_patterns(
     where_clause: Option<&Expr>,
     limit: Option<usize>,
 ) -> Result<Vec<Row>> {
-    let mut states = vec![MatchState { row: seed.clone(), used: Vec::new() }];
+    let mut states = vec![MatchState {
+        row: seed.clone(),
+        used: Vec::new(),
+    }];
     for pattern in patterns {
         let mut next = Vec::new();
         for st in &states {
@@ -137,6 +140,7 @@ fn extend_segments(
         let max = max.unwrap_or(64); // practical bound for unbounded patterns
         let mut stack: Vec<(NodeId, Vec<RelId>)> = vec![(current, Vec::new())];
         // Depth-first enumeration of all paths with length in [min, max].
+        #[allow(clippy::too_many_arguments)] // local helper threading the whole match context
         fn dfs(
             ctx: &EvalCtx<'_>,
             st: &MatchState,
@@ -192,7 +196,9 @@ fn extend_segments(
             }
             Ok(())
         }
-        dfs(ctx, &st, rel_pat, node_pat, path, seg_idx, &mut stack, min, max, out, cap)?;
+        dfs(
+            ctx, &st, rel_pat, node_pat, path, seg_idx, &mut stack, min, max, out, cap,
+        )?;
         return Ok(());
     }
 
@@ -403,20 +409,27 @@ fn node_matches(ctx: &EvalCtx<'_>, row: &Row, node: NodeId, np: &NodePattern) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_query;
     use crate::ast::Clause;
+    use crate::parser::parse_query;
     use crate::row::Params;
     use pg_graph::{Graph, PropertyMap};
 
     fn props(entries: &[(&str, Value)]) -> PropertyMap {
-        entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     /// Extract patterns + where from a `MATCH … RETURN 1` query.
     fn patterns_of(src: &str) -> (Vec<PathPattern>, Option<Expr>) {
         let q = parse_query(src).unwrap();
         match q.clauses.into_iter().next().unwrap() {
-            Clause::Match { patterns, where_clause, .. } => (patterns, where_clause),
+            Clause::Match {
+                patterns,
+                where_clause,
+                ..
+            } => (patterns, where_clause),
             _ => panic!("expected MATCH"),
         }
     }
@@ -436,7 +449,10 @@ mod tests {
             .create_node(["Mutation"], props(&[("name", Value::str("D614G"))]))
             .unwrap();
         let e = g
-            .create_node(["CriticalEffect"], props(&[("description", Value::str("Enhanced infectivity"))]))
+            .create_node(
+                ["CriticalEffect"],
+                props(&[("description", Value::str("Enhanced infectivity"))]),
+            )
             .unwrap();
         let s = g
             .create_node(["Sequence"], props(&[("accession", Value::str("SEQ1"))]))
@@ -449,7 +465,11 @@ mod tests {
     #[test]
     fn label_scan_and_prop_filter() {
         let (g, m, ..) = fixture();
-        let rows = run_match(&g, "MATCH (x:Mutation {name: 'D614G'}) RETURN 1", Row::new());
+        let rows = run_match(
+            &g,
+            "MATCH (x:Mutation {name: 'D614G'}) RETURN 1",
+            Row::new(),
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("x"), Some(&Value::Node(m)));
         let rows = run_match(&g, "MATCH (x:Mutation {name: 'nope'}) RETURN 1", Row::new());
@@ -466,7 +486,11 @@ mod tests {
         let rows = run_match(&g, "MATCH (a:Mutation)<-[:Risk]-(b) RETURN 1", Row::new());
         assert!(rows.is_empty());
         // undirected from the effect side
-        let rows = run_match(&g, "MATCH (x:CriticalEffect)-[:Risk]-(y) RETURN 1", Row::new());
+        let rows = run_match(
+            &g,
+            "MATCH (x:CriticalEffect)-[:Risk]-(y) RETURN 1",
+            Row::new(),
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("y"), Some(&Value::Node(m)));
     }
@@ -498,7 +522,9 @@ mod tests {
         // Paper's NewCriticalLineage binds the relationship variable NEW.
         let mut g = Graph::new();
         let s = g.create_node(["Sequence"], PropertyMap::new()).unwrap();
-        let l = g.create_node(["Lineage"], props(&[("name", Value::str("B.1.1.7"))])).unwrap();
+        let l = g
+            .create_node(["Lineage"], props(&[("name", Value::str("B.1.1.7"))]))
+            .unwrap();
         let r = g.create_rel(s, l, "BelongsTo", PropertyMap::new()).unwrap();
         let mut seed = Row::new();
         seed.set("NEW", Value::Rel(r));
@@ -531,12 +557,20 @@ mod tests {
         let a = g.create_node(["X"], PropertyMap::new()).unwrap();
         let b = g.create_node(["X"], PropertyMap::new()).unwrap();
         g.create_rel(a, b, "KNOWS", PropertyMap::new()).unwrap();
-        let rows = run_match(&g, "MATCH (x)-[:KNOWS]-(y)-[:KNOWS]-(z) RETURN 1", Row::new());
+        let rows = run_match(
+            &g,
+            "MATCH (x)-[:KNOWS]-(y)-[:KNOWS]-(z) RETURN 1",
+            Row::new(),
+        );
         assert!(rows.is_empty());
         // but a triangle works
         let c = g.create_node(["X"], PropertyMap::new()).unwrap();
         g.create_rel(b, c, "KNOWS", PropertyMap::new()).unwrap();
-        let rows = run_match(&g, "MATCH (x)-[:KNOWS]-(y)-[:KNOWS]-(z) RETURN 1", Row::new());
+        let rows = run_match(
+            &g,
+            "MATCH (x)-[:KNOWS]-(y)-[:KNOWS]-(z) RETURN 1",
+            Row::new(),
+        );
         // paths: a-b-c, c-b-a (x/z symmetric)
         assert_eq!(rows.len(), 2);
     }
@@ -547,11 +581,13 @@ mod tests {
         let mut g = Graph::new();
         let ids: Vec<NodeId> = (0..4)
             .map(|i| {
-                g.create_node(["N"], props(&[("i", Value::Int(i))])).unwrap()
+                g.create_node(["N"], props(&[("i", Value::Int(i))]))
+                    .unwrap()
             })
             .collect();
         for w in ids.windows(2) {
-            g.create_rel(w[0], w[1], "NEXT", PropertyMap::new()).unwrap();
+            g.create_rel(w[0], w[1], "NEXT", PropertyMap::new())
+                .unwrap();
         }
         let mut seed = Row::new();
         seed.set("a", Value::Node(ids[0]));
@@ -609,8 +645,12 @@ mod tests {
     #[test]
     fn multi_label_pattern_requires_all() {
         let mut g = Graph::new();
-        let both = g.create_node(["HospitalizedPatient", "IcuPatient"], PropertyMap::new()).unwrap();
-        let _only = g.create_node(["HospitalizedPatient"], PropertyMap::new()).unwrap();
+        let both = g
+            .create_node(["HospitalizedPatient", "IcuPatient"], PropertyMap::new())
+            .unwrap();
+        let _only = g
+            .create_node(["HospitalizedPatient"], PropertyMap::new())
+            .unwrap();
         let rows = run_match(
             &g,
             "MATCH (p:HospitalizedPatient:IcuPatient) RETURN 1",

@@ -12,20 +12,32 @@ use std::fmt::Write;
 
 /// Render a query as Cypher text.
 pub fn unparse_query(q: &Query) -> String {
-    q.clauses.iter().map(unparse_clause).collect::<Vec<_>>().join(" ")
+    q.clauses
+        .iter()
+        .map(unparse_clause)
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Render a single clause.
 pub fn unparse_clause(c: &Clause) -> String {
     match c {
-        Clause::Match { optional, patterns, where_clause } => {
+        Clause::Match {
+            optional,
+            patterns,
+            where_clause,
+        } => {
             let mut s = String::new();
             if *optional {
                 s.push_str("OPTIONAL ");
             }
             s.push_str("MATCH ");
             s.push_str(
-                &patterns.iter().map(unparse_pattern).collect::<Vec<_>>().join(", "),
+                &patterns
+                    .iter()
+                    .map(unparse_pattern)
+                    .collect::<Vec<_>>()
+                    .join(", "),
             );
             if let Some(w) = where_clause {
                 write!(s, " WHERE {}", unparse_expr(w)).unwrap();
@@ -40,9 +52,17 @@ pub fn unparse_clause(c: &Clause) -> String {
         Clause::Return(p) => format!("RETURN {}", unparse_projection(p)),
         Clause::Create { patterns } => format!(
             "CREATE {}",
-            patterns.iter().map(unparse_pattern).collect::<Vec<_>>().join(", ")
+            patterns
+                .iter()
+                .map(unparse_pattern)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
-        Clause::Merge { pattern, on_create, on_match } => {
+        Clause::Merge {
+            pattern,
+            on_create,
+            on_match,
+        } => {
             let mut s = format!("MERGE {}", unparse_pattern(pattern));
             if !on_create.is_empty() {
                 write!(s, " ON CREATE SET {}", unparse_set_items(on_create)).unwrap();
@@ -55,7 +75,11 @@ pub fn unparse_clause(c: &Clause) -> String {
         Clause::Delete { detach, exprs } => format!(
             "{}DELETE {}",
             if *detach { "DETACH " } else { "" },
-            exprs.iter().map(unparse_expr).collect::<Vec<_>>().join(", ")
+            exprs
+                .iter()
+                .map(unparse_expr)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         Clause::Set { items } => format!("SET {}", unparse_set_items(items)),
         Clause::Remove { items } => format!(
@@ -69,7 +93,10 @@ pub fn unparse_clause(c: &Clause) -> String {
                     RemoveItem::Labels { var, labels } => format!(
                         "{}{}",
                         ident(var),
-                        labels.iter().map(|l| format!(":{}", ident(l))).collect::<String>()
+                        labels
+                            .iter()
+                            .map(|l| format!(":{}", ident(l)))
+                            .collect::<String>()
                     ),
                 })
                 .collect::<Vec<_>>()
@@ -79,7 +106,10 @@ pub fn unparse_clause(c: &Clause) -> String {
             "FOREACH ({} IN {} | {})",
             ident(var),
             unparse_expr(list),
-            body.iter().map(unparse_clause).collect::<Vec<_>>().join(" ")
+            body.iter()
+                .map(unparse_clause)
+                .collect::<Vec<_>>()
+                .join(" ")
         ),
         Clause::Abort(e) => format!("ABORT {}", unparse_expr(e)),
     }
@@ -106,9 +136,7 @@ fn unparse_projection(p: &Projection) -> String {
         s.push_str(
             &p.order_by
                 .iter()
-                .map(|(e, asc)| {
-                    format!("{}{}", unparse_expr(e), if *asc { "" } else { " DESC" })
-                })
+                .map(|(e, asc)| format!("{}{}", unparse_expr(e), if *asc { "" } else { " DESC" }))
                 .collect::<Vec<_>>()
                 .join(", "),
         );
@@ -130,12 +158,20 @@ fn unparse_set_items(items: &[SetItem]) -> String {
         .iter()
         .map(|i| match i {
             SetItem::Prop { target, key, value } => {
-                format!("{}.{} = {}", unparse_expr(target), ident(key), unparse_expr(value))
+                format!(
+                    "{}.{} = {}",
+                    unparse_expr(target),
+                    ident(key),
+                    unparse_expr(value)
+                )
             }
             SetItem::Labels { var, labels } => format!(
                 "{}{}",
                 ident(var),
-                labels.iter().map(|l| format!(":{}", ident(l))).collect::<String>()
+                labels
+                    .iter()
+                    .map(|l| format!(":{}", ident(l)))
+                    .collect::<String>()
             ),
             SetItem::ReplaceProps { var, value } => {
                 format!("{} = {}", ident(var), unparse_expr(value))
@@ -182,7 +218,11 @@ fn unparse_rel_pattern(r: &RelPattern) -> String {
         write!(
             inner,
             ":{}",
-            r.types.iter().map(|t| ident(t)).collect::<Vec<_>>().join("|")
+            r.types
+                .iter()
+                .map(|t| ident(t))
+                .collect::<Vec<_>>()
+                .join("|")
         )
         .unwrap();
     }
@@ -224,7 +264,11 @@ fn unparse_prop_map(props: &[(String, Expr)]) -> String {
 
 fn ident(name: &str) -> String {
     let plain = !name.is_empty()
-        && name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     if plain {
         name.to_string()
@@ -239,7 +283,11 @@ fn unparse_value(v: &Value) -> String {
         Value::Null => "null".to_string(),
         Value::List(items) => format!(
             "[{}]",
-            items.iter().map(unparse_value).collect::<Vec<_>>().join(", ")
+            items
+                .iter()
+                .map(unparse_value)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         Value::Map(m) => format!(
             "{{{}}}",
@@ -262,7 +310,9 @@ pub fn unparse_expr(e: &Expr) -> String {
         Expr::HasLabel(b, ls) => format!(
             "{}{}",
             unparse_expr(b),
-            ls.iter().map(|l| format!(":{}", ident(l))).collect::<String>()
+            ls.iter()
+                .map(|l| format!(":{}", ident(l)))
+                .collect::<String>()
         ),
         Expr::Unary(op, b) => match op {
             UnaryOp::Not => format!("NOT ({})", unparse_expr(b)),
@@ -292,7 +342,11 @@ pub fn unparse_expr(e: &Expr) -> String {
             };
             format!("({} {} {})", unparse_expr(a), sym, unparse_expr(b))
         }
-        Expr::Func { name, args, distinct } => format!(
+        Expr::Func {
+            name,
+            args,
+            distinct,
+        } => format!(
             "{}({}{})",
             name,
             if *distinct { "DISTINCT " } else { "" },
@@ -301,7 +355,11 @@ pub fn unparse_expr(e: &Expr) -> String {
         Expr::CountStar => "count(*)".to_string(),
         Expr::ListLit(items) => format!(
             "[{}]",
-            items.iter().map(unparse_expr).collect::<Vec<_>>().join(", ")
+            items
+                .iter()
+                .map(unparse_expr)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         Expr::MapLit(entries) => format!("{{{}}}", unparse_prop_map(entries)),
         Expr::Index(b, i) => format!("{}[{}]", unparse_expr(b), unparse_expr(i)),
@@ -311,7 +369,11 @@ pub fn unparse_expr(e: &Expr) -> String {
             f.as_ref().map(|x| unparse_expr(x)).unwrap_or_default(),
             t.as_ref().map(|x| unparse_expr(x)).unwrap_or_default()
         ),
-        Expr::Case { operand, whens, else_ } => {
+        Expr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
             let mut s = String::from("CASE");
             if let Some(o) = operand {
                 write!(s, " {}", unparse_expr(o)).unwrap();
@@ -326,7 +388,11 @@ pub fn unparse_expr(e: &Expr) -> String {
             s
         }
         Expr::ExistsSubquery(patterns, where_) => {
-            let pats = patterns.iter().map(unparse_pattern).collect::<Vec<_>>().join(", ");
+            let pats = patterns
+                .iter()
+                .map(unparse_pattern)
+                .collect::<Vec<_>>()
+                .join(", ");
             match where_ {
                 Some(w) => format!("EXISTS {{ MATCH {} WHERE {} }}", pats, unparse_expr(w)),
                 None => format!("EXISTS {{ MATCH {} }}", pats),
@@ -337,7 +403,12 @@ pub fn unparse_expr(e: &Expr) -> String {
             unparse_expr(b),
             if *negated { "NOT " } else { "" }
         ),
-        Expr::ListComp { var, list, filter, map } => {
+        Expr::ListComp {
+            var,
+            list,
+            filter,
+            map,
+        } => {
             let mut s = format!("[{} IN {}", ident(var), unparse_expr(list));
             if let Some(f) = filter {
                 write!(s, " WHERE {}", unparse_expr(f)).unwrap();
@@ -356,17 +427,28 @@ pub fn unparse_expr(e: &Expr) -> String {
 /// `cNodes` in the paper's Figure 2).
 pub fn rename_vars(q: &Query, renames: &BTreeMap<String, String>) -> Query {
     Query {
-        clauses: q.clauses.iter().map(|c| rename_clause(c, renames)).collect(),
+        clauses: q
+            .clauses
+            .iter()
+            .map(|c| rename_clause(c, renames))
+            .collect(),
     }
 }
 
 fn rn(name: &str, renames: &BTreeMap<String, String>) -> String {
-    renames.get(name).cloned().unwrap_or_else(|| name.to_string())
+    renames
+        .get(name)
+        .cloned()
+        .unwrap_or_else(|| name.to_string())
 }
 
 fn rename_clause(c: &Clause, m: &BTreeMap<String, String>) -> Clause {
     match c {
-        Clause::Match { optional, patterns, where_clause } => Clause::Match {
+        Clause::Match {
+            optional,
+            patterns,
+            where_clause,
+        } => Clause::Match {
             optional: *optional,
             patterns: patterns.iter().map(|p| rename_pattern(p, m)).collect(),
             where_clause: where_clause.as_ref().map(|e| rename_expr(e, m)),
@@ -381,7 +463,11 @@ fn rename_clause(c: &Clause, m: &BTreeMap<String, String>) -> Clause {
         Clause::Create { patterns } => Clause::Create {
             patterns: patterns.iter().map(|p| rename_pattern(p, m)).collect(),
         },
-        Clause::Merge { pattern, on_create, on_match } => Clause::Merge {
+        Clause::Merge {
+            pattern,
+            on_create,
+            on_match,
+        } => Clause::Merge {
             pattern: rename_pattern(pattern, m),
             on_create: on_create.iter().map(|i| rename_set_item(i, m)).collect(),
             on_match: on_match.iter().map(|i| rename_set_item(i, m)).collect(),
@@ -494,7 +580,11 @@ fn rename_node_pattern(n: &NodePattern, m: &BTreeMap<String, String>) -> NodePat
         // Labels may be transition-variable references (e.g. `(pn:NEWNODES)`),
         // so they participate in renaming too.
         labels: n.labels.iter().map(|l| rn(l, m)).collect(),
-        props: n.props.iter().map(|(k, e)| (k.clone(), rename_expr(e, m))).collect(),
+        props: n
+            .props
+            .iter()
+            .map(|(k, e)| (k.clone(), rename_expr(e, m)))
+            .collect(),
     }
 }
 
@@ -510,14 +600,21 @@ fn rename_expr(e: &Expr, m: &BTreeMap<String, String>) -> Expr {
             Box::new(rename_expr(a, m)),
             Box::new(rename_expr(b, m)),
         ),
-        Expr::Func { name, args, distinct } => Expr::Func {
+        Expr::Func {
+            name,
+            args,
+            distinct,
+        } => Expr::Func {
             name: name.clone(),
             args: args.iter().map(|a| rename_expr(a, m)).collect(),
             distinct: *distinct,
         },
         Expr::ListLit(items) => Expr::ListLit(items.iter().map(|i| rename_expr(i, m)).collect()),
         Expr::MapLit(entries) => Expr::MapLit(
-            entries.iter().map(|(k, v)| (k.clone(), rename_expr(v, m))).collect(),
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), rename_expr(v, m)))
+                .collect(),
         ),
         Expr::Index(a, b) => Expr::Index(Box::new(rename_expr(a, m)), Box::new(rename_expr(b, m))),
         Expr::Slice(a, f, t) => Expr::Slice(
@@ -525,7 +622,11 @@ fn rename_expr(e: &Expr, m: &BTreeMap<String, String>) -> Expr {
             f.as_ref().map(|x| Box::new(rename_expr(x, m))),
             t.as_ref().map(|x| Box::new(rename_expr(x, m))),
         ),
-        Expr::Case { operand, whens, else_ } => Expr::Case {
+        Expr::Case {
+            operand,
+            whens,
+            else_,
+        } => Expr::Case {
             operand: operand.as_ref().map(|o| Box::new(rename_expr(o, m))),
             whens: whens
                 .iter()
@@ -538,7 +639,12 @@ fn rename_expr(e: &Expr, m: &BTreeMap<String, String>) -> Expr {
             where_.as_ref().map(|w| Box::new(rename_expr(w, m))),
         ),
         Expr::IsNull(b, n) => Expr::IsNull(Box::new(rename_expr(b, m)), *n),
-        Expr::ListComp { var, list, filter, map } => Expr::ListComp {
+        Expr::ListComp {
+            var,
+            list,
+            filter,
+            map,
+        } => Expr::ListComp {
             var: rn(var, m),
             list: Box::new(rename_expr(list, m)),
             filter: filter.as_ref().map(|f| Box::new(rename_expr(f, m))),
@@ -585,10 +691,9 @@ mod tests {
 
     #[test]
     fn rename_vars_renames_everywhere() {
-        let q = parse_query(
-            "MATCH (pn:NEWNODES)-[:TreatedAt]-(h) WHERE NEW.x > 0 RETURN NEW.name, pn",
-        )
-        .unwrap();
+        let q =
+            parse_query("MATCH (pn:NEWNODES)-[:TreatedAt]-(h) WHERE NEW.x > 0 RETURN NEW.name, pn")
+                .unwrap();
         let renames: BTreeMap<String, String> = [
             ("NEW".to_string(), "cNodes".to_string()),
             ("NEWNODES".to_string(), "cList".to_string()),

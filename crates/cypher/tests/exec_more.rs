@@ -40,14 +40,22 @@ fn min_max_avg_over_mixed() {
     );
     assert_eq!(
         out.rows,
-        vec![vec![Value::Int(1), Value::Int(4), Value::Float(2.5), Value::Int(2)]]
+        vec![vec![
+            Value::Int(1),
+            Value::Int(4),
+            Value::Float(2.5),
+            Value::Int(2)
+        ]]
     );
 }
 
 #[test]
 fn optional_match_chain_preserves_rows() {
     let mut g = Graph::new();
-    run(&mut g, "CREATE (:A {i: 1})-[:R]->(:B {i: 1}) CREATE (:A {i: 2})");
+    run(
+        &mut g,
+        "CREATE (:A {i: 1})-[:R]->(:B {i: 1}) CREATE (:A {i: 2})",
+    );
     let out = run(
         &mut g,
         "MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(b:B) \
@@ -101,7 +109,10 @@ fn foreach_sees_outer_bindings() {
         &mut g,
         "MATCH (h:Hub) FOREACH (i IN range(1, 3) | CREATE (h)-[:SPOKE]->(:Leaf {i: i}))",
     );
-    let out = run(&mut g, "MATCH (:Hub)-[:SPOKE]->(l:Leaf) RETURN count(l) AS n");
+    let out = run(
+        &mut g,
+        "MATCH (:Hub)-[:SPOKE]->(l:Leaf) RETURN count(l) AS n",
+    );
     assert_eq!(out.single(), Some(&Value::Int(3)));
 }
 
@@ -190,7 +201,10 @@ fn set_case_expression() {
         "MATCH (x:G) SET x.grade = CASE WHEN x.score >= 60 THEN 'pass' ELSE 'fail' END",
     );
     let out = run(&mut g, "MATCH (x:G) RETURN x.grade AS g ORDER BY g");
-    assert_eq!(out.rows, vec![vec![Value::str("fail")], vec![Value::str("pass")]]);
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::str("fail")], vec![Value::str("pass")]]
+    );
 }
 
 #[test]
@@ -226,8 +240,13 @@ fn coalesce_head_collect_pipeline() {
 fn abort_does_not_fire_without_rows() {
     let mut g = Graph::new();
     run(&mut g, "MATCH (n:Missing) ABORT 'never'");
-    let err = run_query(&mut g, "CREATE (:X) WITH 1 AS one ABORT 'now'", &Params::new(), 0)
-        .unwrap_err();
+    let err = run_query(
+        &mut g,
+        "CREATE (:X) WITH 1 AS one ABORT 'now'",
+        &Params::new(),
+        0,
+    )
+    .unwrap_err();
     assert_eq!(err, CypherError::Aborted("now".into()));
 }
 
@@ -258,7 +277,10 @@ fn detach_delete_is_idempotent_across_rows() {
 #[test]
 fn skip_limit_expressions() {
     let mut g = Graph::new();
-    let out = run(&mut g, "UNWIND range(1, 10) AS x RETURN x SKIP 2 + 1 LIMIT 2 * 2");
+    let out = run(
+        &mut g,
+        "UNWIND range(1, 10) AS x RETURN x SKIP 2 + 1 LIMIT 2 * 2",
+    );
     assert_eq!(out.rows.len(), 4);
     assert_eq!(out.rows[0], vec![Value::Int(4)]);
 }

@@ -42,7 +42,10 @@ fn create_path_binds_and_connects() {
 fn match_then_create_per_row() {
     let mut graph = g();
     run(&mut graph, "CREATE (:P {i: 1}) CREATE (:P {i: 2})");
-    run(&mut graph, "MATCH (p:P) CREATE (p)-[:HAS]->(:Child {of: p.i})");
+    run(
+        &mut graph,
+        "MATCH (p:P) CREATE (p)-[:HAS]->(:Child {of: p.i})",
+    );
     let out = run(&mut graph, "MATCH (:P)-[:HAS]->(c) RETURN count(c) AS n");
     assert_eq!(out.single(), Some(&Value::Int(2)));
 }
@@ -120,7 +123,10 @@ fn set_plus_eq_merges_map() {
     let mut graph = g();
     run(&mut graph, "CREATE (:T {a: 1, keep: true})");
     run(&mut graph, "MATCH (t:T) SET t += {a: 9, extra: 'y'}");
-    let out = run(&mut graph, "MATCH (t:T) RETURN t.a AS a, t.keep AS k, t.extra AS e");
+    let out = run(
+        &mut graph,
+        "MATCH (t:T) RETURN t.a AS a, t.keep AS k, t.extra AS e",
+    );
     assert_eq!(
         out.rows,
         vec![vec![Value::Int(9), Value::Bool(true), Value::str("y")]]
@@ -174,7 +180,10 @@ fn merge_creates_then_matches() {
         "MERGE (n:Acc {k: 1}) ON CREATE SET n.created2 = true ON MATCH SET n.matched = true",
     );
     assert_eq!(graph.node_count(), 1);
-    let out = run(&mut graph, "MATCH (n:Acc) RETURN n.created AS c, n.matched AS m, n.created2 AS c2");
+    let out = run(
+        &mut graph,
+        "MATCH (n:Acc) RETURN n.created AS c, n.matched AS m, n.created2 AS c2",
+    );
     assert_eq!(
         out.rows,
         vec![vec![Value::Bool(true), Value::Bool(true), Value::Null]]
@@ -189,7 +198,10 @@ fn unwind_and_collect() {
         out.single(),
         Some(&Value::list([Value::Int(3), Value::Int(1), Value::Int(2)]))
     );
-    let out = run(&mut graph, "UNWIND [1, 2, 3] AS x WITH x WHERE x > 1 RETURN count(*) AS n");
+    let out = run(
+        &mut graph,
+        "UNWIND [1, 2, 3] AS x WITH x WHERE x > 1 RETURN count(*) AS n",
+    );
     assert_eq!(out.single(), Some(&Value::Int(2)));
     // UNWIND null produces no rows
     let out = run(&mut graph, "UNWIND null AS x RETURN x");
@@ -199,7 +211,10 @@ fn unwind_and_collect() {
 #[test]
 fn foreach_updates_per_element() {
     let mut graph = g();
-    run(&mut graph, "FOREACH (i IN range(1, 3) | CREATE (:Item {i: i}))");
+    run(
+        &mut graph,
+        "FOREACH (i IN range(1, 3) | CREATE (:Item {i: i}))",
+    );
     let out = run(&mut graph, "MATCH (x:Item) RETURN count(*) AS n");
     assert_eq!(out.single(), Some(&Value::Int(3)));
 }
@@ -207,13 +222,26 @@ fn foreach_updates_per_element() {
 #[test]
 fn order_by_skip_limit_distinct() {
     let mut graph = g();
-    run(&mut graph, "CREATE (:V {x: 3}), (:V {x: 1}), (:V {x: 2}), (:V {x: 1})");
-    let out = run(&mut graph, "MATCH (v:V) RETURN DISTINCT v.x AS x ORDER BY x DESC");
+    run(
+        &mut graph,
+        "CREATE (:V {x: 3}), (:V {x: 1}), (:V {x: 2}), (:V {x: 1})",
+    );
+    let out = run(
+        &mut graph,
+        "MATCH (v:V) RETURN DISTINCT v.x AS x ORDER BY x DESC",
+    );
     assert_eq!(
         out.rows,
-        vec![vec![Value::Int(3)], vec![Value::Int(2)], vec![Value::Int(1)]]
+        vec![
+            vec![Value::Int(3)],
+            vec![Value::Int(2)],
+            vec![Value::Int(1)]
+        ]
     );
-    let out = run(&mut graph, "MATCH (v:V) RETURN DISTINCT v.x AS x ORDER BY x SKIP 1 LIMIT 1");
+    let out = run(
+        &mut graph,
+        "MATCH (v:V) RETURN DISTINCT v.x AS x ORDER BY x SKIP 1 LIMIT 1",
+    );
     assert_eq!(out.rows, vec![vec![Value::Int(2)]]);
 }
 
@@ -308,10 +336,8 @@ fn seeded_execution_binds_transition_vars() {
     let mut graph = g();
     run(&mut graph, "CREATE (:Mutation {name: 'E484K'})");
     let n = graph.nodes_with_label("Mutation")[0];
-    let q = parse_query(
-        "CREATE (:Alert {desc: 'New critical mutation', mutation: NEW.name})",
-    )
-    .unwrap();
+    let q =
+        parse_query("CREATE (:Alert {desc: 'New critical mutation', mutation: NEW.name})").unwrap();
     let mut seed = Row::new();
     seed.set("NEW", Value::Node(n));
     run_ast(&mut graph, &q, vec![seed], &Params::new(), 0).unwrap();
@@ -332,7 +358,10 @@ fn abort_clause_raises_only_with_rows() {
     .unwrap_err();
     assert_eq!(err, CypherError::Aborted("negative beds".into()));
     // no matching rows → no abort
-    run(&mut graph, "MATCH (h:H) WHERE h.beds > 0 ABORT 'unreachable'");
+    run(
+        &mut graph,
+        "MATCH (h:H) WHERE h.beds > 0 ABORT 'unreachable'",
+    );
 }
 
 #[test]
@@ -362,7 +391,10 @@ fn with_star_keeps_bindings() {
 fn labels_and_id_functions() {
     let mut graph = g();
     run(&mut graph, "CREATE (:X:Y {p: 1})");
-    let out = run(&mut graph, "MATCH (n:X) RETURN labels(n) AS ls, id(n) >= 0 AS has_id");
+    let out = run(
+        &mut graph,
+        "MATCH (n:X) RETURN labels(n) AS ls, id(n) >= 0 AS has_id",
+    );
     assert_eq!(
         out.rows,
         vec![vec![
@@ -430,10 +462,7 @@ fn var_length_reachability() {
 fn merge_relationship_pattern() {
     let mut graph = g();
     run(&mut graph, "CREATE (:A {k: 1}) CREATE (:B {k: 2})");
-    run(
-        &mut graph,
-        "MATCH (a:A), (b:B) MERGE (a)-[:LINK]->(b)",
-    );
+    run(&mut graph, "MATCH (a:A), (b:B) MERGE (a)-[:LINK]->(b)");
     assert_eq!(graph.rel_count(), 1);
     // merging again is a no-op
     run(&mut graph, "MATCH (a:A), (b:B) MERGE (a)-[:LINK]->(b)");

@@ -18,22 +18,27 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-                Just(BinOp::Eq), Just(BinOp::Neq), Just(BinOp::Lt),
-                Just(BinOp::And), Just(BinOp::Or),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Neq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b))),
             prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::ListLit),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Expr::Case {
-                    operand: None,
-                    whens: vec![(
-                        Expr::Binary(BinOp::Eq, Box::new(c.clone()), Box::new(c)),
-                        t,
-                    )],
-                    else_: Some(Box::new(e)),
-                }),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Case {
+                operand: None,
+                whens: vec![(Expr::Binary(BinOp::Eq, Box::new(c.clone()), Box::new(c)), t,)],
+                else_: Some(Box::new(e)),
+            }),
         ]
     })
 }

@@ -190,7 +190,9 @@ impl Delta {
         }
         for pa in &later.assigned_node_props {
             if let Some(&i) = created_map.get(&pa.target) {
-                self.created_nodes[i].props.set(pa.key.clone(), pa.new.clone());
+                self.created_nodes[i]
+                    .props
+                    .set(pa.key.clone(), pa.new.clone());
             }
         }
         for pr in &later.removed_node_props {
@@ -207,7 +209,9 @@ impl Delta {
             .collect();
         for pa in &later.assigned_rel_props {
             if let Some(&i) = rcreated_map.get(&pa.target) {
-                self.created_rels[i].props.set(pa.key.clone(), pa.new.clone());
+                self.created_rels[i]
+                    .props
+                    .set(pa.key.clone(), pa.new.clone());
             }
         }
         for pr in &later.removed_rel_props {
@@ -216,31 +220,65 @@ impl Delta {
             }
         }
 
-        self.created_nodes
-            .extend(later.created_nodes.into_iter().filter(|n| !created_before.contains(&n.id)));
-        self.created_rels
-            .extend(later.created_rels.into_iter().filter(|r| !rcreated_before.contains(&r.id)));
-        self.deleted_nodes
-            .extend(later.deleted_nodes.into_iter().filter(|n| !created_before.contains(&n.id)));
-        self.deleted_rels
-            .extend(later.deleted_rels.into_iter().filter(|r| !rcreated_before.contains(&r.id)));
+        self.created_nodes.extend(
+            later
+                .created_nodes
+                .into_iter()
+                .filter(|n| !created_before.contains(&n.id)),
+        );
+        self.created_rels.extend(
+            later
+                .created_rels
+                .into_iter()
+                .filter(|r| !rcreated_before.contains(&r.id)),
+        );
+        self.deleted_nodes.extend(
+            later
+                .deleted_nodes
+                .into_iter()
+                .filter(|n| !created_before.contains(&n.id)),
+        );
+        self.deleted_rels.extend(
+            later
+                .deleted_rels
+                .into_iter()
+                .filter(|r| !rcreated_before.contains(&r.id)),
+        );
         self.assigned_labels.extend(
-            later.assigned_labels.into_iter().filter(|e| !created_before.contains(&e.node)),
+            later
+                .assigned_labels
+                .into_iter()
+                .filter(|e| !created_before.contains(&e.node)),
         );
         self.removed_labels.extend(
-            later.removed_labels.into_iter().filter(|e| !created_before.contains(&e.node)),
+            later
+                .removed_labels
+                .into_iter()
+                .filter(|e| !created_before.contains(&e.node)),
         );
         self.assigned_node_props.extend(
-            later.assigned_node_props.into_iter().filter(|e| !created_before.contains(&e.target)),
+            later
+                .assigned_node_props
+                .into_iter()
+                .filter(|e| !created_before.contains(&e.target)),
         );
         self.removed_node_props.extend(
-            later.removed_node_props.into_iter().filter(|e| !created_before.contains(&e.target)),
+            later
+                .removed_node_props
+                .into_iter()
+                .filter(|e| !created_before.contains(&e.target)),
         );
         self.assigned_rel_props.extend(
-            later.assigned_rel_props.into_iter().filter(|e| !rcreated_before.contains(&e.target)),
+            later
+                .assigned_rel_props
+                .into_iter()
+                .filter(|e| !rcreated_before.contains(&e.target)),
         );
         self.removed_rel_props.extend(
-            later.removed_rel_props.into_iter().filter(|e| !rcreated_before.contains(&e.target)),
+            later
+                .removed_rel_props
+                .into_iter()
+                .filter(|e| !rcreated_before.contains(&e.target)),
         );
     }
 
@@ -248,7 +286,11 @@ impl Delta {
     ///
     /// `final_nodes` resolves the end-of-slice state of created nodes (they
     /// may have been modified after creation); it is fed by the store.
-    pub fn from_ops(ops: &[Op], final_node: impl Fn(NodeId) -> Option<NodeRecord>, final_rel: impl Fn(RelId) -> Option<RelRecord>) -> Delta {
+    pub fn from_ops(
+        ops: &[Op],
+        final_node: impl Fn(NodeId) -> Option<NodeRecord>,
+        final_rel: impl Fn(RelId) -> Option<RelRecord>,
+    ) -> Delta {
         let mut created_nodes: Vec<NodeId> = Vec::new();
         let mut created_in_slice: BTreeSet<NodeId> = BTreeSet::new();
         let mut deleted_nodes: Vec<NodeRecord> = Vec::new();
@@ -306,7 +348,12 @@ impl Delta {
                         e.1 = false;
                     }
                 }
-                Op::SetNodeProp { node, key, old, new } => {
+                Op::SetNodeProp {
+                    node,
+                    key,
+                    old,
+                    new,
+                } => {
                     if !created_in_slice.contains(node) {
                         let e = nprop
                             .entry((*node, key.clone()))
@@ -422,7 +469,9 @@ mod tests {
     fn create_then_delete_cancels() {
         let rec = node_rec(1, &["A"]);
         let ops = vec![
-            Op::CreateNode { record: rec.clone() },
+            Op::CreateNode {
+                record: rec.clone(),
+            },
             Op::DeleteNode { record: rec },
         ];
         let d = Delta::from_ops(&ops, no_node, no_rel);
@@ -437,7 +486,9 @@ mod tests {
         let new = node_rec(2, &["A"]);
         let ops = vec![
             Op::DeleteNode { record: old },
-            Op::CreateNode { record: new.clone() },
+            Op::CreateNode {
+                record: new.clone(),
+            },
         ];
         let d = Delta::from_ops(&ops, |id| (id == NodeId(2)).then(|| new.clone()), no_rel);
         assert_eq!(d.deleted_nodes.len(), 1);
@@ -553,7 +604,9 @@ mod tests {
     fn raw_views_include_created_items() {
         let mut rec = node_rec(1, &["A"]);
         rec.props.set("x", Value::Int(1));
-        let ops = vec![Op::CreateNode { record: rec.clone() }];
+        let ops = vec![Op::CreateNode {
+            record: rec.clone(),
+        }];
         let d = Delta::from_ops(&ops, |_| Some(rec.clone()), no_rel);
         assert!(d.assigned_labels.is_empty());
         assert_eq!(d.raw_assigned_labels().len(), 1);

@@ -25,7 +25,10 @@ pub enum GraphError {
     },
     /// Attempt to store a non-storable value (a node/relationship reference)
     /// as a property.
-    NotStorable { key: String, type_name: &'static str },
+    NotStorable {
+        key: String,
+        type_name: &'static str,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -43,7 +46,10 @@ impl fmt::Display for GraphError {
                 None => write!(f, "write policy forbids {op}"),
             },
             GraphError::NotStorable { key, type_name } => {
-                write!(f, "value of type {type_name} cannot be stored as property '{key}'")
+                write!(
+                    f,
+                    "value of type {type_name} cannot be stored as property '{key}'"
+                )
             }
         }
     }

@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn id_accessors() {
         let n = NodeRecord::new(NodeId(1));
-        assert_eq!(Op::CreateNode { record: n.clone() }.node_id(), Some(NodeId(1)));
+        assert_eq!(
+            Op::CreateNode { record: n.clone() }.node_id(),
+            Some(NodeId(1))
+        );
         assert_eq!(Op::CreateNode { record: n }.rel_id(), None);
         let op = Op::SetRelProp {
             rel: RelId(4),

@@ -130,7 +130,10 @@ impl Graph {
                     if let Some(n) = self.nodes.get_mut(node) {
                         n.labels.insert(label.clone());
                     }
-                    self.label_index.entry(label.clone()).or_default().insert(*node);
+                    self.label_index
+                        .entry(label.clone())
+                        .or_default()
+                        .insert(*node);
                 }
                 Op::SetNodeProp { node, key, old, .. } => {
                     if let Some(n) = self.nodes.get_mut(node) {
@@ -239,7 +242,10 @@ impl Graph {
 
     fn raw_insert_node(&mut self, record: NodeRecord) {
         for l in &record.labels {
-            self.label_index.entry(l.clone()).or_default().insert(record.id);
+            self.label_index
+                .entry(l.clone())
+                .or_default()
+                .insert(record.id);
         }
         self.out_adj.entry(record.id).or_default();
         self.in_adj.entry(record.id).or_default();
@@ -259,7 +265,10 @@ impl Graph {
     }
 
     fn raw_insert_rel(&mut self, record: RelRecord) {
-        self.type_index.entry(record.rel_type.clone()).or_default().insert(record.id);
+        self.type_index
+            .entry(record.rel_type.clone())
+            .or_default()
+            .insert(record.id);
         self.out_adj.entry(record.src).or_default().push(record.id);
         self.in_adj.entry(record.dst).or_default().push(record.id);
         self.rels.insert(record.id, record);
@@ -315,7 +324,11 @@ impl Graph {
     /// `DETACH DELETE`.
     pub fn delete_node(&mut self, id: NodeId) -> Result<()> {
         self.check_write("delete node", Some(id.into()))?;
-        let rec = self.nodes.get(&id).ok_or(GraphError::NodeNotFound(id))?.clone();
+        let rec = self
+            .nodes
+            .get(&id)
+            .ok_or(GraphError::NodeNotFound(id))?
+            .clone();
         let degree = self.out_adj.get(&id).map(|v| v.len()).unwrap_or(0)
             + self.in_adj.get(&id).map(|v| v.len()).unwrap_or(0);
         if degree > 0 {
@@ -387,7 +400,11 @@ impl Graph {
     /// Delete a relationship.
     pub fn delete_rel(&mut self, id: RelId) -> Result<()> {
         self.check_write("delete relationship", Some(id.into()))?;
-        let rec = self.rels.get(&id).ok_or(GraphError::RelNotFound(id))?.clone();
+        let rec = self
+            .rels
+            .get(&id)
+            .ok_or(GraphError::RelNotFound(id))?
+            .clone();
         self.raw_remove_rel(id);
         self.log(Op::DeleteRel { record: rec });
         Ok(())
@@ -398,11 +415,17 @@ impl Graph {
     pub fn set_label(&mut self, node: NodeId, label: impl Into<String>) -> Result<bool> {
         let label = label.into();
         self.check_write("set label", Some(node.into()))?;
-        let rec = self.nodes.get_mut(&node).ok_or(GraphError::NodeNotFound(node))?;
+        let rec = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(GraphError::NodeNotFound(node))?;
         if !rec.labels.insert(label.clone()) {
             return Ok(false);
         }
-        self.label_index.entry(label.clone()).or_default().insert(node);
+        self.label_index
+            .entry(label.clone())
+            .or_default()
+            .insert(node);
         self.log(Op::SetLabel { node, label });
         Ok(true)
     }
@@ -410,7 +433,10 @@ impl Graph {
     /// Remove a label from a node; `false` when it was absent.
     pub fn remove_label(&mut self, node: NodeId, label: &str) -> Result<bool> {
         self.check_write("remove label", Some(node.into()))?;
-        let rec = self.nodes.get_mut(&node).ok_or(GraphError::NodeNotFound(node))?;
+        let rec = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(GraphError::NodeNotFound(node))?;
         if !rec.labels.remove(label) {
             return Ok(false);
         }
@@ -426,7 +452,12 @@ impl Graph {
 
     /// Assign a node property. Assigning `NULL` removes the property, per
     /// Cypher `SET` semantics.
-    pub fn set_node_prop(&mut self, node: NodeId, key: impl Into<String>, value: Value) -> Result<()> {
+    pub fn set_node_prop(
+        &mut self,
+        node: NodeId,
+        key: impl Into<String>,
+        value: Value,
+    ) -> Result<()> {
         let key = key.into();
         self.check_write("set node prop", Some(node.into()))?;
         if !value.is_storable() {
@@ -435,7 +466,10 @@ impl Graph {
                 type_name: value.type_name(),
             });
         }
-        let rec = self.nodes.get_mut(&node).ok_or(GraphError::NodeNotFound(node))?;
+        let rec = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(GraphError::NodeNotFound(node))?;
         if value.is_null() {
             if let Some(old) = rec.props.remove(&key) {
                 self.log(Op::RemoveNodeProp { node, key, old });
@@ -455,7 +489,10 @@ impl Graph {
     /// Remove a node property, returning its old value (if any).
     pub fn remove_node_prop(&mut self, node: NodeId, key: &str) -> Result<Option<Value>> {
         self.check_write("remove node prop", Some(node.into()))?;
-        let rec = self.nodes.get_mut(&node).ok_or(GraphError::NodeNotFound(node))?;
+        let rec = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(GraphError::NodeNotFound(node))?;
         let old = rec.props.remove(key);
         if let Some(old_v) = &old {
             self.log(Op::RemoveNodeProp {
@@ -477,7 +514,10 @@ impl Graph {
                 type_name: value.type_name(),
             });
         }
-        let rec = self.rels.get_mut(&rel).ok_or(GraphError::RelNotFound(rel))?;
+        let rec = self
+            .rels
+            .get_mut(&rel)
+            .ok_or(GraphError::RelNotFound(rel))?;
         if value.is_null() {
             if let Some(old) = rec.props.remove(&key) {
                 self.log(Op::RemoveRelProp { rel, key, old });
@@ -497,7 +537,10 @@ impl Graph {
     /// Remove a relationship property.
     pub fn remove_rel_prop(&mut self, rel: RelId, key: &str) -> Result<Option<Value>> {
         self.check_write("remove rel prop", Some(rel.into()))?;
-        let rec = self.rels.get_mut(&rel).ok_or(GraphError::RelNotFound(rel))?;
+        let rec = self
+            .rels
+            .get_mut(&rel)
+            .ok_or(GraphError::RelNotFound(rel))?;
         let old = rec.props.remove(key);
         if let Some(old_v) = &old {
             self.log(Op::RemoveRelProp {
@@ -579,7 +622,10 @@ impl GraphView for Graph {
     }
 
     fn node_has_label(&self, id: NodeId, label: &str) -> bool {
-        self.nodes.get(&id).map(|n| n.has_label(label)).unwrap_or(false)
+        self.nodes
+            .get(&id)
+            .map(|n| n.has_label(label))
+            .unwrap_or(false)
     }
 
     fn node_prop(&self, id: NodeId, key: &str) -> Option<Value> {
@@ -723,7 +769,9 @@ mod tests {
     #[test]
     fn label_index_tracks_set_and_remove() {
         let mut g = Graph::new();
-        let n = g.create_node(Vec::<String>::new(), PropertyMap::new()).unwrap();
+        let n = g
+            .create_node(Vec::<String>::new(), PropertyMap::new())
+            .unwrap();
         assert!(g.set_label(n, "X").unwrap());
         assert!(!g.set_label(n, "X").unwrap()); // idempotent
         assert_eq!(g.nodes_with_label("X"), vec![n]);
@@ -735,7 +783,9 @@ mod tests {
     #[test]
     fn setting_null_prop_removes() {
         let mut g = Graph::new();
-        let n = g.create_node(["A"], props(&[("x", Value::Int(1))])).unwrap();
+        let n = g
+            .create_node(["A"], props(&[("x", Value::Int(1))]))
+            .unwrap();
         g.set_node_prop(n, "x", Value::Null).unwrap();
         assert_eq!(g.node_prop(n, "x"), None);
     }
@@ -753,7 +803,9 @@ mod tests {
         let mut g = Graph::new();
         g.begin().unwrap();
         let mark = g.mark();
-        let n = g.create_node(["A"], props(&[("x", Value::Int(1))])).unwrap();
+        let n = g
+            .create_node(["A"], props(&[("x", Value::Int(1))]))
+            .unwrap();
         g.set_node_prop(n, "x", Value::Int(2)).unwrap();
         let d = g.delta_since(mark);
         assert_eq!(d.created_nodes.len(), 1);
@@ -768,7 +820,9 @@ mod tests {
     #[test]
     fn rollback_restores_everything() {
         let mut g = Graph::new();
-        let keep = g.create_node(["Keep"], props(&[("x", Value::Int(1))])).unwrap();
+        let keep = g
+            .create_node(["Keep"], props(&[("x", Value::Int(1))]))
+            .unwrap();
         g.begin().unwrap();
         let n = g.create_node(["A"], PropertyMap::new()).unwrap();
         let r = g.create_rel(keep, n, "R", PropertyMap::new()).unwrap();
@@ -788,9 +842,13 @@ mod tests {
     #[test]
     fn rollback_restores_deleted_subgraph() {
         let mut g = Graph::new();
-        let a = g.create_node(["A"], props(&[("k", Value::Int(5))])).unwrap();
+        let a = g
+            .create_node(["A"], props(&[("k", Value::Int(5))]))
+            .unwrap();
         let b = g.create_node(["B"], PropertyMap::new()).unwrap();
-        let r = g.create_rel(a, b, "R", props(&[("w", Value::Int(3))])).unwrap();
+        let r = g
+            .create_rel(a, b, "R", props(&[("w", Value::Int(3))]))
+            .unwrap();
         g.begin().unwrap();
         g.detach_delete_node(a).unwrap();
         assert!(!g.node_exists(a));

@@ -435,10 +435,19 @@ mod tests {
 
     #[test]
     fn numeric_promotion() {
-        assert_eq!(Value::Int(1).add(&Value::Float(0.5)), Some(Value::Float(1.5)));
-        assert_eq!(Value::Float(3.0).mul(&Value::Int(2)), Some(Value::Float(6.0)));
+        assert_eq!(
+            Value::Int(1).add(&Value::Float(0.5)),
+            Some(Value::Float(1.5))
+        );
+        assert_eq!(
+            Value::Float(3.0).mul(&Value::Int(2)),
+            Some(Value::Float(6.0))
+        );
         assert_eq!(Value::Int(7).div(&Value::Int(2)), Some(Value::Int(3)));
-        assert_eq!(Value::Int(7).div(&Value::Float(2.0)), Some(Value::Float(3.5)));
+        assert_eq!(
+            Value::Int(7).div(&Value::Float(2.0)),
+            Some(Value::Float(3.5))
+        );
     }
 
     #[test]
@@ -453,7 +462,10 @@ mod tests {
             Value::str("a").add(&Value::str("b")),
             Some(Value::str("ab"))
         );
-        assert_eq!(Value::str("n=").add(&Value::Int(3)), Some(Value::str("n=3")));
+        assert_eq!(
+            Value::str("n=").add(&Value::Int(3)),
+            Some(Value::str("n=3"))
+        );
     }
 
     #[test]
@@ -539,7 +551,10 @@ mod tests {
 
     #[test]
     fn display_round_trip_shapes() {
-        assert_eq!(Value::list([Value::Int(1), Value::str("a")]).to_string(), "[1, a]");
+        assert_eq!(
+            Value::list([Value::Int(1), Value::str("a")]).to_string(),
+            "[1, a]"
+        );
         assert_eq!(
             Value::map([("k".to_string(), Value::Int(1))]).to_string(),
             "{k: 1}"

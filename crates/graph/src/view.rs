@@ -58,9 +58,7 @@ impl<'g> PreStateView<'g> {
         // Seed with the *current* state of every touched item, then unwind.
         for op in ops {
             if let Some(nid) = op.node_id() {
-                nodes
-                    .entry(nid)
-                    .or_insert_with(|| base.node(nid).cloned());
+                nodes.entry(nid).or_insert_with(|| base.node(nid).cloned());
             }
             if let Some(rid) = op.rel_id() {
                 rels.entry(rid).or_insert_with(|| base.rel(rid).cloned());
@@ -166,7 +164,9 @@ impl GraphView for PreStateView<'_> {
     }
 
     fn node_has_label(&self, id: NodeId, label: &str) -> bool {
-        self.node_rec(id).map(|n| n.has_label(label)).unwrap_or(false)
+        self.node_rec(id)
+            .map(|n| n.has_label(label))
+            .unwrap_or(false)
     }
 
     fn node_prop(&self, id: NodeId, key: &str) -> Option<Value> {
@@ -331,7 +331,10 @@ mod tests {
     #[test]
     fn deleted_node_present_in_pre_state() {
         let (g, ops, n) = run(
-            |g| g.create_node(["A"], props(&[("x", Value::Int(1))])).unwrap(),
+            |g| {
+                g.create_node(["A"], props(&[("x", Value::Int(1))]))
+                    .unwrap()
+            },
             |g, n| {
                 g.detach_delete_node(*n).unwrap();
             },
@@ -346,7 +349,10 @@ mod tests {
     #[test]
     fn prop_changes_unwound() {
         let (g, ops, n) = run(
-            |g| g.create_node(["A"], props(&[("x", Value::Int(1))])).unwrap(),
+            |g| {
+                g.create_node(["A"], props(&[("x", Value::Int(1))]))
+                    .unwrap()
+            },
             |g, n| {
                 g.set_node_prop(*n, "x", Value::Int(2)).unwrap();
                 g.set_node_prop(*n, "y", Value::Int(9)).unwrap();
@@ -407,7 +413,8 @@ mod tests {
             |g| {
                 let a = g.create_node(["A"], PropertyMap::new()).unwrap();
                 let b = g.create_node(["B"], PropertyMap::new()).unwrap();
-                g.create_rel(a, b, "R", props(&[("w", Value::Int(1))])).unwrap()
+                g.create_rel(a, b, "R", props(&[("w", Value::Int(1))]))
+                    .unwrap()
             },
             |g, r| {
                 g.set_rel_prop(*r, "w", Value::Int(5)).unwrap();
@@ -421,7 +428,10 @@ mod tests {
     #[test]
     fn untouched_items_read_through() {
         let (g, ops, a) = run(
-            |g| g.create_node(["Stable"], props(&[("p", Value::Int(7))])).unwrap(),
+            |g| {
+                g.create_node(["Stable"], props(&[("p", Value::Int(7))]))
+                    .unwrap()
+            },
             |g, _| {
                 g.create_node(["Other"], PropertyMap::new()).unwrap();
             },

@@ -28,11 +28,23 @@ enum Step {
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0u8..4, 0u8..3, -5i64..5).prop_map(|(label, prop, val)| Step::CreateNode { label, prop, val }),
+        (0u8..4, 0u8..3, -5i64..5).prop_map(|(label, prop, val)| Step::CreateNode {
+            label,
+            prop,
+            val
+        }),
         (0usize..16).prop_map(|pick| Step::DetachDelete { pick }),
-        (0usize..16, 0usize..16, 0u8..3).prop_map(|(src, dst, ty)| Step::CreateRel { src, dst, ty }),
+        (0usize..16, 0usize..16, 0u8..3).prop_map(|(src, dst, ty)| Step::CreateRel {
+            src,
+            dst,
+            ty
+        }),
         (0usize..16).prop_map(|pick| Step::DeleteRel { pick }),
-        (0usize..16, 0u8..3, -5i64..5).prop_map(|(pick, prop, val)| Step::SetProp { pick, prop, val }),
+        (0usize..16, 0u8..3, -5i64..5).prop_map(|(pick, prop, val)| Step::SetProp {
+            pick,
+            prop,
+            val
+        }),
         (0usize..16, 0u8..3).prop_map(|(pick, prop)| Step::RemoveProp { pick, prop }),
         (0usize..16, 0u8..4).prop_map(|(pick, label)| Step::SetLabel { pick, label }),
         (0usize..16, 0u8..4).prop_map(|(pick, label)| Step::RemoveLabel { pick, label }),
@@ -64,7 +76,8 @@ fn apply(g: &mut Graph, step: &Step) {
             if !nodes.is_empty() {
                 let s = nodes[src % nodes.len()];
                 let d = nodes[dst % nodes.len()];
-                g.create_rel(s, d, format!("T{ty}"), PropertyMap::new()).unwrap();
+                g.create_rel(s, d, format!("T{ty}"), PropertyMap::new())
+                    .unwrap();
             }
         }
         Step::DeleteRel { pick } => {
@@ -75,7 +88,8 @@ fn apply(g: &mut Graph, step: &Step) {
         Step::SetProp { pick, prop, val } => {
             if !nodes.is_empty() {
                 let id = nodes[pick % nodes.len()];
-                g.set_node_prop(id, prop_name(*prop), Value::Int(*val)).unwrap();
+                g.set_node_prop(id, prop_name(*prop), Value::Int(*val))
+                    .unwrap();
             }
         }
         Step::RemoveProp { pick, prop } => {

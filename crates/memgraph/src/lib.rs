@@ -17,8 +17,8 @@ pub mod translate;
 pub mod vars;
 
 pub use system::{
-    parse_memgraph_trigger, CommitPhase, MemgraphDb, MemgraphError, MemgraphTrigger,
-    ObjectFilter, OpFilter,
+    parse_memgraph_trigger, CommitPhase, MemgraphDb, MemgraphError, MemgraphTrigger, ObjectFilter,
+    OpFilter,
 };
 pub use translate::{translate, MemgraphInstall, TranslateError};
 pub use vars::{memgraph_vars, EventClasses, MEMGRAPH_VAR_NAMES};

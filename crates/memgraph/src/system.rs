@@ -159,7 +159,12 @@ pub fn parse_memgraph_trigger(src: &str) -> Result<MemgraphTrigger, MemgraphErro
 
     let body_src = &src[tokens[i].pos..];
     let statement = parse_query_lenient(body_src).map_err(MemgraphError::Cypher)?;
-    Ok(MemgraphTrigger { name, filter, phase, statement })
+    Ok(MemgraphTrigger {
+        name,
+        filter,
+        phase,
+        statement,
+    })
 }
 
 /// A Memgraph database emulation with trigger support.
@@ -276,8 +281,13 @@ impl MemgraphDb {
             .cloned()
             .collect();
         for t in before {
-            match run_ast(&mut self.graph, &t.statement, vec![vars.clone()], &Params::new(), self.now_ms)
-            {
+            match run_ast(
+                &mut self.graph,
+                &t.statement,
+                vec![vars.clone()],
+                &Params::new(),
+                self.now_ms,
+            ) {
                 Ok(_) => self.fired += 1,
                 Err(e) => {
                     let _ = self.graph.rollback();
@@ -312,7 +322,13 @@ impl MemgraphDb {
                 continue;
             };
             self.graph.begin().map_err(CypherError::from)?;
-            match run_ast(&mut self.graph, &t.statement, vec![vars], &Params::new(), self.now_ms) {
+            match run_ast(
+                &mut self.graph,
+                &t.statement,
+                vec![vars],
+                &Params::new(),
+                self.now_ms,
+            ) {
                 Ok(_) => {
                     self.fired += 1;
                     self.graph.commit().map_err(CypherError::from)?;
@@ -376,17 +392,19 @@ mod tests {
         assert_eq!(t.filter, Some((ObjectFilter::Edge, OpFilter::Delete)));
         assert_eq!(t.phase, CommitPhase::Before);
 
-        let t = parse_memgraph_trigger(
-            "CREATE TRIGGER t ON UPDATE AFTER COMMIT EXECUTE CREATE (:Log)",
-        )
-        .unwrap();
+        let t =
+            parse_memgraph_trigger("CREATE TRIGGER t ON UPDATE AFTER COMMIT EXECUTE CREATE (:Log)")
+                .unwrap();
         assert_eq!(t.filter, Some((ObjectFilter::Any, OpFilter::Update)));
 
-        let t = parse_memgraph_trigger("CREATE TRIGGER t AFTER COMMIT EXECUTE CREATE (:Log)")
-            .unwrap();
+        let t =
+            parse_memgraph_trigger("CREATE TRIGGER t AFTER COMMIT EXECUTE CREATE (:Log)").unwrap();
         assert_eq!(t.filter, None);
 
-        assert!(parse_memgraph_trigger("CREATE TRIGGER t ON () FROB AFTER COMMIT EXECUTE RETURN 1").is_err());
+        assert!(parse_memgraph_trigger(
+            "CREATE TRIGGER t ON () FROB AFTER COMMIT EXECUTE RETURN 1"
+        )
+        .is_err());
         assert!(parse_memgraph_trigger("DROP TRIGGER t").is_err());
     }
 
@@ -402,7 +420,8 @@ mod tests {
              CREATE (:Alert {mutation: newNode.name})",
         )
         .unwrap();
-        db.run_tx(&["CREATE (:Mutation {name: 'D614G'}), (:Other)"]).unwrap();
+        db.run_tx(&["CREATE (:Mutation {name: 'D614G'}), (:Other)"])
+            .unwrap();
         let out = db.query("MATCH (a:Alert) RETURN a.mutation AS m").unwrap();
         assert_eq!(out.rows, vec![vec![Value::str("D614G")]]);
     }
@@ -423,14 +442,10 @@ mod tests {
     #[test]
     fn event_filters_select_triggers() {
         let mut db = MemgraphDb::new();
-        db.create_trigger(
-            "CREATE TRIGGER onv ON () CREATE AFTER COMMIT EXECUTE CREATE (:VLog)",
-        )
-        .unwrap();
-        db.create_trigger(
-            "CREATE TRIGGER one ON --> CREATE AFTER COMMIT EXECUTE CREATE (:ELog)",
-        )
-        .unwrap();
+        db.create_trigger("CREATE TRIGGER onv ON () CREATE AFTER COMMIT EXECUTE CREATE (:VLog)")
+            .unwrap();
+        db.create_trigger("CREATE TRIGGER one ON --> CREATE AFTER COMMIT EXECUTE CREATE (:ELog)")
+            .unwrap();
         db.run_tx(&["CREATE (:P)"]).unwrap();
         assert_eq!(count(&mut db, "VLog"), 1);
         assert_eq!(count(&mut db, "ELog"), 0);
@@ -472,9 +487,11 @@ mod tests {
              CREATE (:Alert {was: pe.old_value, now: pe.value})",
         )
         .unwrap();
-        db.run_tx(&["CREATE (:Lineage {whoDesignation: 'Indian'})"]).unwrap();
+        db.run_tx(&["CREATE (:Lineage {whoDesignation: 'Indian'})"])
+            .unwrap();
         // creation counts as vertex update too (raw props), 1 alert
-        db.run_tx(&["MATCH (l:Lineage) SET l.whoDesignation = 'Delta'"]).unwrap();
+        db.run_tx(&["MATCH (l:Lineage) SET l.whoDesignation = 'Delta'"])
+            .unwrap();
         let out = db
             .query("MATCH (a:Alert) RETURN a.was AS w, a.now AS n ORDER BY w")
             .unwrap();
@@ -491,12 +508,16 @@ mod tests {
     #[test]
     fn duplicate_and_unknown_triggers() {
         let mut db = MemgraphDb::new();
-        db.create_trigger("CREATE TRIGGER t AFTER COMMIT EXECUTE CREATE (:X)").unwrap();
+        db.create_trigger("CREATE TRIGGER t AFTER COMMIT EXECUTE CREATE (:X)")
+            .unwrap();
         assert!(matches!(
             db.create_trigger("CREATE TRIGGER t AFTER COMMIT EXECUTE CREATE (:X)"),
             Err(MemgraphError::DuplicateTrigger(_))
         ));
         db.drop_trigger("t").unwrap();
-        assert!(matches!(db.drop_trigger("t"), Err(MemgraphError::UnknownTrigger(_))));
+        assert!(matches!(
+            db.drop_trigger("t"),
+            Err(MemgraphError::UnknownTrigger(_))
+        ));
     }
 }

@@ -282,10 +282,12 @@ pub fn translate(spec: &TriggerSpec) -> Result<MemgraphInstall, TranslateError> 
         plan.renames.clear();
         match spec.event {
             EventType::Create | EventType::Set => {
-                plan.renames.insert(spec.var_name(new_set), list_var.clone());
+                plan.renames
+                    .insert(spec.var_name(new_set), list_var.clone());
             }
             EventType::Delete | EventType::Remove => {
-                plan.renames.insert(spec.var_name(old_set), list_var.clone());
+                plan.renames
+                    .insert(spec.var_name(old_set), list_var.clone());
             }
         }
         plan.item_var = list_var;
@@ -306,7 +308,11 @@ pub fn translate(spec: &TriggerSpec) -> Result<MemgraphInstall, TranslateError> 
                 );
             }
             clauses => {
-                pipeline = clauses.iter().map(unparse_clause).collect::<Vec<_>>().join(" ");
+                pipeline = clauses
+                    .iter()
+                    .map(unparse_clause)
+                    .collect::<Vec<_>>()
+                    .join(" ");
             }
         }
     }
@@ -321,7 +327,11 @@ pub fn translate(spec: &TriggerSpec) -> Result<MemgraphInstall, TranslateError> 
         "{prefix}{pipe} WITH *, CASE WHEN {check} THEN {item} END AS flag \
          WHERE flag IS NOT NULL {stmt}",
         prefix = plan.prefix,
-        pipe = if pipeline.is_empty() { String::new() } else { format!(" {pipeline}") },
+        pipe = if pipeline.is_empty() {
+            String::new()
+        } else {
+            format!(" {pipeline}")
+        },
         check = unparse_expr(&check),
         item = plan.item_var,
         stmt = stmt_text,
@@ -349,7 +359,12 @@ pub fn translate(spec: &TriggerSpec) -> Result<MemgraphInstall, TranslateError> 
         "CREATE TRIGGER {name} {on_clause} {phase_s} EXECUTE {exec}",
         name = spec.name,
     );
-    Ok(MemgraphInstall { name: spec.name.clone(), ddl, phase, warnings })
+    Ok(MemgraphInstall {
+        name: spec.name.clone(),
+        ddl,
+        phase,
+        warnings,
+    })
 }
 
 #[cfg(test)]
@@ -372,8 +387,18 @@ mod tests {
              BEGIN CREATE (:Alert{mutation: NEW.name}) END",
         );
         let out = translate(&t).unwrap();
-        assert!(out.ddl.starts_with("CREATE TRIGGER NewCriticalMutation ON () CREATE AFTER COMMIT EXECUTE"), "{}", out.ddl);
-        assert!(out.ddl.contains("UNWIND createdVertices AS newNode"), "{}", out.ddl);
+        assert!(
+            out.ddl.starts_with(
+                "CREATE TRIGGER NewCriticalMutation ON () CREATE AFTER COMMIT EXECUTE"
+            ),
+            "{}",
+            out.ddl
+        );
+        assert!(
+            out.ddl.contains("UNWIND createdVertices AS newNode"),
+            "{}",
+            out.ddl
+        );
         assert!(out.ddl.contains("CASE WHEN"), "{}", out.ddl);
         assert!(out.ddl.contains("flag IS NOT NULL"), "{}", out.ddl);
         assert!(out.ddl.contains("newNode.name"), "{}", out.ddl);
@@ -392,13 +417,28 @@ mod tests {
             ("AFTER SET ON 'L' FOR EACH NODE", "setVertexLabels"),
             ("AFTER REMOVE ON 'L' FOR EACH NODE", "removedVertexLabels"),
             ("AFTER SET ON 'L'.'p' FOR EACH NODE", "setVertexProperties"),
-            ("AFTER REMOVE ON 'L'.'p' FOR EACH NODE", "removedVertexProperties"),
-            ("AFTER SET ON 'L'.'p' FOR EACH RELATIONSHIP", "setEdgeProperties"),
-            ("AFTER REMOVE ON 'L'.'p' FOR EACH RELATIONSHIP", "removedEdgeProperties"),
+            (
+                "AFTER REMOVE ON 'L'.'p' FOR EACH NODE",
+                "removedVertexProperties",
+            ),
+            (
+                "AFTER SET ON 'L'.'p' FOR EACH RELATIONSHIP",
+                "setEdgeProperties",
+            ),
+            (
+                "AFTER REMOVE ON 'L'.'p' FOR EACH RELATIONSHIP",
+                "removedEdgeProperties",
+            ),
             ("AFTER CREATE ON 'L' FOR ALL NODES", "collect(newNode)"),
             ("AFTER DELETE ON 'L' FOR ALL NODES", "collect(oldNode)"),
-            ("AFTER CREATE ON 'L' FOR ALL RELATIONSHIPS", "collect(newEdge)"),
-            ("AFTER DELETE ON 'L' FOR ALL RELATIONSHIPS", "collect(oldEdge)"),
+            (
+                "AFTER CREATE ON 'L' FOR ALL RELATIONSHIPS",
+                "collect(newEdge)",
+            ),
+            (
+                "AFTER DELETE ON 'L' FOR ALL RELATIONSHIPS",
+                "collect(oldEdge)",
+            ),
             ("AFTER SET ON 'L' FOR ALL NODES", "collect(newNode)"),
         ];
         for (middle, expect) in cases {

@@ -39,17 +39,27 @@ pub const MEMGRAPH_VAR_NAMES: [&str; 15] = [
 ];
 
 fn event(entries: Vec<(&str, Value)>) -> Value {
-    Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 /// Build the seed row binding every Table 4 variable.
 pub fn memgraph_vars(delta: &Delta) -> Row {
-    let created_vertices: Vec<Value> =
-        delta.created_nodes.iter().map(|n| Value::Node(n.id)).collect();
-    let created_edges: Vec<Value> =
-        delta.created_rels.iter().map(|r| Value::Rel(r.id)).collect();
-    let deleted_vertices: Vec<Value> =
-        delta.deleted_nodes.iter().map(|n| n.to_value()).collect();
+    let created_vertices: Vec<Value> = delta
+        .created_nodes
+        .iter()
+        .map(|n| Value::Node(n.id))
+        .collect();
+    let created_edges: Vec<Value> = delta
+        .created_rels
+        .iter()
+        .map(|r| Value::Rel(r.id))
+        .collect();
+    let deleted_vertices: Vec<Value> = delta.deleted_nodes.iter().map(|n| n.to_value()).collect();
     let deleted_edges: Vec<Value> = delta.deleted_rels.iter().map(|r| r.to_value()).collect();
 
     let mut created_objects: Vec<Value> = Vec::new();
@@ -107,7 +117,10 @@ pub fn memgraph_vars(delta: &Delta) -> Row {
     // label groups: label -> vertices
     let mut set_label_groups: BTreeMap<String, Vec<Value>> = BTreeMap::new();
     for ev in delta.raw_assigned_labels() {
-        set_label_groups.entry(ev.label.clone()).or_default().push(Value::Node(ev.node));
+        set_label_groups
+            .entry(ev.label.clone())
+            .or_default()
+            .push(Value::Node(ev.node));
         updated_vertices.push(event(vec![
             ("event_type", Value::str("set_vertex_label")),
             ("vertex", Value::Node(ev.node)),
@@ -129,13 +142,19 @@ pub fn memgraph_vars(delta: &Delta) -> Row {
     let set_vertex_labels: Vec<Value> = set_label_groups
         .into_iter()
         .map(|(l, vs)| {
-            event(vec![("label", Value::str(l)), ("vertices", Value::List(vs))])
+            event(vec![
+                ("label", Value::str(l)),
+                ("vertices", Value::List(vs)),
+            ])
         })
         .collect();
     let removed_vertex_labels: Vec<Value> = removed_label_groups
         .into_iter()
         .map(|(l, vs)| {
-            event(vec![("label", Value::str(l)), ("vertices", Value::List(vs))])
+            event(vec![
+                ("label", Value::str(l)),
+                ("vertices", Value::List(vs)),
+            ])
         })
         .collect();
 

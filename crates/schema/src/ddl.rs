@@ -80,13 +80,17 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                     Tok::Amp // treated like '&' followed by a supertype name
                 } else {
-                    return Err(SchemaError::Parse(format!("unexpected '<' at {}", self.pos)));
+                    return Err(SchemaError::Parse(format!(
+                        "unexpected '<' at {}",
+                        self.pos
+                    )));
                 }
             }
             c if c.is_ascii_alphanumeric() || c == '_' => {
                 let start = self.pos - 1;
                 while self.pos < bytes.len()
-                    && ((bytes[self.pos] as char).is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+                    && ((bytes[self.pos] as char).is_ascii_alphanumeric()
+                        || bytes[self.pos] == b'_')
                 {
                     self.pos += 1;
                 }
@@ -139,14 +143,19 @@ impl Parser {
             self.pos += 1;
             Ok(())
         } else {
-            Err(SchemaError::Parse(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(SchemaError::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn expect_word(&mut self) -> Result<String, SchemaError> {
         match self.bump() {
             Tok::Word(w) => Ok(w),
-            other => Err(SchemaError::Parse(format!("expected a name, found {other:?}"))),
+            other => Err(SchemaError::Parse(format!(
+                "expected a name, found {other:?}"
+            ))),
         }
     }
 
@@ -185,11 +194,18 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
     let strict = if p.eat_keyword("STRICT") {
         true
     } else {
-        !p.eat_keyword("LOOSE") && false
+        // LOOSE is the default; consume the keyword if present
+        p.eat_keyword("LOOSE");
+        false
     };
     p.expect(Tok::LBrace)?;
 
-    let mut gt = GraphType { name, strict, node_types: Vec::new(), edge_types: Vec::new() };
+    let mut gt = GraphType {
+        name,
+        strict,
+        node_types: Vec::new(),
+        edge_types: Vec::new(),
+    };
     // First pass collects raw elements; node-type references inside specs
     // are resolved by name against the declared node-type set afterwards.
     struct RawNode {
@@ -222,7 +238,13 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
             p.expect(Tok::Colon)?;
             let dst_type = p.expect_word()?;
             p.expect(Tok::RParen)?;
-            gt.edge_types.push(EdgeTypeDef { name: ename, label, src_type, dst_type, props });
+            gt.edge_types.push(EdgeTypeDef {
+                name: ename,
+                label,
+                src_type,
+                dst_type,
+                props,
+            });
         } else {
             // Node type: (Name: spec (& spec)* [OPEN] [{props}])
             let tname = p.expect_word()?;
@@ -245,7 +267,12 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
                 open = true;
             }
             p.expect(Tok::RParen)?;
-            raw_nodes.push(RawNode { name: tname, specs, open, props });
+            raw_nodes.push(RawNode {
+                name: tname,
+                specs,
+                open,
+                props,
+            });
         }
         if !p.eat(&Tok::Comma) {
             break;
@@ -292,7 +319,12 @@ fn parse_props(p: &mut Parser) -> Result<Vec<PropDef>, SchemaError> {
             let prop_type = PropType::parse(&tword)
                 .ok_or_else(|| SchemaError::Parse(format!("unknown property type '{tword}'")))?;
             let key = p.eat_keyword("KEY");
-            out.push(PropDef { name, prop_type, required, key });
+            out.push(PropDef {
+                name,
+                prop_type,
+                required,
+                key,
+            });
             if !p.eat(&Tok::Comma) {
                 break;
             }
@@ -308,10 +340,7 @@ mod tests {
 
     #[test]
     fn parse_minimal_graph_type() {
-        let gt = parse_graph_type(
-            "CREATE GRAPH TYPE G STRICT { (AType: A {x STRING}) }",
-        )
-        .unwrap();
+        let gt = parse_graph_type("CREATE GRAPH TYPE G STRICT { (AType: A {x STRING}) }").unwrap();
         assert_eq!(gt.name, "G");
         assert!(gt.strict);
         assert_eq!(gt.node_types.len(), 1);
@@ -373,10 +402,9 @@ mod tests {
     fn parse_errors() {
         assert!(parse_graph_type("CREATE GRAPH G {}").is_err());
         assert!(parse_graph_type("CREATE GRAPH TYPE G STRICT { (A) }").is_err());
-        assert!(parse_graph_type(
-            "CREATE GRAPH TYPE G STRICT { (AType: A {x NOTATYPE}) }"
-        )
-        .is_err());
+        assert!(
+            parse_graph_type("CREATE GRAPH TYPE G STRICT { (AType: A {x NOTATYPE}) }").is_err()
+        );
         // unknown endpoint type caught by check()
         assert!(matches!(
             parse_graph_type(

@@ -32,9 +32,7 @@ impl PropType {
             (PropType::Bool, Value::Bool(_)) => true,
             (PropType::Date, Value::Date(_)) => true,
             (PropType::DateTime, Value::DateTime(_)) => true,
-            (PropType::Array(inner), Value::List(items)) => {
-                items.iter().all(|i| inner.accepts(i))
-            }
+            (PropType::Array(inner), Value::List(items)) => items.iter().all(|i| inner.accepts(i)),
             (PropType::Any, _) => true,
             _ => false,
         }
@@ -137,7 +135,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "type '{t}' inherits from unknown type '{supertype}'")
             }
             SchemaError::UnknownEndpointType { edge, endpoint } => {
-                write!(f, "edge type '{edge}' references unknown node type '{endpoint}'")
+                write!(
+                    f,
+                    "edge type '{edge}' references unknown node type '{endpoint}'"
+                )
             }
             SchemaError::CyclicInheritance(t) => write!(f, "cyclic inheritance through '{t}'"),
             SchemaError::Parse(msg) => write!(f, "schema parse error: {msg}"),
@@ -239,7 +240,12 @@ impl GraphType {
     pub fn full_props(&self, type_name: &str) -> Vec<PropDef> {
         let mut by_name: BTreeMap<String, PropDef> = BTreeMap::new();
         // collect supertype props first so own decls overwrite
-        fn collect(gt: &GraphType, name: &str, by_name: &mut BTreeMap<String, PropDef>, depth: usize) {
+        fn collect(
+            gt: &GraphType,
+            name: &str,
+            by_name: &mut BTreeMap<String, PropDef>,
+            depth: usize,
+        ) {
             if depth > 64 {
                 return; // cycle guard; `check` reports cycles properly
             }
@@ -276,7 +282,12 @@ mod tests {
     use super::*;
 
     fn prop(name: &str, t: PropType) -> PropDef {
-        PropDef { name: name.into(), prop_type: t, required: true, key: false }
+        PropDef {
+            name: name.into(),
+            prop_type: t,
+            required: true,
+            key: false,
+        }
     }
 
     fn patient_hierarchy() -> GraphType {
@@ -328,8 +339,7 @@ mod tests {
         assert!(PropType::Float.accepts(&Value::Int(1)));
         assert!(PropType::Array(Box::new(PropType::String))
             .accepts(&Value::list([Value::str("diabetes")])));
-        assert!(!PropType::Array(Box::new(PropType::String))
-            .accepts(&Value::list([Value::Int(1)])));
+        assert!(!PropType::Array(Box::new(PropType::String)).accepts(&Value::list([Value::Int(1)])));
         assert!(PropType::Any.accepts(&Value::Bool(true)));
     }
 
@@ -364,7 +374,10 @@ mod tests {
     fn check_rejects_unknown_supertype_and_duplicates() {
         let mut gt = patient_hierarchy();
         gt.node_types[1].supertypes = vec!["Ghost".into()];
-        assert!(matches!(gt.check(), Err(SchemaError::UnknownSupertype { .. })));
+        assert!(matches!(
+            gt.check(),
+            Err(SchemaError::UnknownSupertype { .. })
+        ));
 
         let mut gt = patient_hierarchy();
         gt.node_types.push(gt.node_types[0].clone());
@@ -388,6 +401,9 @@ mod tests {
             dst_type: "Nope".into(),
             props: vec![],
         });
-        assert!(matches!(gt.check(), Err(SchemaError::UnknownEndpointType { .. })));
+        assert!(matches!(
+            gt.check(),
+            Err(SchemaError::UnknownEndpointType { .. })
+        ));
     }
 }

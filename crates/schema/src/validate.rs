@@ -13,7 +13,11 @@ pub enum Violation {
     /// Node labels match more than one declared type (ambiguous in STRICT).
     AmbiguousNode { node: NodeId, types: Vec<String> },
     /// A required property is missing.
-    MissingProp { node: NodeId, type_name: String, prop: String },
+    MissingProp {
+        node: NodeId,
+        type_name: String,
+        prop: String,
+    },
     /// A property value has the wrong type.
     WrongPropType {
         node: NodeId,
@@ -22,7 +26,11 @@ pub enum Violation {
         got: &'static str,
     },
     /// A closed type carries an undeclared property.
-    UndeclaredProp { node: NodeId, type_name: String, prop: String },
+    UndeclaredProp {
+        node: NodeId,
+        type_name: String,
+        prop: String,
+    },
     /// Two nodes of the same type share a key (PG-Keys).
     DuplicateKey {
         type_name: String,
@@ -34,7 +42,11 @@ pub enum Violation {
     /// Relationship endpoints don't conform to the edge type's signature.
     BadEndpoints { rel: RelId, edge_type: String },
     /// Edge property issues.
-    RelMissingProp { rel: RelId, edge_type: String, prop: String },
+    RelMissingProp {
+        rel: RelId,
+        edge_type: String,
+        prop: String,
+    },
     RelWrongPropType {
         rel: RelId,
         prop: String,
@@ -47,34 +59,88 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::UntypedNode { node, labels } => {
-                write!(f, "node {node} with labels {labels:?} matches no declared type")
+                write!(
+                    f,
+                    "node {node} with labels {labels:?} matches no declared type"
+                )
             }
             Violation::AmbiguousNode { node, types } => {
                 write!(f, "node {node} matches multiple types {types:?}")
             }
-            Violation::MissingProp { node, type_name, prop } => {
-                write!(f, "node {node} ({type_name}) misses required property '{prop}'")
+            Violation::MissingProp {
+                node,
+                type_name,
+                prop,
+            } => {
+                write!(
+                    f,
+                    "node {node} ({type_name}) misses required property '{prop}'"
+                )
             }
-            Violation::WrongPropType { node, prop, expected, got } => {
-                write!(f, "node {node} property '{prop}': expected {expected}, got {got}")
+            Violation::WrongPropType {
+                node,
+                prop,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "node {node} property '{prop}': expected {expected}, got {got}"
+                )
             }
-            Violation::UndeclaredProp { node, type_name, prop } => {
-                write!(f, "node {node} ({type_name}, closed) has undeclared property '{prop}'")
+            Violation::UndeclaredProp {
+                node,
+                type_name,
+                prop,
+            } => {
+                write!(
+                    f,
+                    "node {node} ({type_name}, closed) has undeclared property '{prop}'"
+                )
             }
-            Violation::DuplicateKey { type_name, key, nodes } => {
-                write!(f, "duplicate key {key:?} on {type_name}: {} and {}", nodes.0, nodes.1)
+            Violation::DuplicateKey {
+                type_name,
+                key,
+                nodes,
+            } => {
+                write!(
+                    f,
+                    "duplicate key {key:?} on {type_name}: {} and {}",
+                    nodes.0, nodes.1
+                )
             }
             Violation::UntypedRel { rel, rel_type } => {
-                write!(f, "relationship {rel} of type '{rel_type}' matches no edge type")
+                write!(
+                    f,
+                    "relationship {rel} of type '{rel_type}' matches no edge type"
+                )
             }
             Violation::BadEndpoints { rel, edge_type } => {
-                write!(f, "relationship {rel} violates the endpoint signature of {edge_type}")
+                write!(
+                    f,
+                    "relationship {rel} violates the endpoint signature of {edge_type}"
+                )
             }
-            Violation::RelMissingProp { rel, edge_type, prop } => {
-                write!(f, "relationship {rel} ({edge_type}) misses required property '{prop}'")
+            Violation::RelMissingProp {
+                rel,
+                edge_type,
+                prop,
+            } => {
+                write!(
+                    f,
+                    "relationship {rel} ({edge_type}) misses required property '{prop}'"
+                )
             }
-            Violation::RelWrongPropType { rel, prop, expected, got } => {
-                write!(f, "relationship {rel} property '{prop}': expected {expected}, got {got}")
+            Violation::RelWrongPropType {
+                rel,
+                prop,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relationship {rel} property '{prop}': expected {expected}, got {got}"
+                )
             }
         }
     }
@@ -114,7 +180,10 @@ pub fn validate_graph(graph: &Graph, gt: &GraphType) -> Vec<Violation> {
             }
             1 => {}
             _ => {
-                out.push(Violation::AmbiguousNode { node: id, types: candidates.clone() });
+                out.push(Violation::AmbiguousNode {
+                    node: id,
+                    types: candidates.clone(),
+                });
                 continue;
             }
         }
@@ -185,7 +254,10 @@ pub fn validate_graph(graph: &Graph, gt: &GraphType) -> Vec<Violation> {
             .collect();
         if candidates.is_empty() {
             if gt.strict {
-                out.push(Violation::UntypedRel { rel: rid, rel_type: rec.rel_type.clone() });
+                out.push(Violation::UntypedRel {
+                    rel: rid,
+                    rel_type: rec.rel_type.clone(),
+                });
             }
             continue;
         }
@@ -215,14 +287,12 @@ pub fn validate_graph(graph: &Graph, gt: &GraphType) -> Vec<Violation> {
                         edge_type: e.name.clone(),
                         prop: p.name.clone(),
                     }),
-                    Some(v) if !p.prop_type.accepts(v) => {
-                        out.push(Violation::RelWrongPropType {
-                            rel: rid,
-                            prop: p.name.clone(),
-                            expected: p.prop_type.clone(),
-                            got: v.type_name(),
-                        })
-                    }
+                    Some(v) if !p.prop_type.accepts(v) => out.push(Violation::RelWrongPropType {
+                        rel: rid,
+                        prop: p.name.clone(),
+                        expected: p.prop_type.clone(),
+                        got: v.type_name(),
+                    }),
                     _ => {}
                 }
             }
@@ -278,7 +348,10 @@ mod tests {
     }
 
     fn props(entries: &[(&str, Value)]) -> PropertyMap {
-        entries.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn valid_patient(g: &mut Graph, ssn: &str) -> NodeId {
@@ -310,7 +383,8 @@ mod tests {
                 props(&[("name", Value::str("Sacco")), ("icuBeds", Value::Int(50))]),
             )
             .unwrap();
-        g.create_rel(hp, h, "TreatedAt", PropertyMap::new()).unwrap();
+        g.create_rel(hp, h, "TreatedAt", PropertyMap::new())
+            .unwrap();
         assert_eq!(validate_graph(&g, &gt), vec![]);
     }
 
@@ -327,10 +401,15 @@ mod tests {
     fn missing_and_wrong_props_flagged() {
         let gt = schema();
         let mut g = Graph::new();
-        g.create_node(["Patient"], props(&[("ssn", Value::Int(1))])).unwrap();
+        g.create_node(["Patient"], props(&[("ssn", Value::Int(1))]))
+            .unwrap();
         let v = validate_graph(&g, &gt);
-        assert!(v.iter().any(|x| matches!(x, Violation::MissingProp { prop, .. } if prop == "name")));
-        assert!(v.iter().any(|x| matches!(x, Violation::WrongPropType { prop, .. } if prop == "ssn")));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MissingProp { prop, .. } if prop == "name")));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::WrongPropType { prop, .. } if prop == "ssn")));
     }
 
     #[test]
@@ -347,7 +426,9 @@ mod tests {
         )
         .unwrap();
         let v = validate_graph(&g, &gt);
-        assert!(v.iter().any(|x| matches!(x, Violation::UndeclaredProp { prop, .. } if prop == "surprise")));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::UndeclaredProp { prop, .. } if prop == "surprise")));
 
         // Alert is OPEN: arbitrary properties allowed (paper §6.2).
         let mut g = Graph::new();
@@ -420,13 +501,23 @@ mod tests {
                 props(&[("name", Value::str("B")), ("icuBeds", Value::Int(1))]),
             )
             .unwrap();
-        g.create_rel(h1, h2, "ConnectedTo", props(&[("distance", Value::str("far"))]))
+        g.create_rel(
+            h1,
+            h2,
+            "ConnectedTo",
+            props(&[("distance", Value::str("far"))]),
+        )
+        .unwrap();
+        let v = validate_graph(&g, &gt);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::RelWrongPropType { .. })));
+        g.create_rel(h1, h2, "ConnectedTo", PropertyMap::new())
             .unwrap();
         let v = validate_graph(&g, &gt);
-        assert!(v.iter().any(|x| matches!(x, Violation::RelWrongPropType { .. })));
-        g.create_rel(h1, h2, "ConnectedTo", PropertyMap::new()).unwrap();
-        let v = validate_graph(&g, &gt);
-        assert!(v.iter().any(|x| matches!(x, Violation::RelMissingProp { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::RelMissingProp { .. })));
     }
 
     #[test]
@@ -450,7 +541,8 @@ mod tests {
             )
             .unwrap();
         let h = g.create_node(["Hospital"], PropertyMap::new()).unwrap();
-        g.create_rel(hp, h, "TreatedAt", PropertyMap::new()).unwrap();
+        g.create_rel(hp, h, "TreatedAt", PropertyMap::new())
+            .unwrap();
         assert_eq!(validate_graph(&g, &gt), vec![]);
     }
 }

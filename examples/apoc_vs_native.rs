@@ -53,7 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for w in &install.warnings {
             println!("  warning: {w}");
         }
-        apoc.install("neo4j", &install.name, &install.statement, install.phase.name())?;
+        apoc.install(
+            "neo4j",
+            &install.name,
+            &install.statement,
+            install.phase.name(),
+        )?;
     }
     apoc.run_tx(&[SETUP])?;
     apoc.run_tx(&[EVENT])?;
@@ -74,9 +79,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n--- outcome comparison (the §5.1 cascading gap) ---");
     println!("{:<22} {:>7} {:>12}", "engine", "alerts", "escalations");
-    println!("{:<22} {:>7} {:>12}", "native PG-Triggers", native_alerts, native_escalations);
-    println!("{:<22} {:>7} {:>12}", "APOC emulation", apoc_alerts, apoc_escalations);
-    println!("{:<22} {:>7} {:>12}", "Memgraph emulation", mg_alerts, mg_escalations);
+    println!(
+        "{:<22} {:>7} {:>12}",
+        "native PG-Triggers", native_alerts, native_escalations
+    );
+    println!(
+        "{:<22} {:>7} {:>12}",
+        "APOC emulation", apoc_alerts, apoc_escalations
+    );
+    println!(
+        "{:<22} {:>7} {:>12}",
+        "Memgraph emulation", mg_alerts, mg_escalations
+    );
 
     // The first-order behaviour agrees…
     assert_eq!(native_alerts, 1);

@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(0);
     println!("\nrelocated to Niguarda: {at_niguarda} (Meyer: {at_meyer})");
     assert!(at_niguarda > 0, "the relocation triggers moved nobody");
-    assert_eq!(at_meyer, 0, "the bulk move to Meyer should have been blocked");
+    assert_eq!(
+        at_meyer, 0,
+        "the bulk move to Meyer should have been blocked"
+    );
 
     println!("stats: {:?}", s.stats());
     Ok(())

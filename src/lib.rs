@@ -8,6 +8,11 @@
 //! * [`pg_graph`] / [`pg_cypher`] / [`pg_schema`] — the substrates;
 //! * [`pg_apoc`] / [`pg_memgraph`] — target-system emulations + translators;
 //! * [`pg_covid`] — the §6 running example.
+//!
+//! The repository README is included below verbatim; its quickstart code
+//! block runs as a doctest of this crate, so a drifting README fails
+//! `cargo test`.
+#![doc = include_str!("../README.md")]
 
 pub use pg_apoc;
 pub use pg_covid;

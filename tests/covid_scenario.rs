@@ -53,7 +53,11 @@ fn alerts_conform_to_open_schema_type() {
     let violations = validate_graph(sc.session.graph(), &gt);
     // admissions create ADM-patients: they conform; alerts conform; the
     // whole post-scenario graph must still validate.
-    assert_eq!(violations, vec![], "post-scenario graph violates the schema");
+    assert_eq!(
+        violations,
+        vec![],
+        "post-scenario graph violates the schema"
+    );
 }
 
 #[test]
@@ -104,15 +108,21 @@ fn relocation_preserves_patient_count() {
 fn who_designation_trigger_ignores_fresh_assignment() {
     // Setting whoDesignation on a lineage that had none: OLD.who is null →
     // `OLD.who <> NEW.who` is NULL → no alert (3-valued logic, §4.1).
-    let mut sc = Scenario::new(ScenarioConfig { waves: 0, discoveries: 0, redesignations: 0, ..cfg() });
-    sc.session
-        .run("CREATE (:Lineage {name: 'fresh'})")
-        .unwrap();
+    let mut sc = Scenario::new(ScenarioConfig {
+        waves: 0,
+        discoveries: 0,
+        redesignations: 0,
+        ..cfg()
+    });
+    sc.session.run("CREATE (:Lineage {name: 'fresh'})").unwrap();
     sc.session
         .run("MATCH (l:Lineage {name: 'fresh'}) SET l.whoDesignation = 'Pi'")
         .unwrap();
     let report = sc.report().unwrap();
-    assert_eq!(report.alerts.get("New Designation for an existing Lineage"), None);
+    assert_eq!(
+        report.alerts.get("New Designation for an existing Lineage"),
+        None
+    );
     // but changing it afterwards fires
     sc.session
         .run("MATCH (l:Lineage {name: 'fresh'}) SET l.whoDesignation = 'Rho'")

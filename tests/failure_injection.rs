@@ -36,7 +36,10 @@ fn unbound_variable_in_condition_rolls_back() {
     )
     .unwrap();
     let err = s.run("CREATE (:P)").unwrap_err();
-    assert!(matches!(err, TriggerError::Cypher(pg_cypher::CypherError::UnboundVariable(_))));
+    assert!(matches!(
+        err,
+        TriggerError::Cypher(pg_cypher::CypherError::UnboundVariable(_))
+    ));
     assert_eq!(count(&mut s, "P"), 0);
 }
 
@@ -47,12 +50,13 @@ fn failure_deep_in_cascade_unwinds_everything() {
         .unwrap();
     s.install("CREATE TRIGGER c2 AFTER CREATE ON 'B' FOR EACH NODE BEGIN CREATE (:C) END")
         .unwrap();
-    s.install(
-        "CREATE TRIGGER c3 AFTER CREATE ON 'C' FOR EACH NODE BEGIN ABORT 'deep failure' END",
-    )
-    .unwrap();
+    s.install("CREATE TRIGGER c3 AFTER CREATE ON 'C' FOR EACH NODE BEGIN ABORT 'deep failure' END")
+        .unwrap();
     let err = s.run("CREATE (:A)").unwrap_err();
-    assert!(matches!(err, TriggerError::Cypher(pg_cypher::CypherError::Aborted(_))));
+    assert!(matches!(
+        err,
+        TriggerError::Cypher(pg_cypher::CypherError::Aborted(_))
+    ));
     for l in ["A", "B", "C"] {
         assert_eq!(count(&mut s, l), 0, "{l} survived a failed cascade");
     }
@@ -61,10 +65,8 @@ fn failure_deep_in_cascade_unwinds_everything() {
 #[test]
 fn partial_tx_survives_failed_statement_then_commits() {
     let mut s = Session::new();
-    s.install(
-        "CREATE TRIGGER veto AFTER CREATE ON 'Bad' FOR EACH NODE BEGIN ABORT 'nope' END",
-    )
-    .unwrap();
+    s.install("CREATE TRIGGER veto AFTER CREATE ON 'Bad' FOR EACH NODE BEGIN ABORT 'nope' END")
+        .unwrap();
     s.begin().unwrap();
     s.run("CREATE (:Good {i: 1})").unwrap();
     assert!(s.run("CREATE (:Bad)").is_err());
@@ -77,10 +79,8 @@ fn partial_tx_survives_failed_statement_then_commits() {
 #[test]
 fn detached_failures_are_isolated_and_reported() {
     let mut s = Session::new();
-    s.install(
-        "CREATE TRIGGER ok DETACHED CREATE ON 'P' FOR ALL NODES BEGIN CREATE (:Audit) END",
-    )
-    .unwrap();
+    s.install("CREATE TRIGGER ok DETACHED CREATE ON 'P' FOR ALL NODES BEGIN CREATE (:Audit) END")
+        .unwrap();
     s.install(
         "CREATE TRIGGER bad DETACHED CREATE ON 'P' FOR ALL NODES BEGIN ABORT 'detached boom' END",
     )
@@ -163,8 +163,16 @@ fn net_zero_delta_fires_nothing() {
     s.install("CREATE TRIGGER d AFTER DELETE ON 'P' FOR EACH NODE BEGIN CREATE (:Y) END")
         .unwrap();
     s.run("CREATE (p:P) WITH p DETACH DELETE p").unwrap();
-    assert_eq!(count(&mut s, "X"), 0, "create trigger fired on net-zero delta");
-    assert_eq!(count(&mut s, "Y"), 0, "delete trigger fired on net-zero delta");
+    assert_eq!(
+        count(&mut s, "X"),
+        0,
+        "create trigger fired on net-zero delta"
+    );
+    assert_eq!(
+        count(&mut s, "Y"),
+        0,
+        "delete trigger fired on net-zero delta"
+    );
 }
 
 #[test]

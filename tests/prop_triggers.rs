@@ -12,11 +12,7 @@ use pg_triggers::{parse_trigger_ddl, DdlStatement, EngineConfig, Session, Trigge
 use proptest::prelude::*;
 
 fn time_strategy() -> impl Strategy<Value = &'static str> {
-    prop_oneof![
-        Just("AFTER"),
-        Just("ONCOMMIT"),
-        Just("DETACHED"),
-    ]
+    prop_oneof![Just("AFTER"), Just("ONCOMMIT"), Just("DETACHED"),]
 }
 
 fn event_item_strategy() -> impl Strategy<Value = (&'static str, &'static str, &'static str)> {

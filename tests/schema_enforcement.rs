@@ -49,7 +49,8 @@ fn wrong_property_type_rolls_back() {
 #[test]
 fn pg_key_uniqueness_enforced_across_commits() {
     let mut s = schema_session();
-    s.run("CREATE (:Sequence {accession: 'A1', collection: date()})").unwrap();
+    s.run("CREATE (:Sequence {accession: 'A1', collection: date()})")
+        .unwrap();
     let err = s
         .run("CREATE (:Sequence {accession: 'A1', collection: date()})")
         .unwrap_err();
@@ -101,8 +102,10 @@ fn open_alert_type_lets_triggers_attach_arbitrary_props() {
     // The §6.2 alert triggers attach mutation/lineage properties — legal
     // because AlertType is OPEN.
     let mut s = schema_session();
-    s.install(pg_covid::triggers::NEW_CRITICAL_MUTATION).unwrap();
-    s.run("CREATE (:CriticalEffect {description: 'bad'})").unwrap();
+    s.install(pg_covid::triggers::NEW_CRITICAL_MUTATION)
+        .unwrap();
+    s.run("CREATE (:CriticalEffect {description: 'bad'})")
+        .unwrap();
     s.run(
         "MATCH (e:CriticalEffect)
          CREATE (:Mutation {name: 'Spike:E484K', protein: 'Spike'})-[:Risk]->(e)",
@@ -121,7 +124,11 @@ fn open_alert_type_lets_triggers_attach_arbitrary_props() {
 fn whole_scenario_stays_conformant_under_guard() {
     use pg_covid::{GeneratorConfig, Scenario, ScenarioConfig};
     let mut sc = Scenario::new(ScenarioConfig {
-        generator: GeneratorConfig { patients: 50, sequences: 40, ..GeneratorConfig::default() },
+        generator: GeneratorConfig {
+            patients: 50,
+            sequences: 40,
+            ..GeneratorConfig::default()
+        },
         waves: 2,
         admissions_per_wave: 5,
         discoveries: 1,

@@ -52,7 +52,8 @@ fn reaches(s: &mut Session) -> i64 {
 #[test]
 fn chain_closure_is_complete() {
     let mut s = tc_session();
-    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2}), (:N {i: 3})").unwrap();
+    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2}), (:N {i: 3})")
+        .unwrap();
     for (a, b) in [(0, 1), (1, 2), (2, 3)] {
         s.run(&format!(
             "MATCH (a:N {{i: {a}}}), (b:N {{i: {b}}}) CREATE (a)-[:Edge]->(b)"
@@ -74,26 +75,34 @@ fn chain_closure_is_complete() {
 #[test]
 fn closure_bridges_components() {
     let mut s = tc_session();
-    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2}), (:N {i: 3})").unwrap();
+    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2}), (:N {i: 3})")
+        .unwrap();
     // two disjoint edges…
-    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)").unwrap();
-    s.run("MATCH (a:N {i: 2}), (b:N {i: 3}) CREATE (a)-[:Edge]->(b)").unwrap();
+    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)")
+        .unwrap();
+    s.run("MATCH (a:N {i: 2}), (b:N {i: 3}) CREATE (a)-[:Edge]->(b)")
+        .unwrap();
     assert_eq!(reaches(&mut s), 2);
     // …bridged by a third: closure must include 0→2, 0→3, 1→2, 1→3
-    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)").unwrap();
+    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)")
+        .unwrap();
     assert_eq!(reaches(&mut s), 6);
 }
 
 #[test]
 fn closure_is_incremental_and_idempotent() {
     let mut s = tc_session();
-    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2})").unwrap();
-    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)").unwrap();
-    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)").unwrap();
+    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2})")
+        .unwrap();
+    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)")
+        .unwrap();
+    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)")
+        .unwrap();
     let after_first = reaches(&mut s);
     assert_eq!(after_first, 3);
     // adding a parallel Edge derives nothing new (MERGE-idempotent)
-    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)").unwrap();
+    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)")
+        .unwrap();
     assert_eq!(reaches(&mut s), 3);
 }
 
@@ -108,9 +117,12 @@ fn no_cascade_mode_leaves_closure_incomplete() {
     });
     s.install(BASE).unwrap();
     s.install(STEP).unwrap();
-    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2})").unwrap();
-    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)").unwrap();
-    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)").unwrap();
+    s.run("CREATE (:N {i: 0}), (:N {i: 1}), (:N {i: 2})")
+        .unwrap();
+    s.run("MATCH (a:N {i: 0}), (b:N {i: 1}) CREATE (a)-[:Edge]->(b)")
+        .unwrap();
+    s.run("MATCH (a:N {i: 1}), (b:N {i: 2}) CREATE (a)-[:Edge]->(b)")
+        .unwrap();
     // base pairs derived, but 0→2 is missing: the §5.1 limitation in action
     assert_eq!(reaches(&mut s), 2);
 }

@@ -37,8 +37,13 @@ fn run_three_ways(ddl: &str, setup: &[&str], event: &str) -> (i64, i64, i64) {
     // APOC
     let mut apoc = ApocDb::new();
     let install = pg_apoc::translate(&t).unwrap();
-    apoc.install("neo4j", &install.name, &install.statement, install.phase.name())
-        .unwrap();
+    apoc.install(
+        "neo4j",
+        &install.name,
+        &install.statement,
+        install.phase.name(),
+    )
+    .unwrap();
     for s in setup {
         apoc.run_tx(&[s]).unwrap();
     }
@@ -233,7 +238,8 @@ fn cascading_diverges_by_design() {
     let mut apoc = ApocDb::new();
     for ddl in [chain1, chain2] {
         let i = pg_apoc::translate(&spec(ddl)).unwrap();
-        apoc.install("neo4j", &i.name, &i.statement, i.phase.name()).unwrap();
+        apoc.install("neo4j", &i.name, &i.statement, i.phase.name())
+            .unwrap();
     }
     apoc.run_tx(&["CREATE (:A)"]).unwrap();
     let a = apoc

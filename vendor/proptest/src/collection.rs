@@ -1,0 +1,31 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A `Vec` whose length is drawn from `len` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.len.is_empty() {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,295 @@
+//! The [`Strategy`] trait and the combinators the workspace's property
+//! tests use: ranges, regex-subset strings, [`Just`], tuples, `prop_map`,
+//! `prop_recursive`, [`Union`] (behind `prop_oneof!`), and boxing.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleUniform};
+use std::sync::Arc;
+
+/// A generator of random values (no shrinking in this shim).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erase into a cloneable [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Build recursive values: `recurse` receives a strategy for the
+    /// current depth and returns one for the next level up. `levels`
+    /// bounds the structural depth; `_size` / `_branch` are accepted for
+    /// API compatibility and unused (no size-driven shrinking here).
+    fn prop_recursive<R, F>(
+        self,
+        levels: u32,
+        _size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..levels {
+            let branch = recurse(strat).boxed();
+            // leaves weighted 2:1 over branches so generated structures
+            // stay small even at the outermost level
+            strat = Union::new(vec![leaf.clone(), leaf.clone(), branch]).boxed();
+        }
+        strat
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy (shared, not deep-copied).
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform + rand::One + std::ops::Sub<Output = T> + 'static> Strategy
+    for std::ops::Range<T>
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + 'static> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `&str` as a strategy: a small regex subset — literal characters,
+/// `[a-z0-9_]`-style classes (ranges and singletons), and `{m}` / `{m,n}`
+/// quantifiers after a class or literal.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed class in pattern `{pattern}`"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "bad class range in `{pattern}`");
+                    set.extend((lo..=hi).collect::<Vec<char>>());
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        assert!(!alphabet.is_empty(), "empty class in pattern `{pattern}`");
+        // optional {m} / {m,n} quantifier
+        let mut reps = 1;
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern `{pattern}`"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n: usize = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            };
+            reps = rng.gen_range(lo..=hi);
+            i = close + 1;
+        }
+        for _ in 0..reps {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F2.5);
+
+/// Uniform choice among boxed strategies — what `prop_oneof!` builds.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "Union of zero strategies");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.gen_range(0..self.arms.len());
+        self.arms[pick].generate(rng)
+    }
+}
+
+/// Canonical strategy per type, for [`any`].
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<i64>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform `bool`.
+#[derive(Debug, Clone, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_range(0u8..2) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);

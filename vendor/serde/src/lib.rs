@@ -1,0 +1,27 @@
+//! Offline shim for the `serde` facade: marker traits only.
+//!
+//! [`Serialize`] and [`Deserialize`] are blanket-implemented for every
+//! type, and the re-exported derives expand to nothing, so annotating a
+//! type with `#[derive(Serialize, Deserialize)]` (and bounding generics on
+//! the traits) compiles — but no actual serialization machinery exists.
+//! In-tree JSON output goes through the `serde_json` shim's [`Value`]
+//! type directly. See `vendor/README.md`.
+//!
+//! [`Value`]: ../serde_json/enum.Value.html
+
+/// Marker stand-in for `serde::Serialize`; holds for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; holds for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized + for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

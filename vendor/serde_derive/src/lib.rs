@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The companion `serde` shim blanket-implements its marker traits for all
+//! types, so `#[derive(Serialize, Deserialize)]` stays a valid annotation
+//! without generating code. See `vendor/README.md` for the rationale.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
