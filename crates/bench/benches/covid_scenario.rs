@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_covid::{GeneratorConfig, Scenario, ScenarioConfig};
 
-fn cfg(patients: usize, admissions: usize) -> ScenarioConfig {
+fn cfg(patients: usize, admissions: usize, indexed: bool) -> ScenarioConfig {
     ScenarioConfig {
         generator: GeneratorConfig {
             patients,
@@ -15,6 +15,7 @@ fn cfg(patients: usize, admissions: usize) -> ScenarioConfig {
         admissions_per_wave: admissions,
         discoveries: 2,
         redesignations: 1,
+        indexed,
     }
 }
 
@@ -22,17 +23,20 @@ fn bench_scenario(c: &mut Criterion) {
     let mut group = c.benchmark_group("p6_covid_scenario");
     group.sample_size(10);
     for &(patients, admissions) in &[(100usize, 5usize), (500, 10), (2000, 20)] {
-        group.bench_with_input(
-            BenchmarkId::new("run", format!("{patients}p_{admissions}a")),
-            &(patients, admissions),
-            |b, &(p, a)| {
-                b.iter_batched(
-                    || Scenario::new(cfg(p, a)),
-                    |mut sc| sc.run().unwrap(),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        for indexed in [false, true] {
+            let tag = if indexed { "run_indexed" } else { "run" };
+            group.bench_with_input(
+                BenchmarkId::new(tag, format!("{patients}p_{admissions}a")),
+                &(patients, admissions),
+                |b, &(p, a)| {
+                    b.iter_batched(
+                        || Scenario::new(cfg(p, a, indexed)),
+                        |mut sc| sc.run().unwrap(),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -43,6 +43,70 @@ pub fn is_trigger_ddl(src: &str) -> bool {
     up.starts_with("CREATE TRIGGER") || up.starts_with("DROP TRIGGER")
 }
 
+/// A parsed property-index DDL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexDdl {
+    /// `CREATE INDEX ON :Label(key)`
+    Create { label: String, key: String },
+    /// `DROP INDEX ON :Label(key)`
+    Drop { label: String, key: String },
+}
+
+/// Quick check whether a source string looks like index DDL.
+pub fn is_index_ddl(src: &str) -> bool {
+    let up = src.trim_start().to_ascii_uppercase();
+    up.starts_with("CREATE INDEX") || up.starts_with("DROP INDEX")
+}
+
+/// Parse `CREATE INDEX ON :Label(key)` / `DROP INDEX ON :Label(key)`
+/// (Neo4j's classic index DDL shape; the label may be quoted like the
+/// trigger grammar's `ON 'Mutation'`).
+pub fn parse_index_ddl(src: &str) -> Result<IndexDdl, InstallError> {
+    let tokens = lex(src).map_err(InstallError::Parse)?;
+    let mut p = DdlParser {
+        src,
+        tokens,
+        pos: 0,
+    };
+    let create = if p.eat_ident("DROP") {
+        false
+    } else if p.peek() == &TokenKind::Create {
+        p.bump();
+        true
+    } else {
+        return Err(p.err("expected CREATE INDEX or DROP INDEX"));
+    };
+    if !p.eat_ident("INDEX") {
+        return Err(p.err("expected INDEX"));
+    }
+    if p.peek() != &TokenKind::On {
+        return Err(p.err("expected ON"));
+    }
+    p.bump();
+    if p.peek() == &TokenKind::Colon {
+        p.bump();
+    }
+    let label = p.expect_name()?;
+    if p.peek() != &TokenKind::LParen {
+        return Err(p.err("expected '(' after the label"));
+    }
+    p.bump();
+    let key = p.expect_name()?;
+    if p.peek() != &TokenKind::RParen {
+        return Err(p.err("expected ')' after the property key"));
+    }
+    p.bump();
+    match p.peek() {
+        TokenKind::Eof | TokenKind::Semicolon => {}
+        other => return Err(p.err(format!("unexpected input after index DDL: {other}"))),
+    }
+    Ok(if create {
+        IndexDdl::Create { label, key }
+    } else {
+        IndexDdl::Drop { label, key }
+    })
+}
+
 /// Parse a `CREATE TRIGGER` / `DROP TRIGGER` statement.
 pub fn parse_trigger_ddl(src: &str) -> Result<DdlStatement, InstallError> {
     let tokens = lex(src).map_err(InstallError::Parse)?;
@@ -566,6 +630,39 @@ mod tests {
         assert!(is_trigger_ddl("DROP TRIGGER t"));
         assert!(!is_trigger_ddl("MATCH (n) RETURN n"));
         assert!(!is_trigger_ddl("CREATE (n)"));
+        assert!(!is_trigger_ddl("CREATE INDEX ON :L(x)"));
+    }
+
+    #[test]
+    fn parse_index_ddl_shapes() {
+        assert!(is_index_ddl("  create index on :L(x)"));
+        assert!(is_index_ddl("DROP INDEX ON :L(x)"));
+        assert!(!is_index_ddl("CREATE (n)"));
+        assert_eq!(
+            parse_index_ddl("CREATE INDEX ON :Mutation(name)").unwrap(),
+            IndexDdl::Create {
+                label: "Mutation".into(),
+                key: "name".into()
+            }
+        );
+        // quoted label, no colon (trigger-grammar style), trailing semicolon
+        assert_eq!(
+            parse_index_ddl("CREATE INDEX ON 'Hospital'(name);").unwrap(),
+            IndexDdl::Create {
+                label: "Hospital".into(),
+                key: "name".into()
+            }
+        );
+        assert_eq!(
+            parse_index_ddl("DROP INDEX ON :Mutation(name)").unwrap(),
+            IndexDdl::Drop {
+                label: "Mutation".into(),
+                key: "name".into()
+            }
+        );
+        assert!(parse_index_ddl("CREATE INDEX ON :L").is_err());
+        assert!(parse_index_ddl("CREATE INDEX :L(x)").is_err());
+        assert!(parse_index_ddl("CREATE INDEX ON :L(x) extra").is_err());
     }
 
     #[test]

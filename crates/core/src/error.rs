@@ -32,6 +32,10 @@ pub enum InstallError {
         var: String,
         reason: &'static str,
     },
+    /// `CREATE INDEX` on an already-indexed `(label, key)`.
+    DuplicateIndex { label: String, key: String },
+    /// `DROP INDEX` on a `(label, key)` that is not indexed.
+    UnknownIndex { label: String, key: String },
 }
 
 impl fmt::Display for InstallError {
@@ -53,6 +57,12 @@ impl fmt::Display for InstallError {
             ),
             InstallError::BadReferencing { trigger, var, reason } => {
                 write!(f, "trigger '{trigger}': REFERENCING {var}: {reason}")
+            }
+            InstallError::DuplicateIndex { label, key } => {
+                write!(f, "index on :{label}({key}) already exists")
+            }
+            InstallError::UnknownIndex { label, key } => {
+                write!(f, "no index on :{label}({key})")
             }
         }
     }

@@ -50,7 +50,9 @@ pub mod spec;
 pub mod termination;
 
 pub use catalog::{InstalledTrigger, OrderPolicy, TriggerCatalog};
-pub use ddl::{is_trigger_ddl, parse_trigger_ddl, DdlStatement};
+pub use ddl::{
+    is_index_ddl, is_trigger_ddl, parse_index_ddl, parse_trigger_ddl, DdlStatement, IndexDdl,
+};
 pub use error::{InstallError, TriggerError};
 pub use schema_guard::{EnforcementMode, SchemaGuard, SchemaViolation};
 pub use session::{EngineConfig, EngineStats, ExecResult, Session};

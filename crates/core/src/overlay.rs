@@ -135,6 +135,10 @@ impl GraphView for NewStateOverlay<'_> {
         self.pre.nodes_with_label(label)
     }
 
+    fn label_cardinality(&self, label: &str) -> usize {
+        self.pre.label_cardinality(label)
+    }
+
     fn all_node_ids(&self) -> Vec<NodeId> {
         self.pre.all_node_ids()
     }

@@ -23,7 +23,9 @@
 
 use crate::binding::{affected_items, seed_rows, Affected};
 use crate::catalog::{OrderPolicy, TriggerCatalog};
-use crate::ddl::{is_trigger_ddl, parse_trigger_ddl, DdlStatement};
+use crate::ddl::{
+    is_index_ddl, is_trigger_ddl, parse_index_ddl, parse_trigger_ddl, DdlStatement, IndexDdl,
+};
 use crate::error::{InstallError, TriggerError};
 use crate::spec::{ActionTime, TriggerSpec};
 use pg_cypher::{parse_query, run_ast, run_read_only, Params, Query, QueryOutput, Row};
@@ -82,6 +84,8 @@ pub enum ExecResult {
     Query(QueryOutput),
     TriggerCreated(String),
     TriggerDropped(String),
+    IndexCreated { label: String, key: String },
+    IndexDropped { label: String, key: String },
 }
 
 /// An active-graph session: graph + trigger catalog + engine.
@@ -127,8 +131,12 @@ impl Session {
 
     /// Attach a PG-Schema graph type; every subsequent commit validates the
     /// transaction's net effect and rolls back on violation (see
-    /// [`crate::schema_guard`]).
+    /// [`crate::schema_guard`]). Properties the schema declares `KEY` or
+    /// `INDEX` get a property index created on the spot (idempotent).
     pub fn set_schema(&mut self, graph_type: pg_schema::GraphType) {
+        for (label, key) in graph_type.indexed_props() {
+            self.graph.create_index(&label, &key);
+        }
         self.schema = Some(SchemaGuard::new(graph_type));
     }
 
@@ -222,7 +230,7 @@ impl Session {
     // Statement execution
     // ------------------------------------------------------------------
 
-    /// Execute DDL or a query, dispatching on the text.
+    /// Execute DDL (trigger or index) or a query, dispatching on the text.
     pub fn execute(&mut self, src: &str) -> Result<ExecResult, TriggerError> {
         if is_trigger_ddl(src) {
             match parse_trigger_ddl(src).map_err(TriggerError::Install)? {
@@ -235,9 +243,51 @@ impl Session {
                     Ok(ExecResult::TriggerDropped(name))
                 }
             }
+        } else if is_index_ddl(src) {
+            match parse_index_ddl(src).map_err(TriggerError::Install)? {
+                IndexDdl::Create { label, key } => {
+                    self.create_index(&label, &key)?;
+                    Ok(ExecResult::IndexCreated { label, key })
+                }
+                IndexDdl::Drop { label, key } => {
+                    self.drop_index(&label, &key)?;
+                    Ok(ExecResult::IndexDropped { label, key })
+                }
+            }
         } else {
             self.run(src).map(ExecResult::Query)
         }
+    }
+
+    /// Create a property index on `(label, key)`, populated from the
+    /// current extent and maintained through every subsequent mutation
+    /// (including statement rollback and aborted trigger cascades).
+    pub fn create_index(&mut self, label: &str, key: &str) -> Result<(), TriggerError> {
+        if self.graph.create_index(label, key) {
+            Ok(())
+        } else {
+            Err(TriggerError::Install(InstallError::DuplicateIndex {
+                label: label.to_string(),
+                key: key.to_string(),
+            }))
+        }
+    }
+
+    /// Drop the property index on `(label, key)`.
+    pub fn drop_index(&mut self, label: &str, key: &str) -> Result<(), TriggerError> {
+        if self.graph.drop_index(label, key) {
+            Ok(())
+        } else {
+            Err(TriggerError::Install(InstallError::UnknownIndex {
+                label: label.to_string(),
+                key: key.to_string(),
+            }))
+        }
+    }
+
+    /// All `(label, key)` property-index definitions, sorted.
+    pub fn indexes(&self) -> Vec<(String, String)> {
+        self.graph.indexes()
     }
 
     /// Run one query as a statement (auto-commit unless inside an explicit

@@ -18,4 +18,4 @@ pub mod triggers;
 pub use generator::{generate, CovidDataset, GeneratorConfig};
 pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};
 pub use schema::{covid_graph_type, COVID_SCHEMA_DDL};
-pub use triggers::{install_paper_triggers, PAPER_TRIGGERS};
+pub use triggers::{install_paper_indexes, install_paper_triggers, PAPER_INDEXES, PAPER_TRIGGERS};

@@ -23,6 +23,9 @@ pub struct ScenarioConfig {
     pub discoveries: usize,
     /// Lineage redesignations during the scenario.
     pub redesignations: usize,
+    /// Create the property indexes behind the paper triggers' equality
+    /// predicates ([`crate::triggers::PAPER_INDEXES`]) before the run.
+    pub indexed: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -33,6 +36,7 @@ impl Default for ScenarioConfig {
             admissions_per_wave: 8,
             discoveries: 3,
             redesignations: 2,
+            indexed: false,
         }
     }
 }
@@ -70,6 +74,9 @@ impl Scenario {
     pub fn new(cfg: ScenarioConfig) -> Scenario {
         let mut session = Session::new();
         let dataset = generate(session.graph_mut(), &cfg.generator);
+        if cfg.indexed {
+            crate::triggers::install_paper_indexes(&mut session);
+        }
         install_paper_triggers(&mut session).expect("paper triggers install");
         Scenario {
             session,
@@ -216,6 +223,7 @@ mod tests {
             admissions_per_wave: 6,
             discoveries: 2,
             redesignations: 1,
+            indexed: false,
         }
     }
 
@@ -239,6 +247,20 @@ mod tests {
         );
         assert_eq!(report.admissions, 18);
         assert!(report.triggers_fired >= report.total_alerts());
+    }
+
+    #[test]
+    fn indexed_scenario_reports_identically() {
+        // The candidate planner must be invisible to trigger semantics:
+        // the same seeded scenario produces the same report with and
+        // without the paper indexes.
+        let baseline = Scenario::new(small_cfg()).run().unwrap();
+        let mut cfg = small_cfg();
+        cfg.indexed = true;
+        let mut sc = Scenario::new(cfg);
+        assert!(!sc.session.indexes().is_empty());
+        let indexed = sc.run().unwrap();
+        assert_eq!(baseline, indexed);
     }
 
     #[test]

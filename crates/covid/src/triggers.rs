@@ -165,6 +165,30 @@ pub fn install_paper_triggers(session: &mut Session) -> Result<Vec<String>, Inst
         .collect()
 }
 
+/// The `(label, property)` pairs the §6.2 trigger conditions filter on
+/// with equality predicates — `{name: 'Sacco'}`, `{name: 'Lombardy'}`,
+/// sequence accessions, lineage names — plus the schema's PG-Keys
+/// (`Patient.ssn`), whose key-based access is what condition matching over
+/// a large patient population needs. Indexing them turns the
+/// condition-matching hot path from label scans into index lookups.
+pub const PAPER_INDEXES: [(&str, &str); 6] = [
+    ("Hospital", "name"),
+    ("Region", "name"),
+    ("Lineage", "name"),
+    ("Mutation", "name"),
+    ("Patient", "ssn"),
+    ("Sequence", "accession"),
+];
+
+/// Create the property indexes backing the §6.2 trigger predicates
+/// (idempotent: already-existing indexes are left alone).
+pub fn install_paper_indexes(session: &mut Session) {
+    for (label, key) in PAPER_INDEXES {
+        // ignore "already exists" — the covid schema may have created some
+        let _ = session.graph_mut().create_index(label, key);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

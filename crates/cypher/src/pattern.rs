@@ -11,11 +11,16 @@
 //! `MATCH (pn:NEWNODES)-[:TreatedAt]-(h)` and `MATCH (pn:NEW)-…` work: the
 //! trigger engine binds `NEWNODES`/`NEW` in the seed row.
 
-use crate::ast::{Expr, NodePattern, PathPattern, RelPattern};
+use crate::ast::{BinOp, Expr, NodePattern, PathPattern, RelPattern};
 use crate::error::{CypherError, Result};
 use crate::expr::{eval, EvalCtx};
 use crate::row::Row;
 use pg_graph::{Direction, NodeId, RelId, Value};
+use std::collections::HashMap;
+
+/// Equality predicates pushed down from a `WHERE` clause into candidate
+/// planning: variable → `(property key, value expression)` conjuncts.
+type Pushdowns = HashMap<String, Vec<(String, Expr)>>;
 
 /// One in-progress match: the binding row plus relationships already used in
 /// this MATCH clause.
@@ -39,10 +44,11 @@ pub fn match_patterns(
         row: seed.clone(),
         used: Vec::new(),
     }];
+    let pushed = equality_pushdowns(where_clause);
     for pattern in patterns {
         let mut next = Vec::new();
         for st in &states {
-            match_path(ctx, pattern, st, &mut next, None)?;
+            match_path(ctx, pattern, st, &pushed, &mut next, None)?;
         }
         states = next;
         if states.is_empty() {
@@ -92,10 +98,11 @@ fn match_path(
     ctx: &EvalCtx<'_>,
     path: &PathPattern,
     st: &MatchState,
+    pushed: &Pushdowns,
     out: &mut Vec<MatchState>,
     cap: Option<usize>,
 ) -> Result<()> {
-    let candidates = node_candidates(ctx, &st.row, &path.start)?;
+    let candidates = node_candidates(ctx, &st.row, &path.start, pushed)?;
     for cand in candidates {
         if !node_matches(ctx, &st.row, cand, &path.start)? {
             continue;
@@ -324,10 +331,59 @@ fn rel_matches(ctx: &EvalCtx<'_>, row: &Row, rid: RelId, pat: &RelPattern) -> Re
     Ok(true)
 }
 
-/// Candidate start nodes for a node pattern: a pre-bound variable, a
-/// transition-variable label, a stored-label index lookup, or (worst case)
-/// a full scan.
-fn node_candidates(ctx: &EvalCtx<'_>, row: &Row, np: &NodePattern) -> Result<Vec<NodeId>> {
+/// Split a `WHERE` clause into its top-level conjuncts and collect the
+/// equality predicates of shape `var.key = expr` (either orientation).
+/// Restricting a variable's candidates by such a conjunct is always sound:
+/// the full `WHERE` is still evaluated on every surviving row, and a row on
+/// which the conjunct is false or NULL can never make the conjunction
+/// truthy.
+fn equality_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
+    fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+        if let Expr::Binary(BinOp::And, a, b) = e {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        } else {
+            out.push(e);
+        }
+    }
+    let mut map: Pushdowns = HashMap::new();
+    let Some(w) = where_clause else {
+        return map;
+    };
+    let mut cs = Vec::new();
+    conjuncts(w, &mut cs);
+    for c in cs {
+        if let Expr::Binary(BinOp::Eq, lhs, rhs) = c {
+            for (prop_side, value_side) in [(lhs, rhs), (rhs, lhs)] {
+                if let Expr::Prop(base, key) = prop_side.as_ref() {
+                    if let Expr::Var(v) = base.as_ref() {
+                        map.entry(v.clone())
+                            .or_default()
+                            .push((key.clone(), value_side.as_ref().clone()));
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Candidate start nodes for a node pattern.
+///
+/// Access paths, in order of preference:
+/// 1. a **pre-bound variable** (single candidate);
+/// 2. a **transition-variable label** (`NEW`, `NEWNODES`, …) bound in the
+///    row restricts candidates to those items;
+/// 3. the cheapest of — a **property-index lookup** (from inline
+///    `{key: value}` maps and `WHERE` equality conjuncts pushed down), the
+///    **intersection of all label extents** (enumerated from the smallest),
+///    or a **full scan** — chosen by estimated cardinality.
+fn node_candidates(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    np: &NodePattern,
+    pushed: &Pushdowns,
+) -> Result<Vec<NodeId>> {
     if let Some(v) = &np.var {
         match row.get(v) {
             Some(Value::Node(n)) => return Ok(vec![*n]),
@@ -347,11 +403,55 @@ fn node_candidates(ctx: &EvalCtx<'_>, row: &Row, np: &NodePattern) -> Result<Vec
             return nodes_from_value(l, v);
         }
     }
-    // Index lookup on the first stored label, if any.
-    if let Some(first) = np.labels.first() {
-        return Ok(ctx.view.nodes_with_label(first));
+
+    // Property-index access paths: inline `{key: value}` properties plus
+    // WHERE equality conjuncts on this pattern's variable, tried against
+    // every label's index. An evaluation failure (e.g. the value refers to
+    // a variable bound later) merely disqualifies the path — the predicate
+    // itself is still enforced by `node_matches` / the WHERE clause.
+    let mut best_index: Option<Vec<NodeId>> = None;
+    let pushed_specs = np
+        .var
+        .as_ref()
+        .and_then(|v| pushed.get(v))
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    for (key, value_expr) in np.props.iter().chain(pushed_specs) {
+        let Ok(value) = eval(ctx, row, value_expr) else {
+            continue;
+        };
+        for label in &np.labels {
+            if let Some(ids) = ctx.view.nodes_with_prop(label, key, &value) {
+                if best_index.as_ref().is_none_or(|b| ids.len() < b.len()) {
+                    best_index = Some(ids);
+                }
+            }
+        }
     }
-    Ok(ctx.view.all_node_ids())
+
+    // Label extents, cheapest first.
+    let mut label_cards: Vec<(&String, usize)> = np
+        .labels
+        .iter()
+        .map(|l| (l, ctx.view.label_cardinality(l)))
+        .collect();
+    label_cards.sort_by_key(|(_, c)| *c);
+
+    match (best_index, label_cards.first().map(|(_, c)| *c)) {
+        (Some(ids), Some(lc)) if ids.len() <= lc => Ok(ids),
+        (Some(ids), None) => Ok(ids),
+        (_, Some(_)) => {
+            // Intersect all label extents: enumerate the smallest, filter
+            // by membership in the rest (a pattern `(:A:B)` must not scan
+            // every `A` when `B` is far more selective).
+            let mut ids = ctx.view.nodes_with_label(label_cards[0].0);
+            for (l, _) in &label_cards[1..] {
+                ids.retain(|id| ctx.view.node_has_label(*id, l));
+            }
+            Ok(ids)
+        }
+        (None, None) => Ok(ctx.view.all_node_ids()),
+    }
 }
 
 fn nodes_from_value(name: &str, v: &Value) -> Result<Vec<NodeId>> {
@@ -640,6 +740,134 @@ mod tests {
     fn pattern_vars_collects_names() {
         let (pats, _) = patterns_of("MATCH (a)-[r:T]->(b), (c) RETURN 1");
         assert_eq!(pattern_vars(&pats), vec!["a", "b", "c", "r"]);
+    }
+
+    /// Planner-level helper: the candidate set chosen for the first
+    /// pattern's start node.
+    fn candidates_of(g: &Graph, src: &str, seed: &Row) -> Vec<NodeId> {
+        let (pats, where_) = patterns_of(src);
+        let params = Params::new();
+        let ctx = EvalCtx::new(g, &params, 0);
+        let pushed = equality_pushdowns(where_.as_ref());
+        node_candidates(&ctx, seed, &pats[0].start, &pushed).unwrap()
+    }
+
+    #[test]
+    fn second_label_drives_candidates_when_more_selective() {
+        // Regression: `(:A:B)` used to scan every `A` node even when `B`
+        // was far more selective.
+        let mut g = Graph::new();
+        for _ in 0..50 {
+            g.create_node(["A"], PropertyMap::new()).unwrap();
+        }
+        let both1 = g.create_node(["A", "B"], PropertyMap::new()).unwrap();
+        let both2 = g.create_node(["B", "A"], PropertyMap::new()).unwrap();
+        let cands = candidates_of(&g, "MATCH (x:A:B) RETURN 1", &Row::new());
+        assert_eq!(cands.len(), 2, "candidates come from the B extent");
+        assert!(cands.contains(&both1) && cands.contains(&both2));
+        // order of labels in the pattern is irrelevant
+        let cands = candidates_of(&g, "MATCH (x:B:A) RETURN 1", &Row::new());
+        assert_eq!(cands.len(), 2);
+        // and matching still returns exactly the doubly-labelled nodes
+        let rows = run_match(&g, "MATCH (x:A:B) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn inline_prop_map_uses_property_index() {
+        let mut g = Graph::new();
+        let mut wanted = NodeId(0);
+        for i in 0..100 {
+            let n = g
+                .create_node(["M"], props(&[("name", Value::str(format!("m{i}")))]))
+                .unwrap();
+            if i == 42 {
+                wanted = n;
+            }
+        }
+        // without an index: the label extent is the best source
+        let cands = candidates_of(&g, "MATCH (x:M {name: 'm42'}) RETURN 1", &Row::new());
+        assert_eq!(cands.len(), 100);
+        g.create_index("M", "name");
+        let cands = candidates_of(&g, "MATCH (x:M {name: 'm42'}) RETURN 1", &Row::new());
+        assert_eq!(cands, vec![wanted]);
+        let rows = run_match(&g, "MATCH (x:M {name: 'm42'}) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("x"), Some(&Value::Node(wanted)));
+    }
+
+    #[test]
+    fn where_equality_conjunct_is_pushed_down() {
+        let mut g = Graph::new();
+        let mut wanted = NodeId(0);
+        for i in 0..100 {
+            let n = g
+                .create_node(["M"], props(&[("k", Value::Int(i))]))
+                .unwrap();
+            if i == 7 {
+                wanted = n;
+            }
+        }
+        g.create_index("M", "k");
+        // conjunct inside an AND, written value-first
+        let cands = candidates_of(
+            &g,
+            "MATCH (x:M) WHERE 7 = x.k AND x.k >= 0 RETURN 1",
+            &Row::new(),
+        );
+        assert_eq!(cands, vec![wanted]);
+        let rows = run_match(
+            &g,
+            "MATCH (x:M) WHERE 7 = x.k AND x.k >= 0 RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 1);
+        // a disjunction must NOT be pushed down
+        let cands = candidates_of(
+            &g,
+            "MATCH (x:M) WHERE x.k = 7 OR x.k = 8 RETURN 1",
+            &Row::new(),
+        );
+        assert_eq!(cands.len(), 100, "OR is not a conjunct");
+        let rows = run_match(
+            &g,
+            "MATCH (x:M) WHERE x.k = 7 OR x.k = 8 RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn unevaluable_pushdown_falls_back_without_losing_rows() {
+        // `x.k = y.k` references `y`, bound only later in the join; the
+        // planner must skip the path, not fail or drop rows.
+        let mut g = Graph::new();
+        for i in 0..10 {
+            g.create_node(["L"], props(&[("k", Value::Int(i))]))
+                .unwrap();
+            g.create_node(["R"], props(&[("k", Value::Int(i))]))
+                .unwrap();
+        }
+        g.create_index("L", "k");
+        let rows = run_match(
+            &g,
+            "MATCH (x:L), (y:R) WHERE x.k = y.k RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn index_lookup_respects_numeric_equality() {
+        let mut g = Graph::new();
+        let n = g
+            .create_node(["M"], props(&[("k", Value::Int(1))]))
+            .unwrap();
+        g.create_index("M", "k");
+        // 1.0 = 1 in Cypher; the index must agree
+        let rows = run_match(&g, "MATCH (x:M {k: 1.0}) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("x"), Some(&Value::Node(n)));
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   created/deleted nodes and relationships, assigned/removed labels, and
 //!   assigned/removed properties with old and new values;
 //! * read **views**: the live graph, and a [`PreStateView`] that exposes the
-//!   state *before* a statement ran (needed for `BEFORE` trigger semantics).
+//!   state *before* a statement ran (needed for `BEFORE` trigger semantics);
+//! * **property indexes** (`(label, key, value)` → node set, [`prop_index`])
+//!   kept consistent through every mutation *and undo* path, giving the
+//!   query layer an index-backed access path for equality predicates.
 //!
 //! The crate is deliberately free of query-language concerns; `pg-cypher`
 //! layers a Cypher subset on top of the [`GraphView`] trait and the mutation
@@ -22,6 +25,7 @@ pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod op;
+pub mod prop_index;
 pub mod props;
 pub mod record;
 pub mod store;
@@ -32,6 +36,7 @@ pub use delta::{Delta, LabelEvent, PropAssign, PropRemove};
 pub use error::{GraphError, Result};
 pub use ids::{ItemRef, NodeId, RelId};
 pub use op::Op;
+pub use prop_index::{IndexKey, PropIndex};
 pub use props::PropertyMap;
 pub use record::{NodeRecord, RelRecord};
 pub use store::{Graph, StatementMark, WritePolicy};

@@ -1,0 +1,353 @@
+//! Property indexes: `(label, key, value)` → node set.
+//!
+//! The PG-Trigger engine evaluates trigger conditions as Cypher pattern
+//! matches on every activating statement, so equality predicates like
+//! `(:Hospital {name: 'Sacco'})` sit on the hottest path of the engine.
+//! A [`PropIndex`] gives those predicates an index-backed access path; the
+//! candidate planner in `pg-cypher` consults it through
+//! [`crate::GraphView::nodes_with_prop`].
+//!
+//! ## Equality semantics
+//!
+//! The index must agree *exactly* with Cypher's three-valued equality
+//! ([`Value::eq3`]), which compares `INTEGER` and `FLOAT` numerically
+//! (`1 = 1.0` is `true`). Values are therefore normalized into an
+//! [`IndexKey`] before storage and lookup: integral floats collapse onto
+//! the integer key, non-integral floats key on their exact bit pattern
+//! (with `-0.0` already normalized away as integral), and `NaN` — equal to
+//! nothing, including itself — is never stored.
+//!
+//! Because `i64 ↔ f64` conversion is lossy at and beyond ±2⁵³, `eq3` is
+//! not transitive out there (two distinct large integers can both "equal"
+//! the same float), so no faithful equality key exists for that range. Such
+//! values are simply **not indexed**, and [`PropIndex::lookup`] refuses to
+//! answer for them (returns `None`), forcing the planner back to a filtered
+//! scan. The same applies to `LIST`/`MAP` values. In-range lookups stay
+//! complete: an in-range scalar can never `eq3`-equal an out-of-range one.
+
+use crate::ids::NodeId;
+use crate::record::NodeRecord;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Exactly representable integer range of `f64`: strictly inside ±2⁵³,
+/// `Int`/`Float` cross-type equality is loss-free and a canonical key
+/// exists. The bound itself is excluded: `2⁵³ as f64` also equals
+/// `2⁵³ + 1 as f64` under lossy conversion, so keys at the boundary would
+/// not be faithful to [`Value::eq3`].
+const SAFE_INT: i64 = 1 << 53;
+
+/// The canonical, totally ordered key an indexed property value maps to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IndexKey {
+    Bool(bool),
+    /// Integers and integral floats in the ±2⁵³ exact range.
+    Int(i64),
+    /// Non-integral (or infinite) floats, keyed by exact bit pattern.
+    FloatBits(u64),
+    Str(String),
+    Date(i64),
+    DateTime(i64),
+}
+
+impl IndexKey {
+    /// Normalize a value into its index key.
+    ///
+    /// `None` means the value has no faithful equality key and must stay
+    /// out of the index: `NULL` and `NaN` (equal to nothing), graph items
+    /// (not storable anyway), `LIST`/`MAP` (structural equality), and
+    /// numerics beyond ±2⁵³ (lossy cross-type equality, see module docs).
+    pub fn from_value(v: &Value) -> Option<IndexKey> {
+        match v {
+            Value::Bool(b) => Some(IndexKey::Bool(*b)),
+            Value::Int(i) if (-SAFE_INT < *i && *i < SAFE_INT) => Some(IndexKey::Int(*i)),
+            Value::Float(f) => {
+                if f.is_nan() {
+                    None
+                } else if f.is_infinite() {
+                    Some(IndexKey::FloatBits(f.to_bits()))
+                } else if f.fract() == 0.0 {
+                    if f.abs() < SAFE_INT as f64 {
+                        // covers -0.0 → Int(0)
+                        Some(IndexKey::Int(*f as i64))
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(IndexKey::FloatBits(f.to_bits()))
+                }
+            }
+            Value::Str(s) => Some(IndexKey::Str(s.clone())),
+            Value::Date(d) => Some(IndexKey::Date(*d)),
+            Value::DateTime(t) => Some(IndexKey::DateTime(*t)),
+            Value::Int(_)
+            | Value::Null
+            | Value::List(_)
+            | Value::Map(_)
+            | Value::Node(_)
+            | Value::Rel(_) => None,
+        }
+    }
+
+    /// Whether an equality lookup for an unkeyable `v` can still be
+    /// answered (with the empty set) because `v` `eq3`-equals no storable
+    /// value: `NULL` (never equal), `NaN` (never equal), graph items (not
+    /// storable). `LIST`/`MAP`/large numerics return `false` — they can
+    /// equal stored values the index does not cover.
+    fn never_matches(v: &Value) -> bool {
+        match v {
+            Value::Null | Value::Node(_) | Value::Rel(_) => true,
+            Value::Float(f) => f.is_nan(),
+            _ => false,
+        }
+    }
+}
+
+/// The set of property indexes of a graph, maintained through every
+/// mutation *and undo* path of [`crate::Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct PropIndex {
+    /// label → key → value-key → node set.
+    by_label: HashMap<String, HashMap<String, BTreeMap<IndexKey, BTreeSet<NodeId>>>>,
+    /// Number of `(label, key)` indexes; cheap emptiness check for the
+    /// mutation fast path.
+    count: usize,
+}
+
+impl PropIndex {
+    /// `true` when no index exists (mutation fast path).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Declare an index on `(label, key)`. Returns `false` when it already
+    /// exists. The caller (the store) populates it from the live extent.
+    pub fn create(&mut self, label: &str, key: &str) -> bool {
+        let keys = self.by_label.entry(label.to_string()).or_default();
+        if keys.contains_key(key) {
+            return false;
+        }
+        keys.insert(key.to_string(), BTreeMap::new());
+        self.count += 1;
+        true
+    }
+
+    /// Drop the index on `(label, key)`; `false` when absent.
+    pub fn drop_index(&mut self, label: &str, key: &str) -> bool {
+        let Some(keys) = self.by_label.get_mut(label) else {
+            return false;
+        };
+        if keys.remove(key).is_none() {
+            return false;
+        }
+        if keys.is_empty() {
+            self.by_label.remove(label);
+        }
+        self.count -= 1;
+        true
+    }
+
+    /// Whether `(label, key)` is indexed.
+    pub fn is_indexed(&self, label: &str, key: &str) -> bool {
+        self.by_label
+            .get(label)
+            .is_some_and(|keys| keys.contains_key(key))
+    }
+
+    /// All `(label, key)` index definitions, sorted.
+    pub fn definitions(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .by_label
+            .iter()
+            .flat_map(|(l, keys)| keys.keys().map(move |k| (l.clone(), k.clone())))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The property keys indexed under `label`.
+    pub fn keys_for_label(&self, label: &str) -> Vec<String> {
+        self.by_label
+            .get(label)
+            .map(|keys| keys.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Add one `(label, key, value) → node` entry (no-op when `(label,
+    /// key)` is not indexed or `value` has no index key).
+    pub fn insert(&mut self, label: &str, key: &str, value: &Value, node: NodeId) {
+        if let Some(entries) = self
+            .by_label
+            .get_mut(label)
+            .and_then(|keys| keys.get_mut(key))
+        {
+            if let Some(ik) = IndexKey::from_value(value) {
+                entries.entry(ik).or_default().insert(node);
+            }
+        }
+    }
+
+    /// Remove one entry (no-op when not indexed / not keyable).
+    pub fn remove(&mut self, label: &str, key: &str, value: &Value, node: NodeId) {
+        if let Some(entries) = self
+            .by_label
+            .get_mut(label)
+            .and_then(|keys| keys.get_mut(key))
+        {
+            if let Some(ik) = IndexKey::from_value(value) {
+                if let Some(set) = entries.get_mut(&ik) {
+                    set.remove(&node);
+                    if set.is_empty() {
+                        entries.remove(&ik);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Equality lookup. `None` means the index cannot answer — either
+    /// `(label, key)` is not indexed, or `value` lies outside the keyable
+    /// domain — and the caller must fall back to a filtered scan.
+    pub fn lookup(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        let entries = self.by_label.get(label)?.get(key)?;
+        match IndexKey::from_value(value) {
+            Some(ik) => Some(
+                entries
+                    .get(&ik)
+                    .map(|set| set.iter().copied().collect())
+                    .unwrap_or_default(),
+            ),
+            None if IndexKey::never_matches(value) => Some(Vec::new()),
+            None => None,
+        }
+    }
+
+    /// Index every `(label, key)` pair a node record carries (node
+    /// creation and undo of deletion).
+    pub fn index_node(&mut self, rec: &NodeRecord) {
+        if self.is_empty() {
+            return;
+        }
+        for l in &rec.labels {
+            for (k, v) in rec.props.iter() {
+                self.insert(l, k, v, rec.id);
+            }
+        }
+    }
+
+    /// Remove every entry of a node record (deletion and undo of
+    /// creation).
+    pub fn deindex_node(&mut self, rec: &NodeRecord) {
+        if self.is_empty() {
+            return;
+        }
+        for l in &rec.labels {
+            for (k, v) in rec.props.iter() {
+                self.remove(l, k, v, rec.id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_drop_and_definitions() {
+        let mut ix = PropIndex::default();
+        assert!(ix.is_empty());
+        assert!(ix.create("A", "x"));
+        assert!(!ix.create("A", "x"));
+        assert!(ix.create("A", "y"));
+        assert!(ix.create("B", "x"));
+        assert_eq!(
+            ix.definitions(),
+            vec![
+                ("A".to_string(), "x".to_string()),
+                ("A".to_string(), "y".to_string()),
+                ("B".to_string(), "x".to_string()),
+            ]
+        );
+        assert!(ix.drop_index("A", "y"));
+        assert!(!ix.drop_index("A", "y"));
+        assert_eq!(ix.keys_for_label("A"), vec!["x".to_string()]);
+        assert!(ix.is_indexed("B", "x"));
+        assert!(!ix.is_indexed("B", "y"));
+    }
+
+    #[test]
+    fn numeric_normalization_matches_eq3() {
+        // 1 and 1.0 share a key, mirroring `eq3`.
+        assert_eq!(
+            IndexKey::from_value(&Value::Int(1)),
+            IndexKey::from_value(&Value::Float(1.0))
+        );
+        // -0.0 and 0 share a key.
+        assert_eq!(
+            IndexKey::from_value(&Value::Float(-0.0)),
+            IndexKey::from_value(&Value::Int(0))
+        );
+        // non-integral floats key on bits
+        assert_eq!(
+            IndexKey::from_value(&Value::Float(1.5)),
+            Some(IndexKey::FloatBits(1.5f64.to_bits()))
+        );
+        // NaN and out-of-range integers are unkeyable
+        assert_eq!(IndexKey::from_value(&Value::Float(f64::NAN)), None);
+        assert_eq!(IndexKey::from_value(&Value::Int(i64::MAX)), None);
+        assert_eq!(IndexKey::from_value(&Value::Float(1e300)), None);
+        // the ±2^53 boundary itself is unkeyable on BOTH sides: eq3 is
+        // lossy there (2^53 + 1 as f64 == 2^53 as f64), so Int(2^53) and
+        // Float(2^53.0) must fall back to a scan rather than key
+        // differently from the values they eq3-equal.
+        let bound = 1i64 << 53;
+        assert_eq!(IndexKey::from_value(&Value::Int(bound)), None);
+        assert_eq!(IndexKey::from_value(&Value::Int(-bound)), None);
+        assert_eq!(IndexKey::from_value(&Value::Float(bound as f64)), None);
+        assert!(IndexKey::from_value(&Value::Int(bound - 1)).is_some());
+        assert_eq!(
+            IndexKey::from_value(&Value::Float((bound - 1) as f64)),
+            IndexKey::from_value(&Value::Int(bound - 1))
+        );
+        // infinities are self-equal and keyable
+        assert!(IndexKey::from_value(&Value::Float(f64::INFINITY)).is_some());
+    }
+
+    #[test]
+    fn lookup_distinguishes_empty_from_unanswerable() {
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        ix.insert("A", "x", &Value::Int(1), NodeId(0));
+        // indexed, present
+        assert_eq!(ix.lookup("A", "x", &Value::Int(1)), Some(vec![NodeId(0)]));
+        // cross-type numeric equality answered from the same key
+        assert_eq!(
+            ix.lookup("A", "x", &Value::Float(1.0)),
+            Some(vec![NodeId(0)])
+        );
+        // indexed, absent value → definitive empty
+        assert_eq!(ix.lookup("A", "x", &Value::Int(2)), Some(vec![]));
+        // NULL / NaN equal nothing → definitive empty
+        assert_eq!(ix.lookup("A", "x", &Value::Null), Some(vec![]));
+        assert_eq!(ix.lookup("A", "x", &Value::Float(f64::NAN)), Some(vec![]));
+        // lists and huge numerics cannot be answered
+        assert_eq!(ix.lookup("A", "x", &Value::list([Value::Int(1)])), None);
+        assert_eq!(ix.lookup("A", "x", &Value::Int(i64::MAX)), None);
+        // unindexed (label, key)
+        assert_eq!(ix.lookup("A", "y", &Value::Int(1)), None);
+        assert_eq!(ix.lookup("B", "x", &Value::Int(1)), None);
+    }
+
+    #[test]
+    fn remove_prunes_empty_buckets() {
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        ix.insert("A", "x", &Value::str("v"), NodeId(1));
+        ix.insert("A", "x", &Value::str("v"), NodeId(2));
+        ix.remove("A", "x", &Value::str("v"), NodeId(1));
+        assert_eq!(ix.lookup("A", "x", &Value::str("v")), Some(vec![NodeId(2)]));
+        ix.remove("A", "x", &Value::str("v"), NodeId(2));
+        assert_eq!(ix.lookup("A", "x", &Value::str("v")), Some(vec![]));
+    }
+}

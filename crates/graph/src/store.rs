@@ -4,6 +4,7 @@ use crate::delta::Delta;
 use crate::error::{GraphError, Result};
 use crate::ids::{ItemRef, NodeId, RelId};
 use crate::op::Op;
+use crate::prop_index::PropIndex;
 use crate::props::PropertyMap;
 use crate::record::{NodeRecord, RelRecord};
 use crate::value::{Direction, Value};
@@ -49,6 +50,14 @@ pub struct Graph {
     in_adj: HashMap<NodeId, Vec<RelId>>,
     label_index: HashMap<String, BTreeSet<NodeId>>,
     type_index: HashMap<String, BTreeSet<RelId>>,
+    /// Ordered id sets mirroring `nodes`/`rels`, so `all_node_ids` /
+    /// `all_rel_ids` need no per-call sort (they run inside per-row
+    /// candidate loops).
+    node_ids: BTreeSet<NodeId>,
+    rel_ids: BTreeSet<RelId>,
+    /// Property indexes (`CREATE INDEX ON :Label(key)`), maintained
+    /// through every mutation and undo path below.
+    prop_index: PropIndex,
     next_node: u64,
     next_rel: u64,
     tx: Option<TxState>,
@@ -121,6 +130,9 @@ impl Graph {
                 Op::SetLabel { node, label } => {
                     if let Some(n) = self.nodes.get_mut(node) {
                         n.labels.remove(label);
+                        for (k, v) in n.props.iter() {
+                            self.prop_index.remove(label, k, v, *node);
+                        }
                     }
                     if let Some(ix) = self.label_index.get_mut(label) {
                         ix.remove(node);
@@ -129,17 +141,31 @@ impl Graph {
                 Op::RemoveLabel { node, label } => {
                     if let Some(n) = self.nodes.get_mut(node) {
                         n.labels.insert(label.clone());
+                        for (k, v) in n.props.iter() {
+                            self.prop_index.insert(label, k, v, *node);
+                        }
                     }
                     self.label_index
                         .entry(label.clone())
                         .or_default()
                         .insert(*node);
                 }
-                Op::SetNodeProp { node, key, old, .. } => {
+                Op::SetNodeProp {
+                    node,
+                    key,
+                    old,
+                    new,
+                } => {
                     if let Some(n) = self.nodes.get_mut(node) {
+                        for l in n.labels.iter() {
+                            self.prop_index.remove(l, key, new, *node);
+                        }
                         match old {
                             Some(v) => {
                                 n.props.set(key.clone(), v.clone());
+                                for l in n.labels.iter() {
+                                    self.prop_index.insert(l, key, v, *node);
+                                }
                             }
                             None => {
                                 n.props.remove(key);
@@ -150,6 +176,9 @@ impl Graph {
                 Op::RemoveNodeProp { node, key, old } => {
                     if let Some(n) = self.nodes.get_mut(node) {
                         n.props.set(key.clone(), old.clone());
+                        for l in n.labels.iter() {
+                            self.prop_index.insert(l, key, old, *node);
+                        }
                     }
                 }
                 Op::SetRelProp { rel, key, old, .. } => {
@@ -247,8 +276,10 @@ impl Graph {
                 .or_default()
                 .insert(record.id);
         }
+        self.prop_index.index_node(&record);
         self.out_adj.entry(record.id).or_default();
         self.in_adj.entry(record.id).or_default();
+        self.node_ids.insert(record.id);
         self.nodes.insert(record.id, record);
     }
 
@@ -259,7 +290,9 @@ impl Graph {
                     ix.remove(&id);
                 }
             }
+            self.prop_index.deindex_node(&rec);
         }
+        self.node_ids.remove(&id);
         self.out_adj.remove(&id);
         self.in_adj.remove(&id);
     }
@@ -271,11 +304,13 @@ impl Graph {
             .insert(record.id);
         self.out_adj.entry(record.src).or_default().push(record.id);
         self.in_adj.entry(record.dst).or_default().push(record.id);
+        self.rel_ids.insert(record.id);
         self.rels.insert(record.id, record);
     }
 
     fn raw_remove_rel(&mut self, id: RelId) {
         if let Some(rec) = self.rels.remove(&id) {
+            self.rel_ids.remove(&id);
             if let Some(ix) = self.type_index.get_mut(&rec.rel_type) {
                 ix.remove(&id);
             }
@@ -422,6 +457,9 @@ impl Graph {
         if !rec.labels.insert(label.clone()) {
             return Ok(false);
         }
+        for (k, v) in rec.props.iter() {
+            self.prop_index.insert(&label, k, v, node);
+        }
         self.label_index
             .entry(label.clone())
             .or_default()
@@ -439,6 +477,9 @@ impl Graph {
             .ok_or(GraphError::NodeNotFound(node))?;
         if !rec.labels.remove(label) {
             return Ok(false);
+        }
+        for (k, v) in rec.props.iter() {
+            self.prop_index.remove(label, k, v, node);
         }
         if let Some(ix) = self.label_index.get_mut(label) {
             ix.remove(&node);
@@ -472,11 +513,20 @@ impl Graph {
             .ok_or(GraphError::NodeNotFound(node))?;
         if value.is_null() {
             if let Some(old) = rec.props.remove(&key) {
+                for l in rec.labels.iter() {
+                    self.prop_index.remove(l, &key, &old, node);
+                }
                 self.log(Op::RemoveNodeProp { node, key, old });
             }
             return Ok(());
         }
         let old = rec.props.set(key.clone(), value.clone());
+        for l in rec.labels.iter() {
+            if let Some(old_v) = &old {
+                self.prop_index.remove(l, &key, old_v, node);
+            }
+            self.prop_index.insert(l, &key, &value, node);
+        }
         self.log(Op::SetNodeProp {
             node,
             key,
@@ -495,6 +545,9 @@ impl Graph {
             .ok_or(GraphError::NodeNotFound(node))?;
         let old = rec.props.remove(key);
         if let Some(old_v) = &old {
+            for l in rec.labels.iter() {
+                self.prop_index.remove(l, key, old_v, node);
+            }
             self.log(Op::RemoveNodeProp {
                 node,
                 key: key.to_string(),
@@ -603,6 +656,44 @@ impl Graph {
             .map(|ix| ix.iter().copied().collect())
             .unwrap_or_default()
     }
+
+    // ------------------------------------------------------------------
+    // Property indexes (DDL)
+    // ------------------------------------------------------------------
+
+    /// Create a property index on `(label, key)` and populate it from the
+    /// current extent. Returns `false` when it already exists.
+    ///
+    /// Index DDL is not transactional: the definition survives rollback
+    /// (its *entries* are kept consistent by the undo paths).
+    pub fn create_index(&mut self, label: &str, key: &str) -> bool {
+        if !self.prop_index.create(label, key) {
+            return false;
+        }
+        if let Some(extent) = self.label_index.get(label) {
+            for id in extent {
+                if let Some(v) = self.nodes.get(id).and_then(|rec| rec.props.get(key)) {
+                    self.prop_index.insert(label, key, v, *id);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drop the property index on `(label, key)`; `false` when absent.
+    pub fn drop_index(&mut self, label: &str, key: &str) -> bool {
+        self.prop_index.drop_index(label, key)
+    }
+
+    /// Whether `(label, key)` is indexed.
+    pub fn has_index(&self, label: &str, key: &str) -> bool {
+        self.prop_index.is_indexed(label, key)
+    }
+
+    /// All `(label, key)` index definitions, sorted.
+    pub fn indexes(&self) -> Vec<(String, String)> {
+        self.prop_index.definitions()
+    }
 }
 
 impl GraphView for Graph {
@@ -666,15 +757,11 @@ impl GraphView for Graph {
     }
 
     fn all_node_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
-        ids.sort();
-        ids
+        self.node_ids.iter().copied().collect()
     }
 
     fn all_rel_ids(&self) -> Vec<RelId> {
-        let mut ids: Vec<RelId> = self.rels.keys().copied().collect();
-        ids.sort();
-        ids
+        self.rel_ids.iter().copied().collect()
     }
 
     fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
@@ -686,15 +773,30 @@ impl GraphView for Graph {
         }
         if matches!(dir, Direction::In | Direction::Both) {
             if let Some(adj) = self.in_adj.get(&node) {
-                // Avoid double-counting self-loops in Both mode.
-                for &r in adj {
-                    if !(matches!(dir, Direction::Both) && out.contains(&r)) {
-                        out.push(r);
-                    }
+                if matches!(dir, Direction::Both) {
+                    // A relationship appears in both adjacency lists of the
+                    // same node only when it is a self-loop; skip those here
+                    // (already collected from the out-list) instead of
+                    // scanning `out` for every in-edge.
+                    out.extend(
+                        adj.iter()
+                            .copied()
+                            .filter(|r| self.rels.get(r).is_none_or(|rec| rec.src != rec.dst)),
+                    );
+                } else {
+                    out.extend(adj.iter().copied());
                 }
             }
         }
         out
+    }
+
+    fn nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        self.prop_index.lookup(label, key, value)
+    }
+
+    fn label_cardinality(&self, label: &str) -> usize {
+        self.label_index.get(label).map(|ix| ix.len()).unwrap_or(0)
     }
 }
 
@@ -923,6 +1025,163 @@ mod tests {
             g.create_node(["C"], PropertyMap::new()),
             Err(GraphError::WritePolicy { .. })
         ));
+    }
+
+    #[test]
+    fn both_direction_dedups_only_self_loops_at_high_degree() {
+        // Regression: the old dedup scanned the whole out-list for every
+        // in-edge (O(deg²)) and would have hidden a non-self-loop rel that
+        // legitimately appears in both lists of *different* nodes.
+        let mut g = Graph::new();
+        let hub = g.create_node(["Hub"], PropertyMap::new()).unwrap();
+        let mut expected = Vec::new();
+        for i in 0..500 {
+            let other = g.create_node(["Leaf"], PropertyMap::new()).unwrap();
+            let r = if i % 2 == 0 {
+                g.create_rel(hub, other, "R", PropertyMap::new()).unwrap()
+            } else {
+                g.create_rel(other, hub, "R", PropertyMap::new()).unwrap()
+            };
+            expected.push(r);
+        }
+        let self_loop = g.create_rel(hub, hub, "SELF", PropertyMap::new()).unwrap();
+        expected.push(self_loop);
+        let mut got = g.rels_of(hub, Direction::Both);
+        assert_eq!(got.len(), 501, "self-loop counted exactly once");
+        got.sort();
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn all_ids_stay_sorted_across_mutations() {
+        let mut g = Graph::new();
+        let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let b = g.create_node(["A"], PropertyMap::new()).unwrap();
+        let c = g.create_node(["A"], PropertyMap::new()).unwrap();
+        g.detach_delete_node(b).unwrap();
+        assert_eq!(g.all_node_ids(), vec![a, c]);
+        g.begin().unwrap();
+        let d = g.create_node(["A"], PropertyMap::new()).unwrap();
+        assert_eq!(g.all_node_ids(), vec![a, c, d]);
+        g.rollback().unwrap();
+        assert_eq!(g.all_node_ids(), vec![a, c]);
+        let r1 = g.create_rel(a, c, "R", PropertyMap::new()).unwrap();
+        let r2 = g.create_rel(c, a, "R", PropertyMap::new()).unwrap();
+        g.delete_rel(r1).unwrap();
+        assert_eq!(g.all_rel_ids(), vec![r2]);
+    }
+
+    #[test]
+    fn prop_index_answers_and_tracks_mutations() {
+        let mut g = Graph::new();
+        let a = g
+            .create_node(["P"], props(&[("ssn", Value::Int(1))]))
+            .unwrap();
+        assert!(g.create_index("P", "ssn"));
+        assert!(!g.create_index("P", "ssn"));
+        assert_eq!(g.indexes(), vec![("P".to_string(), "ssn".to_string())]);
+        // populated from the existing extent
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(1)), Some(vec![a]));
+        // new nodes join the index
+        let b = g
+            .create_node(["P"], props(&[("ssn", Value::Int(2))]))
+            .unwrap();
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(2)), Some(vec![b]));
+        // prop updates move entries
+        g.set_node_prop(b, "ssn", Value::Int(3)).unwrap();
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(2)), Some(vec![]));
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(3)), Some(vec![b]));
+        // NULL-assignment removes
+        g.set_node_prop(b, "ssn", Value::Null).unwrap();
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(3)), Some(vec![]));
+        // label changes attach/detach entries
+        let c = g
+            .create_node(["Q"], props(&[("ssn", Value::Int(9))]))
+            .unwrap();
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(9)), Some(vec![]));
+        g.set_label(c, "P").unwrap();
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(9)), Some(vec![c]));
+        g.remove_label(c, "P").unwrap();
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(9)), Some(vec![]));
+        // deletion removes
+        g.detach_delete_node(a).unwrap();
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(1)), Some(vec![]));
+        // unindexed (label, key) cannot answer
+        assert_eq!(g.nodes_with_prop("P", "name", &Value::Int(1)), None);
+        assert!(g.drop_index("P", "ssn"));
+        assert_eq!(g.nodes_with_prop("P", "ssn", &Value::Int(3)), None);
+    }
+
+    #[test]
+    fn boundary_numerics_fall_back_to_scan_instead_of_lying() {
+        // Int(2^53 + 1) eq3-equals Float(2^53.0) under lossy conversion;
+        // neither may be served from the index, or the index path would
+        // drop rows the scan path returns.
+        let bound = 1i64 << 53;
+        let mut g = Graph::new();
+        let n = g
+            .create_node(["M"], props(&[("k", Value::Int(bound + 1))]))
+            .unwrap();
+        g.create_index("M", "k");
+        assert_eq!(
+            g.nodes_with_prop("M", "k", &Value::Float(bound as f64)),
+            None
+        );
+        assert_eq!(g.nodes_with_prop("M", "k", &Value::Int(bound + 1)), None);
+        // the fallback scan agrees with eq3
+        let scan: Vec<NodeId> = g
+            .all_node_ids()
+            .into_iter()
+            .filter(|&id| {
+                g.node_prop(id, "k")
+                    .is_some_and(|v| v.eq3(&Value::Float(bound as f64)) == Some(true))
+            })
+            .collect();
+        assert_eq!(scan, vec![n]);
+        // in-range values still get exact index answers
+        let m = g
+            .create_node(["M"], props(&[("k", Value::Int(bound - 1))]))
+            .unwrap();
+        assert_eq!(
+            g.nodes_with_prop("M", "k", &Value::Float((bound - 1) as f64)),
+            Some(vec![m])
+        );
+    }
+
+    #[test]
+    fn prop_index_survives_rollback_paths() {
+        let mut g = Graph::new();
+        let keep = g
+            .create_node(["P"], props(&[("k", Value::Int(1))]))
+            .unwrap();
+        g.create_index("P", "k");
+        g.begin().unwrap();
+        let tmp = g
+            .create_node(["P"], props(&[("k", Value::Int(2))]))
+            .unwrap();
+        g.set_node_prop(keep, "k", Value::Int(7)).unwrap();
+        g.set_label(tmp, "Extra").unwrap();
+        g.remove_node_prop(keep, "k").unwrap();
+        let mark = g.mark();
+        g.set_node_prop(tmp, "k", Value::Int(5)).unwrap();
+        g.rollback_to(mark).unwrap();
+        // mid-statement rollback restored tmp's k=2
+        assert_eq!(g.nodes_with_prop("P", "k", &Value::Int(2)), Some(vec![tmp]));
+        assert_eq!(g.nodes_with_prop("P", "k", &Value::Int(5)), Some(vec![]));
+        g.rollback().unwrap();
+        // full rollback: only the original entry remains
+        assert_eq!(
+            g.nodes_with_prop("P", "k", &Value::Int(1)),
+            Some(vec![keep])
+        );
+        for v in [2, 5, 7] {
+            assert_eq!(
+                g.nodes_with_prop("P", "k", &Value::Int(v)),
+                Some(vec![]),
+                "k={v}"
+            );
+        }
     }
 
     #[test]

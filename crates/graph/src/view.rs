@@ -33,6 +33,23 @@ pub trait GraphView {
     fn all_rel_ids(&self) -> Vec<RelId>;
     /// Relationships incident to `node` in the given direction.
     fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId>;
+
+    /// Index-backed equality lookup: nodes with `label` whose property
+    /// `key` equals `value`. `Some(ids)` when a property index on
+    /// `(label, key)` exists *and* can answer for `value`; `None` when the
+    /// caller must fall back to a filtered scan. The default (used by
+    /// overlay/pre-state views) has no indexes.
+    fn nodes_with_prop(&self, _label: &str, _key: &str, _value: &Value) -> Option<Vec<NodeId>> {
+        None
+    }
+
+    /// Cardinality of a label extent — a planning estimate; must be exact
+    /// enough that `0` means the extent is empty. The default materializes
+    /// the extent; the live graph answers in O(1) and the overlay views in
+    /// O(touched items).
+    fn label_cardinality(&self, label: &str) -> usize {
+        self.nodes_with_label(label).len()
+    }
 }
 
 /// The state of the graph **before** a slice of operations was applied.
@@ -215,6 +232,26 @@ impl GraphView for PreStateView<'_> {
         out
     }
 
+    fn label_cardinality(&self, label: &str) -> usize {
+        // Candidate planning probes every label of a pattern; answer in
+        // O(touched) by correcting the base count instead of materializing
+        // and sorting the whole extent.
+        let mut n = self.base.label_cardinality(label);
+        for (id, overlay) in &self.nodes {
+            let base_has = self.base.node_has_label(*id, label);
+            let pre_has = overlay
+                .as_ref()
+                .map(|r| r.has_label(label))
+                .unwrap_or(false);
+            match (base_has, pre_has) {
+                (true, false) => n -= 1,
+                (false, true) => n += 1,
+                _ => {}
+            }
+        }
+        n
+    }
+
     fn all_node_ids(&self) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self
             .base
@@ -382,6 +419,34 @@ mod tests {
         assert!(!pre.node_has_label(n, "B"));
         assert_eq!(pre.nodes_with_label("A"), vec![n]);
         assert!(pre.nodes_with_label("B").is_empty());
+    }
+
+    #[test]
+    fn label_cardinality_matches_extent_through_overlays() {
+        let (g, ops, n) = run(
+            |g| {
+                let keep = g.create_node(["A"], PropertyMap::new()).unwrap();
+                g.create_node(["A"], PropertyMap::new()).unwrap();
+                keep
+            },
+            |g, keep| {
+                // touch existing nodes both ways and create a fresh one
+                g.remove_label(*keep, "A").unwrap();
+                g.set_label(*keep, "B").unwrap();
+                g.create_node(["A"], PropertyMap::new()).unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        for label in ["A", "B", "Absent"] {
+            assert_eq!(
+                pre.label_cardinality(label),
+                pre.nodes_with_label(label).len(),
+                "pre-state cardinality for {label}"
+            );
+        }
+        assert_eq!(pre.label_cardinality("A"), 2);
+        assert_eq!(pre.label_cardinality("B"), 0);
+        let _ = n;
     }
 
     #[test]

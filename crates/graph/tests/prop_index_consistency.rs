@@ -1,0 +1,258 @@
+//! Property-index consistency under random mutation scripts.
+//!
+//! The invariant: after **every** step — plain mutations, `begin`,
+//! `commit`, `rollback`, and mid-transaction `rollback_to` — every index
+//! lookup must agree with a brute-force scan over the whole graph using
+//! Cypher equality ([`Value::eq3`]). This is the graph-level half of the
+//! guarantee the trigger engine relies on when a statement (or a whole
+//! trigger cascade) aborts; the engine-level half (RecursionLimit aborts)
+//! lives in `pg-triggers`' integration tests.
+
+use pg_graph::{Graph, GraphView, NodeId, PropertyMap, StatementMark, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random script step. Node references are dense indexes into the current
+/// id list so scripts stay valid regardless of prior steps; transaction
+/// steps are no-ops when they do not apply (e.g. `Commit` outside a tx).
+#[derive(Debug, Clone)]
+enum Step {
+    CreateNode { label: u8, prop: u8, val: i64 },
+    DetachDelete { pick: usize },
+    SetProp { pick: usize, prop: u8, val: i64 },
+    SetFloatProp { pick: usize, prop: u8, val: i64 },
+    RemoveProp { pick: usize, prop: u8 },
+    SetNullProp { pick: usize, prop: u8 },
+    SetLabel { pick: usize, label: u8 },
+    RemoveLabel { pick: usize, label: u8 },
+    CreateIndex { label: u8, prop: u8 },
+    DropIndex { label: u8, prop: u8 },
+    Begin,
+    Mark,
+    RollbackTo,
+    Rollback,
+    Commit,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..3, 0u8..3, -4i64..4).prop_map(|(label, prop, val)| Step::CreateNode {
+            label,
+            prop,
+            val
+        }),
+        (0usize..16).prop_map(|pick| Step::DetachDelete { pick }),
+        (0usize..16, 0u8..3, -4i64..4).prop_map(|(pick, prop, val)| Step::SetProp {
+            pick,
+            prop,
+            val
+        }),
+        (0usize..16, 0u8..3, -4i64..4).prop_map(|(pick, prop, val)| Step::SetFloatProp {
+            pick,
+            prop,
+            val
+        }),
+        (0usize..16, 0u8..3).prop_map(|(pick, prop)| Step::RemoveProp { pick, prop }),
+        (0usize..16, 0u8..3).prop_map(|(pick, prop)| Step::SetNullProp { pick, prop }),
+        (0usize..16, 0u8..3).prop_map(|(pick, label)| Step::SetLabel { pick, label }),
+        (0usize..16, 0u8..3).prop_map(|(pick, label)| Step::RemoveLabel { pick, label }),
+        (0u8..3, 0u8..3).prop_map(|(label, prop)| Step::CreateIndex { label, prop }),
+        (0u8..3, 0u8..3).prop_map(|(label, prop)| Step::DropIndex { label, prop }),
+        Just(Step::Begin),
+        Just(Step::Mark),
+        Just(Step::RollbackTo),
+        Just(Step::Rollback),
+        Just(Step::Commit),
+    ]
+}
+
+fn label_name(i: u8) -> String {
+    format!("L{i}")
+}
+fn prop_name(i: u8) -> String {
+    format!("p{i}")
+}
+
+/// Transaction bookkeeping threaded through the script.
+#[derive(Default)]
+struct Driver {
+    marks: Vec<StatementMark>,
+}
+
+impl Driver {
+    fn apply(&mut self, g: &mut Graph, step: &Step) {
+        let nodes = g.all_node_ids();
+        match step {
+            Step::CreateNode { label, prop, val } => {
+                let props: PropertyMap =
+                    [(prop_name(*prop), Value::Int(*val))].into_iter().collect();
+                g.create_node([label_name(*label)], props).unwrap();
+            }
+            Step::DetachDelete { pick } => {
+                if !nodes.is_empty() {
+                    g.detach_delete_node(nodes[pick % nodes.len()]).unwrap();
+                }
+            }
+            Step::SetProp { pick, prop, val } => {
+                if !nodes.is_empty() {
+                    g.set_node_prop(
+                        nodes[pick % nodes.len()],
+                        prop_name(*prop),
+                        Value::Int(*val),
+                    )
+                    .unwrap();
+                }
+            }
+            Step::SetFloatProp { pick, prop, val } => {
+                // integral floats exercise the Int/Float key normalization
+                if !nodes.is_empty() {
+                    g.set_node_prop(
+                        nodes[pick % nodes.len()],
+                        prop_name(*prop),
+                        Value::Float(*val as f64),
+                    )
+                    .unwrap();
+                }
+            }
+            Step::RemoveProp { pick, prop } => {
+                if !nodes.is_empty() {
+                    g.remove_node_prop(nodes[pick % nodes.len()], &prop_name(*prop))
+                        .unwrap();
+                }
+            }
+            Step::SetNullProp { pick, prop } => {
+                if !nodes.is_empty() {
+                    g.set_node_prop(nodes[pick % nodes.len()], prop_name(*prop), Value::Null)
+                        .unwrap();
+                }
+            }
+            Step::SetLabel { pick, label } => {
+                if !nodes.is_empty() {
+                    g.set_label(nodes[pick % nodes.len()], label_name(*label))
+                        .unwrap();
+                }
+            }
+            Step::RemoveLabel { pick, label } => {
+                if !nodes.is_empty() {
+                    g.remove_label(nodes[pick % nodes.len()], &label_name(*label))
+                        .unwrap();
+                }
+            }
+            Step::CreateIndex { label, prop } => {
+                g.create_index(&label_name(*label), &prop_name(*prop));
+            }
+            Step::DropIndex { label, prop } => {
+                g.drop_index(&label_name(*label), &prop_name(*prop));
+            }
+            Step::Begin => {
+                if !g.in_tx() {
+                    g.begin().unwrap();
+                    self.marks.clear();
+                }
+            }
+            Step::Mark => {
+                if g.in_tx() {
+                    self.marks.push(g.mark());
+                }
+            }
+            Step::RollbackTo => {
+                if g.in_tx() {
+                    if let Some(m) = self.marks.pop() {
+                        g.rollback_to(m).unwrap();
+                    }
+                }
+            }
+            Step::Rollback => {
+                if g.in_tx() {
+                    g.rollback().unwrap();
+                    self.marks.clear();
+                }
+            }
+            Step::Commit => {
+                if g.in_tx() {
+                    g.commit().unwrap();
+                    self.marks.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Index lookups == brute-force scan, for every index definition and every
+/// value in (a superset of) the script's value universe.
+fn check_index_vs_scan(g: &Graph) {
+    let all = g.all_node_ids();
+    let mut universe: Vec<Value> = (-5i64..6).map(Value::Int).collect();
+    universe.extend((-5i64..6).map(|v| Value::Float(v as f64)));
+    universe.push(Value::Float(0.5));
+    for (label, key) in g.indexes() {
+        for value in &universe {
+            let via_index: BTreeSet<NodeId> = g
+                .nodes_with_prop(&label, &key, value)
+                .unwrap_or_else(|| panic!("index on ({label},{key}) must answer"))
+                .into_iter()
+                .collect();
+            let via_scan: BTreeSet<NodeId> = all
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    g.node_has_label(id, &label)
+                        && g.node_prop(id, &key)
+                            .is_some_and(|have| have.eq3(value) == Some(true))
+                })
+                .collect();
+            assert_eq!(
+                via_index, via_scan,
+                "index ({label},{key}) diverged from scan for {value}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn index_equals_scan_after_every_step(script in prop::collection::vec(step_strategy(), 0..60)) {
+        let mut g = Graph::new();
+        let mut d = Driver::default();
+        for step in &script {
+            d.apply(&mut g, step);
+            check_index_vs_scan(&g);
+        }
+        // wind down: abort any open transaction and re-check
+        if g.in_tx() {
+            g.rollback().unwrap();
+            check_index_vs_scan(&g);
+        }
+    }
+
+    #[test]
+    fn index_equals_scan_after_full_rollback(pre in prop::collection::vec(step_strategy(), 0..25),
+                                             tx in prop::collection::vec(step_strategy(), 0..25)) {
+        // Indexes created up front so the whole script is index-maintained.
+        let mut g = Graph::new();
+        for l in 0..3u8 {
+            for p in 0..3u8 {
+                g.create_index(&label_name(l), &prop_name(p));
+            }
+        }
+        let mut d = Driver::default();
+        for step in &pre {
+            d.apply(&mut g, step);
+        }
+        if g.in_tx() {
+            g.commit().unwrap();
+        }
+        g.begin().unwrap();
+        for step in &tx {
+            // nested tx control inside: skip tx steps, keep mutations
+            if matches!(step, Step::Begin | Step::Rollback | Step::Commit) {
+                continue;
+            }
+            d.apply(&mut g, step);
+        }
+        g.rollback().unwrap();
+        check_index_vs_scan(&g);
+    }
+}

@@ -14,7 +14,7 @@
 //!                                      -- is a label)
 //! edge_type  ::= (: <SrcType>) - [ <TypeName> : <Label> [props] ] -> (: <DstType>)
 //! props      ::= { prop (, prop)* }
-//! prop       ::= [OPTIONAL] <name> <type> [KEY]
+//! prop       ::= [OPTIONAL] <name> <type> [KEY] [INDEX]
 //! ```
 
 use crate::types::{EdgeTypeDef, GraphType, NodeTypeDef, PropDef, PropType, SchemaError};
@@ -319,11 +319,13 @@ fn parse_props(p: &mut Parser) -> Result<Vec<PropDef>, SchemaError> {
             let prop_type = PropType::parse(&tword)
                 .ok_or_else(|| SchemaError::Parse(format!("unknown property type '{tword}'")))?;
             let key = p.eat_keyword("KEY");
+            let indexed = p.eat_keyword("INDEX");
             out.push(PropDef {
                 name,
                 prop_type,
                 required,
                 key,
+                indexed,
             });
             if !p.eat(&Tok::Comma) {
                 break;
@@ -367,6 +369,29 @@ mod tests {
         assert_eq!(gt.edge_types.len(), 1);
         assert_eq!(gt.edge_types[0].label, "TreatedAt");
         assert_eq!(gt.edge_types[0].src_type, "HospitalizedPatientType");
+    }
+
+    #[test]
+    fn parse_index_qualifier_and_indexed_props() {
+        let gt = parse_graph_type(
+            "CREATE GRAPH TYPE G STRICT {
+               (PatientType: Patient {ssn STRING KEY, name STRING INDEX, age INT32}),
+               (HospitalType: Hospital {name STRING INDEX})
+             }",
+        )
+        .unwrap();
+        let p = gt.node_type("PatientType").unwrap();
+        assert!(p.props.iter().any(|d| d.name == "name" && d.indexed));
+        assert!(p.props.iter().any(|d| d.name == "age" && !d.indexed));
+        // KEY implies an index; explicit INDEX adds one.
+        assert_eq!(
+            gt.indexed_props(),
+            vec![
+                ("Hospital".to_string(), "name".to_string()),
+                ("Patient".to_string(), "name".to_string()),
+                ("Patient".to_string(), "ssn".to_string()),
+            ]
+        );
     }
 
     #[test]

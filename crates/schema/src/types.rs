@@ -86,6 +86,10 @@ pub struct PropDef {
     pub required: bool,
     /// `KEY` properties form the type's PG-Key (unique, mandatory).
     pub key: bool,
+    /// `INDEX` properties request a property index on `(label, name)`
+    /// for every own label of the declaring type. `KEY` implies an index
+    /// (key-based access is the point of a key).
+    pub indexed: bool,
 }
 
 /// A node type: a set of labels (own + inherited), property declarations,
@@ -234,6 +238,27 @@ impl GraphType {
         out
     }
 
+    /// The `(label, property)` pairs that declare a property index: every
+    /// own label of a node type paired with each of its own `INDEX` (or
+    /// `KEY`, which implies an index) property declarations. The trigger
+    /// engine creates these indexes when the graph type is attached to a
+    /// session.
+    pub fn indexed_props(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        for t in &self.node_types {
+            for p in &t.props {
+                if p.indexed || p.key {
+                    for l in &t.labels {
+                        out.push((l.clone(), p.name.clone()));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// The full property declarations of a node type including inherited
     /// ones (own declarations shadow inherited declarations of the same
     /// property name).
@@ -287,6 +312,7 @@ mod tests {
             prop_type: t,
             required: true,
             key: false,
+            indexed: false,
         }
     }
 
@@ -305,6 +331,7 @@ mod tests {
                             prop_type: PropType::String,
                             required: true,
                             key: true,
+                            indexed: false,
                         },
                         prop("name", PropType::String),
                     ],

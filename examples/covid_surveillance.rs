@@ -22,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         admissions_per_wave: 9,
         discoveries: 4,
         redesignations: 2,
+        indexed: false,
     };
 
     let mut scenario = Scenario::new(cfg);

@@ -26,6 +26,7 @@ fn cfg() -> ScenarioConfig {
         admissions_per_wave: 7,
         discoveries: 3,
         redesignations: 2,
+        indexed: false,
     }
 }
 

@@ -133,6 +133,7 @@ fn whole_scenario_stays_conformant_under_guard() {
         admissions_per_wave: 5,
         discoveries: 1,
         redesignations: 1,
+        indexed: false,
     });
     sc.session.set_schema(pg_covid::covid_graph_type());
     let report = sc.run().unwrap();
