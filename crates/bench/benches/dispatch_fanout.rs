@@ -1,0 +1,79 @@
+//! Trigger dispatch under fan-out: the per-statement cost of triggers that
+//! can never fire.
+//!
+//! A realistic catalog holds many triggers monitoring disjoint labels; the
+//! event-keyed dispatch pre-filter must make an activating statement pay
+//! (close to) nothing for the irrelevant ones — no `TriggerSpec` clones, no
+//! `PreStateView` builds, no `affected_items` walks. The acceptance bar:
+//! a hot write with 100 installed-but-irrelevant triggers stays within ~2×
+//! of the zero-trigger baseline.
+//!
+//! Quick mode for CI: `cargo bench --bench dispatch_fanout -- --test`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::workloads::install_n_triggers;
+use pg_triggers::Session;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--quick")
+}
+
+fn bench_dispatch_fanout(c: &mut Criterion) {
+    let samples = if quick_mode() { 10 } else { 50 };
+    let mut group = c.benchmark_group("dispatch_fanout");
+    group.sample_size(samples);
+
+    // zero triggers — the floor
+    let mut baseline = Session::new();
+    group.bench_with_input(BenchmarkId::new("triggers", 0), &0, |b, _| {
+        b.iter(|| baseline.run("CREATE (:Target {i: 1})").unwrap())
+    });
+
+    // 100 triggers on labels the statement never touches
+    let mut irrelevant = Session::new();
+    install_n_triggers(&mut irrelevant, 100, false);
+    group.bench_with_input(
+        BenchmarkId::new("irrelevant_triggers", 100),
+        &100,
+        |b, _| b.iter(|| irrelevant.run("CREATE (:Target {i: 1})").unwrap()),
+    );
+
+    // 100 irrelevant + 1 matching: the pre-filter must not break real
+    // dispatch, and the marginal cost should be the one firing trigger.
+    let mut mixed = Session::new();
+    install_n_triggers(&mut mixed, 100, false);
+    mixed
+        .install(
+            "CREATE TRIGGER hot AFTER CREATE ON 'Target' FOR EACH NODE
+             BEGIN CREATE (:Fired) END",
+        )
+        .unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("irrelevant_plus_one_matching", 101),
+        &101,
+        |b, _| b.iter(|| mixed.run("CREATE (:Target {i: 1})").unwrap()),
+    );
+    group.finish();
+
+    // Sanity outside the timed loops: the matching trigger really fired.
+    let fired = mixed
+        .run("MATCH (f:Fired) RETURN count(*) AS n")
+        .unwrap()
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap();
+    assert!(
+        fired > 0,
+        "matching trigger must fire through the pre-filter"
+    );
+    let stray = irrelevant
+        .run("MATCH (f:Fired) RETURN count(*) AS n")
+        .unwrap()
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap();
+    assert_eq!(stray, 0, "irrelevant triggers must not fire");
+}
+
+criterion_group!(benches, bench_dispatch_fanout);
+criterion_main!(benches);

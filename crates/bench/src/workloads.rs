@@ -16,6 +16,26 @@ pub fn session_with_items(n: usize) -> Session {
     s
 }
 
+/// Like [`session_with_items`], but each node also carries a zero-padded
+/// string `name` (`item000042`) so prefix scans have a sortable target.
+pub fn session_with_named_items(n: usize) -> Session {
+    let mut s = Session::new();
+    let g = s.graph_mut();
+    for i in 0..n {
+        let props: pg_graph::PropertyMap = [
+            ("k".to_string(), pg_graph::Value::Int(i as i64)),
+            (
+                "name".to_string(),
+                pg_graph::Value::str(format!("item{i:06}")),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        g.create_node(["Item"], props).unwrap();
+    }
+    s
+}
+
 /// Install `n` AFTER-CREATE triggers on distinct labels; when
 /// `matching` is true they all monitor `Target`, otherwise none does.
 pub fn install_n_triggers(s: &mut Session, n: usize, matching: bool) {

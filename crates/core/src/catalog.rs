@@ -1,7 +1,22 @@
-//! The trigger catalog: installed triggers with a total activation order.
+//! The trigger catalog: installed triggers with a total activation order
+//! and an event-keyed dispatch pre-filter.
+//!
+//! Trigger conditions are evaluated on every activating statement, so the
+//! catalog must let the engine skip triggers whose events *cannot*
+//! intersect a statement's delta **before** any per-trigger work (building
+//! a `PreStateView`, computing affected items). [`DeltaSignature`]
+//! compresses a delta into the touched event kinds, labels/types and
+//! property keys; [`TriggerCatalog::wants`] answers "could any enabled
+//! trigger of this action time match?" from a per-action-time summary
+//! (event-kind bitmask + label set) maintained across installs/drops, and
+//! [`TriggerCatalog::scheduled_matching`] yields only the triggers that
+//! survive the per-spec filter, as cheap `Arc` clones.
 
 use crate::error::InstallError;
-use crate::spec::{ActionTime, TriggerSpec};
+use crate::spec::{ActionTime, EventType, ItemKind, TriggerSpec};
+use pg_graph::Delta;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// How triggers sharing an action time are ordered (paper §4.2: "the most
 /// sensible option … is to resort to the trigger creation time"; footnote 3
@@ -16,14 +31,166 @@ pub enum OrderPolicy {
     Name,
 }
 
-/// One catalog entry.
+/// One catalog entry. The spec is shared (`Arc`) so per-statement dispatch
+/// never deep-clones trigger bodies.
 #[derive(Debug, Clone)]
 pub struct InstalledTrigger {
-    pub spec: TriggerSpec,
+    pub spec: Arc<TriggerSpec>,
     /// Installation sequence number (creation-time order).
     pub seq: u64,
     /// Paused triggers (APOC `stop`/`start` parity) don't activate.
     pub enabled: bool,
+}
+
+/// The `(event, item)` kind of a trigger as one bit of an 8-bit mask.
+fn kind_bit(event: EventType, item: ItemKind) -> u8 {
+    let e = match event {
+        EventType::Create => 0,
+        EventType::Delete => 1,
+        EventType::Set => 2,
+        EventType::Remove => 3,
+    };
+    let i = match item {
+        ItemKind::Node => 0,
+        ItemKind::Relationship => 1,
+    };
+    1u8 << (e * 2 + i)
+}
+
+/// Per-action-time dispatch summary: which event kinds any enabled trigger
+/// monitors, and the union of their target labels/types. Lets the engine
+/// skip a whole trigger phase in O(delta) without touching the specs.
+#[derive(Debug, Default, Clone)]
+struct DispatchSummary {
+    /// OR of [`kind_bit`] over enabled triggers of this action time.
+    kinds: u8,
+    /// Union of target labels/types of enabled triggers whose label check
+    /// is exact at dispatch (CREATE/DELETE and label SET/REMOVE events).
+    labels: HashSet<String>,
+    /// Union of monitored property keys of enabled property-event triggers
+    /// at this action time. Their target *label* cannot be checked from
+    /// the delta alone (the touched item may carry the label without the
+    /// delta mentioning it), but the key can.
+    prop_keys: HashSet<String>,
+}
+
+/// The touched event kinds, labels/types and property keys of a statement
+/// delta — everything the dispatch pre-filter needs, computed once per
+/// statement.
+#[derive(Debug, Default)]
+pub struct DeltaSignature {
+    kinds: u8,
+    /// Labels/types with exact dispatch semantics: created/deleted node
+    /// labels and rel types, assigned/removed labels.
+    labels: HashSet<String>,
+    /// Union of all assigned/removed property keys (node and rel).
+    prop_keys: HashSet<String>,
+    assigned_node_prop_keys: HashSet<String>,
+    removed_node_prop_keys: HashSet<String>,
+    assigned_rel_prop_keys: HashSet<String>,
+    removed_rel_prop_keys: HashSet<String>,
+    /// Labels touched by label SET events only (label-event dispatch).
+    assigned_labels: HashSet<String>,
+    removed_labels: HashSet<String>,
+    created_node_labels: HashSet<String>,
+    deleted_node_labels: HashSet<String>,
+    created_rel_types: HashSet<String>,
+    deleted_rel_types: HashSet<String>,
+}
+
+impl DeltaSignature {
+    /// Compress a delta into its dispatch signature.
+    pub fn of(delta: &Delta) -> DeltaSignature {
+        let mut sig = DeltaSignature::default();
+        for n in &delta.created_nodes {
+            sig.kinds |= kind_bit(EventType::Create, ItemKind::Node);
+            sig.created_node_labels.extend(n.labels.iter().cloned());
+        }
+        for n in &delta.deleted_nodes {
+            sig.kinds |= kind_bit(EventType::Delete, ItemKind::Node);
+            sig.deleted_node_labels.extend(n.labels.iter().cloned());
+        }
+        for r in &delta.created_rels {
+            sig.kinds |= kind_bit(EventType::Create, ItemKind::Relationship);
+            sig.created_rel_types.insert(r.rel_type.clone());
+        }
+        for r in &delta.deleted_rels {
+            sig.kinds |= kind_bit(EventType::Delete, ItemKind::Relationship);
+            sig.deleted_rel_types.insert(r.rel_type.clone());
+        }
+        for ev in &delta.assigned_labels {
+            sig.kinds |= kind_bit(EventType::Set, ItemKind::Node);
+            sig.assigned_labels.insert(ev.label.clone());
+        }
+        for ev in &delta.removed_labels {
+            sig.kinds |= kind_bit(EventType::Remove, ItemKind::Node);
+            sig.removed_labels.insert(ev.label.clone());
+        }
+        for pa in &delta.assigned_node_props {
+            sig.kinds |= kind_bit(EventType::Set, ItemKind::Node);
+            sig.assigned_node_prop_keys.insert(pa.key.clone());
+        }
+        for pr in &delta.removed_node_props {
+            sig.kinds |= kind_bit(EventType::Remove, ItemKind::Node);
+            sig.removed_node_prop_keys.insert(pr.key.clone());
+        }
+        for pa in &delta.assigned_rel_props {
+            sig.kinds |= kind_bit(EventType::Set, ItemKind::Relationship);
+            sig.assigned_rel_prop_keys.insert(pa.key.clone());
+        }
+        for pr in &delta.removed_rel_props {
+            sig.kinds |= kind_bit(EventType::Remove, ItemKind::Relationship);
+            sig.removed_rel_prop_keys.insert(pr.key.clone());
+        }
+        sig.labels.extend(sig.created_node_labels.iter().cloned());
+        sig.labels.extend(sig.deleted_node_labels.iter().cloned());
+        sig.labels.extend(sig.created_rel_types.iter().cloned());
+        sig.labels.extend(sig.deleted_rel_types.iter().cloned());
+        sig.labels.extend(sig.assigned_labels.iter().cloned());
+        sig.labels.extend(sig.removed_labels.iter().cloned());
+        sig.prop_keys
+            .extend(sig.assigned_node_prop_keys.iter().cloned());
+        sig.prop_keys
+            .extend(sig.removed_node_prop_keys.iter().cloned());
+        sig.prop_keys
+            .extend(sig.assigned_rel_prop_keys.iter().cloned());
+        sig.prop_keys
+            .extend(sig.removed_rel_prop_keys.iter().cloned());
+        sig
+    }
+
+    /// Whether a trigger's event can intersect this delta. Exact on event
+    /// kind, target label/type (for creation/deletion/label events) and
+    /// monitored property key; property events over-approximate the target
+    /// label check (done precisely by `affected_items` later).
+    pub fn may_match(&self, spec: &TriggerSpec) -> bool {
+        match (spec.event, spec.item) {
+            (EventType::Create, ItemKind::Node) => self.created_node_labels.contains(&spec.label),
+            (EventType::Create, ItemKind::Relationship) => {
+                self.created_rel_types.contains(&spec.label)
+            }
+            (EventType::Delete, ItemKind::Node) => self.deleted_node_labels.contains(&spec.label),
+            (EventType::Delete, ItemKind::Relationship) => {
+                self.deleted_rel_types.contains(&spec.label)
+            }
+            (EventType::Set, ItemKind::Node) => match &spec.property {
+                None => self.assigned_labels.contains(&spec.label),
+                Some(p) => self.assigned_node_prop_keys.contains(p),
+            },
+            (EventType::Remove, ItemKind::Node) => match &spec.property {
+                None => self.removed_labels.contains(&spec.label),
+                Some(p) => self.removed_node_prop_keys.contains(p),
+            },
+            (EventType::Set, ItemKind::Relationship) => spec
+                .property
+                .as_ref()
+                .is_some_and(|p| self.assigned_rel_prop_keys.contains(p)),
+            (EventType::Remove, ItemKind::Relationship) => spec
+                .property
+                .as_ref()
+                .is_some_and(|p| self.removed_rel_prop_keys.contains(p)),
+        }
+    }
 }
 
 /// The catalog of installed triggers.
@@ -32,6 +199,18 @@ pub struct TriggerCatalog {
     triggers: Vec<InstalledTrigger>,
     next_seq: u64,
     pub order: OrderPolicy,
+    /// Per-action-time dispatch summaries (Before/After/OnCommit/Detached),
+    /// rebuilt on install/drop/enable changes.
+    summaries: [DispatchSummary; 4],
+}
+
+fn time_slot(time: ActionTime) -> usize {
+    match time {
+        ActionTime::Before => 0,
+        ActionTime::After => 1,
+        ActionTime::OnCommit => 2,
+        ActionTime::Detached => 3,
+    }
 }
 
 impl TriggerCatalog {
@@ -47,10 +226,11 @@ impl TriggerCatalog {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.triggers.push(InstalledTrigger {
-            spec,
+            spec: Arc::new(spec),
             seq,
             enabled: true,
         });
+        self.rebuild_summaries();
         Ok(seq)
     }
 
@@ -58,12 +238,17 @@ impl TriggerCatalog {
     pub fn drop_trigger(&mut self, name: &str) -> bool {
         let before = self.triggers.len();
         self.triggers.retain(|t| t.spec.name != name);
-        self.triggers.len() != before
+        let dropped = self.triggers.len() != before;
+        if dropped {
+            self.rebuild_summaries();
+        }
+        dropped
     }
 
     /// Drop all triggers (APOC `dropAll`).
     pub fn drop_all(&mut self) {
         self.triggers.clear();
+        self.rebuild_summaries();
     }
 
     /// Pause (`false`) or resume (`true`) a trigger; `true` if found.
@@ -71,10 +256,35 @@ impl TriggerCatalog {
         match self.triggers.iter_mut().find(|t| t.spec.name == name) {
             Some(t) => {
                 t.enabled = enabled;
+                self.rebuild_summaries();
                 true
             }
             None => false,
         }
+    }
+
+    /// Recompute the per-action-time dispatch summaries. Catalog mutations
+    /// are rare next to statement dispatch, so summaries are maintained
+    /// eagerly here and read lock-step on every statement.
+    fn rebuild_summaries(&mut self) {
+        let mut summaries: [DispatchSummary; 4] = Default::default();
+        for t in self.triggers.iter().filter(|t| t.enabled) {
+            let s = &mut summaries[time_slot(t.spec.time)];
+            s.kinds |= kind_bit(t.spec.event, t.spec.item);
+            // Bucket by how `affected_items` actually dispatches: only
+            // SET/REMOVE events key on the monitored property; a property
+            // on a CREATE/DELETE trigger is ignored there, so the trigger
+            // must gate on its label like any creation/deletion trigger.
+            match (&t.spec.event, &t.spec.property) {
+                (EventType::Set | EventType::Remove, Some(p)) => {
+                    s.prop_keys.insert(p.clone());
+                }
+                _ => {
+                    s.labels.insert(t.spec.label.clone());
+                }
+            }
+        }
+        self.summaries = summaries;
     }
 
     pub fn get(&self, name: &str) -> Option<&InstalledTrigger> {
@@ -106,6 +316,43 @@ impl TriggerCatalog {
             OrderPolicy::Name => out.sort_by(|a, b| a.spec.name.cmp(&b.spec.name)),
         }
         out
+    }
+
+    /// O(1)-ish phase gate: could **any** enabled trigger of `time` match a
+    /// statement with this delta signature? Checked before building a
+    /// `PreStateView` or cloning anything. Exact on event kinds, on the
+    /// target labels of creation/deletion/label-event triggers, and on the
+    /// monitored keys of property-event triggers (the latter's label check
+    /// is deferred to `affected_items`).
+    pub fn wants(&self, time: ActionTime, sig: &DeltaSignature) -> bool {
+        let s = &self.summaries[time_slot(time)];
+        if s.kinds & sig.kinds == 0 {
+            return false;
+        }
+        !s.labels.is_disjoint(&sig.labels) || !s.prop_keys.is_disjoint(&sig.prop_keys)
+    }
+
+    /// Enabled triggers of `time` whose event can intersect the delta, in
+    /// activation order, as shared specs (no deep clones).
+    pub fn scheduled_matching(
+        &self,
+        time: ActionTime,
+        sig: &DeltaSignature,
+    ) -> Vec<Arc<TriggerSpec>> {
+        self.scheduled(time)
+            .into_iter()
+            .filter(|t| sig.may_match(&t.spec))
+            .map(|t| Arc::clone(&t.spec))
+            .collect()
+    }
+
+    /// Enabled triggers of `time` as shared specs, unfiltered (ONCOMMIT
+    /// rounds re-filter per round against each round's delta).
+    pub fn scheduled_specs(&self, time: ActionTime) -> Vec<Arc<TriggerSpec>> {
+        self.scheduled(time)
+            .into_iter()
+            .map(|t| Arc::clone(&t.spec))
+            .collect()
     }
 }
 
@@ -159,6 +406,102 @@ mod tests {
             c.install(spec("t", "AFTER")),
             Err(InstallError::DuplicateName(_))
         ));
+    }
+
+    #[test]
+    fn delta_signature_prefilters_by_label_and_kind() {
+        use pg_graph::{NodeId, NodeRecord};
+        let mut c = TriggerCatalog::new();
+        c.install(spec("on_a", "AFTER")).unwrap(); // AFTER CREATE ON 'L'
+        let mut other = spec("on_b", "AFTER");
+        other.label = "B".into();
+        c.install(other).unwrap();
+
+        // a statement creating only a :B node
+        let mut delta = Delta::default();
+        let mut rec = NodeRecord::new(NodeId(1));
+        rec.labels.insert("B".to_string());
+        delta.created_nodes.push(rec);
+        let sig = DeltaSignature::of(&delta);
+
+        // the :L trigger is filtered out before any evaluation…
+        let matching = c.scheduled_matching(ActionTime::After, &sig);
+        assert_eq!(matching.len(), 1);
+        assert_eq!(matching[0].label, "B");
+        // …and the phase gate still opens (one trigger matches)
+        assert!(c.wants(ActionTime::After, &sig));
+        // no BEFORE triggers installed at all: that phase is gated off
+        assert!(!c.wants(ActionTime::Before, &sig));
+
+        // a label-disjoint statement gates the whole AFTER phase off
+        let mut delta2 = Delta::default();
+        let mut rec2 = NodeRecord::new(NodeId(2));
+        rec2.labels.insert("Unrelated".to_string());
+        delta2.created_nodes.push(rec2);
+        let sig2 = DeltaSignature::of(&delta2);
+        assert!(!c.wants(ActionTime::After, &sig2));
+        assert!(c.scheduled_matching(ActionTime::After, &sig2).is_empty());
+
+        // an event-kind-disjoint statement (deletion) gates it off too
+        let mut delta3 = Delta::default();
+        let mut rec3 = NodeRecord::new(NodeId(3));
+        rec3.labels.insert("L".to_string());
+        delta3.deleted_nodes.push(rec3);
+        let sig3 = DeltaSignature::of(&delta3);
+        assert!(!c.wants(ActionTime::After, &sig3));
+    }
+
+    #[test]
+    fn property_event_triggers_filter_by_key_not_label() {
+        use pg_graph::{NodeId, PropAssign, Value};
+        let src = "CREATE TRIGGER p AFTER SET ON 'L'.'occupancy' FOR EACH NODE
+                   BEGIN CREATE (:X) END";
+        let mut c = TriggerCatalog::new();
+        match crate::ddl::parse_trigger_ddl(src).unwrap() {
+            crate::ddl::DdlStatement::CreateTrigger(s) => c.install(s).unwrap(),
+            _ => panic!(),
+        };
+        // assignment of the monitored key on an unlabeled node: the label
+        // check cannot be decided from the delta — must stay scheduled
+        let mut delta = Delta::default();
+        delta.assigned_node_props.push(PropAssign {
+            target: NodeId(1),
+            key: "occupancy".into(),
+            old: Value::Null,
+            new: Value::Float(0.97),
+        });
+        let sig = DeltaSignature::of(&delta);
+        assert!(c.wants(ActionTime::After, &sig));
+        assert_eq!(c.scheduled_matching(ActionTime::After, &sig).len(), 1);
+        // a different key is filtered out
+        let mut delta2 = Delta::default();
+        delta2.assigned_node_props.push(PropAssign {
+            target: NodeId(1),
+            key: "other".into(),
+            old: Value::Null,
+            new: Value::Int(1),
+        });
+        let sig2 = DeltaSignature::of(&delta2);
+        assert!(!c.wants(ActionTime::After, &sig2));
+    }
+
+    #[test]
+    fn summaries_track_enable_disable_and_drop() {
+        use pg_graph::{NodeId, NodeRecord};
+        let mut c = TriggerCatalog::new();
+        c.install(spec("t", "AFTER")).unwrap();
+        let mut delta = Delta::default();
+        let mut rec = NodeRecord::new(NodeId(1));
+        rec.labels.insert("L".to_string());
+        delta.created_nodes.push(rec);
+        let sig = DeltaSignature::of(&delta);
+        assert!(c.wants(ActionTime::After, &sig));
+        c.set_enabled("t", false);
+        assert!(!c.wants(ActionTime::After, &sig));
+        c.set_enabled("t", true);
+        assert!(c.wants(ActionTime::After, &sig));
+        c.drop_trigger("t");
+        assert!(!c.wants(ActionTime::After, &sig));
     }
 
     #[test]

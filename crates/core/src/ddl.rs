@@ -50,6 +50,10 @@ pub enum IndexDdl {
     Create { label: String, key: String },
     /// `DROP INDEX ON :Label(key)`
     Drop { label: String, key: String },
+    /// `CREATE INDEX ON -[:TYPE(key)]-` (relationship-property index)
+    CreateRel { rel_type: String, key: String },
+    /// `DROP INDEX ON -[:TYPE(key)]-`
+    DropRel { rel_type: String, key: String },
 }
 
 /// Quick check whether a source string looks like index DDL.
@@ -60,7 +64,9 @@ pub fn is_index_ddl(src: &str) -> bool {
 
 /// Parse `CREATE INDEX ON :Label(key)` / `DROP INDEX ON :Label(key)`
 /// (Neo4j's classic index DDL shape; the label may be quoted like the
-/// trigger grammar's `ON 'Mutation'`).
+/// trigger grammar's `ON 'Mutation'`) and the relationship form
+/// `CREATE INDEX ON -[:TYPE(key)]-` / `DROP INDEX ON -[:TYPE(key)]-`
+/// (the surrounding dashes are optional: `[:TYPE(key)]` also parses).
 pub fn parse_index_ddl(src: &str) -> Result<IndexDdl, InstallError> {
     let tokens = lex(src).map_err(InstallError::Parse)?;
     let mut p = DdlParser {
@@ -83,23 +89,44 @@ pub fn parse_index_ddl(src: &str) -> Result<IndexDdl, InstallError> {
         return Err(p.err("expected ON"));
     }
     p.bump();
+
+    // Relationship form: [-] [ : TYPE ( key ) ] [-]
+    let leading_dash = p.peek() == &TokenKind::Minus;
+    if leading_dash {
+        p.bump();
+    }
+    if p.peek() == &TokenKind::LBracket {
+        p.bump();
+        if p.peek() == &TokenKind::Colon {
+            p.bump();
+        }
+        let rel_type = p.expect_name()?;
+        let key = p.paren_key()?;
+        if p.peek() != &TokenKind::RBracket {
+            return Err(p.err("expected ']' after the relationship key"));
+        }
+        p.bump();
+        if p.peek() == &TokenKind::Minus {
+            p.bump();
+        }
+        p.expect_end("index DDL")?;
+        return Ok(if create {
+            IndexDdl::CreateRel { rel_type, key }
+        } else {
+            IndexDdl::DropRel { rel_type, key }
+        });
+    }
+    if leading_dash {
+        return Err(p.err("expected '[' after '-' in relationship index DDL"));
+    }
+
+    // Node form: [:] Label ( key )
     if p.peek() == &TokenKind::Colon {
         p.bump();
     }
     let label = p.expect_name()?;
-    if p.peek() != &TokenKind::LParen {
-        return Err(p.err("expected '(' after the label"));
-    }
-    p.bump();
-    let key = p.expect_name()?;
-    if p.peek() != &TokenKind::RParen {
-        return Err(p.err("expected ')' after the property key"));
-    }
-    p.bump();
-    match p.peek() {
-        TokenKind::Eof | TokenKind::Semicolon => {}
-        other => return Err(p.err(format!("unexpected input after index DDL: {other}"))),
-    }
+    let key = p.paren_key()?;
+    p.expect_end("index DDL")?;
     Ok(if create {
         IndexDdl::Create { label, key }
     } else {
@@ -166,6 +193,28 @@ impl<'a> DdlParser<'a> {
                     Err(self.err(format!("expected a name, found {other}")))
                 }
             }
+        }
+    }
+
+    /// `( key )` — the parenthesized property key of index DDL.
+    fn paren_key(&mut self) -> Result<String, InstallError> {
+        if self.peek() != &TokenKind::LParen {
+            return Err(self.err("expected '(' after the label"));
+        }
+        self.bump();
+        let key = self.expect_name()?;
+        if self.peek() != &TokenKind::RParen {
+            return Err(self.err("expected ')' after the property key"));
+        }
+        self.bump();
+        Ok(key)
+    }
+
+    /// Require end of input (optionally a trailing semicolon).
+    fn expect_end(&mut self, what: &str) -> Result<(), InstallError> {
+        match self.peek() {
+            TokenKind::Eof | TokenKind::Semicolon => Ok(()),
+            other => Err(self.err(format!("unexpected input after {what}: {other}"))),
         }
     }
 

@@ -36,6 +36,10 @@ pub enum InstallError {
     DuplicateIndex { label: String, key: String },
     /// `DROP INDEX` on a `(label, key)` that is not indexed.
     UnknownIndex { label: String, key: String },
+    /// `CREATE INDEX` on an already-indexed `(rel_type, key)`.
+    DuplicateRelIndex { rel_type: String, key: String },
+    /// `DROP INDEX` on a `(rel_type, key)` that is not indexed.
+    UnknownRelIndex { rel_type: String, key: String },
 }
 
 impl fmt::Display for InstallError {
@@ -63,6 +67,12 @@ impl fmt::Display for InstallError {
             }
             InstallError::UnknownIndex { label, key } => {
                 write!(f, "no index on :{label}({key})")
+            }
+            InstallError::DuplicateRelIndex { rel_type, key } => {
+                write!(f, "index on -[:{rel_type}({key})]- already exists")
+            }
+            InstallError::UnknownRelIndex { rel_type, key } => {
+                write!(f, "no index on -[:{rel_type}({key})]-")
             }
         }
     }

@@ -49,7 +49,7 @@ pub mod session;
 pub mod spec;
 pub mod termination;
 
-pub use catalog::{InstalledTrigger, OrderPolicy, TriggerCatalog};
+pub use catalog::{DeltaSignature, InstalledTrigger, OrderPolicy, TriggerCatalog};
 pub use ddl::{
     is_index_ddl, is_trigger_ddl, parse_index_ddl, parse_trigger_ddl, DdlStatement, IndexDdl,
 };

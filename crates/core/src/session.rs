@@ -22,7 +22,7 @@
 //!    committed transaction.
 
 use crate::binding::{affected_items, seed_rows, Affected};
-use crate::catalog::{OrderPolicy, TriggerCatalog};
+use crate::catalog::{DeltaSignature, OrderPolicy, TriggerCatalog};
 use crate::ddl::{
     is_index_ddl, is_trigger_ddl, parse_index_ddl, parse_trigger_ddl, DdlStatement, IndexDdl,
 };
@@ -31,6 +31,11 @@ use crate::spec::{ActionTime, TriggerSpec};
 use pg_cypher::{parse_query, run_ast, run_read_only, Params, Query, QueryOutput, Row};
 use pg_graph::{Graph, PreStateView, StatementMark, WritePolicy};
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Captured DETACHED activations: each entry is one activation unit's
+/// trigger (shared) and seed rows.
+type DetachedQueue = VecDeque<(Arc<TriggerSpec>, Vec<Row>)>;
 
 use crate::schema_guard::SchemaGuard;
 
@@ -86,6 +91,8 @@ pub enum ExecResult {
     TriggerDropped(String),
     IndexCreated { label: String, key: String },
     IndexDropped { label: String, key: String },
+    RelIndexCreated { rel_type: String, key: String },
+    RelIndexDropped { rel_type: String, key: String },
 }
 
 /// An active-graph session: graph + trigger catalog + engine.
@@ -136,6 +143,9 @@ impl Session {
     pub fn set_schema(&mut self, graph_type: pg_schema::GraphType) {
         for (label, key) in graph_type.indexed_props() {
             self.graph.create_index(&label, &key);
+        }
+        for (rel_type, key) in graph_type.indexed_rel_props() {
+            self.graph.create_rel_index(&rel_type, &key);
         }
         self.schema = Some(SchemaGuard::new(graph_type));
     }
@@ -253,6 +263,14 @@ impl Session {
                     self.drop_index(&label, &key)?;
                     Ok(ExecResult::IndexDropped { label, key })
                 }
+                IndexDdl::CreateRel { rel_type, key } => {
+                    self.create_rel_index(&rel_type, &key)?;
+                    Ok(ExecResult::RelIndexCreated { rel_type, key })
+                }
+                IndexDdl::DropRel { rel_type, key } => {
+                    self.drop_rel_index(&rel_type, &key)?;
+                    Ok(ExecResult::RelIndexDropped { rel_type, key })
+                }
             }
         } else {
             self.run(src).map(ExecResult::Query)
@@ -288,6 +306,38 @@ impl Session {
     /// All `(label, key)` property-index definitions, sorted.
     pub fn indexes(&self) -> Vec<(String, String)> {
         self.graph.indexes()
+    }
+
+    /// Create a relationship-property index on `(rel_type, key)`,
+    /// populated from the current type extent and maintained through every
+    /// subsequent mutation (including statement rollback and aborted
+    /// trigger cascades), exactly like node indexes.
+    pub fn create_rel_index(&mut self, rel_type: &str, key: &str) -> Result<(), TriggerError> {
+        if self.graph.create_rel_index(rel_type, key) {
+            Ok(())
+        } else {
+            Err(TriggerError::Install(InstallError::DuplicateRelIndex {
+                rel_type: rel_type.to_string(),
+                key: key.to_string(),
+            }))
+        }
+    }
+
+    /// Drop the relationship-property index on `(rel_type, key)`.
+    pub fn drop_rel_index(&mut self, rel_type: &str, key: &str) -> Result<(), TriggerError> {
+        if self.graph.drop_rel_index(rel_type, key) {
+            Ok(())
+        } else {
+            Err(TriggerError::Install(InstallError::UnknownRelIndex {
+                rel_type: rel_type.to_string(),
+                key: key.to_string(),
+            }))
+        }
+    }
+
+    /// All `(rel_type, key)` relationship-index definitions, sorted.
+    pub fn rel_indexes(&self) -> Vec<(String, String)> {
+        self.graph.rel_indexes()
     }
 
     /// Run one query as a statement (auto-commit unless inside an explicit
@@ -384,37 +434,38 @@ impl Session {
     }
 
     /// ONCOMMIT fixpoint + detached activation capture + store commit.
-    fn commit_inner(
-        &mut self,
-        tx_mark: StatementMark,
-    ) -> Result<VecDeque<(TriggerSpec, Vec<Row>)>, TriggerError> {
-        let oncommit: Vec<TriggerSpec> = self
-            .catalog
-            .scheduled(ActionTime::OnCommit)
-            .iter()
-            .map(|t| t.spec.clone())
-            .collect();
+    fn commit_inner(&mut self, tx_mark: StatementMark) -> Result<DetachedQueue, TriggerError> {
+        let oncommit = self.catalog.scheduled_specs(ActionTime::OnCommit);
 
         let mut round_mark = tx_mark;
         let mut rounds = 0usize;
         loop {
-            let ops = self.graph.ops_since(round_mark).to_vec();
-            if ops.is_empty() {
+            if self.graph.ops_since(round_mark).is_empty() {
                 break;
             }
             let delta = self.graph.delta_since(round_mark);
             if delta.is_empty() || oncommit.is_empty() {
                 break;
             }
+            // Event-keyed pre-filter: skip the round (and the PreStateView)
+            // when no ONCOMMIT trigger's event intersects the round delta.
+            let sig = DeltaSignature::of(&delta);
+            if !self.catalog.wants(ActionTime::OnCommit, &sig) {
+                break;
+            }
             // Activations for this round are bound against the round delta.
-            let mut activations: Vec<(TriggerSpec, Vec<Row>, Affected)> = Vec::new();
+            let mut activations: Vec<(Arc<TriggerSpec>, Vec<Row>, Affected)> = Vec::new();
             {
-                let pre = PreStateView::new(&self.graph, &ops);
+                let ops = self.graph.ops_since(round_mark);
+                let pre = PreStateView::new(&self.graph, ops);
                 for spec in &oncommit {
+                    if !sig.may_match(spec) {
+                        continue;
+                    }
                     let affected = affected_items(spec, &delta, &pre, &self.graph);
                     if !affected.is_empty() {
                         let seeds = seed_rows(spec, &affected);
-                        activations.push((spec.clone(), seeds, affected));
+                        activations.push((Arc::clone(spec), seeds, affected));
                     }
                 }
             }
@@ -458,22 +509,23 @@ impl Session {
 
         // Capture DETACHED activations against the full transaction delta
         // before the op log disappears with the commit.
-        let detached: Vec<TriggerSpec> = self
-            .catalog
-            .scheduled(ActionTime::Detached)
-            .iter()
-            .map(|t| t.spec.clone())
-            .collect();
+        let detached = self.catalog.scheduled_specs(ActionTime::Detached);
         let mut queue = VecDeque::new();
         if !detached.is_empty() {
-            let tx_ops = self.graph.ops_since(tx_mark).to_vec();
             let tx_delta = self.graph.delta_since(tx_mark);
-            let pre = PreStateView::new(&self.graph, &tx_ops);
-            for spec in detached {
-                let affected = affected_items(&spec, &tx_delta, &pre, &self.graph);
-                if !affected.is_empty() {
-                    for unit in activation_units(&spec, seed_rows(&spec, &affected)) {
-                        queue.push_back((spec.clone(), unit));
+            let sig = DeltaSignature::of(&tx_delta);
+            if self.catalog.wants(ActionTime::Detached, &sig) {
+                let tx_ops = self.graph.ops_since(tx_mark);
+                let pre = PreStateView::new(&self.graph, tx_ops);
+                for spec in detached {
+                    if !sig.may_match(&spec) {
+                        continue;
+                    }
+                    let affected = affected_items(&spec, &tx_delta, &pre, &self.graph);
+                    if !affected.is_empty() {
+                        for unit in activation_units(&spec, seed_rows(&spec, &affected)) {
+                            queue.push_back((Arc::clone(&spec), unit));
+                        }
                     }
                 }
             }
@@ -494,7 +546,7 @@ impl Session {
 
     /// Run queued DETACHED activations, each in an autonomous transaction.
     /// Their own deltas may enqueue further DETACHED activations (bounded).
-    fn run_detached_queue(&mut self, mut queue: VecDeque<(TriggerSpec, Vec<Row>)>) {
+    fn run_detached_queue(&mut self, mut queue: DetachedQueue) {
         if queue.is_empty() {
             return;
         }
@@ -524,7 +576,7 @@ impl Session {
         &mut self,
         spec: &TriggerSpec,
         seeds: Vec<Row>,
-        queue: &mut VecDeque<(TriggerSpec, Vec<Row>)>,
+        queue: &mut DetachedQueue,
     ) -> Result<(), TriggerError> {
         // Condition is considered at action time, i.e. post-commit (§4.2).
         // (Each queue entry is already one activation unit.)
@@ -590,6 +642,12 @@ impl Session {
     }
 
     /// BEFORE + AFTER processing for the ops recorded since `mark`.
+    ///
+    /// Dispatch fast path: the statement delta is compressed into a
+    /// [`DeltaSignature`] once, and each phase is skipped wholesale —
+    /// before any op-log copy or `PreStateView` — when no enabled
+    /// trigger's event can intersect it; surviving triggers are shared via
+    /// `Arc`, never deep-cloned per statement.
     fn fire_statement_triggers(
         &mut self,
         mark: StatementMark,
@@ -598,84 +656,101 @@ impl Session {
         if depth > self.stats.max_depth_seen {
             self.stats.max_depth_seen = depth;
         }
-        let ops = self.graph.ops_since(mark).to_vec();
-        if ops.is_empty() {
+        if self.graph.ops_since(mark).is_empty() {
             return Ok(());
         }
         let delta = self.graph.delta_since(mark);
         if delta.is_empty() {
             return Ok(());
         }
+        let sig = DeltaSignature::of(&delta);
 
         // ---- BEFORE triggers -------------------------------------------
-        let before: Vec<TriggerSpec> = self
-            .catalog
-            .scheduled(ActionTime::Before)
-            .iter()
-            .map(|t| t.spec.clone())
-            .collect();
-        for spec in before {
-            let (units, allowed) = {
-                let pre = PreStateView::new(&self.graph, &ops);
-                let affected = affected_items(&spec, &delta, &pre, &self.graph);
-                if affected.is_empty() {
-                    continue;
+        if self.catalog.wants(ActionTime::Before, &sig) {
+            let before = self.catalog.scheduled_matching(ActionTime::Before, &sig);
+            // One op-log copy for the whole phase (the copy is needed: the
+            // slice borrow cannot live across the statement executions
+            // below). The PreStateView stays per-spec — each BEFORE
+            // trigger's condition must observe the NEW-state conditioning
+            // applied by the triggers before it (§4.2 sequencing).
+            let ops = self.graph.ops_since(mark).to_vec();
+            for spec in before {
+                let (units, allowed) = {
+                    let pre = PreStateView::new(&self.graph, &ops);
+                    let affected = affected_items(&spec, &delta, &pre, &self.graph);
+                    if affected.is_empty() {
+                        continue;
+                    }
+                    let seeds = seed_rows(&spec, &affected);
+                    let allowed = affected.new_refs();
+                    // BEFORE conditions see the pre-statement state overlaid
+                    // with the proposed state of the NEW items (§4.2).
+                    let view = crate::overlay::NewStateOverlay::new(
+                        pre,
+                        &self.graph,
+                        allowed.iter().copied(),
+                    );
+                    let mut units = Vec::new();
+                    for unit in activation_units(&spec, seeds) {
+                        units.push(eval_condition(&view, &spec, unit, self.now_ms)?);
+                    }
+                    (units, allowed)
+                };
+                for surviving in units {
+                    if surviving.is_empty() {
+                        self.stats.suppressed += 1;
+                        continue;
+                    }
+                    // BEFORE statements may only condition the NEW items (§4.2).
+                    let prev = self.graph.set_write_policy(WritePolicy::ConditionNewOnly(
+                        allowed.iter().copied().collect(),
+                    ));
+                    let res = run_ast(
+                        &mut self.graph,
+                        &spec.statement,
+                        surviving,
+                        &Params::new(),
+                        self.now_ms,
+                    );
+                    self.graph.set_write_policy(prev);
+                    res?;
+                    self.stats.fired += 1;
                 }
-                let seeds = seed_rows(&spec, &affected);
-                let allowed = affected.new_refs();
-                // BEFORE conditions see the pre-statement state overlaid
-                // with the proposed state of the NEW items (§4.2).
-                let view =
-                    crate::overlay::NewStateOverlay::new(pre, &self.graph, allowed.iter().copied());
-                let mut units = Vec::new();
-                for unit in activation_units(&spec, seeds) {
-                    units.push(eval_condition(&view, &spec, unit, self.now_ms)?);
-                }
-                (units, allowed)
-            };
-            for surviving in units {
-                if surviving.is_empty() {
-                    self.stats.suppressed += 1;
-                    continue;
-                }
-                // BEFORE statements may only condition the NEW items (§4.2).
-                let prev = self.graph.set_write_policy(WritePolicy::ConditionNewOnly(
-                    allowed.iter().copied().collect(),
-                ));
-                let res = run_ast(
-                    &mut self.graph,
-                    &spec.statement,
-                    surviving,
-                    &Params::new(),
-                    self.now_ms,
-                );
-                self.graph.set_write_policy(prev);
-                res?;
-                self.stats.fired += 1;
             }
         }
 
         // BEFORE triggers may have conditioned NEW properties; recompute the
         // statement delta so AFTER triggers observe the final values.
-        let ops = self.graph.ops_since(mark).to_vec();
         let delta = self.graph.delta_since(mark);
+        let sig = DeltaSignature::of(&delta);
 
         // ---- AFTER triggers (cascading) --------------------------------
-        let after: Vec<TriggerSpec> = self
-            .catalog
-            .scheduled(ActionTime::After)
-            .iter()
-            .map(|t| t.spec.clone())
-            .collect();
-        for spec in after {
-            let units = {
-                let pre = PreStateView::new(&self.graph, &ops);
+        if !self.catalog.wants(ActionTime::After, &sig) {
+            return Ok(());
+        }
+        let after = self.catalog.scheduled_matching(ActionTime::After, &sig);
+        if after.is_empty() {
+            return Ok(());
+        }
+        // All AFTER activations are bound against the activating
+        // statement's delta and pre-state (SQL3: the triggering statement
+        // determines the affected rows; sibling triggers' own effects
+        // activate triggers through their own cascade) — so one
+        // PreStateView serves every AFTER trigger of this statement.
+        let ops = self.graph.ops_since(mark).to_vec();
+        let mut activations: Vec<(Arc<TriggerSpec>, Vec<Vec<Row>>)> = Vec::new();
+        {
+            let pre = PreStateView::new(&self.graph, &ops);
+            for spec in after {
                 let affected = affected_items(&spec, &delta, &pre, &self.graph);
                 if affected.is_empty() {
                     continue;
                 }
-                activation_units(&spec, seed_rows(&spec, &affected))
-            };
+                let units = activation_units(&spec, seed_rows(&spec, &affected));
+                activations.push((spec, units));
+            }
+        }
+        for (spec, units) in activations {
             // FOR EACH: one statement execution per affected item (SQL3
             // row-trigger semantics); FOR ALL: one per statement.
             for unit in units {

@@ -414,7 +414,7 @@ impl TerminationReport {
 
 /// Build the triggering graph for a catalog and detect cycles.
 pub fn analyze(catalog: &TriggerCatalog) -> TerminationReport {
-    let specs: Vec<&TriggerSpec> = catalog.all().map(|t| &t.spec).collect();
+    let specs: Vec<&TriggerSpec> = catalog.all().map(|t| t.spec.as_ref()).collect();
     let monitored: Vec<EventPattern> = specs.iter().map(|s| monitored_event(s)).collect();
     let generated: Vec<Vec<EventPattern>> = specs.iter().map(|s| generated_events(s)).collect();
 

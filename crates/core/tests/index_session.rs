@@ -148,6 +148,134 @@ fn schema_key_and_index_props_create_indexes() {
 }
 
 #[test]
+fn execute_dispatches_rel_index_ddl() {
+    let mut s = Session::new();
+    s.run("CREATE (:H {n: 1})-[:ConnectedTo {distance: 5}]->(:H {n: 2})")
+        .unwrap();
+    match s
+        .execute("CREATE INDEX ON -[:ConnectedTo(distance)]-")
+        .unwrap()
+    {
+        ExecResult::RelIndexCreated { rel_type, key } => {
+            assert_eq!(
+                (rel_type.as_str(), key.as_str()),
+                ("ConnectedTo", "distance")
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(
+        s.rel_indexes(),
+        vec![("ConnectedTo".to_string(), "distance".to_string())]
+    );
+    // populated from the live extent
+    assert_eq!(
+        s.graph()
+            .rels_with_prop("ConnectedTo", "distance", &Value::Int(5))
+            .map(|v| v.len()),
+        Some(1)
+    );
+    // duplicate create and unknown drop are errors
+    assert!(matches!(
+        s.execute("CREATE INDEX ON -[:ConnectedTo(distance)]-"),
+        Err(TriggerError::Install(_))
+    ));
+    assert!(matches!(
+        s.execute("DROP INDEX ON -[:ConnectedTo(nope)]-"),
+        Err(TriggerError::Install(_))
+    ));
+    // the dash-less form parses too
+    s.execute("CREATE INDEX ON [:ConnectedTo(weight)]").unwrap();
+    assert_eq!(s.rel_indexes().len(), 2);
+    match s
+        .execute("DROP INDEX ON -[:ConnectedTo(distance)]-")
+        .unwrap()
+    {
+        ExecResult::RelIndexDropped { rel_type, key } => {
+            assert_eq!(
+                (rel_type.as_str(), key.as_str()),
+                ("ConnectedTo", "distance")
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(s.rel_indexes().len(), 1);
+}
+
+#[test]
+fn rel_index_consistent_after_statement_rollback_in_tx() {
+    let mut s = Session::new();
+    s.execute("CREATE INDEX ON -[:R(w)]-").unwrap();
+    s.run("CREATE (:A {i: 0})-[:R {w: 1}]->(:A {i: 1})")
+        .unwrap();
+    s.begin().unwrap();
+    s.run("MATCH (a:A {i: 0}), (b:A {i: 1}) CREATE (a)-[:R {w: 2}]->(b)")
+        .unwrap();
+    // failing statement rolls back only its own rel
+    let err =
+        s.run("MATCH (a:A {i: 0}), (b:A {i: 1}) CREATE (a)-[:R {w: 3}]->(b) CREATE (:X {k: 1/0})");
+    assert!(err.is_err());
+    let g = s.graph();
+    assert_eq!(
+        g.rels_with_prop("R", "w", &Value::Int(2)).map(|v| v.len()),
+        Some(1)
+    );
+    assert_eq!(g.rels_with_prop("R", "w", &Value::Int(3)), Some(vec![]));
+    s.rollback().unwrap();
+    let g = s.graph();
+    assert_eq!(g.rels_with_prop("R", "w", &Value::Int(2)), Some(vec![]));
+    assert_eq!(
+        g.rels_with_prop("R", "w", &Value::Int(1)).map(|v| v.len()),
+        Some(1)
+    );
+}
+
+#[test]
+fn schema_edge_index_props_create_rel_indexes() {
+    let mut s = Session::new();
+    let gt = pg_schema::parse_graph_type(
+        "CREATE GRAPH TYPE G LOOSE {
+           (HospitalType: Hospital {name STRING}),
+           (:HospitalType)-[CT: ConnectedTo {distance INT32 INDEX}]->(:HospitalType)
+         }",
+    )
+    .unwrap();
+    s.set_schema(gt);
+    assert_eq!(
+        s.rel_indexes(),
+        vec![("ConnectedTo".to_string(), "distance".to_string())]
+    );
+}
+
+#[test]
+fn rel_index_serves_rel_property_trigger_condition() {
+    // The §6.2.3 MoveToNearHospital shape: ORDER BY ct.distance over
+    // ConnectedTo — here a rel-prop equality inside a trigger condition.
+    let mut s = Session::new();
+    s.execute("CREATE INDEX ON -[:ConnectedTo(distance)]-")
+        .unwrap();
+    for i in 0..40 {
+        s.run(&format!(
+            "CREATE (:Hospital {{n: {i}}})-[:ConnectedTo {{distance: {i}}}]->(:Hospital {{n: {}}})",
+            i + 100
+        ))
+        .unwrap();
+    }
+    s.install(
+        "CREATE TRIGGER near AFTER CREATE ON 'Probe' FOR EACH NODE
+         WHEN MATCH (a:Hospital)-[ct:ConnectedTo {distance: 7}]->(b:Hospital)
+         BEGIN CREATE (:Alert {from: a.n, to: b.n}) END",
+    )
+    .unwrap();
+    s.run("CREATE (:Probe)").unwrap();
+    assert_eq!(count(&mut s, "Alert"), 1);
+    let rows = s
+        .run("MATCH (al:Alert) RETURN al.from AS f, al.to AS t")
+        .unwrap();
+    assert_eq!(rows.rows[0], vec![Value::Int(7), Value::Int(107)]);
+}
+
+#[test]
 fn indexed_condition_still_fires_triggers_exactly() {
     // The planner must not change trigger semantics: an indexed equality
     // condition fires for the matching item only.

@@ -1,4 +1,4 @@
-//! Graph pattern matching.
+//! Graph pattern matching and the cost-based candidate planner (v2).
 //!
 //! Backtracking join over path patterns with Cypher's relationship-
 //! uniqueness semantics (a relationship may be traversed at most once per
@@ -10,17 +10,49 @@
 //! treated as a stored label. This is what makes the paper's patterns
 //! `MATCH (pn:NEWNODES)-[:TreatedAt]-(h)` and `MATCH (pn:NEW)-…` work: the
 //! trigger engine binds `NEWNODES`/`NEW` in the seed row.
+//!
+//! **Planner v2** (`plan_patterns`): before matching, each `MATCH`'s
+//! pattern list is re-planned per seed row —
+//!
+//! 1. `WHERE` conjuncts of shape `var.key = e`, `var.key </<=/>/>= e` and
+//!    `var.key STARTS WITH e` are pushed down into candidate selection,
+//!    served by equality, ordered **range**, and **prefix** index scans
+//!    ([`pg_graph::GraphView::nodes_in_prop_range`] and friends);
+//! 2. each linear path is **anchored at its most selective node position**
+//!    (estimated from index/extent cardinalities) by reversing the path or
+//!    splitting it at a named interior node, instead of always starting at
+//!    the lexical start;
+//! 3. whole paths are **joined in ascending cost order**, greedily re-
+//!    costing as variables become bound by earlier paths;
+//! 4. a path whose cheapest access is a selective **relationship** (a
+//!    pre-bound rel variable, a small type extent, or a relationship-
+//!    property index hit) seeds its start candidates from the relationship
+//!    extent's endpoints rather than from a node scan.
 
 use crate::ast::{BinOp, Expr, NodePattern, PathPattern, RelPattern};
 use crate::error::{CypherError, Result};
 use crate::expr::{eval, EvalCtx};
 use crate::row::Row;
 use pg_graph::{Direction, NodeId, RelId, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
 
-/// Equality predicates pushed down from a `WHERE` clause into candidate
-/// planning: variable → `(property key, value expression)` conjuncts.
-type Pushdowns = HashMap<String, Vec<(String, Expr)>>;
+/// Predicates pushed down from a `WHERE` clause into candidate planning,
+/// per pattern variable. Pushing a conjunct down is always sound: the full
+/// `WHERE` is still evaluated on every surviving row, and a row on which a
+/// conjunct is false or NULL can never make the conjunction truthy.
+#[derive(Debug, Default)]
+struct VarPredicates {
+    /// `var.key = e` conjuncts (either orientation).
+    eqs: Vec<(String, Expr)>,
+    /// `var.key <op> e` conjuncts, normalized so the property is on the
+    /// left (`e < var.key` arrives as `var.key > e`).
+    ranges: Vec<(String, BinOp, Expr)>,
+    /// `var.key STARTS WITH e` conjuncts.
+    prefixes: Vec<(String, Expr)>,
+}
+
+type Pushdowns = HashMap<String, VarPredicates>;
 
 /// One in-progress match: the binding row plus relationships already used in
 /// this MATCH clause.
@@ -44,8 +76,9 @@ pub fn match_patterns(
         row: seed.clone(),
         used: Vec::new(),
     }];
-    let pushed = equality_pushdowns(where_clause);
-    for pattern in patterns {
+    let pushed = extract_pushdowns(where_clause);
+    let planned = plan_patterns(ctx, seed, patterns, &pushed);
+    for pattern in &planned {
         let mut next = Vec::new();
         for st in &states {
             match_path(ctx, pattern, st, &pushed, &mut next, None)?;
@@ -94,6 +127,323 @@ pub fn pattern_vars(patterns: &[PathPattern]) -> Vec<String> {
     out
 }
 
+// ---------------------------------------------------------------------
+// Planner v2: join-order planning across a MATCH's pattern elements
+// ---------------------------------------------------------------------
+
+/// A conservative "don't know" cardinality for unestimatable positions.
+const UNKNOWN_COST: usize = usize::MAX / 4;
+
+/// Estimated candidate-set size for anchoring a path at a node pattern.
+/// Mirrors the access-path choice of [`node_candidates`] using cheap
+/// cardinality statistics; `bound` holds variables that will already be
+/// bound when this path runs (seed row plus earlier-joined paths).
+fn estimate_node_cost(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    np: &NodePattern,
+    pushed: &Pushdowns,
+    bound: &HashSet<String>,
+) -> usize {
+    if let Some(v) = &np.var {
+        if row.contains(v) || bound.contains(v) {
+            return 0;
+        }
+    }
+    for l in &np.labels {
+        if let Some(v) = row.get(l) {
+            return match v {
+                Value::List(items) => items.len(),
+                _ => 1,
+            };
+        }
+        if bound.contains(l) {
+            // bound by an earlier path: restricted, size unknown but small
+            return 1;
+        }
+    }
+    let index_len = index_candidates(ctx, row, np, pushed).map(|ids| ids.len());
+    let label_min = np
+        .labels
+        .iter()
+        .map(|l| ctx.view.label_cardinality(l))
+        .min();
+    match (index_len, label_min) {
+        (Some(i), Some(l)) => i.min(l),
+        (Some(i), None) => i,
+        (None, Some(l)) => l,
+        (None, None) => ctx.view.node_count_estimate().max(1),
+    }
+}
+
+/// Estimated extent size when a single-hop relationship pattern is used as
+/// the access path (type extents, relationship-property index hits, or a
+/// pre-bound rel variable). `None` = unusable as a seed (variable-length,
+/// untyped and unbound).
+fn estimate_rel_cost(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    rp: &RelPattern,
+    pushed: &Pushdowns,
+    bound: &HashSet<String>,
+) -> Option<usize> {
+    if rp.hops.is_some() {
+        return None;
+    }
+    if let Some(v) = &rp.var {
+        if let Some(Value::Rel(_)) = row.get(v) {
+            return Some(1);
+        }
+        if bound.contains(v) {
+            return Some(1);
+        }
+    }
+    if rp.types.is_empty() {
+        return None;
+    }
+    let pushed_eqs = rp
+        .var
+        .as_ref()
+        .and_then(|v| pushed.get(v))
+        .map(|p| p.eqs.as_slice())
+        .unwrap_or(&[]);
+    let mut total = 0usize;
+    for t in &rp.types {
+        let mut best = ctx.view.rel_type_cardinality(t);
+        for (key, value_expr) in rp.props.iter().chain(pushed_eqs) {
+            let Ok(value) = eval(ctx, row, value_expr) else {
+                continue;
+            };
+            if let Some(ids) = ctx.view.rels_with_prop(t, key, &value) {
+                best = best.min(ids.len());
+            }
+        }
+        total = total.saturating_add(best);
+    }
+    Some(total)
+}
+
+/// Candidate relationships when a single-hop relationship pattern seeds the
+/// path: the pre-bound rel variable, or per type the best of a
+/// relationship-property index hit and the type extent.
+fn rel_seed_candidates(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    rp: &RelPattern,
+    pushed: &Pushdowns,
+) -> Option<Vec<RelId>> {
+    if rp.hops.is_some() {
+        return None;
+    }
+    if let Some(v) = &rp.var {
+        if let Some(Value::Rel(r)) = row.get(v) {
+            return Some(vec![*r]);
+        }
+    }
+    if rp.types.is_empty() {
+        return None;
+    }
+    let pushed_eqs = rp
+        .var
+        .as_ref()
+        .and_then(|v| pushed.get(v))
+        .map(|p| p.eqs.as_slice())
+        .unwrap_or(&[]);
+    let mut out: Vec<RelId> = Vec::new();
+    for t in &rp.types {
+        let mut best: Option<Vec<RelId>> = None;
+        for (key, value_expr) in rp.props.iter().chain(pushed_eqs) {
+            let Ok(value) = eval(ctx, row, value_expr) else {
+                continue;
+            };
+            if let Some(ids) = ctx.view.rels_with_prop(t, key, &value) {
+                if best.as_ref().is_none_or(|b| ids.len() < b.len()) {
+                    best = Some(ids);
+                }
+            }
+        }
+        out.extend(best.unwrap_or_else(|| ctx.view.rels_with_type(t)));
+    }
+    out.sort();
+    out.dedup();
+    Some(out)
+}
+
+/// A relationship pattern as seen from its other endpoint.
+fn reverse_rel(rp: &RelPattern) -> RelPattern {
+    let mut out = rp.clone();
+    out.direction = rp.direction.reverse();
+    out
+}
+
+/// The path re-rooted at node position `anchor` (0 = lexical start):
+/// the reversed prefix walked away from the anchor, then the suffix. Both
+/// returned paths start at the anchor node pattern; the second is empty
+/// (`None`) unless the anchor is interior.
+fn reroot_path(path: &PathPattern, anchor: usize) -> (PathPattern, Option<PathPattern>) {
+    // node position i: 0 = path.start, i>0 = segments[i-1].1
+    let node_at = |i: usize| -> &NodePattern {
+        if i == 0 {
+            &path.start
+        } else {
+            &path.segments[i - 1].1
+        }
+    };
+    if anchor == 0 {
+        return (path.clone(), None);
+    }
+    // reversed prefix: anchor → anchor-1 → … → 0
+    let left = PathPattern {
+        start: node_at(anchor).clone(),
+        segments: (0..anchor)
+            .rev()
+            .map(|j| (reverse_rel(&path.segments[j].0), node_at(j).clone()))
+            .collect(),
+    };
+    if anchor == path.segments.len() {
+        (left, None)
+    } else {
+        let right = PathPattern {
+            start: node_at(anchor).clone(),
+            segments: path.segments[anchor..].to_vec(),
+        };
+        (left, Some(right))
+    }
+}
+
+/// The cheapest anchor position of a path and its estimated cost. A
+/// position's cost is the best of its node access paths and (for single-
+/// hop segments adjacent to it) the relationship extent that could seed
+/// it. Interior anchors require a named node (the two half-paths join on
+/// the variable); unnamed interior positions are skipped.
+fn best_anchor(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    path: &PathPattern,
+    pushed: &Pushdowns,
+    bound: &HashSet<String>,
+) -> (usize, usize) {
+    let k = path.segments.len();
+    let node_at = |i: usize| -> &NodePattern {
+        if i == 0 {
+            &path.start
+        } else {
+            &path.segments[i - 1].1
+        }
+    };
+    let mut best = (0usize, UNKNOWN_COST);
+    for i in 0..=k {
+        if i != 0 && i != k && node_at(i).var.is_none() {
+            continue; // interior split needs the anchor variable
+        }
+        let mut cost = estimate_node_cost(ctx, row, node_at(i), pushed, bound);
+        // a selective adjacent relationship can seed this anchor
+        for seg in [i.checked_sub(1), (i < k).then_some(i)]
+            .into_iter()
+            .flatten()
+        {
+            if let Some(rc) = estimate_rel_cost(ctx, row, &path.segments[seg].0, pushed, bound) {
+                cost = cost.min(rc);
+            }
+        }
+        if cost < best.1 {
+            best = (i, cost);
+        }
+    }
+    best
+}
+
+/// Join-order planning for one `MATCH`'s pattern list: re-root each path at
+/// its cheapest anchor and greedily order paths by estimated anchor cost,
+/// re-costing as earlier paths bind variables. Pure re-planning — the set
+/// of result rows is unchanged (pattern matching is a join and relationship
+/// uniqueness is a symmetric constraint over the whole assignment); only
+/// the enumeration order (and hence row order) may differ.
+fn plan_patterns(
+    ctx: &EvalCtx<'_>,
+    seed: &Row,
+    patterns: &[PathPattern],
+    pushed: &Pushdowns,
+) -> Vec<PathPattern> {
+    if patterns.len() == 1 && patterns[0].segments.is_empty() {
+        return patterns.to_vec(); // nothing to plan
+    }
+    let mut bound: HashSet<String> = seed.names().cloned().collect();
+    let mut remaining: Vec<(usize, &PathPattern)> = patterns.iter().enumerate().collect();
+    let mut out = Vec::with_capacity(patterns.len());
+    while !remaining.is_empty() {
+        // pick the cheapest remaining path (stable on ties)
+        let mut pick = 0usize;
+        let mut pick_anchor = (0usize, UNKNOWN_COST);
+        for (slot, (_, p)) in remaining.iter().enumerate() {
+            let anchor = best_anchor(ctx, seed, p, pushed, &bound);
+            if anchor.1 < pick_anchor.1 {
+                pick = slot;
+                pick_anchor = anchor;
+            }
+        }
+        let (_, path) = remaining.remove(pick);
+        for v in pattern_vars(std::slice::from_ref(path)) {
+            bound.insert(v);
+        }
+        let (first, second) = reroot_path(path, pick_anchor.0);
+        out.push(first);
+        out.extend(second);
+    }
+    out
+}
+
+/// Candidate start nodes for a path: the node-pattern access paths of
+/// [`node_candidates`], improved by seeding from the first segment's
+/// relationship extent when that is strictly smaller (a pre-bound rel
+/// variable, a small type extent, or a relationship-property index hit).
+fn start_candidates(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    path: &PathPattern,
+    pushed: &Pushdowns,
+) -> Result<Vec<NodeId>> {
+    let node_cands = node_candidates(ctx, row, &path.start, pushed)?;
+    let Some((rel_pat, _)) = path.segments.first() else {
+        return Ok(node_cands);
+    };
+    if node_cands.len() <= 1 {
+        return Ok(node_cands);
+    }
+    // Only materialize the relationship extent when the estimate wins.
+    let est = estimate_rel_cost(ctx, row, rel_pat, pushed, &HashSet::new());
+    if est.is_none_or(|e| e >= node_cands.len()) {
+        return Ok(node_cands);
+    }
+    let Some(rels) = rel_seed_candidates(ctx, row, rel_pat, pushed) else {
+        return Ok(node_cands);
+    };
+    if rels.len() >= node_cands.len() {
+        return Ok(node_cands);
+    }
+    let mut out: Vec<NodeId> = Vec::with_capacity(rels.len());
+    for rid in rels {
+        let Some((s, d)) = ctx.view.rel_endpoints(rid) else {
+            continue;
+        };
+        match rel_pat.direction {
+            Direction::Out => out.push(s),
+            Direction::In => out.push(d),
+            Direction::Both => {
+                out.push(s);
+                out.push(d);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    if out.len() < node_cands.len() {
+        Ok(out)
+    } else {
+        Ok(node_cands)
+    }
+}
+
 fn match_path(
     ctx: &EvalCtx<'_>,
     path: &PathPattern,
@@ -102,7 +452,7 @@ fn match_path(
     out: &mut Vec<MatchState>,
     cap: Option<usize>,
 ) -> Result<()> {
-    let candidates = node_candidates(ctx, &st.row, &path.start, pushed)?;
+    let candidates = start_candidates(ctx, &st.row, path, pushed)?;
     for cand in candidates {
         if !node_matches(ctx, &st.row, cand, &path.start)? {
             continue;
@@ -331,13 +681,10 @@ fn rel_matches(ctx: &EvalCtx<'_>, row: &Row, rid: RelId, pat: &RelPattern) -> Re
     Ok(true)
 }
 
-/// Split a `WHERE` clause into its top-level conjuncts and collect the
-/// equality predicates of shape `var.key = expr` (either orientation).
-/// Restricting a variable's candidates by such a conjunct is always sound:
-/// the full `WHERE` is still evaluated on every surviving row, and a row on
-/// which the conjunct is false or NULL can never make the conjunction
-/// truthy.
-fn equality_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
+/// Split a `WHERE` clause into its top-level conjuncts and collect, per
+/// variable, the equality, ordering, and prefix predicates of shape
+/// `var.key <op> expr` (either orientation for `=` and the comparisons).
+fn extract_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
     fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
         if let Expr::Binary(BinOp::And, a, b) = e {
             conjuncts(a, out);
@@ -346,6 +693,24 @@ fn equality_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
             out.push(e);
         }
     }
+    /// `a < b ⇔ b > a`: the op as seen with the operands swapped.
+    fn flip(op: BinOp) -> BinOp {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    }
+    fn var_prop(e: &Expr) -> Option<(&String, &String)> {
+        if let Expr::Prop(base, key) = e {
+            if let Expr::Var(v) = base.as_ref() {
+                return Some((v, key));
+            }
+        }
+        None
+    }
     let mut map: Pushdowns = HashMap::new();
     let Some(w) = where_clause else {
         return map;
@@ -353,19 +718,164 @@ fn equality_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
     let mut cs = Vec::new();
     conjuncts(w, &mut cs);
     for c in cs {
-        if let Expr::Binary(BinOp::Eq, lhs, rhs) = c {
-            for (prop_side, value_side) in [(lhs, rhs), (rhs, lhs)] {
-                if let Expr::Prop(base, key) = prop_side.as_ref() {
-                    if let Expr::Var(v) = base.as_ref() {
+        let Expr::Binary(op, lhs, rhs) = c else {
+            continue;
+        };
+        match op {
+            BinOp::Eq => {
+                for (prop_side, value_side) in [(lhs, rhs), (rhs, lhs)] {
+                    if let Some((v, key)) = var_prop(prop_side) {
                         map.entry(v.clone())
                             .or_default()
+                            .eqs
                             .push((key.clone(), value_side.as_ref().clone()));
                     }
                 }
             }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                if let Some((v, key)) = var_prop(lhs) {
+                    map.entry(v.clone()).or_default().ranges.push((
+                        key.clone(),
+                        *op,
+                        rhs.as_ref().clone(),
+                    ));
+                } else if let Some((v, key)) = var_prop(rhs) {
+                    map.entry(v.clone()).or_default().ranges.push((
+                        key.clone(),
+                        flip(*op),
+                        lhs.as_ref().clone(),
+                    ));
+                }
+            }
+            BinOp::StartsWith => {
+                if let Some((v, key)) = var_prop(lhs) {
+                    map.entry(v.clone())
+                        .or_default()
+                        .prefixes
+                        .push((key.clone(), rhs.as_ref().clone()));
+                }
+            }
+            _ => {}
         }
     }
     map
+}
+
+/// The best index-backed candidate set for a node pattern, from inline
+/// `{key: value}` properties plus pushed-down `WHERE` equality, range and
+/// prefix conjuncts on this pattern's variable, tried against every
+/// label's index. An evaluation failure (e.g. the value refers to a
+/// variable bound later) merely disqualifies the path — the predicate
+/// itself is still enforced by `node_matches` / the WHERE clause.
+///
+/// Returns `Some(ids)` when some index answered (possibly proving the
+/// candidate set empty: a pushed conjunct with a NULL/untyped operand can
+/// never be truthy), `None` when no index path applies.
+fn index_candidates(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    np: &NodePattern,
+    pushed: &Pushdowns,
+) -> Option<Vec<NodeId>> {
+    let preds = np.var.as_ref().and_then(|v| pushed.get(v));
+    let mut best: Option<Vec<NodeId>> = None;
+    let mut consider = |ids: Option<Vec<NodeId>>| {
+        if let Some(ids) = ids {
+            if best.as_ref().is_none_or(|b| ids.len() < b.len()) {
+                best = Some(ids);
+            }
+        }
+    };
+
+    // Equality: inline property maps and pushed `var.key = e` conjuncts.
+    let pushed_eqs = preds.map(|p| p.eqs.as_slice()).unwrap_or(&[]);
+    for (key, value_expr) in np.props.iter().chain(pushed_eqs) {
+        let Ok(value) = eval(ctx, row, value_expr) else {
+            continue;
+        };
+        for label in &np.labels {
+            consider(ctx.view.nodes_with_prop(label, key, &value));
+        }
+    }
+
+    let Some(preds) = preds else {
+        return best;
+    };
+
+    // Ranges: combine this variable's `<`/`<=`/`>`/`>=` conjuncts per key
+    // into the tightest closed interval. A NULL or NaN operand makes the
+    // conjunct untruthy for every row — the candidate set is definitively
+    // empty, no index required.
+    let mut intervals: HashMap<&str, (Bound<Value>, Bound<Value>)> = HashMap::new();
+    for (key, op, expr) in &preds.ranges {
+        let Ok(value) = eval(ctx, row, expr) else {
+            continue;
+        };
+        if value.is_null() || matches!(&value, Value::Float(f) if f.is_nan()) {
+            return Some(Vec::new());
+        }
+        /// Replace `slot` when `value` tightens it: a greater lower bound /
+        /// smaller upper bound wins, and at equal values an exclusive bound
+        /// beats an inclusive one.
+        fn tighten(slot: &mut Bound<Value>, value: Value, inclusive: bool, lower: bool) {
+            use std::cmp::Ordering;
+            let replaces = match &*slot {
+                Bound::Unbounded => true,
+                Bound::Included(c) | Bound::Excluded(c) => {
+                    let ord = value.cmp_order(c);
+                    if lower {
+                        ord != Ordering::Less
+                    } else {
+                        ord != Ordering::Greater
+                    }
+                }
+            };
+            if !replaces {
+                return;
+            }
+            let stay_exclusive =
+                matches!(&*slot, Bound::Excluded(c) if value.cmp_order(c) == Ordering::Equal);
+            *slot = if inclusive && !stay_exclusive {
+                Bound::Included(value)
+            } else {
+                Bound::Excluded(value)
+            };
+        }
+        let entry = intervals
+            .entry(key.as_str())
+            .or_insert((Bound::Unbounded, Bound::Unbounded));
+        match op {
+            BinOp::Gt | BinOp::Ge => tighten(&mut entry.0, value, *op == BinOp::Ge, true),
+            BinOp::Lt | BinOp::Le => tighten(&mut entry.1, value, *op == BinOp::Le, false),
+            _ => {}
+        }
+    }
+    for (key, (lo, hi)) in &intervals {
+        for label in &np.labels {
+            consider(
+                ctx.view
+                    .nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref()),
+            );
+        }
+    }
+
+    // Prefixes: `var.key STARTS WITH e`. A non-string operand can never
+    // make the conjunct truthy.
+    for (key, expr) in &preds.prefixes {
+        let Ok(value) = eval(ctx, row, expr) else {
+            continue;
+        };
+        match &value {
+            Value::Str(prefix) => {
+                for label in &np.labels {
+                    consider(ctx.view.nodes_with_prop_prefix(label, key, prefix));
+                }
+            }
+            _ => return Some(Vec::new()),
+        }
+    }
+
+    best
 }
 
 /// Candidate start nodes for a node pattern.
@@ -374,10 +884,11 @@ fn equality_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
 /// 1. a **pre-bound variable** (single candidate);
 /// 2. a **transition-variable label** (`NEW`, `NEWNODES`, …) bound in the
 ///    row restricts candidates to those items;
-/// 3. the cheapest of — a **property-index lookup** (from inline
-///    `{key: value}` maps and `WHERE` equality conjuncts pushed down), the
-///    **intersection of all label extents** (enumerated from the smallest),
-///    or a **full scan** — chosen by estimated cardinality.
+/// 3. the cheapest of — a **property-index lookup** (equality from inline
+///    `{key: value}` maps and `WHERE` conjuncts, ordered range scans for
+///    `<`/`<=`/`>`/`>=`, prefix scans for `STARTS WITH`), the
+///    **intersection of all label extents** (enumerated from the
+///    smallest), or a **full scan** — chosen by estimated cardinality.
 fn node_candidates(
     ctx: &EvalCtx<'_>,
     row: &Row,
@@ -404,30 +915,7 @@ fn node_candidates(
         }
     }
 
-    // Property-index access paths: inline `{key: value}` properties plus
-    // WHERE equality conjuncts on this pattern's variable, tried against
-    // every label's index. An evaluation failure (e.g. the value refers to
-    // a variable bound later) merely disqualifies the path — the predicate
-    // itself is still enforced by `node_matches` / the WHERE clause.
-    let mut best_index: Option<Vec<NodeId>> = None;
-    let pushed_specs = np
-        .var
-        .as_ref()
-        .and_then(|v| pushed.get(v))
-        .map(Vec::as_slice)
-        .unwrap_or(&[]);
-    for (key, value_expr) in np.props.iter().chain(pushed_specs) {
-        let Ok(value) = eval(ctx, row, value_expr) else {
-            continue;
-        };
-        for label in &np.labels {
-            if let Some(ids) = ctx.view.nodes_with_prop(label, key, &value) {
-                if best_index.as_ref().is_none_or(|b| ids.len() < b.len()) {
-                    best_index = Some(ids);
-                }
-            }
-        }
-    }
+    let best_index = index_candidates(ctx, row, np, pushed);
 
     // Label extents, cheapest first.
     let mut label_cards: Vec<(&String, usize)> = np
@@ -748,7 +1236,7 @@ mod tests {
         let (pats, where_) = patterns_of(src);
         let params = Params::new();
         let ctx = EvalCtx::new(g, &params, 0);
-        let pushed = equality_pushdowns(where_.as_ref());
+        let pushed = extract_pushdowns(where_.as_ref());
         node_candidates(&ctx, seed, &pats[0].start, &pushed).unwrap()
     }
 
@@ -868,6 +1356,244 @@ mod tests {
         let rows = run_match(&g, "MATCH (x:M {k: 1.0}) RETURN 1", Row::new());
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("x"), Some(&Value::Node(n)));
+    }
+
+    /// Planner-level helper: the planned (re-rooted, re-ordered) pattern
+    /// list for a query's first MATCH.
+    fn planned_of(g: &Graph, src: &str, seed: &Row) -> Vec<PathPattern> {
+        let (pats, where_) = patterns_of(src);
+        let params = Params::new();
+        let ctx = EvalCtx::new(g, &params, 0);
+        let pushed = extract_pushdowns(where_.as_ref());
+        plan_patterns(&ctx, seed, &pats, &pushed)
+    }
+
+    #[test]
+    fn range_pushdown_uses_index() {
+        let mut g = Graph::new();
+        for i in 0..100 {
+            g.create_node(["M"], props(&[("k", Value::Int(i))]))
+                .unwrap();
+        }
+        // without an index the extent is the best source
+        let cands = candidates_of(&g, "MATCH (x:M) WHERE x.k >= 95 RETURN 1", &Row::new());
+        assert_eq!(cands.len(), 100);
+        g.create_index("M", "k");
+        let cands = candidates_of(&g, "MATCH (x:M) WHERE x.k >= 95 RETURN 1", &Row::new());
+        assert_eq!(cands.len(), 5);
+        // the other three operators, both orientations
+        for (q, n) in [
+            ("MATCH (x:M) WHERE x.k > 95 RETURN 1", 4),
+            ("MATCH (x:M) WHERE x.k < 5 RETURN 1", 5),
+            ("MATCH (x:M) WHERE x.k <= 5 RETURN 1", 6),
+            ("MATCH (x:M) WHERE 95 <= x.k RETURN 1", 5),
+            ("MATCH (x:M) WHERE 5 > x.k RETURN 1", 5),
+        ] {
+            assert_eq!(candidates_of(&g, q, &Row::new()).len(), n, "{q}");
+            assert_eq!(run_match(&g, q, Row::new()).len(), n, "{q}");
+        }
+        // cross-type numeric range
+        let rows = run_match(&g, "MATCH (x:M) WHERE x.k >= 97.5 RETURN 1", Row::new());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            candidates_of(&g, "MATCH (x:M) WHERE x.k >= 97.5 RETURN 1", &Row::new()).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn conjunction_derives_closed_interval() {
+        let mut g = Graph::new();
+        for i in 0..100 {
+            g.create_node(["M"], props(&[("k", Value::Int(i))]))
+                .unwrap();
+        }
+        g.create_index("M", "k");
+        let q = "MATCH (x:M) WHERE x.k >= 10 AND x.k < 20 RETURN 1";
+        assert_eq!(candidates_of(&g, q, &Row::new()).len(), 10);
+        assert_eq!(run_match(&g, q, Row::new()).len(), 10);
+        // redundant conjuncts tighten, not widen
+        let q = "MATCH (x:M) WHERE x.k >= 10 AND x.k >= 15 AND x.k < 20 AND x.k < 30 RETURN 1";
+        assert_eq!(candidates_of(&g, q, &Row::new()).len(), 5);
+        assert_eq!(run_match(&g, q, Row::new()).len(), 5);
+        // Gt beats Ge at the same bound
+        let q = "MATCH (x:M) WHERE x.k >= 10 AND x.k > 10 AND x.k < 13 RETURN 1";
+        assert_eq!(candidates_of(&g, q, &Row::new()).len(), 2);
+        assert_eq!(run_match(&g, q, Row::new()).len(), 2);
+    }
+
+    #[test]
+    fn starts_with_pushdown_uses_prefix_scan() {
+        let mut g = Graph::new();
+        for i in 0..100 {
+            g.create_node(["M"], props(&[("name", Value::str(format!("m{i}")))]))
+                .unwrap();
+        }
+        g.create_index("M", "name");
+        let q = "MATCH (x:M) WHERE x.name STARTS WITH 'm1' RETURN 1";
+        // m1, m10..m19
+        assert_eq!(candidates_of(&g, q, &Row::new()).len(), 11);
+        assert_eq!(run_match(&g, q, Row::new()).len(), 11);
+        // non-string operand can never match
+        let q = "MATCH (x:M) WHERE x.name STARTS WITH 5 RETURN 1";
+        assert_eq!(candidates_of(&g, q, &Row::new()).len(), 0);
+        assert!(run_match(&g, q, Row::new()).is_empty());
+    }
+
+    #[test]
+    fn lossy_numerics_fall_back_to_scan_without_losing_rows() {
+        let bound = 1i64 << 53;
+        let mut g = Graph::new();
+        for i in 0..20 {
+            g.create_node(["M"], props(&[("k", Value::Int(i))]))
+                .unwrap();
+        }
+        // a stored out-of-range numeric satisfies `k > 5` but cannot live
+        // in the index — the planner must scan, and the row must survive
+        let big = g
+            .create_node(["M"], props(&[("k", Value::Int(bound + 1))]))
+            .unwrap();
+        g.create_index("M", "k");
+        let q = "MATCH (x:M) WHERE x.k > 5 RETURN 1";
+        let cands = candidates_of(&g, q, &Row::new());
+        assert_eq!(cands.len(), 21, "range refused, fell back to the extent");
+        let rows = run_match(&g, q, Row::new());
+        assert_eq!(rows.len(), 15); // 6..19 plus the huge value
+        assert!(rows.iter().any(|r| r.get("x") == Some(&Value::Node(big))));
+        // equality lookups still index-served next to the lossy value
+        let cands = candidates_of(&g, "MATCH (x:M {k: 3}) RETURN 1", &Row::new());
+        assert_eq!(cands.len(), 1);
+    }
+
+    #[test]
+    fn join_order_puts_selective_pattern_first() {
+        let mut g = Graph::new();
+        for _ in 0..50 {
+            g.create_node(["Big"], PropertyMap::new()).unwrap();
+        }
+        g.create_node(["Tiny"], PropertyMap::new()).unwrap();
+        let planned = planned_of(&g, "MATCH (a:Big), (b:Tiny) RETURN 1", &Row::new());
+        assert_eq!(planned[0].start.labels, vec!["Tiny".to_string()]);
+        assert_eq!(planned[1].start.labels, vec!["Big".to_string()]);
+        // joint result unchanged
+        let rows = run_match(&g, "MATCH (a:Big), (b:Tiny) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 50);
+    }
+
+    #[test]
+    fn path_reversal_anchors_selective_end() {
+        let mut g = Graph::new();
+        let t = g.create_node(["Tiny"], PropertyMap::new()).unwrap();
+        for _ in 0..50 {
+            let b = g.create_node(["Big"], PropertyMap::new()).unwrap();
+            g.create_rel(b, t, "R", PropertyMap::new()).unwrap();
+        }
+        let planned = planned_of(&g, "MATCH (a:Big)-[:R]->(b:Tiny) RETURN 1", &Row::new());
+        assert_eq!(planned.len(), 1);
+        assert_eq!(planned[0].start.labels, vec!["Tiny".to_string()]);
+        assert_eq!(planned[0].segments[0].0.direction, Direction::In);
+        // matching is unchanged (all 50 paths)
+        let rows = run_match(&g, "MATCH (a:Big)-[:R]->(b:Tiny) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 50);
+        for r in &rows {
+            assert_eq!(r.get("b"), Some(&Value::Node(t)));
+        }
+    }
+
+    #[test]
+    fn interior_anchor_splits_named_position() {
+        let mut g = Graph::new();
+        let m = g
+            .create_node(["Mid"], props(&[("id", Value::Int(7))]))
+            .unwrap();
+        for i in 0..30 {
+            let a = g.create_node(["Big"], PropertyMap::new()).unwrap();
+            let c = g.create_node(["Big2"], PropertyMap::new()).unwrap();
+            g.create_rel(a, m, "R", PropertyMap::new()).unwrap();
+            if i < 3 {
+                g.create_rel(m, c, "S", PropertyMap::new()).unwrap();
+            }
+        }
+        let q = "MATCH (a:Big)-[:R]->(m:Mid)-[:S]->(c:Big2) RETURN 1";
+        let planned = planned_of(&g, q, &Row::new());
+        assert_eq!(planned.len(), 2, "split at the interior anchor");
+        assert_eq!(planned[0].start.labels, vec!["Mid".to_string()]);
+        assert_eq!(planned[1].start.labels, vec!["Mid".to_string()]);
+        let rows = run_match(&g, q, Row::new());
+        assert_eq!(rows.len(), 30 * 3);
+    }
+
+    #[test]
+    fn prebound_rel_var_seeds_start_endpoints() {
+        // The paper's NewCriticalLineage shape: the bound rel variable
+        // must seed the Sequence side instead of scanning the extent.
+        let mut g = Graph::new();
+        let mut last = (NodeId(0), RelId(0), NodeId(0));
+        for i in 0..100 {
+            let s = g.create_node(["Sequence"], PropertyMap::new()).unwrap();
+            let l = g
+                .create_node(["Lineage"], props(&[("i", Value::Int(i))]))
+                .unwrap();
+            let r = g.create_rel(s, l, "BelongsTo", PropertyMap::new()).unwrap();
+            last = (s, r, l);
+        }
+        let mut seed = Row::new();
+        seed.set("NEW", Value::Rel(last.1));
+        let (pats, where_) = patterns_of("MATCH (s:Sequence)-[NEW]-(l:Lineage) RETURN 1");
+        let params = Params::new();
+        let ctx = EvalCtx::new(&g, &params, 0);
+        let pushed = extract_pushdowns(where_.as_ref());
+        let cands = start_candidates(&ctx, &seed, &pats[0], &pushed).unwrap();
+        assert_eq!(cands.len(), 2, "only the bound rel's endpoints");
+        assert!(cands.contains(&last.0) && cands.contains(&last.2));
+        let rows = run_match(&g, "MATCH (s:Sequence)-[NEW]-(l:Lineage) RETURN 1", seed);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("l"), Some(&Value::Node(last.2)));
+    }
+
+    #[test]
+    fn selective_rel_type_extent_seeds_start() {
+        let mut g = Graph::new();
+        let mut endpoints = Vec::new();
+        for i in 0..60 {
+            let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+            let b = g.create_node(["B"], PropertyMap::new()).unwrap();
+            if i < 2 {
+                g.create_rel(a, b, "Rare", PropertyMap::new()).unwrap();
+                endpoints.push(a);
+            }
+        }
+        let (pats, _) = patterns_of("MATCH (x:A)-[:Rare]->(y:B) RETURN 1");
+        let params = Params::new();
+        let ctx = EvalCtx::new(&g, &params, 0);
+        let cands = start_candidates(&ctx, &Row::new(), &pats[0], &Pushdowns::new()).unwrap();
+        assert_eq!(cands, endpoints, "seeded from the Rare extent");
+        let rows = run_match(&g, "MATCH (x:A)-[:Rare]->(y:B) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn rel_prop_index_seeds_start() {
+        let mut g = Graph::new();
+        let mut wanted = NodeId(0);
+        for i in 0..80 {
+            let a = g.create_node(["A"], PropertyMap::new()).unwrap();
+            let b = g.create_node(["B"], PropertyMap::new()).unwrap();
+            g.create_rel(a, b, "R", props(&[("w", Value::Int(i))]))
+                .unwrap();
+            if i == 42 {
+                wanted = a;
+            }
+        }
+        g.create_rel_index("R", "w");
+        let (pats, _) = patterns_of("MATCH (x:A)-[r:R {w: 42}]->(y:B) RETURN 1");
+        let params = Params::new();
+        let ctx = EvalCtx::new(&g, &params, 0);
+        let cands = start_candidates(&ctx, &Row::new(), &pats[0], &Pushdowns::new()).unwrap();
+        assert_eq!(cands, vec![wanted], "seeded from the rel-prop index");
+        let rows = run_match(&g, "MATCH (x:A)-[r:R {w: 42}]->(y:B) RETURN 1", Row::new());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("x"), Some(&Value::Node(wanted)));
     }
 
     #[test]

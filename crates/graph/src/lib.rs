@@ -13,9 +13,11 @@
 //!   assigned/removed properties with old and new values;
 //! * read **views**: the live graph, and a [`PreStateView`] that exposes the
 //!   state *before* a statement ran (needed for `BEFORE` trigger semantics);
-//! * **property indexes** (`(label, key, value)` → node set, [`prop_index`])
-//!   kept consistent through every mutation *and undo* path, giving the
-//!   query layer an index-backed access path for equality predicates.
+//! * **property indexes** (`(label, key, value)` → node set and
+//!   `(type, key, value)` → relationship set, [`prop_index`]) kept
+//!   consistent through every mutation *and undo* path, giving the query
+//!   layer index-backed access paths for equality, ordered range
+//!   (`<`/`<=`/`>`/`>=`), and `STARTS WITH` prefix predicates.
 //!
 //! The crate is deliberately free of query-language concerns; `pg-cypher`
 //! layers a Cypher subset on top of the [`GraphView`] trait and the mutation
@@ -36,7 +38,7 @@ pub use delta::{Delta, LabelEvent, PropAssign, PropRemove};
 pub use error::{GraphError, Result};
 pub use ids::{ItemRef, NodeId, RelId};
 pub use op::Op;
-pub use prop_index::{IndexKey, PropIndex};
+pub use prop_index::{IndexKey, KeyedIndex, PropIndex, RelPropIndex};
 pub use props::PropertyMap;
 pub use record::{NodeRecord, RelRecord};
 pub use store::{Graph, StatementMark, WritePolicy};

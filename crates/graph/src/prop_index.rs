@@ -1,11 +1,16 @@
-//! Property indexes: `(label, key, value)` → node set.
+//! Property indexes: `(label, key, value)` → item set, with ordered range
+//! and prefix scans.
 //!
 //! The PG-Trigger engine evaluates trigger conditions as Cypher pattern
-//! matches on every activating statement, so equality predicates like
-//! `(:Hospital {name: 'Sacco'})` sit on the hottest path of the engine.
-//! A [`PropIndex`] gives those predicates an index-backed access path; the
-//! candidate planner in `pg-cypher` consults it through
-//! [`crate::GraphView::nodes_with_prop`].
+//! matches on every activating statement, so predicates like
+//! `(:Hospital {name: 'Sacco'})` or `occupancy >= 0.95` (paper §6) sit on
+//! the hottest path of the engine. A [`PropIndex`] gives equality *and*
+//! range/prefix predicates an index-backed access path; the candidate
+//! planner in `pg-cypher` consults it through
+//! [`crate::GraphView::nodes_with_prop`],
+//! [`crate::GraphView::nodes_in_prop_range`] and
+//! [`crate::GraphView::nodes_with_prop_prefix`]. A [`RelPropIndex`] provides
+//! the same for relationships keyed by type.
 //!
 //! ## Equality semantics
 //!
@@ -24,11 +29,31 @@
 //! answer for them (returns `None`), forcing the planner back to a filtered
 //! scan. The same applies to `LIST`/`MAP` values. In-range lookups stay
 //! complete: an in-range scalar can never `eq3`-equal an out-of-range one.
+//!
+//! ## Range semantics
+//!
+//! [`IndexKey`] carries a hand-written [`Ord`] that sorts the two numeric
+//! variants **numerically interleaved** (`Int(1) < FloatBits(1.5) <
+//! Int(2)`), so one `BTreeMap::range` walk answers `<`/`<=`/`>`/`>=`
+//! pushdowns in O(log n + k). Non-numeric families (booleans, strings,
+//! dates, datetimes) occupy disjoint, contiguous key regions matching
+//! [`Value::cmp3`]'s refusal to compare across types.
+//!
+//! Range scans have one completeness hazard equality scans do not: a stored
+//! numeric *outside* ±2⁵³ is absent from the index yet **can** satisfy a
+//! range predicate (`x > 0` matches `2⁵³ + 1`). Each `(label, key)` entry
+//! therefore counts its currently-present lossy numerics, and
+//! [`PropIndex::range_lookup`] refuses to answer numeric ranges (returns
+//! `None` → planner falls back to a scan) while that count is non-zero.
+//! String/date/boolean ranges and prefix scans are unaffected: every value
+//! of those families is keyable.
 
-use crate::ids::NodeId;
-use crate::record::NodeRecord;
+use crate::ids::{NodeId, RelId};
+use crate::record::{NodeRecord, RelRecord};
 use crate::value::Value;
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound;
 
 /// Exactly representable integer range of `f64`: strictly inside ±2⁵³,
 /// `Int`/`Float` cross-type equality is loss-free and a canonical key
@@ -37,8 +62,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// not be faithful to [`Value::eq3`].
 const SAFE_INT: i64 = 1 << 53;
 
-/// The canonical, totally ordered key an indexed property value maps to.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+/// The canonical key an indexed property value maps to, totally ordered
+/// consistently with [`Value::cmp3`] within each comparable family.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexKey {
     Bool(bool),
     /// Integers and integral floats in the ±2⁵³ exact range.
@@ -48,6 +74,53 @@ pub enum IndexKey {
     Str(String),
     Date(i64),
     DateTime(i64),
+}
+
+impl IndexKey {
+    /// Family rank: booleans < numerics < strings < dates < datetimes.
+    /// `Int` and `FloatBits` share a rank — they interleave numerically.
+    fn family(&self) -> u8 {
+        match self {
+            IndexKey::Bool(_) => 0,
+            IndexKey::Int(_) | IndexKey::FloatBits(_) => 1,
+            IndexKey::Str(_) => 2,
+            IndexKey::Date(_) => 3,
+            IndexKey::DateTime(_) => 4,
+        }
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use IndexKey::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            // Keyable ints are strictly inside ±2⁵³, so `as f64` is exact;
+            // FloatBits never holds NaN, so partial_cmp is total. A
+            // FloatBits value (non-integral or infinite) can never equal an
+            // Int key numerically, keeping Ord consistent with Eq.
+            (Int(a), FloatBits(b)) => (*a as f64)
+                .partial_cmp(&f64::from_bits(*b))
+                .expect("no NaN"),
+            (FloatBits(a), Int(b)) => f64::from_bits(*a)
+                .partial_cmp(&(*b as f64))
+                .expect("no NaN"),
+            (FloatBits(a), FloatBits(b)) => f64::from_bits(*a)
+                .partial_cmp(&f64::from_bits(*b))
+                .expect("no NaN"),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (DateTime(a), DateTime(b)) => a.cmp(b),
+            (a, b) => a.family().cmp(&b.family()),
+        }
+    }
+}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl IndexKey {
@@ -101,20 +174,61 @@ impl IndexKey {
             _ => false,
         }
     }
+
+    /// Whether a stored value is a *lossy numeric*: unkeyable, yet able to
+    /// satisfy ordering predicates ([`Value::cmp3`] orders it against other
+    /// numbers). While any such value is present under an indexed
+    /// `(label, key)`, numeric range scans must fall back to full scans.
+    fn is_lossy_numeric(v: &Value) -> bool {
+        match v {
+            Value::Int(i) => *i <= -SAFE_INT || *i >= SAFE_INT,
+            // every finite f64 with |f| ≥ 2⁵³ is integral, hence unkeyable;
+            // NaN is unkeyable too but satisfies no ordering predicate.
+            Value::Float(f) => f.is_finite() && f.abs() >= SAFE_INT as f64,
+            _ => false,
+        }
+    }
 }
 
-/// The set of property indexes of a graph, maintained through every
-/// mutation *and undo* path of [`crate::Graph`].
-#[derive(Debug, Clone, Default)]
-pub struct PropIndex {
-    /// label → key → value-key → node set.
-    by_label: HashMap<String, HashMap<String, BTreeMap<IndexKey, BTreeSet<NodeId>>>>,
+/// One `(label, key)` index: ordered value keys plus the count of present
+/// lossy numerics (see module docs, "Range semantics").
+#[derive(Debug, Clone)]
+struct IndexEntries<Id> {
+    keys: BTreeMap<IndexKey, BTreeSet<Id>>,
+    lossy_numerics: usize,
+}
+
+impl<Id> Default for IndexEntries<Id> {
+    fn default() -> Self {
+        IndexEntries {
+            keys: BTreeMap::new(),
+            lossy_numerics: 0,
+        }
+    }
+}
+
+/// The generic `(label, key, value) → item set` index shared by node
+/// indexes ([`PropIndex`], label = node label) and relationship indexes
+/// ([`RelPropIndex`], label = relationship type).
+#[derive(Debug, Clone)]
+pub struct KeyedIndex<Id> {
+    /// label → key → value-key → item set.
+    by_label: HashMap<String, HashMap<String, IndexEntries<Id>>>,
     /// Number of `(label, key)` indexes; cheap emptiness check for the
     /// mutation fast path.
     count: usize,
 }
 
-impl PropIndex {
+impl<Id> Default for KeyedIndex<Id> {
+    fn default() -> Self {
+        KeyedIndex {
+            by_label: HashMap::new(),
+            count: 0,
+        }
+    }
+}
+
+impl<Id: Ord + Copy> KeyedIndex<Id> {
     /// `true` when no index exists (mutation fast path).
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -127,7 +241,7 @@ impl PropIndex {
         if keys.contains_key(key) {
             return false;
         }
-        keys.insert(key.to_string(), BTreeMap::new());
+        keys.insert(key.to_string(), IndexEntries::default());
         self.count += 1;
         true
     }
@@ -173,34 +287,38 @@ impl PropIndex {
             .unwrap_or_default()
     }
 
-    /// Add one `(label, key, value) → node` entry (no-op when `(label,
-    /// key)` is not indexed or `value` has no index key).
-    pub fn insert(&mut self, label: &str, key: &str, value: &Value, node: NodeId) {
+    /// Add one `(label, key, value) → item` entry (no-op when `(label,
+    /// key)` is not indexed; lossy numerics bump the range opt-out count).
+    pub fn insert(&mut self, label: &str, key: &str, value: &Value, item: Id) {
         if let Some(entries) = self
             .by_label
             .get_mut(label)
             .and_then(|keys| keys.get_mut(key))
         {
             if let Some(ik) = IndexKey::from_value(value) {
-                entries.entry(ik).or_default().insert(node);
+                entries.keys.entry(ik).or_default().insert(item);
+            } else if IndexKey::is_lossy_numeric(value) {
+                entries.lossy_numerics += 1;
             }
         }
     }
 
-    /// Remove one entry (no-op when not indexed / not keyable).
-    pub fn remove(&mut self, label: &str, key: &str, value: &Value, node: NodeId) {
+    /// Remove one entry (exact inverse of [`KeyedIndex::insert`]).
+    pub fn remove(&mut self, label: &str, key: &str, value: &Value, item: Id) {
         if let Some(entries) = self
             .by_label
             .get_mut(label)
             .and_then(|keys| keys.get_mut(key))
         {
             if let Some(ik) = IndexKey::from_value(value) {
-                if let Some(set) = entries.get_mut(&ik) {
-                    set.remove(&node);
+                if let Some(set) = entries.keys.get_mut(&ik) {
+                    set.remove(&item);
                     if set.is_empty() {
-                        entries.remove(&ik);
+                        entries.keys.remove(&ik);
                     }
                 }
+            } else if IndexKey::is_lossy_numeric(value) {
+                entries.lossy_numerics = entries.lossy_numerics.saturating_sub(1);
             }
         }
     }
@@ -208,11 +326,12 @@ impl PropIndex {
     /// Equality lookup. `None` means the index cannot answer — either
     /// `(label, key)` is not indexed, or `value` lies outside the keyable
     /// domain — and the caller must fall back to a filtered scan.
-    pub fn lookup(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+    pub fn lookup(&self, label: &str, key: &str, value: &Value) -> Option<Vec<Id>> {
         let entries = self.by_label.get(label)?.get(key)?;
         match IndexKey::from_value(value) {
             Some(ik) => Some(
                 entries
+                    .keys
                     .get(&ik)
                     .map(|set| set.iter().copied().collect())
                     .unwrap_or_default(),
@@ -220,6 +339,213 @@ impl PropIndex {
             None if IndexKey::never_matches(value) => Some(Vec::new()),
             None => None,
         }
+    }
+
+    /// Ordered range lookup: all items whose value `v` satisfies
+    /// `lower ⋚ v ⋚ upper` under [`Value::cmp3`] semantics (cross-family
+    /// comparisons are NULL, hence never matches). At least one bound must
+    /// be given. `None` means the index cannot answer faithfully:
+    /// `(label, key)` is not indexed, a bound value is unkeyable (±2⁵³
+    /// numerics, lists), or lossy numerics are present under a numeric
+    /// range — the caller falls back to a filtered scan.
+    pub fn range_lookup(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<Id>> {
+        let entries = self.by_label.get(label)?.get(key)?;
+        // Classify each bound: Ok(key-bound) | Err(true)=definitively-empty
+        // | Err(false)=unanswerable.
+        let classify = |b: Bound<&Value>| -> Result<Bound<IndexKey>, bool> {
+            match b {
+                Bound::Unbounded => Ok(Bound::Unbounded),
+                Bound::Included(v) | Bound::Excluded(v) => match IndexKey::from_value(v) {
+                    Some(ik) => Ok(match b {
+                        Bound::Included(_) => Bound::Included(ik),
+                        _ => Bound::Excluded(ik),
+                    }),
+                    // NULL/NaN/graph-item bounds compare to nothing.
+                    None if IndexKey::never_matches(v) => Err(true),
+                    // cmp3 never orders maps against anything either.
+                    None if matches!(v, Value::Map(_)) => Err(true),
+                    None => Err(false),
+                },
+            }
+        };
+        let lo = match classify(lower) {
+            Ok(b) => b,
+            Err(true) => return Some(Vec::new()),
+            Err(false) => return None,
+        };
+        let hi = match classify(upper) {
+            Ok(b) => b,
+            Err(true) => return Some(Vec::new()),
+            Err(false) => return None,
+        };
+        // The family the predicate constrains values to (cmp3 returns NULL
+        // across families). Both-unbounded is not a range predicate.
+        let fam = match (&lo, &hi) {
+            (Bound::Included(k) | Bound::Excluded(k), Bound::Unbounded)
+            | (Bound::Unbounded, Bound::Included(k) | Bound::Excluded(k)) => k.family(),
+            (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+                if a.family() != b.family() {
+                    // e.g. `> 1 AND < 'z'`: no value is comparable to both.
+                    return Some(Vec::new());
+                }
+                a.family()
+            }
+            (Bound::Unbounded, Bound::Unbounded) => return None,
+        };
+        // Numeric ranges are incomplete while lossy numerics are present.
+        if fam == IndexKey::Int(0).family() && entries.lossy_numerics > 0 {
+            return None;
+        }
+        // Close unbounded sides at the family frontier so the walk never
+        // leaves the predicate's type family.
+        let lo = match lo {
+            Bound::Unbounded => family_min(fam),
+            b => b,
+        };
+        let hi = match hi {
+            Bound::Unbounded => family_max(fam),
+            b => b,
+        };
+        // An inverted range would make BTreeMap::range panic.
+        if range_is_empty(&lo, &hi) {
+            return Some(Vec::new());
+        }
+        let mut out: Vec<Id> = entries
+            .keys
+            .range((lo, hi))
+            .flat_map(|(_, set)| set.iter().copied())
+            .collect();
+        out.sort();
+        Some(out)
+    }
+
+    /// Prefix scan: all items whose value is a string starting with
+    /// `prefix`, matching `STARTS WITH` semantics (non-strings never
+    /// match). Always answerable when `(label, key)` is indexed — every
+    /// string is keyable.
+    pub fn prefix_lookup(&self, label: &str, key: &str, prefix: &str) -> Option<Vec<Id>> {
+        let entries = self.by_label.get(label)?.get(key)?;
+        let start = Bound::Included(IndexKey::Str(prefix.to_string()));
+        let mut out: Vec<Id> = entries
+            .keys
+            .range((start, Bound::Unbounded))
+            .take_while(|(k, _)| matches!(k, IndexKey::Str(s) if s.starts_with(prefix)))
+            .flat_map(|(_, set)| set.iter().copied())
+            .collect();
+        out.sort();
+        Some(out)
+    }
+}
+
+/// Smallest key of a family (inclusive frontier).
+fn family_min(fam: u8) -> Bound<IndexKey> {
+    Bound::Included(match fam {
+        0 => IndexKey::Bool(false),
+        1 => IndexKey::FloatBits(f64::NEG_INFINITY.to_bits()),
+        2 => IndexKey::Str(String::new()),
+        3 => IndexKey::Date(i64::MIN),
+        _ => IndexKey::DateTime(i64::MIN),
+    })
+}
+
+/// Largest key of a family. Strings have no maximum, so the Str frontier is
+/// "everything below the smallest Date key".
+fn family_max(fam: u8) -> Bound<IndexKey> {
+    match fam {
+        0 => Bound::Included(IndexKey::Bool(true)),
+        1 => Bound::Included(IndexKey::FloatBits(f64::INFINITY.to_bits())),
+        2 => Bound::Excluded(IndexKey::Date(i64::MIN)),
+        3 => Bound::Included(IndexKey::Date(i64::MAX)),
+        _ => Bound::Included(IndexKey::DateTime(i64::MAX)),
+    }
+}
+
+/// Whether `(lo, hi)` denotes an empty interval (BTreeMap::range panics on
+/// inverted bounds).
+fn range_is_empty(lo: &Bound<IndexKey>, hi: &Bound<IndexKey>) -> bool {
+    match (lo, hi) {
+        (Bound::Included(a), Bound::Included(b)) => a > b,
+        (Bound::Included(a), Bound::Excluded(b))
+        | (Bound::Excluded(a), Bound::Included(b))
+        | (Bound::Excluded(a), Bound::Excluded(b)) => a >= b,
+        _ => false,
+    }
+}
+
+/// The set of node property indexes of a graph, maintained through every
+/// mutation *and undo* path of [`crate::Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct PropIndex {
+    inner: KeyedIndex<NodeId>,
+}
+
+impl PropIndex {
+    /// `true` when no index exists (mutation fast path).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Declare an index on `(label, key)`. Returns `false` when it already
+    /// exists. The caller (the store) populates it from the live extent.
+    pub fn create(&mut self, label: &str, key: &str) -> bool {
+        self.inner.create(label, key)
+    }
+
+    /// Drop the index on `(label, key)`; `false` when absent.
+    pub fn drop_index(&mut self, label: &str, key: &str) -> bool {
+        self.inner.drop_index(label, key)
+    }
+
+    /// Whether `(label, key)` is indexed.
+    pub fn is_indexed(&self, label: &str, key: &str) -> bool {
+        self.inner.is_indexed(label, key)
+    }
+
+    /// All `(label, key)` index definitions, sorted.
+    pub fn definitions(&self) -> Vec<(String, String)> {
+        self.inner.definitions()
+    }
+
+    /// The property keys indexed under `label`.
+    pub fn keys_for_label(&self, label: &str) -> Vec<String> {
+        self.inner.keys_for_label(label)
+    }
+
+    /// Add one `(label, key, value) → node` entry.
+    pub fn insert(&mut self, label: &str, key: &str, value: &Value, node: NodeId) {
+        self.inner.insert(label, key, value, node)
+    }
+
+    /// Remove one entry.
+    pub fn remove(&mut self, label: &str, key: &str, value: &Value, node: NodeId) {
+        self.inner.remove(label, key, value, node)
+    }
+
+    /// Equality lookup; `None` = fall back to a filtered scan.
+    pub fn lookup(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        self.inner.lookup(label, key, value)
+    }
+
+    /// Ordered range lookup; see [`KeyedIndex::range_lookup`].
+    pub fn range_lookup(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<NodeId>> {
+        self.inner.range_lookup(label, key, lower, upper)
+    }
+
+    /// `STARTS WITH` prefix scan; see [`KeyedIndex::prefix_lookup`].
+    pub fn prefix_lookup(&self, label: &str, key: &str, prefix: &str) -> Option<Vec<NodeId>> {
+        self.inner.prefix_lookup(label, key, prefix)
     }
 
     /// Index every `(label, key)` pair a node record carries (node
@@ -245,6 +571,96 @@ impl PropIndex {
             for (k, v) in rec.props.iter() {
                 self.remove(l, k, v, rec.id);
             }
+        }
+    }
+}
+
+/// The set of relationship property indexes of a graph: `(type, key,
+/// value)` → relationship set, maintained through every mutation and undo
+/// path exactly like node indexes. Relationships carry exactly one
+/// immutable type, so — unlike node labels — entries never migrate between
+/// "labels".
+#[derive(Debug, Clone, Default)]
+pub struct RelPropIndex {
+    inner: KeyedIndex<RelId>,
+}
+
+impl RelPropIndex {
+    /// `true` when no index exists (mutation fast path).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Declare an index on `(rel_type, key)`; `false` when it exists.
+    pub fn create(&mut self, rel_type: &str, key: &str) -> bool {
+        self.inner.create(rel_type, key)
+    }
+
+    /// Drop the index on `(rel_type, key)`; `false` when absent.
+    pub fn drop_index(&mut self, rel_type: &str, key: &str) -> bool {
+        self.inner.drop_index(rel_type, key)
+    }
+
+    /// Whether `(rel_type, key)` is indexed.
+    pub fn is_indexed(&self, rel_type: &str, key: &str) -> bool {
+        self.inner.is_indexed(rel_type, key)
+    }
+
+    /// All `(rel_type, key)` index definitions, sorted.
+    pub fn definitions(&self) -> Vec<(String, String)> {
+        self.inner.definitions()
+    }
+
+    /// Add one `(type, key, value) → rel` entry.
+    pub fn insert(&mut self, rel_type: &str, key: &str, value: &Value, rel: RelId) {
+        self.inner.insert(rel_type, key, value, rel)
+    }
+
+    /// Remove one entry.
+    pub fn remove(&mut self, rel_type: &str, key: &str, value: &Value, rel: RelId) {
+        self.inner.remove(rel_type, key, value, rel)
+    }
+
+    /// Equality lookup; `None` = fall back to a filtered scan.
+    pub fn lookup(&self, rel_type: &str, key: &str, value: &Value) -> Option<Vec<RelId>> {
+        self.inner.lookup(rel_type, key, value)
+    }
+
+    /// Ordered range lookup; see [`KeyedIndex::range_lookup`].
+    pub fn range_lookup(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<RelId>> {
+        self.inner.range_lookup(rel_type, key, lower, upper)
+    }
+
+    /// `STARTS WITH` prefix scan; see [`KeyedIndex::prefix_lookup`].
+    pub fn prefix_lookup(&self, rel_type: &str, key: &str, prefix: &str) -> Option<Vec<RelId>> {
+        self.inner.prefix_lookup(rel_type, key, prefix)
+    }
+
+    /// Index every key of a relationship record (creation and undo of
+    /// deletion).
+    pub fn index_rel(&mut self, rec: &RelRecord) {
+        if self.is_empty() {
+            return;
+        }
+        for (k, v) in rec.props.iter() {
+            self.insert(&rec.rel_type, k, v, rec.id);
+        }
+    }
+
+    /// Remove every entry of a relationship record (deletion and undo of
+    /// creation).
+    pub fn deindex_rel(&mut self, rec: &RelRecord) {
+        if self.is_empty() {
+            return;
+        }
+        for (k, v) in rec.props.iter() {
+            self.remove(&rec.rel_type, k, v, rec.id);
         }
     }
 }
@@ -315,6 +731,32 @@ mod tests {
     }
 
     #[test]
+    fn key_order_interleaves_numerics() {
+        // The BTreeMap key order must match numeric order across the
+        // Int/FloatBits split, with -inf/+inf at the family frontier.
+        let keys = [
+            IndexKey::Bool(true),
+            IndexKey::FloatBits(f64::NEG_INFINITY.to_bits()),
+            IndexKey::FloatBits((-1.5f64).to_bits()),
+            IndexKey::Int(-1),
+            IndexKey::Int(0),
+            IndexKey::FloatBits(0.5f64.to_bits()),
+            IndexKey::Int(1),
+            IndexKey::FloatBits(1.5f64.to_bits()),
+            IndexKey::Int(2),
+            IndexKey::FloatBits(f64::INFINITY.to_bits()),
+            IndexKey::Str(String::new()),
+            IndexKey::Str("a".into()),
+            IndexKey::Date(i64::MIN),
+            IndexKey::Date(3),
+            IndexKey::DateTime(i64::MIN),
+        ];
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
     fn lookup_distinguishes_empty_from_unanswerable() {
         let mut ix = PropIndex::default();
         ix.create("A", "x");
@@ -349,5 +791,217 @@ mod tests {
         assert_eq!(ix.lookup("A", "x", &Value::str("v")), Some(vec![NodeId(2)]));
         ix.remove("A", "x", &Value::str("v"), NodeId(2));
         assert_eq!(ix.lookup("A", "x", &Value::str("v")), Some(vec![]));
+    }
+
+    #[test]
+    fn range_lookup_numeric() {
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        for (i, v) in [
+            Value::Int(1),
+            Value::Float(1.5),
+            Value::Int(2),
+            Value::Float(2.5),
+            Value::Int(3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            ix.insert("A", "x", v, NodeId(i as u64));
+        }
+        // closed interval crossing the Int/Float interleave
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Included(&Value::Float(1.5)),
+                Bound::Excluded(&Value::Int(3))
+            ),
+            Some(vec![NodeId(1), NodeId(2), NodeId(3)])
+        );
+        // one-sided ranges
+        assert_eq!(
+            ix.range_lookup("A", "x", Bound::Excluded(&Value::Int(2)), Bound::Unbounded),
+            Some(vec![NodeId(3), NodeId(4)])
+        );
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Unbounded,
+                Bound::Included(&Value::Float(1.5))
+            ),
+            Some(vec![NodeId(0), NodeId(1)])
+        );
+        // inverted and cross-family ranges are definitively empty
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Included(&Value::Int(5)),
+                Bound::Included(&Value::Int(4))
+            ),
+            Some(vec![])
+        );
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Included(&Value::Int(1)),
+                Bound::Included(&Value::str("z"))
+            ),
+            Some(vec![])
+        );
+        // NULL bounds compare to nothing
+        assert_eq!(
+            ix.range_lookup("A", "x", Bound::Excluded(&Value::Null), Bound::Unbounded),
+            Some(vec![])
+        );
+        // unindexed key / both-unbounded cannot answer
+        assert_eq!(
+            ix.range_lookup("A", "y", Bound::Excluded(&Value::Int(0)), Bound::Unbounded),
+            None
+        );
+        assert_eq!(
+            ix.range_lookup("A", "x", Bound::Unbounded, Bound::Unbounded),
+            None
+        );
+    }
+
+    #[test]
+    fn range_lookup_respects_type_families() {
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        ix.insert("A", "x", &Value::Int(5), NodeId(0));
+        ix.insert("A", "x", &Value::str("m"), NodeId(1));
+        ix.insert("A", "x", &Value::Bool(true), NodeId(2));
+        ix.insert("A", "x", &Value::Date(10), NodeId(3));
+        ix.insert("A", "x", &Value::DateTime(10), NodeId(4));
+        // a string range sees only strings (cmp3 is NULL across types)
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Included(&Value::str("a")),
+                Bound::Unbounded
+            ),
+            Some(vec![NodeId(1)])
+        );
+        // a numeric range sees only numerics, not dates
+        assert_eq!(
+            ix.range_lookup("A", "x", Bound::Included(&Value::Int(0)), Bound::Unbounded),
+            Some(vec![NodeId(0)])
+        );
+        // date vs datetime stay separate
+        assert_eq!(
+            ix.range_lookup("A", "x", Bound::Included(&Value::Date(0)), Bound::Unbounded),
+            Some(vec![NodeId(3)])
+        );
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Unbounded,
+                Bound::Included(&Value::DateTime(99))
+            ),
+            Some(vec![NodeId(4)])
+        );
+        // bool range
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Excluded(&Value::Bool(false)),
+                Bound::Unbounded
+            ),
+            Some(vec![NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn lossy_numerics_disable_numeric_ranges_only() {
+        let bound = 1i64 << 53;
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        ix.insert("A", "x", &Value::Int(1), NodeId(0));
+        ix.insert("A", "x", &Value::str("s"), NodeId(1));
+        // a stored out-of-range numeric would satisfy `> 0` but is not in
+        // the index: numeric ranges must refuse, equality must still work.
+        ix.insert("A", "x", &Value::Int(bound + 1), NodeId(2));
+        assert_eq!(
+            ix.range_lookup("A", "x", Bound::Excluded(&Value::Int(0)), Bound::Unbounded),
+            None
+        );
+        assert_eq!(ix.lookup("A", "x", &Value::Int(1)), Some(vec![NodeId(0)]));
+        // string ranges are unaffected
+        assert_eq!(
+            ix.range_lookup("A", "x", Bound::Included(&Value::str("")), Bound::Unbounded),
+            Some(vec![NodeId(1)])
+        );
+        // removing the lossy value re-enables numeric ranges
+        ix.remove("A", "x", &Value::Int(bound + 1), NodeId(2));
+        assert_eq!(
+            ix.range_lookup("A", "x", Bound::Excluded(&Value::Int(0)), Bound::Unbounded),
+            Some(vec![NodeId(0)])
+        );
+        // an out-of-range *bound* is refused even with a clean index
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Included(&Value::Int(bound)),
+                Bound::Unbounded
+            ),
+            None
+        );
+        // NaN bounds compare to nothing → definitively empty
+        assert_eq!(
+            ix.range_lookup(
+                "A",
+                "x",
+                Bound::Included(&Value::Float(f64::NAN)),
+                Bound::Unbounded
+            ),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn prefix_lookup_matches_starts_with() {
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        ix.insert("A", "x", &Value::str("alpha"), NodeId(0));
+        ix.insert("A", "x", &Value::str("alphabet"), NodeId(1));
+        ix.insert("A", "x", &Value::str("beta"), NodeId(2));
+        ix.insert("A", "x", &Value::Int(7), NodeId(3)); // non-string: never matches
+        assert_eq!(
+            ix.prefix_lookup("A", "x", "alpha"),
+            Some(vec![NodeId(0), NodeId(1)])
+        );
+        assert_eq!(ix.prefix_lookup("A", "x", "alphabe"), Some(vec![NodeId(1)]));
+        assert_eq!(ix.prefix_lookup("A", "x", "z"), Some(vec![]));
+        // empty prefix matches every string (and only strings)
+        assert_eq!(
+            ix.prefix_lookup("A", "x", ""),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2)])
+        );
+        assert_eq!(ix.prefix_lookup("A", "y", "a"), None);
+    }
+
+    #[test]
+    fn rel_index_basics() {
+        let mut ix = RelPropIndex::default();
+        assert!(ix.create("R", "w"));
+        ix.insert("R", "w", &Value::Int(5), RelId(1));
+        ix.insert("R", "w", &Value::Int(9), RelId(2));
+        assert_eq!(ix.lookup("R", "w", &Value::Int(5)), Some(vec![RelId(1)]));
+        assert_eq!(
+            ix.range_lookup("R", "w", Bound::Excluded(&Value::Int(5)), Bound::Unbounded),
+            Some(vec![RelId(2)])
+        );
+        assert_eq!(ix.lookup("S", "w", &Value::Int(5)), None);
+        ix.remove("R", "w", &Value::Int(5), RelId(1));
+        assert_eq!(ix.lookup("R", "w", &Value::Int(5)), Some(vec![]));
+        assert_eq!(ix.definitions(), vec![("R".to_string(), "w".to_string())]);
     }
 }

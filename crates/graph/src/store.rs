@@ -4,12 +4,13 @@ use crate::delta::Delta;
 use crate::error::{GraphError, Result};
 use crate::ids::{ItemRef, NodeId, RelId};
 use crate::op::Op;
-use crate::prop_index::PropIndex;
+use crate::prop_index::{PropIndex, RelPropIndex};
 use crate::props::PropertyMap;
 use crate::record::{NodeRecord, RelRecord};
 use crate::value::{Direction, Value};
 use crate::view::GraphView;
 use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
 
 /// Controls which mutations the store accepts. The PG-Trigger engine uses
 /// this to enforce the paper's `BEFORE`-trigger restriction (§4.2: "BEFORE
@@ -58,6 +59,9 @@ pub struct Graph {
     /// Property indexes (`CREATE INDEX ON :Label(key)`), maintained
     /// through every mutation and undo path below.
     prop_index: PropIndex,
+    /// Relationship-property indexes (`CREATE INDEX ON -[:TYPE(key)]-`),
+    /// maintained through the same mutation and undo paths.
+    rel_prop_index: RelPropIndex,
     next_node: u64,
     next_rel: u64,
     tx: Option<TxState>,
@@ -181,11 +185,13 @@ impl Graph {
                         }
                     }
                 }
-                Op::SetRelProp { rel, key, old, .. } => {
+                Op::SetRelProp { rel, key, old, new } => {
                     if let Some(r) = self.rels.get_mut(rel) {
+                        self.rel_prop_index.remove(&r.rel_type, key, new, *rel);
                         match old {
                             Some(v) => {
                                 r.props.set(key.clone(), v.clone());
+                                self.rel_prop_index.insert(&r.rel_type, key, v, *rel);
                             }
                             None => {
                                 r.props.remove(key);
@@ -196,6 +202,7 @@ impl Graph {
                 Op::RemoveRelProp { rel, key, old } => {
                     if let Some(r) = self.rels.get_mut(rel) {
                         r.props.set(key.clone(), old.clone());
+                        self.rel_prop_index.insert(&r.rel_type, key, old, *rel);
                     }
                 }
             }
@@ -302,6 +309,7 @@ impl Graph {
             .entry(record.rel_type.clone())
             .or_default()
             .insert(record.id);
+        self.rel_prop_index.index_rel(&record);
         self.out_adj.entry(record.src).or_default().push(record.id);
         self.in_adj.entry(record.dst).or_default().push(record.id);
         self.rel_ids.insert(record.id);
@@ -314,6 +322,7 @@ impl Graph {
             if let Some(ix) = self.type_index.get_mut(&rec.rel_type) {
                 ix.remove(&id);
             }
+            self.rel_prop_index.deindex_rel(&rec);
             if let Some(adj) = self.out_adj.get_mut(&rec.src) {
                 adj.retain(|&r| r != id);
             }
@@ -573,11 +582,16 @@ impl Graph {
             .ok_or(GraphError::RelNotFound(rel))?;
         if value.is_null() {
             if let Some(old) = rec.props.remove(&key) {
+                self.rel_prop_index.remove(&rec.rel_type, &key, &old, rel);
                 self.log(Op::RemoveRelProp { rel, key, old });
             }
             return Ok(());
         }
         let old = rec.props.set(key.clone(), value.clone());
+        if let Some(old_v) = &old {
+            self.rel_prop_index.remove(&rec.rel_type, &key, old_v, rel);
+        }
+        self.rel_prop_index.insert(&rec.rel_type, &key, &value, rel);
         self.log(Op::SetRelProp {
             rel,
             key,
@@ -596,6 +610,7 @@ impl Graph {
             .ok_or(GraphError::RelNotFound(rel))?;
         let old = rec.props.remove(key);
         if let Some(old_v) = &old {
+            self.rel_prop_index.remove(&rec.rel_type, key, old_v, rel);
             self.log(Op::RemoveRelProp {
                 rel,
                 key: key.to_string(),
@@ -693,6 +708,39 @@ impl Graph {
     /// All `(label, key)` index definitions, sorted.
     pub fn indexes(&self) -> Vec<(String, String)> {
         self.prop_index.definitions()
+    }
+
+    /// Create a relationship-property index on `(rel_type, key)` and
+    /// populate it from the current type extent. Returns `false` when it
+    /// already exists. Like node indexes, the definition is not
+    /// transactional (entries are kept consistent by the undo paths).
+    pub fn create_rel_index(&mut self, rel_type: &str, key: &str) -> bool {
+        if !self.rel_prop_index.create(rel_type, key) {
+            return false;
+        }
+        if let Some(extent) = self.type_index.get(rel_type) {
+            for id in extent {
+                if let Some(v) = self.rels.get(id).and_then(|rec| rec.props.get(key)) {
+                    self.rel_prop_index.insert(rel_type, key, v, *id);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drop the relationship-property index on `(rel_type, key)`.
+    pub fn drop_rel_index(&mut self, rel_type: &str, key: &str) -> bool {
+        self.rel_prop_index.drop_index(rel_type, key)
+    }
+
+    /// Whether `(rel_type, key)` is indexed.
+    pub fn has_rel_index(&self, rel_type: &str, key: &str) -> bool {
+        self.rel_prop_index.is_indexed(rel_type, key)
+    }
+
+    /// All `(rel_type, key)` relationship-index definitions, sorted.
+    pub fn rel_indexes(&self) -> Vec<(String, String)> {
+        self.rel_prop_index.definitions()
     }
 }
 
@@ -795,8 +843,55 @@ impl GraphView for Graph {
         self.prop_index.lookup(label, key, value)
     }
 
+    fn nodes_in_prop_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<NodeId>> {
+        self.prop_index.range_lookup(label, key, lower, upper)
+    }
+
+    fn nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<Vec<NodeId>> {
+        self.prop_index.prefix_lookup(label, key, prefix)
+    }
+
+    fn rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<Vec<RelId>> {
+        self.rel_prop_index.lookup(rel_type, key, value)
+    }
+
+    fn rels_in_prop_range(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<RelId>> {
+        self.rel_prop_index
+            .range_lookup(rel_type, key, lower, upper)
+    }
+
+    fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
+        self.type_index
+            .get(rel_type)
+            .map(|ix| ix.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     fn label_cardinality(&self, label: &str) -> usize {
         self.label_index.get(label).map(|ix| ix.len()).unwrap_or(0)
+    }
+
+    fn rel_type_cardinality(&self, rel_type: &str) -> usize {
+        self.type_index
+            .get(rel_type)
+            .map(|ix| ix.len())
+            .unwrap_or(0)
+    }
+
+    fn node_count_estimate(&self) -> usize {
+        self.nodes.len()
     }
 }
 

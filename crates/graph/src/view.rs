@@ -13,6 +13,7 @@ use crate::record::{NodeRecord, RelRecord};
 use crate::store::Graph;
 use crate::value::{Direction, Value};
 use std::collections::HashMap;
+use std::ops::Bound;
 
 /// Read-only access to a graph state.
 pub trait GraphView {
@@ -43,12 +44,73 @@ pub trait GraphView {
         None
     }
 
+    /// Index-backed ordered range lookup: nodes with `label` whose
+    /// property `key` lies within the given bounds under [`Value::cmp3`]
+    /// semantics. `None` = no index can answer faithfully (fall back to a
+    /// filtered scan); see `PropIndex::range_lookup` for the exact
+    /// contract, including the ±2⁵³ lossy-numeric opt-out.
+    fn nodes_in_prop_range(
+        &self,
+        _label: &str,
+        _key: &str,
+        _lower: Bound<&Value>,
+        _upper: Bound<&Value>,
+    ) -> Option<Vec<NodeId>> {
+        None
+    }
+
+    /// Index-backed `STARTS WITH` prefix scan over string values of `key`.
+    fn nodes_with_prop_prefix(
+        &self,
+        _label: &str,
+        _key: &str,
+        _prefix: &str,
+    ) -> Option<Vec<NodeId>> {
+        None
+    }
+
+    /// Index-backed equality lookup over relationships of `rel_type`.
+    fn rels_with_prop(&self, _rel_type: &str, _key: &str, _value: &Value) -> Option<Vec<RelId>> {
+        None
+    }
+
+    /// Index-backed ordered range lookup over relationships of `rel_type`.
+    fn rels_in_prop_range(
+        &self,
+        _rel_type: &str,
+        _key: &str,
+        _lower: Bound<&Value>,
+        _upper: Bound<&Value>,
+    ) -> Option<Vec<RelId>> {
+        None
+    }
+
+    /// Relationships of the given type. The default filters the full
+    /// relationship extent; the live graph answers from the type index.
+    fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
+        self.all_rel_ids()
+            .into_iter()
+            .filter(|r| self.rel_type(*r).as_deref() == Some(rel_type))
+            .collect()
+    }
+
     /// Cardinality of a label extent — a planning estimate; must be exact
     /// enough that `0` means the extent is empty. The default materializes
     /// the extent; the live graph answers in O(1) and the overlay views in
     /// O(touched items).
     fn label_cardinality(&self, label: &str) -> usize {
         self.nodes_with_label(label).len()
+    }
+
+    /// Cardinality of a relationship-type extent (planning estimate, same
+    /// contract as [`GraphView::label_cardinality`]).
+    fn rel_type_cardinality(&self, rel_type: &str) -> usize {
+        self.rels_with_type(rel_type).len()
+    }
+
+    /// Total node count (planning estimate for full-scan costs).
+    fn node_count_estimate(&self) -> usize {
+        self.all_node_ids().len()
     }
 }
 
@@ -244,6 +306,64 @@ impl GraphView for PreStateView<'_> {
                 .map(|r| r.has_label(label))
                 .unwrap_or(false);
             match (base_has, pre_has) {
+                (true, false) => n -= 1,
+                (false, true) => n += 1,
+                _ => {}
+            }
+        }
+        n
+    }
+
+    fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
+        // Base type extent minus rels that did not exist before the slice,
+        // plus restored (deleted-in-slice) rels of the type.
+        let mut out: Vec<RelId> = self
+            .base
+            .rels_with_type(rel_type)
+            .into_iter()
+            .filter(|id| match self.rels.get(id) {
+                Some(overlay) => overlay.is_some(),
+                None => true,
+            })
+            .collect();
+        for (id, overlay) in &self.rels {
+            if let Some(rec) = overlay {
+                if rec.rel_type == rel_type && !self.base.rel_exists(*id) {
+                    out.push(*id);
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn rel_type_cardinality(&self, rel_type: &str) -> usize {
+        // O(touched) correction of the base count (planning hot path).
+        let mut n = self.base.rel_type_cardinality(rel_type);
+        for (id, overlay) in &self.rels {
+            let base_has = self
+                .base
+                .rel(*id)
+                .map(|r| r.rel_type == rel_type)
+                .unwrap_or(false);
+            let pre_has = overlay
+                .as_ref()
+                .map(|r| r.rel_type == rel_type)
+                .unwrap_or(false);
+            match (base_has, pre_has) {
+                (true, false) => n -= 1,
+                (false, true) => n += 1,
+                _ => {}
+            }
+        }
+        n
+    }
+
+    fn node_count_estimate(&self) -> usize {
+        let mut n = self.base.node_count_estimate();
+        for (id, overlay) in &self.nodes {
+            match (self.base.node_exists(*id), overlay.is_some()) {
                 (true, false) => n -= 1,
                 (false, true) => n += 1,
                 _ => {}

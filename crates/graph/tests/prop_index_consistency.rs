@@ -2,31 +2,82 @@
 //!
 //! The invariant: after **every** step — plain mutations, `begin`,
 //! `commit`, `rollback`, and mid-transaction `rollback_to` — every index
-//! lookup must agree with a brute-force scan over the whole graph using
-//! Cypher equality ([`Value::eq3`]). This is the graph-level half of the
-//! guarantee the trigger engine relies on when a statement (or a whole
-//! trigger cascade) aborts; the engine-level half (RecursionLimit aborts)
-//! lives in `pg-triggers`' integration tests.
+//! **equality lookup, range lookup and prefix lookup** must agree with a
+//! brute-force scan over the whole graph using Cypher equality/ordering
+//! ([`Value::eq3`] / [`Value::cmp3`]). Range lookups may also *refuse*
+//! (`None`, e.g. while a ±2⁵³ lossy numeric is stored) — that is the
+//! planner's scan fallback, not an inconsistency — but when they answer,
+//! the answer must be exact. This is the graph-level half of the guarantee
+//! the trigger engine relies on when a statement (or a whole trigger
+//! cascade) aborts; the engine-level half (RecursionLimit aborts) lives in
+//! `pg-triggers`' integration tests.
 
 use pg_graph::{Graph, GraphView, NodeId, PropertyMap, StatementMark, Value};
 use proptest::prelude::*;
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
+use std::ops::Bound;
 
 /// A random script step. Node references are dense indexes into the current
 /// id list so scripts stay valid regardless of prior steps; transaction
 /// steps are no-ops when they do not apply (e.g. `Commit` outside a tx).
 #[derive(Debug, Clone)]
 enum Step {
-    CreateNode { label: u8, prop: u8, val: i64 },
-    DetachDelete { pick: usize },
-    SetProp { pick: usize, prop: u8, val: i64 },
-    SetFloatProp { pick: usize, prop: u8, val: i64 },
-    RemoveProp { pick: usize, prop: u8 },
-    SetNullProp { pick: usize, prop: u8 },
-    SetLabel { pick: usize, label: u8 },
-    RemoveLabel { pick: usize, label: u8 },
-    CreateIndex { label: u8, prop: u8 },
-    DropIndex { label: u8, prop: u8 },
+    CreateNode {
+        label: u8,
+        prop: u8,
+        val: i64,
+    },
+    DetachDelete {
+        pick: usize,
+    },
+    SetProp {
+        pick: usize,
+        prop: u8,
+        val: i64,
+    },
+    SetFloatProp {
+        pick: usize,
+        prop: u8,
+        val: i64,
+    },
+    /// Values at/around the ±2⁵³ exactness boundary (`sel` picks one):
+    /// stored they are lossy (range scans must opt out), removed they must
+    /// re-enable range answers.
+    SetHugeProp {
+        pick: usize,
+        prop: u8,
+        sel: u8,
+    },
+    SetStrProp {
+        pick: usize,
+        prop: u8,
+        val: u8,
+    },
+    RemoveProp {
+        pick: usize,
+        prop: u8,
+    },
+    SetNullProp {
+        pick: usize,
+        prop: u8,
+    },
+    SetLabel {
+        pick: usize,
+        label: u8,
+    },
+    RemoveLabel {
+        pick: usize,
+        label: u8,
+    },
+    CreateIndex {
+        label: u8,
+        prop: u8,
+    },
+    DropIndex {
+        label: u8,
+        prop: u8,
+    },
     Begin,
     Mark,
     RollbackTo,
@@ -48,6 +99,16 @@ fn step_strategy() -> impl Strategy<Value = Step> {
             val
         }),
         (0usize..16, 0u8..3, -4i64..4).prop_map(|(pick, prop, val)| Step::SetFloatProp {
+            pick,
+            prop,
+            val
+        }),
+        (0usize..16, 0u8..3, 0u8..6).prop_map(|(pick, prop, sel)| Step::SetHugeProp {
+            pick,
+            prop,
+            sel
+        }),
+        (0usize..16, 0u8..3, 0u8..6).prop_map(|(pick, prop, val)| Step::SetStrProp {
             pick,
             prop,
             val
@@ -114,6 +175,29 @@ impl Driver {
                     .unwrap();
                 }
             }
+            Step::SetHugeProp { pick, prop, sel } => {
+                if !nodes.is_empty() {
+                    let bound = 1i64 << 53;
+                    let v = match sel {
+                        0 => Value::Int(bound),
+                        1 => Value::Int(bound + 1),
+                        2 => Value::Int(-bound),
+                        3 => Value::Float(bound as f64),
+                        4 => Value::Float(-(bound as f64)),
+                        _ => Value::Int(bound - 1), // last exactly-keyable int
+                    };
+                    g.set_node_prop(nodes[pick % nodes.len()], prop_name(*prop), v)
+                        .unwrap();
+                }
+            }
+            Step::SetStrProp { pick, prop, val } => {
+                if !nodes.is_empty() {
+                    // overlapping prefixes: "", "a", "ab", "ab", "b", "ba"
+                    let s = ["", "a", "ab", "abc", "b", "ba"][*val as usize % 6];
+                    g.set_node_prop(nodes[pick % nodes.len()], prop_name(*prop), Value::str(s))
+                        .unwrap();
+                }
+            }
             Step::RemoveProp { pick, prop } => {
                 if !nodes.is_empty() {
                     g.remove_node_prop(nodes[pick % nodes.len()], &prop_name(*prop))
@@ -178,13 +262,33 @@ impl Driver {
     }
 }
 
+/// Whether a stored value satisfies `lower ⋚ v ⋚ upper` under
+/// [`Value::cmp3`] (the reference semantics of a pushed-down range
+/// predicate: each bound is a conjunct, NULL comparisons never hold).
+fn in_range3(v: &Value, lower: &Bound<&Value>, upper: &Bound<&Value>) -> bool {
+    let lo_ok = match lower {
+        Bound::Unbounded => true,
+        Bound::Included(b) => matches!(v.cmp3(b), Some(Ordering::Greater | Ordering::Equal)),
+        Bound::Excluded(b) => matches!(v.cmp3(b), Some(Ordering::Greater)),
+    };
+    let hi_ok = match upper {
+        Bound::Unbounded => true,
+        Bound::Included(b) => matches!(v.cmp3(b), Some(Ordering::Less | Ordering::Equal)),
+        Bound::Excluded(b) => matches!(v.cmp3(b), Some(Ordering::Less)),
+    };
+    lo_ok && hi_ok
+}
+
 /// Index lookups == brute-force scan, for every index definition and every
-/// value in (a superset of) the script's value universe.
+/// equality value, range, and prefix over (a superset of) the script's
+/// value universe.
 fn check_index_vs_scan(g: &Graph) {
     let all = g.all_node_ids();
+    let huge = 1i64 << 53;
     let mut universe: Vec<Value> = (-5i64..6).map(Value::Int).collect();
     universe.extend((-5i64..6).map(|v| Value::Float(v as f64)));
     universe.push(Value::Float(0.5));
+    universe.push(Value::Int(huge - 1));
     for (label, key) in g.indexes() {
         for value in &universe {
             let via_index: BTreeSet<NodeId> = g
@@ -204,6 +308,75 @@ fn check_index_vs_scan(g: &Graph) {
             assert_eq!(
                 via_index, via_scan,
                 "index ({label},{key}) diverged from scan for {value}"
+            );
+        }
+
+        // Range queries: one- and two-sided, inclusive and exclusive,
+        // including bounds at the ±2^53 exactness frontier. A `None`
+        // answer is the legal scan fallback; a `Some` answer must be
+        // exactly the brute-force filter.
+        let range_bounds: Vec<Value> = vec![
+            Value::Int(-2),
+            Value::Int(0),
+            Value::Float(0.5),
+            Value::Int(2),
+            Value::Int(huge - 1),
+            Value::Float(f64::INFINITY),
+        ];
+        let mut ranges: Vec<(Bound<&Value>, Bound<&Value>)> = Vec::new();
+        for b in &range_bounds {
+            ranges.push((Bound::Included(b), Bound::Unbounded));
+            ranges.push((Bound::Excluded(b), Bound::Unbounded));
+            ranges.push((Bound::Unbounded, Bound::Included(b)));
+            ranges.push((Bound::Unbounded, Bound::Excluded(b)));
+        }
+        ranges.push((
+            Bound::Included(&range_bounds[0]),
+            Bound::Excluded(&range_bounds[3]),
+        ));
+        ranges.push((
+            Bound::Excluded(&range_bounds[1]),
+            Bound::Included(&range_bounds[2]),
+        ));
+        for (lo, hi) in ranges {
+            if let Some(ids) = g.nodes_in_prop_range(&label, &key, lo, hi) {
+                let via_index: BTreeSet<NodeId> = ids.into_iter().collect();
+                let via_scan: BTreeSet<NodeId> = all
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        g.node_has_label(id, &label)
+                            && g.node_prop(id, &key)
+                                .is_some_and(|have| in_range3(&have, &lo, &hi))
+                    })
+                    .collect();
+                assert_eq!(
+                    via_index, via_scan,
+                    "range on ({label},{key}) diverged for ({lo:?}, {hi:?})"
+                );
+            }
+        }
+
+        // Prefix queries must always answer on an indexed (label, key).
+        for prefix in ["", "a", "ab", "abc", "b", "zz"] {
+            let via_index: BTreeSet<NodeId> = g
+                .nodes_with_prop_prefix(&label, &key, prefix)
+                .unwrap_or_else(|| panic!("prefix on ({label},{key}) must answer"))
+                .into_iter()
+                .collect();
+            let via_scan: BTreeSet<NodeId> = all
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    g.node_has_label(id, &label)
+                        && g.node_prop(id, &key).is_some_and(
+                            |have| matches!(&have, Value::Str(s) if s.starts_with(prefix)),
+                        )
+                })
+                .collect();
+            assert_eq!(
+                via_index, via_scan,
+                "prefix on ({label},{key}) diverged for '{prefix}'"
             );
         }
     }

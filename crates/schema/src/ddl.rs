@@ -395,6 +395,26 @@ mod tests {
     }
 
     #[test]
+    fn parse_edge_index_qualifier_and_indexed_rel_props() {
+        let gt = parse_graph_type(
+            "CREATE GRAPH TYPE G STRICT {
+               (HospitalType: Hospital {name STRING}),
+               (:HospitalType)-[CT: ConnectedTo {distance INT32 INDEX, note STRING}]->(:HospitalType),
+               (:HospitalType)-[RF: RefersTo {code STRING KEY}]->(:HospitalType)
+             }",
+        )
+        .unwrap();
+        assert_eq!(
+            gt.indexed_rel_props(),
+            vec![
+                ("ConnectedTo".to_string(), "distance".to_string()),
+                ("RefersTo".to_string(), "code".to_string()),
+            ]
+        );
+        assert!(gt.indexed_props().is_empty());
+    }
+
+    #[test]
     fn parse_open_type_and_arrays() {
         let gt = parse_graph_type(
             "CREATE GRAPH TYPE G LOOSE {

@@ -259,6 +259,24 @@ impl GraphType {
         out
     }
 
+    /// The `(relationship type, property)` pairs that declare a
+    /// relationship-property index: each edge type's label paired with its
+    /// `INDEX` (or `KEY`) property declarations. The trigger engine creates
+    /// these indexes when the graph type is attached to a session.
+    pub fn indexed_rel_props(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        for e in &self.edge_types {
+            for p in &e.props {
+                if p.indexed || p.key {
+                    out.push((e.label.clone(), p.name.clone()));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// The full property declarations of a node type including inherited
     /// ones (own declarations shadow inherited declarations of the same
     /// property name).
