@@ -1,6 +1,8 @@
 //! Shared benchmark fixtures.
 
 use pg_triggers::{EngineConfig, Session};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 /// A session preloaded with `n` uniform `Item` nodes (bulk-loaded, no
 /// trigger processing).
@@ -34,6 +36,59 @@ pub fn session_with_named_items(n: usize) -> Session {
         g.create_node(["Item"], props).unwrap();
     }
     s
+}
+
+/// Draw Zipf-distributed ranks in `0..m` with exponent `s` (inverse-CDF
+/// sampling over precomputed cumulative weights). Rank 0 is the hottest
+/// value; `s ≈ 1.0` gives the classic heavy head.
+pub struct ZipfSampler {
+    /// Cumulative weights, `cdf[r]` = Σ_{i≤r} 1/(i+1)^s.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    pub fn new(m: usize, s: f64, seed: u64) -> ZipfSampler {
+        assert!(m > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(m);
+        let mut acc = 0.0f64;
+        for r in 0..m {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        ZipfSampler {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next rank in `0..m`.
+    pub fn sample(&mut self) -> usize {
+        // 53 high bits → uniform f64 in [0, 1)
+        let u = ((self.rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        let target = u * self.cdf[self.cdf.len() - 1];
+        self.cdf
+            .partition_point(|c| *c < target)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// A session preloaded with `n` `Item` nodes whose integer `k` follows a
+/// Zipf-like distribution over `m` distinct values (exponent `s`). Skewed
+/// counterpart of [`session_with_items`]: histogram-based selectivity
+/// estimates are only interesting when the data is *not* uniform.
+pub fn session_with_zipf_items(n: usize, m: usize, s: f64, seed: u64) -> Session {
+    let mut sampler = ZipfSampler::new(m, s, seed);
+    let mut session = Session::new();
+    let g = session.graph_mut();
+    for _ in 0..n {
+        let k = sampler.sample() as i64;
+        let props: pg_graph::PropertyMap = [("k".to_string(), pg_graph::Value::Int(k))]
+            .into_iter()
+            .collect();
+        g.create_node(["Item"], props).unwrap();
+    }
+    session
 }
 
 /// Install `n` AFTER-CREATE triggers on distinct labels; when
@@ -99,6 +154,32 @@ mod tests {
             .and_then(|v| v.as_i64())
             .unwrap();
         assert_eq!(fired, 6);
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed_and_deterministic() {
+        let mut a = ZipfSampler::new(100, 1.1, 42);
+        let mut b = ZipfSampler::new(100, 1.1, 42);
+        let draws_a: Vec<usize> = (0..2000).map(|_| a.sample()).collect();
+        let draws_b: Vec<usize> = (0..2000).map(|_| b.sample()).collect();
+        assert_eq!(draws_a, draws_b, "same seed, same stream");
+        let head = draws_a.iter().filter(|r| **r == 0).count();
+        let tail = draws_a.iter().filter(|r| **r == 99).count();
+        assert!(head > 10 * tail.max(1), "head {head} vs tail {tail}");
+        assert!(draws_a.iter().all(|r| *r < 100));
+    }
+
+    #[test]
+    fn zipf_session_builds() {
+        let mut s = session_with_zipf_items(500, 20, 1.0, 7);
+        assert_eq!(s.graph().node_count(), 500);
+        let distinct = s
+            .run("MATCH (i:Item) RETURN count(DISTINCT i.k) AS n")
+            .unwrap()
+            .single()
+            .and_then(|v| v.as_i64())
+            .unwrap();
+        assert!(distinct > 1 && distinct <= 20);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use pg_graph::{Direction, Graph, GraphView, NodeId, PreStateView, RelId, Value};
 use std::collections::BTreeSet;
+use std::ops::Bound;
 
 /// Pre-statement state overlaid with the post-state of the NEW items.
 pub struct NewStateOverlay<'g> {
@@ -129,7 +130,10 @@ impl GraphView for NewStateOverlay<'_> {
     }
 
     // Scans observe the pre-statement state only (SQL-style: a BEFORE
-    // INSERT trigger's table scans do not see the incoming row).
+    // INSERT trigger's table scans do not see the incoming row). The same
+    // goes for the index-backed scans and the count-only planning probes:
+    // they pass through to the pre-state view, which answers them from the
+    // base graph's indexes corrected by the statement overlay.
 
     fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
         self.pre.nodes_with_label(label)
@@ -149,6 +153,87 @@ impl GraphView for NewStateOverlay<'_> {
 
     fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
         self.pre.rels_of(node, dir)
+    }
+
+    fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
+        self.pre.rels_with_type(rel_type)
+    }
+
+    fn nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        self.pre.nodes_with_prop(label, key, value)
+    }
+
+    fn nodes_in_prop_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<NodeId>> {
+        self.pre.nodes_in_prop_range(label, key, lower, upper)
+    }
+
+    fn nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<Vec<NodeId>> {
+        self.pre.nodes_with_prop_prefix(label, key, prefix)
+    }
+
+    fn rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<Vec<RelId>> {
+        self.pre.rels_with_prop(rel_type, key, value)
+    }
+
+    fn rels_in_prop_range(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<RelId>> {
+        self.pre.rels_in_prop_range(rel_type, key, lower, upper)
+    }
+
+    fn rel_type_cardinality(&self, rel_type: &str) -> usize {
+        self.pre.rel_type_cardinality(rel_type)
+    }
+
+    fn node_count_estimate(&self) -> usize {
+        self.pre.node_count_estimate()
+    }
+
+    fn rel_count_estimate(&self) -> usize {
+        self.pre.rel_count_estimate()
+    }
+
+    fn count_nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<usize> {
+        self.pre.count_nodes_with_prop(label, key, value)
+    }
+
+    fn count_nodes_in_prop_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        self.pre.count_nodes_in_prop_range(label, key, lower, upper)
+    }
+
+    fn count_nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<usize> {
+        self.pre.count_nodes_with_prop_prefix(label, key, prefix)
+    }
+
+    fn count_rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<usize> {
+        self.pre.count_rels_with_prop(rel_type, key, value)
+    }
+
+    fn count_rels_in_prop_range(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        self.pre
+            .count_rels_in_prop_range(rel_type, key, lower, upper)
     }
 }
 
@@ -186,6 +271,51 @@ mod tests {
         // scans see only the pre-state
         assert_eq!(view.nodes_with_label("P"), vec![old]);
         assert_eq!(view.all_node_ids(), vec![old]);
+    }
+
+    #[test]
+    fn count_probes_pass_through_to_pre_state() {
+        let mut g = Graph::new();
+        for i in 0..10 {
+            g.create_node(
+                ["P"],
+                [("v".to_string(), Value::Int(i))]
+                    .into_iter()
+                    .collect::<PropertyMap>(),
+            )
+            .unwrap();
+        }
+        g.create_index("P", "v");
+        g.begin().unwrap();
+        let mark = g.mark();
+        // statement: one more v=3 node plus an edit of an existing one
+        let fresh = g
+            .create_node(
+                ["P"],
+                [("v".to_string(), Value::Int(3))]
+                    .into_iter()
+                    .collect::<PropertyMap>(),
+            )
+            .unwrap();
+        let ops = g.ops_since(mark).to_vec();
+        let pre = PreStateView::new(&g, &ops);
+        let view = NewStateOverlay::new(pre, &g, [ItemRef::Node(fresh)]);
+        // the count probe sees the pre-state: exactly one v=3 node
+        assert_eq!(
+            view.count_nodes_with_prop("P", "v", &Value::Int(3)),
+            Some(1)
+        );
+        assert_eq!(
+            view.count_nodes_in_prop_range(
+                "P",
+                "v",
+                std::ops::Bound::Included(&Value::Int(0)),
+                std::ops::Bound::Unbounded
+            ),
+            Some(10)
+        );
+        assert_eq!(view.node_count_estimate(), 10);
+        assert_eq!(view.rel_count_estimate(), 0);
     }
 
     #[test]

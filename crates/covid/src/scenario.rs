@@ -299,6 +299,36 @@ mod tests {
     }
 
     #[test]
+    fn relocation_trigger_served_by_indexed_topk() {
+        // With the paper indexes installed (incl. ConnectedTo.distance),
+        // the §6.2.3 MoveToNearHospital body's `ORDER BY ct.distance
+        // LIMIT 1` is served from the ordered rel-index walk — observable
+        // via the ordered-probe counter — and relocations still happen.
+        let mut cfg = small_cfg();
+        cfg.waves = 0;
+        cfg.indexed = true;
+        let mut sc = Scenario::new(cfg);
+        sc.session.graph().reset_index_probes();
+        sc.admission_wave("Sacco", 14).unwrap();
+        let probes = sc.session.graph().index_probes();
+        assert!(
+            probes.ordered >= 1,
+            "relocation should walk the ordered rel index: {probes:?}"
+        );
+        let moved = sc
+            .session
+            .run(
+                "MATCH (p:IcuPatient)-[:TreatedAt]-(h:Hospital) \
+                 WHERE h.name <> 'Sacco' RETURN count(DISTINCT p) AS n",
+            )
+            .unwrap()
+            .single()
+            .and_then(|v| v.as_i64())
+            .unwrap();
+        assert!(moved > 0, "no relocations through the indexed path");
+    }
+
+    #[test]
     fn icu_threshold_alert_at_51() {
         let mut cfg = small_cfg();
         cfg.generator.icu_beds_per_hospital = 100; // no relocations

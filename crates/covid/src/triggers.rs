@@ -180,12 +180,21 @@ pub const PAPER_INDEXES: [(&str, &str); 6] = [
     ("Sequence", "accession"),
 ];
 
+/// The `(rel_type, property)` pairs the §6.2 triggers order or filter
+/// relationships by — `ConnectedTo.distance` backs the §6.2.3
+/// `MoveToNearHospital` body's `ORDER BY ct.distance LIMIT 1`, which the
+/// executor serves as an index-backed top-k walk once this index exists.
+pub const PAPER_REL_INDEXES: [(&str, &str); 1] = [("ConnectedTo", "distance")];
+
 /// Create the property indexes backing the §6.2 trigger predicates
 /// (idempotent: already-existing indexes are left alone).
 pub fn install_paper_indexes(session: &mut Session) {
     for (label, key) in PAPER_INDEXES {
         // ignore "already exists" — the covid schema may have created some
         let _ = session.graph_mut().create_index(label, key);
+    }
+    for (rel_type, key) in PAPER_REL_INDEXES {
+        let _ = session.graph_mut().create_rel_index(rel_type, key);
     }
 }
 

@@ -1,4 +1,36 @@
 //! Clause-pipeline execution, including updating clauses and projections.
+//!
+//! ## Top-k (`ORDER BY … LIMIT k`) execution — planner v3
+//!
+//! Two optimizations make the paper's §6.2.3 relocation shape
+//! (`WITH ct, c, hc, pn ORDER BY ct.distance LIMIT 1`) cheap:
+//!
+//! 1. **Bounded top-k selection.** A projection with `ORDER BY` *and* a
+//!    constant `LIMIT` keeps only the best `SKIP + LIMIT` rows in a
+//!    bounded heap (O(n log k)) instead of sorting every row. The input
+//!    index is the final tiebreaker, so the result is identical to the
+//!    stable full sort it replaces.
+//! 2. **Index-served top-k.** A non-optional `MATCH` directly followed by
+//!    `WITH`/`RETURN … ORDER BY var.key LIMIT k`, where `var` is a node or
+//!    single-hop relationship variable of the pattern and `(label, key)` /
+//!    `(type, key)` is indexed, is *fused*: candidates are enumerated
+//!    straight from the ordered `IndexKey` space
+//!    ([`GraphView::nodes_in_prop_order`] /
+//!    [`GraphView::rels_in_prop_order`]) and matching stops as soon as
+//!    `SKIP + LIMIT` rows were produced — O(log n + k) for selective
+//!    patterns. Items without the property (`NULL` keys, ordering last)
+//!    are appended from the extent after the walk when ascending.
+//!
+//!    The fusion *declines* (falls back to the heap path, never changing
+//!    results) when: the projection aggregates, uses `DISTINCT` or a
+//!    post-`WITH WHERE`; the order key is not a plain `var.key` (after
+//!    alias resolution); `var` is already bound in a seed row; a candidate
+//!    label is shadowed by a transition variable; the index does not cover
+//!    every stored value (lossy numerics, NaN, lists); the order is
+//!    descending while property-less items exist (their `NULL` keys would
+//!    have to lead); or `SKIP + LIMIT` exceeds `TOPK_FUSE_MAX`. Ties at
+//!    the cut-off may legitimately resolve differently than the sort path
+//!    — the *multiset of order keys* is always identical.
 
 use crate::ast::*;
 use crate::error::{CypherError, Result};
@@ -6,7 +38,122 @@ use crate::expr::{eval, EvalCtx};
 use crate::functions::{is_aggregate, Accumulator};
 use crate::pattern::{match_patterns, pattern_vars};
 use crate::row::{Params, QueryOutput, Row};
-use pg_graph::{Direction, Graph, GraphView, PropertyMap, Value};
+use pg_graph::{Direction, Graph, GraphView, NodeId, PropertyMap, RelId, Value};
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// Largest `SKIP + LIMIT` the index-served top-k fusion accepts; beyond
+/// it, per-item re-matching would erase the early-exit advantage.
+const TOPK_FUSE_MAX: usize = 128;
+
+/// Compare two keyed rows by the `ORDER BY` spec, breaking full ties by
+/// input index — the total order a stable sort + truncate would produce.
+fn order_cmp(
+    order_by: &[(Expr, bool)],
+    a: &(Vec<Value>, usize, Row),
+    b: &(Vec<Value>, usize, Row),
+) -> Ordering {
+    for (i, (_, asc)) in order_by.iter().enumerate() {
+        let ord = a.0[i].cmp_order(&b.0[i]);
+        let ord = if *asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.1.cmp(&b.1)
+}
+
+/// Bounded top-k selection: keeps the `keep` smallest keyed rows under
+/// [`order_cmp`] in a max-heap (worst kept row at the root), O(n log k).
+struct TopKRows<'o> {
+    order_by: &'o [(Expr, bool)],
+    keep: usize,
+    heap: Vec<(Vec<Value>, usize, Row)>,
+}
+
+impl<'o> TopKRows<'o> {
+    fn new(order_by: &'o [(Expr, bool)], keep: usize) -> Self {
+        TopKRows {
+            order_by,
+            keep,
+            heap: Vec::with_capacity(keep.min(1024)),
+        }
+    }
+
+    fn push(&mut self, item: (Vec<Value>, usize, Row)) {
+        if self.keep == 0 {
+            return;
+        }
+        if self.heap.len() < self.keep {
+            self.heap.push(item);
+            self.sift_up(self.heap.len() - 1);
+        } else if order_cmp(self.order_by, &item, &self.heap[0]) == Ordering::Less {
+            self.heap[0] = item;
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if order_cmp(self.order_by, &self.heap[i], &self.heap[parent]) == Ordering::Greater {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut m = i;
+            if l < self.heap.len()
+                && order_cmp(self.order_by, &self.heap[l], &self.heap[m]) == Ordering::Greater
+            {
+                m = l;
+            }
+            if r < self.heap.len()
+                && order_cmp(self.order_by, &self.heap[r], &self.heap[m]) == Ordering::Greater
+            {
+                m = r;
+            }
+            if m == i {
+                break;
+            }
+            self.heap.swap(i, m);
+            i = m;
+        }
+    }
+
+    fn into_sorted_rows(self) -> Vec<Row> {
+        let TopKRows {
+            order_by, mut heap, ..
+        } = self;
+        heap.sort_unstable_by(|a, b| order_cmp(order_by, a, b));
+        heap.into_iter().map(|(_, _, r)| r).collect()
+    }
+}
+
+/// Ceiling on ordered-walk candidates examined per fused top-k before the
+/// fusion bails back to the heap path: a walk that keeps *matching
+/// nothing* (a selective pattern elsewhere, an empty seed set after
+/// filtering) must not degrade into a full index walk with a per-item
+/// re-match on the trigger hot path.
+const TOPK_WALK_BUDGET: usize = 4096;
+
+/// The projection-side shape of a fusable top-k: `ORDER BY var.key` with
+/// a constant `SKIP + LIMIT` budget.
+struct TopKSpec {
+    /// The pattern variable the order key dereferences.
+    var: String,
+    /// The property key ordered by.
+    key: String,
+    descending: bool,
+    /// Rows to produce before stopping (`SKIP + LIMIT`).
+    keep: usize,
+}
 
 /// The execution target: a mutable graph (full query power) or a read-only
 /// view (conditions, pre-state evaluation). Updating clauses against a
@@ -81,10 +228,292 @@ impl<'a> Executor<'a> {
         mut rows: Vec<Row>,
         output: &mut Option<(Vec<String>, Vec<Row>)>,
     ) -> Result<Vec<Row>> {
-        for clause in clauses {
-            rows = self.exec_clause(clause, rows, output)?;
+        let mut i = 0;
+        while i < clauses.len() {
+            // Fuse MATCH + WITH/RETURN `ORDER BY var.key LIMIT k` into an
+            // ordered index walk with early exit (see module docs).
+            if let Clause::Match {
+                optional: false,
+                patterns,
+                where_clause,
+            } = &clauses[i]
+            {
+                let next_proj = match clauses.get(i + 1) {
+                    Some(Clause::With(p)) => Some((p, false)),
+                    Some(Clause::Return(p)) => Some((p, true)),
+                    _ => None,
+                };
+                if let Some((proj, is_return)) = next_proj {
+                    if let Some(matched) =
+                        self.try_indexed_topk(patterns, where_clause.as_ref(), proj, &rows)?
+                    {
+                        let (cols, out) = self.project(proj, matched, !is_return)?;
+                        if is_return {
+                            *output = Some((cols, out.clone()));
+                        }
+                        rows = out;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            rows = self.exec_clause(&clauses[i], rows, output)?;
+            i += 1;
         }
         Ok(rows)
+    }
+
+    /// Analyze the projection side of a potential top-k fusion; `None` =
+    /// fusion declined (shape, aggregation, or aliasing rules).
+    fn plan_topk_projection(&self, proj: &Projection, seeds: &[Row]) -> Result<Option<TopKSpec>> {
+        if proj.order_by.len() != 1
+            || proj.limit.is_none()
+            || proj.distinct
+            || proj.where_clause.is_some()
+            || proj.items.iter().any(|it| it.expr.has_aggregate())
+        {
+            return Ok(None);
+        }
+        let skip = match &proj.skip {
+            Some(e) => self.eval_const_int(e)? as usize,
+            None => 0,
+        };
+        let limit = match &proj.limit {
+            Some(e) => self.eval_const_int(e)? as usize,
+            None => unreachable!("checked above"),
+        };
+        let keep = skip.saturating_add(limit);
+        if keep > TOPK_FUSE_MAX {
+            return Ok(None);
+        }
+        // Resolve the order key: `ORDER BY alias` is traced back to its
+        // projected expression, which must be a plain `var.key`.
+        let (key_expr, asc) = &proj.order_by[0];
+        let mut via_alias = false;
+        let key_expr = if let Expr::Var(name) = key_expr {
+            match proj.items.iter().find(|it| &it.name() == name) {
+                Some(it) => {
+                    via_alias = true;
+                    &it.expr
+                }
+                None => key_expr,
+            }
+        } else {
+            key_expr
+        };
+        let Expr::Prop(base, key) = key_expr else {
+            return Ok(None);
+        };
+        let Expr::Var(var) = base.as_ref() else {
+            return Ok(None);
+        };
+        // A literal `ORDER BY var.key` is re-evaluated by `project` on the
+        // *projected* rows, where the column `var` may have been rebound
+        // (`WITH y AS x ORDER BY x.k`): fuse only when the projection
+        // carries `var` through as itself. An alias-resolved key is exempt
+        // — its column value was computed from the match row regardless of
+        // what else the projection binds.
+        if !via_alias {
+            let mut identity = proj.star;
+            for it in &proj.items {
+                if &it.name() == var {
+                    if matches!(&it.expr, Expr::Var(v) if v == var) {
+                        identity = true;
+                    } else {
+                        return Ok(None);
+                    }
+                }
+            }
+            if !identity {
+                return Ok(None);
+            }
+        }
+        // `var` must be bound *by this MATCH*, not by the incoming rows.
+        if seeds.iter().any(|r| r.contains(var)) {
+            return Ok(None);
+        }
+        Ok(Some(TopKSpec {
+            var: var.clone(),
+            key: key.clone(),
+            descending: !*asc,
+            keep,
+        }))
+    }
+
+    /// Execute a fused index-served top-k `MATCH`; returns the matched
+    /// binding rows (a superset of the final top-k, in order-key order) or
+    /// `None` when fusion declined — including when the walk exhausted its
+    /// candidate budget — and the caller must run the clauses separately.
+    fn try_indexed_topk(
+        &self,
+        patterns: &[PathPattern],
+        where_clause: Option<&Expr>,
+        proj: &Projection,
+        seeds: &[Row],
+    ) -> Result<Option<Vec<Row>>> {
+        let Some(spec) = self.plan_topk_projection(proj, seeds)? else {
+            return Ok(None);
+        };
+        let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+        let mut budget = TOPK_WALK_BUDGET;
+        let mut collected: Vec<Row> = Vec::new();
+        // Try every binding site of `var` in the patterns until one offers
+        // a complete ordered walk; the walk is constructed exactly once
+        // and consumed directly.
+        for p in patterns {
+            // Node route: a node pattern position named `var`.
+            for np in std::iter::once(&p.start).chain(p.segments.iter().map(|(_, n)| n)) {
+                if np.var.as_deref() != Some(spec.var.as_str()) {
+                    continue;
+                }
+                for label in &np.labels {
+                    // a transition-variable label is not a stored extent
+                    if seeds.iter().any(|r| r.contains(label)) {
+                        continue;
+                    }
+                    let total = ctx
+                        .view
+                        .node_prop_stats(label, &spec.key)
+                        .map(|(t, _)| t)
+                        .unwrap_or(0);
+                    let missing = ctx.view.label_cardinality(label).saturating_sub(total);
+                    if spec.descending && missing > 0 {
+                        // property-less items (NULL keys) would have to
+                        // lead a descending order — decline this label
+                        continue;
+                    }
+                    let Some(walk) =
+                        ctx.view
+                            .nodes_in_prop_order(label, &spec.key, spec.descending)
+                    else {
+                        continue;
+                    };
+                    let mut walked: Vec<NodeId> = Vec::new();
+                    for id in walk {
+                        if budget == 0 {
+                            return Ok(None);
+                        }
+                        budget -= 1;
+                        walked.push(id);
+                        for seed in seeds {
+                            let mut s2 = seed.clone();
+                            s2.set(spec.var.clone(), Value::Node(id));
+                            collected.extend(match_patterns(
+                                &ctx,
+                                &s2,
+                                patterns,
+                                where_clause,
+                                None,
+                            )?);
+                        }
+                        if collected.len() >= spec.keep {
+                            break;
+                        }
+                    }
+                    if collected.len() < spec.keep && !spec.descending && missing > 0 {
+                        // NULL tail: extent items without the property
+                        let walked: HashSet<NodeId> = walked.into_iter().collect();
+                        for id in ctx.view.nodes_with_label(label) {
+                            if walked.contains(&id) {
+                                continue;
+                            }
+                            if budget == 0 {
+                                return Ok(None);
+                            }
+                            budget -= 1;
+                            for seed in seeds {
+                                let mut s2 = seed.clone();
+                                s2.set(spec.var.clone(), Value::Node(id));
+                                collected.extend(match_patterns(
+                                    &ctx,
+                                    &s2,
+                                    patterns,
+                                    where_clause,
+                                    None,
+                                )?);
+                            }
+                            if collected.len() >= spec.keep {
+                                break;
+                            }
+                        }
+                    }
+                    return Ok(Some(collected));
+                }
+                return Ok(None);
+            }
+            // Rel route: a single-hop relationship position named `var`.
+            for (rp, _) in &p.segments {
+                if rp.var.as_deref() != Some(spec.var.as_str())
+                    || rp.hops.is_some()
+                    || rp.types.len() != 1
+                {
+                    continue;
+                }
+                let rel_type = &rp.types[0];
+                let total = ctx
+                    .view
+                    .rel_prop_stats(rel_type, &spec.key)
+                    .map(|(t, _)| t)
+                    .unwrap_or(0);
+                let missing = ctx
+                    .view
+                    .rel_type_cardinality(rel_type)
+                    .saturating_sub(total);
+                if spec.descending && missing > 0 {
+                    continue;
+                }
+                let Some(walk) = ctx
+                    .view
+                    .rels_in_prop_order(rel_type, &spec.key, spec.descending)
+                else {
+                    continue;
+                };
+                let mut walked: Vec<RelId> = Vec::new();
+                for id in walk {
+                    if budget == 0 {
+                        return Ok(None);
+                    }
+                    budget -= 1;
+                    walked.push(id);
+                    for seed in seeds {
+                        let mut s2 = seed.clone();
+                        s2.set(spec.var.clone(), Value::Rel(id));
+                        collected.extend(match_patterns(&ctx, &s2, patterns, where_clause, None)?);
+                    }
+                    if collected.len() >= spec.keep {
+                        break;
+                    }
+                }
+                if collected.len() < spec.keep && !spec.descending && missing > 0 {
+                    let walked: HashSet<RelId> = walked.into_iter().collect();
+                    for id in ctx.view.rels_with_type(rel_type) {
+                        if walked.contains(&id) {
+                            continue;
+                        }
+                        if budget == 0 {
+                            return Ok(None);
+                        }
+                        budget -= 1;
+                        for seed in seeds {
+                            let mut s2 = seed.clone();
+                            s2.set(spec.var.clone(), Value::Rel(id));
+                            collected.extend(match_patterns(
+                                &ctx,
+                                &s2,
+                                patterns,
+                                where_clause,
+                                None,
+                            )?);
+                        }
+                        if collected.len() >= spec.keep {
+                            break;
+                        }
+                    }
+                }
+                return Ok(Some(collected));
+            }
+        }
+        Ok(None)
     }
 
     fn exec_clause(
@@ -571,29 +1000,6 @@ impl<'a> Executor<'a> {
             }
         }
 
-        if !proj.order_by.is_empty() {
-            let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
-            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(projected.len());
-            for r in projected {
-                let mut keys = Vec::with_capacity(proj.order_by.len());
-                for (e, _) in &proj.order_by {
-                    keys.push(eval(&ctx, &r, e)?);
-                }
-                keyed.push((keys, r));
-            }
-            keyed.sort_by(|(ka, _), (kb, _)| {
-                for (i, (_, asc)) in proj.order_by.iter().enumerate() {
-                    let ord = ka[i].cmp_order(&kb[i]);
-                    let ord = if *asc { ord } else { ord.reverse() };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            projected = keyed.into_iter().map(|(_, r)| r).collect();
-        }
-
         let skip = match &proj.skip {
             Some(e) => self.eval_const_int(e)? as usize,
             None => 0,
@@ -602,6 +1008,45 @@ impl<'a> Executor<'a> {
             Some(e) => Some(self.eval_const_int(e)? as usize),
             None => None,
         };
+
+        if !proj.order_by.is_empty() {
+            let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+            if let Some(l) = limit {
+                // Bounded top-k: keep only the best SKIP + LIMIT rows
+                // (O(n log k)); the input index as final tiebreaker makes
+                // this identical to the stable full sort it replaces.
+                let mut top = TopKRows::new(&proj.order_by, skip.saturating_add(l));
+                for (idx, r) in projected.into_iter().enumerate() {
+                    let mut keys = Vec::with_capacity(proj.order_by.len());
+                    for (e, _) in &proj.order_by {
+                        keys.push(eval(&ctx, &r, e)?);
+                    }
+                    top.push((keys, idx, r));
+                }
+                projected = top.into_sorted_rows();
+            } else {
+                let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(projected.len());
+                for r in projected {
+                    let mut keys = Vec::with_capacity(proj.order_by.len());
+                    for (e, _) in &proj.order_by {
+                        keys.push(eval(&ctx, &r, e)?);
+                    }
+                    keyed.push((keys, r));
+                }
+                keyed.sort_by(|(ka, _), (kb, _)| {
+                    for (i, (_, asc)) in proj.order_by.iter().enumerate() {
+                        let ord = ka[i].cmp_order(&kb[i]);
+                        let ord = if *asc { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                projected = keyed.into_iter().map(|(_, r)| r).collect();
+            }
+        }
+
         let mut projected: Vec<Row> = projected.into_iter().skip(skip).collect();
         if let Some(l) = limit {
             projected.truncate(l);

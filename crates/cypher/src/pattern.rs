@@ -11,7 +11,7 @@
 //! `MATCH (pn:NEWNODES)-[:TreatedAt]-(h)` and `MATCH (pn:NEW)-…` work: the
 //! trigger engine binds `NEWNODES`/`NEW` in the seed row.
 //!
-//! **Planner v2** (`plan_patterns`): before matching, each `MATCH`'s
+//! **Planner v3** (`plan_patterns`): before matching, each `MATCH`'s
 //! pattern list is re-planned per seed row —
 //!
 //! 1. `WHERE` conjuncts of shape `var.key = e`, `var.key </<=/>/>= e` and
@@ -27,7 +27,19 @@
 //! 4. a path whose cheapest access is a selective **relationship** (a
 //!    pre-bound rel variable, a small type extent, or a relationship-
 //!    property index hit) seeds its start candidates from the relationship
-//!    extent's endpoints rather than from a node scan.
+//!    extent's endpoints rather than from a node scan;
+//! 5. relationship range/prefix pushdowns prune **per-hop expansion**: a
+//!    hop whose pushed predicate is estimated more selective than the
+//!    adjacency list is served from
+//!    [`pg_graph::GraphView::rels_in_prop_range`], and every enumerated
+//!    relationship is pre-filtered against the evaluated predicates.
+//!
+//! Planning itself is **count-only** (v3): all cost estimates go through
+//! the count probes ([`pg_graph::GraphView::count_nodes_with_prop`],
+//! histogram-backed range/prefix estimates,
+//! [`pg_graph::GraphView::node_prop_stats`] `total/distinct` for equality
+//! conjuncts whose operand is bound by another join path) — no candidate
+//! vector is materialized until an access path has been *chosen*.
 
 use crate::ast::{BinOp, Expr, NodePattern, PathPattern, RelPattern};
 use crate::error::{CypherError, Result};
@@ -53,6 +65,70 @@ struct VarPredicates {
 }
 
 type Pushdowns = HashMap<String, VarPredicates>;
+
+/// The tightest closed intervals derivable from a variable's `<`/`<=`/
+/// `>`/`>=` conjuncts, per property key.
+enum Intervals {
+    /// Some conjunct can never be truthy (NULL/NaN operand) — the
+    /// candidate set is definitively empty.
+    Never,
+    /// Per-key `(lower, upper)` bounds (possibly unbounded on one side).
+    Bounds(HashMap<String, (Bound<Value>, Bound<Value>)>),
+}
+
+/// Replace `slot` when `value` tightens it: a greater lower bound /
+/// smaller upper bound wins, and at equal values an exclusive bound beats
+/// an inclusive one.
+fn tighten(slot: &mut Bound<Value>, value: Value, inclusive: bool, lower: bool) {
+    use std::cmp::Ordering;
+    let replaces = match &*slot {
+        Bound::Unbounded => true,
+        Bound::Included(c) | Bound::Excluded(c) => {
+            let ord = value.cmp_order(c);
+            if lower {
+                ord != Ordering::Less
+            } else {
+                ord != Ordering::Greater
+            }
+        }
+    };
+    if !replaces {
+        return;
+    }
+    let stay_exclusive =
+        matches!(&*slot, Bound::Excluded(c) if value.cmp_order(c) == std::cmp::Ordering::Equal);
+    *slot = if inclusive && !stay_exclusive {
+        Bound::Included(value)
+    } else {
+        Bound::Excluded(value)
+    };
+}
+
+/// Combine a variable's ordering conjuncts into per-key intervals. A NULL
+/// or NaN operand makes its conjunct untruthy for every row
+/// ([`Intervals::Never`]); an operand that cannot be evaluated yet (it
+/// references a variable bound later) merely skips the conjunct — the
+/// predicate itself is still enforced by the `WHERE` evaluation.
+fn build_intervals(ctx: &EvalCtx<'_>, row: &Row, ranges: &[(String, BinOp, Expr)]) -> Intervals {
+    let mut intervals: HashMap<String, (Bound<Value>, Bound<Value>)> = HashMap::new();
+    for (key, op, expr) in ranges {
+        let Ok(value) = eval(ctx, row, expr) else {
+            continue;
+        };
+        if value.is_null() || matches!(&value, Value::Float(f) if f.is_nan()) {
+            return Intervals::Never;
+        }
+        let entry = intervals
+            .entry(key.clone())
+            .or_insert((Bound::Unbounded, Bound::Unbounded));
+        match op {
+            BinOp::Gt | BinOp::Ge => tighten(&mut entry.0, value, *op == BinOp::Ge, true),
+            BinOp::Lt | BinOp::Le => tighten(&mut entry.1, value, *op == BinOp::Le, false),
+            _ => {}
+        }
+    }
+    Intervals::Bounds(intervals)
+}
 
 /// One in-progress match: the binding row plus relationships already used in
 /// this MATCH clause.
@@ -134,10 +210,91 @@ pub fn pattern_vars(patterns: &[PathPattern]) -> Vec<String> {
 /// A conservative "don't know" cardinality for unestimatable positions.
 const UNKNOWN_COST: usize = usize::MAX / 4;
 
+/// The best **count-only** index estimate for a node pattern: the same
+/// access paths [`index_candidates`] would try, probed through the
+/// counting APIs so planning materializes no candidate vectors. Equality
+/// conjuncts whose operand cannot be evaluated yet (it references a
+/// variable bound by an earlier join path — an intermediate join result)
+/// contribute the average-bucket selectivity `total / distinct` from
+/// [`pg_graph::GraphView::node_prop_stats`].
+fn index_count_estimate(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    np: &NodePattern,
+    pushed: &Pushdowns,
+) -> Option<usize> {
+    let preds = np.var.as_ref().and_then(|v| pushed.get(v));
+    let mut best: Option<usize> = None;
+    let mut consider = |count: Option<usize>| {
+        if let Some(count) = count {
+            if best.is_none_or(|b| count < b) {
+                best = Some(count);
+            }
+        }
+    };
+
+    let pushed_eqs = preds.map(|p| p.eqs.as_slice()).unwrap_or(&[]);
+    for (key, value_expr) in np.props.iter().chain(pushed_eqs) {
+        match eval(ctx, row, value_expr) {
+            Ok(value) => {
+                for label in &np.labels {
+                    consider(ctx.view.count_nodes_with_prop(label, key, &value));
+                }
+            }
+            Err(_) => {
+                for label in &np.labels {
+                    if let Some((total, distinct)) = ctx.view.node_prop_stats(label, key) {
+                        if let Some(avg) = total.checked_div(distinct) {
+                            consider(Some(avg.max(1)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let Some(preds) = preds else {
+        return best;
+    };
+
+    match build_intervals(ctx, row, &preds.ranges) {
+        Intervals::Never => return Some(0),
+        Intervals::Bounds(intervals) => {
+            for (key, (lo, hi)) in &intervals {
+                for label in &np.labels {
+                    consider(ctx.view.count_nodes_in_prop_range(
+                        label,
+                        key,
+                        lo.as_ref(),
+                        hi.as_ref(),
+                    ));
+                }
+            }
+        }
+    }
+
+    for (key, expr) in &preds.prefixes {
+        let Ok(value) = eval(ctx, row, expr) else {
+            continue;
+        };
+        match &value {
+            Value::Str(prefix) => {
+                for label in &np.labels {
+                    consider(ctx.view.count_nodes_with_prop_prefix(label, key, prefix));
+                }
+            }
+            _ => return Some(0),
+        }
+    }
+
+    best
+}
+
 /// Estimated candidate-set size for anchoring a path at a node pattern.
-/// Mirrors the access-path choice of [`node_candidates`] using cheap
-/// cardinality statistics; `bound` holds variables that will already be
-/// bound when this path runs (seed row plus earlier-joined paths).
+/// Mirrors the access-path choice of [`node_candidates`] using count-only
+/// probes and statistics (no candidate vector is materialized during
+/// planning); `bound` holds variables that will already be bound when this
+/// path runs (seed row plus earlier-joined paths).
 fn estimate_node_cost(
     ctx: &EvalCtx<'_>,
     row: &Row,
@@ -162,13 +319,13 @@ fn estimate_node_cost(
             return 1;
         }
     }
-    let index_len = index_candidates(ctx, row, np, pushed).map(|ids| ids.len());
+    let index_est = index_count_estimate(ctx, row, np, pushed);
     let label_min = np
         .labels
         .iter()
         .map(|l| ctx.view.label_cardinality(l))
         .min();
-    match (index_len, label_min) {
+    match (index_est, label_min) {
         (Some(i), Some(l)) => i.min(l),
         (Some(i), None) => i,
         (None, Some(l)) => l,
@@ -179,7 +336,10 @@ fn estimate_node_cost(
 /// Estimated extent size when a single-hop relationship pattern is used as
 /// the access path (type extents, relationship-property index hits, or a
 /// pre-bound rel variable). `None` = unusable as a seed (variable-length,
-/// untyped and unbound).
+/// untyped and unbound). Count-only (v3): equality, range and prefix
+/// pushdowns on the relationship variable are costed through the counting
+/// probes; unevaluable equality operands fall back to the `total/distinct`
+/// average-bucket selectivity.
 fn estimate_rel_cost(
     ctx: &EvalCtx<'_>,
     row: &Row,
@@ -201,21 +361,40 @@ fn estimate_rel_cost(
     if rp.types.is_empty() {
         return None;
     }
-    let pushed_eqs = rp
-        .var
-        .as_ref()
-        .and_then(|v| pushed.get(v))
-        .map(|p| p.eqs.as_slice())
-        .unwrap_or(&[]);
+    let preds = rp.var.as_ref().and_then(|v| pushed.get(v));
+    let pushed_eqs = preds.map(|p| p.eqs.as_slice()).unwrap_or(&[]);
+    let intervals = match preds {
+        Some(p) if !p.ranges.is_empty() => match build_intervals(ctx, row, &p.ranges) {
+            Intervals::Never => return Some(0),
+            Intervals::Bounds(b) => b,
+        },
+        _ => HashMap::new(),
+    };
     let mut total = 0usize;
     for t in &rp.types {
         let mut best = ctx.view.rel_type_cardinality(t);
         for (key, value_expr) in rp.props.iter().chain(pushed_eqs) {
-            let Ok(value) = eval(ctx, row, value_expr) else {
-                continue;
-            };
-            if let Some(ids) = ctx.view.rels_with_prop(t, key, &value) {
-                best = best.min(ids.len());
+            match eval(ctx, row, value_expr) {
+                Ok(value) => {
+                    if let Some(c) = ctx.view.count_rels_with_prop(t, key, &value) {
+                        best = best.min(c);
+                    }
+                }
+                Err(_) => {
+                    if let Some((tot, distinct)) = ctx.view.rel_prop_stats(t, key) {
+                        if let Some(avg) = tot.checked_div(distinct) {
+                            best = best.min(avg.max(1));
+                        }
+                    }
+                }
+            }
+        }
+        for (key, (lo, hi)) in &intervals {
+            if let Some(c) = ctx
+                .view
+                .count_rels_in_prop_range(t, key, lo.as_ref(), hi.as_ref())
+            {
+                best = best.min(c);
             }
         }
         total = total.saturating_add(best);
@@ -395,31 +574,32 @@ fn plan_patterns(
 
 /// Candidate start nodes for a path: the node-pattern access paths of
 /// [`node_candidates`], improved by seeding from the first segment's
-/// relationship extent when that is strictly smaller (a pre-bound rel
-/// variable, a small type extent, or a relationship-property index hit).
+/// relationship extent when that is **estimated** strictly smaller (a
+/// pre-bound rel variable, a small type extent, or a relationship-
+/// property index hit). Both sides are compared by count-only estimates;
+/// only the winning access path is materialized.
 fn start_candidates(
     ctx: &EvalCtx<'_>,
     row: &Row,
     path: &PathPattern,
     pushed: &Pushdowns,
 ) -> Result<Vec<NodeId>> {
-    let node_cands = node_candidates(ctx, row, &path.start, pushed)?;
     let Some((rel_pat, _)) = path.segments.first() else {
-        return Ok(node_cands);
+        return node_candidates(ctx, row, &path.start, pushed);
     };
-    if node_cands.len() <= 1 {
-        return Ok(node_cands);
+    let node_est = estimate_node_cost(ctx, row, &path.start, pushed, &HashSet::new());
+    if node_est <= 1 {
+        return node_candidates(ctx, row, &path.start, pushed);
     }
-    // Only materialize the relationship extent when the estimate wins.
     let est = estimate_rel_cost(ctx, row, rel_pat, pushed, &HashSet::new());
-    if est.is_none_or(|e| e >= node_cands.len()) {
-        return Ok(node_cands);
+    if est.is_none_or(|e| e >= node_est) {
+        return node_candidates(ctx, row, &path.start, pushed);
     }
     let Some(rels) = rel_seed_candidates(ctx, row, rel_pat, pushed) else {
-        return Ok(node_cands);
+        return node_candidates(ctx, row, &path.start, pushed);
     };
-    if rels.len() >= node_cands.len() {
-        return Ok(node_cands);
+    if rels.len() >= node_est {
+        return node_candidates(ctx, row, &path.start, pushed);
     }
     let mut out: Vec<NodeId> = Vec::with_capacity(rels.len());
     for rid in rels {
@@ -437,11 +617,7 @@ fn start_candidates(
     }
     out.sort();
     out.dedup();
-    if out.len() < node_cands.len() {
-        Ok(out)
-    } else {
-        Ok(node_cands)
-    }
+    Ok(out)
 }
 
 fn match_path(
@@ -467,7 +643,7 @@ fn match_path(
                 st2.row.set(v.clone(), Value::Node(cand));
             }
         }
-        extend_segments(ctx, path, 0, cand, st2, out, cap)?;
+        extend_segments(ctx, path, 0, cand, st2, pushed, out, cap)?;
         if let Some(c) = cap {
             if out.len() >= c {
                 return Ok(());
@@ -477,12 +653,14 @@ fn match_path(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)] // threads the whole match context
 fn extend_segments(
     ctx: &EvalCtx<'_>,
     path: &PathPattern,
     seg_idx: usize,
     current: NodeId,
     st: MatchState,
+    pushed: &Pushdowns,
     out: &mut Vec<MatchState>,
     cap: Option<usize>,
 ) -> Result<()> {
@@ -508,6 +686,7 @@ fn extend_segments(
             frontier: &mut Vec<(NodeId, Vec<RelId>)>,
             min: u32,
             max: u32,
+            pushed: &Pushdowns,
             out: &mut Vec<MatchState>,
             cap: Option<usize>,
         ) -> Result<()> {
@@ -532,7 +711,7 @@ fn extend_segments(
                         }
                     }
                     if ok {
-                        extend_segments(ctx, path, seg_idx + 1, node, st2, out, cap)?;
+                        extend_segments(ctx, path, seg_idx + 1, node, st2, pushed, out, cap)?;
                         if let Some(c) = cap {
                             if out.len() >= c {
                                 return Ok(());
@@ -541,7 +720,7 @@ fn extend_segments(
                     }
                 }
                 if depth < max {
-                    for (rid, other) in hop_candidates(ctx, &st.row, node, rel_pat)? {
+                    for (rid, other) in hop_candidates(ctx, &st.row, node, rel_pat, pushed)? {
                         if rels.contains(&rid) || st.used.contains(&rid) {
                             continue;
                         }
@@ -554,13 +733,13 @@ fn extend_segments(
             Ok(())
         }
         dfs(
-            ctx, &st, rel_pat, node_pat, path, seg_idx, &mut stack, min, max, out, cap,
+            ctx, &st, rel_pat, node_pat, path, seg_idx, &mut stack, min, max, pushed, out, cap,
         )?;
         return Ok(());
     }
 
     // Single-hop segment.
-    for (rid, other) in hop_candidates(ctx, &st.row, current, rel_pat)? {
+    for (rid, other) in hop_candidates(ctx, &st.row, current, rel_pat, pushed)? {
         if st.used.contains(&rid) {
             continue;
         }
@@ -587,7 +766,7 @@ fn extend_segments(
                 st2.row.set(v.clone(), Value::Node(other));
             }
         }
-        extend_segments(ctx, path, seg_idx + 1, other, st2, out, cap)?;
+        extend_segments(ctx, path, seg_idx + 1, other, st2, pushed, out, cap)?;
         if let Some(c) = cap {
             if out.len() >= c {
                 return Ok(());
@@ -597,13 +776,126 @@ fn extend_segments(
     Ok(())
 }
 
+/// The pushed-down predicates of a relationship variable, evaluated
+/// against the current row. Conjuncts whose operand cannot be evaluated
+/// yet are skipped (the `WHERE` clause still enforces them); a NULL/NaN
+/// or non-string operand that can never make its conjunct truthy sets
+/// `never` — no relationship can survive the `WHERE`.
+struct RelPredEval {
+    never: bool,
+    eqs: Vec<(String, Value)>,
+    intervals: HashMap<String, (Bound<Value>, Bound<Value>)>,
+    prefixes: Vec<(String, String)>,
+}
+
+/// Evaluate a single-hop relationship pattern's pushed predicates. `None`
+/// when the pattern is variable-length (the variable binds a list, the
+/// predicates do not apply per-relationship) or carries no pushdowns.
+fn eval_rel_pushdowns(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    rel_pat: &RelPattern,
+    pushed: &Pushdowns,
+) -> Option<RelPredEval> {
+    if rel_pat.hops.is_some() {
+        return None;
+    }
+    let preds = rel_pat.var.as_ref().and_then(|v| pushed.get(v))?;
+    let mut out = RelPredEval {
+        never: false,
+        eqs: Vec::new(),
+        intervals: HashMap::new(),
+        prefixes: Vec::new(),
+    };
+    for (key, expr) in &preds.eqs {
+        let Ok(value) = eval(ctx, row, expr) else {
+            continue;
+        };
+        if value.is_null() {
+            out.never = true; // `r.k = NULL` is never truthy
+            return Some(out);
+        }
+        out.eqs.push((key.clone(), value));
+    }
+    match build_intervals(ctx, row, &preds.ranges) {
+        Intervals::Never => {
+            out.never = true;
+            return Some(out);
+        }
+        Intervals::Bounds(b) => out.intervals = b,
+    }
+    for (key, expr) in &preds.prefixes {
+        let Ok(value) = eval(ctx, row, expr) else {
+            continue;
+        };
+        match value {
+            Value::Str(prefix) => out.prefixes.push((key.clone(), prefix)),
+            _ => {
+                out.never = true; // non-string operand never matches
+                return Some(out);
+            }
+        }
+    }
+    if out.eqs.is_empty() && out.intervals.is_empty() && out.prefixes.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Whether a concrete relationship satisfies the evaluated pushdowns
+/// (direct predicate evaluation — used to prune expansion early; the full
+/// `WHERE` is still evaluated on surviving rows).
+fn rel_satisfies(ctx: &EvalCtx<'_>, rid: RelId, pd: &RelPredEval) -> bool {
+    use std::cmp::Ordering;
+    for (key, want) in &pd.eqs {
+        let have = ctx.view.rel_prop(rid, key).unwrap_or(Value::Null);
+        if have.eq3(want) != Some(true) {
+            return false;
+        }
+    }
+    for (key, (lo, hi)) in &pd.intervals {
+        let have = ctx.view.rel_prop(rid, key).unwrap_or(Value::Null);
+        let lo_ok = match lo {
+            Bound::Unbounded => true,
+            Bound::Included(l) => {
+                matches!(have.cmp3(l), Some(Ordering::Greater | Ordering::Equal))
+            }
+            Bound::Excluded(l) => matches!(have.cmp3(l), Some(Ordering::Greater)),
+        };
+        let hi_ok = match hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) => matches!(have.cmp3(h), Some(Ordering::Less | Ordering::Equal)),
+            Bound::Excluded(h) => matches!(have.cmp3(h), Some(Ordering::Less)),
+        };
+        if !lo_ok || !hi_ok {
+            return false;
+        }
+    }
+    for (key, prefix) in &pd.prefixes {
+        let have = ctx.view.rel_prop(rid, key).unwrap_or(Value::Null);
+        if !matches!(&have, Value::Str(s) if s.starts_with(prefix)) {
+            return false;
+        }
+    }
+    true
+}
+
 /// Enumerate (relationship, other-end) pairs from `node` that satisfy the
 /// relationship pattern (direction, types, properties, pre-bound rel var).
+///
+/// Pushed-down range/prefix/equality predicates on the relationship
+/// variable prune the expansion here (planner v3): when a pushed range is
+/// **estimated** (count probe) more selective than the adjacency list and
+/// the relationship-property index can serve it, the hop enumerates
+/// [`pg_graph::GraphView::rels_in_prop_range`] instead of the adjacency
+/// list; either way every candidate is pre-filtered against the evaluated
+/// predicates rather than post-filtered by the final `WHERE`.
 fn hop_candidates(
     ctx: &EvalCtx<'_>,
     row: &Row,
     node: NodeId,
     rel_pat: &RelPattern,
+    pushed: &Pushdowns,
 ) -> Result<Vec<(RelId, NodeId)>> {
     // A pre-bound relationship variable fixes the candidate.
     if let Some(v) = &rel_pat.var {
@@ -631,8 +923,36 @@ fn hop_candidates(
             return Ok(Vec::new());
         }
     }
+    let pd = eval_rel_pushdowns(ctx, row, rel_pat, pushed);
+    if pd.as_ref().is_some_and(|p| p.never) {
+        return Ok(Vec::new());
+    }
+    let mut cands = ctx.view.rels_of(node, rel_pat.direction);
+    // Serve the hop from the relationship-property index when a pushed
+    // range is estimated more selective than the node's adjacency; the
+    // endpoint checks below restore the incidence constraint.
+    if let Some(pd) = &pd {
+        if rel_pat.types.len() == 1 {
+            let t = &rel_pat.types[0];
+            for (key, (lo, hi)) in &pd.intervals {
+                let est = ctx
+                    .view
+                    .count_rels_in_prop_range(t, key, lo.as_ref(), hi.as_ref());
+                if est.is_some_and(|e| e < cands.len()) {
+                    if let Some(ids) = ctx
+                        .view
+                        .rels_in_prop_range(t, key, lo.as_ref(), hi.as_ref())
+                    {
+                        if ids.len() < cands.len() {
+                            cands = ids;
+                        }
+                    }
+                }
+            }
+        }
+    }
     let mut out = Vec::new();
-    for rid in ctx.view.rels_of(node, rel_pat.direction) {
+    for rid in cands {
         let Some((s, d)) = ctx.view.rel_endpoints(rid) else {
             continue;
         };
@@ -652,11 +972,18 @@ fn hop_candidates(
             Direction::Both => {
                 if s == node {
                     d
-                } else {
+                } else if d == node {
                     s
+                } else {
+                    continue;
                 }
             }
         };
+        if let Some(pd) = &pd {
+            if !rel_satisfies(ctx, rid, pd) {
+                continue;
+            }
+        }
         if rel_matches(ctx, row, rid, rel_pat)? {
             out.push((rid, other));
         }
@@ -761,12 +1088,36 @@ fn extract_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
     map
 }
 
+/// One index access path a node pattern could be served from.
+enum IndexProbe<'a> {
+    Eq {
+        label: &'a str,
+        key: &'a str,
+        value: Value,
+    },
+    Range {
+        label: &'a str,
+        key: String,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    },
+    Prefix {
+        label: &'a str,
+        key: &'a str,
+        prefix: String,
+    },
+}
+
 /// The best index-backed candidate set for a node pattern, from inline
 /// `{key: value}` properties plus pushed-down `WHERE` equality, range and
 /// prefix conjuncts on this pattern's variable, tried against every
 /// label's index. An evaluation failure (e.g. the value refers to a
 /// variable bound later) merely disqualifies the path — the predicate
 /// itself is still enforced by `node_matches` / the WHERE clause.
+///
+/// Every applicable probe is first **counted** (O(log n) / histogram);
+/// only the most selective one is materialized — choosing an access path
+/// never allocates the vectors of the losers.
 ///
 /// Returns `Some(ids)` when some index answered (possibly proving the
 /// candidate set empty: a pushed conjunct with a NULL/untyped operand can
@@ -778,14 +1129,7 @@ fn index_candidates(
     pushed: &Pushdowns,
 ) -> Option<Vec<NodeId>> {
     let preds = np.var.as_ref().and_then(|v| pushed.get(v));
-    let mut best: Option<Vec<NodeId>> = None;
-    let mut consider = |ids: Option<Vec<NodeId>>| {
-        if let Some(ids) = ids {
-            if best.as_ref().is_none_or(|b| ids.len() < b.len()) {
-                best = Some(ids);
-            }
-        }
-    };
+    let mut probes: Vec<IndexProbe<'_>> = Vec::new();
 
     // Equality: inline property maps and pushed `var.key = e` conjuncts.
     let pushed_eqs = preds.map(|p| p.eqs.as_slice()).unwrap_or(&[]);
@@ -794,88 +1138,87 @@ fn index_candidates(
             continue;
         };
         for label in &np.labels {
-            consider(ctx.view.nodes_with_prop(label, key, &value));
+            probes.push(IndexProbe::Eq {
+                label,
+                key,
+                value: value.clone(),
+            });
         }
     }
 
-    let Some(preds) = preds else {
-        return best;
-    };
-
-    // Ranges: combine this variable's `<`/`<=`/`>`/`>=` conjuncts per key
-    // into the tightest closed interval. A NULL or NaN operand makes the
-    // conjunct untruthy for every row — the candidate set is definitively
-    // empty, no index required.
-    let mut intervals: HashMap<&str, (Bound<Value>, Bound<Value>)> = HashMap::new();
-    for (key, op, expr) in &preds.ranges {
-        let Ok(value) = eval(ctx, row, expr) else {
-            continue;
+    if let Some(preds) = preds {
+        // Ranges: combine this variable's `<`/`<=`/`>`/`>=` conjuncts per
+        // key into the tightest closed interval. A NULL or NaN operand
+        // makes the conjunct untruthy for every row — the candidate set is
+        // definitively empty, no index required.
+        let intervals = match build_intervals(ctx, row, &preds.ranges) {
+            Intervals::Never => return Some(Vec::new()),
+            Intervals::Bounds(b) => b,
         };
-        if value.is_null() || matches!(&value, Value::Float(f) if f.is_nan()) {
-            return Some(Vec::new());
+        for (key, (lo, hi)) in intervals {
+            for label in &np.labels {
+                probes.push(IndexProbe::Range {
+                    label,
+                    key: key.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                });
+            }
         }
-        /// Replace `slot` when `value` tightens it: a greater lower bound /
-        /// smaller upper bound wins, and at equal values an exclusive bound
-        /// beats an inclusive one.
-        fn tighten(slot: &mut Bound<Value>, value: Value, inclusive: bool, lower: bool) {
-            use std::cmp::Ordering;
-            let replaces = match &*slot {
-                Bound::Unbounded => true,
-                Bound::Included(c) | Bound::Excluded(c) => {
-                    let ord = value.cmp_order(c);
-                    if lower {
-                        ord != Ordering::Less
-                    } else {
-                        ord != Ordering::Greater
+
+        // Prefixes: `var.key STARTS WITH e`. A non-string operand can
+        // never make the conjunct truthy.
+        for (key, expr) in &preds.prefixes {
+            let Ok(value) = eval(ctx, row, expr) else {
+                continue;
+            };
+            match &value {
+                Value::Str(prefix) => {
+                    for label in &np.labels {
+                        probes.push(IndexProbe::Prefix {
+                            label,
+                            key,
+                            prefix: prefix.clone(),
+                        });
                     }
                 }
-            };
-            if !replaces {
-                return;
+                _ => return Some(Vec::new()),
             }
-            let stay_exclusive =
-                matches!(&*slot, Bound::Excluded(c) if value.cmp_order(c) == Ordering::Equal);
-            *slot = if inclusive && !stay_exclusive {
-                Bound::Included(value)
-            } else {
-                Bound::Excluded(value)
-            };
-        }
-        let entry = intervals
-            .entry(key.as_str())
-            .or_insert((Bound::Unbounded, Bound::Unbounded));
-        match op {
-            BinOp::Gt | BinOp::Ge => tighten(&mut entry.0, value, *op == BinOp::Ge, true),
-            BinOp::Lt | BinOp::Le => tighten(&mut entry.1, value, *op == BinOp::Le, false),
-            _ => {}
         }
     }
-    for (key, (lo, hi)) in &intervals {
-        for label in &np.labels {
-            consider(
+
+    // Count every probe, materialize only the most selective answerable one.
+    let mut best: Option<(usize, usize)> = None; // (probe idx, estimate)
+    for (i, probe) in probes.iter().enumerate() {
+        let count = match probe {
+            IndexProbe::Eq { label, key, value } => {
+                ctx.view.count_nodes_with_prop(label, key, value)
+            }
+            IndexProbe::Range { label, key, lo, hi } => {
                 ctx.view
-                    .nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref()),
-            );
-        }
-    }
-
-    // Prefixes: `var.key STARTS WITH e`. A non-string operand can never
-    // make the conjunct truthy.
-    for (key, expr) in &preds.prefixes {
-        let Ok(value) = eval(ctx, row, expr) else {
-            continue;
-        };
-        match &value {
-            Value::Str(prefix) => {
-                for label in &np.labels {
-                    consider(ctx.view.nodes_with_prop_prefix(label, key, prefix));
-                }
+                    .count_nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref())
             }
-            _ => return Some(Vec::new()),
+            IndexProbe::Prefix { label, key, prefix } => {
+                ctx.view.count_nodes_with_prop_prefix(label, key, prefix)
+            }
+        };
+        if let Some(c) = count {
+            if best.is_none_or(|(_, b)| c < b) {
+                best = Some((i, c));
+            }
         }
     }
-
-    best
+    let (winner, _) = best?;
+    match &probes[winner] {
+        IndexProbe::Eq { label, key, value } => ctx.view.nodes_with_prop(label, key, value),
+        IndexProbe::Range { label, key, lo, hi } => {
+            ctx.view
+                .nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref())
+        }
+        IndexProbe::Prefix { label, key, prefix } => {
+            ctx.view.nodes_with_prop_prefix(label, key, prefix)
+        }
+    }
 }
 
 /// Candidate start nodes for a node pattern.
@@ -1594,6 +1937,136 @@ mod tests {
         let rows = run_match(&g, "MATCH (x:A)-[r:R {w: 42}]->(y:B) RETURN 1", Row::new());
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("x"), Some(&Value::Node(wanted)));
+    }
+
+    #[test]
+    fn planning_materializes_no_candidate_vectors() {
+        // Planner v3 invariant: plan_patterns over indexed predicates uses
+        // count-only probes — zero materializing index lookups until an
+        // access path is chosen by node_candidates.
+        let mut g = Graph::new();
+        for i in 0..200 {
+            let a = g
+                .create_node(["M"], props(&[("k", Value::Int(i % 5))]))
+                .unwrap();
+            let b = g.create_node(["Tiny"], PropertyMap::new()).unwrap();
+            if i < 2 {
+                g.create_rel(a, b, "R", PropertyMap::new()).unwrap();
+            }
+        }
+        g.create_index("M", "k");
+        let (pats, where_) =
+            patterns_of("MATCH (x:M)-[:R]->(t:Tiny), (y:M) WHERE x.k = 3 AND y.k > 1 RETURN 1");
+        let params = Params::new();
+        let ctx = EvalCtx::new(&g, &params, 0);
+        let pushed = extract_pushdowns(where_.as_ref());
+        g.reset_index_probes();
+        let planned = plan_patterns(&ctx, &Row::new(), &pats, &pushed);
+        let probes = g.index_probes();
+        assert_eq!(
+            probes.materializing, 0,
+            "planning must not materialize candidate vectors"
+        );
+        assert!(probes.counting > 0, "planning must use count-only probes");
+        assert_eq!(planned.len(), pats.len());
+        // …and the query still returns the right rows through execution
+        let rows = run_match(
+            &g,
+            "MATCH (x:M)-[:R]->(t:Tiny), (y:M) WHERE x.k = 3 AND y.k > 1 RETURN 1",
+            Row::new(),
+        );
+        // x ∈ {k=3 nodes with an R edge}, y ∈ {k ∈ {2,3,4}} → 0 or more
+        let expect_y = 3 * 40; // 40 nodes per residue class
+        let expect_x = [0usize, 1].iter().filter(|i| (**i as i64) % 5 == 3).count();
+        assert_eq!(rows.len(), expect_x * expect_y);
+    }
+
+    #[test]
+    fn unevaluable_eq_uses_distinct_selectivity() {
+        // `x.k = y.j` with y bound later: the planner can still estimate
+        // x's eq pushdown from total/distinct statistics instead of giving
+        // up on the index path.
+        let mut g = Graph::new();
+        for i in 0..100 {
+            g.create_node(["L"], props(&[("k", Value::Int(i % 2))]))
+                .unwrap();
+        }
+        g.create_index("L", "k");
+        let (pats, where_) = patterns_of("MATCH (x:L) WHERE x.k = y.j RETURN 1");
+        let params = Params::new();
+        let ctx = EvalCtx::new(&g, &params, 0);
+        let pushed = extract_pushdowns(where_.as_ref());
+        let cost = estimate_node_cost(&ctx, &Row::new(), &pats[0].start, &pushed, &HashSet::new());
+        // 100 entries over 2 distinct values → average bucket 50
+        assert_eq!(cost, 50);
+    }
+
+    #[test]
+    fn rel_range_pushdown_prunes_hop_expansion() {
+        // A hub with 200 outgoing rels, 3 of which satisfy `r.w >= 197`:
+        // with a rel-prop index the hop is served from the index (est 3 <
+        // degree 200), without it the evaluated predicate still prunes.
+        let mut g = Graph::new();
+        let hub = g.create_node(["Hub"], PropertyMap::new()).unwrap();
+        for i in 0..200 {
+            let leaf = g.create_node(["Leaf"], PropertyMap::new()).unwrap();
+            g.create_rel(hub, leaf, "R", props(&[("w", Value::Int(i))]))
+                .unwrap();
+        }
+        let q = "MATCH (h:Hub)-[r:R]->(x:Leaf) WHERE r.w >= 197 RETURN 1";
+        let rows = run_match(&g, q, Row::new());
+        assert_eq!(rows.len(), 3);
+        g.create_rel_index("R", "w");
+        g.reset_index_probes();
+        let rows = run_match(&g, q, Row::new());
+        assert_eq!(rows.len(), 3);
+        let probes = g.index_probes();
+        assert!(
+            probes.materializing >= 1,
+            "hop should have been served from the rel-prop index"
+        );
+        // conjunct that can never be truthy → hop pruned to nothing
+        let rows = run_match(
+            &g,
+            "MATCH (h:Hub)-[r:R]->(x:Leaf) WHERE r.w >= NULL RETURN 1",
+            Row::new(),
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn rel_prefix_and_eq_pushdowns_prune_directly() {
+        let mut g = Graph::new();
+        let hub = g.create_node(["Hub"], PropertyMap::new()).unwrap();
+        for i in 0..50 {
+            let leaf = g.create_node(["Leaf"], PropertyMap::new()).unwrap();
+            g.create_rel(
+                hub,
+                leaf,
+                "R",
+                props(&[("tag", Value::str(format!("t{i:02}")))]),
+            )
+            .unwrap();
+        }
+        let rows = run_match(
+            &g,
+            "MATCH (h:Hub)-[r:R]->(x) WHERE r.tag STARTS WITH 't1' RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 10);
+        let rows = run_match(
+            &g,
+            "MATCH (h:Hub)-[r:R]->(x) WHERE r.tag = 't07' RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 1);
+        // non-string prefix operand → definitively empty
+        let rows = run_match(
+            &g,
+            "MATCH (h:Hub)-[r:R]->(x) WHERE r.tag STARTS WITH 7 RETURN 1",
+            Row::new(),
+        );
+        assert!(rows.is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod op;
 pub mod prop_index;
 pub mod props;
 pub mod record;
+pub mod stats;
 pub mod store;
 pub mod value;
 pub mod view;
@@ -41,6 +42,7 @@ pub use op::Op;
 pub use prop_index::{IndexKey, KeyedIndex, PropIndex, RelPropIndex};
 pub use props::PropertyMap;
 pub use record::{NodeRecord, RelRecord};
-pub use store::{Graph, StatementMark, WritePolicy};
+pub use stats::Histogram;
+pub use store::{Graph, IndexProbes, StatementMark, WritePolicy};
 pub use value::{Direction, Value};
 pub use view::{GraphView, PreStateView};

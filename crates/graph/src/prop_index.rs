@@ -50,6 +50,7 @@
 
 use crate::ids::{NodeId, RelId};
 use crate::record::{NodeRecord, RelRecord};
+use crate::stats::Histogram;
 use crate::value::Value;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -190,12 +191,22 @@ impl IndexKey {
     }
 }
 
-/// One `(label, key)` index: ordered value keys plus the count of present
-/// lossy numerics (see module docs, "Range semantics").
+/// One `(label, key)` index: ordered value keys, the count of present
+/// lossy numerics (see module docs, "Range semantics"), and cardinality
+/// statistics (entry totals plus an equi-depth [`Histogram`]) maintained
+/// through the same insert/remove calls — hence through every undo path.
 #[derive(Debug, Clone)]
 struct IndexEntries<Id> {
     keys: BTreeMap<IndexKey, BTreeSet<Id>>,
     lossy_numerics: usize,
+    /// Items whose value is storable yet unkeyable for reasons other than
+    /// lossy numerics (`NaN`, `LIST`, `MAP`). While non-zero, ordered walks
+    /// over the key space would be incomplete and are refused.
+    unkeyable: usize,
+    /// Number of keyable entries currently indexed (`Σ bucket sizes`).
+    total: usize,
+    /// Equi-depth histogram over the key space (planning estimates).
+    hist: Histogram,
 }
 
 impl<Id> Default for IndexEntries<Id> {
@@ -203,7 +214,89 @@ impl<Id> Default for IndexEntries<Id> {
         IndexEntries {
             keys: BTreeMap::new(),
             lossy_numerics: 0,
+            unkeyable: 0,
+            total: 0,
+            hist: Histogram::default(),
         }
+    }
+}
+
+/// How a range query classifies against one index entry.
+enum RangeQuery {
+    /// No value can satisfy the predicate — definitively empty.
+    Empty,
+    /// The index cannot answer faithfully — fall back to a scan.
+    Refused,
+    /// Walk the key space between these bounds.
+    Bounds(Bound<IndexKey>, Bound<IndexKey>),
+}
+
+impl<Id> IndexEntries<Id> {
+    /// Shared classification for [`KeyedIndex::range_lookup`] and the
+    /// count-only probes: resolve value bounds into key bounds, apply the
+    /// family rules and the lossy-numeric opt-out.
+    fn classify_range(&self, lower: Bound<&Value>, upper: Bound<&Value>) -> RangeQuery {
+        // Classify each bound: Ok(key-bound) | Err(true)=definitively-empty
+        // | Err(false)=unanswerable.
+        let classify = |b: Bound<&Value>| -> Result<Bound<IndexKey>, bool> {
+            match b {
+                Bound::Unbounded => Ok(Bound::Unbounded),
+                Bound::Included(v) | Bound::Excluded(v) => match IndexKey::from_value(v) {
+                    Some(ik) => Ok(match b {
+                        Bound::Included(_) => Bound::Included(ik),
+                        _ => Bound::Excluded(ik),
+                    }),
+                    // NULL/NaN/graph-item bounds compare to nothing.
+                    None if IndexKey::never_matches(v) => Err(true),
+                    // cmp3 never orders maps against anything either.
+                    None if matches!(v, Value::Map(_)) => Err(true),
+                    None => Err(false),
+                },
+            }
+        };
+        let lo = match classify(lower) {
+            Ok(b) => b,
+            Err(true) => return RangeQuery::Empty,
+            Err(false) => return RangeQuery::Refused,
+        };
+        let hi = match classify(upper) {
+            Ok(b) => b,
+            Err(true) => return RangeQuery::Empty,
+            Err(false) => return RangeQuery::Refused,
+        };
+        // The family the predicate constrains values to (cmp3 returns NULL
+        // across families). Both-unbounded is not a range predicate.
+        let fam = match (&lo, &hi) {
+            (Bound::Included(k) | Bound::Excluded(k), Bound::Unbounded)
+            | (Bound::Unbounded, Bound::Included(k) | Bound::Excluded(k)) => k.family(),
+            (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+                if a.family() != b.family() {
+                    // e.g. `> 1 AND < 'z'`: no value is comparable to both.
+                    return RangeQuery::Empty;
+                }
+                a.family()
+            }
+            (Bound::Unbounded, Bound::Unbounded) => return RangeQuery::Refused,
+        };
+        // Numeric ranges are incomplete while lossy numerics are present.
+        if fam == IndexKey::Int(0).family() && self.lossy_numerics > 0 {
+            return RangeQuery::Refused;
+        }
+        // Close unbounded sides at the family frontier so the walk never
+        // leaves the predicate's type family.
+        let lo = match lo {
+            Bound::Unbounded => family_min(fam),
+            b => b,
+        };
+        let hi = match hi {
+            Bound::Unbounded => family_max(fam),
+            b => b,
+        };
+        // An inverted range would make BTreeMap::range panic.
+        if range_is_empty(&lo, &hi) {
+            return RangeQuery::Empty;
+        }
+        RangeQuery::Bounds(lo, hi)
     }
 }
 
@@ -289,6 +382,8 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
 
     /// Add one `(label, key, value) → item` entry (no-op when `(label,
     /// key)` is not indexed; lossy numerics bump the range opt-out count).
+    /// Statistics (totals, histogram) are maintained here, so every undo
+    /// path that replays inserts keeps them consistent automatically.
     pub fn insert(&mut self, label: &str, key: &str, value: &Value, item: Id) {
         if let Some(entries) = self
             .by_label
@@ -296,9 +391,17 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
             .and_then(|keys| keys.get_mut(key))
         {
             if let Some(ik) = IndexKey::from_value(value) {
-                entries.keys.entry(ik).or_default().insert(item);
+                if entries.keys.entry(ik.clone()).or_default().insert(item) {
+                    entries.total += 1;
+                    entries.hist.note_insert(&ik);
+                    if entries.hist.stale(entries.total) {
+                        entries.hist.rebuild(&entries.keys, entries.total);
+                    }
+                }
             } else if IndexKey::is_lossy_numeric(value) {
                 entries.lossy_numerics += 1;
+            } else {
+                entries.unkeyable += 1;
             }
         }
     }
@@ -312,13 +415,21 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
         {
             if let Some(ik) = IndexKey::from_value(value) {
                 if let Some(set) = entries.keys.get_mut(&ik) {
-                    set.remove(&item);
+                    if set.remove(&item) {
+                        entries.total = entries.total.saturating_sub(1);
+                        entries.hist.note_remove(&ik);
+                    }
                     if set.is_empty() {
                         entries.keys.remove(&ik);
+                    }
+                    if entries.hist.stale(entries.total) {
+                        entries.hist.rebuild(&entries.keys, entries.total);
                     }
                 }
             } else if IndexKey::is_lossy_numeric(value) {
                 entries.lossy_numerics = entries.lossy_numerics.saturating_sub(1);
+            } else {
+                entries.unkeyable = entries.unkeyable.saturating_sub(1);
             }
         }
     }
@@ -356,66 +467,11 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
         upper: Bound<&Value>,
     ) -> Option<Vec<Id>> {
         let entries = self.by_label.get(label)?.get(key)?;
-        // Classify each bound: Ok(key-bound) | Err(true)=definitively-empty
-        // | Err(false)=unanswerable.
-        let classify = |b: Bound<&Value>| -> Result<Bound<IndexKey>, bool> {
-            match b {
-                Bound::Unbounded => Ok(Bound::Unbounded),
-                Bound::Included(v) | Bound::Excluded(v) => match IndexKey::from_value(v) {
-                    Some(ik) => Ok(match b {
-                        Bound::Included(_) => Bound::Included(ik),
-                        _ => Bound::Excluded(ik),
-                    }),
-                    // NULL/NaN/graph-item bounds compare to nothing.
-                    None if IndexKey::never_matches(v) => Err(true),
-                    // cmp3 never orders maps against anything either.
-                    None if matches!(v, Value::Map(_)) => Err(true),
-                    None => Err(false),
-                },
-            }
+        let (lo, hi) = match entries.classify_range(lower, upper) {
+            RangeQuery::Empty => return Some(Vec::new()),
+            RangeQuery::Refused => return None,
+            RangeQuery::Bounds(lo, hi) => (lo, hi),
         };
-        let lo = match classify(lower) {
-            Ok(b) => b,
-            Err(true) => return Some(Vec::new()),
-            Err(false) => return None,
-        };
-        let hi = match classify(upper) {
-            Ok(b) => b,
-            Err(true) => return Some(Vec::new()),
-            Err(false) => return None,
-        };
-        // The family the predicate constrains values to (cmp3 returns NULL
-        // across families). Both-unbounded is not a range predicate.
-        let fam = match (&lo, &hi) {
-            (Bound::Included(k) | Bound::Excluded(k), Bound::Unbounded)
-            | (Bound::Unbounded, Bound::Included(k) | Bound::Excluded(k)) => k.family(),
-            (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
-                if a.family() != b.family() {
-                    // e.g. `> 1 AND < 'z'`: no value is comparable to both.
-                    return Some(Vec::new());
-                }
-                a.family()
-            }
-            (Bound::Unbounded, Bound::Unbounded) => return None,
-        };
-        // Numeric ranges are incomplete while lossy numerics are present.
-        if fam == IndexKey::Int(0).family() && entries.lossy_numerics > 0 {
-            return None;
-        }
-        // Close unbounded sides at the family frontier so the walk never
-        // leaves the predicate's type family.
-        let lo = match lo {
-            Bound::Unbounded => family_min(fam),
-            b => b,
-        };
-        let hi = match hi {
-            Bound::Unbounded => family_max(fam),
-            b => b,
-        };
-        // An inverted range would make BTreeMap::range panic.
-        if range_is_empty(&lo, &hi) {
-            return Some(Vec::new());
-        }
         let mut out: Vec<Id> = entries
             .keys
             .range((lo, hi))
@@ -423,6 +479,122 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
             .collect();
         out.sort();
         Some(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Count-only probes and statistics (planning never materializes ids)
+    // ------------------------------------------------------------------
+
+    /// Exact count of items an equality [`KeyedIndex::lookup`] would
+    /// return, in O(log n) and without materializing the id vector. Same
+    /// refusal contract as `lookup` (`None` = fall back to a scan).
+    pub fn count_eq(&self, label: &str, key: &str, value: &Value) -> Option<usize> {
+        let entries = self.by_label.get(label)?.get(key)?;
+        match IndexKey::from_value(value) {
+            Some(ik) => Some(entries.keys.get(&ik).map(|set| set.len()).unwrap_or(0)),
+            None if IndexKey::never_matches(value) => Some(0),
+            None => None,
+        }
+    }
+
+    /// Estimated count of items a [`KeyedIndex::range_lookup`] would
+    /// return. Served from the equi-depth histogram when built (O(#buckets));
+    /// before the first build (small indexes) it counts the range walk
+    /// exactly — still allocation-free. Same refusal contract as
+    /// `range_lookup`; when it answers, `Some(0)` is only returned for
+    /// definitively-empty predicates or genuinely empty histograms/walks.
+    pub fn count_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        let entries = self.by_label.get(label)?.get(key)?;
+        let (lo, hi) = match entries.classify_range(lower, upper) {
+            RangeQuery::Empty => return Some(0),
+            RangeQuery::Refused => return None,
+            RangeQuery::Bounds(lo, hi) => (lo, hi),
+        };
+        if let Some(est) = entries.hist.estimate_range(&lo, &hi) {
+            return Some(est);
+        }
+        Some(entries.keys.range((lo, hi)).map(|(_, set)| set.len()).sum())
+    }
+
+    /// Exact count of items a [`KeyedIndex::prefix_lookup`] would return
+    /// (O(log n + matching keys), allocation-free).
+    pub fn count_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<usize> {
+        let entries = self.by_label.get(label)?.get(key)?;
+        let start = Bound::Included(IndexKey::Str(prefix.to_string()));
+        Some(
+            entries
+                .keys
+                .range((start, Bound::Unbounded))
+                .take_while(|(k, _)| matches!(k, IndexKey::Str(s) if s.starts_with(prefix)))
+                .map(|(_, set)| set.len())
+                .sum(),
+        )
+    }
+
+    /// `(total keyable entries, distinct keys)` for `(label, key)` —
+    /// `total / distinct` is the average-bucket selectivity estimate the
+    /// planner uses for equality predicates whose operand cannot be
+    /// evaluated yet (intermediate join results).
+    pub fn stats(&self, label: &str, key: &str) -> Option<(usize, usize)> {
+        let entries = self.by_label.get(label)?.get(key)?;
+        Some((entries.total, entries.keys.len()))
+    }
+
+    /// Walk all indexed items of `(label, key)` in `ORDER BY` order
+    /// ([`Value::cmp_order`]): type families in `cmp_order` rank order
+    /// (strings < booleans < numerics < dates < datetimes), keys ascending
+    /// within each — or everything reversed when `descending`.
+    ///
+    /// `None` when `(label, key)` is not indexed **or** any currently
+    /// stored value is unkeyable (lossy numerics, `NaN`, lists, maps): such
+    /// values order among (or across) families under `cmp_order`, so the
+    /// walk would be incomplete and the caller must fall back to a sort.
+    /// Items whose property is absent (`NULL` keys, sorting last) are by
+    /// construction not walked — callers account for them via
+    /// [`KeyedIndex::stats`] against the extent cardinality.
+    pub fn ordered_walk(
+        &self,
+        label: &str,
+        key: &str,
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = Id> + '_>> {
+        let entries = self.by_label.get(label)?.get(key)?;
+        if entries.lossy_numerics > 0 || entries.unkeyable > 0 {
+            return None;
+        }
+        // IndexKey families in Value::cmp_order rank order (Str < Bool <
+        // numerics < Date < DateTime); see `IndexKey::family` for the ids.
+        let mut fams: Vec<u8> = vec![2, 0, 1, 3, 4];
+        if descending {
+            fams.reverse();
+        }
+        let iter = fams.into_iter().flat_map(move |fam| {
+            let bounds = (family_min(fam), family_max(fam));
+            let walk: Box<dyn Iterator<Item = Id>> = if descending {
+                Box::new(
+                    entries
+                        .keys
+                        .range(bounds)
+                        .rev()
+                        .flat_map(|(_, set)| set.iter().copied()),
+                )
+            } else {
+                Box::new(
+                    entries
+                        .keys
+                        .range(bounds)
+                        .flat_map(|(_, set)| set.iter().copied()),
+                )
+            };
+            walk
+        });
+        Some(Box::new(iter))
     }
 
     /// Prefix scan: all items whose value is a string starting with
@@ -548,6 +720,42 @@ impl PropIndex {
         self.inner.prefix_lookup(label, key, prefix)
     }
 
+    /// Count-only equality probe; see [`KeyedIndex::count_eq`].
+    pub fn count_eq(&self, label: &str, key: &str, value: &Value) -> Option<usize> {
+        self.inner.count_eq(label, key, value)
+    }
+
+    /// Count estimate for a range probe; see [`KeyedIndex::count_range`].
+    pub fn count_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        self.inner.count_range(label, key, lower, upper)
+    }
+
+    /// Count-only prefix probe; see [`KeyedIndex::count_prefix`].
+    pub fn count_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<usize> {
+        self.inner.count_prefix(label, key, prefix)
+    }
+
+    /// `(total, distinct)` statistics; see [`KeyedIndex::stats`].
+    pub fn stats(&self, label: &str, key: &str) -> Option<(usize, usize)> {
+        self.inner.stats(label, key)
+    }
+
+    /// Ordered walk of the key space; see [`KeyedIndex::ordered_walk`].
+    pub fn ordered_walk(
+        &self,
+        label: &str,
+        key: &str,
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
+        self.inner.ordered_walk(label, key, descending)
+    }
+
     /// Index every `(label, key)` pair a node record carries (node
     /// creation and undo of deletion).
     pub fn index_node(&mut self, rec: &NodeRecord) {
@@ -640,6 +848,42 @@ impl RelPropIndex {
     /// `STARTS WITH` prefix scan; see [`KeyedIndex::prefix_lookup`].
     pub fn prefix_lookup(&self, rel_type: &str, key: &str, prefix: &str) -> Option<Vec<RelId>> {
         self.inner.prefix_lookup(rel_type, key, prefix)
+    }
+
+    /// Count-only equality probe; see [`KeyedIndex::count_eq`].
+    pub fn count_eq(&self, rel_type: &str, key: &str, value: &Value) -> Option<usize> {
+        self.inner.count_eq(rel_type, key, value)
+    }
+
+    /// Count estimate for a range probe; see [`KeyedIndex::count_range`].
+    pub fn count_range(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        self.inner.count_range(rel_type, key, lower, upper)
+    }
+
+    /// Count-only prefix probe; see [`KeyedIndex::count_prefix`].
+    pub fn count_prefix(&self, rel_type: &str, key: &str, prefix: &str) -> Option<usize> {
+        self.inner.count_prefix(rel_type, key, prefix)
+    }
+
+    /// `(total, distinct)` statistics; see [`KeyedIndex::stats`].
+    pub fn stats(&self, rel_type: &str, key: &str) -> Option<(usize, usize)> {
+        self.inner.stats(rel_type, key)
+    }
+
+    /// Ordered walk of the key space; see [`KeyedIndex::ordered_walk`].
+    pub fn ordered_walk(
+        &self,
+        rel_type: &str,
+        key: &str,
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
+        self.inner.ordered_walk(rel_type, key, descending)
     }
 
     /// Index every key of a relationship record (creation and undo of
@@ -986,6 +1230,122 @@ mod tests {
             Some(vec![NodeId(0), NodeId(1), NodeId(2)])
         );
         assert_eq!(ix.prefix_lookup("A", "y", "a"), None);
+    }
+
+    #[test]
+    fn count_probes_agree_with_lookups() {
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        for i in 0..50 {
+            ix.insert("A", "x", &Value::Int(i % 10), NodeId(i as u64));
+        }
+        // equality: exact count, no materialization
+        assert_eq!(ix.count_eq("A", "x", &Value::Int(3)), Some(5));
+        assert_eq!(ix.count_eq("A", "x", &Value::Int(99)), Some(0));
+        assert_eq!(ix.count_eq("A", "x", &Value::Null), Some(0));
+        assert_eq!(ix.count_eq("A", "x", &Value::Int(i64::MAX)), None);
+        assert_eq!(ix.count_eq("A", "y", &Value::Int(3)), None);
+        // stats: 50 entries over 10 distinct keys
+        assert_eq!(ix.stats("A", "x"), Some((50, 10)));
+        // range count: an estimate within the documented error bound
+        // (2·depth + drift; depth = ceil(50/32) … but the first bucket has
+        // no exclusive floor, so it is charged at half weight)
+        let c = ix
+            .count_range(
+                "A",
+                "x",
+                Bound::Included(&Value::Int(0)),
+                Bound::Excluded(&Value::Int(5)),
+            )
+            .unwrap();
+        let bound = 2 * 50usize.div_ceil(32) + 16;
+        assert!(c.abs_diff(25) <= bound, "estimate {c} too far from 25");
+        // prefix count
+        ix.create("A", "s");
+        ix.insert("A", "s", &Value::str("alpha"), NodeId(100));
+        ix.insert("A", "s", &Value::str("alp"), NodeId(101));
+        ix.insert("A", "s", &Value::str("beta"), NodeId(102));
+        assert_eq!(ix.count_prefix("A", "s", "alp"), Some(2));
+        assert_eq!(ix.count_prefix("A", "s", "z"), Some(0));
+        assert_eq!(ix.count_prefix("B", "s", "a"), None);
+        // refusal mirrors range_lookup: lossy numerics opt numeric counts out
+        ix.insert("A", "x", &Value::Int((1 << 53) + 1), NodeId(999));
+        assert_eq!(
+            ix.count_range("A", "x", Bound::Included(&Value::Int(0)), Bound::Unbounded),
+            None
+        );
+    }
+
+    #[test]
+    fn ordered_walk_matches_cmp_order() {
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        // mixed families: cmp_order ranks Str < Bool < numerics < Date
+        let items = [
+            (Value::Int(2), NodeId(0)),
+            (Value::Float(1.5), NodeId(1)),
+            (Value::str("b"), NodeId(2)),
+            (Value::str("a"), NodeId(3)),
+            (Value::Bool(true), NodeId(4)),
+            (Value::Date(7), NodeId(5)),
+        ];
+        for (v, id) in &items {
+            ix.insert("A", "x", v, *id);
+        }
+        let asc: Vec<NodeId> = ix.ordered_walk("A", "x", false).unwrap().collect();
+        assert_eq!(
+            asc,
+            vec![
+                NodeId(3), // "a"
+                NodeId(2), // "b"
+                NodeId(4), // true
+                NodeId(1), // 1.5
+                NodeId(0), // 2
+                NodeId(5), // date(7)
+            ]
+        );
+        let desc: Vec<NodeId> = ix.ordered_walk("A", "x", true).unwrap().collect();
+        let mut rev = asc.clone();
+        rev.reverse();
+        assert_eq!(desc, rev);
+        // walks refuse while unkeyable values are present…
+        ix.insert("A", "x", &Value::list([Value::Int(1)]), NodeId(9));
+        assert!(ix.ordered_walk("A", "x", false).is_none());
+        ix.remove("A", "x", &Value::list([Value::Int(1)]), NodeId(9));
+        assert!(ix.ordered_walk("A", "x", false).is_some());
+        // …and while lossy numerics are present
+        ix.insert("A", "x", &Value::Int(1 << 60), NodeId(9));
+        assert!(ix.ordered_walk("A", "x", false).is_none());
+        ix.remove("A", "x", &Value::Int(1 << 60), NodeId(9));
+        assert!(ix.ordered_walk("A", "x", false).is_some());
+    }
+
+    #[test]
+    fn histogram_estimates_on_large_entry() {
+        let mut ix = PropIndex::default();
+        ix.create("A", "x");
+        for i in 0..2000i64 {
+            ix.insert("A", "x", &Value::Int(i), NodeId(i as u64));
+        }
+        let (total, distinct) = ix.stats("A", "x").unwrap();
+        assert_eq!((total, distinct), (2000, 2000));
+        let est = ix
+            .count_range(
+                "A",
+                "x",
+                Bound::Included(&Value::Int(0)),
+                Bound::Excluded(&Value::Int(200)),
+            )
+            .unwrap();
+        // estimate within the documented 2·depth + drift error bound
+        let depth = 2000usize.div_ceil(32);
+        let bound = 2 * depth + 2000 / 8;
+        assert!(est.abs_diff(200) <= bound, "est {est} too far from 200");
+        // removals keep totals exact
+        for i in 0..500i64 {
+            ix.remove("A", "x", &Value::Int(i), NodeId(i as u64));
+        }
+        assert_eq!(ix.stats("A", "x"), Some((1500, 1500)));
     }
 
     #[test]

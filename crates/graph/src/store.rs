@@ -11,6 +11,45 @@ use crate::value::{Direction, Value};
 use crate::view::GraphView;
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Debug counters over index probes, for verifying *how* the planner pays
+/// for its answers: `materializing` counts lookups that return id vectors
+/// (the execution access paths), `counting` the count-only probes and
+/// statistics reads (the planning access paths), `ordered` the ordered
+/// top-k walks. A planning round over indexed predicates must show
+/// `counting` activity and **zero** `materializing` activity — that is the
+/// "no candidate-vector materialization during planning" invariant, made
+/// observable for tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexProbes {
+    pub materializing: u64,
+    pub counting: u64,
+    pub ordered: u64,
+}
+
+#[derive(Debug, Default)]
+struct ProbeCounters {
+    materializing: AtomicU64,
+    counting: AtomicU64,
+    ordered: AtomicU64,
+}
+
+impl ProbeCounters {
+    fn snapshot(&self) -> IndexProbes {
+        IndexProbes {
+            materializing: self.materializing.load(AtomicOrdering::Relaxed),
+            counting: self.counting.load(AtomicOrdering::Relaxed),
+            ordered: self.ordered.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.materializing.store(0, AtomicOrdering::Relaxed);
+        self.counting.store(0, AtomicOrdering::Relaxed);
+        self.ordered.store(0, AtomicOrdering::Relaxed);
+    }
+}
 
 /// Controls which mutations the store accepts. The PG-Trigger engine uses
 /// this to enforce the paper's `BEFORE`-trigger restriction (§4.2: "BEFORE
@@ -66,6 +105,8 @@ pub struct Graph {
     next_rel: u64,
     tx: Option<TxState>,
     policy: WritePolicy,
+    /// Debug counters over index probes (see [`IndexProbes`]).
+    probes: ProbeCounters,
 }
 
 impl Graph {
@@ -742,6 +783,20 @@ impl Graph {
     pub fn rel_indexes(&self) -> Vec<(String, String)> {
         self.rel_prop_index.definitions()
     }
+
+    // ------------------------------------------------------------------
+    // Probe observability (debug counters)
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the index-probe counters since the last reset.
+    pub fn index_probes(&self) -> IndexProbes {
+        self.probes.snapshot()
+    }
+
+    /// Reset the index-probe counters to zero.
+    pub fn reset_index_probes(&self) {
+        self.probes.reset()
+    }
 }
 
 impl GraphView for Graph {
@@ -840,6 +895,9 @@ impl GraphView for Graph {
     }
 
     fn nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        self.probes
+            .materializing
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.prop_index.lookup(label, key, value)
     }
 
@@ -850,14 +908,23 @@ impl GraphView for Graph {
         lower: Bound<&Value>,
         upper: Bound<&Value>,
     ) -> Option<Vec<NodeId>> {
+        self.probes
+            .materializing
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.prop_index.range_lookup(label, key, lower, upper)
     }
 
     fn nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<Vec<NodeId>> {
+        self.probes
+            .materializing
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.prop_index.prefix_lookup(label, key, prefix)
     }
 
     fn rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<Vec<RelId>> {
+        self.probes
+            .materializing
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.rel_prop_index.lookup(rel_type, key, value)
     }
 
@@ -868,8 +935,78 @@ impl GraphView for Graph {
         lower: Bound<&Value>,
         upper: Bound<&Value>,
     ) -> Option<Vec<RelId>> {
+        self.probes
+            .materializing
+            .fetch_add(1, AtomicOrdering::Relaxed);
         self.rel_prop_index
             .range_lookup(rel_type, key, lower, upper)
+    }
+
+    fn count_nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<usize> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.prop_index.count_eq(label, key, value)
+    }
+
+    fn count_nodes_in_prop_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.prop_index.count_range(label, key, lower, upper)
+    }
+
+    fn count_nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<usize> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.prop_index.count_prefix(label, key, prefix)
+    }
+
+    fn count_rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<usize> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.rel_prop_index.count_eq(rel_type, key, value)
+    }
+
+    fn count_rels_in_prop_range(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.rel_prop_index.count_range(rel_type, key, lower, upper)
+    }
+
+    fn node_prop_stats(&self, label: &str, key: &str) -> Option<(usize, usize)> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.prop_index.stats(label, key)
+    }
+
+    fn rel_prop_stats(&self, rel_type: &str, key: &str) -> Option<(usize, usize)> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.rel_prop_index.stats(rel_type, key)
+    }
+
+    fn nodes_in_prop_order(
+        &self,
+        label: &str,
+        key: &str,
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
+        self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
+        self.prop_index.ordered_walk(label, key, descending)
+    }
+
+    fn rels_in_prop_order(
+        &self,
+        rel_type: &str,
+        key: &str,
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
+        self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
+        self.rel_prop_index.ordered_walk(rel_type, key, descending)
     }
 
     fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
@@ -892,6 +1029,10 @@ impl GraphView for Graph {
 
     fn node_count_estimate(&self) -> usize {
         self.nodes.len()
+    }
+
+    fn rel_count_estimate(&self) -> usize {
+        self.rels.len()
     }
 }
 

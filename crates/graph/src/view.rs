@@ -112,6 +112,125 @@ pub trait GraphView {
     fn node_count_estimate(&self) -> usize {
         self.all_node_ids().len()
     }
+
+    /// Total relationship count (planning estimate, symmetric with
+    /// [`GraphView::node_count_estimate`]).
+    fn rel_count_estimate(&self) -> usize {
+        self.all_rel_ids().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Count-only probes (planner v3): answer "how many would the index
+    // return" without materializing the id vector. Defaults delegate to
+    // the materializing lookups so every view stays correct; the live
+    // graph overrides them with O(log n) / histogram answers.
+    // ------------------------------------------------------------------
+
+    /// Count of [`GraphView::nodes_with_prop`] results — exact when
+    /// answered; `None` = the index cannot answer, fall back to a scan.
+    fn count_nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<usize> {
+        self.nodes_with_prop(label, key, value).map(|ids| ids.len())
+    }
+
+    /// Count **estimate** of [`GraphView::nodes_in_prop_range`] results
+    /// (histogram-based on the live graph; planning only — do not use for
+    /// correctness).
+    fn count_nodes_in_prop_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        self.nodes_in_prop_range(label, key, lower, upper)
+            .map(|ids| ids.len())
+    }
+
+    /// Count of [`GraphView::nodes_with_prop_prefix`] results.
+    fn count_nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<usize> {
+        self.nodes_with_prop_prefix(label, key, prefix)
+            .map(|ids| ids.len())
+    }
+
+    /// Count of [`GraphView::rels_with_prop`] results.
+    fn count_rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<usize> {
+        self.rels_with_prop(rel_type, key, value)
+            .map(|ids| ids.len())
+    }
+
+    /// Count **estimate** of [`GraphView::rels_in_prop_range`] results.
+    fn count_rels_in_prop_range(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        self.rels_in_prop_range(rel_type, key, lower, upper)
+            .map(|ids| ids.len())
+    }
+
+    /// `(total keyable entries, distinct values)` for an indexed
+    /// `(label, key)` — the planner derives `total / distinct` as the
+    /// average equality selectivity when the operand is not evaluable yet
+    /// (e.g. it references a variable bound by an earlier join path).
+    /// `None` = no statistics (not indexed, or an overlay view).
+    fn node_prop_stats(&self, _label: &str, _key: &str) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// `(total, distinct)` statistics for an indexed `(rel_type, key)`.
+    fn rel_prop_stats(&self, _rel_type: &str, _key: &str) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Walk nodes of `label` in `ORDER BY node.key` order (ascending
+    /// [`Value::cmp_order`], or reversed). `Some` only when an index on
+    /// `(label, key)` exists and covers every currently stored value (no
+    /// lossy numerics / NaN / lists / maps present), so the walk is a
+    /// complete ordering of all nodes that *have* the property; nodes
+    /// without it (whose key is `NULL`, ordering last) are not walked —
+    /// compare [`GraphView::node_prop_stats`] totals against
+    /// [`GraphView::label_cardinality`] to account for them. Default:
+    /// `None` (overlay/pre-state views fall back to sorting).
+    fn nodes_in_prop_order(
+        &self,
+        _label: &str,
+        _key: &str,
+        _descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
+        None
+    }
+
+    /// Walk relationships of `rel_type` in `ORDER BY rel.key` order; same
+    /// contract as [`GraphView::nodes_in_prop_order`].
+    fn rels_in_prop_order(
+        &self,
+        _rel_type: &str,
+        _key: &str,
+        _descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
+        None
+    }
+}
+
+/// Whether `v` satisfies `lower ⋚ v ⋚ upper` under [`Value::cmp3`]
+/// semantics (cross-family comparisons are NULL, hence never match). Used
+/// by overlay views to correct base-graph range counts for touched items.
+pub(crate) fn value_in_range(v: &Value, lower: Bound<&Value>, upper: Bound<&Value>) -> bool {
+    use std::cmp::Ordering;
+    let lo_ok = match lower {
+        Bound::Unbounded => true,
+        Bound::Included(l) => matches!(v.cmp3(l), Some(Ordering::Greater | Ordering::Equal)),
+        Bound::Excluded(l) => matches!(v.cmp3(l), Some(Ordering::Greater)),
+    };
+    let hi_ok = match upper {
+        Bound::Unbounded => true,
+        Bound::Included(h) => matches!(v.cmp3(h), Some(Ordering::Less | Ordering::Equal)),
+        Bound::Excluded(h) => matches!(v.cmp3(h), Some(Ordering::Less)),
+    };
+    // a both-unbounded probe is not a range predicate; mirrors range_lookup
+    lo_ok && hi_ok && !(matches!(lower, Bound::Unbounded) && matches!(upper, Bound::Unbounded))
 }
 
 /// The state of the graph **before** a slice of operations was applied.
@@ -372,6 +491,263 @@ impl GraphView for PreStateView<'_> {
         n
     }
 
+    fn rel_count_estimate(&self) -> usize {
+        // O(touched) correction of the base count (planning hot path).
+        let mut n = self.base.rel_count_estimate();
+        for (id, overlay) in &self.rels {
+            match (self.base.rel_exists(*id), overlay.is_some()) {
+                (true, false) => n -= 1,
+                (false, true) => n += 1,
+                _ => {}
+            }
+        }
+        n
+    }
+
+    // Index-backed lookups and count-only probes: answer from the base
+    // index corrected by the touched overlay, in O(base answer + touched)
+    // — pre-state trigger conditions get the same access paths the live
+    // graph has, and the planner's count estimates always agree with what
+    // execution can materialize. When the base index refuses (`None`), so
+    // does the pre-state (both sides fall back to a scan together).
+
+    fn nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        let matches = |rec: Option<&NodeRecord>| -> bool {
+            rec.is_some_and(|r| {
+                r.has_label(label) && r.props.get(key).is_some_and(|w| w.eq3(value) == Some(true))
+            })
+        };
+        let mut ids: Vec<NodeId> = self
+            .base
+            .nodes_with_prop(label, key, value)?
+            .into_iter()
+            .filter(|id| !self.nodes.contains_key(id))
+            .collect();
+        for (id, overlay) in &self.nodes {
+            if matches(overlay.as_ref()) {
+                ids.push(*id);
+            }
+        }
+        ids.sort();
+        ids.dedup();
+        Some(ids)
+    }
+
+    fn nodes_in_prop_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<NodeId>> {
+        let matches = |rec: Option<&NodeRecord>| -> bool {
+            rec.is_some_and(|r| {
+                r.has_label(label)
+                    && r.props
+                        .get(key)
+                        .is_some_and(|w| value_in_range(w, lower, upper))
+            })
+        };
+        let mut ids: Vec<NodeId> = self
+            .base
+            .nodes_in_prop_range(label, key, lower, upper)?
+            .into_iter()
+            .filter(|id| !self.nodes.contains_key(id))
+            .collect();
+        for (id, overlay) in &self.nodes {
+            if matches(overlay.as_ref()) {
+                ids.push(*id);
+            }
+        }
+        ids.sort();
+        ids.dedup();
+        Some(ids)
+    }
+
+    fn nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<Vec<NodeId>> {
+        let matches = |rec: Option<&NodeRecord>| -> bool {
+            rec.is_some_and(|r| {
+                r.has_label(label)
+                    && r.props
+                        .get(key)
+                        .is_some_and(|w| matches!(w, Value::Str(s) if s.starts_with(prefix)))
+            })
+        };
+        let mut ids: Vec<NodeId> = self
+            .base
+            .nodes_with_prop_prefix(label, key, prefix)?
+            .into_iter()
+            .filter(|id| !self.nodes.contains_key(id))
+            .collect();
+        for (id, overlay) in &self.nodes {
+            if matches(overlay.as_ref()) {
+                ids.push(*id);
+            }
+        }
+        ids.sort();
+        ids.dedup();
+        Some(ids)
+    }
+
+    fn rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<Vec<RelId>> {
+        let matches = |rec: Option<&RelRecord>| -> bool {
+            rec.is_some_and(|r| {
+                r.rel_type == rel_type
+                    && r.props.get(key).is_some_and(|w| w.eq3(value) == Some(true))
+            })
+        };
+        let mut ids: Vec<RelId> = self
+            .base
+            .rels_with_prop(rel_type, key, value)?
+            .into_iter()
+            .filter(|id| !self.rels.contains_key(id))
+            .collect();
+        for (id, overlay) in &self.rels {
+            if matches(overlay.as_ref()) {
+                ids.push(*id);
+            }
+        }
+        ids.sort();
+        ids.dedup();
+        Some(ids)
+    }
+
+    fn rels_in_prop_range(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<RelId>> {
+        let matches = |rec: Option<&RelRecord>| -> bool {
+            rec.is_some_and(|r| {
+                r.rel_type == rel_type
+                    && r.props
+                        .get(key)
+                        .is_some_and(|w| value_in_range(w, lower, upper))
+            })
+        };
+        let mut ids: Vec<RelId> = self
+            .base
+            .rels_in_prop_range(rel_type, key, lower, upper)?
+            .into_iter()
+            .filter(|id| !self.rels.contains_key(id))
+            .collect();
+        for (id, overlay) in &self.rels {
+            if matches(overlay.as_ref()) {
+                ids.push(*id);
+            }
+        }
+        ids.sort();
+        ids.dedup();
+        Some(ids)
+    }
+
+    fn count_nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<usize> {
+        let mut n = self.base.count_nodes_with_prop(label, key, value)? as isize;
+        for (id, overlay) in &self.nodes {
+            let matches = |rec: Option<&NodeRecord>| -> bool {
+                rec.is_some_and(|r| {
+                    r.has_label(label)
+                        && r.props.get(key).is_some_and(|w| w.eq3(value) == Some(true))
+                })
+            };
+            let base_m = matches(self.base.node(*id));
+            let pre_m = matches(overlay.as_ref());
+            n += pre_m as isize - base_m as isize;
+        }
+        Some(n.max(0) as usize)
+    }
+
+    fn count_nodes_in_prop_range(
+        &self,
+        label: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        // The base answers with an estimate; the overlay correction is
+        // exact per touched item, so the result stays an estimate with the
+        // same error bound.
+        let mut n = self
+            .base
+            .count_nodes_in_prop_range(label, key, lower, upper)? as isize;
+        for (id, overlay) in &self.nodes {
+            let matches = |rec: Option<&NodeRecord>| -> bool {
+                rec.is_some_and(|r| {
+                    r.has_label(label)
+                        && r.props
+                            .get(key)
+                            .is_some_and(|w| value_in_range(w, lower, upper))
+                })
+            };
+            let base_m = matches(self.base.node(*id));
+            let pre_m = matches(overlay.as_ref());
+            n += pre_m as isize - base_m as isize;
+        }
+        Some(n.max(0) as usize)
+    }
+
+    fn count_nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<usize> {
+        let mut n = self.base.count_nodes_with_prop_prefix(label, key, prefix)? as isize;
+        for (id, overlay) in &self.nodes {
+            let matches = |rec: Option<&NodeRecord>| -> bool {
+                rec.is_some_and(|r| {
+                    r.has_label(label)
+                        && r.props
+                            .get(key)
+                            .is_some_and(|w| matches!(w, Value::Str(s) if s.starts_with(prefix)))
+                })
+            };
+            let base_m = matches(self.base.node(*id));
+            let pre_m = matches(overlay.as_ref());
+            n += pre_m as isize - base_m as isize;
+        }
+        Some(n.max(0) as usize)
+    }
+
+    fn count_rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<usize> {
+        let mut n = self.base.count_rels_with_prop(rel_type, key, value)? as isize;
+        for (id, overlay) in &self.rels {
+            let matches = |rec: Option<&RelRecord>| -> bool {
+                rec.is_some_and(|r| {
+                    r.rel_type == rel_type
+                        && r.props.get(key).is_some_and(|w| w.eq3(value) == Some(true))
+                })
+            };
+            let base_m = matches(self.base.rel(*id));
+            let pre_m = matches(overlay.as_ref());
+            n += pre_m as isize - base_m as isize;
+        }
+        Some(n.max(0) as usize)
+    }
+
+    fn count_rels_in_prop_range(
+        &self,
+        rel_type: &str,
+        key: &str,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<usize> {
+        let mut n = self
+            .base
+            .count_rels_in_prop_range(rel_type, key, lower, upper)? as isize;
+        for (id, overlay) in &self.rels {
+            let matches = |rec: Option<&RelRecord>| -> bool {
+                rec.is_some_and(|r| {
+                    r.rel_type == rel_type
+                        && r.props
+                            .get(key)
+                            .is_some_and(|w| value_in_range(w, lower, upper))
+                })
+            };
+            let base_m = matches(self.base.rel(*id));
+            let pre_m = matches(overlay.as_ref());
+            n += pre_m as isize - base_m as isize;
+        }
+        Some(n.max(0) as usize)
+    }
+
     fn all_node_ids(&self) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self
             .base
@@ -567,6 +943,89 @@ mod tests {
         assert_eq!(pre.label_cardinality("A"), 2);
         assert_eq!(pre.label_cardinality("B"), 0);
         let _ = n;
+    }
+
+    #[test]
+    fn count_probes_correct_for_overlays() {
+        let (g, ops, kept) = run(
+            |g| {
+                let mut last = NodeId(0);
+                for i in 0..5 {
+                    last = g
+                        .create_node(["P"], props(&[("v", Value::Int(i))]))
+                        .unwrap();
+                }
+                g.create_index("P", "v");
+                last
+            },
+            |g, kept| {
+                // statement: delete v=4, add v=1 (duplicate), retag one
+                g.detach_delete_node(*kept).unwrap();
+                g.create_node(["P"], props(&[("v", Value::Int(1))]))
+                    .unwrap();
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        // pre-state: v ∈ {0,1,2,3,4}, one node each
+        assert_eq!(pre.count_nodes_with_prop("P", "v", &Value::Int(4)), Some(1));
+        assert_eq!(pre.count_nodes_with_prop("P", "v", &Value::Int(1)), Some(1));
+        let in_range = pre
+            .count_nodes_in_prop_range("P", "v", Bound::Included(&Value::Int(0)), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(in_range, 5);
+        assert_eq!(pre.rel_count_estimate(), 0);
+        let _ = kept;
+    }
+
+    #[test]
+    fn index_lookups_correct_for_overlays() {
+        // Planning estimates (counts) and execution access paths
+        // (materializing lookups) must agree on a pre-state view: both
+        // answer from the base index corrected by the overlay.
+        let (g, ops, deleted) = run(
+            |g| {
+                let mut last = NodeId(0);
+                for i in 0..6 {
+                    last = g
+                        .create_node(["P"], props(&[("v", Value::Int(i))]))
+                        .unwrap();
+                }
+                g.create_index("P", "v");
+                last
+            },
+            |g, deleted| {
+                g.detach_delete_node(*deleted).unwrap(); // v=5 restored in pre
+                g.create_node(["P"], props(&[("v", Value::Int(2))]))
+                    .unwrap(); // absent in pre
+            },
+        );
+        let pre = PreStateView::new(&g, &ops);
+        assert_eq!(
+            pre.nodes_with_prop("P", "v", &Value::Int(5)),
+            Some(vec![deleted])
+        );
+        assert_eq!(
+            pre.nodes_with_prop("P", "v", &Value::Int(2))
+                .map(|v| v.len()),
+            Some(1)
+        );
+        let in_range = pre
+            .nodes_in_prop_range("P", "v", Bound::Included(&Value::Int(3)), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(in_range.len(), 3); // v ∈ {3, 4, 5}
+                                       // counts agree with materialization
+        assert_eq!(
+            pre.count_nodes_in_prop_range(
+                "P",
+                "v",
+                Bound::Included(&Value::Int(3)),
+                Bound::Unbounded
+            ),
+            Some(3)
+        );
+        // unindexed key: both sides refuse together
+        assert_eq!(pre.nodes_with_prop("P", "w", &Value::Int(1)), None);
+        assert_eq!(pre.count_nodes_with_prop("P", "w", &Value::Int(1)), None);
     }
 
     #[test]
