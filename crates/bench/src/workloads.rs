@@ -38,6 +38,34 @@ pub fn session_with_named_items(n: usize) -> Session {
     s
 }
 
+/// A session preloaded with `n` `Item` nodes carrying an independent
+/// `(status, severity)` pair: `status` cycles through `statuses` string
+/// values, `severity` through `severities` integers, wired so the two
+/// keys are uncorrelated. The conjunctive predicate `status = s AND
+/// severity = v` matches `n / (statuses · severities)` nodes while each
+/// single key alone matches `n / statuses` resp. `n / severities` — the
+/// composite-vs-single-key benchmark shape.
+pub fn session_with_pairs(n: usize, statuses: usize, severities: usize) -> Session {
+    let mut s = Session::new();
+    let g = s.graph_mut();
+    for i in 0..n {
+        let props: pg_graph::PropertyMap = [
+            (
+                "status".to_string(),
+                pg_graph::Value::str(format!("s{}", (i / severities) % statuses)),
+            ),
+            (
+                "severity".to_string(),
+                pg_graph::Value::Int((i % severities) as i64),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        g.create_node(["Item"], props).unwrap();
+    }
+    s
+}
+
 /// Draw Zipf-distributed ranks in `0..m` with exponent `s` (inverse-CDF
 /// sampling over precomputed cumulative weights). Rank 0 is the hottest
 /// value; `s ≈ 1.0` gives the classic heavy head.

@@ -54,6 +54,20 @@ pub enum IndexDdl {
     CreateRel { rel_type: String, key: String },
     /// `DROP INDEX ON -[:TYPE(key)]-`
     DropRel { rel_type: String, key: String },
+    /// `CREATE INDEX ON :Label(k1, k2, …)` (composite / multi-key index)
+    CreateComposite { label: String, columns: Vec<String> },
+    /// `DROP INDEX ON :Label(k1, k2, …)`
+    DropComposite { label: String, columns: Vec<String> },
+    /// `CREATE INDEX ON -[:TYPE(k1, k2, …)]-`
+    CreateRelComposite {
+        rel_type: String,
+        columns: Vec<String>,
+    },
+    /// `DROP INDEX ON -[:TYPE(k1, k2, …)]-`
+    DropRelComposite {
+        rel_type: String,
+        columns: Vec<String>,
+    },
 }
 
 /// Quick check whether a source string looks like index DDL.
@@ -90,7 +104,7 @@ pub fn parse_index_ddl(src: &str) -> Result<IndexDdl, InstallError> {
     }
     p.bump();
 
-    // Relationship form: [-] [ : TYPE ( key ) ] [-]
+    // Relationship form: [-] [ : TYPE ( key (, key)* ) ] [-]
     let leading_dash = p.peek() == &TokenKind::Minus;
     if leading_dash {
         p.bump();
@@ -101,7 +115,7 @@ pub fn parse_index_ddl(src: &str) -> Result<IndexDdl, InstallError> {
             p.bump();
         }
         let rel_type = p.expect_name()?;
-        let key = p.paren_key()?;
+        let mut keys = p.paren_keys()?;
         if p.peek() != &TokenKind::RBracket {
             return Err(p.err("expected ']' after the relationship key"));
         }
@@ -110,27 +124,53 @@ pub fn parse_index_ddl(src: &str) -> Result<IndexDdl, InstallError> {
             p.bump();
         }
         p.expect_end("index DDL")?;
-        return Ok(if create {
-            IndexDdl::CreateRel { rel_type, key }
-        } else {
-            IndexDdl::DropRel { rel_type, key }
+        return Ok(match (create, keys.len()) {
+            (true, 1) => IndexDdl::CreateRel {
+                rel_type,
+                key: keys.remove(0),
+            },
+            (false, 1) => IndexDdl::DropRel {
+                rel_type,
+                key: keys.remove(0),
+            },
+            (true, _) => IndexDdl::CreateRelComposite {
+                rel_type,
+                columns: keys,
+            },
+            (false, _) => IndexDdl::DropRelComposite {
+                rel_type,
+                columns: keys,
+            },
         });
     }
     if leading_dash {
         return Err(p.err("expected '[' after '-' in relationship index DDL"));
     }
 
-    // Node form: [:] Label ( key )
+    // Node form: [:] Label ( key (, key)* )
     if p.peek() == &TokenKind::Colon {
         p.bump();
     }
     let label = p.expect_name()?;
-    let key = p.paren_key()?;
+    let mut keys = p.paren_keys()?;
     p.expect_end("index DDL")?;
-    Ok(if create {
-        IndexDdl::Create { label, key }
-    } else {
-        IndexDdl::Drop { label, key }
+    Ok(match (create, keys.len()) {
+        (true, 1) => IndexDdl::Create {
+            label,
+            key: keys.remove(0),
+        },
+        (false, 1) => IndexDdl::Drop {
+            label,
+            key: keys.remove(0),
+        },
+        (true, _) => IndexDdl::CreateComposite {
+            label,
+            columns: keys,
+        },
+        (false, _) => IndexDdl::DropComposite {
+            label,
+            columns: keys,
+        },
     })
 }
 
@@ -196,18 +236,23 @@ impl<'a> DdlParser<'a> {
         }
     }
 
-    /// `( key )` — the parenthesized property key of index DDL.
-    fn paren_key(&mut self) -> Result<String, InstallError> {
+    /// `( key (, key)* )` — the parenthesized property key list of index
+    /// DDL: one key for single-key indexes, several for composite ones.
+    fn paren_keys(&mut self) -> Result<Vec<String>, InstallError> {
         if self.peek() != &TokenKind::LParen {
             return Err(self.err("expected '(' after the label"));
         }
         self.bump();
-        let key = self.expect_name()?;
+        let mut keys = vec![self.expect_name()?];
+        while self.peek() == &TokenKind::Comma {
+            self.bump();
+            keys.push(self.expect_name()?);
+        }
         if self.peek() != &TokenKind::RParen {
-            return Err(self.err("expected ')' after the property key"));
+            return Err(self.err("expected ')' after the property key list"));
         }
         self.bump();
-        Ok(key)
+        Ok(keys)
     }
 
     /// Require end of input (optionally a trailing semicolon).
@@ -712,6 +757,41 @@ mod tests {
         assert!(parse_index_ddl("CREATE INDEX ON :L").is_err());
         assert!(parse_index_ddl("CREATE INDEX :L(x)").is_err());
         assert!(parse_index_ddl("CREATE INDEX ON :L(x) extra").is_err());
+    }
+
+    #[test]
+    fn parse_composite_index_ddl_shapes() {
+        let cols = |cs: &[&str]| cs.iter().map(|c| c.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_index_ddl("CREATE INDEX ON :Patient(status, severity)").unwrap(),
+            IndexDdl::CreateComposite {
+                label: "Patient".into(),
+                columns: cols(&["status", "severity"]),
+            }
+        );
+        assert_eq!(
+            parse_index_ddl("DROP INDEX ON 'Patient'(status, severity);").unwrap(),
+            IndexDdl::DropComposite {
+                label: "Patient".into(),
+                columns: cols(&["status", "severity"]),
+            }
+        );
+        assert_eq!(
+            parse_index_ddl("CREATE INDEX ON -[:ConnectedTo(kind, distance)]-").unwrap(),
+            IndexDdl::CreateRelComposite {
+                rel_type: "ConnectedTo".into(),
+                columns: cols(&["kind", "distance"]),
+            }
+        );
+        assert_eq!(
+            parse_index_ddl("DROP INDEX ON [:ConnectedTo(kind, distance)]").unwrap(),
+            IndexDdl::DropRelComposite {
+                rel_type: "ConnectedTo".into(),
+                columns: cols(&["kind", "distance"]),
+            }
+        );
+        assert!(parse_index_ddl("CREATE INDEX ON :L(x,)").is_err());
+        assert!(parse_index_ddl("CREATE INDEX ON :L(x, y").is_err());
     }
 
     #[test]

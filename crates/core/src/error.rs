@@ -40,6 +40,21 @@ pub enum InstallError {
     DuplicateRelIndex { rel_type: String, key: String },
     /// `DROP INDEX` on a `(rel_type, key)` that is not indexed.
     UnknownRelIndex { rel_type: String, key: String },
+    /// `CREATE INDEX` on an existing (or malformed — repeated columns)
+    /// composite `(label, columns)` definition.
+    DuplicateCompositeIndex { label: String, columns: Vec<String> },
+    /// `DROP INDEX` on a composite `(label, columns)` that is not indexed.
+    UnknownCompositeIndex { label: String, columns: Vec<String> },
+    /// `CREATE INDEX` on an existing composite `(rel_type, columns)`.
+    DuplicateRelCompositeIndex {
+        rel_type: String,
+        columns: Vec<String>,
+    },
+    /// `DROP INDEX` on a composite `(rel_type, columns)` not indexed.
+    UnknownRelCompositeIndex {
+        rel_type: String,
+        columns: Vec<String>,
+    },
 }
 
 impl fmt::Display for InstallError {
@@ -73,6 +88,30 @@ impl fmt::Display for InstallError {
             }
             InstallError::UnknownRelIndex { rel_type, key } => {
                 write!(f, "no index on -[:{rel_type}({key})]-")
+            }
+            InstallError::DuplicateCompositeIndex { label, columns } => {
+                write!(
+                    f,
+                    "composite index on :{label}({}) already exists or is malformed",
+                    columns.join(", ")
+                )
+            }
+            InstallError::UnknownCompositeIndex { label, columns } => {
+                write!(f, "no composite index on :{label}({})", columns.join(", "))
+            }
+            InstallError::DuplicateRelCompositeIndex { rel_type, columns } => {
+                write!(
+                    f,
+                    "composite index on -[:{rel_type}({})]- already exists or is malformed",
+                    columns.join(", ")
+                )
+            }
+            InstallError::UnknownRelCompositeIndex { rel_type, columns } => {
+                write!(
+                    f,
+                    "no composite index on -[:{rel_type}({})]-",
+                    columns.join(", ")
+                )
             }
         }
     }

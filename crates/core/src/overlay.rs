@@ -9,7 +9,9 @@
 //! where table scans do not see the incoming row but the `NEW` record
 //! variable does.
 
-use pg_graph::{Direction, Graph, GraphView, NodeId, PreStateView, RelId, Value};
+use pg_graph::{
+    CompositeTrailing, Direction, Graph, GraphView, NodeId, PreStateView, RelId, Value,
+};
 use std::collections::BTreeSet;
 use std::ops::Bound;
 
@@ -234,6 +236,57 @@ impl GraphView for NewStateOverlay<'_> {
     ) -> Option<usize> {
         self.pre
             .count_rels_in_prop_range(rel_type, key, lower, upper)
+    }
+
+    fn node_composite_defs(&self, label: &str) -> Vec<Vec<String>> {
+        self.pre.node_composite_defs(label)
+    }
+
+    fn rel_composite_defs(&self, rel_type: &str) -> Vec<Vec<String>> {
+        self.pre.rel_composite_defs(rel_type)
+    }
+
+    fn nodes_with_composite(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<NodeId>> {
+        self.pre.nodes_with_composite(label, columns, eq, trailing)
+    }
+
+    fn count_nodes_with_composite(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        self.pre
+            .count_nodes_with_composite(label, columns, eq, trailing)
+    }
+
+    fn rels_with_composite(
+        &self,
+        rel_type: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<RelId>> {
+        self.pre
+            .rels_with_composite(rel_type, columns, eq, trailing)
+    }
+
+    fn count_rels_with_composite(
+        &self,
+        rel_type: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        self.pre
+            .count_rels_with_composite(rel_type, columns, eq, trailing)
     }
 }
 

@@ -89,10 +89,38 @@ pub enum ExecResult {
     Query(QueryOutput),
     TriggerCreated(String),
     TriggerDropped(String),
-    IndexCreated { label: String, key: String },
-    IndexDropped { label: String, key: String },
-    RelIndexCreated { rel_type: String, key: String },
-    RelIndexDropped { rel_type: String, key: String },
+    IndexCreated {
+        label: String,
+        key: String,
+    },
+    IndexDropped {
+        label: String,
+        key: String,
+    },
+    RelIndexCreated {
+        rel_type: String,
+        key: String,
+    },
+    RelIndexDropped {
+        rel_type: String,
+        key: String,
+    },
+    CompositeIndexCreated {
+        label: String,
+        columns: Vec<String>,
+    },
+    CompositeIndexDropped {
+        label: String,
+        columns: Vec<String>,
+    },
+    RelCompositeIndexCreated {
+        rel_type: String,
+        columns: Vec<String>,
+    },
+    RelCompositeIndexDropped {
+        rel_type: String,
+        columns: Vec<String>,
+    },
 }
 
 /// An active-graph session: graph + trigger catalog + engine.
@@ -146,6 +174,12 @@ impl Session {
         }
         for (rel_type, key) in graph_type.indexed_rel_props() {
             self.graph.create_rel_index(&rel_type, &key);
+        }
+        for (label, columns) in graph_type.composite_indexed_props() {
+            self.graph.create_composite_index(&label, &columns);
+        }
+        for (rel_type, columns) in graph_type.composite_indexed_rel_props() {
+            self.graph.create_rel_composite_index(&rel_type, &columns);
         }
         self.schema = Some(SchemaGuard::new(graph_type));
     }
@@ -271,6 +305,22 @@ impl Session {
                     self.drop_rel_index(&rel_type, &key)?;
                     Ok(ExecResult::RelIndexDropped { rel_type, key })
                 }
+                IndexDdl::CreateComposite { label, columns } => {
+                    self.create_composite_index(&label, &columns)?;
+                    Ok(ExecResult::CompositeIndexCreated { label, columns })
+                }
+                IndexDdl::DropComposite { label, columns } => {
+                    self.drop_composite_index(&label, &columns)?;
+                    Ok(ExecResult::CompositeIndexDropped { label, columns })
+                }
+                IndexDdl::CreateRelComposite { rel_type, columns } => {
+                    self.create_rel_composite_index(&rel_type, &columns)?;
+                    Ok(ExecResult::RelCompositeIndexCreated { rel_type, columns })
+                }
+                IndexDdl::DropRelComposite { rel_type, columns } => {
+                    self.drop_rel_composite_index(&rel_type, &columns)?;
+                    Ok(ExecResult::RelCompositeIndexDropped { rel_type, columns })
+                }
             }
         } else {
             self.run(src).map(ExecResult::Query)
@@ -338,6 +388,88 @@ impl Session {
     /// All `(rel_type, key)` relationship-index definitions, sorted.
     pub fn rel_indexes(&self) -> Vec<(String, String)> {
         self.graph.rel_indexes()
+    }
+
+    /// Create a composite index on `(label, columns)`, populated from the
+    /// current extent and maintained through every subsequent mutation
+    /// (including statement rollback and aborted trigger cascades).
+    pub fn create_composite_index(
+        &mut self,
+        label: &str,
+        columns: &[String],
+    ) -> Result<(), TriggerError> {
+        if self.graph.create_composite_index(label, columns) {
+            Ok(())
+        } else {
+            Err(TriggerError::Install(
+                InstallError::DuplicateCompositeIndex {
+                    label: label.to_string(),
+                    columns: columns.to_vec(),
+                },
+            ))
+        }
+    }
+
+    /// Drop the composite index on `(label, columns)`.
+    pub fn drop_composite_index(
+        &mut self,
+        label: &str,
+        columns: &[String],
+    ) -> Result<(), TriggerError> {
+        if self.graph.drop_composite_index(label, columns) {
+            Ok(())
+        } else {
+            Err(TriggerError::Install(InstallError::UnknownCompositeIndex {
+                label: label.to_string(),
+                columns: columns.to_vec(),
+            }))
+        }
+    }
+
+    /// All `(label, columns)` composite-index definitions, sorted.
+    pub fn composite_indexes(&self) -> Vec<(String, Vec<String>)> {
+        self.graph.composite_indexes()
+    }
+
+    /// Create a composite relationship index on `(rel_type, columns)`.
+    pub fn create_rel_composite_index(
+        &mut self,
+        rel_type: &str,
+        columns: &[String],
+    ) -> Result<(), TriggerError> {
+        if self.graph.create_rel_composite_index(rel_type, columns) {
+            Ok(())
+        } else {
+            Err(TriggerError::Install(
+                InstallError::DuplicateRelCompositeIndex {
+                    rel_type: rel_type.to_string(),
+                    columns: columns.to_vec(),
+                },
+            ))
+        }
+    }
+
+    /// Drop the composite relationship index on `(rel_type, columns)`.
+    pub fn drop_rel_composite_index(
+        &mut self,
+        rel_type: &str,
+        columns: &[String],
+    ) -> Result<(), TriggerError> {
+        if self.graph.drop_rel_composite_index(rel_type, columns) {
+            Ok(())
+        } else {
+            Err(TriggerError::Install(
+                InstallError::UnknownRelCompositeIndex {
+                    rel_type: rel_type.to_string(),
+                    columns: columns.to_vec(),
+                },
+            ))
+        }
+    }
+
+    /// All `(rel_type, columns)` composite relationship-index definitions.
+    pub fn rel_composite_indexes(&self) -> Vec<(String, Vec<String>)> {
+        self.graph.rel_composite_indexes()
     }
 
     /// Run one query as a statement (auto-commit unless inside an explicit

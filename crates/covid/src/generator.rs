@@ -281,15 +281,25 @@ pub fn generate(graph: &mut Graph, cfg: &GeneratorConfig) -> CovidDataset {
         ds.sequences.push(id);
     }
 
-    // Patients, some with samples.
+    // Patients, some with samples. `status`/`severity` back the paper's
+    // §6 conjunction shape (`{status: 'icu'} WHERE severity >= t`) served
+    // by the composite (Patient, [status, severity]) index.
     const COMORBIDITIES: [&str; 5] = ["diabetes", "hypertension", "asthma", "obesity", "copd"];
+    const STATUSES: [&str; 3] = ["home", "ward", "icu"];
     for i in 0..cfg.patients {
         let sex = if rng.gen_bool(0.5) { "F" } else { "M" };
+        let status = STATUSES[match rng.gen_range(0..10) {
+            0 => 2,     // 10% icu
+            1..=3 => 1, // 30% ward
+            _ => 0,     // 60% home
+        }];
         let mut entries = vec![
             ("ssn", Value::str(format!("SSN{i:08}"))),
             ("name", Value::str(format!("Patient {i}"))),
             ("sex", Value::str(sex)),
             ("vaccinated", Value::Int(rng.gen_range(0..4))),
+            ("status", Value::str(status)),
+            ("severity", Value::Int(rng.gen_range(0..100))),
         ];
         if rng.gen_bool(0.3) {
             let c = COMORBIDITIES[rng.gen_range(0..COMORBIDITIES.len())];
@@ -304,6 +314,11 @@ pub fn generate(graph: &mut Graph, cfg: &GeneratorConfig) -> CovidDataset {
         }
         ds.patients.push(id);
     }
+
+    // Bulk loads bypass the histogram's amortized rebuild cadence; start
+    // planning from fresh, zero-drift statistics for any index that
+    // existed through the load (e.g. schema-declared indexes).
+    graph.rebuild_stats();
 
     ds
 }
@@ -372,6 +387,41 @@ mod tests {
         generate(&mut g3, &cfg2);
         // same cardinalities, very likely different wiring
         assert_eq!(g1.node_count(), g3.node_count());
+    }
+
+    #[test]
+    fn bulk_load_then_rebuild_keeps_drift_bound() {
+        // ROADMAP: "the incremental histogram drifts through bulk loads".
+        // `generate` now ends with `rebuild_stats`, so an index that lived
+        // through the load answers range estimates within the zero-drift
+        // bound 2·depth (instead of 2·depth + total/8).
+        use std::ops::Bound;
+        let mut g = Graph::new();
+        g.create_index("Patient", "severity");
+        let cfg = GeneratorConfig {
+            patients: 2000,
+            ..GeneratorConfig::default()
+        };
+        generate(&mut g, &cfg);
+        let exact = g
+            .nodes_with_label("Patient")
+            .iter()
+            .filter(|&&id| matches!(g.node_prop(id, "severity"), Some(Value::Int(v)) if v < 50))
+            .count();
+        let est = g
+            .count_nodes_in_prop_range(
+                "Patient",
+                "severity",
+                Bound::Unbounded,
+                Bound::Excluded(&Value::Int(50)),
+            )
+            .unwrap();
+        let depth = cfg.patients.div_ceil(32);
+        assert!(
+            est.abs_diff(exact) <= 2 * depth,
+            "estimate {est} vs exact {exact} outside the zero-drift bound {}",
+            2 * depth
+        );
     }
 
     #[test]

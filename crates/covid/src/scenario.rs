@@ -329,6 +329,40 @@ mod tests {
     }
 
     #[test]
+    fn composite_paper_index_serves_severity_conjunction_and_topk() {
+        // The §6 conjunction shape over the generated population: with the
+        // composite (Patient, [status, severity]) paper index the
+        // conjunctive filter and the pinned `ORDER BY severity LIMIT k`
+        // are index-served, and the answers match the unindexed twin
+        // exactly.
+        let conj = "MATCH (p:Patient {status: 'icu'}) WHERE p.severity >= 60 \
+                    RETURN count(*) AS n";
+        let topk = "MATCH (p:Patient {status: 'icu'}) \
+                    WITH p ORDER BY p.severity DESC LIMIT 3 RETURN p.severity AS s";
+        let mut plain = Scenario::new(small_cfg());
+        let mut cfg = small_cfg();
+        cfg.indexed = true;
+        let mut indexed = Scenario::new(cfg);
+        assert!(!indexed.session.composite_indexes().is_empty());
+        let a = plain.session.run(conj).unwrap();
+        indexed.session.graph().reset_index_probes();
+        let b = indexed.session.run(conj).unwrap();
+        assert_eq!(a.rows, b.rows, "conjunction diverged");
+        assert!(
+            indexed.session.graph().index_probes().counting >= 1,
+            "conjunction should be planned through count probes"
+        );
+        let a = plain.session.run(topk).unwrap();
+        indexed.session.graph().reset_index_probes();
+        let b = indexed.session.run(topk).unwrap();
+        assert_eq!(a.rows, b.rows, "pinned top-k diverged");
+        assert!(
+            indexed.session.graph().index_probes().ordered >= 1,
+            "pinned top-k should walk the composite index"
+        );
+    }
+
+    #[test]
     fn icu_threshold_alert_at_51() {
         let mut cfg = small_cfg();
         cfg.generator.icu_beds_per_hospital = 100; // no relocations

@@ -17,7 +17,9 @@ CREATE GRAPH TYPE CovidGraphType STRICT {
   (HospitalType: Hospital {name STRING, icuBeds INT32}),
   (PatientType: Patient {ssn STRING KEY, name STRING, sex STRING,
                          OPTIONAL comorbidity ARRAY[string],
-                         OPTIONAL vaccinated INT32}),
+                         OPTIONAL vaccinated INT32,
+                         OPTIONAL status STRING, OPTIONAL severity INT32,
+                         INDEX(status, severity)}),
   (HospitalizedPatientType: PatientType & HospitalizedPatient
                             {id INT32, prognosis STRING}),
   (IcuPatientType: HospitalizedPatientType & IcuPatient
@@ -62,6 +64,30 @@ mod tests {
         assert!(labels.contains("IcuPatient"));
         // and the keys are inherited from Patient
         assert_eq!(gt.key_props("IcuPatientType"), vec!["ssn"]);
+    }
+
+    #[test]
+    fn patient_declares_the_composite_paper_index() {
+        // §6's conjunction shape `{status: 'ICU'} WHERE severity >= t` is
+        // backed by a composite INDEX(status, severity) declaration that
+        // `set_schema` auto-creates.
+        let gt = covid_graph_type();
+        assert_eq!(
+            gt.composite_indexed_props(),
+            vec![(
+                "Patient".to_string(),
+                vec!["status".to_string(), "severity".to_string()]
+            )]
+        );
+        let mut s = pg_triggers::Session::new();
+        s.set_schema(gt);
+        assert_eq!(
+            s.composite_indexes(),
+            vec![(
+                "Patient".to_string(),
+                vec!["status".to_string(), "severity".to_string()]
+            )]
+        );
     }
 
     #[test]

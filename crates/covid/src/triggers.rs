@@ -186,6 +186,13 @@ pub const PAPER_INDEXES: [(&str, &str); 6] = [
 /// executor serves as an index-backed top-k walk once this index exists.
 pub const PAPER_REL_INDEXES: [(&str, &str); 1] = [("ConnectedTo", "distance")];
 
+/// The `(label, columns)` composite indexes behind §6's *conjunctive*
+/// condition shapes — `(p:Patient {status: 'icu'}) WHERE p.severity >= t`
+/// is one O(log n + k) walk of `(Patient, [status, severity])`, and the
+/// same index serves `{status: 'icu'} … ORDER BY p.severity LIMIT k` as
+/// an equality-prefix-pinned ordered walk.
+pub const PAPER_COMPOSITE_INDEXES: [(&str, &[&str]); 1] = [("Patient", &["status", "severity"])];
+
 /// Create the property indexes backing the §6.2 trigger predicates
 /// (idempotent: already-existing indexes are left alone).
 pub fn install_paper_indexes(session: &mut Session) {
@@ -196,6 +203,12 @@ pub fn install_paper_indexes(session: &mut Session) {
     for (rel_type, key) in PAPER_REL_INDEXES {
         let _ = session.graph_mut().create_rel_index(rel_type, key);
     }
+    for (label, columns) in PAPER_COMPOSITE_INDEXES {
+        let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        let _ = session.graph_mut().create_composite_index(label, &columns);
+    }
+    // indexes created after a bulk load start with fresh statistics
+    session.graph_mut().rebuild_stats();
 }
 
 #[cfg(test)]

@@ -11,32 +11,49 @@
 //!    index is the final tiebreaker, so the result is identical to the
 //!    stable full sort it replaces.
 //! 2. **Index-served top-k.** A non-optional `MATCH` directly followed by
-//!    `WITH`/`RETURN … ORDER BY var.key LIMIT k`, where `var` is a node or
-//!    single-hop relationship variable of the pattern and `(label, key)` /
-//!    `(type, key)` is indexed, is *fused*: candidates are enumerated
-//!    straight from the ordered `IndexKey` space
-//!    ([`GraphView::nodes_in_prop_order`] /
-//!    [`GraphView::rels_in_prop_order`]) and matching stops as soon as
-//!    `SKIP + LIMIT` rows were produced — O(log n + k) for selective
-//!    patterns. Items without the property (`NULL` keys, ordering last)
-//!    are appended from the extent after the walk when ascending.
+//!    `WITH`/`RETURN … ORDER BY var.k1 [, var.k2, …] LIMIT k`, where `var`
+//!    is a node or single-hop relationship variable of the pattern, is
+//!    *fused*: candidates are enumerated straight from an ordered index
+//!    walk and matching stops as soon as `SKIP + LIMIT` rows were
+//!    produced — O(log n + k) for selective patterns. Walk strategies,
+//!    tried in order per binding site:
+//!
+//!    * a **composite walk** over a `(label, [c1, c2, …])` definition that
+//!      contains the order keys as a contiguous run
+//!      ([`GraphView::nodes_in_composite_order`] /
+//!      [`GraphView::rels_in_composite_order`]); columns *before* the run
+//!      are **pinned** to equality conjuncts whose operands evaluate
+//!      without row bindings (the §6.2.3 relocation shape with a status
+//!      filter: `{status: 'ICU'} … ORDER BY severity LIMIT 1`). Composite
+//!      entries key absent properties on an explicit missing marker, so
+//!      these walks cover the whole extent — both directions fuse (NULL
+//!      last ascending, first descending) and no NULL tail is needed;
+//!    * for single-key orders, the plain ordered walk of the `(label,
+//!      key)` index ([`GraphView::nodes_in_prop_order`] /
+//!      [`GraphView::rels_in_prop_order`]); items without the property
+//!      are appended from the extent after the walk when ascending.
 //!
 //!    The fusion *declines* (falls back to the heap path, never changing
 //!    results) when: the projection aggregates, uses `DISTINCT` or a
-//!    post-`WITH WHERE`; the order key is not a plain `var.key` (after
-//!    alias resolution); `var` is already bound in a seed row; a candidate
-//!    label is shadowed by a transition variable; the index does not cover
-//!    every stored value (lossy numerics, NaN, lists); the order is
-//!    descending while property-less items exist (their `NULL` keys would
-//!    have to lead); or `SKIP + LIMIT` exceeds `TOPK_FUSE_MAX`. Ties at
-//!    the cut-off may legitimately resolve differently than the sort path
-//!    — the *multiset of order keys* is always identical.
+//!    post-`WITH WHERE`; an order key is not a plain `var.key` (after
+//!    alias resolution); the order keys span more than one variable or
+//!    mix ascending and descending; `var` is already bound in a seed row;
+//!    a candidate label is shadowed by a transition variable; no index
+//!    covers every stored value (lossy numerics, NaN, lists); a
+//!    *single-key* order is descending while property-less items exist
+//!    (their `NULL` keys would have to lead); a multi-key order has no
+//!    composite definition carrying the keys as a contiguous run behind
+//!    evaluable pins; the walk exhausts its `TOPK_WALK_BUDGET` candidates
+//!    without producing enough rows; or `SKIP + LIMIT` exceeds
+//!    `TOPK_FUSE_MAX`. Ties at the cut-off may legitimately resolve
+//!    differently than the sort path — the *multiset of order keys* is
+//!    always identical.
 
 use crate::ast::*;
 use crate::error::{CypherError, Result};
 use crate::expr::{eval, EvalCtx};
 use crate::functions::{is_aggregate, Accumulator};
-use crate::pattern::{match_patterns, pattern_vars};
+use crate::pattern::{extract_pushdowns, match_patterns, pattern_vars, Pushdowns};
 use crate::row::{Params, QueryOutput, Row};
 use pg_graph::{Direction, Graph, GraphView, NodeId, PropertyMap, RelId, Value};
 use std::cmp::Ordering;
@@ -143,13 +160,17 @@ impl<'o> TopKRows<'o> {
 /// re-match on the trigger hot path.
 const TOPK_WALK_BUDGET: usize = 4096;
 
-/// The projection-side shape of a fusable top-k: `ORDER BY var.key` with
-/// a constant `SKIP + LIMIT` budget.
+/// The projection-side shape of a fusable top-k: `ORDER BY var.k1
+/// [, var.k2, …]` with a constant `SKIP + LIMIT` budget. Every order key
+/// must dereference the *same* pattern variable and share one direction
+/// (a composite walk has a single direction; mixed-direction multi-key
+/// orders decline to the heap path).
 struct TopKSpec {
-    /// The pattern variable the order key dereferences.
+    /// The pattern variable the order keys dereference.
     var: String,
-    /// The property key ordered by.
-    key: String,
+    /// The property keys ordered by, in order. One key → single-key or
+    /// composite walks; several → composite walks only.
+    keys: Vec<String>,
     descending: bool,
     /// Rows to produce before stopping (`SKIP + LIMIT`).
     keep: usize,
@@ -266,7 +287,7 @@ impl<'a> Executor<'a> {
     /// Analyze the projection side of a potential top-k fusion; `None` =
     /// fusion declined (shape, aggregation, or aliasing rules).
     fn plan_topk_projection(&self, proj: &Projection, seeds: &[Row]) -> Result<Option<TopKSpec>> {
-        if proj.order_by.len() != 1
+        if proj.order_by.is_empty()
             || proj.limit.is_none()
             || proj.distinct
             || proj.where_clause.is_some()
@@ -286,34 +307,56 @@ impl<'a> Executor<'a> {
         if keep > TOPK_FUSE_MAX {
             return Ok(None);
         }
-        // Resolve the order key: `ORDER BY alias` is traced back to its
-        // projected expression, which must be a plain `var.key`.
-        let (key_expr, asc) = &proj.order_by[0];
-        let mut via_alias = false;
-        let key_expr = if let Expr::Var(name) = key_expr {
-            match proj.items.iter().find(|it| &it.name() == name) {
-                Some(it) => {
-                    via_alias = true;
-                    &it.expr
-                }
-                None => key_expr,
+        // Resolve every order key: `ORDER BY alias` is traced back to its
+        // projected expression; each must be a plain `var.key` over one
+        // shared `var`, and all directions must agree (a walk has one
+        // direction — mixed multi-key orders decline).
+        let mut var: Option<&String> = None;
+        let mut keys: Vec<String> = Vec::with_capacity(proj.order_by.len());
+        let mut ascending: Option<bool> = None;
+        let mut any_literal = false;
+        for (key_expr, asc) in &proj.order_by {
+            match ascending {
+                None => ascending = Some(*asc),
+                Some(a) if a == *asc => {}
+                Some(_) => return Ok(None),
             }
-        } else {
-            key_expr
-        };
-        let Expr::Prop(base, key) = key_expr else {
-            return Ok(None);
-        };
-        let Expr::Var(var) = base.as_ref() else {
-            return Ok(None);
-        };
+            let mut via_alias = false;
+            let key_expr = if let Expr::Var(name) = key_expr {
+                match proj.items.iter().find(|it| &it.name() == name) {
+                    Some(it) => {
+                        via_alias = true;
+                        &it.expr
+                    }
+                    None => key_expr,
+                }
+            } else {
+                key_expr
+            };
+            let Expr::Prop(base, key) = key_expr else {
+                return Ok(None);
+            };
+            let Expr::Var(v) = base.as_ref() else {
+                return Ok(None);
+            };
+            match var {
+                None => var = Some(v),
+                Some(existing) if existing == v => {}
+                Some(_) => return Ok(None),
+            }
+            if !via_alias {
+                any_literal = true;
+            }
+            keys.push(key.clone());
+        }
+        let var = var.expect("order_by is non-empty");
         // A literal `ORDER BY var.key` is re-evaluated by `project` on the
         // *projected* rows, where the column `var` may have been rebound
         // (`WITH y AS x ORDER BY x.k`): fuse only when the projection
         // carries `var` through as itself. An alias-resolved key is exempt
         // — its column value was computed from the match row regardless of
         // what else the projection binds.
-        if !via_alias {
+        if any_literal {
             let mut identity = proj.star;
             for it in &proj.items {
                 if &it.name() == var {
@@ -334,16 +377,91 @@ impl<'a> Executor<'a> {
         }
         Ok(Some(TopKSpec {
             var: var.clone(),
-            key: key.clone(),
-            descending: !*asc,
+            keys,
+            descending: !ascending.expect("order_by is non-empty"),
             keep,
         }))
+    }
+
+    /// The pinned equality values under which a composite definition
+    /// serves `spec.keys` as an ordered walk: `def` must contain
+    /// `spec.keys` as a contiguous run, and every column *before* the run
+    /// needs an equality conjunct (inline pattern prop or top-level
+    /// `WHERE` conjunct on `spec.var`) whose operand evaluates without row
+    /// bindings (constants/params only — the §6.2.3 relocation shape with
+    /// a status filter). Columns after the run are free: they only refine
+    /// the walk order beyond the requested keys. Returns the evaluated
+    /// pin values (empty when the run starts at the leading column);
+    /// `None` = this definition cannot serve the order.
+    fn composite_pin(
+        &self,
+        ctx: &EvalCtx<'_>,
+        inline_props: &[(String, Expr)],
+        pushed: &Pushdowns,
+        spec: &TopKSpec,
+        def: &[String],
+    ) -> Option<Vec<Value>> {
+        let j = (0..=def.len().checked_sub(spec.keys.len())?)
+            .find(|&j| def[j..j + spec.keys.len()] == spec.keys[..])?;
+        let empty = Row::new();
+        let preds = pushed.get(&spec.var);
+        let mut pins = Vec::with_capacity(j);
+        for col in &def[..j] {
+            let expr = inline_props
+                .iter()
+                .find(|(k, _)| k == col)
+                .map(|(_, e)| e)
+                .or_else(|| {
+                    preds.and_then(|p| p.eqs.iter().find(|(k, _)| k == col).map(|(_, e)| e))
+                })?;
+            pins.push(eval(ctx, &empty, expr).ok()?);
+        }
+        Some(pins)
+    }
+
+    /// Drive one ordered walk: for each walked item, bind `spec.var` and
+    /// re-match the full pattern under every seed, stopping once
+    /// `spec.keep` rows were produced. Returns `false` when the walk
+    /// budget ran dry (the caller declines the fusion).
+    #[allow(clippy::too_many_arguments)] // threads the whole fusion context
+    fn drive_walk(
+        &self,
+        ctx: &EvalCtx<'_>,
+        items: impl Iterator<Item = Value>,
+        patterns: &[PathPattern],
+        where_clause: Option<&Expr>,
+        seeds: &[Row],
+        spec: &TopKSpec,
+        budget: &mut usize,
+        collected: &mut Vec<Row>,
+    ) -> Result<bool> {
+        for item in items {
+            if *budget == 0 {
+                return Ok(false);
+            }
+            *budget -= 1;
+            for seed in seeds {
+                let mut s2 = seed.clone();
+                s2.set(spec.var.clone(), item.clone());
+                collected.extend(match_patterns(ctx, &s2, patterns, where_clause, None)?);
+            }
+            if collected.len() >= spec.keep {
+                break;
+            }
+        }
+        Ok(true)
     }
 
     /// Execute a fused index-served top-k `MATCH`; returns the matched
     /// binding rows (a superset of the final top-k, in order-key order) or
     /// `None` when fusion declined — including when the walk exhausted its
     /// candidate budget — and the caller must run the clauses separately.
+    ///
+    /// Per binding site of `var`, composite walks are tried first
+    /// (optionally pinned to an equality prefix; they cover missing
+    /// values via the explicit marker, so they serve both directions and
+    /// need no NULL tail), then — for single-key orders — the plain
+    /// ordered index walk with its NULL-tail/descending rules.
     fn try_indexed_topk(
         &self,
         patterns: &[PathPattern],
@@ -355,6 +473,7 @@ impl<'a> Executor<'a> {
             return Ok(None);
         };
         let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+        let pushed = extract_pushdowns(where_clause);
         let mut budget = TOPK_WALK_BUDGET;
         let mut collected: Vec<Row> = Vec::new();
         // Try every binding site of `var` in the patterns until one offers
@@ -371,9 +490,40 @@ impl<'a> Executor<'a> {
                     if seeds.iter().any(|r| r.contains(label)) {
                         continue;
                     }
+                    // Composite walks, pinned or plain.
+                    for def in ctx.view.node_composite_defs(label) {
+                        let Some(pins) = self.composite_pin(&ctx, &np.props, &pushed, &spec, &def)
+                        else {
+                            continue;
+                        };
+                        let Some(walk) =
+                            ctx.view
+                                .nodes_in_composite_order(label, &def, &pins, spec.descending)
+                        else {
+                            continue;
+                        };
+                        if !self.drive_walk(
+                            &ctx,
+                            walk.map(Value::Node),
+                            patterns,
+                            where_clause,
+                            seeds,
+                            &spec,
+                            &mut budget,
+                            &mut collected,
+                        )? {
+                            return Ok(None);
+                        }
+                        return Ok(Some(collected));
+                    }
+                    // Single-key ordered walk.
+                    if spec.keys.len() != 1 {
+                        continue;
+                    }
+                    let key = &spec.keys[0];
                     let total = ctx
                         .view
-                        .node_prop_stats(label, &spec.key)
+                        .node_prop_stats(label, key)
                         .map(|(t, _)| t)
                         .unwrap_or(0);
                     let missing = ctx.view.label_cardinality(label).saturating_sub(total);
@@ -382,9 +532,7 @@ impl<'a> Executor<'a> {
                         // lead a descending order — decline this label
                         continue;
                     }
-                    let Some(walk) =
-                        ctx.view
-                            .nodes_in_prop_order(label, &spec.key, spec.descending)
+                    let Some(walk) = ctx.view.nodes_in_prop_order(label, key, spec.descending)
                     else {
                         continue;
                     };
@@ -413,28 +561,23 @@ impl<'a> Executor<'a> {
                     if collected.len() < spec.keep && !spec.descending && missing > 0 {
                         // NULL tail: extent items without the property
                         let walked: HashSet<NodeId> = walked.into_iter().collect();
-                        for id in ctx.view.nodes_with_label(label) {
-                            if walked.contains(&id) {
-                                continue;
-                            }
-                            if budget == 0 {
-                                return Ok(None);
-                            }
-                            budget -= 1;
-                            for seed in seeds {
-                                let mut s2 = seed.clone();
-                                s2.set(spec.var.clone(), Value::Node(id));
-                                collected.extend(match_patterns(
-                                    &ctx,
-                                    &s2,
-                                    patterns,
-                                    where_clause,
-                                    None,
-                                )?);
-                            }
-                            if collected.len() >= spec.keep {
-                                break;
-                            }
+                        let tail = ctx
+                            .view
+                            .nodes_with_label(label)
+                            .into_iter()
+                            .filter(|id| !walked.contains(id))
+                            .map(Value::Node);
+                        if !self.drive_walk(
+                            &ctx,
+                            tail,
+                            patterns,
+                            where_clause,
+                            seeds,
+                            &spec,
+                            &mut budget,
+                            &mut collected,
+                        )? {
+                            return Ok(None);
                         }
                     }
                     return Ok(Some(collected));
@@ -450,9 +593,39 @@ impl<'a> Executor<'a> {
                     continue;
                 }
                 let rel_type = &rp.types[0];
+                // Composite walks, pinned or plain.
+                for def in ctx.view.rel_composite_defs(rel_type) {
+                    let Some(pins) = self.composite_pin(&ctx, &rp.props, &pushed, &spec, &def)
+                    else {
+                        continue;
+                    };
+                    let Some(walk) =
+                        ctx.view
+                            .rels_in_composite_order(rel_type, &def, &pins, spec.descending)
+                    else {
+                        continue;
+                    };
+                    if !self.drive_walk(
+                        &ctx,
+                        walk.map(Value::Rel),
+                        patterns,
+                        where_clause,
+                        seeds,
+                        &spec,
+                        &mut budget,
+                        &mut collected,
+                    )? {
+                        return Ok(None);
+                    }
+                    return Ok(Some(collected));
+                }
+                if spec.keys.len() != 1 {
+                    continue;
+                }
+                let key = &spec.keys[0];
                 let total = ctx
                     .view
-                    .rel_prop_stats(rel_type, &spec.key)
+                    .rel_prop_stats(rel_type, key)
                     .map(|(t, _)| t)
                     .unwrap_or(0);
                 let missing = ctx
@@ -462,10 +635,7 @@ impl<'a> Executor<'a> {
                 if spec.descending && missing > 0 {
                     continue;
                 }
-                let Some(walk) = ctx
-                    .view
-                    .rels_in_prop_order(rel_type, &spec.key, spec.descending)
-                else {
+                let Some(walk) = ctx.view.rels_in_prop_order(rel_type, key, spec.descending) else {
                     continue;
                 };
                 let mut walked: Vec<RelId> = Vec::new();
@@ -486,28 +656,23 @@ impl<'a> Executor<'a> {
                 }
                 if collected.len() < spec.keep && !spec.descending && missing > 0 {
                     let walked: HashSet<RelId> = walked.into_iter().collect();
-                    for id in ctx.view.rels_with_type(rel_type) {
-                        if walked.contains(&id) {
-                            continue;
-                        }
-                        if budget == 0 {
-                            return Ok(None);
-                        }
-                        budget -= 1;
-                        for seed in seeds {
-                            let mut s2 = seed.clone();
-                            s2.set(spec.var.clone(), Value::Rel(id));
-                            collected.extend(match_patterns(
-                                &ctx,
-                                &s2,
-                                patterns,
-                                where_clause,
-                                None,
-                            )?);
-                        }
-                        if collected.len() >= spec.keep {
-                            break;
-                        }
+                    let tail = ctx
+                        .view
+                        .rels_with_type(rel_type)
+                        .into_iter()
+                        .filter(|id| !walked.contains(id))
+                        .map(Value::Rel);
+                    if !self.drive_walk(
+                        &ctx,
+                        tail,
+                        patterns,
+                        where_clause,
+                        seeds,
+                        &spec,
+                        &mut budget,
+                        &mut collected,
+                    )? {
+                        return Ok(None);
                     }
                 }
                 return Ok(Some(collected));

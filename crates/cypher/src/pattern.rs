@@ -45,7 +45,7 @@ use crate::ast::{BinOp, Expr, NodePattern, PathPattern, RelPattern};
 use crate::error::{CypherError, Result};
 use crate::expr::{eval, EvalCtx};
 use crate::row::Row;
-use pg_graph::{Direction, NodeId, RelId, Value};
+use pg_graph::{CompositeTrailing, Direction, NodeId, RelId, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 
@@ -54,9 +54,9 @@ use std::ops::Bound;
 /// `WHERE` is still evaluated on every surviving row, and a row on which a
 /// conjunct is false or NULL can never make the conjunction truthy.
 #[derive(Debug, Default)]
-struct VarPredicates {
+pub(crate) struct VarPredicates {
     /// `var.key = e` conjuncts (either orientation).
-    eqs: Vec<(String, Expr)>,
+    pub(crate) eqs: Vec<(String, Expr)>,
     /// `var.key <op> e` conjuncts, normalized so the property is on the
     /// left (`e < var.key` arrives as `var.key > e`).
     ranges: Vec<(String, BinOp, Expr)>,
@@ -64,7 +64,58 @@ struct VarPredicates {
     prefixes: Vec<(String, Expr)>,
 }
 
-type Pushdowns = HashMap<String, VarPredicates>;
+pub(crate) type Pushdowns = HashMap<String, VarPredicates>;
+
+/// Owned form of [`CompositeTrailing`]: the trailing bound of a composite
+/// probe as assembled by the planner.
+#[derive(Debug, Clone)]
+enum TrailingOwned {
+    None,
+    Range(Bound<Value>, Bound<Value>),
+    Prefix(String),
+}
+
+impl TrailingOwned {
+    fn as_trailing(&self) -> CompositeTrailing<'_> {
+        match self {
+            TrailingOwned::None => CompositeTrailing::None,
+            TrailingOwned::Range(lo, hi) => CompositeTrailing::Range(lo.as_ref(), hi.as_ref()),
+            TrailingOwned::Prefix(p) => CompositeTrailing::Prefix(p),
+        }
+    }
+}
+
+/// The longest-equality-prefix probe a composite definition can serve from
+/// the evaluated pushdowns: walk `def`'s columns collecting equality
+/// values until the first column without one; that column may contribute
+/// one trailing range or `STARTS WITH` bound. `None` when the definition
+/// constrains nothing.
+fn composite_probe_args(
+    eqs: &HashMap<&str, Value>,
+    intervals: &HashMap<String, (Bound<Value>, Bound<Value>)>,
+    prefixes: &HashMap<&str, String>,
+    def: &[String],
+) -> Option<(Vec<Value>, TrailingOwned)> {
+    let mut eq_vals: Vec<Value> = Vec::new();
+    for col in def {
+        if let Some(v) = eqs.get(col.as_str()) {
+            eq_vals.push(v.clone());
+            continue;
+        }
+        if let Some((lo, hi)) = intervals.get(col) {
+            return Some((eq_vals, TrailingOwned::Range(lo.clone(), hi.clone())));
+        }
+        if let Some(p) = prefixes.get(col.as_str()) {
+            return Some((eq_vals, TrailingOwned::Prefix(p.clone())));
+        }
+        break;
+    }
+    if eq_vals.is_empty() {
+        None
+    } else {
+        Some((eq_vals, TrailingOwned::None))
+    }
+}
 
 /// The tightest closed intervals derivable from a variable's `<`/`<=`/
 /// `>`/`>=` conjuncts, per property key.
@@ -234,12 +285,14 @@ fn index_count_estimate(
     };
 
     let pushed_eqs = preds.map(|p| p.eqs.as_slice()).unwrap_or(&[]);
+    let mut eval_eqs: HashMap<&str, Value> = HashMap::new();
     for (key, value_expr) in np.props.iter().chain(pushed_eqs) {
         match eval(ctx, row, value_expr) {
             Ok(value) => {
                 for label in &np.labels {
                     consider(ctx.view.count_nodes_with_prop(label, key, &value));
                 }
+                eval_eqs.entry(key.as_str()).or_insert(value);
             }
             Err(_) => {
                 for label in &np.labels {
@@ -253,37 +306,53 @@ fn index_count_estimate(
         }
     }
 
-    let Some(preds) = preds else {
-        return best;
-    };
+    let mut intervals: HashMap<String, (Bound<Value>, Bound<Value>)> = HashMap::new();
+    let mut prefix_vals: HashMap<&str, String> = HashMap::new();
+    if let Some(preds) = preds {
+        match build_intervals(ctx, row, &preds.ranges) {
+            Intervals::Never => return Some(0),
+            Intervals::Bounds(b) => intervals = b,
+        }
+        for (key, (lo, hi)) in &intervals {
+            for label in &np.labels {
+                consider(
+                    ctx.view
+                        .count_nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref()),
+                );
+            }
+        }
 
-    match build_intervals(ctx, row, &preds.ranges) {
-        Intervals::Never => return Some(0),
-        Intervals::Bounds(intervals) => {
-            for (key, (lo, hi)) in &intervals {
-                for label in &np.labels {
-                    consider(ctx.view.count_nodes_in_prop_range(
-                        label,
-                        key,
-                        lo.as_ref(),
-                        hi.as_ref(),
-                    ));
+        for (key, expr) in &preds.prefixes {
+            let Ok(value) = eval(ctx, row, expr) else {
+                continue;
+            };
+            match &value {
+                Value::Str(prefix) => {
+                    for label in &np.labels {
+                        consider(ctx.view.count_nodes_with_prop_prefix(label, key, prefix));
+                    }
+                    prefix_vals.entry(key.as_str()).or_insert(prefix.clone());
                 }
+                _ => return Some(0),
             }
         }
     }
 
-    for (key, expr) in &preds.prefixes {
-        let Ok(value) = eval(ctx, row, expr) else {
-            continue;
-        };
-        match &value {
-            Value::Str(prefix) => {
-                for label in &np.labels {
-                    consider(ctx.view.count_nodes_with_prop_prefix(label, key, prefix));
-                }
+    // Composite probes: the longest equality prefix of each definition
+    // plus one trailing range/prefix bound, costed count-only like every
+    // other access path.
+    for label in &np.labels {
+        for def in ctx.view.node_composite_defs(label) {
+            if let Some((eq, trailing)) =
+                composite_probe_args(&eval_eqs, &intervals, &prefix_vals, &def)
+            {
+                consider(ctx.view.count_nodes_with_composite(
+                    label,
+                    &def,
+                    &eq,
+                    trailing.as_trailing(),
+                ));
             }
-            _ => return Some(0),
         }
     }
 
@@ -370,17 +439,40 @@ fn estimate_rel_cost(
         },
         _ => HashMap::new(),
     };
+    // Evaluate each eq operand exactly once (the per-type loop and the
+    // composite probes both consume the results; an Err means the operand
+    // references a variable bound later → total/distinct estimate).
+    let evaluated: Vec<(&String, Option<Value>)> = rp
+        .props
+        .iter()
+        .chain(pushed_eqs)
+        .map(|(key, value_expr)| (key, eval(ctx, row, value_expr).ok()))
+        .collect();
+    let mut eval_eqs: HashMap<&str, Value> = HashMap::new();
+    for (key, value) in &evaluated {
+        if let Some(v) = value {
+            eval_eqs.entry(key.as_str()).or_insert_with(|| v.clone());
+        }
+    }
+    let mut prefix_vals: HashMap<&str, String> = HashMap::new();
+    if let Some(p) = preds {
+        for (key, expr) in &p.prefixes {
+            if let Ok(Value::Str(prefix)) = eval(ctx, row, expr) {
+                prefix_vals.entry(key.as_str()).or_insert(prefix);
+            }
+        }
+    }
     let mut total = 0usize;
     for t in &rp.types {
         let mut best = ctx.view.rel_type_cardinality(t);
-        for (key, value_expr) in rp.props.iter().chain(pushed_eqs) {
-            match eval(ctx, row, value_expr) {
-                Ok(value) => {
-                    if let Some(c) = ctx.view.count_rels_with_prop(t, key, &value) {
+        for (key, value) in &evaluated {
+            match value {
+                Some(value) => {
+                    if let Some(c) = ctx.view.count_rels_with_prop(t, key, value) {
                         best = best.min(c);
                     }
                 }
-                Err(_) => {
+                None => {
                     if let Some((tot, distinct)) = ctx.view.rel_prop_stats(t, key) {
                         if let Some(avg) = tot.checked_div(distinct) {
                             best = best.min(avg.max(1));
@@ -395,6 +487,18 @@ fn estimate_rel_cost(
                 .count_rels_in_prop_range(t, key, lo.as_ref(), hi.as_ref())
             {
                 best = best.min(c);
+            }
+        }
+        for def in ctx.view.rel_composite_defs(t) {
+            if let Some((eq, trailing)) =
+                composite_probe_args(&eval_eqs, &intervals, &prefix_vals, &def)
+            {
+                if let Some(c) =
+                    ctx.view
+                        .count_rels_with_composite(t, &def, &eq, trailing.as_trailing())
+                {
+                    best = best.min(c);
+                }
             }
         }
         total = total.saturating_add(best);
@@ -949,6 +1053,46 @@ fn hop_candidates(
                     }
                 }
             }
+            // A composite relationship index can serve the *conjunction*
+            // of pushed predicates in one walk; take it when its count
+            // estimate beats both the adjacency and the single-key serve.
+            // (No definitions — the overwhelmingly common case — costs
+            // nothing on this per-hop path.)
+            let defs = ctx.view.rel_composite_defs(t);
+            if !defs.is_empty() {
+                let eval_eqs: HashMap<&str, Value> = pd
+                    .eqs
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.clone()))
+                    .collect();
+                let prefix_vals: HashMap<&str, String> = pd
+                    .prefixes
+                    .iter()
+                    .map(|(k, p)| (k.as_str(), p.clone()))
+                    .collect();
+                for def in defs {
+                    if let Some((eq, trailing)) =
+                        composite_probe_args(&eval_eqs, &pd.intervals, &prefix_vals, &def)
+                    {
+                        let est = ctx.view.count_rels_with_composite(
+                            t,
+                            &def,
+                            &eq,
+                            trailing.as_trailing(),
+                        );
+                        if est.is_some_and(|e| e < cands.len()) {
+                            if let Some(ids) =
+                                ctx.view
+                                    .rels_with_composite(t, &def, &eq, trailing.as_trailing())
+                            {
+                                if ids.len() < cands.len() {
+                                    cands = ids;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
     let mut out = Vec::new();
@@ -1011,7 +1155,9 @@ fn rel_matches(ctx: &EvalCtx<'_>, row: &Row, rid: RelId, pat: &RelPattern) -> Re
 /// Split a `WHERE` clause into its top-level conjuncts and collect, per
 /// variable, the equality, ordering, and prefix predicates of shape
 /// `var.key <op> expr` (either orientation for `=` and the comparisons).
-fn extract_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
+/// Crate-visible: the executor's top-k fusion re-uses the equality
+/// conjuncts to pin composite ordered walks.
+pub(crate) fn extract_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
     fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
         if let Expr::Binary(BinOp::And, a, b) = e {
             conjuncts(a, out);
@@ -1106,6 +1252,14 @@ enum IndexProbe<'a> {
         key: &'a str,
         prefix: String,
     },
+    /// A composite-index probe: equality on the definition's leading
+    /// columns plus at most one trailing range/prefix bound.
+    Composite {
+        label: &'a str,
+        columns: Vec<String>,
+        eq: Vec<Value>,
+        trailing: TrailingOwned,
+    },
 }
 
 /// The best index-backed candidate set for a node pattern, from inline
@@ -1133,6 +1287,7 @@ fn index_candidates(
 
     // Equality: inline property maps and pushed `var.key = e` conjuncts.
     let pushed_eqs = preds.map(|p| p.eqs.as_slice()).unwrap_or(&[]);
+    let mut eval_eqs: HashMap<&str, Value> = HashMap::new();
     for (key, value_expr) in np.props.iter().chain(pushed_eqs) {
         let Ok(value) = eval(ctx, row, value_expr) else {
             continue;
@@ -1144,18 +1299,21 @@ fn index_candidates(
                 value: value.clone(),
             });
         }
+        eval_eqs.entry(key.as_str()).or_insert(value);
     }
 
+    let mut intervals: HashMap<String, (Bound<Value>, Bound<Value>)> = HashMap::new();
+    let mut prefix_vals: HashMap<&str, String> = HashMap::new();
     if let Some(preds) = preds {
         // Ranges: combine this variable's `<`/`<=`/`>`/`>=` conjuncts per
         // key into the tightest closed interval. A NULL or NaN operand
         // makes the conjunct untruthy for every row — the candidate set is
         // definitively empty, no index required.
-        let intervals = match build_intervals(ctx, row, &preds.ranges) {
+        intervals = match build_intervals(ctx, row, &preds.ranges) {
             Intervals::Never => return Some(Vec::new()),
             Intervals::Bounds(b) => b,
         };
-        for (key, (lo, hi)) in intervals {
+        for (key, (lo, hi)) in &intervals {
             for label in &np.labels {
                 probes.push(IndexProbe::Range {
                     label,
@@ -1181,8 +1339,27 @@ fn index_candidates(
                             prefix: prefix.clone(),
                         });
                     }
+                    prefix_vals.entry(key.as_str()).or_insert(prefix.clone());
                 }
                 _ => return Some(Vec::new()),
+            }
+        }
+    }
+
+    // Composite probes: the longest equality prefix of each definition
+    // plus one trailing range/prefix bound. Added after the single-key
+    // probes so a composite path only wins when *strictly* more selective.
+    for label in &np.labels {
+        for def in ctx.view.node_composite_defs(label) {
+            if let Some((eq, trailing)) =
+                composite_probe_args(&eval_eqs, &intervals, &prefix_vals, &def)
+            {
+                probes.push(IndexProbe::Composite {
+                    label,
+                    columns: def,
+                    eq,
+                    trailing,
+                });
             }
         }
     }
@@ -1201,6 +1378,14 @@ fn index_candidates(
             IndexProbe::Prefix { label, key, prefix } => {
                 ctx.view.count_nodes_with_prop_prefix(label, key, prefix)
             }
+            IndexProbe::Composite {
+                label,
+                columns,
+                eq,
+                trailing,
+            } => ctx
+                .view
+                .count_nodes_with_composite(label, columns, eq, trailing.as_trailing()),
         };
         if let Some(c) = count {
             if best.is_none_or(|(_, b)| c < b) {
@@ -1218,6 +1403,14 @@ fn index_candidates(
         IndexProbe::Prefix { label, key, prefix } => {
             ctx.view.nodes_with_prop_prefix(label, key, prefix)
         }
+        IndexProbe::Composite {
+            label,
+            columns,
+            eq,
+            trailing,
+        } => ctx
+            .view
+            .nodes_with_composite(label, columns, eq, trailing.as_trailing()),
     }
 }
 
@@ -2067,6 +2260,105 @@ mod tests {
             Row::new(),
         );
         assert!(rows.is_empty());
+    }
+
+    fn cols(cs: &[&str]) -> Vec<String> {
+        cs.iter().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn composite_index_serves_conjunction_in_one_probe() {
+        // 500 nodes over 5 independent statuses × 100 severities: the
+        // (status, severity) conjunction has 1 match; the single-key
+        // indexes alone materialize 100 (status) or 5 (severity).
+        let mut g = Graph::new();
+        for i in 0..500i64 {
+            g.create_node(
+                ["P"],
+                props(&[
+                    ("status", Value::str(format!("s{}", i / 100))),
+                    ("severity", Value::Int(i % 100)),
+                ]),
+            )
+            .unwrap();
+        }
+        g.create_index("P", "status");
+        g.create_index("P", "severity");
+        g.create_composite_index("P", &cols(&["status", "severity"]));
+        let q = "MATCH (p:P) WHERE p.status = 's3' AND p.severity = 8 RETURN 1";
+        g.reset_index_probes();
+        let rows = run_match(&g, q, Row::new());
+        assert_eq!(rows.len(), 1); // i = 308
+        let probes = g.index_probes();
+        assert_eq!(
+            probes.materializing, 1,
+            "exactly the winning (composite) access path materializes"
+        );
+        // trailing range form of the §6 conjunction
+        let rows = run_match(
+            &g,
+            "MATCH (p:P {status: 's3'}) WHERE p.severity >= 98 RETURN 1",
+            Row::new(),
+        );
+        assert_eq!(rows.len(), 2); // i ∈ {398, 399}
+    }
+
+    #[test]
+    fn composite_estimate_is_count_only() {
+        let mut g = Graph::new();
+        for i in 0..200i64 {
+            g.create_node(
+                ["P"],
+                props(&[("a", Value::Int(i % 4)), ("b", Value::Int(i % 10))]),
+            )
+            .unwrap();
+        }
+        g.create_composite_index("P", &cols(&["a", "b"]));
+        let (pats, where_) = patterns_of("MATCH (p:P) WHERE p.a = 1 AND p.b = 3 RETURN 1");
+        let params = Params::new();
+        let ctx = EvalCtx::new(&g, &params, 0);
+        let pushed = extract_pushdowns(where_.as_ref());
+        g.reset_index_probes();
+        let cost = estimate_node_cost(&ctx, &Row::new(), &pats[0].start, &pushed, &HashSet::new());
+        // (a, b) ≡ (1, 3) ⇔ i ≡ 13 (mod 20) → 10 nodes
+        assert_eq!(cost, 10);
+        let probes = g.index_probes();
+        assert_eq!(probes.materializing, 0, "estimation must stay count-only");
+        assert!(probes.counting > 0);
+    }
+
+    #[test]
+    fn rel_composite_pushdown_prunes_hop_expansion() {
+        // A hub with 300 outgoing rels over (kind, w); the conjunction
+        // matches 2 — with a composite rel index the hop is served from
+        // one composite probe rather than the adjacency list.
+        let mut g = Graph::new();
+        let hub = g.create_node(["Hub"], PropertyMap::new()).unwrap();
+        for i in 0..300i64 {
+            let leaf = g.create_node(["Leaf"], PropertyMap::new()).unwrap();
+            g.create_rel(
+                hub,
+                leaf,
+                "R",
+                props(&[
+                    ("kind", Value::str(if i % 3 == 0 { "x" } else { "y" })),
+                    ("w", Value::Int(i % 50)),
+                ]),
+            )
+            .unwrap();
+        }
+        let q = "MATCH (h:Hub)-[r:R]->(t) WHERE r.kind = 'x' AND r.w >= 48 RETURN 1";
+        let rows = run_match(&g, q, Row::new());
+        let expected = rows.len();
+        assert!(expected > 0);
+        g.create_rel_composite_index("R", &cols(&["kind", "w"]));
+        g.reset_index_probes();
+        let rows = run_match(&g, q, Row::new());
+        assert_eq!(rows.len(), expected);
+        assert!(
+            g.index_probes().materializing >= 1,
+            "hop should have been served from the composite rel index"
+        );
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Differential query fuzzing: indexed and unindexed twins must never
+//! disagree.
+//!
+//! In the certain-answer spirit of consistent query answering, every plan
+//! the growing access-path space can choose — single-key equality/range/
+//! prefix lookups, relationship indexes, composite (multi-key) indexes,
+//! ordered top-k walks, pinned composite walks — must produce exactly the
+//! row multiset the brute-force unindexed semantics produces. This
+//! proptest drives a mirrored pair of graphs through random mutation
+//! scripts (including `rollback` / `rollback_to` mid-script) while a
+//! random **index DDL script** creates and drops single-key, relationship
+//! and composite indexes on the indexed twin only, and checks a randomly
+//! generated panel of `MATCH`/`WHERE`/`ORDER BY`/`LIMIT` queries after
+//! **every** step: zero divergences allowed.
+//!
+//! Top-k queries project exactly their order keys, so sorted-row-multiset
+//! equality is the right oracle even at tie cut-offs (tied rows carry
+//! identical key tuples).
+//!
+//! `PG_FUZZ_CASES` (read in CI's nightly job) raises the proptest case
+//! count for long soak runs; the default stays fast enough for every PR.
+
+use pg_cypher::{run_query, Params};
+use pg_graph::{Graph, GraphView, StatementMark, Value};
+use proptest::prelude::*;
+
+const STRINGS: [&str; 5] = ["al", "alpha", "bet", "beta", "gamma"];
+const TAGS: [&str; 2] = ["t0", "t1"];
+
+fn props(entries: Vec<(&str, Value)>) -> pg_graph::PropertyMap {
+    entries
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+fn cols(cs: &[&str]) -> Vec<String> {
+    cs.iter().map(|c| c.to_string()).collect()
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    CreateNode {
+        label: u8,
+        k: i64,
+        m: Option<i64>,
+        s: Option<u8>,
+    },
+    CreateRel {
+        a: usize,
+        b: usize,
+        w: i64,
+        tag: u8,
+    },
+    DetachDelete {
+        pick: usize,
+    },
+    SetProp {
+        pick: usize,
+        which: u8,
+        val: i64,
+    },
+    RemoveProp {
+        pick: usize,
+        which: u8,
+    },
+    SetRelW {
+        pick: usize,
+        val: i64,
+    },
+    /// Create-or-drop one of the eight index definitions — on the
+    /// **indexed twin only**.
+    ToggleIndex {
+        which: u8,
+    },
+    Begin,
+    Mark,
+    RollbackTo,
+    Rollback,
+    Commit,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // the vendored proptest shim has no `option`/`bool` modules; small
+    // integer ranges stand in (0 = absent / false)
+    let create_node =
+        (0u8..2, -5i64..5, -6i64..5, 0u8..6).prop_map(|(label, k, m, s)| Step::CreateNode {
+            label,
+            k,
+            m: (m > -6).then_some(m),
+            s: s.checked_sub(1),
+        });
+    let set_prop = (0usize..16, 0u8..3, -5i64..5).prop_map(|(pick, which, val)| Step::SetProp {
+        pick,
+        which,
+        val,
+    });
+    let toggle = (0u8..8).prop_map(|which| Step::ToggleIndex { which });
+    prop_oneof![
+        create_node.clone(),
+        create_node,
+        (0usize..16, 0usize..16, -5i64..5, 0u8..2).prop_map(|(a, b, w, tag)| Step::CreateRel {
+            a,
+            b,
+            w,
+            tag
+        }),
+        (0usize..16).prop_map(|pick| Step::DetachDelete { pick }),
+        set_prop.clone(),
+        set_prop,
+        (0usize..16, 0u8..3).prop_map(|(pick, which)| Step::RemoveProp { pick, which }),
+        (0usize..16, -5i64..5).prop_map(|(pick, val)| Step::SetRelW { pick, val }),
+        toggle.clone(),
+        toggle,
+        Just(Step::Begin),
+        Just(Step::Mark),
+        Just(Step::RollbackTo),
+        Just(Step::Rollback),
+        Just(Step::Commit),
+    ]
+}
+
+/// One randomly generated panel query. Top-k templates return exactly
+/// their order keys (see module docs).
+fn query_strategy() -> impl Strategy<Value = String> {
+    let label = |l: u8| if l == 0 { "A" } else { "B" };
+    prop_oneof![
+        (0u8..2, -5i64..5).prop_map(move |(l, v)| format!(
+            "MATCH (x:{}) WHERE x.k = {v} RETURN x.k AS a, x.m AS b",
+            label(l)
+        )),
+        (0u8..2, -5i64..5, -5i64..5).prop_map(move |(l, v, w)| format!(
+            "MATCH (x:{}) WHERE x.k = {v} AND x.m >= {w} RETURN x.k AS a, x.m AS b",
+            label(l)
+        )),
+        (0u8..2, -5i64..5, 0i64..6).prop_map(move |(l, lo, span)| format!(
+            "MATCH (x:{}) WHERE x.k >= {lo} AND x.k < {} RETURN x.k AS a",
+            label(l),
+            lo + span
+        )),
+        (0u8..2, -5i64..5, 0usize..3).prop_map(move |(l, v, p)| format!(
+            "MATCH (x:{}) WHERE x.k = {v} AND x.s STARTS WITH '{}' RETURN x.k AS a, x.s AS b",
+            label(l),
+            &STRINGS[p][..2]
+        )),
+        (0u8..2, 1usize..5, 0u8..2).prop_map(move |(l, lim, desc)| {
+            let d = if desc == 1 { " DESC" } else { "" };
+            format!(
+                "MATCH (x:{}) WITH x ORDER BY x.k{d}, x.m{d} LIMIT {lim} \
+                 RETURN x.k AS a, x.m AS b",
+                label(l)
+            )
+        }),
+        (0u8..2, -5i64..5, 1usize..4).prop_map(move |(l, v, lim)| format!(
+            "MATCH (x:{} {{k: {v}}}) WITH x ORDER BY x.m LIMIT {lim} RETURN x.m AS a",
+            label(l)
+        )),
+        (0u8..2, 1usize..4, 0usize..3).prop_map(move |(l, lim, skip)| format!(
+            "MATCH (x:{}) WITH x ORDER BY x.s SKIP {skip} LIMIT {lim} RETURN x.s AS a",
+            label(l)
+        )),
+        (0u8..2, -5i64..5).prop_map(move |(t, v)| format!(
+            "MATCH (p)-[r:R]->(q) WHERE r.tag = '{}' AND r.w >= {v} RETURN r.w AS a",
+            TAGS[t as usize % 2]
+        )),
+        (1usize..4, 0u8..2).prop_map(|(lim, desc)| {
+            let d = if desc == 1 { " DESC" } else { "" };
+            format!("MATCH (p)-[r:R]->(q) WITH r ORDER BY r.w{d} LIMIT {lim} RETURN r.w AS a")
+        }),
+        (-5i64..5, -5i64..5).prop_map(|(v, w)| format!(
+            "MATCH (x:A)-[r:R]->(y) WHERE x.k = {v} AND r.w < {w} RETURN x.k AS a, r.w AS b"
+        )),
+    ]
+}
+
+/// Mirrored script driver (mutations hit both twins, DDL only the
+/// indexed one).
+#[derive(Default)]
+struct Twin {
+    plain: Graph,
+    indexed: Graph,
+    marks_plain: Vec<StatementMark>,
+    marks_indexed: Vec<StatementMark>,
+}
+
+impl Twin {
+    fn each(&mut self, f: impl Fn(&mut Graph)) {
+        f(&mut self.plain);
+        f(&mut self.indexed);
+    }
+
+    fn toggle_index(&mut self, which: u8) {
+        let g = &mut self.indexed;
+        match which % 8 {
+            0 => {
+                if !g.create_index("A", "k") {
+                    g.drop_index("A", "k");
+                }
+            }
+            1 => {
+                if !g.create_index("B", "k") {
+                    g.drop_index("B", "k");
+                }
+            }
+            2 => {
+                if !g.create_index("A", "s") {
+                    g.drop_index("A", "s");
+                }
+            }
+            3 => {
+                if !g.create_rel_index("R", "w") {
+                    g.drop_rel_index("R", "w");
+                }
+            }
+            4 => {
+                let c = cols(&["k", "m"]);
+                if !g.create_composite_index("A", &c) {
+                    g.drop_composite_index("A", &c);
+                }
+            }
+            5 => {
+                let c = cols(&["k", "s"]);
+                if !g.create_composite_index("A", &c) {
+                    g.drop_composite_index("A", &c);
+                }
+            }
+            6 => {
+                let c = cols(&["k", "m"]);
+                if !g.create_composite_index("B", &c) {
+                    g.drop_composite_index("B", &c);
+                }
+            }
+            _ => {
+                let c = cols(&["tag", "w"]);
+                if !g.create_rel_composite_index("R", &c) {
+                    g.drop_rel_composite_index("R", &c);
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, step: &Step) {
+        // both twins always hold identical extents, so picks agree
+        let nodes = self.plain.all_node_ids();
+        let rels = self.plain.all_rel_ids();
+        match step {
+            Step::CreateNode { label, k, m, s } => {
+                let label = if *label == 0 { "A" } else { "B" };
+                let (k, m, s) = (*k, *m, *s);
+                self.each(|g| {
+                    let mut entries = vec![("k", Value::Int(k))];
+                    if let Some(m) = m {
+                        entries.push(("m", Value::Int(m)));
+                    }
+                    if let Some(s) = s {
+                        entries.push(("s", Value::str(STRINGS[s as usize % STRINGS.len()])));
+                    }
+                    g.create_node([label], props(entries)).unwrap();
+                });
+            }
+            Step::CreateRel { a, b, w, tag } => {
+                if !nodes.is_empty() {
+                    let (a, b) = (nodes[a % nodes.len()], nodes[b % nodes.len()]);
+                    let (w, tag) = (*w, TAGS[*tag as usize % TAGS.len()]);
+                    self.each(|g| {
+                        g.create_rel(
+                            a,
+                            b,
+                            "R",
+                            props(vec![("w", Value::Int(w)), ("tag", Value::str(tag))]),
+                        )
+                        .unwrap();
+                    });
+                }
+            }
+            Step::DetachDelete { pick } => {
+                if !nodes.is_empty() {
+                    let id = nodes[pick % nodes.len()];
+                    self.each(|g| g.detach_delete_node(id).unwrap());
+                }
+            }
+            Step::SetProp { pick, which, val } => {
+                if !nodes.is_empty() {
+                    let id = nodes[pick % nodes.len()];
+                    let val = *val;
+                    let (key, value) = match which % 3 {
+                        0 => ("k", Value::Int(val)),
+                        1 => ("m", Value::Int(val)),
+                        _ => (
+                            "s",
+                            Value::str(STRINGS[val.unsigned_abs() as usize % STRINGS.len()]),
+                        ),
+                    };
+                    self.each(|g| g.set_node_prop(id, key, value.clone()).unwrap());
+                }
+            }
+            Step::RemoveProp { pick, which } => {
+                if !nodes.is_empty() {
+                    let id = nodes[pick % nodes.len()];
+                    let key = ["k", "m", "s"][*which as usize % 3];
+                    self.each(|g| {
+                        g.remove_node_prop(id, key).unwrap();
+                    });
+                }
+            }
+            Step::SetRelW { pick, val } => {
+                if !rels.is_empty() {
+                    let id = rels[pick % rels.len()];
+                    let val = *val;
+                    self.each(|g| g.set_rel_prop(id, "w", Value::Int(val)).unwrap());
+                }
+            }
+            Step::ToggleIndex { which } => self.toggle_index(*which),
+            Step::Begin => {
+                if !self.plain.in_tx() {
+                    self.each(|g| g.begin().unwrap());
+                    self.marks_plain.clear();
+                    self.marks_indexed.clear();
+                }
+            }
+            Step::Mark => {
+                if self.plain.in_tx() {
+                    self.marks_plain.push(self.plain.mark());
+                    self.marks_indexed.push(self.indexed.mark());
+                }
+            }
+            Step::RollbackTo => {
+                if self.plain.in_tx() {
+                    if let (Some(mp), Some(mi)) = (self.marks_plain.pop(), self.marks_indexed.pop())
+                    {
+                        self.plain.rollback_to(mp).unwrap();
+                        self.indexed.rollback_to(mi).unwrap();
+                    }
+                }
+            }
+            Step::Rollback => {
+                if self.plain.in_tx() {
+                    self.each(|g| g.rollback().unwrap());
+                    self.marks_plain.clear();
+                    self.marks_indexed.clear();
+                }
+            }
+            Step::Commit => {
+                if self.plain.in_tx() {
+                    self.each(|g| {
+                        g.commit().unwrap();
+                    });
+                    self.marks_plain.clear();
+                    self.marks_indexed.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Sorted row multiset of a query result.
+fn rows_of(g: &mut Graph, q: &str) -> Vec<Vec<Value>> {
+    let out = run_query(g, q, &Params::new(), 0).unwrap_or_else(|e| panic!("{q}: {e}"));
+    let mut rows = out.rows;
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let ord = x.cmp_order(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+fn check_panel(t: &mut Twin, panel: &[String], step: usize) {
+    for q in panel {
+        let plain = rows_of(&mut t.plain, q);
+        let indexed = rows_of(&mut t.indexed, q);
+        assert_eq!(
+            plain,
+            indexed,
+            "indexed/unindexed divergence after step {step} for {q}\n\
+             node indexes: {:?}\ncomposite: {:?}\nrel: {:?}\nrel composite: {:?}",
+            t.indexed.indexes(),
+            t.indexed.composite_indexes(),
+            t.indexed.rel_indexes(),
+            t.indexed.rel_composite_indexes(),
+        );
+    }
+}
+
+fn fuzz_cases() -> u32 {
+    std::env::var("PG_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: fuzz_cases() })]
+
+    #[test]
+    fn every_plan_agrees_with_brute_force(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        panel in proptest::collection::vec(query_strategy(), 3..7),
+    ) {
+        let mut t = Twin::default();
+        for (i, step) in steps.iter().enumerate() {
+            t.apply(step);
+            check_panel(&mut t, &panel, i);
+        }
+        if t.plain.in_tx() {
+            t.apply(&Step::Commit);
+        }
+        check_panel(&mut t, &panel, steps.len());
+    }
+}

@@ -26,11 +26,35 @@ use std::ops::Bound;
 
 #[derive(Debug, Clone)]
 enum Step {
-    CreateNode { label: u8, val: i64 },
-    CreateRel { a: usize, b: usize, w: i64 },
-    DetachDelete { pick: usize },
-    SetProp { pick: usize, val: i64 },
-    RemoveProp { pick: usize },
+    CreateNode {
+        label: u8,
+        val: i64,
+    },
+    CreateRel {
+        a: usize,
+        b: usize,
+        w: i64,
+    },
+    DetachDelete {
+        pick: usize,
+    },
+    SetProp {
+        pick: usize,
+        val: i64,
+    },
+    SetProp2 {
+        pick: usize,
+        val: i64,
+    },
+    RemoveProp {
+        pick: usize,
+    },
+    /// Create-or-drop a composite index mid-script (indexed twin only):
+    /// the definition is not transactional, but its entries must stay
+    /// exact through every later mutation *and undo* step.
+    ToggleComposite {
+        which: u8,
+    },
     Begin,
     Mark,
     RollbackTo,
@@ -47,13 +71,19 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         (0usize..16).prop_map(|pick| Step::DetachDelete { pick }),
         (0usize..16, -6i64..6).prop_map(|(pick, val)| Step::SetProp { pick, val }),
         (0usize..16, -6i64..6).prop_map(|(pick, val)| Step::SetProp { pick, val }),
+        (0usize..16, -6i64..6).prop_map(|(pick, val)| Step::SetProp2 { pick, val }),
         (0usize..16).prop_map(|pick| Step::RemoveProp { pick }),
+        (0u8..2).prop_map(|which| Step::ToggleComposite { which }),
         Just(Step::Begin),
         Just(Step::Mark),
         Just(Step::RollbackTo),
         Just(Step::Rollback),
         Just(Step::Commit),
     ]
+}
+
+fn composite_cols() -> Vec<String> {
+    vec!["k".to_string(), "m".to_string()]
 }
 
 /// Mirrored script driver: applies each step to both twins identically.
@@ -113,6 +143,19 @@ impl Twin {
                 if !nodes.is_empty() {
                     let (id, v) = (nodes[pick % nodes.len()], *val);
                     self.each(|g| g.set_node_prop(id, "k", Value::Int(v)).unwrap());
+                }
+            }
+            Step::SetProp2 { pick, val } => {
+                if !nodes.is_empty() {
+                    let (id, v) = (nodes[pick % nodes.len()], *val);
+                    self.each(|g| g.set_node_prop(id, "m", Value::Int(v)).unwrap());
+                }
+            }
+            Step::ToggleComposite { which } => {
+                let label = if *which == 0 { "A" } else { "B" };
+                let c = composite_cols();
+                if !self.indexed.create_composite_index(label, &c) {
+                    self.indexed.drop_composite_index(label, &c);
                 }
             }
             Step::RemoveProp { pick } => {
@@ -191,6 +234,9 @@ const EXACT_PANEL: &[&str] = &[
     "MATCH (x:B) WHERE x.k > -3 RETURN x.k AS k",
     "MATCH (a)-[r:R]->(b) WHERE r.w >= 1 RETURN r.w AS w",
     "MATCH (a:A)-[r:R]-(b) WHERE r.w < 2 RETURN a.k AS k, r.w AS w",
+    // conjunctions a composite (k, m) index can serve end-to-end
+    "MATCH (x:A) WHERE x.k = 1 AND x.m = -1 RETURN x.k AS k, x.m AS m",
+    "MATCH (x:B) WHERE x.k = 0 AND x.m >= 0 RETURN x.k AS k, x.m AS m",
 ];
 
 /// Top-k queries: the order-key multiset must agree (ties at the cut may
@@ -212,6 +258,15 @@ const TOPK_PANEL: &[(&str, &str)] = &[
     (
         "MATCH (a)-[r:R]->(b) WITH r ORDER BY r.w LIMIT 2 RETURN r.w AS w",
         "MATCH (a)-[r:R]->(b) RETURN r.w AS w",
+    ),
+    // multi-key orders a composite (k, m) index can serve as one walk
+    (
+        "MATCH (x:A) WITH x ORDER BY x.k, x.m LIMIT 3 RETURN x.k AS k, x.m AS m",
+        "MATCH (x:A) RETURN x.k AS k, x.m AS m",
+    ),
+    (
+        "MATCH (x:B) WITH x ORDER BY x.k DESC, x.m DESC LIMIT 2 RETURN x.k AS k, x.m AS m",
+        "MATCH (x:B) RETURN x.k AS k, x.m AS m",
     ),
 ];
 
@@ -279,6 +334,71 @@ fn check_stats(g: &Graph) {
             assert!(
                 est.abs_diff(exact) <= bound,
                 "range estimate {est} vs exact {exact} (bound {bound}) for {label}.{key}"
+            );
+        }
+    }
+    check_composite_stats(g);
+}
+
+/// Brute-force recount of the composite `(k, m)` statistics and counts:
+/// totals cover the whole extent (missing values key on the explicit
+/// marker), distinct counts key vectors, and full-/sub-width equality
+/// counts are exact.
+fn check_composite_stats(g: &Graph) {
+    use pg_graph::CompositeTrailing;
+    let c = composite_cols();
+    for label in ["A", "B"] {
+        let Some((total, distinct)) = g.node_composite_stats(label, &c) else {
+            continue;
+        };
+        let mut vectors: BTreeMap<(Option<i64>, Option<i64>), usize> = BTreeMap::new();
+        for id in g.nodes_with_label(label) {
+            let k = match g.node_prop(id, "k") {
+                Some(Value::Int(v)) => Some(v),
+                _ => None,
+            };
+            let m = match g.node_prop(id, "m") {
+                Some(Value::Int(v)) => Some(v),
+                _ => None,
+            };
+            *vectors.entry((k, m)).or_insert(0) += 1;
+        }
+        let brute_total: usize = vectors.values().sum();
+        assert_eq!(
+            total, brute_total,
+            "composite total diverged for {label}(k, m)"
+        );
+        assert_eq!(
+            distinct,
+            vectors.len(),
+            "composite distinct diverged for {label}(k, m)"
+        );
+        // exact full-width equality counts for every live (k, m) pair
+        for ((k, m), n) in &vectors {
+            let (Some(k), Some(m)) = (k, m) else { continue };
+            assert_eq!(
+                g.count_nodes_with_composite(
+                    label,
+                    &c,
+                    &[Value::Int(*k), Value::Int(*m)],
+                    CompositeTrailing::None
+                ),
+                Some(*n),
+                "composite eq count diverged for {label}(k={k}, m={m})"
+            );
+        }
+        // sub-width prefix counts: nodes whose k matches, any m
+        let mut by_k: BTreeMap<i64, usize> = BTreeMap::new();
+        for ((k, _), n) in &vectors {
+            if let Some(k) = k {
+                *by_k.entry(*k).or_insert(0) += n;
+            }
+        }
+        for (k, n) in &by_k {
+            assert_eq!(
+                g.count_nodes_with_composite(label, &c, &[Value::Int(*k)], CompositeTrailing::None),
+                Some(*n),
+                "composite prefix count diverged for {label}(k={k})"
             );
         }
     }

@@ -1,0 +1,1194 @@
+//! Composite (multi-key) property indexes: `(label, [k1, k2, …])` →
+//! lexicographic key vectors → item sets.
+//!
+//! The paper's §6 trigger conditions are conjunctions over *several*
+//! properties of one label (`(p:Patient {status: 'ICU'}) WHERE
+//! p.severity >= t`); single-key indexes can only serve one conjunct and
+//! post-filter (or intersect) the rest. A [`CompositeIndex`] answers the
+//! whole conjunction in one O(log n + k) walk: equality on the longest
+//! prefix of the column list plus one trailing range or `STARTS WITH`
+//! bound on the next column, and — because the key space is ordered the
+//! way `ORDER BY` orders values — multi-key top-k walks
+//! (`ORDER BY a.x, a.y LIMIT k`), optionally pinned to an equality prefix.
+//!
+//! ## Key construction
+//!
+//! Every item carrying the label contributes exactly one key vector: one
+//! [`CompositeSeg`] per column, either the [`IndexKey`] of its value or the
+//! explicit [`CompositeSeg::Missing`] marker when the property is absent.
+//! Indexing the *absence* is what keeps sub-width probes (equality on
+//! fewer columns than the index has) and whole-extent ordered walks
+//! complete — unlike single-key indexes, a composite entry covers the
+//! label's full extent.
+//!
+//! Segments order by [`Value::cmp_order`]'s family rank (strings <
+//! booleans < numerics < dates < datetimes), numerics interleaved, with
+//! `Missing` sorting after every value — exactly `ORDER BY`'s NULL-last
+//! rank. One BTreeMap therefore serves both the range walks (bounds stay
+//! inside one family, where `cmp3` and `cmp_order` agree) and the ordered
+//! walks (whole-key order *is* the `ORDER BY k1, k2, …` order, ascending
+//! or — reversed, with `Missing` leading, matching NULL-first — descending).
+//!
+//! ## Refusals
+//!
+//! A record holding an **unkeyable** value in any indexed column (±2⁵³
+//! lossy numerics, `NaN`, `LIST`, `MAP`) is excluded whole and counted.
+//! While such exclusions exist, the index refuses (returns `None`, caller
+//! falls back to a scan):
+//!
+//! * probes narrower than the full column width — the excluded record may
+//!   satisfy the probed prefix via an unprobed column;
+//! * numeric trailing ranges while **lossy numerics** are present — a
+//!   stored out-of-range numeric can satisfy `x > 0` (same rule as
+//!   [`crate::prop_index`]);
+//! * ordered walks — the excluded record belongs somewhere in the order.
+//!
+//! Full-width equality probes stay answerable: a keyable probe value never
+//! `eq3`-equals an excluded (unkeyable) stored value.
+
+use crate::ids::{NodeId, RelId};
+use crate::prop_index::IndexKey;
+use crate::props::PropertyMap;
+use crate::stats::Histogram;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound;
+
+/// One segment of a composite key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompositeSeg {
+    /// A keyable property value.
+    Key(IndexKey),
+    /// The property is absent (`NULL`), sorting after every value — the
+    /// `cmp_order` NULL-last rank.
+    Missing,
+    /// Bound sentinel above everything; never stored, only used to close
+    /// prefix ranges (`[prefix, …] < [prefix, Hi]` for every stored key).
+    Hi,
+}
+
+/// `cmp_order` family rank of an [`IndexKey`]: strings < booleans <
+/// numerics < dates < datetimes (see `KeyedIndex::ordered_walk`).
+fn order_rank(k: &IndexKey) -> u8 {
+    match k {
+        IndexKey::Str(_) => 0,
+        IndexKey::Bool(_) => 1,
+        IndexKey::Int(_) | IndexKey::FloatBits(_) => 2,
+        IndexKey::Date(_) => 3,
+        IndexKey::DateTime(_) => 4,
+    }
+}
+
+/// Smallest key of a `cmp_order` family rank (inclusive frontier).
+fn rank_min(rank: u8) -> IndexKey {
+    match rank {
+        0 => IndexKey::Str(String::new()),
+        1 => IndexKey::Bool(false),
+        2 => IndexKey::FloatBits(f64::NEG_INFINITY.to_bits()),
+        3 => IndexKey::Date(i64::MIN),
+        _ => IndexKey::DateTime(i64::MIN),
+    }
+}
+
+/// The exclusive upper frontier of a family rank as a segment: the next
+/// family's smallest key, or `Missing` above the last family.
+fn rank_sup(rank: u8) -> CompositeSeg {
+    if rank < 4 {
+        CompositeSeg::Key(rank_min(rank + 1))
+    } else {
+        CompositeSeg::Missing
+    }
+}
+
+impl Ord for CompositeSeg {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use CompositeSeg::*;
+        match (self, other) {
+            (Key(a), Key(b)) => order_rank(a).cmp(&order_rank(b)).then_with(|| a.cmp(b)),
+            (Key(_), _) => Ordering::Less,
+            (_, Key(_)) => Ordering::Greater,
+            (Missing, Missing) | (Hi, Hi) => Ordering::Equal,
+            (Missing, Hi) => Ordering::Less,
+            (Hi, Missing) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for CompositeSeg {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The trailing bound of a composite probe: after the equality prefix,
+/// the next column may carry one range or `STARTS WITH` constraint.
+#[derive(Debug, Clone, Copy)]
+pub enum CompositeTrailing<'a> {
+    /// Equality prefix only.
+    None,
+    /// `lower ⋚ v ⋚ upper` on the column after the prefix ([`Value::cmp3`]
+    /// semantics; at least one side must be bounded).
+    Range(Bound<&'a Value>, Bound<&'a Value>),
+    /// `STARTS WITH` on the column after the prefix.
+    Prefix(&'a str),
+}
+
+/// Why a record is excluded from its composite entry.
+enum Exclusion {
+    Lossy,
+    Unkeyable,
+}
+
+/// One `(label, columns)` composite index entry.
+#[derive(Debug, Clone)]
+struct CompositeEntries<Id> {
+    /// The ordered column list of the definition.
+    columns: Vec<String>,
+    map: BTreeMap<Vec<CompositeSeg>, BTreeSet<Id>>,
+    /// Records excluded because some column holds a ±2⁵³ lossy numeric.
+    lossy_numerics: usize,
+    /// Records excluded for other unkeyable values (`NaN`, `LIST`, `MAP`).
+    unkeyable: usize,
+    /// Records currently indexed (`Σ bucket sizes`).
+    total: usize,
+    /// Equi-depth histogram over the **leading column**'s key space
+    /// (`Missing` leading segments are not attributed — range probes never
+    /// match them).
+    hist: Histogram,
+}
+
+/// How a probe classifies against one entry.
+enum ProbeQuery {
+    /// No stored key can satisfy it — definitively empty.
+    Empty,
+    /// The entry cannot answer faithfully — fall back to a scan.
+    Refused,
+    /// Walk the key space between these vector bounds; when `prefix_col`
+    /// is set, additionally `take_while` that column's segment is a string
+    /// with the given prefix (`STARTS WITH` has no closed upper key).
+    Walk {
+        lo: Bound<Vec<CompositeSeg>>,
+        hi: Bound<Vec<CompositeSeg>>,
+        prefix_col: Option<(usize, String)>,
+    },
+}
+
+impl<Id: Ord + Copy> CompositeEntries<Id> {
+    fn new(columns: Vec<String>) -> Self {
+        CompositeEntries {
+            columns,
+            map: BTreeMap::new(),
+            lossy_numerics: 0,
+            unkeyable: 0,
+            total: 0,
+            hist: Histogram::default(),
+        }
+    }
+
+    /// The key vector of a property map, or the exclusion reason.
+    fn key_of(&self, props: &PropertyMap) -> Result<Vec<CompositeSeg>, Exclusion> {
+        let mut segs = Vec::with_capacity(self.columns.len());
+        let mut excluded: Option<Exclusion> = None;
+        for col in &self.columns {
+            match props.get(col) {
+                None => segs.push(CompositeSeg::Missing),
+                Some(v) => match IndexKey::from_value(v) {
+                    Some(ik) => segs.push(CompositeSeg::Key(ik)),
+                    // lossy wins over plain-unkeyable: it is the reason
+                    // numeric ranges must refuse
+                    None if IndexKey::is_lossy_numeric(v) => excluded = Some(Exclusion::Lossy),
+                    None => {
+                        if !matches!(excluded, Some(Exclusion::Lossy)) {
+                            excluded = Some(Exclusion::Unkeyable);
+                        }
+                    }
+                },
+            }
+        }
+        match excluded {
+            Some(e) => Err(e),
+            None => Ok(segs),
+        }
+    }
+
+    fn insert(&mut self, props: &PropertyMap, id: Id) {
+        match self.key_of(props) {
+            Ok(segs) => {
+                let leading = segs.first().cloned();
+                if self.map.entry(segs).or_default().insert(id) {
+                    self.total += 1;
+                    if let Some(CompositeSeg::Key(ik)) = &leading {
+                        self.hist.note_insert(ik);
+                    }
+                    if self.hist.stale(self.total) {
+                        self.rebuild_hist();
+                    }
+                }
+            }
+            Err(Exclusion::Lossy) => self.lossy_numerics += 1,
+            Err(Exclusion::Unkeyable) => self.unkeyable += 1,
+        }
+    }
+
+    fn remove(&mut self, props: &PropertyMap, id: Id) {
+        match self.key_of(props) {
+            Ok(segs) => {
+                if let Some(set) = self.map.get_mut(&segs) {
+                    if set.remove(&id) {
+                        self.total = self.total.saturating_sub(1);
+                        if let Some(CompositeSeg::Key(ik)) = segs.first() {
+                            self.hist.note_remove(ik);
+                        }
+                    }
+                    if set.is_empty() {
+                        self.map.remove(&segs);
+                    }
+                    if self.hist.stale(self.total) {
+                        self.rebuild_hist();
+                    }
+                }
+            }
+            Err(Exclusion::Lossy) => self.lossy_numerics = self.lossy_numerics.saturating_sub(1),
+            Err(Exclusion::Unkeyable) => self.unkeyable = self.unkeyable.saturating_sub(1),
+        }
+    }
+
+    /// Rebuild the leading-column histogram from the live key space. The
+    /// map iterates by `cmp_order` rank; the histogram compares bounds in
+    /// [`IndexKey`] order, so counts are regrouped first.
+    fn rebuild_hist(&mut self) {
+        let mut by_leading: BTreeMap<IndexKey, usize> = BTreeMap::new();
+        let mut keyed_total = 0usize;
+        for (segs, set) in &self.map {
+            if let Some(CompositeSeg::Key(ik)) = segs.first() {
+                *by_leading.entry(ik.clone()).or_insert(0) += set.len();
+                keyed_total += set.len();
+            }
+        }
+        self.hist
+            .rebuild_from(by_leading.iter().map(|(k, n)| (k, *n)), keyed_total);
+    }
+
+    /// Classify an equality-prefix + trailing-bound probe (see module docs
+    /// for the refusal rules).
+    fn classify(&self, eq: &[Value], trailing: CompositeTrailing<'_>) -> ProbeQuery {
+        let width = self.columns.len();
+        if eq.len() > width || (eq.len() == width && !matches!(trailing, CompositeTrailing::None)) {
+            return ProbeQuery::Refused; // malformed probe
+        }
+        // Equality prefix → exact segments.
+        let mut prefix: Vec<CompositeSeg> = Vec::with_capacity(eq.len() + 2);
+        for v in eq {
+            match IndexKey::from_value(v) {
+                Some(ik) => prefix.push(CompositeSeg::Key(ik)),
+                None if IndexKey::never_matches(v) => return ProbeQuery::Empty,
+                None => return ProbeQuery::Refused,
+            }
+        }
+        // Probes narrower than the full width can match records excluded
+        // for a value in an *unprobed* column — refuse while any exist.
+        let constrained = eq.len() + usize::from(!matches!(trailing, CompositeTrailing::None));
+        if constrained < width && self.lossy_numerics + self.unkeyable > 0 {
+            return ProbeQuery::Refused;
+        }
+        match trailing {
+            CompositeTrailing::None => {
+                let mut hi = prefix.clone();
+                hi.push(CompositeSeg::Hi);
+                ProbeQuery::Walk {
+                    lo: Bound::Included(prefix),
+                    hi: Bound::Excluded(hi),
+                    prefix_col: None,
+                }
+            }
+            CompositeTrailing::Prefix(p) => {
+                let col = eq.len();
+                let mut lo = prefix.clone();
+                lo.push(CompositeSeg::Key(IndexKey::Str(p.to_string())));
+                let mut hi = prefix;
+                hi.push(rank_sup(0)); // end of the string family
+                ProbeQuery::Walk {
+                    lo: Bound::Included(lo),
+                    hi: Bound::Excluded(hi),
+                    prefix_col: Some((col, p.to_string())),
+                }
+            }
+            CompositeTrailing::Range(lower, upper) => {
+                // Resolve value bounds into trailing-column keys.
+                let classify = |b: Bound<&Value>| -> Result<Bound<IndexKey>, ProbeQuery> {
+                    match b {
+                        Bound::Unbounded => Ok(Bound::Unbounded),
+                        Bound::Included(v) | Bound::Excluded(v) => match IndexKey::from_value(v) {
+                            Some(ik) => Ok(match b {
+                                Bound::Included(_) => Bound::Included(ik),
+                                _ => Bound::Excluded(ik),
+                            }),
+                            None if IndexKey::never_matches(v) => Err(ProbeQuery::Empty),
+                            None if matches!(v, Value::Map(_)) => Err(ProbeQuery::Empty),
+                            None => Err(ProbeQuery::Refused),
+                        },
+                    }
+                };
+                let lo_k = match classify(lower) {
+                    Ok(b) => b,
+                    Err(q) => return q,
+                };
+                let hi_k = match classify(upper) {
+                    Ok(b) => b,
+                    Err(q) => return q,
+                };
+                let fam = match (&lo_k, &hi_k) {
+                    (Bound::Included(k) | Bound::Excluded(k), Bound::Unbounded)
+                    | (Bound::Unbounded, Bound::Included(k) | Bound::Excluded(k)) => order_rank(k),
+                    (
+                        Bound::Included(a) | Bound::Excluded(a),
+                        Bound::Included(b) | Bound::Excluded(b),
+                    ) => {
+                        if order_rank(a) != order_rank(b) {
+                            return ProbeQuery::Empty;
+                        }
+                        order_rank(a)
+                    }
+                    (Bound::Unbounded, Bound::Unbounded) => return ProbeQuery::Refused,
+                };
+                // Numeric ranges are incomplete while lossy numerics exist.
+                if fam == 2 && self.lossy_numerics > 0 {
+                    return ProbeQuery::Refused;
+                }
+                // Inverted ranges would panic in BTreeMap::range.
+                if range_keys_empty(&lo_k, &hi_k) {
+                    return ProbeQuery::Empty;
+                }
+                let lo = match lo_k {
+                    Bound::Unbounded | Bound::Included(_) => {
+                        let mut v = prefix.clone();
+                        v.push(CompositeSeg::Key(match lo_k {
+                            Bound::Included(k) => k,
+                            _ => rank_min(fam),
+                        }));
+                        Bound::Included(v)
+                    }
+                    Bound::Excluded(k) => {
+                        // exclude every key whose trailing column equals k,
+                        // regardless of later columns
+                        let mut v = prefix.clone();
+                        v.push(CompositeSeg::Key(k));
+                        v.push(CompositeSeg::Hi);
+                        Bound::Excluded(v)
+                    }
+                };
+                let hi = match hi_k {
+                    Bound::Unbounded => {
+                        let mut v = prefix;
+                        v.push(rank_sup(fam));
+                        Bound::Excluded(v)
+                    }
+                    Bound::Included(k) => {
+                        let mut v = prefix;
+                        v.push(CompositeSeg::Key(k));
+                        v.push(CompositeSeg::Hi);
+                        Bound::Excluded(v)
+                    }
+                    Bound::Excluded(k) => {
+                        let mut v = prefix;
+                        v.push(CompositeSeg::Key(k));
+                        Bound::Excluded(v)
+                    }
+                };
+                ProbeQuery::Walk {
+                    lo,
+                    hi,
+                    prefix_col: None,
+                }
+            }
+        }
+    }
+
+    /// Walk a classified probe, applying the optional `STARTS WITH`
+    /// cut-off.
+    fn walk_probe<'s>(
+        &'s self,
+        lo: Bound<Vec<CompositeSeg>>,
+        hi: Bound<Vec<CompositeSeg>>,
+        prefix_col: Option<(usize, String)>,
+    ) -> impl Iterator<Item = (&'s Vec<CompositeSeg>, &'s BTreeSet<Id>)> + 's {
+        self.map
+            .range((lo, hi))
+            .take_while(move |(segs, _)| match &prefix_col {
+                None => true,
+                Some((col, p)) => {
+                    matches!(&segs[*col], CompositeSeg::Key(IndexKey::Str(s)) if s.starts_with(p.as_str()))
+                }
+            })
+    }
+
+    fn lookup(&self, eq: &[Value], trailing: CompositeTrailing<'_>) -> Option<Vec<Id>> {
+        match self.classify(eq, trailing) {
+            ProbeQuery::Empty => Some(Vec::new()),
+            ProbeQuery::Refused => None,
+            ProbeQuery::Walk { lo, hi, prefix_col } => {
+                let mut out: Vec<Id> = self
+                    .walk_probe(lo, hi, prefix_col)
+                    .flat_map(|(_, set)| set.iter().copied())
+                    .collect();
+                out.sort();
+                Some(out)
+            }
+        }
+    }
+
+    /// Count the ids a [`CompositeEntries::lookup`] would return, without
+    /// materializing them. Leading-column-only ranges are served from the
+    /// histogram once built; everything else counts the walk exactly
+    /// (allocation-free).
+    fn count(&self, eq: &[Value], trailing: CompositeTrailing<'_>) -> Option<usize> {
+        match self.classify(eq, trailing) {
+            ProbeQuery::Empty => Some(0),
+            ProbeQuery::Refused => None,
+            ProbeQuery::Walk { lo, hi, prefix_col } => {
+                // Leading-column ranges: estimate from the histogram (it
+                // attributes leading IndexKeys, so only width-1 walks can
+                // be served from it).
+                if eq.is_empty() && prefix_col.is_none() {
+                    if let CompositeTrailing::Range(lower, upper) = trailing {
+                        if let Some(est) = self.hist_estimate(lower, upper) {
+                            return Some(est);
+                        }
+                    }
+                }
+                Some(
+                    self.walk_probe(lo, hi, prefix_col)
+                        .map(|(_, set)| set.len())
+                        .sum(),
+                )
+            }
+        }
+    }
+
+    /// Histogram estimate for a leading-column range (bounds already
+    /// validated by [`CompositeEntries::classify`]). The histogram orders
+    /// its buckets in [`IndexKey`] order, so bounds are resolved with the
+    /// same family frontiers the single-key index uses.
+    fn hist_estimate(&self, lower: Bound<&Value>, upper: Bound<&Value>) -> Option<usize> {
+        let key_bound = |b: Bound<&Value>| -> Option<Bound<IndexKey>> {
+            Some(match b {
+                Bound::Unbounded => Bound::Unbounded,
+                Bound::Included(v) => Bound::Included(IndexKey::from_value(v)?),
+                Bound::Excluded(v) => Bound::Excluded(IndexKey::from_value(v)?),
+            })
+        };
+        let lo = key_bound(lower)?;
+        let hi = key_bound(upper)?;
+        let fam = match (&lo, &hi) {
+            (Bound::Included(k) | Bound::Excluded(k), _)
+            | (_, Bound::Included(k) | Bound::Excluded(k)) => k.family(),
+            _ => return None,
+        };
+        let lo = match lo {
+            Bound::Unbounded => crate::prop_index::family_min(fam),
+            b => b,
+        };
+        let hi = match hi {
+            Bound::Unbounded => crate::prop_index::family_max(fam),
+            b => b,
+        };
+        self.hist.estimate_range(&lo, &hi)
+    }
+
+    /// Walk all indexed items in `ORDER BY c_{j+1}, c_{j+2}, …` order
+    /// (ascending [`Value::cmp_order`], `Missing`/NULL last — or fully
+    /// reversed), restricted to the equality prefix `eq` on the first `j`
+    /// columns. `None` while any record is excluded (the walk would be
+    /// incomplete).
+    fn ordered_walk(
+        &self,
+        eq: &[Value],
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = Id> + '_>> {
+        if self.lossy_numerics + self.unkeyable > 0 || eq.len() > self.columns.len() {
+            return None;
+        }
+        let mut prefix: Vec<CompositeSeg> = Vec::with_capacity(eq.len() + 1);
+        for v in eq {
+            match IndexKey::from_value(v) {
+                Some(ik) => prefix.push(CompositeSeg::Key(ik)),
+                None if IndexKey::never_matches(v) => {
+                    return Some(Box::new(std::iter::empty()));
+                }
+                None => return None,
+            }
+        }
+        let mut hi = prefix.clone();
+        hi.push(CompositeSeg::Hi);
+        let range = self
+            .map
+            .range((Bound::Included(prefix), Bound::Excluded(hi)));
+        if descending {
+            Some(Box::new(
+                range.rev().flat_map(|(_, set)| set.iter().copied()),
+            ))
+        } else {
+            Some(Box::new(range.flat_map(|(_, set)| set.iter().copied())))
+        }
+    }
+
+    /// `(total indexed records, distinct key vectors)`.
+    fn stats(&self) -> (usize, usize) {
+        (self.total, self.map.len())
+    }
+}
+
+/// Whether trailing-column key bounds denote an empty interval.
+fn range_keys_empty(lo: &Bound<IndexKey>, hi: &Bound<IndexKey>) -> bool {
+    match (lo, hi) {
+        (Bound::Included(a), Bound::Included(b)) => a > b,
+        (Bound::Included(a), Bound::Excluded(b))
+        | (Bound::Excluded(a), Bound::Included(b))
+        | (Bound::Excluded(a), Bound::Excluded(b)) => a >= b,
+        _ => false,
+    }
+}
+
+/// The set of composite indexes of a graph, generic over the item id
+/// (nodes keyed by label, relationships by type), maintained through
+/// every mutation *and undo* path of [`crate::Graph`].
+#[derive(Debug, Clone)]
+pub struct CompositeIndex<Id> {
+    by_label: HashMap<String, Vec<CompositeEntries<Id>>>,
+    /// Number of definitions; cheap emptiness check for the mutation fast
+    /// path.
+    count: usize,
+}
+
+impl<Id> Default for CompositeIndex<Id> {
+    fn default() -> Self {
+        CompositeIndex {
+            by_label: HashMap::new(),
+            count: 0,
+        }
+    }
+}
+
+impl<Id: Ord + Copy> CompositeIndex<Id> {
+    /// `true` when no composite index exists (mutation fast path).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Declare a composite index on `(label, columns)`. Returns `false`
+    /// when it already exists or `columns` has fewer than two entries
+    /// (single keys belong to [`crate::PropIndex`]) or repeats a column.
+    /// The caller (the store) populates it from the live extent.
+    pub fn create(&mut self, label: &str, columns: &[String]) -> bool {
+        if columns.len() < 2 {
+            return false;
+        }
+        let mut distinct: Vec<&String> = columns.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        if distinct.len() != columns.len() {
+            return false;
+        }
+        let defs = self.by_label.entry(label.to_string()).or_default();
+        if defs.iter().any(|e| e.columns == columns) {
+            return false;
+        }
+        defs.push(CompositeEntries::new(columns.to_vec()));
+        self.count += 1;
+        true
+    }
+
+    /// Drop the composite index on `(label, columns)`; `false` when absent.
+    pub fn drop_index(&mut self, label: &str, columns: &[String]) -> bool {
+        let Some(defs) = self.by_label.get_mut(label) else {
+            return false;
+        };
+        let Some(pos) = defs.iter().position(|e| e.columns == columns) else {
+            return false;
+        };
+        defs.remove(pos);
+        if defs.is_empty() {
+            self.by_label.remove(label);
+        }
+        self.count -= 1;
+        true
+    }
+
+    /// Whether `(label, columns)` is indexed.
+    pub fn is_indexed(&self, label: &str, columns: &[String]) -> bool {
+        self.by_label
+            .get(label)
+            .is_some_and(|defs| defs.iter().any(|e| e.columns == columns))
+    }
+
+    /// All `(label, columns)` definitions, sorted.
+    pub fn definitions(&self) -> Vec<(String, Vec<String>)> {
+        let mut out: Vec<(String, Vec<String>)> = self
+            .by_label
+            .iter()
+            .flat_map(|(l, defs)| defs.iter().map(move |e| (l.clone(), e.columns.clone())))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The column lists indexed under `label` (planner discovery).
+    pub fn defs_for_label(&self, label: &str) -> Vec<Vec<String>> {
+        self.by_label
+            .get(label)
+            .map(|defs| defs.iter().map(|e| e.columns.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Index one item under one of its labels (all of that label's
+    /// definitions).
+    pub fn index_item_label(&mut self, label: &str, props: &PropertyMap, id: Id) {
+        if self.count == 0 {
+            return;
+        }
+        if let Some(defs) = self.by_label.get_mut(label) {
+            for e in defs {
+                e.insert(props, id);
+            }
+        }
+    }
+
+    /// Remove one item's entries under one label.
+    pub fn deindex_item_label(&mut self, label: &str, props: &PropertyMap, id: Id) {
+        if self.count == 0 {
+            return;
+        }
+        if let Some(defs) = self.by_label.get_mut(label) {
+            for e in defs {
+                e.remove(props, id);
+            }
+        }
+    }
+
+    /// Index one item under every given label.
+    pub fn index_item<'l>(
+        &mut self,
+        labels: impl IntoIterator<Item = &'l str>,
+        props: &PropertyMap,
+        id: Id,
+    ) {
+        if self.count == 0 {
+            return;
+        }
+        for l in labels {
+            self.index_item_label(l, props, id);
+        }
+    }
+
+    /// Remove one item's entries under every given label.
+    pub fn deindex_item<'l>(
+        &mut self,
+        labels: impl IntoIterator<Item = &'l str>,
+        props: &PropertyMap,
+        id: Id,
+    ) {
+        if self.count == 0 {
+            return;
+        }
+        for l in labels {
+            self.deindex_item_label(l, props, id);
+        }
+    }
+
+    /// Insert one item into one specific definition (index creation
+    /// populating from the live extent).
+    pub fn insert_into(&mut self, label: &str, columns: &[String], props: &PropertyMap, id: Id) {
+        if let Some(defs) = self.by_label.get_mut(label) {
+            if let Some(e) = defs.iter_mut().find(|e| e.columns == columns) {
+                e.insert(props, id);
+            }
+        }
+    }
+
+    /// Composite lookup: items whose first `eq.len()` columns equal `eq`
+    /// and whose next column satisfies `trailing`. `None` = the index
+    /// cannot answer faithfully (not indexed, unkeyable probe values,
+    /// exclusion rules — see module docs) and the caller must fall back.
+    pub fn lookup(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<Id>> {
+        self.entry(label, columns)?.lookup(eq, trailing)
+    }
+
+    /// Count-only probe mirroring [`CompositeIndex::lookup`] (histogram
+    /// estimate for leading-column ranges, exact walk counts otherwise).
+    pub fn count(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        self.entry(label, columns)?.count(eq, trailing)
+    }
+
+    /// Ordered walk in `ORDER BY` order over the columns after the
+    /// equality prefix; see the module docs for ordering semantics.
+    pub fn ordered_walk(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = Id> + '_>> {
+        self.entry(label, columns)?.ordered_walk(eq, descending)
+    }
+
+    /// `(total indexed records, distinct key vectors)` for a definition.
+    pub fn stats(&self, label: &str, columns: &[String]) -> Option<(usize, usize)> {
+        Some(self.entry(label, columns)?.stats())
+    }
+
+    /// Rebuild every leading-column histogram from the live key space
+    /// (post-bulk-load refresh; see [`crate::Graph::rebuild_stats`]).
+    pub fn rebuild_stats(&mut self) {
+        for defs in self.by_label.values_mut() {
+            for e in defs {
+                e.rebuild_hist();
+            }
+        }
+    }
+
+    fn entry(&self, label: &str, columns: &[String]) -> Option<&CompositeEntries<Id>> {
+        self.by_label
+            .get(label)?
+            .iter()
+            .find(|e| e.columns == columns)
+    }
+}
+
+/// Composite node indexes (`(label, [k1, k2, …])`).
+pub type NodeCompositeIndex = CompositeIndex<NodeId>;
+/// Composite relationship indexes (`(rel_type, [k1, k2, …])`).
+pub type RelCompositeIndex = CompositeIndex<RelId>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn props(entries: &[(&str, Value)]) -> PropertyMap {
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn cols(cs: &[&str]) -> Vec<String> {
+        cs.iter().map(|c| c.to_string()).collect()
+    }
+
+    fn ids(v: Option<Vec<NodeId>>) -> Option<Vec<u64>> {
+        v.map(|ids| ids.into_iter().map(|n| n.0).collect())
+    }
+
+    #[test]
+    fn create_drop_and_definitions() {
+        let mut ix = NodeCompositeIndex::default();
+        assert!(ix.is_empty());
+        assert!(ix.create("A", &cols(&["x", "y"])));
+        assert!(!ix.create("A", &cols(&["x", "y"]))); // duplicate
+        assert!(!ix.create("A", &cols(&["x"]))); // too narrow
+        assert!(!ix.create("A", &cols(&["x", "x"]))); // repeated column
+        assert!(ix.create("A", &cols(&["y", "x"]))); // order matters
+        assert!(ix.create("B", &cols(&["x", "y", "z"])));
+        assert_eq!(
+            ix.definitions(),
+            vec![
+                ("A".to_string(), cols(&["x", "y"])),
+                ("A".to_string(), cols(&["y", "x"])),
+                ("B".to_string(), cols(&["x", "y", "z"])),
+            ]
+        );
+        assert!(ix.drop_index("A", &cols(&["y", "x"])));
+        assert!(!ix.drop_index("A", &cols(&["y", "x"])));
+        assert_eq!(ix.defs_for_label("A"), vec![cols(&["x", "y"])]);
+        assert!(ix.is_indexed("B", &cols(&["x", "y", "z"])));
+    }
+
+    /// A small (status, severity) fixture: the paper's §6 conjunction shape.
+    fn fixture() -> NodeCompositeIndex {
+        let mut ix = NodeCompositeIndex::default();
+        ix.create("P", &cols(&["status", "severity"]));
+        let rows: &[(&str, Option<i64>)] = &[
+            ("icu", Some(9)),  // 0
+            ("icu", Some(7)),  // 1
+            ("icu", None),     // 2 — missing severity
+            ("ward", Some(9)), // 3
+            ("ward", Some(1)), // 4
+            ("home", Some(0)), // 5
+        ];
+        for (i, (status, sev)) in rows.iter().enumerate() {
+            let mut entries = vec![("status", Value::str(*status))];
+            if let Some(s) = sev {
+                entries.push(("severity", Value::Int(*s)));
+            }
+            ix.index_item_label("P", &props(&entries), NodeId(i as u64));
+        }
+        ix
+    }
+
+    #[test]
+    fn full_width_equality_and_trailing_range() {
+        let ix = fixture();
+        let c = cols(&["status", "severity"]);
+        // full-width equality
+        assert_eq!(
+            ids(ix.lookup(
+                "P",
+                &c,
+                &[Value::str("icu"), Value::Int(9)],
+                CompositeTrailing::None
+            )),
+            Some(vec![0])
+        );
+        // equality prefix + trailing range (the §6 conjunction)
+        assert_eq!(
+            ids(ix.lookup(
+                "P",
+                &c,
+                &[Value::str("icu")],
+                CompositeTrailing::Range(Bound::Included(&Value::Int(8)), Bound::Unbounded)
+            )),
+            Some(vec![0])
+        );
+        assert_eq!(
+            ids(ix.lookup(
+                "P",
+                &c,
+                &[Value::str("icu")],
+                CompositeTrailing::Range(Bound::Excluded(&Value::Int(7)), Bound::Unbounded)
+            )),
+            Some(vec![0])
+        );
+        assert_eq!(
+            ids(ix.lookup(
+                "P",
+                &c,
+                &[Value::str("ward")],
+                CompositeTrailing::Range(Bound::Unbounded, Bound::Excluded(&Value::Int(9)))
+            )),
+            Some(vec![4])
+        );
+        // a missing trailing value satisfies no range
+        assert_eq!(
+            ids(ix.lookup(
+                "P",
+                &c,
+                &[Value::str("icu")],
+                CompositeTrailing::Range(Bound::Included(&Value::Int(0)), Bound::Unbounded)
+            )),
+            Some(vec![0, 1])
+        );
+        // sub-width equality prefix covers missing trailing values
+        assert_eq!(
+            ids(ix.lookup("P", &c, &[Value::str("icu")], CompositeTrailing::None)),
+            Some(vec![0, 1, 2])
+        );
+        // NULL probe values are definitively empty
+        assert_eq!(
+            ids(ix.lookup(
+                "P",
+                &c,
+                &[Value::Null, Value::Int(1)],
+                CompositeTrailing::None
+            )),
+            Some(vec![])
+        );
+        // unknown definition / unkeyable probe → refuse
+        assert_eq!(
+            ix.lookup("P", &cols(&["a", "b"]), &[], CompositeTrailing::None),
+            None
+        );
+        assert_eq!(
+            ix.lookup(
+                "P",
+                &c,
+                &[Value::list([Value::Int(1)])],
+                CompositeTrailing::None
+            ),
+            None
+        );
+        // counts agree with lookups
+        assert_eq!(
+            ix.count("P", &c, &[Value::str("icu")], CompositeTrailing::None),
+            Some(3)
+        );
+        assert_eq!(
+            ix.count(
+                "P",
+                &c,
+                &[Value::str("icu")],
+                CompositeTrailing::Range(Bound::Included(&Value::Int(8)), Bound::Unbounded)
+            ),
+            Some(1)
+        );
+        assert_eq!(ix.stats("P", &c), Some((6, 6)));
+    }
+
+    #[test]
+    fn trailing_prefix_bound() {
+        let mut ix = NodeCompositeIndex::default();
+        let c = cols(&["k", "s"]);
+        ix.create("A", &c);
+        for (i, (k, s)) in [(1i64, "alpha"), (1, "alphabet"), (1, "beta"), (2, "alpha")]
+            .iter()
+            .enumerate()
+        {
+            ix.index_item_label(
+                "A",
+                &props(&[("k", Value::Int(*k)), ("s", Value::str(*s))]),
+                NodeId(i as u64),
+            );
+        }
+        assert_eq!(
+            ids(ix.lookup(
+                "A",
+                &c,
+                &[Value::Int(1)],
+                CompositeTrailing::Prefix("alpha")
+            )),
+            Some(vec![0, 1])
+        );
+        assert_eq!(
+            ids(ix.lookup("A", &c, &[Value::Int(1)], CompositeTrailing::Prefix("z"))),
+            Some(vec![])
+        );
+        // the empty prefix matches every string (and only strings)
+        ix.index_item_label("A", &props(&[("k", Value::Int(1))]), NodeId(9));
+        assert_eq!(
+            ids(ix.lookup("A", &c, &[Value::Int(1)], CompositeTrailing::Prefix(""))),
+            Some(vec![0, 1, 2])
+        );
+        assert_eq!(
+            ix.count("A", &c, &[Value::Int(1)], CompositeTrailing::Prefix("alp")),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn remove_and_reindex_round_trip() {
+        let mut ix = fixture();
+        let c = cols(&["status", "severity"]);
+        let p = props(&[("status", Value::str("icu")), ("severity", Value::Int(9))]);
+        ix.deindex_item_label("P", &p, NodeId(0));
+        assert_eq!(
+            ids(ix.lookup(
+                "P",
+                &c,
+                &[Value::str("icu"), Value::Int(9)],
+                CompositeTrailing::None
+            )),
+            Some(vec![])
+        );
+        assert_eq!(ix.stats("P", &c), Some((5, 5)));
+        ix.index_item_label("P", &p, NodeId(0));
+        assert_eq!(
+            ids(ix.lookup(
+                "P",
+                &c,
+                &[Value::str("icu"), Value::Int(9)],
+                CompositeTrailing::None
+            )),
+            Some(vec![0])
+        );
+    }
+
+    #[test]
+    fn exclusions_refuse_sub_width_probes_only() {
+        let mut ix = NodeCompositeIndex::default();
+        let c = cols(&["a", "b"]);
+        ix.create("A", &c);
+        ix.index_item_label(
+            "A",
+            &props(&[("a", Value::Int(1)), ("b", Value::Int(5))]),
+            NodeId(0),
+        );
+        // a record with an unkeyable column value is excluded whole
+        let excluded = props(&[("a", Value::Int(1)), ("b", Value::list([Value::Int(1)]))]);
+        ix.index_item_label("A", &excluded, NodeId(1));
+        // sub-width probes could miss it → refused
+        assert_eq!(
+            ix.lookup("A", &c, &[Value::Int(1)], CompositeTrailing::None),
+            None
+        );
+        // full-width equality stays answerable (a keyable probe never
+        // eq3-equals the excluded list)
+        assert_eq!(
+            ids(ix.lookup(
+                "A",
+                &c,
+                &[Value::Int(1), Value::Int(5)],
+                CompositeTrailing::None
+            )),
+            Some(vec![0])
+        );
+        // ordered walks refuse
+        assert!(ix.ordered_walk("A", &c, &[], false).is_none());
+        // removing the exclusion restores everything
+        ix.deindex_item_label("A", &excluded, NodeId(1));
+        assert_eq!(
+            ids(ix.lookup("A", &c, &[Value::Int(1)], CompositeTrailing::None)),
+            Some(vec![0])
+        );
+        assert!(ix.ordered_walk("A", &c, &[], false).is_some());
+    }
+
+    #[test]
+    fn lossy_numerics_refuse_numeric_trailing_ranges() {
+        let bound = 1i64 << 53;
+        let mut ix = NodeCompositeIndex::default();
+        let c = cols(&["a", "b"]);
+        ix.create("A", &c);
+        ix.index_item_label(
+            "A",
+            &props(&[("a", Value::Int(1)), ("b", Value::Int(5))]),
+            NodeId(0),
+        );
+        let lossy = props(&[("a", Value::Int(1)), ("b", Value::Int(bound + 1))]);
+        ix.index_item_label("A", &lossy, NodeId(1));
+        // the lossy record would satisfy `b > 0` but is not indexed
+        assert_eq!(
+            ix.lookup(
+                "A",
+                &c,
+                &[Value::Int(1)],
+                CompositeTrailing::Range(Bound::Excluded(&Value::Int(0)), Bound::Unbounded)
+            ),
+            None
+        );
+        // full-width equality still answers
+        assert_eq!(
+            ids(ix.lookup(
+                "A",
+                &c,
+                &[Value::Int(1), Value::Int(5)],
+                CompositeTrailing::None
+            )),
+            Some(vec![0])
+        );
+        ix.deindex_item_label("A", &lossy, NodeId(1));
+        assert_eq!(
+            ids(ix.lookup(
+                "A",
+                &c,
+                &[Value::Int(1)],
+                CompositeTrailing::Range(Bound::Excluded(&Value::Int(0)), Bound::Unbounded)
+            )),
+            Some(vec![0])
+        );
+    }
+
+    #[test]
+    fn ordered_walk_is_order_by_order() {
+        let ix = fixture();
+        let c = cols(&["status", "severity"]);
+        // ORDER BY status, severity ascending: home < icu < ward by
+        // status; within icu 7 < 9 < missing (NULL last)
+        let asc: Vec<u64> = ix
+            .ordered_walk("P", &c, &[], false)
+            .unwrap()
+            .map(|n: NodeId| n.0)
+            .collect();
+        assert_eq!(asc, vec![5, 1, 0, 2, 4, 3]);
+        // descending is the exact reverse (Missing leads, NULL-first)
+        let desc: Vec<u64> = ix
+            .ordered_walk("P", &c, &[], true)
+            .unwrap()
+            .map(|n: NodeId| n.0)
+            .collect();
+        let mut rev = asc.clone();
+        rev.reverse();
+        assert_eq!(desc, rev);
+        // pinned to the equality prefix status='icu': ORDER BY severity
+        let pinned: Vec<u64> = ix
+            .ordered_walk("P", &c, &[Value::str("icu")], false)
+            .unwrap()
+            .map(|n: NodeId| n.0)
+            .collect();
+        assert_eq!(pinned, vec![1, 0, 2]);
+        // a never-matching pin is an empty walk, not a refusal
+        assert_eq!(
+            ix.ordered_walk("P", &c, &[Value::Null], false)
+                .unwrap()
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn mixed_family_segments_order_like_cmp_order() {
+        let mut ix = NodeCompositeIndex::default();
+        let c = cols(&["a", "b"]);
+        ix.create("M", &c);
+        let rows = [
+            (Value::str("s"), Value::Int(1)),    // 0
+            (Value::Bool(false), Value::Int(0)), // 1
+            (Value::Int(0), Value::str("x")),    // 2
+            (Value::Float(0.5), Value::Int(0)),  // 3
+            (Value::Date(3), Value::Int(0)),     // 4
+        ];
+        for (i, (a, b)) in rows.iter().enumerate() {
+            ix.index_item_label(
+                "M",
+                &props(&[("a", a.clone()), ("b", b.clone())]),
+                NodeId(i as u64),
+            );
+        }
+        let asc: Vec<u64> = ix
+            .ordered_walk("M", &c, &[], false)
+            .unwrap()
+            .map(|n: NodeId| n.0)
+            .collect();
+        // cmp_order family rank: strings < bools < numerics < dates
+        assert_eq!(asc, vec![0, 1, 2, 3, 4]);
+        // a numeric trailing range on the leading column sees only numerics
+        assert_eq!(
+            ids(ix.lookup(
+                "M",
+                &c,
+                &[],
+                CompositeTrailing::Range(Bound::Included(&Value::Int(0)), Bound::Unbounded)
+            )),
+            Some(vec![2, 3])
+        );
+    }
+
+    #[test]
+    fn leading_column_histogram_estimates() {
+        let mut ix = NodeCompositeIndex::default();
+        let c = cols(&["a", "b"]);
+        ix.create("A", &c);
+        for i in 0..2000i64 {
+            ix.index_item_label(
+                "A",
+                &props(&[("a", Value::Int(i)), ("b", Value::Int(i % 7))]),
+                NodeId(i as u64),
+            );
+        }
+        assert_eq!(ix.stats("A", &c), Some((2000, 2000)));
+        let est = ix
+            .count(
+                "A",
+                &c,
+                &[],
+                CompositeTrailing::Range(
+                    Bound::Included(&Value::Int(0)),
+                    Bound::Excluded(&Value::Int(200)),
+                ),
+            )
+            .unwrap();
+        let depth = 2000usize.div_ceil(32);
+        let bound = 2 * depth + 2000 / 8;
+        assert!(est.abs_diff(200) <= bound, "est {est} too far from 200");
+    }
+}

@@ -17,12 +17,18 @@
 //!   `(type, key, value)` → relationship set, [`prop_index`]) kept
 //!   consistent through every mutation *and undo* path, giving the query
 //!   layer index-backed access paths for equality, ordered range
-//!   (`<`/`<=`/`>`/`>=`), and `STARTS WITH` prefix predicates.
+//!   (`<`/`<=`/`>`/`>=`), and `STARTS WITH` prefix predicates;
+//! * **composite (multi-key) indexes** ([`composite`]): lexicographic key
+//!   vectors over several properties of one label / relationship type,
+//!   serving conjunctions (equality prefix + one trailing range/prefix
+//!   bound) and multi-key `ORDER BY` walks, maintained through the same
+//!   mutation and undo paths.
 //!
 //! The crate is deliberately free of query-language concerns; `pg-cypher`
 //! layers a Cypher subset on top of the [`GraphView`] trait and the mutation
 //! API of [`Graph`].
 
+pub mod composite;
 pub mod delta;
 pub mod error;
 pub mod ids;
@@ -35,6 +41,7 @@ pub mod store;
 pub mod value;
 pub mod view;
 
+pub use composite::{CompositeIndex, CompositeTrailing, NodeCompositeIndex, RelCompositeIndex};
 pub use delta::{Delta, LabelEvent, PropAssign, PropRemove};
 pub use error::{GraphError, Result};
 pub use ids::{ItemRef, NodeId, RelId};

@@ -80,7 +80,7 @@ pub enum IndexKey {
 impl IndexKey {
     /// Family rank: booleans < numerics < strings < dates < datetimes.
     /// `Int` and `FloatBits` share a rank — they interleave numerically.
-    fn family(&self) -> u8 {
+    pub(crate) fn family(&self) -> u8 {
         match self {
             IndexKey::Bool(_) => 0,
             IndexKey::Int(_) | IndexKey::FloatBits(_) => 1,
@@ -168,7 +168,7 @@ impl IndexKey {
     /// value: `NULL` (never equal), `NaN` (never equal), graph items (not
     /// storable). `LIST`/`MAP`/large numerics return `false` — they can
     /// equal stored values the index does not cover.
-    fn never_matches(v: &Value) -> bool {
+    pub(crate) fn never_matches(v: &Value) -> bool {
         match v {
             Value::Null | Value::Node(_) | Value::Rel(_) => true,
             Value::Float(f) => f.is_nan(),
@@ -180,7 +180,7 @@ impl IndexKey {
     /// satisfy ordering predicates ([`Value::cmp3`] orders it against other
     /// numbers). While any such value is present under an indexed
     /// `(label, key)`, numeric range scans must fall back to full scans.
-    fn is_lossy_numeric(v: &Value) -> bool {
+    pub(crate) fn is_lossy_numeric(v: &Value) -> bool {
         match v {
             Value::Int(i) => *i <= -SAFE_INT || *i >= SAFE_INT,
             // every finite f64 with |f| ≥ 2⁵³ is integral, hence unkeyable;
@@ -597,6 +597,18 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
         Some(Box::new(iter))
     }
 
+    /// Rebuild every entry's histogram from the live key space (drift →
+    /// 0). Bulk loads bypass the per-mutation staleness check's amortized
+    /// rebuild cadence badly enough that [`crate::Graph::rebuild_stats`]
+    /// exposes this as an explicit post-load refresh.
+    pub fn rebuild_stats(&mut self) {
+        for keys in self.by_label.values_mut() {
+            for entries in keys.values_mut() {
+                entries.hist.rebuild(&entries.keys, entries.total);
+            }
+        }
+    }
+
     /// Prefix scan: all items whose value is a string starting with
     /// `prefix`, matching `STARTS WITH` semantics (non-strings never
     /// match). Always answerable when `(label, key)` is indexed — every
@@ -616,7 +628,7 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
 }
 
 /// Smallest key of a family (inclusive frontier).
-fn family_min(fam: u8) -> Bound<IndexKey> {
+pub(crate) fn family_min(fam: u8) -> Bound<IndexKey> {
     Bound::Included(match fam {
         0 => IndexKey::Bool(false),
         1 => IndexKey::FloatBits(f64::NEG_INFINITY.to_bits()),
@@ -628,7 +640,7 @@ fn family_min(fam: u8) -> Bound<IndexKey> {
 
 /// Largest key of a family. Strings have no maximum, so the Str frontier is
 /// "everything below the smallest Date key".
-fn family_max(fam: u8) -> Bound<IndexKey> {
+pub(crate) fn family_max(fam: u8) -> Bound<IndexKey> {
     match fam {
         0 => Bound::Included(IndexKey::Bool(true)),
         1 => Bound::Included(IndexKey::FloatBits(f64::INFINITY.to_bits())),
@@ -754,6 +766,12 @@ impl PropIndex {
         descending: bool,
     ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
         self.inner.ordered_walk(label, key, descending)
+    }
+
+    /// Rebuild every histogram from the live keys; see
+    /// [`KeyedIndex::rebuild_stats`].
+    pub fn rebuild_stats(&mut self) {
+        self.inner.rebuild_stats()
     }
 
     /// Index every `(label, key)` pair a node record carries (node
@@ -884,6 +902,12 @@ impl RelPropIndex {
         descending: bool,
     ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
         self.inner.ordered_walk(rel_type, key, descending)
+    }
+
+    /// Rebuild every histogram from the live keys; see
+    /// [`KeyedIndex::rebuild_stats`].
+    pub fn rebuild_stats(&mut self) {
+        self.inner.rebuild_stats()
     }
 
     /// Index every key of a relationship record (creation and undo of

@@ -97,6 +97,17 @@ impl Histogram {
 
     /// Rebuild equal-depth buckets from the live key space.
     pub fn rebuild<Id>(&mut self, keys: &BTreeMap<IndexKey, BTreeSet<Id>>, total: usize) {
+        self.rebuild_from(keys.iter().map(|(k, set)| (k, set.len())), total)
+    }
+
+    /// Rebuild equal-depth buckets from `(key, count)` pairs that must be
+    /// **ascending in [`IndexKey`] order** (composite indexes feed their
+    /// leading-column counts through this; `total` is the sum of counts).
+    pub fn rebuild_from<'a>(
+        &mut self,
+        keys: impl Iterator<Item = (&'a IndexKey, usize)>,
+        total: usize,
+    ) {
         self.bounds.clear();
         self.counts.clear();
         self.drift = 0;
@@ -105,8 +116,10 @@ impl Histogram {
         }
         let depth = total.div_ceil(BUCKETS).max(1);
         let mut acc = 0usize;
-        for (k, set) in keys {
-            acc += set.len();
+        let mut last: Option<&IndexKey> = None;
+        for (k, n) in keys {
+            acc += n;
+            last = Some(k);
             if acc >= depth {
                 self.bounds.push(k.clone());
                 self.counts.push(acc);
@@ -115,7 +128,7 @@ impl Histogram {
         }
         if acc > 0 {
             // tail bucket for the remainder
-            if let Some((k, _)) = keys.iter().next_back() {
+            if let Some(k) = last {
                 self.bounds.push(k.clone());
                 self.counts.push(acc);
             }

@@ -1,5 +1,6 @@
 //! The graph store: storage, indexes, transactions, and the mutation API.
 
+use crate::composite::{CompositeTrailing, NodeCompositeIndex, RelCompositeIndex};
 use crate::delta::Delta;
 use crate::error::{GraphError, Result};
 use crate::ids::{ItemRef, NodeId, RelId};
@@ -101,6 +102,13 @@ pub struct Graph {
     /// Relationship-property indexes (`CREATE INDEX ON -[:TYPE(key)]-`),
     /// maintained through the same mutation and undo paths.
     rel_prop_index: RelPropIndex,
+    /// Composite node indexes (`CREATE INDEX ON :Label(k1, k2, …)`),
+    /// maintained record-at-a-time through every mutation and undo path:
+    /// a touched record is deindexed before and reindexed after each
+    /// change, so the key vector always reflects the full record.
+    composite_index: NodeCompositeIndex,
+    /// Composite relationship indexes (`CREATE INDEX ON -[:TYPE(k1, k2)]-`).
+    rel_composite_index: RelCompositeIndex,
     next_node: u64,
     next_rel: u64,
     tx: Option<TxState>,
@@ -178,6 +186,8 @@ impl Graph {
                         for (k, v) in n.props.iter() {
                             self.prop_index.remove(label, k, v, *node);
                         }
+                        self.composite_index
+                            .deindex_item_label(label, &n.props, *node);
                     }
                     if let Some(ix) = self.label_index.get_mut(label) {
                         ix.remove(node);
@@ -189,6 +199,8 @@ impl Graph {
                         for (k, v) in n.props.iter() {
                             self.prop_index.insert(label, k, v, *node);
                         }
+                        self.composite_index
+                            .index_item_label(label, &n.props, *node);
                     }
                     self.label_index
                         .entry(label.clone())
@@ -202,6 +214,11 @@ impl Graph {
                     new,
                 } => {
                     if let Some(n) = self.nodes.get_mut(node) {
+                        self.composite_index.deindex_item(
+                            n.labels.iter().map(String::as_str),
+                            &n.props,
+                            *node,
+                        );
                         for l in n.labels.iter() {
                             self.prop_index.remove(l, key, new, *node);
                         }
@@ -216,18 +233,35 @@ impl Graph {
                                 n.props.remove(key);
                             }
                         }
+                        self.composite_index.index_item(
+                            n.labels.iter().map(String::as_str),
+                            &n.props,
+                            *node,
+                        );
                     }
                 }
                 Op::RemoveNodeProp { node, key, old } => {
                     if let Some(n) = self.nodes.get_mut(node) {
+                        self.composite_index.deindex_item(
+                            n.labels.iter().map(String::as_str),
+                            &n.props,
+                            *node,
+                        );
                         n.props.set(key.clone(), old.clone());
                         for l in n.labels.iter() {
                             self.prop_index.insert(l, key, old, *node);
                         }
+                        self.composite_index.index_item(
+                            n.labels.iter().map(String::as_str),
+                            &n.props,
+                            *node,
+                        );
                     }
                 }
                 Op::SetRelProp { rel, key, old, new } => {
                     if let Some(r) = self.rels.get_mut(rel) {
+                        self.rel_composite_index
+                            .deindex_item_label(&r.rel_type, &r.props, *rel);
                         self.rel_prop_index.remove(&r.rel_type, key, new, *rel);
                         match old {
                             Some(v) => {
@@ -238,12 +272,18 @@ impl Graph {
                                 r.props.remove(key);
                             }
                         }
+                        self.rel_composite_index
+                            .index_item_label(&r.rel_type, &r.props, *rel);
                     }
                 }
                 Op::RemoveRelProp { rel, key, old } => {
                     if let Some(r) = self.rels.get_mut(rel) {
+                        self.rel_composite_index
+                            .deindex_item_label(&r.rel_type, &r.props, *rel);
                         r.props.set(key.clone(), old.clone());
                         self.rel_prop_index.insert(&r.rel_type, key, old, *rel);
+                        self.rel_composite_index
+                            .index_item_label(&r.rel_type, &r.props, *rel);
                     }
                 }
             }
@@ -325,6 +365,11 @@ impl Graph {
                 .insert(record.id);
         }
         self.prop_index.index_node(&record);
+        self.composite_index.index_item(
+            record.labels.iter().map(String::as_str),
+            &record.props,
+            record.id,
+        );
         self.out_adj.entry(record.id).or_default();
         self.in_adj.entry(record.id).or_default();
         self.node_ids.insert(record.id);
@@ -339,6 +384,11 @@ impl Graph {
                 }
             }
             self.prop_index.deindex_node(&rec);
+            self.composite_index.deindex_item(
+                rec.labels.iter().map(String::as_str),
+                &rec.props,
+                id,
+            );
         }
         self.node_ids.remove(&id);
         self.out_adj.remove(&id);
@@ -351,6 +401,8 @@ impl Graph {
             .or_default()
             .insert(record.id);
         self.rel_prop_index.index_rel(&record);
+        self.rel_composite_index
+            .index_item_label(&record.rel_type, &record.props, record.id);
         self.out_adj.entry(record.src).or_default().push(record.id);
         self.in_adj.entry(record.dst).or_default().push(record.id);
         self.rel_ids.insert(record.id);
@@ -364,6 +416,8 @@ impl Graph {
                 ix.remove(&id);
             }
             self.rel_prop_index.deindex_rel(&rec);
+            self.rel_composite_index
+                .deindex_item_label(&rec.rel_type, &rec.props, id);
             if let Some(adj) = self.out_adj.get_mut(&rec.src) {
                 adj.retain(|&r| r != id);
             }
@@ -510,6 +564,8 @@ impl Graph {
         for (k, v) in rec.props.iter() {
             self.prop_index.insert(&label, k, v, node);
         }
+        self.composite_index
+            .index_item_label(&label, &rec.props, node);
         self.label_index
             .entry(label.clone())
             .or_default()
@@ -531,6 +587,8 @@ impl Graph {
         for (k, v) in rec.props.iter() {
             self.prop_index.remove(label, k, v, node);
         }
+        self.composite_index
+            .deindex_item_label(label, &rec.props, node);
         if let Some(ix) = self.label_index.get_mut(label) {
             ix.remove(&node);
         }
@@ -561,11 +619,21 @@ impl Graph {
             .nodes
             .get_mut(&node)
             .ok_or(GraphError::NodeNotFound(node))?;
+        self.composite_index
+            .deindex_item(rec.labels.iter().map(String::as_str), &rec.props, node);
         if value.is_null() {
-            if let Some(old) = rec.props.remove(&key) {
+            let old = rec.props.remove(&key);
+            if let Some(old_v) = &old {
                 for l in rec.labels.iter() {
-                    self.prop_index.remove(l, &key, &old, node);
+                    self.prop_index.remove(l, &key, old_v, node);
                 }
+            }
+            self.composite_index.index_item(
+                rec.labels.iter().map(String::as_str),
+                &rec.props,
+                node,
+            );
+            if let Some(old) = old {
                 self.log(Op::RemoveNodeProp { node, key, old });
             }
             return Ok(());
@@ -577,6 +645,8 @@ impl Graph {
             }
             self.prop_index.insert(l, &key, &value, node);
         }
+        self.composite_index
+            .index_item(rec.labels.iter().map(String::as_str), &rec.props, node);
         self.log(Op::SetNodeProp {
             node,
             key,
@@ -593,11 +663,17 @@ impl Graph {
             .nodes
             .get_mut(&node)
             .ok_or(GraphError::NodeNotFound(node))?;
+        self.composite_index
+            .deindex_item(rec.labels.iter().map(String::as_str), &rec.props, node);
         let old = rec.props.remove(key);
         if let Some(old_v) = &old {
             for l in rec.labels.iter() {
                 self.prop_index.remove(l, key, old_v, node);
             }
+        }
+        self.composite_index
+            .index_item(rec.labels.iter().map(String::as_str), &rec.props, node);
+        if let Some(old_v) = &old {
             self.log(Op::RemoveNodeProp {
                 node,
                 key: key.to_string(),
@@ -621,9 +697,16 @@ impl Graph {
             .rels
             .get_mut(&rel)
             .ok_or(GraphError::RelNotFound(rel))?;
+        self.rel_composite_index
+            .deindex_item_label(&rec.rel_type, &rec.props, rel);
         if value.is_null() {
-            if let Some(old) = rec.props.remove(&key) {
-                self.rel_prop_index.remove(&rec.rel_type, &key, &old, rel);
+            let old = rec.props.remove(&key);
+            if let Some(old_v) = &old {
+                self.rel_prop_index.remove(&rec.rel_type, &key, old_v, rel);
+            }
+            self.rel_composite_index
+                .index_item_label(&rec.rel_type, &rec.props, rel);
+            if let Some(old) = old {
                 self.log(Op::RemoveRelProp { rel, key, old });
             }
             return Ok(());
@@ -633,6 +716,8 @@ impl Graph {
             self.rel_prop_index.remove(&rec.rel_type, &key, old_v, rel);
         }
         self.rel_prop_index.insert(&rec.rel_type, &key, &value, rel);
+        self.rel_composite_index
+            .index_item_label(&rec.rel_type, &rec.props, rel);
         self.log(Op::SetRelProp {
             rel,
             key,
@@ -649,9 +734,15 @@ impl Graph {
             .rels
             .get_mut(&rel)
             .ok_or(GraphError::RelNotFound(rel))?;
+        self.rel_composite_index
+            .deindex_item_label(&rec.rel_type, &rec.props, rel);
         let old = rec.props.remove(key);
         if let Some(old_v) = &old {
             self.rel_prop_index.remove(&rec.rel_type, key, old_v, rel);
+        }
+        self.rel_composite_index
+            .index_item_label(&rec.rel_type, &rec.props, rel);
+        if let Some(old_v) = &old {
             self.log(Op::RemoveRelProp {
                 rel,
                 key: key.to_string(),
@@ -782,6 +873,87 @@ impl Graph {
     /// All `(rel_type, key)` relationship-index definitions, sorted.
     pub fn rel_indexes(&self) -> Vec<(String, String)> {
         self.rel_prop_index.definitions()
+    }
+
+    /// Create a composite index on `(label, columns)` and populate it from
+    /// the current extent. Returns `false` when it already exists or the
+    /// column list is malformed (fewer than two columns, or repeats).
+    /// Like single-key indexes, the definition is not transactional (its
+    /// entries are kept consistent by the undo paths).
+    pub fn create_composite_index(&mut self, label: &str, columns: &[String]) -> bool {
+        if !self.composite_index.create(label, columns) {
+            return false;
+        }
+        if let Some(extent) = self.label_index.get(label) {
+            for id in extent {
+                if let Some(rec) = self.nodes.get(id) {
+                    self.composite_index
+                        .insert_into(label, columns, &rec.props, *id);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drop the composite index on `(label, columns)`; `false` when absent.
+    pub fn drop_composite_index(&mut self, label: &str, columns: &[String]) -> bool {
+        self.composite_index.drop_index(label, columns)
+    }
+
+    /// Whether `(label, columns)` carries a composite index.
+    pub fn has_composite_index(&self, label: &str, columns: &[String]) -> bool {
+        self.composite_index.is_indexed(label, columns)
+    }
+
+    /// All `(label, columns)` composite-index definitions, sorted.
+    pub fn composite_indexes(&self) -> Vec<(String, Vec<String>)> {
+        self.composite_index.definitions()
+    }
+
+    /// Create a composite relationship index on `(rel_type, columns)` and
+    /// populate it from the current type extent.
+    pub fn create_rel_composite_index(&mut self, rel_type: &str, columns: &[String]) -> bool {
+        if !self.rel_composite_index.create(rel_type, columns) {
+            return false;
+        }
+        if let Some(extent) = self.type_index.get(rel_type) {
+            for id in extent {
+                if let Some(rec) = self.rels.get(id) {
+                    self.rel_composite_index
+                        .insert_into(rel_type, columns, &rec.props, *id);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drop the composite relationship index on `(rel_type, columns)`.
+    pub fn drop_rel_composite_index(&mut self, rel_type: &str, columns: &[String]) -> bool {
+        self.rel_composite_index.drop_index(rel_type, columns)
+    }
+
+    /// Whether `(rel_type, columns)` carries a composite index.
+    pub fn has_rel_composite_index(&self, rel_type: &str, columns: &[String]) -> bool {
+        self.rel_composite_index.is_indexed(rel_type, columns)
+    }
+
+    /// All `(rel_type, columns)` composite relationship-index definitions.
+    pub fn rel_composite_indexes(&self) -> Vec<(String, Vec<String>)> {
+        self.rel_composite_index.definitions()
+    }
+
+    /// Rebuild every index histogram from the live key space (drift → 0).
+    ///
+    /// Incremental maintenance keeps totals exact but lets the equi-depth
+    /// property erode within the documented `2·depth + drift` bound; bulk
+    /// loads (which bypass the amortized rebuild cadence badly) should
+    /// call this once after loading so planning estimates start from a
+    /// fresh, zero-drift histogram.
+    pub fn rebuild_stats(&mut self) {
+        self.prop_index.rebuild_stats();
+        self.rel_prop_index.rebuild_stats();
+        self.composite_index.rebuild_stats();
+        self.rel_composite_index.rebuild_stats();
     }
 
     // ------------------------------------------------------------------
@@ -1007,6 +1179,98 @@ impl GraphView for Graph {
     ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
         self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
         self.rel_prop_index.ordered_walk(rel_type, key, descending)
+    }
+
+    fn node_composite_defs(&self, label: &str) -> Vec<Vec<String>> {
+        self.composite_index.defs_for_label(label)
+    }
+
+    fn rel_composite_defs(&self, rel_type: &str) -> Vec<Vec<String>> {
+        self.rel_composite_index.defs_for_label(rel_type)
+    }
+
+    fn nodes_with_composite(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<NodeId>> {
+        self.probes
+            .materializing
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.composite_index.lookup(label, columns, eq, trailing)
+    }
+
+    fn count_nodes_with_composite(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.composite_index.count(label, columns, eq, trailing)
+    }
+
+    fn rels_with_composite(
+        &self,
+        rel_type: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<RelId>> {
+        self.probes
+            .materializing
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.rel_composite_index
+            .lookup(rel_type, columns, eq, trailing)
+    }
+
+    fn count_rels_with_composite(
+        &self,
+        rel_type: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.rel_composite_index
+            .count(rel_type, columns, eq, trailing)
+    }
+
+    fn nodes_in_composite_order(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
+        self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
+        self.composite_index
+            .ordered_walk(label, columns, eq, descending)
+    }
+
+    fn rels_in_composite_order(
+        &self,
+        rel_type: &str,
+        columns: &[String],
+        eq: &[Value],
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
+        self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
+        self.rel_composite_index
+            .ordered_walk(rel_type, columns, eq, descending)
+    }
+
+    fn node_composite_stats(&self, label: &str, columns: &[String]) -> Option<(usize, usize)> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.composite_index.stats(label, columns)
+    }
+
+    fn rel_composite_stats(&self, rel_type: &str, columns: &[String]) -> Option<(usize, usize)> {
+        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+        self.rel_composite_index.stats(rel_type, columns)
     }
 
     fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
@@ -1418,6 +1682,155 @@ mod tests {
                 "k={v}"
             );
         }
+    }
+
+    fn cols(cs: &[&str]) -> Vec<String> {
+        cs.iter().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn composite_index_tracks_mutations() {
+        use crate::composite::CompositeTrailing;
+        let mut g = Graph::new();
+        let c = cols(&["status", "severity"]);
+        let a = g
+            .create_node(
+                ["P"],
+                props(&[("status", Value::str("icu")), ("severity", Value::Int(9))]),
+            )
+            .unwrap();
+        assert!(g.create_composite_index("P", &c));
+        assert!(!g.create_composite_index("P", &c));
+        assert_eq!(g.composite_indexes(), vec![("P".to_string(), c.clone())]);
+        // populated from the existing extent
+        let probe = |g: &Graph, status: &str, sev: i64| {
+            g.nodes_with_composite(
+                "P",
+                &c,
+                &[Value::str(status), Value::Int(sev)],
+                CompositeTrailing::None,
+            )
+        };
+        assert_eq!(probe(&g, "icu", 9), Some(vec![a]));
+        // new nodes join; prop updates move the whole key vector
+        let b = g
+            .create_node(
+                ["P"],
+                props(&[("status", Value::str("ward")), ("severity", Value::Int(3))]),
+            )
+            .unwrap();
+        assert_eq!(probe(&g, "ward", 3), Some(vec![b]));
+        g.set_node_prop(b, "status", Value::str("icu")).unwrap();
+        assert_eq!(probe(&g, "ward", 3), Some(vec![]));
+        assert_eq!(probe(&g, "icu", 3), Some(vec![b]));
+        // NULL-assignment moves the entry onto the missing marker
+        g.set_node_prop(b, "severity", Value::Null).unwrap();
+        assert_eq!(probe(&g, "icu", 3), Some(vec![]));
+        assert_eq!(
+            g.nodes_with_composite("P", &c, &[Value::str("icu")], CompositeTrailing::None),
+            Some(vec![a, b])
+        );
+        // label changes attach/detach entries
+        g.remove_label(b, "P").unwrap();
+        assert_eq!(
+            g.nodes_with_composite("P", &c, &[Value::str("icu")], CompositeTrailing::None),
+            Some(vec![a])
+        );
+        g.set_label(b, "P").unwrap();
+        assert_eq!(
+            g.nodes_with_composite("P", &c, &[Value::str("icu")], CompositeTrailing::None),
+            Some(vec![a, b])
+        );
+        // deletion removes; drop stops answering
+        g.detach_delete_node(a).unwrap();
+        assert_eq!(probe(&g, "icu", 9), Some(vec![]));
+        assert!(g.drop_composite_index("P", &c));
+        assert_eq!(probe(&g, "icu", 9), None);
+    }
+
+    #[test]
+    fn composite_index_survives_rollback_paths() {
+        use crate::composite::CompositeTrailing;
+        let mut g = Graph::new();
+        let c = cols(&["k", "m"]);
+        let keep = g
+            .create_node(["P"], props(&[("k", Value::Int(1)), ("m", Value::Int(2))]))
+            .unwrap();
+        g.create_composite_index("P", &c);
+        let full = |g: &Graph, k: i64, m: i64| {
+            g.nodes_with_composite(
+                "P",
+                &c,
+                &[Value::Int(k), Value::Int(m)],
+                CompositeTrailing::None,
+            )
+        };
+        g.begin().unwrap();
+        let tmp = g
+            .create_node(["P"], props(&[("k", Value::Int(5)), ("m", Value::Int(6))]))
+            .unwrap();
+        g.set_node_prop(keep, "k", Value::Int(7)).unwrap();
+        g.remove_node_prop(keep, "m").unwrap();
+        g.set_label(tmp, "Extra").unwrap();
+        let mark = g.mark();
+        g.set_node_prop(tmp, "m", Value::Int(9)).unwrap();
+        g.rollback_to(mark).unwrap();
+        // mid-statement rollback restored tmp's (5, 6)
+        assert_eq!(full(&g, 5, 6), Some(vec![tmp]));
+        assert_eq!(full(&g, 5, 9), Some(vec![]));
+        g.rollback().unwrap();
+        // full rollback: only the original vector remains
+        assert_eq!(full(&g, 1, 2), Some(vec![keep]));
+        for (k, m) in [(5, 6), (7, 2), (5, 9)] {
+            assert_eq!(full(&g, k, m), Some(vec![]), "({k}, {m})");
+        }
+        assert_eq!(g.node_composite_stats("P", &c), Some((1, 1)));
+    }
+
+    #[test]
+    fn rebuild_stats_zeroes_drift_after_bulk_load() {
+        use std::ops::Bound;
+        let mut g = Graph::new();
+        g.create_index("P", "k");
+        g.create_composite_index("P", &cols(&["k", "m"]));
+        // bulk load (no transaction): the incremental histogram drifts
+        for i in 0..4000i64 {
+            g.create_node(
+                ["P"],
+                props(&[("k", Value::Int(i)), ("m", Value::Int(i % 5))]),
+            )
+            .unwrap();
+        }
+        g.rebuild_stats();
+        // a freshly rebuilt histogram answers within 2·depth (drift = 0)
+        let est = g
+            .count_nodes_in_prop_range(
+                "P",
+                "k",
+                Bound::Included(&Value::Int(0)),
+                Bound::Excluded(&Value::Int(1000)),
+            )
+            .unwrap();
+        let depth = 4000usize.div_ceil(32);
+        assert!(
+            est.abs_diff(1000) <= 2 * depth,
+            "single-key est {est} outside the zero-drift bound"
+        );
+        let est = g
+            .count_nodes_with_composite(
+                "P",
+                &cols(&["k", "m"]),
+                &[],
+                crate::composite::CompositeTrailing::Range(
+                    Bound::Included(&Value::Int(0)),
+                    Bound::Excluded(&Value::Int(1000)),
+                ),
+            )
+            .unwrap();
+        assert!(
+            est.abs_diff(1000) <= 2 * depth,
+            "composite est {est} outside the zero-drift bound"
+        );
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! observe the database as it was before the activating statement (paper
 //! §4.2 "Action Time").
 
+use crate::composite::CompositeTrailing;
 use crate::ids::{NodeId, RelId};
 use crate::op::Op;
+use crate::props::PropertyMap;
 use crate::record::{NodeRecord, RelRecord};
 use crate::store::Graph;
 use crate::value::{Direction, Value};
@@ -211,6 +213,148 @@ pub trait GraphView {
         _descending: bool,
     ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
         None
+    }
+
+    // ------------------------------------------------------------------
+    // Composite (multi-key) indexes. A probe is an equality prefix over
+    // the definition's column list plus at most one trailing range or
+    // `STARTS WITH` bound on the next column; `None` = no composite index
+    // can answer faithfully (fall back to single-key paths or a scan).
+    // See `pg_graph::composite` for the exact refusal rules.
+    // ------------------------------------------------------------------
+
+    /// The composite column lists declared under `label` (planner
+    /// discovery; DDL is not transactional, so overlay views delegate to
+    /// their base graph).
+    fn node_composite_defs(&self, _label: &str) -> Vec<Vec<String>> {
+        Vec::new()
+    }
+
+    /// The composite column lists declared under `rel_type`.
+    fn rel_composite_defs(&self, _rel_type: &str) -> Vec<Vec<String>> {
+        Vec::new()
+    }
+
+    /// Composite lookup: nodes with `label` whose first `eq.len()` columns
+    /// of `columns` equal `eq` and whose next column satisfies `trailing`.
+    fn nodes_with_composite(
+        &self,
+        _label: &str,
+        _columns: &[String],
+        _eq: &[Value],
+        _trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<NodeId>> {
+        None
+    }
+
+    /// Count of [`GraphView::nodes_with_composite`] results — exact except
+    /// for leading-column ranges, which the live graph estimates from the
+    /// leading-column histogram (planning only).
+    fn count_nodes_with_composite(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        self.nodes_with_composite(label, columns, eq, trailing)
+            .map(|ids| ids.len())
+    }
+
+    /// Composite lookup over relationships of `rel_type`.
+    fn rels_with_composite(
+        &self,
+        _rel_type: &str,
+        _columns: &[String],
+        _eq: &[Value],
+        _trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<RelId>> {
+        None
+    }
+
+    /// Count of [`GraphView::rels_with_composite`] results.
+    fn count_rels_with_composite(
+        &self,
+        rel_type: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        self.rels_with_composite(rel_type, columns, eq, trailing)
+            .map(|ids| ids.len())
+    }
+
+    /// Walk nodes of `label` in `ORDER BY` order over the composite
+    /// columns after the pinned equality prefix `eq` (ascending
+    /// [`Value::cmp_order`] with NULL/missing last, or fully reversed —
+    /// missing-first, matching NULL-first descending order). Unlike
+    /// [`GraphView::nodes_in_prop_order`], the walk covers property-less
+    /// items too (they key on an explicit missing marker), so no NULL tail
+    /// needs appending. `None` when no composite index covers every
+    /// record (unkeyable values present) — fall back to sorting.
+    fn nodes_in_composite_order(
+        &self,
+        _label: &str,
+        _columns: &[String],
+        _eq: &[Value],
+        _descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
+        None
+    }
+
+    /// Walk relationships of `rel_type` in composite `ORDER BY` order;
+    /// same contract as [`GraphView::nodes_in_composite_order`].
+    fn rels_in_composite_order(
+        &self,
+        _rel_type: &str,
+        _columns: &[String],
+        _eq: &[Value],
+        _descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
+        None
+    }
+
+    /// `(total indexed records, distinct key vectors)` of a composite
+    /// definition; `None` = no statistics.
+    fn node_composite_stats(&self, _label: &str, _columns: &[String]) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// `(total, distinct)` statistics of a composite relationship index.
+    fn rel_composite_stats(&self, _rel_type: &str, _columns: &[String]) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Whether a property map satisfies a composite probe: equality on the
+/// first `eq.len()` columns, the trailing bound (if any) on the next.
+/// Unconstrained columns are free — a missing property only fails the
+/// probe when it is constrained. Used by overlay views to correct
+/// base-graph composite answers for touched items.
+pub(crate) fn props_match_composite(
+    props: &PropertyMap,
+    columns: &[String],
+    eq: &[Value],
+    trailing: CompositeTrailing<'_>,
+) -> bool {
+    if eq.len() > columns.len() {
+        return false;
+    }
+    for (col, want) in columns.iter().zip(eq.iter()) {
+        if props.get(col).is_none_or(|w| w.eq3(want) != Some(true)) {
+            return false;
+        }
+    }
+    match trailing {
+        CompositeTrailing::None => true,
+        CompositeTrailing::Range(lo, hi) => columns
+            .get(eq.len())
+            .is_some_and(|col| props.get(col).is_some_and(|w| value_in_range(w, lo, hi))),
+        CompositeTrailing::Prefix(p) => columns.get(eq.len()).is_some_and(|col| {
+            props
+                .get(col)
+                .is_some_and(|w| matches!(w, Value::Str(s) if s.starts_with(p)))
+        }),
     }
 }
 
@@ -739,6 +883,122 @@ impl GraphView for PreStateView<'_> {
                         && r.props
                             .get(key)
                             .is_some_and(|w| value_in_range(w, lower, upper))
+                })
+            };
+            let base_m = matches(self.base.rel(*id));
+            let pre_m = matches(overlay.as_ref());
+            n += pre_m as isize - base_m as isize;
+        }
+        Some(n.max(0) as usize)
+    }
+
+    // Composite lookups: same overlay-correction pattern as the
+    // single-key paths — base index answer, touched items re-evaluated
+    // against the probe. Ordered composite walks stay at the trait
+    // default (`None`, sort fallback): an overlay cannot be merged into a
+    // walk in O(touched).
+
+    fn node_composite_defs(&self, label: &str) -> Vec<Vec<String>> {
+        self.base.node_composite_defs(label)
+    }
+
+    fn rel_composite_defs(&self, rel_type: &str) -> Vec<Vec<String>> {
+        self.base.rel_composite_defs(rel_type)
+    }
+
+    fn nodes_with_composite(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<NodeId>> {
+        let matches = |rec: Option<&NodeRecord>| -> bool {
+            rec.is_some_and(|r| {
+                r.has_label(label) && props_match_composite(&r.props, columns, eq, trailing)
+            })
+        };
+        let mut ids: Vec<NodeId> = self
+            .base
+            .nodes_with_composite(label, columns, eq, trailing)?
+            .into_iter()
+            .filter(|id| !self.nodes.contains_key(id))
+            .collect();
+        for (id, overlay) in &self.nodes {
+            if matches(overlay.as_ref()) {
+                ids.push(*id);
+            }
+        }
+        ids.sort();
+        ids.dedup();
+        Some(ids)
+    }
+
+    fn count_nodes_with_composite(
+        &self,
+        label: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        let mut n = self
+            .base
+            .count_nodes_with_composite(label, columns, eq, trailing)? as isize;
+        for (id, overlay) in &self.nodes {
+            let matches = |rec: Option<&NodeRecord>| -> bool {
+                rec.is_some_and(|r| {
+                    r.has_label(label) && props_match_composite(&r.props, columns, eq, trailing)
+                })
+            };
+            let base_m = matches(self.base.node(*id));
+            let pre_m = matches(overlay.as_ref());
+            n += pre_m as isize - base_m as isize;
+        }
+        Some(n.max(0) as usize)
+    }
+
+    fn rels_with_composite(
+        &self,
+        rel_type: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<Vec<RelId>> {
+        let matches = |rec: Option<&RelRecord>| -> bool {
+            rec.is_some_and(|r| {
+                r.rel_type == rel_type && props_match_composite(&r.props, columns, eq, trailing)
+            })
+        };
+        let mut ids: Vec<RelId> = self
+            .base
+            .rels_with_composite(rel_type, columns, eq, trailing)?
+            .into_iter()
+            .filter(|id| !self.rels.contains_key(id))
+            .collect();
+        for (id, overlay) in &self.rels {
+            if matches(overlay.as_ref()) {
+                ids.push(*id);
+            }
+        }
+        ids.sort();
+        ids.dedup();
+        Some(ids)
+    }
+
+    fn count_rels_with_composite(
+        &self,
+        rel_type: &str,
+        columns: &[String],
+        eq: &[Value],
+        trailing: CompositeTrailing<'_>,
+    ) -> Option<usize> {
+        let mut n =
+            self.base
+                .count_rels_with_composite(rel_type, columns, eq, trailing)? as isize;
+        for (id, overlay) in &self.rels {
+            let matches = |rec: Option<&RelRecord>| -> bool {
+                rec.is_some_and(|r| {
+                    r.rel_type == rel_type && props_match_composite(&r.props, columns, eq, trailing)
                 })
             };
             let base_m = matches(self.base.rel(*id));

@@ -13,8 +13,10 @@
 //!                                      -- declared type inherits, else it
 //!                                      -- is a label)
 //! edge_type  ::= (: <SrcType>) - [ <TypeName> : <Label> [props] ] -> (: <DstType>)
-//! props      ::= { prop (, prop)* }
+//! props      ::= { entry (, entry)* }
+//! entry      ::= prop | composite
 //! prop       ::= [OPTIONAL] <name> <type> [KEY] [INDEX]
+//! composite  ::= INDEX ( <name> (, <name>)+ )   -- multi-key index decl
 //! ```
 
 use crate::types::{EdgeTypeDef, GraphType, NodeTypeDef, PropDef, PropType, SchemaError};
@@ -213,6 +215,7 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
         specs: Vec<String>,
         open: bool,
         props: Vec<PropDef>,
+        composite_indexes: Vec<Vec<String>>,
     }
     let mut raw_nodes: Vec<RawNode> = Vec::new();
 
@@ -227,10 +230,10 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
             let ename = p.expect_word()?;
             p.expect(Tok::Colon)?;
             let label = p.expect_word()?;
-            let props = if p.peek() == &Tok::LBrace {
+            let (props, composite_indexes) = if p.peek() == &Tok::LBrace {
                 parse_props(&mut p)?
             } else {
-                Vec::new()
+                (Vec::new(), Vec::new())
             };
             p.expect(Tok::RBracket)?;
             p.expect(Tok::Arrow)?;
@@ -244,6 +247,7 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
                 src_type,
                 dst_type,
                 props,
+                composite_indexes,
             });
         } else {
             // Node type: (Name: spec (& spec)* [OPEN] [{props}])
@@ -258,10 +262,10 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
             if p.eat_keyword("OPEN") {
                 open = true;
             }
-            let props = if p.peek() == &Tok::LBrace {
+            let (props, composite_indexes) = if p.peek() == &Tok::LBrace {
                 parse_props(&mut p)?
             } else {
-                Vec::new()
+                (Vec::new(), Vec::new())
             };
             if p.eat_keyword("OPEN") {
                 open = true;
@@ -272,6 +276,7 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
                 specs,
                 open,
                 props,
+                composite_indexes,
             });
         }
         if !p.eat(&Tok::Comma) {
@@ -298,6 +303,7 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
             supertypes,
             labels,
             props: r.props,
+            composite_indexes: r.composite_indexes,
             open: r.open,
         });
     }
@@ -306,34 +312,56 @@ pub fn parse_graph_type(src: &str) -> Result<GraphType, SchemaError> {
     Ok(gt)
 }
 
-fn parse_props(p: &mut Parser) -> Result<Vec<PropDef>, SchemaError> {
+fn parse_props(p: &mut Parser) -> Result<(Vec<PropDef>, Vec<Vec<String>>), SchemaError> {
     p.expect(Tok::LBrace)?;
     let mut out = Vec::new();
+    let mut composites: Vec<Vec<String>> = Vec::new();
     if p.peek() != &Tok::RBrace {
         loop {
-            let required = !p.eat_keyword("OPTIONAL");
-            let name = p.expect_word()?;
-            // tolerate `name: TYPE` and `name TYPE`
-            p.eat(&Tok::Colon);
-            let tword = p.expect_word()?;
-            let prop_type = PropType::parse(&tword)
-                .ok_or_else(|| SchemaError::Parse(format!("unknown property type '{tword}'")))?;
-            let key = p.eat_keyword("KEY");
-            let indexed = p.eat_keyword("INDEX");
-            out.push(PropDef {
-                name,
-                prop_type,
-                required,
-                key,
-                indexed,
-            });
+            // `INDEX (k1, k2, …)` declares a composite (multi-key) index
+            // over previously (or later) declared properties.
+            if matches!(p.peek(), Tok::Word(w) if w.eq_ignore_ascii_case("INDEX"))
+                && p.toks.get(p.pos + 1) == Some(&Tok::LParen)
+            {
+                p.bump(); // INDEX
+                p.expect(Tok::LParen)?;
+                let mut cols = vec![p.expect_word()?];
+                while p.eat(&Tok::Comma) {
+                    cols.push(p.expect_word()?);
+                }
+                p.expect(Tok::RParen)?;
+                if cols.len() < 2 {
+                    return Err(SchemaError::Parse(
+                        "a composite INDEX needs at least two columns".into(),
+                    ));
+                }
+                composites.push(cols);
+            } else {
+                let required = !p.eat_keyword("OPTIONAL");
+                let name = p.expect_word()?;
+                // tolerate `name: TYPE` and `name TYPE`
+                p.eat(&Tok::Colon);
+                let tword = p.expect_word()?;
+                let prop_type = PropType::parse(&tword).ok_or_else(|| {
+                    SchemaError::Parse(format!("unknown property type '{tword}'"))
+                })?;
+                let key = p.eat_keyword("KEY");
+                let indexed = p.eat_keyword("INDEX");
+                out.push(PropDef {
+                    name,
+                    prop_type,
+                    required,
+                    key,
+                    indexed,
+                });
+            }
             if !p.eat(&Tok::Comma) {
                 break;
             }
         }
     }
     p.expect(Tok::RBrace)?;
-    Ok(out)
+    Ok((out, composites))
 }
 
 #[cfg(test)]
@@ -412,6 +440,41 @@ mod tests {
             ]
         );
         assert!(gt.indexed_props().is_empty());
+    }
+
+    #[test]
+    fn parse_composite_index_declarations() {
+        let gt = parse_graph_type(
+            "CREATE GRAPH TYPE G STRICT {
+               (PatientType: Patient {status STRING, severity INT32,
+                                      INDEX(status, severity)}),
+               (HospitalType: Hospital {name STRING}),
+               (:HospitalType)-[CT: ConnectedTo {kind STRING, distance INT32,
+                                                 INDEX(kind, distance)}]->(:HospitalType)
+             }",
+        )
+        .unwrap();
+        assert_eq!(
+            gt.composite_indexed_props(),
+            vec![(
+                "Patient".to_string(),
+                vec!["status".to_string(), "severity".to_string()]
+            )]
+        );
+        assert_eq!(
+            gt.composite_indexed_rel_props(),
+            vec![(
+                "ConnectedTo".to_string(),
+                vec!["kind".to_string(), "distance".to_string()]
+            )]
+        );
+        // the plain per-prop declarations are untouched
+        assert!(gt.indexed_props().is_empty());
+        // one-column composite declarations are rejected
+        assert!(
+            parse_graph_type("CREATE GRAPH TYPE G STRICT { (AType: A {x STRING, INDEX(x)}) }")
+                .is_err()
+        );
     }
 
     #[test]

@@ -105,6 +105,10 @@ pub struct NodeTypeDef {
     pub labels: Vec<String>,
     /// Own property declarations (excluding inherited).
     pub props: Vec<PropDef>,
+    /// Composite `INDEX (k1, k2, …)` declarations: each requests one
+    /// composite index over the listed property columns for every own
+    /// label of the type.
+    pub composite_indexes: Vec<Vec<String>>,
     /// `OPEN` types tolerate undeclared extra properties (the paper's Alert
     /// nodes, §6.2: "a new, OPEN type (allowing for the inclusion of
     /// arbitrary properties)").
@@ -119,6 +123,8 @@ pub struct EdgeTypeDef {
     pub src_type: String,
     pub dst_type: String,
     pub props: Vec<PropDef>,
+    /// Composite `INDEX (k1, k2, …)` declarations over edge properties.
+    pub composite_indexes: Vec<Vec<String>>,
 }
 
 /// Errors building or resolving a graph type.
@@ -259,6 +265,38 @@ impl GraphType {
         out
     }
 
+    /// The `(label, columns)` pairs that declare a **composite** index:
+    /// every own label of a node type paired with each of its
+    /// `INDEX (k1, k2, …)` declarations. The trigger engine creates these
+    /// composite indexes when the graph type is attached to a session.
+    pub fn composite_indexed_props(&self) -> Vec<(String, Vec<String>)> {
+        let mut out: Vec<(String, Vec<String>)> = Vec::new();
+        for t in &self.node_types {
+            for cols in &t.composite_indexes {
+                for l in &t.labels {
+                    out.push((l.clone(), cols.clone()));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The `(relationship type, columns)` pairs that declare a composite
+    /// relationship index.
+    pub fn composite_indexed_rel_props(&self) -> Vec<(String, Vec<String>)> {
+        let mut out: Vec<(String, Vec<String>)> = Vec::new();
+        for e in &self.edge_types {
+            for cols in &e.composite_indexes {
+                out.push((e.label.clone(), cols.clone()));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// The `(relationship type, property)` pairs that declare a
     /// relationship-property index: each edge type's label paired with its
     /// `INDEX` (or `KEY`) property declarations. The trigger engine creates
@@ -353,6 +391,7 @@ mod tests {
                         },
                         prop("name", PropType::String),
                     ],
+                    composite_indexes: vec![],
                     open: false,
                 },
                 NodeTypeDef {
@@ -360,6 +399,7 @@ mod tests {
                     supertypes: vec!["PatientType".into()],
                     labels: vec!["HospitalizedPatient".into()],
                     props: vec![prop("prognosis", PropType::String)],
+                    composite_indexes: vec![],
                     open: false,
                 },
                 NodeTypeDef {
@@ -367,6 +407,7 @@ mod tests {
                     supertypes: vec!["HospitalizedPatientType".into()],
                     labels: vec!["IcuPatient".into()],
                     props: vec![prop("admittedToICU", PropType::Bool)],
+                    composite_indexes: vec![],
                     open: false,
                 },
             ],
@@ -445,6 +486,7 @@ mod tests {
             src_type: "PatientType".into(),
             dst_type: "Nope".into(),
             props: vec![],
+            composite_indexes: vec![],
         });
         assert!(matches!(
             gt.check(),
