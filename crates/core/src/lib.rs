@@ -44,6 +44,7 @@ pub mod catalog;
 pub mod ddl;
 pub mod error;
 pub mod overlay;
+pub mod read_session;
 pub mod schema_guard;
 pub mod session;
 pub mod spec;
@@ -54,6 +55,7 @@ pub use ddl::{
     is_index_ddl, is_trigger_ddl, parse_index_ddl, parse_trigger_ddl, DdlStatement, IndexDdl,
 };
 pub use error::{InstallError, TriggerError};
+pub use read_session::ReadSession;
 pub use schema_guard::{EnforcementMode, SchemaGuard, SchemaViolation};
 pub use session::{EngineConfig, EngineStats, ExecResult, Session};
 pub use spec::{ActionTime, EventType, Granularity, ItemKind, TransitionVar, TriggerSpec};

@@ -203,6 +203,21 @@ impl Session {
         &mut self.graph
     }
 
+    /// A `Send + Sync` handle for reader threads; each clone pins
+    /// [`pg_graph::Snapshot`]s of the last committed epoch (see
+    /// [`crate::ReadSession`]). Must first be called outside an explicit
+    /// transaction.
+    pub fn reader_handle(&mut self) -> pg_graph::GraphHandle {
+        self.graph.reader_handle()
+    }
+
+    /// Pin a snapshot of the last committed epoch. Mid-transaction (or
+    /// mid-cascade, from a trigger's perspective) this exposes the state
+    /// as of the previous commit — never partially applied work.
+    pub fn snapshot(&mut self) -> pg_graph::Snapshot {
+        self.graph.snapshot()
+    }
+
     pub fn catalog(&self) -> &TriggerCatalog {
         &self.catalog
     }

@@ -1,0 +1,160 @@
+//! Trigger-cascade visibility under snapshot isolation: readers must never
+//! observe a partially applied cascade, whatever the action time
+//! (`AFTER` in-transaction, `ONCOMMIT` at the commit point, `DETACHED` in
+//! its own autonomous transaction).
+
+use pg_triggers::{ReadSession, Session};
+
+fn count(reader: &mut ReadSession, label: &str) -> i64 {
+    reader
+        .run(&format!("MATCH (x:{label}) RETURN count(*) AS n"))
+        .unwrap()
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap()
+}
+
+#[test]
+fn cascade_effects_publish_atomically_with_their_commit() {
+    let mut s = Session::new();
+    s.install(
+        "CREATE TRIGGER audit AFTER CREATE ON 'Job' FOR EACH NODE
+         BEGIN CREATE (:Audit {of: NEW.i}) END",
+    )
+    .unwrap();
+    let handle = s.reader_handle();
+    let e0 = handle.epoch();
+
+    s.run("CREATE (:Job {i: 1})").unwrap();
+
+    // The statement plus its whole cascade is one commit: one epoch.
+    assert_eq!(handle.epoch(), e0 + 1);
+    let mut reader = ReadSession::new(handle);
+    assert_eq!(count(&mut reader, "Job"), 1);
+    assert_eq!(count(&mut reader, "Audit"), 1);
+}
+
+#[test]
+fn oncommit_effects_are_visible_exactly_at_their_commit_epoch() {
+    let mut s = Session::new();
+    s.install(
+        "CREATE TRIGGER tally ONCOMMIT CREATE ON 'P' FOR ALL NODES
+         BEGIN CREATE (:CommitLog {n: size(NEWNODES)}) END",
+    )
+    .unwrap();
+    let handle = s.reader_handle();
+
+    s.begin().unwrap();
+    s.run("CREATE (:P)").unwrap();
+    s.run("CREATE (:P), (:P)").unwrap();
+
+    // Mid-transaction snapshot: neither the P nodes nor the ONCOMMIT
+    // effect exist yet for readers.
+    let mut mid = ReadSession::new(handle.clone());
+    assert_eq!(count(&mut mid, "P"), 0);
+    assert_eq!(count(&mut mid, "CommitLog"), 0);
+
+    let e_before = handle.epoch();
+    s.commit().unwrap();
+    assert_eq!(handle.epoch(), e_before + 1);
+
+    // Post-commit snapshot: statement effects and ONCOMMIT effects appear
+    // together, atomically.
+    let mut after = ReadSession::new(handle);
+    assert_eq!(count(&mut after, "P"), 3);
+    assert_eq!(count(&mut after, "CommitLog"), 1);
+
+    // The stale pin still answers from the pre-commit epoch.
+    assert_eq!(count(&mut mid, "P"), 0);
+    assert_eq!(count(&mut mid, "CommitLog"), 0);
+    // ...until refreshed.
+    mid.refresh();
+    assert_eq!(count(&mut mid, "P"), 3);
+    assert_eq!(count(&mut mid, "CommitLog"), 1);
+}
+
+#[test]
+fn detached_actions_commit_as_their_own_later_epochs() {
+    let mut s = Session::new();
+    s.install(
+        "CREATE TRIGGER det DETACHED CREATE ON 'A' FOR ALL NODES
+         BEGIN CREATE (:DetFired) END",
+    )
+    .unwrap();
+    let handle = s.reader_handle();
+    let e0 = handle.epoch();
+
+    s.run("CREATE (:A)").unwrap();
+
+    // Two distinct commits: the activating transaction, then the detached
+    // autonomous transaction — two epochs, not one.
+    assert_eq!(handle.epoch(), e0 + 2);
+    let mut reader = ReadSession::new(handle);
+    assert_eq!(count(&mut reader, "A"), 1);
+    assert_eq!(count(&mut reader, "DetFired"), 1);
+    assert_eq!(s.detached_errors().len(), 0);
+}
+
+/// Hammer the publication path: a writer whose every `:Job` insert
+/// cascades into an `:Audit` insert (AFTER, same transaction) and an
+/// ONCOMMIT tally, while reader threads pin snapshots as fast as they
+/// can. Every snapshot must show a complete cascade: |Audit| == |Job|
+/// and one `:CommitLog` per committed job-batch.
+#[test]
+fn readers_never_observe_partial_cascades_under_load() {
+    let mut s = Session::new();
+    s.install(
+        "CREATE TRIGGER audit AFTER CREATE ON 'Job' FOR EACH NODE
+         BEGIN CREATE (:Audit {of: NEW.i}) END",
+    )
+    .unwrap();
+    s.install(
+        "CREATE TRIGGER tally ONCOMMIT CREATE ON 'Job' FOR ALL NODES
+         BEGIN CREATE (:CommitLog {n: size(NEWNODES)}) END",
+    )
+    .unwrap();
+    let handle = s.reader_handle();
+
+    let statements = 200usize;
+    let readers = 4usize;
+
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..readers {
+            let h = handle.clone();
+            joins.push(scope.spawn(move || {
+                let mut reader = ReadSession::new(h);
+                let mut last_epoch = 0u64;
+                for _ in 0..250 {
+                    let epoch = reader.refresh();
+                    assert!(epoch >= last_epoch, "epochs must be monotonic");
+                    last_epoch = epoch;
+                    let orders = count(&mut reader, "Job");
+                    let audits = count(&mut reader, "Audit");
+                    let logs = count(&mut reader, "CommitLog");
+                    assert_eq!(
+                        orders, audits,
+                        "snapshot exposed a partially applied AFTER cascade"
+                    );
+                    assert_eq!(
+                        orders, logs,
+                        "snapshot exposed a commit without its ONCOMMIT effect"
+                    );
+                }
+            }));
+        }
+
+        for i in 0..statements {
+            s.run(&format!("CREATE (:Job {{i: {i}}})")).unwrap();
+        }
+
+        for j in joins {
+            j.join().unwrap();
+        }
+    });
+
+    let mut reader = ReadSession::new(handle);
+    assert_eq!(count(&mut reader, "Job"), statements as i64);
+    assert_eq!(count(&mut reader, "Audit"), statements as i64);
+    assert_eq!(count(&mut reader, "CommitLog"), statements as i64);
+}

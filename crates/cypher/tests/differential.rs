@@ -13,16 +13,29 @@
 //! generated panel of `MATCH`/`WHERE`/`ORDER BY`/`LIMIT` queries after
 //! **every** step: zero divergences allowed.
 //!
+//! A second, concurrent mode runs the same random scripts on a **live
+//! writer** while reader threads pin snapshots as fast as they can and
+//! evaluate the query panel against each pinned epoch. The writer records
+//! which statement prefix each published epoch corresponds to; after the
+//! threads join, every (epoch, panel-results) observation is checked
+//! against a fresh serial replay of that prefix on an isolated graph.
+//! Zero divergences allowed — this is the snapshot-isolation analogue of
+//! the twin oracle.
+//!
 //! Top-k queries project exactly their order keys, so sorted-row-multiset
 //! equality is the right oracle even at tie cut-offs (tied rows carry
 //! identical key tuples).
 //!
-//! `PG_FUZZ_CASES` (read in CI's nightly job) raises the proptest case
-//! count for long soak runs; the default stays fast enough for every PR.
+//! `PG_FUZZ_CASES` (read in CI's nightly and concurrency jobs) raises the
+//! proptest case count for long soak runs; the default stays fast enough
+//! for every PR.
 
-use pg_cypher::{run_query, Params};
+use pg_cypher::{parse_query, run_query, run_read_only, Params};
 use pg_graph::{Graph, GraphView, StatementMark, Value};
 use proptest::prelude::*;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 const STRINGS: [&str; 5] = ["al", "alpha", "bet", "beta", "gamma"];
 const TAGS: [&str; 2] = ["t0", "t1"];
@@ -69,7 +82,7 @@ enum Step {
         val: i64,
     },
     /// Create-or-drop one of the eight index definitions — on the
-    /// **indexed twin only**.
+    /// **indexed twin only** (the concurrent driver always applies it).
     ToggleIndex {
         which: u8,
     },
@@ -173,24 +186,20 @@ fn query_strategy() -> impl Strategy<Value = String> {
     ]
 }
 
-/// Mirrored script driver (mutations hit both twins, DDL only the
-/// indexed one).
+/// Single-graph script driver. Step application is fully deterministic
+/// given the step sequence (picks resolve against the current node/rel
+/// extent, which evolves identically on every replay), so two drivers fed
+/// the same steps always hold identical graphs — the property both the
+/// twin oracle and the concurrent serial-replay oracle rely on.
 #[derive(Default)]
-struct Twin {
-    plain: Graph,
-    indexed: Graph,
-    marks_plain: Vec<StatementMark>,
-    marks_indexed: Vec<StatementMark>,
+struct Script {
+    g: Graph,
+    marks: Vec<StatementMark>,
 }
 
-impl Twin {
-    fn each(&mut self, f: impl Fn(&mut Graph)) {
-        f(&mut self.plain);
-        f(&mut self.indexed);
-    }
-
+impl Script {
     fn toggle_index(&mut self, which: u8) {
-        let g = &mut self.indexed;
+        let g = &mut self.g;
         match which % 8 {
             0 => {
                 if !g.create_index("A", "k") {
@@ -240,123 +249,121 @@ impl Twin {
     }
 
     fn apply(&mut self, step: &Step) {
-        // both twins always hold identical extents, so picks agree
-        let nodes = self.plain.all_node_ids();
-        let rels = self.plain.all_rel_ids();
+        let nodes = self.g.all_node_ids();
+        let rels = self.g.all_rel_ids();
+        let g = &mut self.g;
         match step {
             Step::CreateNode { label, k, m, s } => {
                 let label = if *label == 0 { "A" } else { "B" };
-                let (k, m, s) = (*k, *m, *s);
-                self.each(|g| {
-                    let mut entries = vec![("k", Value::Int(k))];
-                    if let Some(m) = m {
-                        entries.push(("m", Value::Int(m)));
-                    }
-                    if let Some(s) = s {
-                        entries.push(("s", Value::str(STRINGS[s as usize % STRINGS.len()])));
-                    }
-                    g.create_node([label], props(entries)).unwrap();
-                });
+                let mut entries = vec![("k", Value::Int(*k))];
+                if let Some(m) = m {
+                    entries.push(("m", Value::Int(*m)));
+                }
+                if let Some(s) = s {
+                    entries.push(("s", Value::str(STRINGS[*s as usize % STRINGS.len()])));
+                }
+                g.create_node([label], props(entries)).unwrap();
             }
             Step::CreateRel { a, b, w, tag } => {
                 if !nodes.is_empty() {
                     let (a, b) = (nodes[a % nodes.len()], nodes[b % nodes.len()]);
-                    let (w, tag) = (*w, TAGS[*tag as usize % TAGS.len()]);
-                    self.each(|g| {
-                        g.create_rel(
-                            a,
-                            b,
-                            "R",
-                            props(vec![("w", Value::Int(w)), ("tag", Value::str(tag))]),
-                        )
-                        .unwrap();
-                    });
+                    let tag = TAGS[*tag as usize % TAGS.len()];
+                    g.create_rel(
+                        a,
+                        b,
+                        "R",
+                        props(vec![("w", Value::Int(*w)), ("tag", Value::str(tag))]),
+                    )
+                    .unwrap();
                 }
             }
             Step::DetachDelete { pick } => {
                 if !nodes.is_empty() {
-                    let id = nodes[pick % nodes.len()];
-                    self.each(|g| g.detach_delete_node(id).unwrap());
+                    g.detach_delete_node(nodes[pick % nodes.len()]).unwrap();
                 }
             }
             Step::SetProp { pick, which, val } => {
                 if !nodes.is_empty() {
                     let id = nodes[pick % nodes.len()];
-                    let val = *val;
                     let (key, value) = match which % 3 {
-                        0 => ("k", Value::Int(val)),
-                        1 => ("m", Value::Int(val)),
+                        0 => ("k", Value::Int(*val)),
+                        1 => ("m", Value::Int(*val)),
                         _ => (
                             "s",
                             Value::str(STRINGS[val.unsigned_abs() as usize % STRINGS.len()]),
                         ),
                     };
-                    self.each(|g| g.set_node_prop(id, key, value.clone()).unwrap());
+                    g.set_node_prop(id, key, value).unwrap();
                 }
             }
             Step::RemoveProp { pick, which } => {
                 if !nodes.is_empty() {
                     let id = nodes[pick % nodes.len()];
                     let key = ["k", "m", "s"][*which as usize % 3];
-                    self.each(|g| {
-                        g.remove_node_prop(id, key).unwrap();
-                    });
+                    g.remove_node_prop(id, key).unwrap();
                 }
             }
             Step::SetRelW { pick, val } => {
                 if !rels.is_empty() {
                     let id = rels[pick % rels.len()];
-                    let val = *val;
-                    self.each(|g| g.set_rel_prop(id, "w", Value::Int(val)).unwrap());
+                    g.set_rel_prop(id, "w", Value::Int(*val)).unwrap();
                 }
             }
             Step::ToggleIndex { which } => self.toggle_index(*which),
             Step::Begin => {
-                if !self.plain.in_tx() {
-                    self.each(|g| g.begin().unwrap());
-                    self.marks_plain.clear();
-                    self.marks_indexed.clear();
+                if !g.in_tx() {
+                    g.begin().unwrap();
+                    self.marks.clear();
                 }
             }
             Step::Mark => {
-                if self.plain.in_tx() {
-                    self.marks_plain.push(self.plain.mark());
-                    self.marks_indexed.push(self.indexed.mark());
+                if g.in_tx() {
+                    self.marks.push(g.mark());
                 }
             }
             Step::RollbackTo => {
-                if self.plain.in_tx() {
-                    if let (Some(mp), Some(mi)) = (self.marks_plain.pop(), self.marks_indexed.pop())
-                    {
-                        self.plain.rollback_to(mp).unwrap();
-                        self.indexed.rollback_to(mi).unwrap();
+                if g.in_tx() {
+                    if let Some(m) = self.marks.pop() {
+                        g.rollback_to(m).unwrap();
                     }
                 }
             }
             Step::Rollback => {
-                if self.plain.in_tx() {
-                    self.each(|g| g.rollback().unwrap());
-                    self.marks_plain.clear();
-                    self.marks_indexed.clear();
+                if g.in_tx() {
+                    g.rollback().unwrap();
+                    self.marks.clear();
                 }
             }
             Step::Commit => {
-                if self.plain.in_tx() {
-                    self.each(|g| {
-                        g.commit().unwrap();
-                    });
-                    self.marks_plain.clear();
-                    self.marks_indexed.clear();
+                if g.in_tx() {
+                    g.commit().unwrap();
+                    self.marks.clear();
                 }
             }
         }
     }
 }
 
-/// Sorted row multiset of a query result.
-fn rows_of(g: &mut Graph, q: &str) -> Vec<Vec<Value>> {
-    let out = run_query(g, q, &Params::new(), 0).unwrap_or_else(|e| panic!("{q}: {e}"));
-    let mut rows = out.rows;
+/// Mirrored script driver (mutations hit both twins, DDL only the
+/// indexed one).
+#[derive(Default)]
+struct Twin {
+    plain: Script,
+    indexed: Script,
+}
+
+impl Twin {
+    fn apply(&mut self, step: &Step) {
+        if let Step::ToggleIndex { .. } = step {
+            self.indexed.apply(step);
+        } else {
+            self.plain.apply(step);
+            self.indexed.apply(step);
+        }
+    }
+}
+
+fn sort_rows(rows: &mut [Vec<Value>]) {
     rows.sort_by(|a, b| {
         for (x, y) in a.iter().zip(b.iter()) {
             let ord = x.cmp_order(y);
@@ -366,23 +373,143 @@ fn rows_of(g: &mut Graph, q: &str) -> Vec<Vec<Value>> {
         }
         std::cmp::Ordering::Equal
     });
+}
+
+/// Sorted row multiset of a query result against the live writer graph.
+fn rows_of(g: &mut Graph, q: &str) -> Vec<Vec<Value>> {
+    let out = run_query(g, q, &Params::new(), 0).unwrap_or_else(|e| panic!("{q}: {e}"));
+    let mut rows = out.rows;
+    sort_rows(&mut rows);
+    rows
+}
+
+/// Sorted row multiset of a query result against any [`GraphView`]
+/// (snapshots included) through the read-only executor.
+fn rows_of_view(view: &dyn GraphView, q: &str) -> Vec<Vec<Value>> {
+    let query = parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+    let out = run_read_only(view, &query, Vec::new(), &Params::new(), 0)
+        .unwrap_or_else(|e| panic!("{q}: {e}"));
+    let mut rows = out.rows;
+    sort_rows(&mut rows);
     rows
 }
 
 fn check_panel(t: &mut Twin, panel: &[String], step: usize) {
     for q in panel {
-        let plain = rows_of(&mut t.plain, q);
-        let indexed = rows_of(&mut t.indexed, q);
+        let plain = rows_of(&mut t.plain.g, q);
+        let indexed = rows_of(&mut t.indexed.g, q);
         assert_eq!(
             plain,
             indexed,
             "indexed/unindexed divergence after step {step} for {q}\n\
              node indexes: {:?}\ncomposite: {:?}\nrel: {:?}\nrel composite: {:?}",
-            t.indexed.indexes(),
-            t.indexed.composite_indexes(),
-            t.indexed.rel_indexes(),
-            t.indexed.rel_composite_indexes(),
+            t.indexed.g.indexes(),
+            t.indexed.g.composite_indexes(),
+            t.indexed.g.rel_indexes(),
+            t.indexed.g.rel_composite_indexes(),
         );
+    }
+}
+
+/// Panel results for every epoch one reader thread managed to pin.
+type Observations = HashMap<u64, Vec<Vec<Vec<Value>>>>;
+
+/// Concurrent differential oracle: run `steps` on a live writer while
+/// `readers` threads pin snapshots and evaluate `panel` against each
+/// distinct epoch they observe. The writer publishes after every step
+/// that ends outside a transaction and records the epoch → statement
+/// prefix mapping; afterwards each observation must equal a serial replay
+/// of that prefix on a fresh, isolated graph.
+fn concurrent_case(steps: &[Step], panel: &[String], readers: usize) {
+    let mut writer = Script::default();
+    let handle = writer.g.reader_handle();
+
+    // epoch → number of leading steps whose full effect that epoch
+    // publishes. Distinct prefixes sharing an epoch are value-identical
+    // (no publication bump means no visible change), so first-wins.
+    let mut prefixes: HashMap<u64, usize> = HashMap::new();
+    prefixes.insert(handle.epoch(), 0);
+
+    let done = AtomicBool::new(false);
+    let observations: Vec<Observations> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..readers)
+            .map(|_| {
+                let h = handle.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut seen = Observations::new();
+                    let mut last = 0u64;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let snap = h.snapshot();
+                        let epoch = snap.epoch();
+                        assert!(epoch >= last, "epochs must be monotonic");
+                        last = epoch;
+                        if let Entry::Vacant(e) = seen.entry(epoch) {
+                            e.insert(panel.iter().map(|q| rows_of_view(&snap, q)).collect());
+                        } else {
+                            std::thread::yield_now();
+                        }
+                        if finished {
+                            break;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        for (i, step) in steps.iter().enumerate() {
+            writer.apply(step);
+            if !writer.g.in_tx() {
+                // Publish (the snapshot request flushes any pending
+                // out-of-transaction effects) and record the boundary.
+                let epoch = writer.g.snapshot().epoch();
+                prefixes.entry(epoch).or_insert(i + 1);
+            }
+            // Give readers a chance to pin intermediate epochs, not just
+            // the final one.
+            std::thread::yield_now();
+        }
+        if writer.g.in_tx() {
+            writer.apply(&Step::Commit);
+            prefixes
+                .entry(writer.g.snapshot().epoch())
+                .or_insert(steps.len());
+        }
+        done.store(true, Ordering::Release);
+
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    // Serial-replay oracle: rebuild each observed prefix from scratch and
+    // demand identical panel rows. The replay cache shares work between
+    // readers that pinned the same epoch.
+    let mut replayed: HashMap<usize, Vec<Vec<Vec<Value>>>> = HashMap::new();
+    for seen in &observations {
+        for (epoch, results) in seen {
+            let prefix = *prefixes
+                .get(epoch)
+                .unwrap_or_else(|| panic!("reader pinned unpublished epoch {epoch}"));
+            let expected = &*replayed.entry(prefix).or_insert_with(|| {
+                let mut replay = Script::default();
+                for step in &steps[..prefix] {
+                    replay.apply(step);
+                }
+                if replay.g.in_tx() {
+                    // Only the forced tail commit records a prefix that
+                    // ends inside a transaction.
+                    replay.apply(&Step::Commit);
+                }
+                let snap = replay.g.snapshot();
+                panel.iter().map(|q| rows_of_view(&snap, q)).collect()
+            });
+            assert_eq!(
+                results, expected,
+                "snapshot at epoch {epoch} diverged from a serial replay \
+                 of its {prefix}-statement prefix"
+            );
+        }
     }
 }
 
@@ -406,9 +533,17 @@ proptest! {
             t.apply(step);
             check_panel(&mut t, &panel, i);
         }
-        if t.plain.in_tx() {
+        if t.plain.g.in_tx() {
             t.apply(&Step::Commit);
         }
         check_panel(&mut t, &panel, steps.len());
+    }
+
+    #[test]
+    fn concurrent_readers_agree_with_serial_replay(
+        steps in proptest::collection::vec(step_strategy(), 1..50),
+        panel in proptest::collection::vec(query_strategy(), 3..6),
+    ) {
+        concurrent_case(&steps, &panel, 3);
     }
 }

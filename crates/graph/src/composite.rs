@@ -24,7 +24,7 @@
 //! Segments order by [`Value::cmp_order`]'s family rank (strings <
 //! booleans < numerics < dates < datetimes), numerics interleaved, with
 //! `Missing` sorting after every value — exactly `ORDER BY`'s NULL-last
-//! rank. One BTreeMap therefore serves both the range walks (bounds stay
+//! rank. One ordered map therefore serves both the range walks (bounds stay
 //! inside one family, where `cmp3` and `cmp_order` agree) and the ordered
 //! walks (whole-key order *is* the `ORDER BY k1, k2, …` order, ascending
 //! or — reversed, with `Missing` leading, matching NULL-first — descending).
@@ -47,12 +47,13 @@
 //! `eq3`-equals an excluded (unkeyable) stored value.
 
 use crate::ids::{NodeId, RelId};
+use crate::pmap::{PMap, PSet};
 use crate::prop_index::IndexKey;
 use crate::props::PropertyMap;
 use crate::stats::Histogram;
 use crate::value::Value;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 
 /// One segment of a composite key.
@@ -145,7 +146,7 @@ enum Exclusion {
 struct CompositeEntries<Id> {
     /// The ordered column list of the definition.
     columns: Vec<String>,
-    map: BTreeMap<Vec<CompositeSeg>, BTreeSet<Id>>,
+    map: PMap<Vec<CompositeSeg>, PSet<Id>>,
     /// Records excluded because some column holds a ±2⁵³ lossy numeric.
     lossy_numerics: usize,
     /// Records excluded for other unkeyable values (`NaN`, `LIST`, `MAP`).
@@ -178,7 +179,7 @@ impl<Id: Ord + Copy> CompositeEntries<Id> {
     fn new(columns: Vec<String>) -> Self {
         CompositeEntries {
             columns,
-            map: BTreeMap::new(),
+            map: PMap::new(),
             lossy_numerics: 0,
             unkeyable: 0,
             total: 0,
@@ -216,7 +217,7 @@ impl<Id: Ord + Copy> CompositeEntries<Id> {
         match self.key_of(props) {
             Ok(segs) => {
                 let leading = segs.first().cloned();
-                if self.map.entry(segs).or_default().insert(id) {
+                if self.map.get_or_default(segs).insert(id) {
                     self.total += 1;
                     if let Some(CompositeSeg::Key(ik)) = &leading {
                         self.hist.note_insert(ik);
@@ -260,7 +261,7 @@ impl<Id: Ord + Copy> CompositeEntries<Id> {
     fn rebuild_hist(&mut self) {
         let mut by_leading: BTreeMap<IndexKey, usize> = BTreeMap::new();
         let mut keyed_total = 0usize;
-        for (segs, set) in &self.map {
+        for (segs, set) in self.map.iter() {
             if let Some(CompositeSeg::Key(ik)) = segs.first() {
                 *by_leading.entry(ik.clone()).or_insert(0) += set.len();
                 keyed_total += set.len();
@@ -356,7 +357,7 @@ impl<Id: Ord + Copy> CompositeEntries<Id> {
                 if fam == 2 && self.lossy_numerics > 0 {
                     return ProbeQuery::Refused;
                 }
-                // Inverted ranges would panic in BTreeMap::range.
+                // Inverted ranges are definitively empty, not a walk.
                 if range_keys_empty(&lo_k, &hi_k) {
                     return ProbeQuery::Empty;
                 }
@@ -412,9 +413,9 @@ impl<Id: Ord + Copy> CompositeEntries<Id> {
         lo: Bound<Vec<CompositeSeg>>,
         hi: Bound<Vec<CompositeSeg>>,
         prefix_col: Option<(usize, String)>,
-    ) -> impl Iterator<Item = (&'s Vec<CompositeSeg>, &'s BTreeSet<Id>)> + 's {
+    ) -> impl Iterator<Item = (&'s Vec<CompositeSeg>, &'s PSet<Id>)> + 's {
         self.map
-            .range((lo, hi))
+            .range(lo, hi)
             .take_while(move |(segs, _)| match &prefix_col {
                 None => true,
                 Some((col, p)) => {
@@ -521,15 +522,19 @@ impl<Id: Ord + Copy> CompositeEntries<Id> {
         }
         let mut hi = prefix.clone();
         hi.push(CompositeSeg::Hi);
-        let range = self
-            .map
-            .range((Bound::Included(prefix), Bound::Excluded(hi)));
+        let (lo, hi) = (Bound::Included(prefix), Bound::Excluded(hi));
         if descending {
             Some(Box::new(
-                range.rev().flat_map(|(_, set)| set.iter().copied()),
+                self.map
+                    .range_rev(lo, hi)
+                    .flat_map(|(_, set)| set.iter().copied()),
             ))
         } else {
-            Some(Box::new(range.flat_map(|(_, set)| set.iter().copied())))
+            Some(Box::new(
+                self.map
+                    .range(lo, hi)
+                    .flat_map(|(_, set)| set.iter().copied()),
+            ))
         }
     }
 

@@ -22,7 +22,12 @@
 //!   vectors over several properties of one label / relationship type,
 //!   serving conjunctions (equality prefix + one trailing range/prefix
 //!   bound) and multi-key `ORDER BY` walks, maintained through the same
-//!   mutation and undo paths.
+//!   mutation and undo paths;
+//! * **snapshot-isolated reads** ([`snapshot`]): the single writer publishes
+//!   commit epochs, and any number of reader threads pin cheap, immutable
+//!   [`Snapshot`]s — full [`GraphView`]s over persistent (structurally
+//!   shared) maps — that never block the writer and never observe
+//!   uncommitted state.
 //!
 //! The crate is deliberately free of query-language concerns; `pg-cypher`
 //! layers a Cypher subset on top of the [`GraphView`] trait and the mutation
@@ -33,9 +38,11 @@ pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod op;
+pub mod pmap;
 pub mod prop_index;
 pub mod props;
 pub mod record;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod value;
@@ -49,6 +56,7 @@ pub use op::Op;
 pub use prop_index::{IndexKey, KeyedIndex, PropIndex, RelPropIndex};
 pub use props::PropertyMap;
 pub use record::{NodeRecord, RelRecord};
+pub use snapshot::{GraphHandle, Snapshot};
 pub use stats::Histogram;
 pub use store::{Graph, IndexProbes, StatementMark, WritePolicy};
 pub use value::{Direction, Value};

@@ -49,12 +49,14 @@
 //! of those families is keyable.
 
 use crate::ids::{NodeId, RelId};
+use crate::pmap::{PMap, PSet};
 use crate::record::{NodeRecord, RelRecord};
 use crate::stats::Histogram;
 use crate::value::Value;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// Exactly representable integer range of `f64`: strictly inside ±2⁵³,
 /// `Int`/`Float` cross-type equality is loss-free and a canonical key
@@ -197,7 +199,7 @@ impl IndexKey {
 /// through the same insert/remove calls — hence through every undo path.
 #[derive(Debug, Clone)]
 struct IndexEntries<Id> {
-    keys: BTreeMap<IndexKey, BTreeSet<Id>>,
+    keys: PMap<IndexKey, PSet<Id>>,
     lossy_numerics: usize,
     /// Items whose value is storable yet unkeyable for reasons other than
     /// lossy numerics (`NaN`, `LIST`, `MAP`). While non-zero, ordered walks
@@ -212,7 +214,7 @@ struct IndexEntries<Id> {
 impl<Id> Default for IndexEntries<Id> {
     fn default() -> Self {
         IndexEntries {
-            keys: BTreeMap::new(),
+            keys: PMap::new(),
             lossy_numerics: 0,
             unkeyable: 0,
             total: 0,
@@ -300,13 +302,19 @@ impl<Id> IndexEntries<Id> {
     }
 }
 
+/// The per-label map of a [`KeyedIndex`]: key → `Arc`-shared entry.
+type KeyMap<Id> = HashMap<String, Arc<IndexEntries<Id>>>;
+
 /// The generic `(label, key, value) → item set` index shared by node
 /// indexes ([`PropIndex`], label = node label) and relationship indexes
 /// ([`RelPropIndex`], label = relationship type).
 #[derive(Debug, Clone)]
 pub struct KeyedIndex<Id> {
-    /// label → key → value-key → item set.
-    by_label: HashMap<String, HashMap<String, IndexEntries<Id>>>,
+    /// label → key → value-key → item set. Entries are `Arc`-shared so a
+    /// copy-on-write clone of the whole index (every published commit
+    /// boundary) bumps refcounts instead of deep-copying per-entry
+    /// statistics; mutators go through [`Arc::make_mut`].
+    by_label: Arc<HashMap<String, KeyMap<Id>>>,
     /// Number of `(label, key)` indexes; cheap emptiness check for the
     /// mutation fast path.
     count: usize,
@@ -315,7 +323,7 @@ pub struct KeyedIndex<Id> {
 impl<Id> Default for KeyedIndex<Id> {
     fn default() -> Self {
         KeyedIndex {
-            by_label: HashMap::new(),
+            by_label: Arc::new(HashMap::new()),
             count: 0,
         }
     }
@@ -330,25 +338,28 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
     /// Declare an index on `(label, key)`. Returns `false` when it already
     /// exists. The caller (the store) populates it from the live extent.
     pub fn create(&mut self, label: &str, key: &str) -> bool {
-        let keys = self.by_label.entry(label.to_string()).or_default();
+        let keys = Arc::make_mut(&mut self.by_label)
+            .entry(label.to_string())
+            .or_default();
         if keys.contains_key(key) {
             return false;
         }
-        keys.insert(key.to_string(), IndexEntries::default());
+        keys.insert(key.to_string(), Arc::new(IndexEntries::default()));
         self.count += 1;
         true
     }
 
     /// Drop the index on `(label, key)`; `false` when absent.
     pub fn drop_index(&mut self, label: &str, key: &str) -> bool {
-        let Some(keys) = self.by_label.get_mut(label) else {
+        let by_label = Arc::make_mut(&mut self.by_label);
+        let Some(keys) = by_label.get_mut(label) else {
             return false;
         };
         if keys.remove(key).is_none() {
             return false;
         }
         if keys.is_empty() {
-            self.by_label.remove(label);
+            by_label.remove(label);
         }
         self.count -= 1;
         true
@@ -385,17 +396,26 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
     /// Statistics (totals, histogram) are maintained here, so every undo
     /// path that replays inserts keeps them consistent automatically.
     pub fn insert(&mut self, label: &str, key: &str, value: &Value, item: Id) {
-        if let Some(entries) = self
-            .by_label
+        // Coverage check before touching the shared map: uncovered labels
+        // (the common case on mixed workloads) must not force a
+        // copy-on-write of the outer tables.
+        if !self.is_indexed(label, key) {
+            return;
+        }
+        if let Some(entries) = Arc::make_mut(&mut self.by_label)
             .get_mut(label)
             .and_then(|keys| keys.get_mut(key))
         {
+            let entries = Arc::make_mut(entries);
             if let Some(ik) = IndexKey::from_value(value) {
-                if entries.keys.entry(ik.clone()).or_default().insert(item) {
+                if entries.keys.get_or_default(ik.clone()).insert(item) {
                     entries.total += 1;
                     entries.hist.note_insert(&ik);
                     if entries.hist.stale(entries.total) {
-                        entries.hist.rebuild(&entries.keys, entries.total);
+                        entries.hist.rebuild_from(
+                            entries.keys.iter().map(|(k, s)| (k, s.len())),
+                            entries.total,
+                        );
                     }
                 }
             } else if IndexKey::is_lossy_numeric(value) {
@@ -408,11 +428,14 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
 
     /// Remove one entry (exact inverse of [`KeyedIndex::insert`]).
     pub fn remove(&mut self, label: &str, key: &str, value: &Value, item: Id) {
-        if let Some(entries) = self
-            .by_label
+        if !self.is_indexed(label, key) {
+            return;
+        }
+        if let Some(entries) = Arc::make_mut(&mut self.by_label)
             .get_mut(label)
             .and_then(|keys| keys.get_mut(key))
         {
+            let entries = Arc::make_mut(entries);
             if let Some(ik) = IndexKey::from_value(value) {
                 if let Some(set) = entries.keys.get_mut(&ik) {
                     if set.remove(&item) {
@@ -423,7 +446,10 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
                         entries.keys.remove(&ik);
                     }
                     if entries.hist.stale(entries.total) {
-                        entries.hist.rebuild(&entries.keys, entries.total);
+                        entries.hist.rebuild_from(
+                            entries.keys.iter().map(|(k, s)| (k, s.len())),
+                            entries.total,
+                        );
                     }
                 }
             } else if IndexKey::is_lossy_numeric(value) {
@@ -474,7 +500,7 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
         };
         let mut out: Vec<Id> = entries
             .keys
-            .range((lo, hi))
+            .range(lo, hi)
             .flat_map(|(_, set)| set.iter().copied())
             .collect();
         out.sort();
@@ -519,7 +545,7 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
         if let Some(est) = entries.hist.estimate_range(&lo, &hi) {
             return Some(est);
         }
-        Some(entries.keys.range((lo, hi)).map(|(_, set)| set.len()).sum())
+        Some(entries.keys.range(lo, hi).map(|(_, set)| set.len()).sum())
     }
 
     /// Exact count of items a [`KeyedIndex::prefix_lookup`] would return
@@ -530,7 +556,7 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
         Some(
             entries
                 .keys
-                .range((start, Bound::Unbounded))
+                .range(start, Bound::Unbounded)
                 .take_while(|(k, _)| matches!(k, IndexKey::Str(s) if s.starts_with(prefix)))
                 .map(|(_, set)| set.len())
                 .sum(),
@@ -575,20 +601,19 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
             fams.reverse();
         }
         let iter = fams.into_iter().flat_map(move |fam| {
-            let bounds = (family_min(fam), family_max(fam));
+            let (lo, hi) = (family_min(fam), family_max(fam));
             let walk: Box<dyn Iterator<Item = Id>> = if descending {
                 Box::new(
                     entries
                         .keys
-                        .range(bounds)
-                        .rev()
+                        .range_rev(lo, hi)
                         .flat_map(|(_, set)| set.iter().copied()),
                 )
             } else {
                 Box::new(
                     entries
                         .keys
-                        .range(bounds)
+                        .range(lo, hi)
                         .flat_map(|(_, set)| set.iter().copied()),
                 )
             };
@@ -602,9 +627,13 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
     /// rebuild cadence badly enough that [`crate::Graph::rebuild_stats`]
     /// exposes this as an explicit post-load refresh.
     pub fn rebuild_stats(&mut self) {
-        for keys in self.by_label.values_mut() {
+        for keys in Arc::make_mut(&mut self.by_label).values_mut() {
             for entries in keys.values_mut() {
-                entries.hist.rebuild(&entries.keys, entries.total);
+                let entries = Arc::make_mut(entries);
+                entries.hist.rebuild_from(
+                    entries.keys.iter().map(|(k, s)| (k, s.len())),
+                    entries.total,
+                );
             }
         }
     }
@@ -618,7 +647,7 @@ impl<Id: Ord + Copy> KeyedIndex<Id> {
         let start = Bound::Included(IndexKey::Str(prefix.to_string()));
         let mut out: Vec<Id> = entries
             .keys
-            .range((start, Bound::Unbounded))
+            .range(start, Bound::Unbounded)
             .take_while(|(k, _)| matches!(k, IndexKey::Str(s) if s.starts_with(prefix)))
             .flat_map(|(_, set)| set.iter().copied())
             .collect();
@@ -650,8 +679,8 @@ pub(crate) fn family_max(fam: u8) -> Bound<IndexKey> {
     }
 }
 
-/// Whether `(lo, hi)` denotes an empty interval (BTreeMap::range panics on
-/// inverted bounds).
+/// Whether `(lo, hi)` denotes an empty interval, so classification can
+/// report `Empty` (definitive) instead of walking nothing.
 fn range_is_empty(lo: &Bound<IndexKey>, hi: &Bound<IndexKey>) -> bool {
     match (lo, hi) {
         (Bound::Included(a), Bound::Included(b)) => a > b,

@@ -1,18 +1,22 @@
-//! The graph store: storage, indexes, transactions, and the mutation API.
+//! The graph store: storage, indexes, transactions, the mutation API, and
+//! commit-epoch publication for snapshot-isolated readers.
 
 use crate::composite::{CompositeTrailing, NodeCompositeIndex, RelCompositeIndex};
 use crate::delta::Delta;
 use crate::error::{GraphError, Result};
 use crate::ids::{ItemRef, NodeId, RelId};
 use crate::op::Op;
+use crate::pmap::{PMap, PSet};
 use crate::prop_index::{PropIndex, RelPropIndex};
 use crate::props::PropertyMap;
 use crate::record::{NodeRecord, RelRecord};
+use crate::snapshot::{GraphHandle, Publisher, Snapshot};
 use crate::value::{Direction, Value};
 use crate::view::GraphView;
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// Debug counters over index probes, for verifying *how* the planner pays
 /// for its answers: `materializing` counts lookups that return id vectors
@@ -29,15 +33,18 @@ pub struct IndexProbes {
     pub ordered: u64,
 }
 
+/// Atomic probe counters. The live [`Graph`] owns one set and each
+/// [`Snapshot`] owns its own, so concurrent readers never race on (or
+/// pollute) the writer's counters.
 #[derive(Debug, Default)]
-struct ProbeCounters {
+pub(crate) struct ProbeCounters {
     materializing: AtomicU64,
     counting: AtomicU64,
     ordered: AtomicU64,
 }
 
 impl ProbeCounters {
-    fn snapshot(&self) -> IndexProbes {
+    pub(crate) fn snapshot(&self) -> IndexProbes {
         IndexProbes {
             materializing: self.materializing.load(AtomicOrdering::Relaxed),
             counting: self.counting.load(AtomicOrdering::Relaxed),
@@ -45,7 +52,7 @@ impl ProbeCounters {
         }
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         self.materializing.store(0, AtomicOrdering::Relaxed);
         self.counting.store(0, AtomicOrdering::Relaxed);
         self.ordered.store(0, AtomicOrdering::Relaxed);
@@ -78,24 +85,22 @@ struct TxState {
     ops: Vec<Op>,
 }
 
-/// The in-memory property graph.
-///
-/// Mutations performed while a transaction is active are recorded in an
-/// undo-capable operation log; outside a transaction they apply immediately
-/// without logging (bulk-load mode, used by data generators).
-#[derive(Debug, Default)]
-pub struct Graph {
-    nodes: HashMap<NodeId, NodeRecord>,
-    rels: HashMap<RelId, RelRecord>,
-    out_adj: HashMap<NodeId, Vec<RelId>>,
-    in_adj: HashMap<NodeId, Vec<RelId>>,
-    label_index: HashMap<String, BTreeSet<NodeId>>,
-    type_index: HashMap<String, BTreeSet<RelId>>,
-    /// Ordered id sets mirroring `nodes`/`rels`, so `all_node_ids` /
-    /// `all_rel_ids` need no per-call sort (they run inside per-row
-    /// candidate loops).
-    node_ids: BTreeSet<NodeId>,
-    rel_ids: BTreeSet<RelId>,
+/// The versioned storage of a [`Graph`]: extents, adjacency, and every
+/// index, all held in persistent (structurally shared) maps so a `clone`
+/// is shallow — O(#labels + #index definitions) pointer copies. This is
+/// the unit of commit-epoch publication: everything a snapshot reader
+/// needs lives here, while transaction state, id allocators, write policy,
+/// and probe counters stay on [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StoreState {
+    /// Node records, ordered by id (also serves `all_node_ids`).
+    pub(crate) nodes: PMap<NodeId, Arc<NodeRecord>>,
+    /// Relationship records, ordered by id (also serves `all_rel_ids`).
+    pub(crate) rels: PMap<RelId, Arc<RelRecord>>,
+    out_adj: PMap<NodeId, Vec<RelId>>,
+    in_adj: PMap<NodeId, Vec<RelId>>,
+    label_index: HashMap<Arc<str>, PSet<NodeId>>,
+    type_index: HashMap<Arc<str>, PSet<RelId>>,
     /// Property indexes (`CREATE INDEX ON :Label(key)`), maintained
     /// through every mutation and undo path below.
     prop_index: PropIndex,
@@ -109,60 +114,86 @@ pub struct Graph {
     composite_index: NodeCompositeIndex,
     /// Composite relationship indexes (`CREATE INDEX ON -[:TYPE(k1, k2)]-`).
     rel_composite_index: RelCompositeIndex,
-    next_node: u64,
-    next_rel: u64,
-    tx: Option<TxState>,
-    policy: WritePolicy,
-    /// Debug counters over index probes (see [`IndexProbes`]).
-    probes: ProbeCounters,
 }
 
-impl Graph {
-    pub fn new() -> Self {
-        Graph::default()
+/// Insert `id` into `map[key]`, allocating the `Arc<str>` key only on
+/// first sight of a label/type — the hot path (existing key) is a plain
+/// lookup, and cloning the whole map for publication bumps refcounts
+/// instead of copying key strings.
+fn extent_insert<Id: Ord + Copy>(map: &mut HashMap<Arc<str>, PSet<Id>>, key: &str, id: Id) {
+    if let Some(ix) = map.get_mut(key) {
+        ix.insert(id);
+    } else {
+        let mut set = PSet::new();
+        set.insert(id);
+        map.insert(Arc::from(key), set);
     }
+}
 
+impl StoreState {
     // ------------------------------------------------------------------
-    // Transactions
+    // Raw (index-maintaining, unlogged) helpers
     // ------------------------------------------------------------------
 
-    /// Begin a transaction. Fails if one is already active.
-    pub fn begin(&mut self) -> Result<()> {
-        if self.tx.is_some() {
-            return Err(GraphError::TransactionActive);
+    fn raw_insert_node(&mut self, record: NodeRecord) {
+        for l in &record.labels {
+            extent_insert(&mut self.label_index, l, record.id);
         }
-        self.tx = Some(TxState::default());
-        Ok(())
+        self.prop_index.index_node(&record);
+        self.composite_index.index_item(
+            record.labels.iter().map(String::as_str),
+            &record.props,
+            record.id,
+        );
+        // Adjacency entries are created on demand by `raw_insert_rel`; a
+        // missing entry reads as empty everywhere, and skipping the eager
+        // insert saves two treap path-copies per node under publication.
+        self.nodes.insert(record.id, Arc::new(record));
     }
 
-    /// Whether a transaction is active.
-    pub fn in_tx(&self) -> bool {
-        self.tx.is_some()
-    }
-
-    /// Commit the active transaction, returning its full operation log.
-    pub fn commit(&mut self) -> Result<Vec<Op>> {
-        match self.tx.take() {
-            Some(tx) => Ok(tx.ops),
-            None => Err(GraphError::NoActiveTransaction),
+    fn raw_remove_node(&mut self, id: NodeId) {
+        if let Some(rec) = self.nodes.remove(&id) {
+            for l in &rec.labels {
+                if let Some(ix) = self.label_index.get_mut(l.as_str()) {
+                    ix.remove(&id);
+                }
+            }
+            self.prop_index.deindex_node(&rec);
+            self.composite_index.deindex_item(
+                rec.labels.iter().map(String::as_str),
+                &rec.props,
+                id,
+            );
         }
+        self.out_adj.remove(&id);
+        self.in_adj.remove(&id);
     }
 
-    /// Roll back the active transaction, restoring the pre-transaction state.
-    pub fn rollback(&mut self) -> Result<()> {
-        let tx = self.tx.take().ok_or(GraphError::NoActiveTransaction)?;
-        self.undo_ops(&tx.ops);
-        Ok(())
+    fn raw_insert_rel(&mut self, record: RelRecord) {
+        extent_insert(&mut self.type_index, &record.rel_type, record.id);
+        self.rel_prop_index.index_rel(&record);
+        self.rel_composite_index
+            .index_item_label(&record.rel_type, &record.props, record.id);
+        self.out_adj.get_or_default(record.src).push(record.id);
+        self.in_adj.get_or_default(record.dst).push(record.id);
+        self.rels.insert(record.id, Arc::new(record));
     }
 
-    /// Roll back to a statement mark, undoing only the ops after it. Used to
-    /// abort a single statement (and its triggers) without losing earlier
-    /// work in the transaction.
-    pub fn rollback_to(&mut self, mark: StatementMark) -> Result<()> {
-        let tx = self.tx.as_mut().ok_or(GraphError::NoActiveTransaction)?;
-        let tail: Vec<Op> = tx.ops.split_off(mark.0);
-        self.undo_ops(&tail);
-        Ok(())
+    fn raw_remove_rel(&mut self, id: RelId) {
+        if let Some(rec) = self.rels.remove(&id) {
+            if let Some(ix) = self.type_index.get_mut(rec.rel_type.as_str()) {
+                ix.remove(&id);
+            }
+            self.rel_prop_index.deindex_rel(&rec);
+            self.rel_composite_index
+                .deindex_item_label(&rec.rel_type, &rec.props, id);
+            if let Some(adj) = self.out_adj.get_mut(&rec.src) {
+                adj.retain(|&r| r != id);
+            }
+            if let Some(adj) = self.in_adj.get_mut(&rec.dst) {
+                adj.retain(|&r| r != id);
+            }
+        }
     }
 
     fn undo_ops(&mut self, ops: &[Op]) {
@@ -182,6 +213,7 @@ impl Graph {
                 }
                 Op::SetLabel { node, label } => {
                     if let Some(n) = self.nodes.get_mut(node) {
+                        let n = Arc::make_mut(n);
                         n.labels.remove(label);
                         for (k, v) in n.props.iter() {
                             self.prop_index.remove(label, k, v, *node);
@@ -189,12 +221,13 @@ impl Graph {
                         self.composite_index
                             .deindex_item_label(label, &n.props, *node);
                     }
-                    if let Some(ix) = self.label_index.get_mut(label) {
+                    if let Some(ix) = self.label_index.get_mut(label.as_str()) {
                         ix.remove(node);
                     }
                 }
                 Op::RemoveLabel { node, label } => {
                     if let Some(n) = self.nodes.get_mut(node) {
+                        let n = Arc::make_mut(n);
                         n.labels.insert(label.clone());
                         for (k, v) in n.props.iter() {
                             self.prop_index.insert(label, k, v, *node);
@@ -202,10 +235,7 @@ impl Graph {
                         self.composite_index
                             .index_item_label(label, &n.props, *node);
                     }
-                    self.label_index
-                        .entry(label.clone())
-                        .or_default()
-                        .insert(*node);
+                    extent_insert(&mut self.label_index, label, *node);
                 }
                 Op::SetNodeProp {
                     node,
@@ -214,6 +244,7 @@ impl Graph {
                     new,
                 } => {
                     if let Some(n) = self.nodes.get_mut(node) {
+                        let n = Arc::make_mut(n);
                         self.composite_index.deindex_item(
                             n.labels.iter().map(String::as_str),
                             &n.props,
@@ -242,6 +273,7 @@ impl Graph {
                 }
                 Op::RemoveNodeProp { node, key, old } => {
                     if let Some(n) = self.nodes.get_mut(node) {
+                        let n = Arc::make_mut(n);
                         self.composite_index.deindex_item(
                             n.labels.iter().map(String::as_str),
                             &n.props,
@@ -260,6 +292,7 @@ impl Graph {
                 }
                 Op::SetRelProp { rel, key, old, new } => {
                     if let Some(r) = self.rels.get_mut(rel) {
+                        let r = Arc::make_mut(r);
                         self.rel_composite_index
                             .deindex_item_label(&r.rel_type, &r.props, *rel);
                         self.rel_prop_index.remove(&r.rel_type, key, new, *rel);
@@ -278,6 +311,7 @@ impl Graph {
                 }
                 Op::RemoveRelProp { rel, key, old } => {
                     if let Some(r) = self.rels.get_mut(rel) {
+                        let r = Arc::make_mut(r);
                         self.rel_composite_index
                             .deindex_item_label(&r.rel_type, &r.props, *rel);
                         r.props.set(key.clone(), old.clone());
@@ -288,6 +322,107 @@ impl Graph {
                 }
             }
         }
+    }
+}
+
+/// The in-memory property graph.
+///
+/// Mutations performed while a transaction is active are recorded in an
+/// undo-capable operation log; outside a transaction they apply immediately
+/// without logging (bulk-load mode, used by data generators).
+///
+/// The graph is a **single-writer** structure; concurrent readers go
+/// through [`Graph::reader_handle`] / [`Graph::snapshot`], which publish
+/// immutable, epoch-pinned versions of the storage state (see the
+/// [`crate::snapshot`] module). A graph that never publishes pays no
+/// copy-on-write cost: the state `Arc` stays unshared and mutations edit
+/// in place.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// The live storage state, possibly shared with published snapshots.
+    /// All mutations funnel through [`Graph::state_mut`], which
+    /// copy-on-writes whatever is still shared.
+    state: Arc<StoreState>,
+    next_node: u64,
+    next_rel: u64,
+    /// The last published commit epoch (0 = the initial empty state).
+    epoch: u64,
+    /// Whether `state` has diverged from what epoch `epoch` published.
+    dirty: bool,
+    /// The epoch the publisher slot currently holds; lets clean commit
+    /// boundaries (`begin` after a published commit, empty transactions)
+    /// skip the slot lock entirely.
+    last_published: u64,
+    /// Created lazily on first [`Graph::reader_handle`] /
+    /// [`Graph::snapshot`]; `None` means exclusive mode.
+    publisher: Option<Arc<Publisher>>,
+    tx: Option<TxState>,
+    policy: WritePolicy,
+    /// Debug counters over index probes (see [`IndexProbes`]).
+    probes: ProbeCounters,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction. Fails if one is already active.
+    ///
+    /// A transaction start is a commit boundary: any unpublished bulk-load
+    /// changes are published first, so snapshots pinned during the
+    /// transaction expose the state it started from.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.tx.is_some() {
+            return Err(GraphError::TransactionActive);
+        }
+        self.maybe_publish();
+        self.tx = Some(TxState::default());
+        Ok(())
+    }
+
+    /// Whether a transaction is active.
+    pub fn in_tx(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Commit the active transaction, returning its full operation log.
+    /// Advances the commit epoch and publishes the new state to snapshot
+    /// readers.
+    pub fn commit(&mut self) -> Result<Vec<Op>> {
+        match self.tx.take() {
+            Some(tx) => {
+                self.maybe_publish();
+                Ok(tx.ops)
+            }
+            None => Err(GraphError::NoActiveTransaction),
+        }
+    }
+
+    /// Roll back the active transaction, restoring the pre-transaction state.
+    pub fn rollback(&mut self) -> Result<()> {
+        let tx = self.tx.take().ok_or(GraphError::NoActiveTransaction)?;
+        if !tx.ops.is_empty() {
+            self.state_mut().undo_ops(&tx.ops);
+        }
+        self.maybe_publish();
+        Ok(())
+    }
+
+    /// Roll back to a statement mark, undoing only the ops after it. Used to
+    /// abort a single statement (and its triggers) without losing earlier
+    /// work in the transaction.
+    pub fn rollback_to(&mut self, mark: StatementMark) -> Result<()> {
+        let tx = self.tx.as_mut().ok_or(GraphError::NoActiveTransaction)?;
+        let tail: Vec<Op> = tx.ops.split_off(mark.0);
+        if !tail.is_empty() {
+            self.state_mut().undo_ops(&tail);
+        }
+        Ok(())
     }
 
     /// Mark the current position in the op log (a statement boundary).
@@ -308,8 +443,8 @@ impl Graph {
         let ops = self.ops_since(mark);
         Delta::from_ops(
             ops,
-            |id| self.nodes.get(&id).cloned(),
-            |id| self.rels.get(&id).cloned(),
+            |id| self.state.nodes.get(&id).map(|r| (**r).clone()),
+            |id| self.state.rels.get(&id).map(|r| (**r).clone()),
         )
     }
 
@@ -318,9 +453,96 @@ impl Graph {
     pub fn delta_of_ops(&self, ops: &[Op]) -> Delta {
         Delta::from_ops(
             ops,
-            |id| self.nodes.get(&id).cloned(),
-            |id| self.rels.get(&id).cloned(),
+            |id| self.state.nodes.get(&id).map(|r| (**r).clone()),
+            |id| self.state.rels.get(&id).map(|r| (**r).clone()),
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Commit-epoch publication (single writer, N snapshot readers)
+    // ------------------------------------------------------------------
+
+    /// Mutable access to the storage state, copy-on-writing whatever is
+    /// still shared with published snapshots. Every mutation and DDL path
+    /// funnels through here so the dirty flag can never be missed.
+    fn state_mut(&mut self) -> &mut StoreState {
+        self.dirty = true;
+        Arc::make_mut(&mut self.state)
+    }
+
+    /// Roll the epoch forward over unpublished changes and refresh the
+    /// publisher slot. Called at every commit boundary: `begin`, `commit`,
+    /// `rollback`, and out-of-transaction snapshot requests.
+    fn maybe_publish(&mut self) {
+        if self.dirty {
+            self.epoch += 1;
+            self.dirty = false;
+        }
+        // Nothing changed since the slot last saw this epoch: skip the
+        // lock. This keeps clean `begin`s free under publication.
+        if self.epoch == self.last_published {
+            return;
+        }
+        if let Some(p) = &self.publisher {
+            p.publish(self.epoch, &self.state);
+            self.last_published = self.epoch;
+        }
+    }
+
+    /// The last committed (published) epoch. Epoch 0 is the initial empty
+    /// state; every commit boundary that changed anything advances it by 1.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Strong count on the live state root — observability for epoch
+    /// reclamation tests. 1 means exclusive (no publisher, no snapshots of
+    /// the current version); with a publisher whose slot is current the
+    /// baseline is 2 (graph + slot), plus 1 per snapshot still pinning
+    /// this exact version.
+    pub fn state_refcount(&self) -> usize {
+        Arc::strong_count(&self.state)
+    }
+
+    /// A cloneable, `Send + Sync` handle that reader threads use to pin
+    /// fresh snapshots without going through the writer.
+    ///
+    /// The first call must happen **outside** a transaction (the committed
+    /// state becomes the handle's initial publication); it switches the
+    /// graph from exclusive mode to copy-on-write publication. Subsequent
+    /// calls are cheap and valid at any time.
+    pub fn reader_handle(&mut self) -> GraphHandle {
+        match &self.publisher {
+            None => {
+                assert!(
+                    !self.in_tx(),
+                    "the first reader handle must be created outside a transaction"
+                );
+                if self.dirty {
+                    self.epoch += 1;
+                    self.dirty = false;
+                }
+                let p = Arc::new(Publisher::new(self.epoch, Arc::clone(&self.state)));
+                self.publisher = Some(Arc::clone(&p));
+                self.last_published = self.epoch;
+                GraphHandle::new(p)
+            }
+            Some(p) => {
+                let handle = GraphHandle::new(Arc::clone(p));
+                if !self.in_tx() {
+                    self.maybe_publish();
+                }
+                handle
+            }
+        }
+    }
+
+    /// Pin an immutable, `Send + Sync` snapshot of the last committed
+    /// epoch. Mid-transaction this exposes the state as of the previous
+    /// commit boundary — never in-flight mutations or partially applied
+    /// trigger cascades.
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.reader_handle().snapshot()
     }
 
     // ------------------------------------------------------------------
@@ -354,80 +576,6 @@ impl Graph {
     }
 
     // ------------------------------------------------------------------
-    // Raw (index-maintaining, unlogged) helpers
-    // ------------------------------------------------------------------
-
-    fn raw_insert_node(&mut self, record: NodeRecord) {
-        for l in &record.labels {
-            self.label_index
-                .entry(l.clone())
-                .or_default()
-                .insert(record.id);
-        }
-        self.prop_index.index_node(&record);
-        self.composite_index.index_item(
-            record.labels.iter().map(String::as_str),
-            &record.props,
-            record.id,
-        );
-        self.out_adj.entry(record.id).or_default();
-        self.in_adj.entry(record.id).or_default();
-        self.node_ids.insert(record.id);
-        self.nodes.insert(record.id, record);
-    }
-
-    fn raw_remove_node(&mut self, id: NodeId) {
-        if let Some(rec) = self.nodes.remove(&id) {
-            for l in &rec.labels {
-                if let Some(ix) = self.label_index.get_mut(l) {
-                    ix.remove(&id);
-                }
-            }
-            self.prop_index.deindex_node(&rec);
-            self.composite_index.deindex_item(
-                rec.labels.iter().map(String::as_str),
-                &rec.props,
-                id,
-            );
-        }
-        self.node_ids.remove(&id);
-        self.out_adj.remove(&id);
-        self.in_adj.remove(&id);
-    }
-
-    fn raw_insert_rel(&mut self, record: RelRecord) {
-        self.type_index
-            .entry(record.rel_type.clone())
-            .or_default()
-            .insert(record.id);
-        self.rel_prop_index.index_rel(&record);
-        self.rel_composite_index
-            .index_item_label(&record.rel_type, &record.props, record.id);
-        self.out_adj.entry(record.src).or_default().push(record.id);
-        self.in_adj.entry(record.dst).or_default().push(record.id);
-        self.rel_ids.insert(record.id);
-        self.rels.insert(record.id, record);
-    }
-
-    fn raw_remove_rel(&mut self, id: RelId) {
-        if let Some(rec) = self.rels.remove(&id) {
-            self.rel_ids.remove(&id);
-            if let Some(ix) = self.type_index.get_mut(&rec.rel_type) {
-                ix.remove(&id);
-            }
-            self.rel_prop_index.deindex_rel(&rec);
-            self.rel_composite_index
-                .deindex_item_label(&rec.rel_type, &rec.props, id);
-            if let Some(adj) = self.out_adj.get_mut(&rec.src) {
-                adj.retain(|&r| r != id);
-            }
-            if let Some(adj) = self.in_adj.get_mut(&rec.dst) {
-                adj.retain(|&r| r != id);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
     // Mutations
     // ------------------------------------------------------------------
 
@@ -453,7 +601,7 @@ impl Graph {
             labels: labels.into_iter().map(Into::into).collect(),
             props,
         };
-        self.raw_insert_node(record.clone());
+        self.state_mut().raw_insert_node(record.clone());
         self.log(Op::CreateNode { record });
         Ok(id)
     }
@@ -464,16 +612,18 @@ impl Graph {
     pub fn delete_node(&mut self, id: NodeId) -> Result<()> {
         self.check_write("delete node", Some(id.into()))?;
         let rec = self
+            .state
             .nodes
             .get(&id)
             .ok_or(GraphError::NodeNotFound(id))?
+            .as_ref()
             .clone();
-        let degree = self.out_adj.get(&id).map(|v| v.len()).unwrap_or(0)
-            + self.in_adj.get(&id).map(|v| v.len()).unwrap_or(0);
+        let degree = self.state.out_adj.get(&id).map(|v| v.len()).unwrap_or(0)
+            + self.state.in_adj.get(&id).map(|v| v.len()).unwrap_or(0);
         if degree > 0 {
             return Err(GraphError::HasRelationships(id));
         }
-        self.raw_remove_node(id);
+        self.state_mut().raw_remove_node(id);
         self.log(Op::DeleteNode { record: rec });
         Ok(())
     }
@@ -481,14 +631,14 @@ impl Graph {
     /// Delete a node together with all its relationships.
     pub fn detach_delete_node(&mut self, id: NodeId) -> Result<()> {
         self.check_write("delete node", Some(id.into()))?;
-        if !self.nodes.contains_key(&id) {
+        if !self.state.nodes.contains_key(&id) {
             return Err(GraphError::NodeNotFound(id));
         }
         let mut attached: Vec<RelId> = Vec::new();
-        if let Some(out) = self.out_adj.get(&id) {
+        if let Some(out) = self.state.out_adj.get(&id) {
             attached.extend(out.iter().copied());
         }
-        if let Some(inc) = self.in_adj.get(&id) {
+        if let Some(inc) = self.state.in_adj.get(&id) {
             attached.extend(inc.iter().copied());
         }
         attached.sort();
@@ -508,10 +658,10 @@ impl Graph {
         props: PropertyMap,
     ) -> Result<RelId> {
         self.check_write("create relationship", None)?;
-        if !self.nodes.contains_key(&src) {
+        if !self.state.nodes.contains_key(&src) {
             return Err(GraphError::NodeNotFound(src));
         }
-        if !self.nodes.contains_key(&dst) {
+        if !self.state.nodes.contains_key(&dst) {
             return Err(GraphError::NodeNotFound(dst));
         }
         for (k, v) in props.iter() {
@@ -531,7 +681,7 @@ impl Graph {
             dst,
             props,
         };
-        self.raw_insert_rel(record.clone());
+        self.state_mut().raw_insert_rel(record.clone());
         self.log(Op::CreateRel { record });
         Ok(id)
     }
@@ -540,11 +690,13 @@ impl Graph {
     pub fn delete_rel(&mut self, id: RelId) -> Result<()> {
         self.check_write("delete relationship", Some(id.into()))?;
         let rec = self
+            .state
             .rels
             .get(&id)
             .ok_or(GraphError::RelNotFound(id))?
+            .as_ref()
             .clone();
-        self.raw_remove_rel(id);
+        self.state_mut().raw_remove_rel(id);
         self.log(Op::DeleteRel { record: rec });
         Ok(())
     }
@@ -554,22 +706,25 @@ impl Graph {
     pub fn set_label(&mut self, node: NodeId, label: impl Into<String>) -> Result<bool> {
         let label = label.into();
         self.check_write("set label", Some(node.into()))?;
-        let rec = self
+        let present = self
+            .state
             .nodes
-            .get_mut(&node)
-            .ok_or(GraphError::NodeNotFound(node))?;
-        if !rec.labels.insert(label.clone()) {
+            .get(&node)
+            .ok_or(GraphError::NodeNotFound(node))?
+            .labels
+            .contains(&label);
+        if present {
             return Ok(false);
         }
+        let st = self.state_mut();
+        let rec = Arc::make_mut(st.nodes.get_mut(&node).expect("existence checked above"));
+        rec.labels.insert(label.clone());
         for (k, v) in rec.props.iter() {
-            self.prop_index.insert(&label, k, v, node);
+            st.prop_index.insert(&label, k, v, node);
         }
-        self.composite_index
+        st.composite_index
             .index_item_label(&label, &rec.props, node);
-        self.label_index
-            .entry(label.clone())
-            .or_default()
-            .insert(node);
+        extent_insert(&mut st.label_index, &label, node);
         self.log(Op::SetLabel { node, label });
         Ok(true)
     }
@@ -577,19 +732,25 @@ impl Graph {
     /// Remove a label from a node; `false` when it was absent.
     pub fn remove_label(&mut self, node: NodeId, label: &str) -> Result<bool> {
         self.check_write("remove label", Some(node.into()))?;
-        let rec = self
+        let present = self
+            .state
             .nodes
-            .get_mut(&node)
-            .ok_or(GraphError::NodeNotFound(node))?;
-        if !rec.labels.remove(label) {
+            .get(&node)
+            .ok_or(GraphError::NodeNotFound(node))?
+            .labels
+            .contains(label);
+        if !present {
             return Ok(false);
         }
+        let st = self.state_mut();
+        let rec = Arc::make_mut(st.nodes.get_mut(&node).expect("existence checked above"));
+        rec.labels.remove(label);
         for (k, v) in rec.props.iter() {
-            self.prop_index.remove(label, k, v, node);
+            st.prop_index.remove(label, k, v, node);
         }
-        self.composite_index
+        st.composite_index
             .deindex_item_label(label, &rec.props, node);
-        if let Some(ix) = self.label_index.get_mut(label) {
+        if let Some(ix) = st.label_index.get_mut(label) {
             ix.remove(&node);
         }
         self.log(Op::RemoveLabel {
@@ -615,24 +776,22 @@ impl Graph {
                 type_name: value.type_name(),
             });
         }
-        let rec = self
-            .nodes
-            .get_mut(&node)
-            .ok_or(GraphError::NodeNotFound(node))?;
-        self.composite_index
+        if !self.state.nodes.contains_key(&node) {
+            return Err(GraphError::NodeNotFound(node));
+        }
+        let st = self.state_mut();
+        let rec = Arc::make_mut(st.nodes.get_mut(&node).expect("existence checked above"));
+        st.composite_index
             .deindex_item(rec.labels.iter().map(String::as_str), &rec.props, node);
         if value.is_null() {
             let old = rec.props.remove(&key);
             if let Some(old_v) = &old {
                 for l in rec.labels.iter() {
-                    self.prop_index.remove(l, &key, old_v, node);
+                    st.prop_index.remove(l, &key, old_v, node);
                 }
             }
-            self.composite_index.index_item(
-                rec.labels.iter().map(String::as_str),
-                &rec.props,
-                node,
-            );
+            st.composite_index
+                .index_item(rec.labels.iter().map(String::as_str), &rec.props, node);
             if let Some(old) = old {
                 self.log(Op::RemoveNodeProp { node, key, old });
             }
@@ -641,11 +800,11 @@ impl Graph {
         let old = rec.props.set(key.clone(), value.clone());
         for l in rec.labels.iter() {
             if let Some(old_v) = &old {
-                self.prop_index.remove(l, &key, old_v, node);
+                st.prop_index.remove(l, &key, old_v, node);
             }
-            self.prop_index.insert(l, &key, &value, node);
+            st.prop_index.insert(l, &key, &value, node);
         }
-        self.composite_index
+        st.composite_index
             .index_item(rec.labels.iter().map(String::as_str), &rec.props, node);
         self.log(Op::SetNodeProp {
             node,
@@ -659,19 +818,20 @@ impl Graph {
     /// Remove a node property, returning its old value (if any).
     pub fn remove_node_prop(&mut self, node: NodeId, key: &str) -> Result<Option<Value>> {
         self.check_write("remove node prop", Some(node.into()))?;
-        let rec = self
-            .nodes
-            .get_mut(&node)
-            .ok_or(GraphError::NodeNotFound(node))?;
-        self.composite_index
+        if !self.state.nodes.contains_key(&node) {
+            return Err(GraphError::NodeNotFound(node));
+        }
+        let st = self.state_mut();
+        let rec = Arc::make_mut(st.nodes.get_mut(&node).expect("existence checked above"));
+        st.composite_index
             .deindex_item(rec.labels.iter().map(String::as_str), &rec.props, node);
         let old = rec.props.remove(key);
         if let Some(old_v) = &old {
             for l in rec.labels.iter() {
-                self.prop_index.remove(l, key, old_v, node);
+                st.prop_index.remove(l, key, old_v, node);
             }
         }
-        self.composite_index
+        st.composite_index
             .index_item(rec.labels.iter().map(String::as_str), &rec.props, node);
         if let Some(old_v) = &old {
             self.log(Op::RemoveNodeProp {
@@ -693,18 +853,19 @@ impl Graph {
                 type_name: value.type_name(),
             });
         }
-        let rec = self
-            .rels
-            .get_mut(&rel)
-            .ok_or(GraphError::RelNotFound(rel))?;
-        self.rel_composite_index
+        if !self.state.rels.contains_key(&rel) {
+            return Err(GraphError::RelNotFound(rel));
+        }
+        let st = self.state_mut();
+        let rec = Arc::make_mut(st.rels.get_mut(&rel).expect("existence checked above"));
+        st.rel_composite_index
             .deindex_item_label(&rec.rel_type, &rec.props, rel);
         if value.is_null() {
             let old = rec.props.remove(&key);
             if let Some(old_v) = &old {
-                self.rel_prop_index.remove(&rec.rel_type, &key, old_v, rel);
+                st.rel_prop_index.remove(&rec.rel_type, &key, old_v, rel);
             }
-            self.rel_composite_index
+            st.rel_composite_index
                 .index_item_label(&rec.rel_type, &rec.props, rel);
             if let Some(old) = old {
                 self.log(Op::RemoveRelProp { rel, key, old });
@@ -713,10 +874,10 @@ impl Graph {
         }
         let old = rec.props.set(key.clone(), value.clone());
         if let Some(old_v) = &old {
-            self.rel_prop_index.remove(&rec.rel_type, &key, old_v, rel);
+            st.rel_prop_index.remove(&rec.rel_type, &key, old_v, rel);
         }
-        self.rel_prop_index.insert(&rec.rel_type, &key, &value, rel);
-        self.rel_composite_index
+        st.rel_prop_index.insert(&rec.rel_type, &key, &value, rel);
+        st.rel_composite_index
             .index_item_label(&rec.rel_type, &rec.props, rel);
         self.log(Op::SetRelProp {
             rel,
@@ -730,17 +891,18 @@ impl Graph {
     /// Remove a relationship property.
     pub fn remove_rel_prop(&mut self, rel: RelId, key: &str) -> Result<Option<Value>> {
         self.check_write("remove rel prop", Some(rel.into()))?;
-        let rec = self
-            .rels
-            .get_mut(&rel)
-            .ok_or(GraphError::RelNotFound(rel))?;
-        self.rel_composite_index
+        if !self.state.rels.contains_key(&rel) {
+            return Err(GraphError::RelNotFound(rel));
+        }
+        let st = self.state_mut();
+        let rec = Arc::make_mut(st.rels.get_mut(&rel).expect("existence checked above"));
+        st.rel_composite_index
             .deindex_item_label(&rec.rel_type, &rec.props, rel);
         let old = rec.props.remove(key);
         if let Some(old_v) = &old {
-            self.rel_prop_index.remove(&rec.rel_type, key, old_v, rel);
+            st.rel_prop_index.remove(&rec.rel_type, key, old_v, rel);
         }
-        self.rel_composite_index
+        st.rel_composite_index
             .index_item_label(&rec.rel_type, &rec.props, rel);
         if let Some(old_v) = &old {
             self.log(Op::RemoveRelProp {
@@ -757,28 +919,29 @@ impl Graph {
     // ------------------------------------------------------------------
 
     pub fn node(&self, id: NodeId) -> Option<&NodeRecord> {
-        self.nodes.get(&id)
+        self.state.nodes.get(&id).map(|r| &**r)
     }
 
     pub fn rel(&self, id: RelId) -> Option<&RelRecord> {
-        self.rels.get(&id)
+        self.state.rels.get(&id).map(|r| &**r)
     }
 
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.state.nodes.len()
     }
 
     pub fn rel_count(&self) -> usize {
-        self.rels.len()
+        self.state.rels.len()
     }
 
     /// All labels currently present (with non-empty extents).
     pub fn labels(&self) -> Vec<String> {
         let mut ls: Vec<String> = self
+            .state
             .label_index
             .iter()
             .filter(|(_, ix)| !ix.is_empty())
-            .map(|(l, _)| l.clone())
+            .map(|(l, _)| l.to_string())
             .collect();
         ls.sort();
         ls
@@ -787,10 +950,11 @@ impl Graph {
     /// All relationship types currently present.
     pub fn rel_types(&self) -> Vec<String> {
         let mut ts: Vec<String> = self
+            .state
             .type_index
             .iter()
             .filter(|(_, ix)| !ix.is_empty())
-            .map(|(t, _)| t.clone())
+            .map(|(t, _)| t.to_string())
             .collect();
         ts.sort();
         ts
@@ -798,7 +962,8 @@ impl Graph {
 
     /// Relationships of a given type (index lookup).
     pub fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
-        self.type_index
+        self.state
+            .type_index
             .get(rel_type)
             .map(|ix| ix.iter().copied().collect())
             .unwrap_or_default()
@@ -814,13 +979,15 @@ impl Graph {
     /// Index DDL is not transactional: the definition survives rollback
     /// (its *entries* are kept consistent by the undo paths).
     pub fn create_index(&mut self, label: &str, key: &str) -> bool {
-        if !self.prop_index.create(label, key) {
+        if self.state.prop_index.is_indexed(label, key) {
             return false;
         }
-        if let Some(extent) = self.label_index.get(label) {
-            for id in extent {
-                if let Some(v) = self.nodes.get(id).and_then(|rec| rec.props.get(key)) {
-                    self.prop_index.insert(label, key, v, *id);
+        let st = self.state_mut();
+        st.prop_index.create(label, key);
+        if let Some(extent) = st.label_index.get(label) {
+            for id in extent.iter() {
+                if let Some(v) = st.nodes.get(id).and_then(|rec| rec.props.get(key)) {
+                    st.prop_index.insert(label, key, v, *id);
                 }
             }
         }
@@ -829,17 +996,20 @@ impl Graph {
 
     /// Drop the property index on `(label, key)`; `false` when absent.
     pub fn drop_index(&mut self, label: &str, key: &str) -> bool {
-        self.prop_index.drop_index(label, key)
+        if !self.state.prop_index.is_indexed(label, key) {
+            return false;
+        }
+        self.state_mut().prop_index.drop_index(label, key)
     }
 
     /// Whether `(label, key)` is indexed.
     pub fn has_index(&self, label: &str, key: &str) -> bool {
-        self.prop_index.is_indexed(label, key)
+        self.state.prop_index.is_indexed(label, key)
     }
 
     /// All `(label, key)` index definitions, sorted.
     pub fn indexes(&self) -> Vec<(String, String)> {
-        self.prop_index.definitions()
+        self.state.prop_index.definitions()
     }
 
     /// Create a relationship-property index on `(rel_type, key)` and
@@ -847,13 +1017,15 @@ impl Graph {
     /// already exists. Like node indexes, the definition is not
     /// transactional (entries are kept consistent by the undo paths).
     pub fn create_rel_index(&mut self, rel_type: &str, key: &str) -> bool {
-        if !self.rel_prop_index.create(rel_type, key) {
+        if self.state.rel_prop_index.is_indexed(rel_type, key) {
             return false;
         }
-        if let Some(extent) = self.type_index.get(rel_type) {
-            for id in extent {
-                if let Some(v) = self.rels.get(id).and_then(|rec| rec.props.get(key)) {
-                    self.rel_prop_index.insert(rel_type, key, v, *id);
+        let st = self.state_mut();
+        st.rel_prop_index.create(rel_type, key);
+        if let Some(extent) = st.type_index.get(rel_type) {
+            for id in extent.iter() {
+                if let Some(v) = st.rels.get(id).and_then(|rec| rec.props.get(key)) {
+                    st.rel_prop_index.insert(rel_type, key, v, *id);
                 }
             }
         }
@@ -862,17 +1034,20 @@ impl Graph {
 
     /// Drop the relationship-property index on `(rel_type, key)`.
     pub fn drop_rel_index(&mut self, rel_type: &str, key: &str) -> bool {
-        self.rel_prop_index.drop_index(rel_type, key)
+        if !self.state.rel_prop_index.is_indexed(rel_type, key) {
+            return false;
+        }
+        self.state_mut().rel_prop_index.drop_index(rel_type, key)
     }
 
     /// Whether `(rel_type, key)` is indexed.
     pub fn has_rel_index(&self, rel_type: &str, key: &str) -> bool {
-        self.rel_prop_index.is_indexed(rel_type, key)
+        self.state.rel_prop_index.is_indexed(rel_type, key)
     }
 
     /// All `(rel_type, key)` relationship-index definitions, sorted.
     pub fn rel_indexes(&self) -> Vec<(String, String)> {
-        self.rel_prop_index.definitions()
+        self.state.rel_prop_index.definitions()
     }
 
     /// Create a composite index on `(label, columns)` and populate it from
@@ -881,13 +1056,17 @@ impl Graph {
     /// Like single-key indexes, the definition is not transactional (its
     /// entries are kept consistent by the undo paths).
     pub fn create_composite_index(&mut self, label: &str, columns: &[String]) -> bool {
-        if !self.composite_index.create(label, columns) {
+        if self.state.composite_index.is_indexed(label, columns) {
             return false;
         }
-        if let Some(extent) = self.label_index.get(label) {
-            for id in extent {
-                if let Some(rec) = self.nodes.get(id) {
-                    self.composite_index
+        let st = self.state_mut();
+        if !st.composite_index.create(label, columns) {
+            return false;
+        }
+        if let Some(extent) = st.label_index.get(label) {
+            for id in extent.iter() {
+                if let Some(rec) = st.nodes.get(id) {
+                    st.composite_index
                         .insert_into(label, columns, &rec.props, *id);
                 }
             }
@@ -897,29 +1076,36 @@ impl Graph {
 
     /// Drop the composite index on `(label, columns)`; `false` when absent.
     pub fn drop_composite_index(&mut self, label: &str, columns: &[String]) -> bool {
-        self.composite_index.drop_index(label, columns)
+        if !self.state.composite_index.is_indexed(label, columns) {
+            return false;
+        }
+        self.state_mut().composite_index.drop_index(label, columns)
     }
 
     /// Whether `(label, columns)` carries a composite index.
     pub fn has_composite_index(&self, label: &str, columns: &[String]) -> bool {
-        self.composite_index.is_indexed(label, columns)
+        self.state.composite_index.is_indexed(label, columns)
     }
 
     /// All `(label, columns)` composite-index definitions, sorted.
     pub fn composite_indexes(&self) -> Vec<(String, Vec<String>)> {
-        self.composite_index.definitions()
+        self.state.composite_index.definitions()
     }
 
     /// Create a composite relationship index on `(rel_type, columns)` and
     /// populate it from the current type extent.
     pub fn create_rel_composite_index(&mut self, rel_type: &str, columns: &[String]) -> bool {
-        if !self.rel_composite_index.create(rel_type, columns) {
+        if self.state.rel_composite_index.is_indexed(rel_type, columns) {
             return false;
         }
-        if let Some(extent) = self.type_index.get(rel_type) {
-            for id in extent {
-                if let Some(rec) = self.rels.get(id) {
-                    self.rel_composite_index
+        let st = self.state_mut();
+        if !st.rel_composite_index.create(rel_type, columns) {
+            return false;
+        }
+        if let Some(extent) = st.type_index.get(rel_type) {
+            for id in extent.iter() {
+                if let Some(rec) = st.rels.get(id) {
+                    st.rel_composite_index
                         .insert_into(rel_type, columns, &rec.props, *id);
                 }
             }
@@ -929,17 +1115,22 @@ impl Graph {
 
     /// Drop the composite relationship index on `(rel_type, columns)`.
     pub fn drop_rel_composite_index(&mut self, rel_type: &str, columns: &[String]) -> bool {
-        self.rel_composite_index.drop_index(rel_type, columns)
+        if !self.state.rel_composite_index.is_indexed(rel_type, columns) {
+            return false;
+        }
+        self.state_mut()
+            .rel_composite_index
+            .drop_index(rel_type, columns)
     }
 
     /// Whether `(rel_type, columns)` carries a composite index.
     pub fn has_rel_composite_index(&self, rel_type: &str, columns: &[String]) -> bool {
-        self.rel_composite_index.is_indexed(rel_type, columns)
+        self.state.rel_composite_index.is_indexed(rel_type, columns)
     }
 
     /// All `(rel_type, columns)` composite relationship-index definitions.
     pub fn rel_composite_indexes(&self) -> Vec<(String, Vec<String>)> {
-        self.rel_composite_index.definitions()
+        self.state.rel_composite_index.definitions()
     }
 
     /// Rebuild every index histogram from the live key space (drift → 0).
@@ -950,10 +1141,11 @@ impl Graph {
     /// call this once after loading so planning estimates start from a
     /// fresh, zero-drift histogram.
     pub fn rebuild_stats(&mut self) {
-        self.prop_index.rebuild_stats();
-        self.rel_prop_index.rebuild_stats();
-        self.composite_index.rebuild_stats();
-        self.rel_composite_index.rebuild_stats();
+        let st = self.state_mut();
+        st.prop_index.rebuild_stats();
+        st.rel_prop_index.rebuild_stats();
+        st.composite_index.rebuild_stats();
+        st.rel_composite_index.rebuild_stats();
     }
 
     // ------------------------------------------------------------------
@@ -971,334 +1163,413 @@ impl Graph {
     }
 }
 
-impl GraphView for Graph {
-    fn node_exists(&self, id: NodeId) -> bool {
-        self.nodes.contains_key(&id)
-    }
-
-    fn rel_exists(&self, id: RelId) -> bool {
-        self.rels.contains_key(&id)
-    }
-
-    fn node_labels(&self, id: NodeId) -> Vec<String> {
-        self.nodes
-            .get(&id)
-            .map(|n| n.labels.iter().cloned().collect())
-            .unwrap_or_default()
-    }
-
-    fn node_has_label(&self, id: NodeId, label: &str) -> bool {
-        self.nodes
-            .get(&id)
-            .map(|n| n.has_label(label))
-            .unwrap_or(false)
-    }
-
-    fn node_prop(&self, id: NodeId, key: &str) -> Option<Value> {
-        self.nodes.get(&id).and_then(|n| n.props.get(key).cloned())
-    }
-
-    fn node_prop_keys(&self, id: NodeId) -> Vec<String> {
-        self.nodes
-            .get(&id)
-            .map(|n| n.props.keys().cloned().collect())
-            .unwrap_or_default()
-    }
-
-    fn rel_type(&self, id: RelId) -> Option<String> {
-        self.rels.get(&id).map(|r| r.rel_type.clone())
-    }
-
-    fn rel_prop(&self, id: RelId, key: &str) -> Option<Value> {
-        self.rels.get(&id).and_then(|r| r.props.get(key).cloned())
-    }
-
-    fn rel_prop_keys(&self, id: RelId) -> Vec<String> {
-        self.rels
-            .get(&id)
-            .map(|r| r.props.keys().cloned().collect())
-            .unwrap_or_default()
-    }
-
-    fn rel_endpoints(&self, id: RelId) -> Option<(NodeId, NodeId)> {
-        self.rels.get(&id).map(|r| (r.src, r.dst))
-    }
-
-    fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
-        self.label_index
-            .get(label)
-            .map(|ix| ix.iter().copied().collect())
-            .unwrap_or_default()
-    }
-
-    fn all_node_ids(&self) -> Vec<NodeId> {
-        self.node_ids.iter().copied().collect()
-    }
-
-    fn all_rel_ids(&self) -> Vec<RelId> {
-        self.rel_ids.iter().copied().collect()
-    }
-
-    fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
-        let mut out: Vec<RelId> = Vec::new();
-        if matches!(dir, Direction::Out | Direction::Both) {
-            if let Some(adj) = self.out_adj.get(&node) {
-                out.extend(adj.iter().copied());
+/// Implements [`GraphView`] for a store-backed type carrying a `state`
+/// field (a [`StoreState`], possibly behind `Arc`) and a `probes` field
+/// ([`ProbeCounters`], possibly behind `Arc`). The live [`Graph`] and the
+/// pinned [`Snapshot`] serve reads identically — same access paths, same
+/// refusal semantics — each against its own probe counters.
+macro_rules! impl_graph_view_via_state {
+    ($ty:ty) => {
+        impl GraphView for $ty {
+            fn node_exists(&self, id: NodeId) -> bool {
+                self.state.nodes.contains_key(&id)
             }
-        }
-        if matches!(dir, Direction::In | Direction::Both) {
-            if let Some(adj) = self.in_adj.get(&node) {
-                if matches!(dir, Direction::Both) {
-                    // A relationship appears in both adjacency lists of the
-                    // same node only when it is a self-loop; skip those here
-                    // (already collected from the out-list) instead of
-                    // scanning `out` for every in-edge.
-                    out.extend(
-                        adj.iter()
-                            .copied()
-                            .filter(|r| self.rels.get(r).is_none_or(|rec| rec.src != rec.dst)),
-                    );
-                } else {
-                    out.extend(adj.iter().copied());
+
+            fn rel_exists(&self, id: RelId) -> bool {
+                self.state.rels.contains_key(&id)
+            }
+
+            fn node_labels(&self, id: NodeId) -> Vec<String> {
+                self.state
+                    .nodes
+                    .get(&id)
+                    .map(|n| n.labels.iter().cloned().collect())
+                    .unwrap_or_default()
+            }
+
+            fn node_has_label(&self, id: NodeId, label: &str) -> bool {
+                self.state
+                    .nodes
+                    .get(&id)
+                    .map(|n| n.has_label(label))
+                    .unwrap_or(false)
+            }
+
+            fn node_prop(&self, id: NodeId, key: &str) -> Option<Value> {
+                self.state
+                    .nodes
+                    .get(&id)
+                    .and_then(|n| n.props.get(key).cloned())
+            }
+
+            fn node_prop_keys(&self, id: NodeId) -> Vec<String> {
+                self.state
+                    .nodes
+                    .get(&id)
+                    .map(|n| n.props.keys().cloned().collect())
+                    .unwrap_or_default()
+            }
+
+            fn rel_type(&self, id: RelId) -> Option<String> {
+                self.state.rels.get(&id).map(|r| r.rel_type.clone())
+            }
+
+            fn rel_prop(&self, id: RelId, key: &str) -> Option<Value> {
+                self.state
+                    .rels
+                    .get(&id)
+                    .and_then(|r| r.props.get(key).cloned())
+            }
+
+            fn rel_prop_keys(&self, id: RelId) -> Vec<String> {
+                self.state
+                    .rels
+                    .get(&id)
+                    .map(|r| r.props.keys().cloned().collect())
+                    .unwrap_or_default()
+            }
+
+            fn rel_endpoints(&self, id: RelId) -> Option<(NodeId, NodeId)> {
+                self.state.rels.get(&id).map(|r| (r.src, r.dst))
+            }
+
+            fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+                self.state
+                    .label_index
+                    .get(label)
+                    .map(|ix| ix.iter().copied().collect())
+                    .unwrap_or_default()
+            }
+
+            fn all_node_ids(&self) -> Vec<NodeId> {
+                self.state.nodes.keys().copied().collect()
+            }
+
+            fn all_rel_ids(&self) -> Vec<RelId> {
+                self.state.rels.keys().copied().collect()
+            }
+
+            fn rels_of(&self, node: NodeId, dir: Direction) -> Vec<RelId> {
+                let mut out: Vec<RelId> = Vec::new();
+                if matches!(dir, Direction::Out | Direction::Both) {
+                    if let Some(adj) = self.state.out_adj.get(&node) {
+                        out.extend(adj.iter().copied());
+                    }
                 }
+                if matches!(dir, Direction::In | Direction::Both) {
+                    if let Some(adj) = self.state.in_adj.get(&node) {
+                        if matches!(dir, Direction::Both) {
+                            // A relationship appears in both adjacency lists
+                            // of the same node only when it is a self-loop;
+                            // skip those here (already collected from the
+                            // out-list) instead of scanning `out` for every
+                            // in-edge.
+                            out.extend(adj.iter().copied().filter(|r| {
+                                self.state.rels.get(r).is_none_or(|rec| rec.src != rec.dst)
+                            }));
+                        } else {
+                            out.extend(adj.iter().copied());
+                        }
+                    }
+                }
+                out
+            }
+
+            fn nodes_with_prop(
+                &self,
+                label: &str,
+                key: &str,
+                value: &Value,
+            ) -> Option<Vec<NodeId>> {
+                self.probes
+                    .materializing
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.prop_index.lookup(label, key, value)
+            }
+
+            fn nodes_in_prop_range(
+                &self,
+                label: &str,
+                key: &str,
+                lower: Bound<&Value>,
+                upper: Bound<&Value>,
+            ) -> Option<Vec<NodeId>> {
+                self.probes
+                    .materializing
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.prop_index.range_lookup(label, key, lower, upper)
+            }
+
+            fn nodes_with_prop_prefix(
+                &self,
+                label: &str,
+                key: &str,
+                prefix: &str,
+            ) -> Option<Vec<NodeId>> {
+                self.probes
+                    .materializing
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.prop_index.prefix_lookup(label, key, prefix)
+            }
+
+            fn rels_with_prop(
+                &self,
+                rel_type: &str,
+                key: &str,
+                value: &Value,
+            ) -> Option<Vec<RelId>> {
+                self.probes
+                    .materializing
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.rel_prop_index.lookup(rel_type, key, value)
+            }
+
+            fn rels_in_prop_range(
+                &self,
+                rel_type: &str,
+                key: &str,
+                lower: Bound<&Value>,
+                upper: Bound<&Value>,
+            ) -> Option<Vec<RelId>> {
+                self.probes
+                    .materializing
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .rel_prop_index
+                    .range_lookup(rel_type, key, lower, upper)
+            }
+
+            fn count_nodes_with_prop(
+                &self,
+                label: &str,
+                key: &str,
+                value: &Value,
+            ) -> Option<usize> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.prop_index.count_eq(label, key, value)
+            }
+
+            fn count_nodes_in_prop_range(
+                &self,
+                label: &str,
+                key: &str,
+                lower: Bound<&Value>,
+                upper: Bound<&Value>,
+            ) -> Option<usize> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.prop_index.count_range(label, key, lower, upper)
+            }
+
+            fn count_nodes_with_prop_prefix(
+                &self,
+                label: &str,
+                key: &str,
+                prefix: &str,
+            ) -> Option<usize> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.prop_index.count_prefix(label, key, prefix)
+            }
+
+            fn count_rels_with_prop(
+                &self,
+                rel_type: &str,
+                key: &str,
+                value: &Value,
+            ) -> Option<usize> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.rel_prop_index.count_eq(rel_type, key, value)
+            }
+
+            fn count_rels_in_prop_range(
+                &self,
+                rel_type: &str,
+                key: &str,
+                lower: Bound<&Value>,
+                upper: Bound<&Value>,
+            ) -> Option<usize> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .rel_prop_index
+                    .count_range(rel_type, key, lower, upper)
+            }
+
+            fn node_prop_stats(&self, label: &str, key: &str) -> Option<(usize, usize)> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.prop_index.stats(label, key)
+            }
+
+            fn rel_prop_stats(&self, rel_type: &str, key: &str) -> Option<(usize, usize)> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.rel_prop_index.stats(rel_type, key)
+            }
+
+            fn nodes_in_prop_order(
+                &self,
+                label: &str,
+                key: &str,
+                descending: bool,
+            ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
+                self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.prop_index.ordered_walk(label, key, descending)
+            }
+
+            fn rels_in_prop_order(
+                &self,
+                rel_type: &str,
+                key: &str,
+                descending: bool,
+            ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
+                self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .rel_prop_index
+                    .ordered_walk(rel_type, key, descending)
+            }
+
+            fn node_composite_defs(&self, label: &str) -> Vec<Vec<String>> {
+                self.state.composite_index.defs_for_label(label)
+            }
+
+            fn rel_composite_defs(&self, rel_type: &str) -> Vec<Vec<String>> {
+                self.state.rel_composite_index.defs_for_label(rel_type)
+            }
+
+            fn nodes_with_composite(
+                &self,
+                label: &str,
+                columns: &[String],
+                eq: &[Value],
+                trailing: CompositeTrailing<'_>,
+            ) -> Option<Vec<NodeId>> {
+                self.probes
+                    .materializing
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .composite_index
+                    .lookup(label, columns, eq, trailing)
+            }
+
+            fn count_nodes_with_composite(
+                &self,
+                label: &str,
+                columns: &[String],
+                eq: &[Value],
+                trailing: CompositeTrailing<'_>,
+            ) -> Option<usize> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .composite_index
+                    .count(label, columns, eq, trailing)
+            }
+
+            fn rels_with_composite(
+                &self,
+                rel_type: &str,
+                columns: &[String],
+                eq: &[Value],
+                trailing: CompositeTrailing<'_>,
+            ) -> Option<Vec<RelId>> {
+                self.probes
+                    .materializing
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .rel_composite_index
+                    .lookup(rel_type, columns, eq, trailing)
+            }
+
+            fn count_rels_with_composite(
+                &self,
+                rel_type: &str,
+                columns: &[String],
+                eq: &[Value],
+                trailing: CompositeTrailing<'_>,
+            ) -> Option<usize> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .rel_composite_index
+                    .count(rel_type, columns, eq, trailing)
+            }
+
+            fn nodes_in_composite_order(
+                &self,
+                label: &str,
+                columns: &[String],
+                eq: &[Value],
+                descending: bool,
+            ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
+                self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .composite_index
+                    .ordered_walk(label, columns, eq, descending)
+            }
+
+            fn rels_in_composite_order(
+                &self,
+                rel_type: &str,
+                columns: &[String],
+                eq: &[Value],
+                descending: bool,
+            ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
+                self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state
+                    .rel_composite_index
+                    .ordered_walk(rel_type, columns, eq, descending)
+            }
+
+            fn node_composite_stats(
+                &self,
+                label: &str,
+                columns: &[String],
+            ) -> Option<(usize, usize)> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.composite_index.stats(label, columns)
+            }
+
+            fn rel_composite_stats(
+                &self,
+                rel_type: &str,
+                columns: &[String],
+            ) -> Option<(usize, usize)> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                self.state.rel_composite_index.stats(rel_type, columns)
+            }
+
+            fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
+                self.state
+                    .type_index
+                    .get(rel_type)
+                    .map(|ix| ix.iter().copied().collect())
+                    .unwrap_or_default()
+            }
+
+            fn label_cardinality(&self, label: &str) -> usize {
+                self.state
+                    .label_index
+                    .get(label)
+                    .map(|ix| ix.len())
+                    .unwrap_or(0)
+            }
+
+            fn rel_type_cardinality(&self, rel_type: &str) -> usize {
+                self.state
+                    .type_index
+                    .get(rel_type)
+                    .map(|ix| ix.len())
+                    .unwrap_or(0)
+            }
+
+            fn node_count_estimate(&self) -> usize {
+                self.state.nodes.len()
+            }
+
+            fn rel_count_estimate(&self) -> usize {
+                self.state.rels.len()
             }
         }
-        out
-    }
-
-    fn nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<Vec<NodeId>> {
-        self.probes
-            .materializing
-            .fetch_add(1, AtomicOrdering::Relaxed);
-        self.prop_index.lookup(label, key, value)
-    }
-
-    fn nodes_in_prop_range(
-        &self,
-        label: &str,
-        key: &str,
-        lower: Bound<&Value>,
-        upper: Bound<&Value>,
-    ) -> Option<Vec<NodeId>> {
-        self.probes
-            .materializing
-            .fetch_add(1, AtomicOrdering::Relaxed);
-        self.prop_index.range_lookup(label, key, lower, upper)
-    }
-
-    fn nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<Vec<NodeId>> {
-        self.probes
-            .materializing
-            .fetch_add(1, AtomicOrdering::Relaxed);
-        self.prop_index.prefix_lookup(label, key, prefix)
-    }
-
-    fn rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<Vec<RelId>> {
-        self.probes
-            .materializing
-            .fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_prop_index.lookup(rel_type, key, value)
-    }
-
-    fn rels_in_prop_range(
-        &self,
-        rel_type: &str,
-        key: &str,
-        lower: Bound<&Value>,
-        upper: Bound<&Value>,
-    ) -> Option<Vec<RelId>> {
-        self.probes
-            .materializing
-            .fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_prop_index
-            .range_lookup(rel_type, key, lower, upper)
-    }
-
-    fn count_nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Option<usize> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.prop_index.count_eq(label, key, value)
-    }
-
-    fn count_nodes_in_prop_range(
-        &self,
-        label: &str,
-        key: &str,
-        lower: Bound<&Value>,
-        upper: Bound<&Value>,
-    ) -> Option<usize> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.prop_index.count_range(label, key, lower, upper)
-    }
-
-    fn count_nodes_with_prop_prefix(&self, label: &str, key: &str, prefix: &str) -> Option<usize> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.prop_index.count_prefix(label, key, prefix)
-    }
-
-    fn count_rels_with_prop(&self, rel_type: &str, key: &str, value: &Value) -> Option<usize> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_prop_index.count_eq(rel_type, key, value)
-    }
-
-    fn count_rels_in_prop_range(
-        &self,
-        rel_type: &str,
-        key: &str,
-        lower: Bound<&Value>,
-        upper: Bound<&Value>,
-    ) -> Option<usize> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_prop_index.count_range(rel_type, key, lower, upper)
-    }
-
-    fn node_prop_stats(&self, label: &str, key: &str) -> Option<(usize, usize)> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.prop_index.stats(label, key)
-    }
-
-    fn rel_prop_stats(&self, rel_type: &str, key: &str) -> Option<(usize, usize)> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_prop_index.stats(rel_type, key)
-    }
-
-    fn nodes_in_prop_order(
-        &self,
-        label: &str,
-        key: &str,
-        descending: bool,
-    ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
-        self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
-        self.prop_index.ordered_walk(label, key, descending)
-    }
-
-    fn rels_in_prop_order(
-        &self,
-        rel_type: &str,
-        key: &str,
-        descending: bool,
-    ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
-        self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_prop_index.ordered_walk(rel_type, key, descending)
-    }
-
-    fn node_composite_defs(&self, label: &str) -> Vec<Vec<String>> {
-        self.composite_index.defs_for_label(label)
-    }
-
-    fn rel_composite_defs(&self, rel_type: &str) -> Vec<Vec<String>> {
-        self.rel_composite_index.defs_for_label(rel_type)
-    }
-
-    fn nodes_with_composite(
-        &self,
-        label: &str,
-        columns: &[String],
-        eq: &[Value],
-        trailing: CompositeTrailing<'_>,
-    ) -> Option<Vec<NodeId>> {
-        self.probes
-            .materializing
-            .fetch_add(1, AtomicOrdering::Relaxed);
-        self.composite_index.lookup(label, columns, eq, trailing)
-    }
-
-    fn count_nodes_with_composite(
-        &self,
-        label: &str,
-        columns: &[String],
-        eq: &[Value],
-        trailing: CompositeTrailing<'_>,
-    ) -> Option<usize> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.composite_index.count(label, columns, eq, trailing)
-    }
-
-    fn rels_with_composite(
-        &self,
-        rel_type: &str,
-        columns: &[String],
-        eq: &[Value],
-        trailing: CompositeTrailing<'_>,
-    ) -> Option<Vec<RelId>> {
-        self.probes
-            .materializing
-            .fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_composite_index
-            .lookup(rel_type, columns, eq, trailing)
-    }
-
-    fn count_rels_with_composite(
-        &self,
-        rel_type: &str,
-        columns: &[String],
-        eq: &[Value],
-        trailing: CompositeTrailing<'_>,
-    ) -> Option<usize> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_composite_index
-            .count(rel_type, columns, eq, trailing)
-    }
-
-    fn nodes_in_composite_order(
-        &self,
-        label: &str,
-        columns: &[String],
-        eq: &[Value],
-        descending: bool,
-    ) -> Option<Box<dyn Iterator<Item = NodeId> + '_>> {
-        self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
-        self.composite_index
-            .ordered_walk(label, columns, eq, descending)
-    }
-
-    fn rels_in_composite_order(
-        &self,
-        rel_type: &str,
-        columns: &[String],
-        eq: &[Value],
-        descending: bool,
-    ) -> Option<Box<dyn Iterator<Item = RelId> + '_>> {
-        self.probes.ordered.fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_composite_index
-            .ordered_walk(rel_type, columns, eq, descending)
-    }
-
-    fn node_composite_stats(&self, label: &str, columns: &[String]) -> Option<(usize, usize)> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.composite_index.stats(label, columns)
-    }
-
-    fn rel_composite_stats(&self, rel_type: &str, columns: &[String]) -> Option<(usize, usize)> {
-        self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
-        self.rel_composite_index.stats(rel_type, columns)
-    }
-
-    fn rels_with_type(&self, rel_type: &str) -> Vec<RelId> {
-        self.type_index
-            .get(rel_type)
-            .map(|ix| ix.iter().copied().collect())
-            .unwrap_or_default()
-    }
-
-    fn label_cardinality(&self, label: &str) -> usize {
-        self.label_index.get(label).map(|ix| ix.len()).unwrap_or(0)
-    }
-
-    fn rel_type_cardinality(&self, rel_type: &str) -> usize {
-        self.type_index
-            .get(rel_type)
-            .map(|ix| ix.len())
-            .unwrap_or(0)
-    }
-
-    fn node_count_estimate(&self) -> usize {
-        self.nodes.len()
-    }
-
-    fn rel_count_estimate(&self) -> usize {
-        self.rels.len()
-    }
+    };
 }
+
+impl_graph_view_via_state!(Graph);
+impl_graph_view_via_state!(Snapshot);
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,305 @@
+//! MVCC-lite battery: snapshot isolation, epoch lifecycle, version
+//! reclamation, per-snapshot probe counters, and a threaded smoke test.
+
+use pg_graph::{Graph, GraphView, PropertyMap, Value};
+
+fn props(pairs: &[(&str, Value)]) -> PropertyMap {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+/// One committed "account" graph step: a node per call, tagged with the
+/// commit counter.
+fn commit_tagged_node(g: &mut Graph, tag: i64) {
+    g.begin().unwrap();
+    g.create_node(["A"], props(&[("v", Value::Int(tag))]))
+        .unwrap();
+    g.commit().unwrap();
+}
+
+#[test]
+fn snapshots_pin_committed_epochs() {
+    let mut g = Graph::new();
+    g.create_node(["A"], props(&[("v", Value::Int(0))]))
+        .unwrap();
+
+    let s0 = g.snapshot();
+    assert_eq!(s0.node_count(), 1);
+
+    commit_tagged_node(&mut g, 1);
+    let s1 = g.snapshot();
+    commit_tagged_node(&mut g, 2);
+    let s2 = g.snapshot();
+
+    // Each snapshot still answers from its own version.
+    assert_eq!(s0.node_count(), 1);
+    assert_eq!(s1.node_count(), 2);
+    assert_eq!(s2.node_count(), 3);
+    assert_eq!(g.node_count(), 3);
+
+    // Epochs are strictly increasing across commits.
+    assert!(s0.epoch() < s1.epoch());
+    assert!(s1.epoch() < s2.epoch());
+
+    // Full GraphView answers come from the pinned version, not the live one.
+    assert_eq!(s1.nodes_with_label("A").len(), 2);
+    assert_eq!(s1.all_node_ids().len(), 2);
+}
+
+#[test]
+fn unchanged_commit_boundaries_do_not_advance_the_epoch() {
+    let mut g = Graph::new();
+    commit_tagged_node(&mut g, 1);
+    let e1 = g.snapshot().epoch();
+    let e2 = g.snapshot().epoch();
+    assert_eq!(e1, e2);
+    g.begin().unwrap();
+    g.commit().unwrap();
+    assert_eq!(g.snapshot().epoch(), e1);
+    commit_tagged_node(&mut g, 2);
+    assert_eq!(g.snapshot().epoch(), e1 + 1);
+}
+
+#[test]
+fn mid_transaction_snapshot_sees_previous_commit_only() {
+    let mut g = Graph::new();
+    let handle = g.reader_handle();
+    commit_tagged_node(&mut g, 1);
+
+    g.begin().unwrap();
+    g.create_node(["A"], props(&[("v", Value::Int(99))]))
+        .unwrap();
+    g.create_node(["A"], props(&[("v", Value::Int(100))]))
+        .unwrap();
+
+    // Pinned mid-transaction: exposes the state as of the last commit.
+    let mid = handle.snapshot();
+    assert_eq!(mid.node_count(), 1);
+    let mid2 = g.snapshot();
+    assert_eq!(mid2.node_count(), 1);
+    assert_eq!(mid.epoch(), mid2.epoch());
+
+    g.commit().unwrap();
+    assert_eq!(handle.snapshot().node_count(), 3);
+    assert!(handle.snapshot().epoch() > mid.epoch());
+}
+
+#[test]
+fn rollback_restores_and_republishes_consistent_state() {
+    let mut g = Graph::new();
+    g.create_index("A", "v");
+    commit_tagged_node(&mut g, 7);
+    let before = g.snapshot();
+
+    g.begin().unwrap();
+    let n = g
+        .create_node(["A"], props(&[("v", Value::Int(8))]))
+        .unwrap();
+    g.set_node_prop(n, "w", Value::Int(1)).unwrap();
+    g.rollback().unwrap();
+
+    let after = g.snapshot();
+    assert_eq!(after.node_count(), before.node_count());
+    assert_eq!(
+        after.nodes_with_prop("A", "v", &Value::Int(7)),
+        before.nodes_with_prop("A", "v", &Value::Int(7))
+    );
+    assert_eq!(
+        after.nodes_with_prop("A", "v", &Value::Int(8)),
+        Some(Vec::new())
+    );
+}
+
+#[test]
+fn snapshots_serve_index_probes_and_ordered_walks() {
+    let mut g = Graph::new();
+    g.create_index("A", "v");
+    g.create_composite_index("A", &["v".to_string(), "w".to_string()]);
+    for i in 0..20 {
+        g.create_node(
+            ["A"],
+            props(&[("v", Value::Int(i % 5)), ("w", Value::Int(i))]),
+        )
+        .unwrap();
+    }
+    let snap = g.snapshot();
+
+    // Equality probe against the pinned property index.
+    assert_eq!(
+        snap.nodes_with_prop("A", "v", &Value::Int(3))
+            .unwrap()
+            .len(),
+        4
+    );
+
+    // Ordered walk (top-k path) against the pinned index.
+    let walk: Vec<_> = snap
+        .nodes_in_prop_order("A", "v", true)
+        .unwrap()
+        .take(4)
+        .collect();
+    assert_eq!(walk.len(), 4);
+    for id in &walk {
+        assert_eq!(snap.node_prop(*id, "v"), Some(Value::Int(4)));
+    }
+
+    // Composite probe against the pinned composite index.
+    let both = snap
+        .nodes_with_composite(
+            "A",
+            &["v".to_string(), "w".to_string()],
+            &[Value::Int(2)],
+            pg_graph::CompositeTrailing::None,
+        )
+        .unwrap();
+    assert_eq!(both.len(), 4);
+
+    // The snapshot keeps answering identically after further commits.
+    commit_tagged_node(&mut g, 999);
+    assert_eq!(
+        snap.nodes_with_prop("A", "v", &Value::Int(3))
+            .unwrap()
+            .len(),
+        4
+    );
+}
+
+#[test]
+fn probe_counters_are_per_snapshot() {
+    let mut g = Graph::new();
+    g.create_index("A", "v");
+    g.create_node(["A"], props(&[("v", Value::Int(1))]))
+        .unwrap();
+
+    let s1 = g.snapshot();
+    let s2 = g.snapshot();
+    g.reset_index_probes();
+
+    s1.nodes_with_prop("A", "v", &Value::Int(1));
+    s1.nodes_with_prop("A", "v", &Value::Int(1));
+    s2.count_nodes_with_prop("A", "v", &Value::Int(1));
+
+    assert_eq!(s1.index_probes().materializing, 2);
+    assert_eq!(s1.index_probes().counting, 0);
+    assert_eq!(s2.index_probes().materializing, 0);
+    assert_eq!(s2.index_probes().counting, 1);
+    // Reader activity never pollutes the writer's counters.
+    assert_eq!(g.index_probes(), pg_graph::IndexProbes::default());
+
+    s1.reset_index_probes();
+    assert_eq!(s1.index_probes().materializing, 0);
+    assert_eq!(s2.index_probes().counting, 1);
+}
+
+#[test]
+fn exclusive_mode_pays_no_sharing() {
+    let mut g = Graph::new();
+    for _ in 0..50 {
+        commit_tagged_node(&mut g, 1);
+    }
+    // No publisher was ever created: the state root stays unshared.
+    assert_eq!(g.state_refcount(), 1);
+}
+
+#[test]
+fn old_versions_stay_readable_and_are_reclaimed_on_drop() {
+    let mut g = Graph::new();
+    let handle = g.reader_handle();
+    commit_tagged_node(&mut g, 0);
+
+    let old = handle.snapshot();
+    let old_count = old.node_count();
+
+    for tag in 1..=25 {
+        commit_tagged_node(&mut g, tag);
+    }
+
+    // The old version survived 25 commits untouched...
+    assert_eq!(old.node_count(), old_count);
+    // ...and this snapshot is its last holder: the writer and the
+    // publisher slot have both moved on.
+    assert_eq!(old.state_refcount(), 1);
+
+    // The current version is held by exactly the graph and the slot.
+    assert_eq!(g.state_refcount(), 2);
+
+    // Pinning the current epoch bumps the live root; dropping returns it.
+    let cur1 = handle.snapshot();
+    let cur2 = handle.snapshot();
+    assert_eq!(g.state_refcount(), 4);
+    assert_eq!(cur1.epoch(), cur2.epoch());
+    drop(cur1);
+    drop(cur2);
+    assert_eq!(g.state_refcount(), 2);
+
+    // Dropping the last holder of the old version reclaims it; the live
+    // root is unaffected.
+    drop(old);
+    assert_eq!(g.state_refcount(), 2);
+}
+
+#[test]
+#[should_panic(expected = "outside a transaction")]
+fn first_reader_handle_inside_a_transaction_panics() {
+    let mut g = Graph::new();
+    g.begin().unwrap();
+    g.create_node(["A"], PropertyMap::new()).unwrap();
+    let _ = g.reader_handle();
+}
+
+/// Threaded smoke: a writer committing invariant-preserving transactions
+/// (one :A and one :B node per commit) while readers hammer snapshots.
+/// Every snapshot must satisfy the invariant |A| == |B|.
+#[test]
+fn concurrent_readers_only_see_invariant_states() {
+    let mut g = Graph::new();
+    g.create_index("A", "v");
+    let handle = g.reader_handle();
+
+    let commits = 300usize;
+    let readers = 4usize;
+
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..readers {
+            let h = handle.clone();
+            joins.push(scope.spawn(move || {
+                let mut checked = 0usize;
+                let mut last_epoch = 0u64;
+                while checked < 400 {
+                    let snap = h.snapshot();
+                    assert!(snap.epoch() >= last_epoch, "epochs must be monotonic");
+                    last_epoch = snap.epoch();
+                    let a = snap.nodes_with_label("A").len();
+                    let b = snap.nodes_with_label("B").len();
+                    assert_eq!(a, b, "snapshot exposed a half-applied commit");
+                    // Index answers agree with the extent on the same pin.
+                    if a > 0 {
+                        let hits = snap
+                            .nodes_with_prop("A", "v", &Value::Int((a - 1) as i64))
+                            .unwrap();
+                        assert_eq!(hits.len(), 1);
+                    }
+                    checked += 1;
+                }
+            }));
+        }
+
+        for i in 0..commits {
+            g.begin().unwrap();
+            g.create_node(["A"], props(&[("v", Value::Int(i as i64))]))
+                .unwrap();
+            g.create_node(["B"], props(&[("v", Value::Int(i as i64))]))
+                .unwrap();
+            g.commit().unwrap();
+        }
+
+        for j in joins {
+            j.join().unwrap();
+        }
+    });
+
+    assert_eq!(g.node_count(), 2 * commits);
+}
