@@ -87,6 +87,8 @@ pub struct EngineStats {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecResult {
     Query(QueryOutput),
+    /// The rendered physical-plan report of an `EXPLAIN <query>`.
+    Explain(String),
     TriggerCreated(String),
     TriggerDropped(String),
     IndexCreated {
@@ -337,9 +339,20 @@ impl Session {
                     Ok(ExecResult::RelCompositeIndexDropped { rel_type, columns })
                 }
             }
+        } else if let Some(rest) = pg_cypher::strip_explain(src) {
+            self.explain(rest).map(ExecResult::Explain)
         } else {
             self.run(src).map(ExecResult::Query)
         }
+    }
+
+    /// Render the physical plan of `src` (without the `EXPLAIN` keyword):
+    /// chosen access paths, degree-statistics join-output estimates, and
+    /// — for read-only queries, which are executed once against the
+    /// current graph — the actual row count next to the estimate.
+    pub fn explain(&self, src: &str) -> Result<String, TriggerError> {
+        pg_cypher::explain_query(&self.graph, src, &Params::new(), self.now_ms)
+            .map_err(TriggerError::Cypher)
     }
 
     /// Create a property index on `(label, key)`, populated from the

@@ -1,0 +1,65 @@
+//! `EXPLAIN` dispatch through [`Session::execute`].
+
+use pg_graph::GraphView;
+use pg_triggers::{ExecResult, Session};
+
+fn session_with_people() -> Session {
+    let mut s = Session::new();
+    s.execute("CREATE INDEX ON :Person(age)").unwrap();
+    s.run("CREATE (:Person {age: 30}), (:Person {age: 40}), (:Person {age: 50})")
+        .unwrap();
+    s
+}
+
+#[test]
+fn execute_routes_explain() {
+    let mut s = session_with_people();
+    let report = match s.execute("EXPLAIN MATCH (p:Person) WHERE p.age = 40 RETURN p") {
+        Ok(ExecResult::Explain(r)) => r,
+        other => panic!("expected Explain, got {other:?}"),
+    };
+    assert!(
+        report.contains("Seed (p) access=IndexEq(Person.age)"),
+        "{report}"
+    );
+    assert!(report.contains("actual rows: 1"), "{report}");
+}
+
+#[test]
+fn explain_is_case_insensitive_and_requires_whitespace() {
+    let mut s = session_with_people();
+    match s.execute("explain MATCH (p:Person) RETURN p") {
+        Ok(ExecResult::Explain(r)) => assert!(r.contains("actual rows: 3"), "{r}"),
+        other => panic!("expected Explain, got {other:?}"),
+    }
+    // `EXPLAINED` is not an EXPLAIN statement: it must parse (and fail)
+    // as a regular query, not silently explain its suffix.
+    assert!(s.execute("EXPLAINED MATCH (p:Person) RETURN p").is_err());
+}
+
+#[test]
+fn explain_does_not_mutate() {
+    let mut s = session_with_people();
+    match s.execute("EXPLAIN CREATE (:Person {age: 60})") {
+        Ok(ExecResult::Explain(r)) => {
+            assert!(r.contains("not executed (updating query)"), "{r}");
+        }
+        other => panic!("expected Explain, got {other:?}"),
+    }
+    let n = s
+        .run("MATCH (p:Person) RETURN count(*) AS n")
+        .unwrap()
+        .single()
+        .and_then(|v| v.as_i64())
+        .unwrap();
+    assert_eq!(n, 3, "EXPLAIN of an updating query must not run it");
+}
+
+#[test]
+fn explain_read_only_query_leaves_graph_unchanged() {
+    let mut s = session_with_people();
+    let before = s.graph().all_node_ids();
+    s.execute("EXPLAIN MATCH (p:Person)-[:KNOWS]->(q) RETURN p, q")
+        .unwrap();
+    assert_eq!(s.graph().all_node_ids(), before);
+}

@@ -363,6 +363,65 @@ mod tests {
     }
 
     #[test]
+    fn explain_surfaces_paper_query_plan() {
+        // `EXPLAIN` through the session on a §6 query shape: the report
+        // names the chosen access path, carries a join-output estimate
+        // for the hop (degree statistics over the generated population),
+        // and its actual-row count agrees with really running the query.
+        let mut cfg = small_cfg();
+        cfg.indexed = true;
+        let mut sc = Scenario::new(cfg);
+        let q = "MATCH (s:Sequence)-[:BelongsTo]->(l:Lineage) \
+                 RETURN l.name AS l, count(s) AS n";
+        let report = match sc.session.execute(&format!("EXPLAIN {q}")).unwrap() {
+            pg_triggers::ExecResult::Explain(r) => r,
+            other => panic!("expected Explain, got {other:?}"),
+        };
+        assert!(report.contains("Seed ("), "{report}");
+        assert!(report.contains("Expand "), "{report}");
+        assert!(report.contains("fanout="), "{report}");
+        assert!(report.contains("estimated match rows:"), "{report}");
+        let actual = sc.session.run(q).unwrap().rows.len();
+        assert!(actual > 0, "fixture must produce rows");
+        assert!(
+            report.contains(&format!("actual rows: {actual}")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn batched_executor_agrees_on_scenario_graph() {
+        // The batched executor must be invisible on the paper's data:
+        // multi-seed pipelines over the generated population produce
+        // row-for-row identical output under both match modes.
+        use pg_cypher::{parse_query, Executor, MatchMode, Params, Target};
+        let mut sc = Scenario::new(small_cfg());
+        sc.run().unwrap();
+        let params = Params::new();
+        for q in [
+            "MATCH (h:Hospital) MATCH (p:IcuPatient)-[:TreatedAt]->(h2:Hospital) \
+             WHERE h2.name = h.name RETURN h.name AS h, count(p) AS n",
+            "MATCH (m:Mutation) OPTIONAL MATCH (m)-[:FoundIn]->(s:Sequence) \
+             RETURN count(s) AS n",
+            "MATCH (l:Lineage) MATCH (s:Sequence)-[:BelongsTo]->(l) \
+             RETURN l.name AS l, count(s) AS n",
+        ] {
+            let query = parse_query(q).unwrap();
+            let g = sc.session.graph();
+            let batched = Executor::new(Target::Read(g), &params, 0)
+                .with_match_mode(MatchMode::Batched)
+                .run(&query, Vec::new())
+                .unwrap();
+            let reference = Executor::new(Target::Read(g), &params, 0)
+                .with_match_mode(MatchMode::Reference)
+                .run(&query, Vec::new())
+                .unwrap();
+            assert!(!reference.rows.is_empty(), "vacuous panel query: {q}");
+            assert_eq!(batched.rows, reference.rows, "{q}");
+        }
+    }
+
+    #[test]
     fn icu_threshold_alert_at_51() {
         let mut cfg = small_cfg();
         cfg.generator.icu_beds_per_hospital = 100; // no relocations

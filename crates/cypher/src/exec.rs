@@ -54,14 +54,11 @@ use crate::error::{CypherError, Result};
 use crate::expr::{eval, EvalCtx};
 use crate::functions::{is_aggregate, Accumulator};
 use crate::pattern::{extract_pushdowns, match_patterns, pattern_vars, Pushdowns};
+use crate::plan::{composite_pin, plan_topk_projection, TopKSpec};
 use crate::row::{Params, QueryOutput, Row};
 use pg_graph::{Direction, Graph, GraphView, NodeId, PropertyMap, RelId, Value};
 use std::cmp::Ordering;
 use std::collections::HashSet;
-
-/// Largest `SKIP + LIMIT` the index-served top-k fusion accepts; beyond
-/// it, per-item re-matching would erase the early-exit advantage.
-const TOPK_FUSE_MAX: usize = 128;
 
 /// Compare two keyed rows by the `ORDER BY` spec, breaking full ties by
 /// input index — the total order a stable sort + truncate would produce.
@@ -160,20 +157,11 @@ impl<'o> TopKRows<'o> {
 /// re-match on the trigger hot path.
 const TOPK_WALK_BUDGET: usize = 4096;
 
-/// The projection-side shape of a fusable top-k: `ORDER BY var.k1
-/// [, var.k2, …]` with a constant `SKIP + LIMIT` budget. Every order key
-/// must dereference the *same* pattern variable and share one direction
-/// (a composite walk has a single direction; mixed-direction multi-key
-/// orders decline to the heap path).
-struct TopKSpec {
-    /// The pattern variable the order keys dereference.
-    var: String,
-    /// The property keys ordered by, in order. One key → single-key or
-    /// composite walks; several → composite walks only.
-    keys: Vec<String>,
-    descending: bool,
-    /// Rows to produce before stopping (`SKIP + LIMIT`).
-    keep: usize,
+/// Which composite catalog a per-seed re-pinned top-k walk probes.
+#[derive(Clone, Copy)]
+enum CompositeSite<'p> {
+    Node { label: &'p str },
+    Rel { rel_type: &'p str },
 }
 
 /// The execution target: a mutable graph (full query power) or a read-only
@@ -184,11 +172,27 @@ pub enum Target<'a> {
     Read(&'a dyn GraphView),
 }
 
+/// How `MATCH` drives the pattern matcher. [`MatchMode::Batched`] (the
+/// default) flows all seed rows through the stage-wise executor of
+/// [`crate::batch`], sharing seed-candidate vectors and memoizing hop
+/// expansions where the liveness analysis allows;
+/// [`MatchMode::Reference`] recurses one seed row at a time — kept as the
+/// differential-testing oracle. Both produce identical rows in identical
+/// order. `MERGE` and `EXISTS` always use the reference path (single-seed
+/// / existence-capped — batching has nothing to share).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    #[default]
+    Batched,
+    Reference,
+}
+
 /// Executes a parsed query over a target.
 pub struct Executor<'a> {
     target: Target<'a>,
     params: &'a Params,
     now_ms: i64,
+    match_mode: MatchMode,
 }
 
 impl<'a> Executor<'a> {
@@ -197,7 +201,15 @@ impl<'a> Executor<'a> {
             target,
             params,
             now_ms,
+            match_mode: MatchMode::default(),
         }
+    }
+
+    /// Select the `MATCH` execution strategy (defaults to
+    /// [`MatchMode::Batched`]).
+    pub fn with_match_mode(mut self, mode: MatchMode) -> Self {
+        self.match_mode = mode;
+        self
     }
 
     fn view(&self) -> &dyn GraphView {
@@ -284,141 +296,6 @@ impl<'a> Executor<'a> {
         Ok(rows)
     }
 
-    /// Analyze the projection side of a potential top-k fusion; `None` =
-    /// fusion declined (shape, aggregation, or aliasing rules).
-    fn plan_topk_projection(&self, proj: &Projection, seeds: &[Row]) -> Result<Option<TopKSpec>> {
-        if proj.order_by.is_empty()
-            || proj.limit.is_none()
-            || proj.distinct
-            || proj.where_clause.is_some()
-            || proj.items.iter().any(|it| it.expr.has_aggregate())
-        {
-            return Ok(None);
-        }
-        let skip = match &proj.skip {
-            Some(e) => self.eval_const_int(e)? as usize,
-            None => 0,
-        };
-        let limit = match &proj.limit {
-            Some(e) => self.eval_const_int(e)? as usize,
-            None => unreachable!("checked above"),
-        };
-        let keep = skip.saturating_add(limit);
-        if keep > TOPK_FUSE_MAX {
-            return Ok(None);
-        }
-        // Resolve every order key: `ORDER BY alias` is traced back to its
-        // projected expression; each must be a plain `var.key` over one
-        // shared `var`, and all directions must agree (a walk has one
-        // direction — mixed multi-key orders decline).
-        let mut var: Option<&String> = None;
-        let mut keys: Vec<String> = Vec::with_capacity(proj.order_by.len());
-        let mut ascending: Option<bool> = None;
-        let mut any_literal = false;
-        for (key_expr, asc) in &proj.order_by {
-            match ascending {
-                None => ascending = Some(*asc),
-                Some(a) if a == *asc => {}
-                Some(_) => return Ok(None),
-            }
-            let mut via_alias = false;
-            let key_expr = if let Expr::Var(name) = key_expr {
-                match proj.items.iter().find(|it| &it.name() == name) {
-                    Some(it) => {
-                        via_alias = true;
-                        &it.expr
-                    }
-                    None => key_expr,
-                }
-            } else {
-                key_expr
-            };
-            let Expr::Prop(base, key) = key_expr else {
-                return Ok(None);
-            };
-            let Expr::Var(v) = base.as_ref() else {
-                return Ok(None);
-            };
-            match var {
-                None => var = Some(v),
-                Some(existing) if existing == v => {}
-                Some(_) => return Ok(None),
-            }
-            if !via_alias {
-                any_literal = true;
-            }
-            keys.push(key.clone());
-        }
-        let var = var.expect("order_by is non-empty");
-        // A literal `ORDER BY var.key` is re-evaluated by `project` on the
-        // *projected* rows, where the column `var` may have been rebound
-        // (`WITH y AS x ORDER BY x.k`): fuse only when the projection
-        // carries `var` through as itself. An alias-resolved key is exempt
-        // — its column value was computed from the match row regardless of
-        // what else the projection binds.
-        if any_literal {
-            let mut identity = proj.star;
-            for it in &proj.items {
-                if &it.name() == var {
-                    if matches!(&it.expr, Expr::Var(v) if v == var) {
-                        identity = true;
-                    } else {
-                        return Ok(None);
-                    }
-                }
-            }
-            if !identity {
-                return Ok(None);
-            }
-        }
-        // `var` must be bound *by this MATCH*, not by the incoming rows.
-        if seeds.iter().any(|r| r.contains(var)) {
-            return Ok(None);
-        }
-        Ok(Some(TopKSpec {
-            var: var.clone(),
-            keys,
-            descending: !ascending.expect("order_by is non-empty"),
-            keep,
-        }))
-    }
-
-    /// The pinned equality values under which a composite definition
-    /// serves `spec.keys` as an ordered walk: `def` must contain
-    /// `spec.keys` as a contiguous run, and every column *before* the run
-    /// needs an equality conjunct (inline pattern prop or top-level
-    /// `WHERE` conjunct on `spec.var`) whose operand evaluates without row
-    /// bindings (constants/params only — the §6.2.3 relocation shape with
-    /// a status filter). Columns after the run are free: they only refine
-    /// the walk order beyond the requested keys. Returns the evaluated
-    /// pin values (empty when the run starts at the leading column);
-    /// `None` = this definition cannot serve the order.
-    fn composite_pin(
-        &self,
-        ctx: &EvalCtx<'_>,
-        inline_props: &[(String, Expr)],
-        pushed: &Pushdowns,
-        spec: &TopKSpec,
-        def: &[String],
-    ) -> Option<Vec<Value>> {
-        let j = (0..=def.len().checked_sub(spec.keys.len())?)
-            .find(|&j| def[j..j + spec.keys.len()] == spec.keys[..])?;
-        let empty = Row::new();
-        let preds = pushed.get(&spec.var);
-        let mut pins = Vec::with_capacity(j);
-        for col in &def[..j] {
-            let expr = inline_props
-                .iter()
-                .find(|(k, _)| k == col)
-                .map(|(_, e)| e)
-                .or_else(|| {
-                    preds.and_then(|p| p.eqs.iter().find(|(k, _)| k == col).map(|(_, e)| e))
-                })?;
-            pins.push(eval(ctx, &empty, expr).ok()?);
-        }
-        Some(pins)
-    }
-
     /// Drive one ordered walk: for each walked item, bind `spec.var` and
     /// re-match the full pattern under every seed, stopping once
     /// `spec.keep` rows were produced. Returns `false` when the walk
@@ -452,6 +329,83 @@ impl<'a> Executor<'a> {
         Ok(true)
     }
 
+    /// Per-seed **re-pinned** composite walks (planner v4): when the pin
+    /// operands reference seed bindings (`{group: g.id} … ORDER BY
+    /// severity LIMIT 1` under a `WITH g` pipeline), no single walk
+    /// serves every seed — instead each seed row gets its own walk pinned
+    /// to *its* evaluated values, producing that seed's top `spec.keep`
+    /// rows. The union is a superset of the global top-k (every global
+    /// winner is some seed's local winner) and the caller's projection
+    /// re-sorts it, so results are unchanged. Declines (`Ok(None)`)
+    /// unless **every** seed yields a pinned walk; all walks share the
+    /// one `TOPK_WALK_BUDGET`.
+    #[allow(clippy::too_many_arguments)] // threads the whole fusion context
+    fn drive_per_seed_walks(
+        &self,
+        ctx: &EvalCtx<'_>,
+        site: CompositeSite<'_>,
+        seeds: &[Row],
+        inline_props: &[(String, Expr)],
+        pushed: &Pushdowns,
+        spec: &TopKSpec,
+        def: &[String],
+        patterns: &[PathPattern],
+        where_clause: Option<&Expr>,
+        budget: &mut usize,
+    ) -> Result<Option<Vec<Row>>> {
+        // Resolve every seed's pins before driving any walk: a seed whose
+        // pins cannot be evaluated forfeits the whole strategy (its rows
+        // would silently go missing otherwise).
+        let mut all_pins = Vec::with_capacity(seeds.len());
+        for seed in seeds {
+            let Some(pins) = composite_pin(ctx, seed, inline_props, pushed, spec, def) else {
+                return Ok(None);
+            };
+            all_pins.push(pins);
+        }
+        let mut out: Vec<Row> = Vec::new();
+        for (seed, pins) in seeds.iter().zip(&all_pins) {
+            let walk: Box<dyn Iterator<Item = Value> + '_> = match site {
+                CompositeSite::Node { label } => {
+                    match ctx
+                        .view
+                        .nodes_in_composite_order(label, def, pins, spec.descending)
+                    {
+                        Some(w) => Box::new(w.map(Value::Node)),
+                        None => return Ok(None),
+                    }
+                }
+                CompositeSite::Rel { rel_type } => {
+                    match ctx
+                        .view
+                        .rels_in_composite_order(rel_type, def, pins, spec.descending)
+                    {
+                        Some(w) => Box::new(w.map(Value::Rel)),
+                        None => return Ok(None),
+                    }
+                }
+            };
+            // Each walk collects into its own buffer: `drive_walk` stops
+            // at `spec.keep` rows, and the stop must be per seed, not
+            // across the whole union.
+            let mut rows: Vec<Row> = Vec::new();
+            if !self.drive_walk(
+                ctx,
+                walk,
+                patterns,
+                where_clause,
+                std::slice::from_ref(seed),
+                spec,
+                budget,
+                &mut rows,
+            )? {
+                return Ok(None);
+            }
+            out.extend(rows);
+        }
+        Ok(Some(out))
+    }
+
     /// Execute a fused index-served top-k `MATCH`; returns the matched
     /// binding rows (a superset of the final top-k, in order-key order) or
     /// `None` when fusion declined — including when the walk exhausted its
@@ -469,10 +423,10 @@ impl<'a> Executor<'a> {
         proj: &Projection,
         seeds: &[Row],
     ) -> Result<Option<Vec<Row>>> {
-        let Some(spec) = self.plan_topk_projection(proj, seeds)? else {
+        let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+        let Some(spec) = plan_topk_projection(&ctx, proj, seeds)? else {
             return Ok(None);
         };
-        let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
         let pushed = extract_pushdowns(where_clause);
         let mut budget = TOPK_WALK_BUDGET;
         let mut collected: Vec<Row> = Vec::new();
@@ -490,31 +444,57 @@ impl<'a> Executor<'a> {
                     if seeds.iter().any(|r| r.contains(label)) {
                         continue;
                     }
-                    // Composite walks, pinned or plain.
+                    // Composite walks, pinned or plain: one walk shared by
+                    // every seed when the pins evaluate without row
+                    // bindings, else one **re-pinned walk per seed row**
+                    // (the pin operand reads the seed's own bindings).
+                    let empty = Row::new();
                     for def in ctx.view.node_composite_defs(label) {
-                        let Some(pins) = self.composite_pin(&ctx, &np.props, &pushed, &spec, &def)
-                        else {
-                            continue;
-                        };
-                        let Some(walk) =
-                            ctx.view
-                                .nodes_in_composite_order(label, &def, &pins, spec.descending)
-                        else {
-                            continue;
-                        };
-                        if !self.drive_walk(
+                        if let Some(pins) =
+                            composite_pin(&ctx, &empty, &np.props, &pushed, &spec, &def)
+                        {
+                            let Some(walk) = ctx.view.nodes_in_composite_order(
+                                label,
+                                &def,
+                                &pins,
+                                spec.descending,
+                            ) else {
+                                continue;
+                            };
+                            if !self.drive_walk(
+                                &ctx,
+                                walk.map(Value::Node),
+                                patterns,
+                                where_clause,
+                                seeds,
+                                &spec,
+                                &mut budget,
+                                &mut collected,
+                            )? {
+                                return Ok(None);
+                            }
+                            return Ok(Some(collected));
+                        }
+                        // Per-seed re-pinned walks; sound only when EVERY
+                        // seed row yields a pinned walk (each contributes
+                        // its own top `keep` — the final projection
+                        // re-sorts the union, so it is a superset of the
+                        // global top-k).
+                        if let Some(per_seed) = self.drive_per_seed_walks(
                             &ctx,
-                            walk.map(Value::Node),
+                            CompositeSite::Node { label },
+                            seeds,
+                            &np.props,
+                            &pushed,
+                            &spec,
+                            &def,
                             patterns,
                             where_clause,
-                            seeds,
-                            &spec,
                             &mut budget,
-                            &mut collected,
                         )? {
-                            return Ok(None);
+                            collected.extend(per_seed);
+                            return Ok(Some(collected));
                         }
-                        return Ok(Some(collected));
                     }
                     // Single-key ordered walk.
                     if spec.keys.len() != 1 {
@@ -593,31 +573,49 @@ impl<'a> Executor<'a> {
                     continue;
                 }
                 let rel_type = &rp.types[0];
-                // Composite walks, pinned or plain.
+                // Composite walks, pinned or plain — shared when the pins
+                // are seed-independent, else re-pinned per seed row.
+                let empty = Row::new();
                 for def in ctx.view.rel_composite_defs(rel_type) {
-                    let Some(pins) = self.composite_pin(&ctx, &rp.props, &pushed, &spec, &def)
-                    else {
-                        continue;
-                    };
-                    let Some(walk) =
-                        ctx.view
-                            .rels_in_composite_order(rel_type, &def, &pins, spec.descending)
-                    else {
-                        continue;
-                    };
-                    if !self.drive_walk(
+                    if let Some(pins) = composite_pin(&ctx, &empty, &rp.props, &pushed, &spec, &def)
+                    {
+                        let Some(walk) = ctx.view.rels_in_composite_order(
+                            rel_type,
+                            &def,
+                            &pins,
+                            spec.descending,
+                        ) else {
+                            continue;
+                        };
+                        if !self.drive_walk(
+                            &ctx,
+                            walk.map(Value::Rel),
+                            patterns,
+                            where_clause,
+                            seeds,
+                            &spec,
+                            &mut budget,
+                            &mut collected,
+                        )? {
+                            return Ok(None);
+                        }
+                        return Ok(Some(collected));
+                    }
+                    if let Some(per_seed) = self.drive_per_seed_walks(
                         &ctx,
-                        walk.map(Value::Rel),
+                        CompositeSite::Rel { rel_type },
+                        seeds,
+                        &rp.props,
+                        &pushed,
+                        &spec,
+                        &def,
                         patterns,
                         where_clause,
-                        seeds,
-                        &spec,
                         &mut budget,
-                        &mut collected,
                     )? {
-                        return Ok(None);
+                        collected.extend(per_seed);
+                        return Ok(Some(collected));
                     }
-                    return Ok(Some(collected));
                 }
                 if spec.keys.len() != 1 {
                     continue;
@@ -694,9 +692,20 @@ impl<'a> Executor<'a> {
                 where_clause,
             } => {
                 let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
+                let per_seed: Vec<Vec<Row>> = match self.match_mode {
+                    MatchMode::Batched => crate::batch::match_patterns_batch(
+                        &ctx,
+                        &rows,
+                        patterns,
+                        where_clause.as_ref(),
+                    )?,
+                    MatchMode::Reference => rows
+                        .iter()
+                        .map(|row| match_patterns(&ctx, row, patterns, where_clause.as_ref(), None))
+                        .collect::<Result<_>>()?,
+                };
                 let mut out = Vec::new();
-                for row in &rows {
-                    let matches = match_patterns(&ctx, row, patterns, where_clause.as_ref(), None)?;
+                for (row, matches) in rows.iter().zip(per_seed) {
                     if matches.is_empty() && *optional {
                         let mut r2 = row.clone();
                         for v in pattern_vars(patterns) {
@@ -1222,10 +1231,7 @@ impl<'a> Executor<'a> {
 
     fn eval_const_int(&self, e: &Expr) -> Result<i64> {
         let ctx = EvalCtx::new(self.view(), self.params, self.now_ms);
-        let v = eval(&ctx, &Row::new(), e)?;
-        v.as_i64()
-            .filter(|n| *n >= 0)
-            .ok_or_else(|| CypherError::type_err("SKIP/LIMIT must be a non-negative integer"))
+        crate::plan::eval_const_int(&ctx, e)
     }
 
     fn project_grouped(

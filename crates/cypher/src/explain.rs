@@ -1,0 +1,159 @@
+//! `EXPLAIN` — render a query's physical plan (planner v4).
+//!
+//! The report is produced from [`crate::plan::lower_query`], so every
+//! line reflects a decision the real executor makes: the `Seed` lines
+//! carry the [`crate::physical::NodeAccess`] chosen count-only by the
+//! cost model, `Expand` lines carry the per-hop degree-statistics fanout
+//! and the running join-output estimate, and a `TopK` line appears
+//! exactly when the executor's index-served top-k fusion accepts the
+//! `MATCH` + projection pair. For read-only queries the query is also
+//! executed once so the report closes with `actual rows` next to the
+//! estimate — the estimated-vs-actual gap is what the `join_planning`
+//! bench tracks.
+
+use crate::ast::Query;
+use crate::error::Result;
+use crate::expr::EvalCtx;
+use crate::parser::parse_query;
+use crate::plan::{lower_query, LogicalOp};
+use crate::row::{Params, QueryOutput};
+use crate::unparse::unparse_expr;
+use pg_graph::GraphView;
+use std::fmt::Write as _;
+
+/// Format an estimate: integral values print without a fraction
+/// (`12`), fractional ones with one decimal (`38.4`).
+fn fmt_est(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Render the physical plan of `query`. When `executed` is given, the
+/// query has been run and the report compares estimated to actual rows.
+pub fn render_plan(
+    ctx: &EvalCtx<'_>,
+    query: &Query,
+    executed: Option<&QueryOutput>,
+) -> Result<String> {
+    let (plan, phys) = lower_query(ctx, query)?;
+    let mut out = String::new();
+    out.push_str("Plan\n");
+    let mut pi = 0usize;
+    for op in &plan.ops {
+        match op {
+            LogicalOp::Seed { optional, .. } => {
+                let p = &phys[pi];
+                pi += 1;
+                let opt = if *optional { "OptionalSeed" } else { "Seed" };
+                let _ = writeln!(
+                    out,
+                    "  {opt} ({}) access={} est={} rows",
+                    p.seed_var, p.seed, p.seed_est
+                );
+            }
+            LogicalOp::Expand { segment, .. } => {
+                // `pi` has already advanced past this path's Seed.
+                let p = &phys[pi - 1];
+                let h = &p.hops[*segment];
+                let fanout = match h.fanout {
+                    Some(f) => format!("{f:.2}"),
+                    None => "?".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  Expand {} fanout={fanout} est={} rows",
+                    h.repr,
+                    fmt_est(h.est_rows)
+                );
+            }
+            LogicalOp::Filter { predicate } => {
+                let _ = writeln!(out, "  Filter {}", unparse_expr(predicate));
+            }
+            LogicalOp::Project { distinct, columns } => {
+                let d = if *distinct {
+                    "Project DISTINCT"
+                } else {
+                    "Project"
+                };
+                let cols = if columns.is_empty() {
+                    "*".to_string()
+                } else {
+                    columns.join(", ")
+                };
+                let _ = writeln!(out, "  {d} [{cols}]");
+            }
+            LogicalOp::Aggregate { columns } => {
+                let _ = writeln!(out, "  Aggregate [{}]", columns.join(", "));
+            }
+            LogicalOp::Sort { keys, descending } => {
+                let dir = if *descending { "desc" } else { "asc" };
+                let _ = writeln!(out, "  Sort keys={keys} {dir}");
+            }
+            LogicalOp::TopK { spec } => {
+                let dir = if spec.descending { "desc" } else { "asc" };
+                let _ = writeln!(
+                    out,
+                    "  TopK {}.{} {dir} keep={}",
+                    spec.var,
+                    spec.keys.join("."),
+                    spec.keep
+                );
+            }
+            LogicalOp::Page => {
+                let _ = writeln!(out, "  Page (SKIP/LIMIT)");
+            }
+            LogicalOp::Unwind { alias } => {
+                let _ = writeln!(out, "  Unwind AS {alias}");
+            }
+            LogicalOp::Update { what } => {
+                let _ = writeln!(out, "  Update <{what}>");
+            }
+        }
+    }
+    if !phys.is_empty() {
+        let est: f64 = phys.iter().map(|p| p.est_rows()).product();
+        let _ = writeln!(out, "estimated match rows: {}", fmt_est(est));
+    }
+    match executed {
+        Some(qo) => {
+            let actual = if qo.columns.is_empty() {
+                qo.bindings.len()
+            } else {
+                qo.rows.len()
+            };
+            let _ = writeln!(out, "actual rows: {actual}");
+        }
+        None => {
+            let _ = writeln!(out, "actual rows: not executed (updating query)");
+        }
+    }
+    Ok(out)
+}
+
+/// Parse and explain `src` against a read-only view. Read-only queries
+/// are executed once for the `actual rows` line; updating queries are
+/// planned but not run.
+pub fn explain_query(
+    view: &dyn GraphView,
+    src: &str,
+    params: &Params,
+    now_ms: i64,
+) -> Result<String> {
+    let query = parse_query(src)?;
+    let executed = if query.is_updating() {
+        None
+    } else {
+        Some(crate::run_read_only(
+            view,
+            &query,
+            Vec::new(),
+            params,
+            now_ms,
+        )?)
+    };
+    let ctx = EvalCtx::new(view, params, now_ms);
+    render_plan(&ctx, &query, executed.as_ref())
+}

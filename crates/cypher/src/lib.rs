@@ -26,21 +26,27 @@
 //! paper's example triggers rely on.
 
 pub mod ast;
+pub mod batch;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod functions;
 pub mod lexer;
 pub mod parser;
 pub mod pattern;
+pub mod physical;
+pub mod plan;
 pub mod row;
 pub mod token;
 pub mod unparse;
 
 pub use ast::{Clause, Expr, Query};
 pub use error::{CypherError, Result};
-pub use exec::{Executor, Target};
-pub use parser::{parse_expression, parse_query, parse_query_lenient};
+pub use exec::{Executor, MatchMode, Target};
+pub use explain::explain_query;
+pub use parser::{parse_expression, parse_query, parse_query_lenient, strip_explain};
+pub use plan::{lower_query, LogicalOp, LogicalPlan, TopKSpec};
 pub use row::{Params, QueryOutput, Row};
 pub use unparse::{rename_vars, unparse_clause, unparse_expr, unparse_query};
 

@@ -31,6 +31,22 @@ pub fn parse_query_lenient(src: &str) -> Result<Query> {
     Ok(Query { clauses })
 }
 
+/// If `src` is an `EXPLAIN <query>` statement, return the `<query>` part
+/// (with the keyword stripped); `None` otherwise. The keyword must be
+/// followed by whitespace — `EXPLAINED` is not an `EXPLAIN`.
+pub fn strip_explain(src: &str) -> Option<&str> {
+    let t = src.trim_start();
+    let head = t.get(..7)?;
+    if !head.eq_ignore_ascii_case("EXPLAIN") {
+        return None;
+    }
+    let rest = &t[7..];
+    if !rest.starts_with(|c: char| c.is_whitespace()) {
+        return None;
+    }
+    Some(rest.trim_start())
+}
+
 /// Parse a standalone expression (trigger `WHEN` predicates).
 pub fn parse_expression(src: &str) -> Result<Expr> {
     let tokens = lex(src)?;

@@ -44,8 +44,9 @@
 use crate::ast::{BinOp, Expr, NodePattern, PathPattern, RelPattern};
 use crate::error::{CypherError, Result};
 use crate::expr::{eval, EvalCtx};
+use crate::physical::{build_intervals, composite_probe_args, Intervals};
 use crate::row::Row;
-use pg_graph::{CompositeTrailing, Direction, NodeId, RelId, Value};
+use pg_graph::{Direction, NodeId, RelId, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 
@@ -59,134 +60,19 @@ pub(crate) struct VarPredicates {
     pub(crate) eqs: Vec<(String, Expr)>,
     /// `var.key <op> e` conjuncts, normalized so the property is on the
     /// left (`e < var.key` arrives as `var.key > e`).
-    ranges: Vec<(String, BinOp, Expr)>,
+    pub(crate) ranges: Vec<(String, BinOp, Expr)>,
     /// `var.key STARTS WITH e` conjuncts.
-    prefixes: Vec<(String, Expr)>,
+    pub(crate) prefixes: Vec<(String, Expr)>,
 }
 
 pub(crate) type Pushdowns = HashMap<String, VarPredicates>;
 
-/// Owned form of [`CompositeTrailing`]: the trailing bound of a composite
-/// probe as assembled by the planner.
-#[derive(Debug, Clone)]
-enum TrailingOwned {
-    None,
-    Range(Bound<Value>, Bound<Value>),
-    Prefix(String),
-}
-
-impl TrailingOwned {
-    fn as_trailing(&self) -> CompositeTrailing<'_> {
-        match self {
-            TrailingOwned::None => CompositeTrailing::None,
-            TrailingOwned::Range(lo, hi) => CompositeTrailing::Range(lo.as_ref(), hi.as_ref()),
-            TrailingOwned::Prefix(p) => CompositeTrailing::Prefix(p),
-        }
-    }
-}
-
-/// The longest-equality-prefix probe a composite definition can serve from
-/// the evaluated pushdowns: walk `def`'s columns collecting equality
-/// values until the first column without one; that column may contribute
-/// one trailing range or `STARTS WITH` bound. `None` when the definition
-/// constrains nothing.
-fn composite_probe_args(
-    eqs: &HashMap<&str, Value>,
-    intervals: &HashMap<String, (Bound<Value>, Bound<Value>)>,
-    prefixes: &HashMap<&str, String>,
-    def: &[String],
-) -> Option<(Vec<Value>, TrailingOwned)> {
-    let mut eq_vals: Vec<Value> = Vec::new();
-    for col in def {
-        if let Some(v) = eqs.get(col.as_str()) {
-            eq_vals.push(v.clone());
-            continue;
-        }
-        if let Some((lo, hi)) = intervals.get(col) {
-            return Some((eq_vals, TrailingOwned::Range(lo.clone(), hi.clone())));
-        }
-        if let Some(p) = prefixes.get(col.as_str()) {
-            return Some((eq_vals, TrailingOwned::Prefix(p.clone())));
-        }
-        break;
-    }
-    if eq_vals.is_empty() {
-        None
-    } else {
-        Some((eq_vals, TrailingOwned::None))
-    }
-}
-
-/// The tightest closed intervals derivable from a variable's `<`/`<=`/
-/// `>`/`>=` conjuncts, per property key.
-enum Intervals {
-    /// Some conjunct can never be truthy (NULL/NaN operand) — the
-    /// candidate set is definitively empty.
-    Never,
-    /// Per-key `(lower, upper)` bounds (possibly unbounded on one side).
-    Bounds(HashMap<String, (Bound<Value>, Bound<Value>)>),
-}
-
-/// Replace `slot` when `value` tightens it: a greater lower bound /
-/// smaller upper bound wins, and at equal values an exclusive bound beats
-/// an inclusive one.
-fn tighten(slot: &mut Bound<Value>, value: Value, inclusive: bool, lower: bool) {
-    use std::cmp::Ordering;
-    let replaces = match &*slot {
-        Bound::Unbounded => true,
-        Bound::Included(c) | Bound::Excluded(c) => {
-            let ord = value.cmp_order(c);
-            if lower {
-                ord != Ordering::Less
-            } else {
-                ord != Ordering::Greater
-            }
-        }
-    };
-    if !replaces {
-        return;
-    }
-    let stay_exclusive =
-        matches!(&*slot, Bound::Excluded(c) if value.cmp_order(c) == std::cmp::Ordering::Equal);
-    *slot = if inclusive && !stay_exclusive {
-        Bound::Included(value)
-    } else {
-        Bound::Excluded(value)
-    };
-}
-
-/// Combine a variable's ordering conjuncts into per-key intervals. A NULL
-/// or NaN operand makes its conjunct untruthy for every row
-/// ([`Intervals::Never`]); an operand that cannot be evaluated yet (it
-/// references a variable bound later) merely skips the conjunct — the
-/// predicate itself is still enforced by the `WHERE` evaluation.
-fn build_intervals(ctx: &EvalCtx<'_>, row: &Row, ranges: &[(String, BinOp, Expr)]) -> Intervals {
-    let mut intervals: HashMap<String, (Bound<Value>, Bound<Value>)> = HashMap::new();
-    for (key, op, expr) in ranges {
-        let Ok(value) = eval(ctx, row, expr) else {
-            continue;
-        };
-        if value.is_null() || matches!(&value, Value::Float(f) if f.is_nan()) {
-            return Intervals::Never;
-        }
-        let entry = intervals
-            .entry(key.clone())
-            .or_insert((Bound::Unbounded, Bound::Unbounded));
-        match op {
-            BinOp::Gt | BinOp::Ge => tighten(&mut entry.0, value, *op == BinOp::Ge, true),
-            BinOp::Lt | BinOp::Le => tighten(&mut entry.1, value, *op == BinOp::Le, false),
-            _ => {}
-        }
-    }
-    Intervals::Bounds(intervals)
-}
-
 /// One in-progress match: the binding row plus relationships already used in
 /// this MATCH clause.
 #[derive(Debug, Clone)]
-struct MatchState {
-    row: Row,
-    used: Vec<RelId>,
+pub(crate) struct MatchState {
+    pub(crate) row: Row,
+    pub(crate) used: Vec<RelId>,
 }
 
 /// Match a list of path patterns (as one joint MATCH clause) against the
@@ -594,11 +480,83 @@ fn reroot_path(path: &PathPattern, anchor: usize) -> (PathPattern, Option<PathPa
     }
 }
 
+/// Expected output rows **per input row** of one hop, from the degree
+/// statistics ([`crate::physical::expand_fanout`], planner v4). Labels
+/// bound in the row or by an earlier join path are transition variables,
+/// not stored labels, and contribute no statistic; hops with no applicable
+/// statistic (variable-length, untyped, unlabeled source) multiply by 1 —
+/// the conservative "don't know" fanout.
+fn hop_fanout(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    src: &NodePattern,
+    rp: &RelPattern,
+    bound: &HashSet<String>,
+) -> f64 {
+    if rp.hops.is_some() {
+        return 1.0;
+    }
+    let labels: Vec<String> = src
+        .labels
+        .iter()
+        .filter(|l| row.get(l).is_none() && !bound.contains(l.as_str()))
+        .cloned()
+        .collect();
+    crate::physical::expand_fanout(ctx, &labels, &rp.types, rp.direction).unwrap_or(1.0)
+}
+
+/// Expected rows enumerated while walking the whole path from anchor
+/// position `anchor` — the **join-output cardinality** term of an anchor's
+/// cost (planner v4). Starting from the anchor's access estimate, each hop
+/// multiplies the running row count by its expected fanout and the
+/// cumulative counts of every hop are summed. The leftward (reversed-
+/// prefix) walk runs first and the rightward suffix walk continues from
+/// its result, mirroring what an interior anchor actually executes after
+/// [`reroot_path`]: the suffix half-path runs once per row of the reversed
+/// prefix, so its rows multiply — an additive model would systematically
+/// undercount interior splits with a fat left side.
+fn walk_cost(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    path: &PathPattern,
+    anchor: usize,
+    access: usize,
+    bound: &HashSet<String>,
+) -> usize {
+    let k = path.segments.len();
+    let node_at = |i: usize| -> &NodePattern {
+        if i == 0 {
+            &path.start
+        } else {
+            &path.segments[i - 1].1
+        }
+    };
+    let mut total = 0f64;
+    let mut rows = access.max(1) as f64;
+    for j in (0..anchor).rev() {
+        let rp = reverse_rel(&path.segments[j].0);
+        rows *= hop_fanout(ctx, row, node_at(j + 1), &rp, bound);
+        total += rows;
+    }
+    for j in anchor..k {
+        rows *= hop_fanout(ctx, row, node_at(j), &path.segments[j].0, bound);
+        total += rows;
+    }
+    if total.is_finite() && total < UNKNOWN_COST as f64 {
+        total as usize
+    } else {
+        UNKNOWN_COST
+    }
+}
+
 /// The cheapest anchor position of a path and its estimated cost. A
-/// position's cost is the best of its node access paths and (for single-
-/// hop segments adjacent to it) the relationship extent that could seed
-/// it. Interior anchors require a named node (the two half-paths join on
-/// the variable); unnamed interior positions are skipped.
+/// position's **access** cost is the best of its node access paths and
+/// (for single-hop segments adjacent to it) the relationship extent that
+/// could seed it; its total cost adds the expected rows of walking the
+/// whole path from there ([`walk_cost`] — join-output cardinality from
+/// degree statistics). Interior anchors require a named node (the two
+/// half-paths join on the variable); unnamed interior positions are
+/// skipped.
 fn best_anchor(
     ctx: &EvalCtx<'_>,
     row: &Row,
@@ -619,16 +577,17 @@ fn best_anchor(
         if i != 0 && i != k && node_at(i).var.is_none() {
             continue; // interior split needs the anchor variable
         }
-        let mut cost = estimate_node_cost(ctx, row, node_at(i), pushed, bound);
+        let mut access = estimate_node_cost(ctx, row, node_at(i), pushed, bound);
         // a selective adjacent relationship can seed this anchor
         for seg in [i.checked_sub(1), (i < k).then_some(i)]
             .into_iter()
             .flatten()
         {
             if let Some(rc) = estimate_rel_cost(ctx, row, &path.segments[seg].0, pushed, bound) {
-                cost = cost.min(rc);
+                access = access.min(rc);
             }
         }
+        let cost = access.saturating_add(walk_cost(ctx, row, path, i, access, bound));
         if cost < best.1 {
             best = (i, cost);
         }
@@ -642,7 +601,7 @@ fn best_anchor(
 /// of result rows is unchanged (pattern matching is a join and relationship
 /// uniqueness is a symmetric constraint over the whole assignment); only
 /// the enumeration order (and hence row order) may differ.
-fn plan_patterns(
+pub(crate) fn plan_patterns(
     ctx: &EvalCtx<'_>,
     seed: &Row,
     patterns: &[PathPattern],
@@ -682,7 +641,7 @@ fn plan_patterns(
 /// pre-bound rel variable, a small type extent, or a relationship-
 /// property index hit). Both sides are compared by count-only estimates;
 /// only the winning access path is materialized.
-fn start_candidates(
+pub(crate) fn start_candidates(
     ctx: &EvalCtx<'_>,
     row: &Row,
     path: &PathPattern,
@@ -994,7 +953,7 @@ fn rel_satisfies(ctx: &EvalCtx<'_>, rid: RelId, pd: &RelPredEval) -> bool {
 /// [`pg_graph::GraphView::rels_in_prop_range`] instead of the adjacency
 /// list; either way every candidate is pre-filtered against the evaluated
 /// predicates rather than post-filtered by the final `WHERE`.
-fn hop_candidates(
+pub(crate) fn hop_candidates(
     ctx: &EvalCtx<'_>,
     row: &Row,
     node: NodeId,
@@ -1234,44 +1193,11 @@ pub(crate) fn extract_pushdowns(where_clause: Option<&Expr>) -> Pushdowns {
     map
 }
 
-/// One index access path a node pattern could be served from.
-enum IndexProbe<'a> {
-    Eq {
-        label: &'a str,
-        key: &'a str,
-        value: Value,
-    },
-    Range {
-        label: &'a str,
-        key: String,
-        lo: Bound<Value>,
-        hi: Bound<Value>,
-    },
-    Prefix {
-        label: &'a str,
-        key: &'a str,
-        prefix: String,
-    },
-    /// A composite-index probe: equality on the definition's leading
-    /// columns plus at most one trailing range/prefix bound.
-    Composite {
-        label: &'a str,
-        columns: Vec<String>,
-        eq: Vec<Value>,
-        trailing: TrailingOwned,
-    },
-}
-
-/// The best index-backed candidate set for a node pattern, from inline
-/// `{key: value}` properties plus pushed-down `WHERE` equality, range and
-/// prefix conjuncts on this pattern's variable, tried against every
-/// label's index. An evaluation failure (e.g. the value refers to a
-/// variable bound later) merely disqualifies the path — the predicate
-/// itself is still enforced by `node_matches` / the WHERE clause.
-///
-/// Every applicable probe is first **counted** (O(log n) / histogram);
-/// only the most selective one is materialized — choosing an access path
-/// never allocates the vectors of the losers.
+/// The best index-backed candidate set for a node pattern: the physical
+/// layer chooses the access path **count-only**
+/// ([`crate::physical::choose_index_access`]) and only the winner is
+/// materialized ([`crate::physical::materialize_index_access`]) — choosing
+/// an access path never allocates the vectors of the losers.
 ///
 /// Returns `Some(ids)` when some index answered (possibly proving the
 /// candidate set empty: a pushed conjunct with a NULL/untyped operand can
@@ -1282,136 +1208,8 @@ fn index_candidates(
     np: &NodePattern,
     pushed: &Pushdowns,
 ) -> Option<Vec<NodeId>> {
-    let preds = np.var.as_ref().and_then(|v| pushed.get(v));
-    let mut probes: Vec<IndexProbe<'_>> = Vec::new();
-
-    // Equality: inline property maps and pushed `var.key = e` conjuncts.
-    let pushed_eqs = preds.map(|p| p.eqs.as_slice()).unwrap_or(&[]);
-    let mut eval_eqs: HashMap<&str, Value> = HashMap::new();
-    for (key, value_expr) in np.props.iter().chain(pushed_eqs) {
-        let Ok(value) = eval(ctx, row, value_expr) else {
-            continue;
-        };
-        for label in &np.labels {
-            probes.push(IndexProbe::Eq {
-                label,
-                key,
-                value: value.clone(),
-            });
-        }
-        eval_eqs.entry(key.as_str()).or_insert(value);
-    }
-
-    let mut intervals: HashMap<String, (Bound<Value>, Bound<Value>)> = HashMap::new();
-    let mut prefix_vals: HashMap<&str, String> = HashMap::new();
-    if let Some(preds) = preds {
-        // Ranges: combine this variable's `<`/`<=`/`>`/`>=` conjuncts per
-        // key into the tightest closed interval. A NULL or NaN operand
-        // makes the conjunct untruthy for every row — the candidate set is
-        // definitively empty, no index required.
-        intervals = match build_intervals(ctx, row, &preds.ranges) {
-            Intervals::Never => return Some(Vec::new()),
-            Intervals::Bounds(b) => b,
-        };
-        for (key, (lo, hi)) in &intervals {
-            for label in &np.labels {
-                probes.push(IndexProbe::Range {
-                    label,
-                    key: key.clone(),
-                    lo: lo.clone(),
-                    hi: hi.clone(),
-                });
-            }
-        }
-
-        // Prefixes: `var.key STARTS WITH e`. A non-string operand can
-        // never make the conjunct truthy.
-        for (key, expr) in &preds.prefixes {
-            let Ok(value) = eval(ctx, row, expr) else {
-                continue;
-            };
-            match &value {
-                Value::Str(prefix) => {
-                    for label in &np.labels {
-                        probes.push(IndexProbe::Prefix {
-                            label,
-                            key,
-                            prefix: prefix.clone(),
-                        });
-                    }
-                    prefix_vals.entry(key.as_str()).or_insert(prefix.clone());
-                }
-                _ => return Some(Vec::new()),
-            }
-        }
-    }
-
-    // Composite probes: the longest equality prefix of each definition
-    // plus one trailing range/prefix bound. Added after the single-key
-    // probes so a composite path only wins when *strictly* more selective.
-    for label in &np.labels {
-        for def in ctx.view.node_composite_defs(label) {
-            if let Some((eq, trailing)) =
-                composite_probe_args(&eval_eqs, &intervals, &prefix_vals, &def)
-            {
-                probes.push(IndexProbe::Composite {
-                    label,
-                    columns: def,
-                    eq,
-                    trailing,
-                });
-            }
-        }
-    }
-
-    // Count every probe, materialize only the most selective answerable one.
-    let mut best: Option<(usize, usize)> = None; // (probe idx, estimate)
-    for (i, probe) in probes.iter().enumerate() {
-        let count = match probe {
-            IndexProbe::Eq { label, key, value } => {
-                ctx.view.count_nodes_with_prop(label, key, value)
-            }
-            IndexProbe::Range { label, key, lo, hi } => {
-                ctx.view
-                    .count_nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref())
-            }
-            IndexProbe::Prefix { label, key, prefix } => {
-                ctx.view.count_nodes_with_prop_prefix(label, key, prefix)
-            }
-            IndexProbe::Composite {
-                label,
-                columns,
-                eq,
-                trailing,
-            } => ctx
-                .view
-                .count_nodes_with_composite(label, columns, eq, trailing.as_trailing()),
-        };
-        if let Some(c) = count {
-            if best.is_none_or(|(_, b)| c < b) {
-                best = Some((i, c));
-            }
-        }
-    }
-    let (winner, _) = best?;
-    match &probes[winner] {
-        IndexProbe::Eq { label, key, value } => ctx.view.nodes_with_prop(label, key, value),
-        IndexProbe::Range { label, key, lo, hi } => {
-            ctx.view
-                .nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref())
-        }
-        IndexProbe::Prefix { label, key, prefix } => {
-            ctx.view.nodes_with_prop_prefix(label, key, prefix)
-        }
-        IndexProbe::Composite {
-            label,
-            columns,
-            eq,
-            trailing,
-        } => ctx
-            .view
-            .nodes_with_composite(label, columns, eq, trailing.as_trailing()),
-    }
+    let (access, _est) = crate::physical::choose_index_access(ctx, row, np, pushed)?;
+    crate::physical::materialize_index_access(ctx, &access)
 }
 
 /// Candidate start nodes for a node pattern.
@@ -1508,7 +1306,12 @@ fn nodes_from_value(name: &str, v: &Value) -> Result<Vec<NodeId>> {
 /// Check labels and property predicates of a node pattern against a concrete
 /// node. Labels bound in the row act as candidate restrictions (checked via
 /// membership), not stored labels.
-fn node_matches(ctx: &EvalCtx<'_>, row: &Row, node: NodeId, np: &NodePattern) -> Result<bool> {
+pub(crate) fn node_matches(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    node: NodeId,
+    np: &NodePattern,
+) -> Result<bool> {
     for l in &np.labels {
         if let Some(v) = row.get(l) {
             // transition-variable label: membership test
@@ -2038,25 +1841,36 @@ mod tests {
 
     #[test]
     fn interior_anchor_splits_named_position() {
+        // 20 Mids, one of which (`id = 7`) is index-reachable in 1 probe;
+        // 30 Bigs / 30 Big2s with one R / S edge each spread over the
+        // Mids. Both end anchors cost an extent scan of 30 plus the walk;
+        // the interior anchor costs 1 plus a low-fanout walk in both
+        // directions (avg degree 30/20 per hop) — the join-output model
+        // makes the split the clear winner.
         let mut g = Graph::new();
-        let m = g
-            .create_node(["Mid"], props(&[("id", Value::Int(7))]))
-            .unwrap();
-        for i in 0..30 {
+        let mids: Vec<NodeId> = (0..20)
+            .map(|i| {
+                g.create_node(["Mid"], props(&[("id", Value::Int(i))]))
+                    .unwrap()
+            })
+            .collect();
+        g.create_index("Mid", "id");
+        for i in 0..30usize {
             let a = g.create_node(["Big"], PropertyMap::new()).unwrap();
             let c = g.create_node(["Big2"], PropertyMap::new()).unwrap();
-            g.create_rel(a, m, "R", PropertyMap::new()).unwrap();
-            if i < 3 {
-                g.create_rel(m, c, "S", PropertyMap::new()).unwrap();
-            }
+            g.create_rel(a, mids[i % 20], "R", PropertyMap::new())
+                .unwrap();
+            g.create_rel(mids[i % 20], c, "S", PropertyMap::new())
+                .unwrap();
         }
-        let q = "MATCH (a:Big)-[:R]->(m:Mid)-[:S]->(c:Big2) RETURN 1";
+        let q = "MATCH (a:Big)-[:R]->(m:Mid {id: 7})-[:S]->(c:Big2) RETURN 1";
         let planned = planned_of(&g, q, &Row::new());
         assert_eq!(planned.len(), 2, "split at the interior anchor");
         assert_eq!(planned[0].start.labels, vec!["Mid".to_string()]);
         assert_eq!(planned[1].start.labels, vec!["Mid".to_string()]);
         let rows = run_match(&g, q, Row::new());
-        assert_eq!(rows.len(), 30 * 3);
+        // Mid 7 has ⌈(30-7)/20⌉ = 2 R-edges in and 2 S-edges out
+        assert_eq!(rows.len(), 2 * 2);
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Physical planning: access paths **as data** (planner v4).
+//!
+//! Planner v3 chose access paths inline — `index_candidates` counted every
+//! applicable probe and immediately materialized the winner, so the
+//! decision itself was never observable. Planner v4 splits the two halves:
+//!
+//! * `choose_index_access` makes the count-only decision and returns a
+//!   [`NodeAccess`] value — plain data naming the chosen probe and its
+//!   cardinality estimate;
+//! * `materialize_index_access` turns a chosen [`NodeAccess`] into the
+//!   candidate vector.
+//!
+//! The matcher ([`crate::pattern`]) composes the two exactly as before
+//! (same probes, same tie-breaks, same candidate sets), while `EXPLAIN`
+//! and the batched executor inspect the decision without materializing
+//! anything: `plan_node_access` / `plan_seed_access` are the fully
+//! count-only variants used to annotate plans.
+//!
+//! **Join-output cardinality** (planner v4): [`expand_fanout`] estimates
+//! the expected number of output rows per input row of a hop from the
+//! per-(label, rel-type, direction) degree statistics maintained by
+//! pg-graph ([`pg_graph::GraphView::degree_edge_count`]): the average
+//! degree `edges / |label|` is exact at every instant, so a whole-extent
+//! expansion estimate is exact and filtered expansions inherit only the
+//! access path's estimation error. The join-order planner feeds these
+//! fanouts into path costs (anchor cost + cumulative expected rows per
+//! hop), and `EXPLAIN` prints estimated rows per operator next to the
+//! actual rows observed during execution.
+
+use crate::ast::{Expr, NodePattern, PathPattern};
+use crate::expr::{eval, EvalCtx};
+use crate::row::Row;
+use pg_graph::{CompositeTrailing, Direction, NodeId, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Bound;
+
+use crate::pattern::Pushdowns;
+
+/// Owned form of [`CompositeTrailing`]: the trailing bound of a composite
+/// probe as assembled by the planner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrailingOwned {
+    None,
+    Range(Bound<Value>, Bound<Value>),
+    Prefix(String),
+}
+
+impl TrailingOwned {
+    pub(crate) fn as_trailing(&self) -> CompositeTrailing<'_> {
+        match self {
+            TrailingOwned::None => CompositeTrailing::None,
+            TrailingOwned::Range(lo, hi) => CompositeTrailing::Range(lo.as_ref(), hi.as_ref()),
+            TrailingOwned::Prefix(p) => CompositeTrailing::Prefix(p),
+        }
+    }
+}
+
+/// The longest-equality-prefix probe a composite definition can serve from
+/// the evaluated pushdowns: walk `def`'s columns collecting equality
+/// values until the first column without one; that column may contribute
+/// one trailing range or `STARTS WITH` bound. `None` when the definition
+/// constrains nothing.
+pub(crate) fn composite_probe_args(
+    eqs: &HashMap<&str, Value>,
+    intervals: &HashMap<String, (Bound<Value>, Bound<Value>)>,
+    prefixes: &HashMap<&str, String>,
+    def: &[String],
+) -> Option<(Vec<Value>, TrailingOwned)> {
+    let mut eq_vals: Vec<Value> = Vec::new();
+    for col in def {
+        if let Some(v) = eqs.get(col.as_str()) {
+            eq_vals.push(v.clone());
+            continue;
+        }
+        if let Some((lo, hi)) = intervals.get(col) {
+            return Some((eq_vals, TrailingOwned::Range(lo.clone(), hi.clone())));
+        }
+        if let Some(p) = prefixes.get(col.as_str()) {
+            return Some((eq_vals, TrailingOwned::Prefix(p.clone())));
+        }
+        break;
+    }
+    if eq_vals.is_empty() {
+        None
+    } else {
+        Some((eq_vals, TrailingOwned::None))
+    }
+}
+
+/// The tightest closed intervals derivable from a variable's `<`/`<=`/
+/// `>`/`>=` conjuncts, per property key.
+pub(crate) enum Intervals {
+    /// Some conjunct can never be truthy (NULL/NaN operand) — the
+    /// candidate set is definitively empty.
+    Never,
+    /// Per-key `(lower, upper)` bounds (possibly unbounded on one side).
+    Bounds(HashMap<String, (Bound<Value>, Bound<Value>)>),
+}
+
+/// Replace `slot` when `value` tightens it: a greater lower bound /
+/// smaller upper bound wins, and at equal values an exclusive bound beats
+/// an inclusive one.
+fn tighten(slot: &mut Bound<Value>, value: Value, inclusive: bool, lower: bool) {
+    use std::cmp::Ordering;
+    let replaces = match &*slot {
+        Bound::Unbounded => true,
+        Bound::Included(c) | Bound::Excluded(c) => {
+            let ord = value.cmp_order(c);
+            if lower {
+                ord != Ordering::Less
+            } else {
+                ord != Ordering::Greater
+            }
+        }
+    };
+    if !replaces {
+        return;
+    }
+    let stay_exclusive =
+        matches!(&*slot, Bound::Excluded(c) if value.cmp_order(c) == std::cmp::Ordering::Equal);
+    *slot = if inclusive && !stay_exclusive {
+        Bound::Included(value)
+    } else {
+        Bound::Excluded(value)
+    };
+}
+
+/// Combine a variable's ordering conjuncts into per-key intervals. A NULL
+/// or NaN operand makes its conjunct untruthy for every row
+/// ([`Intervals::Never`]); an operand that cannot be evaluated yet (it
+/// references a variable bound later) merely skips the conjunct — the
+/// predicate itself is still enforced by the `WHERE` evaluation.
+pub(crate) fn build_intervals(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    ranges: &[(String, crate::ast::BinOp, Expr)],
+) -> Intervals {
+    use crate::ast::BinOp;
+    let mut intervals: HashMap<String, (Bound<Value>, Bound<Value>)> = HashMap::new();
+    for (key, op, expr) in ranges {
+        let Ok(value) = eval(ctx, row, expr) else {
+            continue;
+        };
+        if value.is_null() || matches!(&value, Value::Float(f) if f.is_nan()) {
+            return Intervals::Never;
+        }
+        let entry = intervals
+            .entry(key.clone())
+            .or_insert((Bound::Unbounded, Bound::Unbounded));
+        match op {
+            BinOp::Gt | BinOp::Ge => tighten(&mut entry.0, value, *op == BinOp::Ge, true),
+            BinOp::Lt | BinOp::Le => tighten(&mut entry.1, value, *op == BinOp::Le, false),
+            _ => {}
+        }
+    }
+    Intervals::Bounds(intervals)
+}
+
+// ---------------------------------------------------------------------
+// Node access paths as data
+// ---------------------------------------------------------------------
+
+/// A node pattern's chosen access path — the physical half of planner v4,
+/// inspectable by `EXPLAIN` and executable by `materialize_index_access`
+/// (index-backed variants) or the matcher's extent paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeAccess {
+    /// The variable is already bound in the row: one candidate.
+    BoundVar(String),
+    /// A transition-variable label (`NEW`, `NEWNODES`, …) restricts
+    /// candidates to the bound item(s).
+    Transition(String),
+    /// A pushed conjunct can never be truthy: definitively empty.
+    Empty,
+    /// Single-key equality probe of the `(label, key)` index.
+    IndexEq {
+        label: String,
+        key: String,
+        value: Value,
+    },
+    /// Ordered range scan of the `(label, key)` index.
+    IndexRange {
+        label: String,
+        key: String,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    },
+    /// `STARTS WITH` prefix scan of the `(label, key)` index.
+    IndexPrefix {
+        label: String,
+        key: String,
+        prefix: String,
+    },
+    /// Composite probe: equality on the definition's leading columns plus
+    /// at most one trailing range/prefix bound.
+    Composite {
+        label: String,
+        columns: Vec<String>,
+        eq: Vec<Value>,
+        trailing: TrailingOwned,
+    },
+    /// Intersection of label extents, enumerated from the smallest.
+    LabelScan { labels: Vec<String> },
+    /// Unconstrained: every node.
+    AllNodes,
+}
+
+impl fmt::Display for NodeAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeAccess::BoundVar(v) => write!(f, "BoundVar({v})"),
+            NodeAccess::Transition(l) => write!(f, "Transition({l})"),
+            NodeAccess::Empty => write!(f, "Empty"),
+            NodeAccess::IndexEq { label, key, .. } => write!(f, "IndexEq({label}.{key})"),
+            NodeAccess::IndexRange { label, key, .. } => write!(f, "IndexRange({label}.{key})"),
+            NodeAccess::IndexPrefix { label, key, .. } => write!(f, "IndexPrefix({label}.{key})"),
+            NodeAccess::Composite { label, columns, .. } => {
+                write!(f, "CompositeProbe({label}[{}])", columns.join(","))
+            }
+            NodeAccess::LabelScan { labels } => write!(f, "LabelScan({})", labels.join("&")),
+            NodeAccess::AllNodes => write!(f, "AllNodes"),
+        }
+    }
+}
+
+/// The best index-backed access path for a node pattern, chosen **count-
+/// only**: from inline `{key: value}` properties plus pushed-down `WHERE`
+/// equality, range and prefix conjuncts on this pattern's variable, tried
+/// against every label's single-key and composite indexes. Every probe is
+/// counted (O(log n) / histogram); nothing is materialized. An evaluation
+/// failure (e.g. the value refers to a variable bound later) merely
+/// disqualifies the path — the predicate itself is still enforced by
+/// `node_matches` / the WHERE clause.
+///
+/// Returns `Some((access, estimate))` when some index answered —
+/// [`NodeAccess::Empty`] with estimate 0 when a pushed conjunct proves the
+/// candidate set empty — and `None` when no index path applies.
+pub(crate) fn choose_index_access(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    np: &NodePattern,
+    pushed: &Pushdowns,
+) -> Option<(NodeAccess, usize)> {
+    let preds = np.var.as_ref().and_then(|v| pushed.get(v));
+    let mut probes: Vec<NodeAccess> = Vec::new();
+
+    // Equality: inline property maps and pushed `var.key = e` conjuncts.
+    let pushed_eqs = preds.map(|p| p.eqs.as_slice()).unwrap_or(&[]);
+    let mut eval_eqs: HashMap<&str, Value> = HashMap::new();
+    for (key, value_expr) in np.props.iter().chain(pushed_eqs) {
+        let Ok(value) = eval(ctx, row, value_expr) else {
+            continue;
+        };
+        for label in &np.labels {
+            probes.push(NodeAccess::IndexEq {
+                label: label.clone(),
+                key: key.clone(),
+                value: value.clone(),
+            });
+        }
+        eval_eqs.entry(key.as_str()).or_insert(value);
+    }
+
+    let mut intervals: HashMap<String, (Bound<Value>, Bound<Value>)> = HashMap::new();
+    let mut prefix_vals: HashMap<&str, String> = HashMap::new();
+    if let Some(preds) = preds {
+        // Ranges: combine this variable's `<`/`<=`/`>`/`>=` conjuncts per
+        // key into the tightest closed interval. A NULL or NaN operand
+        // makes the conjunct untruthy for every row — the candidate set is
+        // definitively empty, no index required.
+        intervals = match build_intervals(ctx, row, &preds.ranges) {
+            Intervals::Never => return Some((NodeAccess::Empty, 0)),
+            Intervals::Bounds(b) => b,
+        };
+        for (key, (lo, hi)) in &intervals {
+            for label in &np.labels {
+                probes.push(NodeAccess::IndexRange {
+                    label: label.clone(),
+                    key: key.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                });
+            }
+        }
+
+        // Prefixes: `var.key STARTS WITH e`. A non-string operand can
+        // never make the conjunct truthy.
+        for (key, expr) in &preds.prefixes {
+            let Ok(value) = eval(ctx, row, expr) else {
+                continue;
+            };
+            match &value {
+                Value::Str(prefix) => {
+                    for label in &np.labels {
+                        probes.push(NodeAccess::IndexPrefix {
+                            label: label.clone(),
+                            key: key.clone(),
+                            prefix: prefix.clone(),
+                        });
+                    }
+                    prefix_vals.entry(key.as_str()).or_insert(prefix.clone());
+                }
+                _ => return Some((NodeAccess::Empty, 0)),
+            }
+        }
+    }
+
+    // Composite probes: the longest equality prefix of each definition
+    // plus one trailing range/prefix bound. Added after the single-key
+    // probes so a composite path only wins when *strictly* more selective.
+    for label in &np.labels {
+        for def in ctx.view.node_composite_defs(label) {
+            if let Some((eq, trailing)) =
+                composite_probe_args(&eval_eqs, &intervals, &prefix_vals, &def)
+            {
+                probes.push(NodeAccess::Composite {
+                    label: label.clone(),
+                    columns: def,
+                    eq,
+                    trailing,
+                });
+            }
+        }
+    }
+
+    // Count every probe; keep the most selective answerable one.
+    let mut best: Option<(usize, usize)> = None; // (probe idx, estimate)
+    for (i, probe) in probes.iter().enumerate() {
+        let count = count_access(ctx, probe);
+        if let Some(c) = count {
+            if best.is_none_or(|(_, b)| c < b) {
+                best = Some((i, c));
+            }
+        }
+    }
+    let (winner, est) = best?;
+    Some((probes.swap_remove(winner), est))
+}
+
+/// The count-only cardinality of an index-backed access path; `None` when
+/// no index serves it.
+pub(crate) fn count_access(ctx: &EvalCtx<'_>, access: &NodeAccess) -> Option<usize> {
+    match access {
+        NodeAccess::IndexEq { label, key, value } => {
+            ctx.view.count_nodes_with_prop(label, key, value)
+        }
+        NodeAccess::IndexRange { label, key, lo, hi } => {
+            ctx.view
+                .count_nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref())
+        }
+        NodeAccess::IndexPrefix { label, key, prefix } => {
+            ctx.view.count_nodes_with_prop_prefix(label, key, prefix)
+        }
+        NodeAccess::Composite {
+            label,
+            columns,
+            eq,
+            trailing,
+        } => ctx
+            .view
+            .count_nodes_with_composite(label, columns, eq, trailing.as_trailing()),
+        NodeAccess::Empty => Some(0),
+        _ => None,
+    }
+}
+
+/// Materialize a chosen index-backed access path into its candidate
+/// vector. `None` when the index cannot serve it after all (dropped
+/// between choice and materialization — cannot happen within one
+/// statement, but the contract stays total).
+pub(crate) fn materialize_index_access(
+    ctx: &EvalCtx<'_>,
+    access: &NodeAccess,
+) -> Option<Vec<NodeId>> {
+    match access {
+        NodeAccess::IndexEq { label, key, value } => ctx.view.nodes_with_prop(label, key, value),
+        NodeAccess::IndexRange { label, key, lo, hi } => {
+            ctx.view
+                .nodes_in_prop_range(label, key, lo.as_ref(), hi.as_ref())
+        }
+        NodeAccess::IndexPrefix { label, key, prefix } => {
+            ctx.view.nodes_with_prop_prefix(label, key, prefix)
+        }
+        NodeAccess::Composite {
+            label,
+            columns,
+            eq,
+            trailing,
+        } => ctx
+            .view
+            .nodes_with_composite(label, columns, eq, trailing.as_trailing()),
+        NodeAccess::Empty => Some(Vec::new()),
+        _ => None,
+    }
+}
+
+/// The fully count-only access decision for a node pattern — what
+/// [`crate::pattern`]'s `node_candidates` will pick, as data, with its
+/// cardinality estimate. Used by `EXPLAIN` and by the batched executor's
+/// seed stage; never materializes a candidate vector.
+pub(crate) fn plan_node_access(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    np: &NodePattern,
+    pushed: &Pushdowns,
+) -> (NodeAccess, usize) {
+    if let Some(v) = &np.var {
+        if row.contains(v) {
+            return (NodeAccess::BoundVar(v.clone()), 1);
+        }
+    }
+    for l in &np.labels {
+        if let Some(v) = row.get(l) {
+            let n = match v {
+                Value::List(items) => items.len(),
+                _ => 1,
+            };
+            return (NodeAccess::Transition(l.clone()), n);
+        }
+    }
+    let best_index = choose_index_access(ctx, row, np, pushed);
+    let mut label_cards: Vec<(&String, usize)> = np
+        .labels
+        .iter()
+        .map(|l| (l, ctx.view.label_cardinality(l)))
+        .collect();
+    label_cards.sort_by_key(|(_, c)| *c);
+    match (best_index, label_cards.first().map(|(_, c)| *c)) {
+        (Some((acc, est)), Some(lc)) if est <= lc => (acc, est),
+        (Some((acc, est)), None) => (acc, est),
+        (_, Some(lc)) => (
+            NodeAccess::LabelScan {
+                labels: label_cards.iter().map(|(l, _)| (*l).clone()).collect(),
+            },
+            lc,
+        ),
+        (None, None) => (NodeAccess::AllNodes, ctx.view.node_count_estimate().max(1)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Join-output cardinality from degree statistics
+// ---------------------------------------------------------------------
+
+/// Expected output rows **per input row** of a hop expansion, from the
+/// per-(label, rel-type, direction) degree statistics: the average degree
+/// `edges / |label|` of the hop's *source* pattern, minimized over the
+/// source's labels (all labels must hold) and summed over the hop's types
+/// (any type matches). `None` when the source has no stored label or the
+/// hop no type — no statistic applies and the planner falls back to
+/// access-path-only costing for that hop.
+///
+/// Both numerator and denominator are exact at every instant (pg-graph
+/// maintains them through every mutation and undo path), so a
+/// whole-extent expansion estimate is exact; filtered sources inherit
+/// only the seed estimate's error.
+pub fn expand_fanout(
+    ctx: &EvalCtx<'_>,
+    src_labels: &[String],
+    rel_types: &[String],
+    dir: Direction,
+) -> Option<f64> {
+    if src_labels.is_empty() || rel_types.is_empty() {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    for label in src_labels {
+        let card = ctx.view.label_cardinality(label);
+        let mut edges = 0usize;
+        for t in rel_types {
+            edges += ctx.view.degree_edge_count(label, t, dir)?;
+        }
+        let avg = if card == 0 {
+            0.0
+        } else {
+            edges as f64 / card as f64
+        };
+        if best.is_none_or(|b| avg < b) {
+            best = Some(avg);
+        }
+    }
+    best
+}
+
+/// One hop of a physically-planned path: its estimated fanout and the
+/// cumulative expected rows after the hop.
+#[derive(Debug, Clone)]
+pub struct PhysicalHop {
+    /// `-[:T]->`-style rendering of the hop (direction + types + target).
+    pub repr: String,
+    /// Expected output rows per input row; `None` = no statistic applies.
+    pub fanout: Option<f64>,
+    /// Expected rows after this hop.
+    pub est_rows: f64,
+}
+
+/// One planned path: the seed access path plus its hops, with estimates.
+#[derive(Debug, Clone)]
+pub struct PhysicalPathPlan {
+    /// The variable (or `_`) of the seed position.
+    pub seed_var: String,
+    pub seed: NodeAccess,
+    pub seed_est: usize,
+    pub hops: Vec<PhysicalHop>,
+}
+
+impl PhysicalPathPlan {
+    /// Expected rows after the whole path.
+    pub fn est_rows(&self) -> f64 {
+        self.hops
+            .last()
+            .map(|h| h.est_rows)
+            .unwrap_or(self.seed_est as f64)
+    }
+}
+
+/// Physically annotate one already-ordered path (as produced by the join-
+/// order planner): the seed access decision plus per-hop fanout estimates.
+pub(crate) fn plan_path(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    path: &PathPattern,
+    pushed: &Pushdowns,
+    label_hints: &HashMap<String, Vec<String>>,
+) -> PhysicalPathPlan {
+    let (seed, seed_est) = plan_node_access(ctx, row, &path.start, pushed);
+    let mut hops = Vec::with_capacity(path.segments.len());
+    let mut rows = seed_est as f64;
+    let mut src = &path.start;
+    for (rp, np) in &path.segments {
+        // An unlabeled source position (typically a variable bound by an
+        // earlier clause) falls back to the label its binder declared.
+        let src_labels: &[String] = if src.labels.is_empty() {
+            src.var
+                .as_ref()
+                .and_then(|v| label_hints.get(v))
+                .map(|l| l.as_slice())
+                .unwrap_or(&[])
+        } else {
+            &src.labels
+        };
+        let fanout = if rp.hops.is_some() {
+            None // variable-length: no per-hop statistic
+        } else {
+            expand_fanout(ctx, src_labels, &rp.types, rp.direction)
+        };
+        rows *= fanout.unwrap_or(1.0);
+        let arrow = match rp.direction {
+            Direction::Out => ("-", "->"),
+            Direction::In => ("<-", "-"),
+            Direction::Both => ("-", "-"),
+        };
+        let types = if rp.types.is_empty() {
+            String::new()
+        } else {
+            format!(":{}", rp.types.join("|"))
+        };
+        let target = np.var.clone().unwrap_or_else(|| "_".into());
+        let tlabels = if np.labels.is_empty() {
+            String::new()
+        } else {
+            format!(":{}", np.labels.join(":"))
+        };
+        hops.push(PhysicalHop {
+            repr: format!("{}[{}]{}({}{})", arrow.0, types, arrow.1, target, tlabels),
+            fanout,
+            est_rows: rows,
+        });
+        src = np;
+    }
+    PhysicalPathPlan {
+        seed_var: path.start.var.clone().unwrap_or_else(|| "_".into()),
+        seed,
+        seed_est,
+        hops,
+    }
+}

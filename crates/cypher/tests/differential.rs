@@ -22,6 +22,14 @@
 //! Zero divergences allowed — this is the snapshot-isolation analogue of
 //! the twin oracle.
 //!
+//! A third mode is the **executor twin**: the same mutation scripts and
+//! query panels (extended with multi-`MATCH` pipelines that feed many
+//! seed rows into a second pattern — the shape the batched executor
+//! groups) run once under [`MatchMode::Batched`] and once under
+//! [`MatchMode::Reference`], and the outputs must be **row-for-row
+//! identical including order** — the batched stage-wise (BFS) leaf order
+//! is specified to equal the reference DFS leaf order.
+//!
 //! Top-k queries project exactly their order keys, so sorted-row-multiset
 //! equality is the right oracle even at tie cut-offs (tied rows carry
 //! identical key tuples).
@@ -30,7 +38,7 @@
 //! proptest case count for long soak runs; the default stays fast enough
 //! for every PR.
 
-use pg_cypher::{parse_query, run_query, run_read_only, Params};
+use pg_cypher::{parse_query, run_query, run_read_only, Executor, MatchMode, Params, Target};
 use pg_graph::{Graph, GraphView, StatementMark, Value};
 use proptest::prelude::*;
 use std::collections::hash_map::Entry;
@@ -183,6 +191,42 @@ fn query_strategy() -> impl Strategy<Value = String> {
         (-5i64..5, -5i64..5).prop_map(|(v, w)| format!(
             "MATCH (x:A)-[r:R]->(y) WHERE x.k = {v} AND r.w < {w} RETURN x.k AS a, r.w AS b"
         )),
+    ]
+}
+
+/// Panel queries whose later `MATCH` clauses receive many seed rows —
+/// the shape [`MatchMode::Batched`] groups into stage-wise execution,
+/// including pushed operands over live variables (sharing must disable
+/// itself), transition variables, `OPTIONAL MATCH` per-seed null
+/// binding, and relationship-uniqueness across clauses.
+fn multi_seed_query_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (-5i64..5).prop_map(|v| format!(
+            "MATCH (x:A) MATCH (y:B) WHERE y.k = x.k AND y.m >= {v} \
+             RETURN x.k AS a, y.m AS b"
+        )),
+        Just("MATCH (x:A) MATCH (x)-[r:R]->(y) RETURN x.k AS a, r.w AS b".to_string()),
+        (-5i64..5).prop_map(|v| format!(
+            "MATCH (x:A) MATCH (y:B) WHERE x.k < y.k AND y.k >= {v} \
+             RETURN x.k AS a, y.k AS b"
+        )),
+        Just(
+            "MATCH (p)-[r:R]->(q) MATCH (q)-[r2:R]->(z) \
+             RETURN r.w AS a, r2.w AS b"
+                .to_string()
+        ),
+        (-5i64..5)
+            .prop_map(|v| format!("MATCH (x:B) MATCH (y:B {{k: {v}}}) RETURN x.k AS a, y.k AS b")),
+        Just(
+            "MATCH (x:A) OPTIONAL MATCH (x)-[r:R]->(y:B) \
+             RETURN x.k AS a, r.w AS b"
+                .to_string()
+        ),
+        Just(
+            "MATCH (x:A) MATCH (y:B {s: 'beta'}) MATCH (z:A) \
+             RETURN x.k AS a, y.k AS b, z.k AS c"
+                .to_string()
+        ),
     ]
 }
 
@@ -394,6 +438,35 @@ fn rows_of_view(view: &dyn GraphView, q: &str) -> Vec<Vec<Value>> {
     rows
 }
 
+/// Run `q` read-only under an explicit [`MatchMode`], preserving row
+/// order (the executor twin demands order equality, not just multisets).
+fn rows_under_mode(view: &dyn GraphView, q: &str, mode: MatchMode) -> Vec<Vec<Value>> {
+    let query = parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+    let params = Params::new();
+    Executor::new(Target::Read(view), &params, 0)
+        .with_match_mode(mode)
+        .run(&query, Vec::new())
+        .unwrap_or_else(|e| panic!("{q}: {e}"))
+        .rows
+}
+
+fn check_exec_twin(g: &Graph, panel: &[String], step: usize) {
+    for q in panel {
+        let batched = rows_under_mode(g, q, MatchMode::Batched);
+        let reference = rows_under_mode(g, q, MatchMode::Reference);
+        assert_eq!(
+            batched,
+            reference,
+            "batched/reference executor divergence after step {step} for {q}\n\
+             node indexes: {:?}\ncomposite: {:?}\nrel: {:?}\nrel composite: {:?}",
+            g.indexes(),
+            g.composite_indexes(),
+            g.rel_indexes(),
+            g.rel_composite_indexes(),
+        );
+    }
+}
+
 fn check_panel(t: &mut Twin, panel: &[String], step: usize) {
     for q in panel {
         let plain = rows_of(&mut t.plain.g, q);
@@ -537,6 +610,25 @@ proptest! {
             t.apply(&Step::Commit);
         }
         check_panel(&mut t, &panel, steps.len());
+    }
+
+    #[test]
+    fn batched_executor_agrees_with_reference(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        single in proptest::collection::vec(query_strategy(), 1..4),
+        multi in proptest::collection::vec(multi_seed_query_strategy(), 2..5),
+    ) {
+        let mut panel = single;
+        panel.extend(multi);
+        let mut s = Script::default();
+        for (i, step) in steps.iter().enumerate() {
+            s.apply(step);
+            check_exec_twin(&s.g, &panel, i);
+        }
+        if s.g.in_tx() {
+            s.apply(&Step::Commit);
+        }
+        check_exec_twin(&s.g, &panel, steps.len());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use prop_index::{IndexKey, KeyedIndex, PropIndex, RelPropIndex};
 pub use props::PropertyMap;
 pub use record::{NodeRecord, RelRecord};
 pub use snapshot::{GraphHandle, Snapshot};
-pub use stats::Histogram;
+pub use stats::{degree_bucket, DegreeHistogram, Histogram, DEGREE_BUCKETS};
 pub use store::{Graph, IndexProbes, StatementMark, WritePolicy};
 pub use value::{Direction, Value};
 pub use view::{GraphView, PreStateView};

@@ -11,6 +11,7 @@ use crate::prop_index::{PropIndex, RelPropIndex};
 use crate::props::PropertyMap;
 use crate::record::{NodeRecord, RelRecord};
 use crate::snapshot::{GraphHandle, Publisher, Snapshot};
+use crate::stats::{degree_bucket, DegreeHistogram};
 use crate::value::{Direction, Value};
 use crate::view::GraphView;
 use std::collections::{BTreeSet, HashMap};
@@ -31,6 +32,10 @@ pub struct IndexProbes {
     pub materializing: u64,
     pub counting: u64,
     pub ordered: u64,
+    /// Materializing **composite** (multi-key) lookups — a subset of
+    /// `materializing`, split out so tests can assert a lookup was
+    /// served by a composite index specifically.
+    pub composite: u64,
 }
 
 /// Atomic probe counters. The live [`Graph`] owns one set and each
@@ -41,6 +46,7 @@ pub(crate) struct ProbeCounters {
     materializing: AtomicU64,
     counting: AtomicU64,
     ordered: AtomicU64,
+    composite: AtomicU64,
 }
 
 impl ProbeCounters {
@@ -49,6 +55,7 @@ impl ProbeCounters {
             materializing: self.materializing.load(AtomicOrdering::Relaxed),
             counting: self.counting.load(AtomicOrdering::Relaxed),
             ordered: self.ordered.load(AtomicOrdering::Relaxed),
+            composite: self.composite.load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -56,6 +63,7 @@ impl ProbeCounters {
         self.materializing.store(0, AtomicOrdering::Relaxed);
         self.counting.store(0, AtomicOrdering::Relaxed);
         self.ordered.store(0, AtomicOrdering::Relaxed);
+        self.composite.store(0, AtomicOrdering::Relaxed);
     }
 }
 
@@ -114,7 +122,31 @@ pub(crate) struct StoreState {
     composite_index: NodeCompositeIndex,
     /// Composite relationship indexes (`CREATE INDEX ON -[:TYPE(k1, k2)]-`).
     rel_composite_index: RelCompositeIndex,
+    /// Per-(label, rel-type, direction) degree statistics feeding join
+    /// *output* cardinality estimation: `degree_stats[label][type]` holds
+    /// `[out, in]` entries, each with an **exact** incidence (edge) count
+    /// and a drift-bounded [`DegreeHistogram`]. Maintained through every
+    /// mutation and undo path below — relationship create/delete adjusts
+    /// the edge counts of both endpoints' labels, label set/remove
+    /// transfers the node's per-type degrees in or out.
+    degree_stats: HashMap<Arc<str>, HashMap<Arc<str>, [DegreeEntry; 2]>>,
 }
+
+/// One `(label, rel-type, direction)` degree-statistics entry.
+#[derive(Debug, Clone, Default)]
+struct DegreeEntry {
+    /// Exact count of (node-with-label, incident-rel-of-type) pairs in
+    /// this direction — the numerator of the average-degree estimate.
+    edges: usize,
+    /// Drift-bounded distribution of per-node degrees (see
+    /// [`DegreeHistogram`] for the maintenance contract).
+    hist: DegreeHistogram,
+}
+
+/// Direction index into a `[DegreeEntry; 2]` pair.
+const DEG_OUT: usize = 0;
+/// Direction index into a `[DegreeEntry; 2]` pair.
+const DEG_IN: usize = 1;
 
 /// Insert `id` into `map[key]`, allocating the `Arc<str>` key only on
 /// first sight of a label/type — the hot path (existing key) is a plain
@@ -127,6 +159,26 @@ fn extent_insert<Id: Ord + Copy>(map: &mut HashMap<Arc<str>, PSet<Id>>, key: &st
         let mut set = PSet::new();
         set.insert(id);
         map.insert(Arc::from(key), set);
+    }
+}
+
+/// The `[out, in]` degree-entry pair for `(label, rel_type)`, created on
+/// first sight. Same `Arc<str>`-on-first-sight discipline as
+/// [`extent_insert`]: the hot path (existing combo) allocates nothing.
+fn degree_entry<'m>(
+    map: &'m mut HashMap<Arc<str>, HashMap<Arc<str>, [DegreeEntry; 2]>>,
+    label: &str,
+    rel_type: &str,
+) -> &'m mut [DegreeEntry; 2] {
+    let by_type = if map.contains_key(label) {
+        map.get_mut(label).expect("checked above")
+    } else {
+        map.entry(Arc::from(label)).or_default()
+    };
+    if by_type.contains_key(rel_type) {
+        by_type.get_mut(rel_type).expect("checked above")
+    } else {
+        by_type.entry(Arc::from(rel_type)).or_default()
     }
 }
 
@@ -176,7 +228,11 @@ impl StoreState {
             .index_item_label(&record.rel_type, &record.props, record.id);
         self.out_adj.get_or_default(record.src).push(record.id);
         self.in_adj.get_or_default(record.dst).push(record.id);
+        let (src, dst) = (record.src, record.dst);
+        let rel_type = record.rel_type.clone();
         self.rels.insert(record.id, Arc::new(record));
+        // After the insert, so a triggered histogram rebuild sees the rel.
+        self.degree_note_rel(src, dst, &rel_type, true);
     }
 
     fn raw_remove_rel(&mut self, id: RelId) {
@@ -193,6 +249,112 @@ impl StoreState {
             if let Some(adj) = self.in_adj.get_mut(&rec.dst) {
                 adj.retain(|&r| r != id);
             }
+            self.degree_note_rel(rec.src, rec.dst, &rec.rel_type, false);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Degree-statistics maintenance. Every path that changes a node's
+    // incident-rel multiset or its label set funnels through one of the
+    // two helpers below; the undo paths replay through the same raw
+    // helpers, so insert/remove pairs cancel exactly and the edge counts
+    // stay correct no matter how mutations and undos interleave.
+    // ------------------------------------------------------------------
+
+    /// Record a relationship appearing (`add`) or disappearing between
+    /// `src` and `dst`: every label of `src` gains/loses an out-edge of
+    /// `rel_type`, every label of `dst` an in-edge. Self-loops touch both
+    /// directions of the same node, matching [`GraphView::rels_of`] on
+    /// `Out`/`In` (a `Both` estimate sums the two and counts a self-loop
+    /// twice; acceptable for a planning estimate).
+    fn degree_note_rel(&mut self, src: NodeId, dst: NodeId, rel_type: &str, add: bool) {
+        for (node, dir) in [(src, DEG_OUT), (dst, DEG_IN)] {
+            let labels: Vec<String> = match self.nodes.get(&node) {
+                Some(rec) => rec.labels.iter().cloned().collect(),
+                None => continue,
+            };
+            for label in labels {
+                let entry = degree_entry(&mut self.degree_stats, &label, rel_type);
+                let e = &mut entry[dir];
+                if add {
+                    e.edges += 1;
+                } else {
+                    e.edges = e.edges.saturating_sub(1);
+                }
+                e.hist.drift += 1;
+                let stale = e.hist.drift > 16.max(e.edges / 8);
+                if stale {
+                    self.rebuild_degree_hist(&label, rel_type, dir);
+                }
+            }
+        }
+    }
+
+    /// Transfer a node's per-(type, direction) degrees into (`add`) or out
+    /// of a label's entries when the label is set or removed. The node's
+    /// degrees are known exactly here (one adjacency scan), so both the
+    /// edge counts and the histogram buckets are adjusted exactly — label
+    /// churn adds no drift.
+    fn degree_note_label(&mut self, node: NodeId, label: &str, add: bool) {
+        let mut per: Vec<(String, usize, usize)> = Vec::new(); // (type, dir, degree)
+        for (dir, adj) in [
+            (DEG_OUT, self.out_adj.get(&node)),
+            (DEG_IN, self.in_adj.get(&node)),
+        ] {
+            let Some(rels) = adj else { continue };
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            for rid in rels.iter() {
+                if let Some(rec) = self.rels.get(rid) {
+                    *counts.entry(rec.rel_type.clone()).or_default() += 1;
+                }
+            }
+            per.extend(counts.into_iter().map(|(t, d)| (t, dir, d)));
+        }
+        for (rel_type, dir, degree) in per {
+            let entry = degree_entry(&mut self.degree_stats, label, &rel_type);
+            let e = &mut entry[dir];
+            let b = degree_bucket(degree);
+            if add {
+                e.edges += degree;
+                e.hist.buckets[b] += 1;
+            } else {
+                e.edges = e.edges.saturating_sub(degree);
+                e.hist.buckets[b] = e.hist.buckets[b].saturating_sub(1);
+            }
+        }
+    }
+
+    /// Rebuild one `(label, rel-type, direction)` histogram from the live
+    /// adjacency (drift → 0). O(Σ degree over the label extent), amortized
+    /// over the `max(16, edges/8)` mutations that triggered it.
+    fn rebuild_degree_hist(&mut self, label: &str, rel_type: &str, dir: usize) {
+        let mut hist = DegreeHistogram::default();
+        if let Some(extent) = self.label_index.get(label) {
+            for id in extent.iter() {
+                let adj = match dir {
+                    DEG_OUT => self.out_adj.get(id),
+                    _ => self.in_adj.get(id),
+                };
+                let d = adj
+                    .map(|rels| {
+                        rels.iter()
+                            .filter(|r| {
+                                self.rels.get(r).is_some_and(|rec| rec.rel_type == rel_type)
+                            })
+                            .count()
+                    })
+                    .unwrap_or(0);
+                if d > 0 {
+                    hist.buckets[degree_bucket(d)] += 1;
+                }
+            }
+        }
+        if let Some(entry) = self
+            .degree_stats
+            .get_mut(label)
+            .and_then(|m| m.get_mut(rel_type))
+        {
+            entry[dir].hist = hist;
         }
     }
 
@@ -224,6 +386,7 @@ impl StoreState {
                     if let Some(ix) = self.label_index.get_mut(label.as_str()) {
                         ix.remove(node);
                     }
+                    self.degree_note_label(*node, label, false);
                 }
                 Op::RemoveLabel { node, label } => {
                     if let Some(n) = self.nodes.get_mut(node) {
@@ -236,6 +399,7 @@ impl StoreState {
                             .index_item_label(label, &n.props, *node);
                     }
                     extent_insert(&mut self.label_index, label, *node);
+                    self.degree_note_label(*node, label, true);
                 }
                 Op::SetNodeProp {
                     node,
@@ -725,6 +889,7 @@ impl Graph {
         st.composite_index
             .index_item_label(&label, &rec.props, node);
         extent_insert(&mut st.label_index, &label, node);
+        st.degree_note_label(node, &label, true);
         self.log(Op::SetLabel { node, label });
         Ok(true)
     }
@@ -753,6 +918,7 @@ impl Graph {
         if let Some(ix) = st.label_index.get_mut(label) {
             ix.remove(&node);
         }
+        st.degree_note_label(node, label, false);
         self.log(Op::RemoveLabel {
             node,
             label: label.to_string(),
@@ -1146,6 +1312,15 @@ impl Graph {
         st.rel_prop_index.rebuild_stats();
         st.composite_index.rebuild_stats();
         st.rel_composite_index.rebuild_stats();
+        let combos: Vec<(String, String)> = st
+            .degree_stats
+            .iter()
+            .flat_map(|(l, by_type)| by_type.keys().map(move |t| (l.to_string(), t.to_string())))
+            .collect();
+        for (label, rel_type) in combos {
+            st.rebuild_degree_hist(&label, &rel_type, DEG_OUT);
+            st.rebuild_degree_hist(&label, &rel_type, DEG_IN);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1443,6 +1618,7 @@ macro_rules! impl_graph_view_via_state {
                 self.probes
                     .materializing
                     .fetch_add(1, AtomicOrdering::Relaxed);
+                self.probes.composite.fetch_add(1, AtomicOrdering::Relaxed);
                 self.state
                     .composite_index
                     .lookup(label, columns, eq, trailing)
@@ -1471,6 +1647,7 @@ macro_rules! impl_graph_view_via_state {
                 self.probes
                     .materializing
                     .fetch_add(1, AtomicOrdering::Relaxed);
+                self.probes.composite.fetch_add(1, AtomicOrdering::Relaxed);
                 self.state
                     .rel_composite_index
                     .lookup(rel_type, columns, eq, trailing)
@@ -1563,6 +1740,50 @@ macro_rules! impl_graph_view_via_state {
 
             fn rel_count_estimate(&self) -> usize {
                 self.state.rels.len()
+            }
+
+            fn degree_edge_count(
+                &self,
+                label: &str,
+                rel_type: &str,
+                dir: Direction,
+            ) -> Option<usize> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                // A missing entry means the combination never carried an
+                // edge: the count is exactly zero (stats are maintained
+                // from the first mutation on).
+                let entry = self
+                    .state
+                    .degree_stats
+                    .get(label)
+                    .and_then(|m| m.get(rel_type));
+                Some(match (entry, dir) {
+                    (None, _) => 0,
+                    (Some(e), Direction::Out) => e[DEG_OUT].edges,
+                    (Some(e), Direction::In) => e[DEG_IN].edges,
+                    (Some(e), Direction::Both) => e[DEG_OUT].edges + e[DEG_IN].edges,
+                })
+            }
+
+            fn degree_histogram(
+                &self,
+                label: &str,
+                rel_type: &str,
+                dir: Direction,
+            ) -> Option<DegreeHistogram> {
+                self.probes.counting.fetch_add(1, AtomicOrdering::Relaxed);
+                let i = match dir {
+                    Direction::Out => DEG_OUT,
+                    Direction::In => DEG_IN,
+                    // Out+in histograms are per-node distributions over
+                    // different populations; a merged view would not be.
+                    Direction::Both => return None,
+                };
+                self.state
+                    .degree_stats
+                    .get(label)
+                    .and_then(|m| m.get(rel_type))
+                    .map(|e| e[i].hist.clone())
             }
         }
     };

@@ -12,6 +12,7 @@ use crate::ids::{NodeId, RelId};
 use crate::op::Op;
 use crate::props::PropertyMap;
 use crate::record::{NodeRecord, RelRecord};
+use crate::stats::DegreeHistogram;
 use crate::store::Graph;
 use crate::value::{Direction, Value};
 use std::collections::HashMap;
@@ -322,6 +323,38 @@ pub trait GraphView {
 
     /// `(total, distinct)` statistics of a composite relationship index.
     fn rel_composite_stats(&self, _rel_type: &str, _columns: &[String]) -> Option<(usize, usize)> {
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Degree statistics (planner v4): join-*output* cardinality. The live
+    // graph and snapshots answer from per-(label, rel-type, direction)
+    // entries maintained through every mutation and undo path; overlay
+    // views keep the defaults (`None` = unknown, fall back to
+    // access-path-only costing).
+    // ------------------------------------------------------------------
+
+    /// **Exact** count of (node, incident relationship) pairs where the
+    /// node carries `label` and the relationship has `rel_type` leaving
+    /// (`Out`) or entering (`In`) it; `Both` sums the two (a self-loop
+    /// counts twice). Dividing by [`GraphView::label_cardinality`] gives
+    /// the average degree — the expected join fanout of expanding a
+    /// `label`-typed variable along a `rel_type` hop. `None` = this view
+    /// maintains no degree statistics.
+    fn degree_edge_count(&self, _label: &str, _rel_type: &str, _dir: Direction) -> Option<usize> {
+        None
+    }
+
+    /// Log2-bucketed distribution of per-node degrees for the
+    /// `(label, rel_type, dir)` population (see [`DegreeHistogram`] for
+    /// the drift-bounded maintenance contract). `None` for `Both` and on
+    /// views without statistics.
+    fn degree_histogram(
+        &self,
+        _label: &str,
+        _rel_type: &str,
+        _dir: Direction,
+    ) -> Option<DegreeHistogram> {
         None
     }
 }
