@@ -15,7 +15,9 @@
 //!    (`TX_BATCH` statements per commit — the degradation bar of ≤ 20%
 //!    versus exclusive mode applies here) and the single-statement
 //!    auto-commit floor, where every statement pays the full tax
-//!    (reported as `autocommit_degradation_pct`, no bar).
+//!    (`autocommit_degradation_pct`, same ≤ 20% bar — held by the
+//!    tail-buffered extent sets, which turn the per-statement label/
+//!    type-index spine copies into an `Arc<Vec>` insert).
 //! 3. **Reader scaling** — 1 reader vs 8 readers running indexed range
 //!    counts over pinned snapshots (re-pinning every query) while the
 //!    writer fires an `AFTER` trigger cascade per statement. The bar is
@@ -159,10 +161,13 @@ fn mixed_load(preload: usize, readers: usize, duration: Duration) -> (f64, f64) 
 
 fn main() {
     let quick = quick_mode();
+    // Bursts must be long enough that a ~1ms scheduler hiccup cannot
+    // move the exclusive/publishing ratio by a percentage point: 6000
+    // statements ≈ 60ms per burst at the measured rates.
     let (preload, statements, repeats, dur, readers_hi) = if quick {
         (2_000, 200, 1, Duration::from_millis(150), 4)
     } else {
-        (100_000, 2_000, 7, Duration::from_millis(1500), 8)
+        (100_000, 6_000, 7, Duration::from_millis(1500), 8)
     };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -187,6 +192,7 @@ fn main() {
         "autocommit_exclusive_stmts_per_s": ac_exclusive,
         "autocommit_publishing_stmts_per_s": ac_publishing,
         "autocommit_degradation_pct": ac_degradation_pct,
+        "bar_autocommit_degradation_pct_max": 20.0,
     });
     let reader_report = json!({
         "single_reader_qps": single_qps,
@@ -208,13 +214,24 @@ fn main() {
     });
     let rendered = serde_json::to_string_pretty(&report).unwrap();
     println!("{rendered}");
-    std::fs::write("BENCH_mt_throughput.json", rendered + "\n").unwrap();
+    // Manifest-relative so the artifact lands at the repo root (where CI
+    // archives it) regardless of the bench binary's working directory.
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_mt_throughput.json"
+    );
+    std::fs::write(out, rendered + "\n").unwrap();
 
     if !quick {
         assert!(
             degradation_pct <= 20.0,
             "publishing-mode writer degraded {degradation_pct:.1}% (> 20% bar): \
              {publishing:.0} vs {exclusive:.0} stmts/s in {TX_BATCH}-statement transactions"
+        );
+        assert!(
+            ac_degradation_pct <= 20.0,
+            "auto-commit writer degraded {ac_degradation_pct:.1}% (> 20% bar): \
+             {ac_publishing:.0} vs {ac_exclusive:.0} stmts/s single-statement"
         );
         if scaling_measurable {
             assert!(

@@ -9,3 +9,4 @@
 
 pub mod tables;
 pub mod workloads;
+pub mod zipf;

@@ -15,7 +15,8 @@ use crate::ast::Query;
 use crate::error::Result;
 use crate::expr::EvalCtx;
 use crate::parser::parse_query;
-use crate::plan::{lower_query, LogicalOp};
+use crate::physical::ParallelPlan;
+use crate::plan::{lower_query_with, LogicalOp};
 use crate::row::{Params, QueryOutput};
 use crate::unparse::unparse_expr;
 use pg_graph::GraphView;
@@ -33,12 +34,17 @@ fn fmt_est(v: f64) -> String {
 
 /// Render the physical plan of `query`. When `executed` is given, the
 /// query has been run and the report compares estimated to actual rows.
+///
+/// `threads` is the worker ceiling fed into the parallelism decision —
+/// callers that pin a plan in a golden test pass a fixed count so the
+/// report does not depend on the machine running the test.
 pub fn render_plan(
     ctx: &EvalCtx<'_>,
     query: &Query,
     executed: Option<&QueryOutput>,
+    threads: usize,
 ) -> Result<String> {
-    let (plan, phys) = lower_query(ctx, query)?;
+    let (plan, phys) = lower_query_with(ctx, query, threads)?;
     let mut out = String::new();
     out.push_str("Plan\n");
     let mut pi = 0usize;
@@ -111,6 +117,22 @@ pub fn render_plan(
             LogicalOp::Update { what } => {
                 let _ = writeln!(out, "  Update <{what}>");
             }
+            LogicalOp::Parallelism { plan } => match plan {
+                ParallelPlan::Parallel {
+                    degree,
+                    morsels,
+                    est_rows,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  Parallel degree={degree} morsels={morsels} est={} rows",
+                        fmt_est(*est_rows)
+                    );
+                }
+                ParallelPlan::Serial(decline) => {
+                    let _ = writeln!(out, "  Serial ({})", decline.rule());
+                }
+            },
         }
     }
     if !phys.is_empty() {
@@ -142,6 +164,25 @@ pub fn explain_query(
     params: &Params,
     now_ms: i64,
 ) -> Result<String> {
+    explain_query_with(
+        view,
+        src,
+        params,
+        now_ms,
+        crate::exec::default_thread_limit(),
+    )
+}
+
+/// [`explain_query`] with an explicit thread ceiling for the parallelism
+/// decision. Golden tests pass a fixed count so the rendered `Parallel`
+/// / `Serial` line is identical on every machine.
+pub fn explain_query_with(
+    view: &dyn GraphView,
+    src: &str,
+    params: &Params,
+    now_ms: i64,
+    threads: usize,
+) -> Result<String> {
     let query = parse_query(src)?;
     let executed = if query.is_updating() {
         None
@@ -155,5 +196,5 @@ pub fn explain_query(
         )?)
     };
     let ctx = EvalCtx::new(view, params, now_ms);
-    render_plan(&ctx, &query, executed.as_ref())
+    render_plan(&ctx, &query, executed.as_ref(), threads)
 }

@@ -488,6 +488,145 @@ impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for PMap<K, V> {
     }
 }
 
+/// Number of elements a [`TailSet`] buffers in its sorted tail before
+/// flushing them into the treap base. 64 ids fit in a couple of cache
+/// lines, and a flush of 64 ascending ids shares most of one spine, so
+/// the amortized publication-era path-copy cost per insert approaches
+/// `spine / TAIL_MAX` instead of a full spine per insert.
+const TAIL_MAX: usize = 64;
+
+/// A persistent ordered set with a small sorted insert buffer ("tail") in
+/// front of the treap base.
+///
+/// Under commit-epoch publication every insert into a shared [`PSet`]
+/// path-copies a root-to-leaf spine (O(log n) node allocations against
+/// cold cache lines). Label/type extents take that hit twice per created
+/// item while ids arrive in ascending order — the worst case for useful
+/// work per copy. `TailSet` batches inserts in a plain sorted `Vec`
+/// behind an `Arc` (copy-on-write is one small `memcpy`) and only pays
+/// the treap spine when the tail spills, amortizing the publication tax
+/// by ~`TAIL_MAX`.
+///
+/// Semantics are identical to [`PSet`]: it is a set, iteration is
+/// ascending over the union of base and tail, and `clone` is O(1).
+#[derive(Clone)]
+pub struct TailSet<T> {
+    base: PSet<T>,
+    /// Sorted ascending, disjoint from `base`, never longer than
+    /// [`TAIL_MAX`]. Shared clones copy-on-write the whole Vec at once.
+    tail: Arc<Vec<T>>,
+}
+
+impl<T> Default for TailSet<T> {
+    fn default() -> Self {
+        TailSet {
+            base: PSet::default(),
+            tail: Arc::new(Vec::new()),
+        }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> fmt::Debug for TailSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<T> TailSet<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.base.len() + self.tail.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.tail.is_empty()
+    }
+}
+
+impl<T: Ord + Clone> TailSet<T> {
+    pub fn contains(&self, item: &T) -> bool {
+        self.tail.binary_search(item).is_ok() || self.base.contains(item)
+    }
+
+    /// Insert; `true` when the item was new.
+    pub fn insert(&mut self, item: T) -> bool {
+        let pos = match self.tail.binary_search(&item) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        if self.base.contains(&item) {
+            return false;
+        }
+        let tail = Arc::make_mut(&mut self.tail);
+        tail.insert(pos, item);
+        if tail.len() >= TAIL_MAX {
+            for x in tail.drain(..) {
+                self.base.insert(x);
+            }
+        }
+        true
+    }
+
+    /// Remove; `true` when the item was present.
+    pub fn remove(&mut self, item: &T) -> bool {
+        // Probe the tail first without copy-on-writing it on a miss.
+        if self.tail.binary_search(item).is_ok() {
+            let tail = Arc::make_mut(&mut self.tail);
+            let pos = tail.binary_search(item).expect("present under make_mut");
+            tail.remove(pos);
+            true
+        } else {
+            self.base.remove(item)
+        }
+    }
+
+    /// Ordered (ascending) iteration over base ∪ tail.
+    pub fn iter(&self) -> TailSetIter<'_, T> {
+        TailSetIter {
+            base: self.base.map.iter().peekable(),
+            tail: self.tail.iter().peekable(),
+        }
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<T> for TailSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = TailSet::new();
+        for item in iter {
+            s.insert(item);
+        }
+        s
+    }
+}
+
+/// Ascending merge of a [`TailSet`]'s base and tail (disjoint by
+/// construction, so no equality tie-break is needed).
+pub struct TailSetIter<'a, T> {
+    base: std::iter::Peekable<Iter<'a, T, ()>>,
+    tail: std::iter::Peekable<std::slice::Iter<'a, T>>,
+}
+
+impl<'a, T: Ord> Iterator for TailSetIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        match (self.base.peek(), self.tail.peek()) {
+            (Some((b, _)), Some(t)) => {
+                if *b < *t {
+                    self.base.next().map(|(k, _)| k)
+                } else {
+                    self.tail.next()
+                }
+            }
+            (Some(_), None) => self.base.next().map(|(k, _)| k),
+            (None, _) => self.tail.next(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,5 +808,68 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PMap<u64, String>>();
         assert_send_sync::<PSet<u64>>();
+        assert_send_sync::<TailSet<u64>>();
+    }
+
+    #[test]
+    fn tailset_mirrors_btreeset() {
+        let mut seed = 0xbeef_u64;
+        let mut p: TailSet<u64> = TailSet::new();
+        let mut b: std::collections::BTreeSet<u64> = Default::default();
+        for _ in 0..4000 {
+            let k = lcg(&mut seed) % 256;
+            if !lcg(&mut seed).is_multiple_of(3) {
+                assert_eq!(p.insert(k), b.insert(k));
+            } else {
+                assert_eq!(p.remove(&k), b.remove(&k));
+            }
+            assert_eq!(p.len(), b.len());
+            assert_eq!(p.is_empty(), b.is_empty());
+        }
+        for k in 0..256u64 {
+            assert_eq!(p.contains(&k), b.contains(&k));
+        }
+        let got: Vec<u64> = p.iter().copied().collect();
+        let want: Vec<u64> = b.iter().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tailset_ascending_insert_spills_and_stays_ordered() {
+        // Ascending ids are the extent workload; cross several flushes.
+        let mut p: TailSet<u64> = TailSet::new();
+        let n = (TAIL_MAX * 3 + 17) as u64;
+        for k in 0..n {
+            assert!(p.insert(k));
+            assert!(!p.insert(k));
+        }
+        assert_eq!(p.len(), n as usize);
+        let got: Vec<u64> = p.iter().copied().collect();
+        let want: Vec<u64> = (0..n).collect();
+        assert_eq!(got, want);
+        // Remove across the base/tail boundary.
+        for k in (0..n).step_by(3) {
+            assert!(p.remove(&k));
+            assert!(!p.remove(&k));
+        }
+        let got: Vec<u64> = p.iter().copied().collect();
+        let want: Vec<u64> = (0..n).filter(|k| k % 3 != 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tailset_clone_is_independent() {
+        let mut a: TailSet<u64> = (0..100u64).collect();
+        let snap = a.clone();
+        for k in 100..150u64 {
+            a.insert(k);
+        }
+        a.remove(&7);
+        assert_eq!(snap.len(), 100);
+        assert!(snap.contains(&7));
+        assert!(!snap.contains(&120));
+        let got: Vec<u64> = snap.iter().copied().collect();
+        let want: Vec<u64> = (0..100).collect();
+        assert_eq!(got, want);
     }
 }

@@ -6,7 +6,7 @@ use crate::delta::Delta;
 use crate::error::{GraphError, Result};
 use crate::ids::{ItemRef, NodeId, RelId};
 use crate::op::Op;
-use crate::pmap::{PMap, PSet};
+use crate::pmap::{PMap, TailSet};
 use crate::prop_index::{PropIndex, RelPropIndex};
 use crate::props::PropertyMap;
 use crate::record::{NodeRecord, RelRecord};
@@ -65,6 +65,21 @@ impl ProbeCounters {
         self.ordered.store(0, AtomicOrdering::Relaxed);
         self.composite.store(0, AtomicOrdering::Relaxed);
     }
+
+    /// Fold a finished worker's probe totals into these counters. Used
+    /// when a parallel execution pins its own [`Snapshot`] (own counter
+    /// set) and merges the work back at the end, so probe accounting is
+    /// identical whether a query ran serially or morselized.
+    pub(crate) fn add(&self, probes: IndexProbes) {
+        self.materializing
+            .fetch_add(probes.materializing, AtomicOrdering::Relaxed);
+        self.counting
+            .fetch_add(probes.counting, AtomicOrdering::Relaxed);
+        self.ordered
+            .fetch_add(probes.ordered, AtomicOrdering::Relaxed);
+        self.composite
+            .fetch_add(probes.composite, AtomicOrdering::Relaxed);
+    }
 }
 
 /// Controls which mutations the store accepts. The PG-Trigger engine uses
@@ -107,8 +122,8 @@ pub(crate) struct StoreState {
     pub(crate) rels: PMap<RelId, Arc<RelRecord>>,
     out_adj: PMap<NodeId, Vec<RelId>>,
     in_adj: PMap<NodeId, Vec<RelId>>,
-    label_index: HashMap<Arc<str>, PSet<NodeId>>,
-    type_index: HashMap<Arc<str>, PSet<RelId>>,
+    label_index: HashMap<Arc<str>, TailSet<NodeId>>,
+    type_index: HashMap<Arc<str>, TailSet<RelId>>,
     /// Property indexes (`CREATE INDEX ON :Label(key)`), maintained
     /// through every mutation and undo path below.
     prop_index: PropIndex,
@@ -152,11 +167,11 @@ const DEG_IN: usize = 1;
 /// first sight of a label/type — the hot path (existing key) is a plain
 /// lookup, and cloning the whole map for publication bumps refcounts
 /// instead of copying key strings.
-fn extent_insert<Id: Ord + Copy>(map: &mut HashMap<Arc<str>, PSet<Id>>, key: &str, id: Id) {
+fn extent_insert<Id: Ord + Copy>(map: &mut HashMap<Arc<str>, TailSet<Id>>, key: &str, id: Id) {
     if let Some(ix) = map.get_mut(key) {
         ix.insert(id);
     } else {
-        let mut set = PSet::new();
+        let mut set = TailSet::new();
         set.insert(id);
         map.insert(Arc::from(key), set);
     }
@@ -648,6 +663,17 @@ impl Graph {
             return;
         }
         if let Some(p) = &self.publisher {
+            // `self.publisher` is the only strong count when no reader
+            // handle is live: skip the slot store, leaving
+            // `last_published` behind so the next boundary that *does*
+            // see a handle catches up. The saving is not the store
+            // itself but everything downstream of it — with no current
+            // roots parked in the slot the writer stays sole owner of
+            // its treap nodes, and the next transaction mutates in
+            // place instead of path-copying a spine per touched key.
+            if Arc::strong_count(p) == 1 {
+                return;
+            }
             p.publish(self.epoch, &self.state);
             self.last_published = self.epoch;
         }
@@ -663,7 +689,10 @@ impl Graph {
     /// reclamation tests. 1 means exclusive (no publisher, no snapshots of
     /// the current version); with a publisher whose slot is current the
     /// baseline is 2 (graph + slot), plus 1 per snapshot still pinning
-    /// this exact version.
+    /// this exact version. While publication has lapsed (no live reader
+    /// handles, so commit boundaries skip the slot) the count drops back
+    /// to 1: the slot keeps holding the last version it saw, not the
+    /// live root.
     pub fn state_refcount(&self) -> usize {
         Arc::strong_count(&self.state)
     }
@@ -692,9 +721,31 @@ impl Graph {
                 GraphHandle::new(p)
             }
             Some(p) => {
+                // Clone the publisher *before* publishing so the
+                // strong count reflects this handle and the lapsed-
+                // publication skip in `maybe_publish` cannot fire.
                 let handle = GraphHandle::new(Arc::clone(p));
                 if !self.in_tx() {
                     self.maybe_publish();
+                } else if self.last_published != self.epoch {
+                    // Publication lapsed (every handle was dropped, so
+                    // recent boundaries skipped the slot) and we are
+                    // mid-transaction. The boundary state is still
+                    // recoverable as long as the transaction has not
+                    // mutated anything: the writer's state *is* the
+                    // boundary state, so store it. Once the transaction
+                    // dirtied the state the boundary version has been
+                    // overwritten in place (the writer was sole owner)
+                    // and no snapshot can be served — fail loudly
+                    // rather than expose in-flight mutations.
+                    assert!(
+                        !self.dirty,
+                        "cannot mint a reader handle mid-transaction after \
+                         publication lapsed: create a handle before the \
+                         transaction mutates anything"
+                    );
+                    p.publish(self.epoch, &self.state);
+                    self.last_published = self.epoch;
                 }
                 handle
             }
@@ -1784,6 +1835,18 @@ macro_rules! impl_graph_view_via_state {
                     .get(label)
                     .and_then(|m| m.get(rel_type))
                     .map(|e| e[i].hist.clone())
+            }
+
+            fn parallel_snapshot(&self) -> Option<Snapshot> {
+                // Pin the state this view reads *right now* — on the live
+                // graph that includes in-flight transaction mutations,
+                // which is deliberate: morsel workers must see the same
+                // rows the serial executor over `self` would.
+                Some(Snapshot::pin_current(self.epoch, &self.state))
+            }
+
+            fn absorb_probes(&self, probes: IndexProbes) {
+                self.probes.add(probes);
             }
         }
     };

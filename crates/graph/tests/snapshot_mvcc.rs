@@ -241,6 +241,65 @@ fn old_versions_stay_readable_and_are_reclaimed_on_drop() {
 }
 
 #[test]
+fn lapsed_publication_skips_slot_and_catches_up() {
+    let mut g = Graph::new();
+    let handle = g.reader_handle();
+    commit_tagged_node(&mut g, 0);
+    let published_epoch = handle.snapshot().epoch();
+    drop(handle);
+
+    // With every handle dropped, commit boundaries skip the slot: the
+    // writer stays the sole owner of its state root (exclusive-mode
+    // cost), while the slot keeps pinning the last version it saw.
+    for tag in 1..=10 {
+        commit_tagged_node(&mut g, tag);
+    }
+    assert_eq!(g.state_refcount(), 1);
+
+    // A fresh handle catches the slot up to the present before serving.
+    let handle = g.reader_handle();
+    let snap = handle.snapshot();
+    assert_eq!(snap.node_count(), 11);
+    assert!(snap.epoch() > published_epoch);
+    assert_eq!(snap.epoch(), g.epoch());
+}
+
+#[test]
+fn mid_tx_handle_after_lapse_serves_boundary_state_if_clean() {
+    let mut g = Graph::new();
+    drop(g.reader_handle());
+    for tag in 0..5 {
+        commit_tagged_node(&mut g, tag);
+    }
+
+    // The transaction has not mutated anything yet, so the writer's
+    // state is still exactly the last commit boundary: minting a handle
+    // here publishes it and serves it.
+    g.begin().unwrap();
+    let snap = g.snapshot();
+    assert_eq!(snap.node_count(), 5);
+    g.create_node(["A"], props(&[("v", Value::Int(99))]))
+        .unwrap();
+    assert_eq!(snap.node_count(), 5);
+    g.commit().unwrap();
+}
+
+#[test]
+#[should_panic(expected = "publication lapsed")]
+fn mid_tx_handle_after_lapse_panics_once_dirty() {
+    let mut g = Graph::new();
+    drop(g.reader_handle());
+    commit_tagged_node(&mut g, 0);
+
+    g.begin().unwrap();
+    g.create_node(["A"], props(&[("v", Value::Int(1))]))
+        .unwrap();
+    // The skipped boundary's version has been overwritten in place; no
+    // snapshot can be served any more.
+    let _ = g.reader_handle();
+}
+
+#[test]
 #[should_panic(expected = "outside a transaction")]
 fn first_reader_handle_inside_a_transaction_panics() {
     let mut g = Graph::new();
