@@ -51,10 +51,14 @@ pub mod spec;
 pub mod termination;
 
 pub use catalog::{DeltaSignature, InstalledTrigger, OrderPolicy, TriggerCatalog};
+// The durability layer, re-exported so downstream crates can open durable
+// sessions without a direct `pg-wal` dependency.
 pub use ddl::{
     is_index_ddl, is_trigger_ddl, parse_index_ddl, parse_trigger_ddl, DdlStatement, IndexDdl,
 };
 pub use error::{InstallError, TriggerError};
+pub use pg_wal as wal;
+pub use pg_wal::{RecoveryError, RecoveryOptions, RecoveryReport, SyncPolicy, WalOptions};
 pub use read_session::ReadSession;
 pub use schema_guard::{EnforcementMode, SchemaGuard, SchemaViolation};
 pub use session::{EngineConfig, EngineStats, ExecResult, Session};

@@ -138,6 +138,9 @@ pub struct Session {
     /// Optional PG-Schema guard validated at every commit (an implicit
     /// highest-priority ONCOMMIT integrity check).
     schema: Option<SchemaGuard>,
+    /// Attached durability layer (WAL + snapshots) when opened through
+    /// [`Session::open_durable`]; `None` for in-memory sessions.
+    durable: Option<pg_wal::Durable>,
 }
 
 impl Default for Session {
@@ -163,7 +166,94 @@ impl Session {
             detached_errors: Vec::new(),
             stats: EngineStats::default(),
             schema: None,
+            durable: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability (see `pg-wal`)
+    // ------------------------------------------------------------------
+
+    /// Open a durable session over `dir`: recover whatever the directory
+    /// holds (an empty directory starts an empty store) and attach the
+    /// WAL to the commit path, so every subsequent committed transaction
+    /// — including its full trigger-cascade effects — is logged before it
+    /// publishes.
+    ///
+    /// Recovery replays *effects*: WAL frames carry the post-cascade
+    /// committed op stream, so triggers that fired before a crash are
+    /// never re-fired here (the recovered session's `stats().fired` stays
+    /// 0). Trigger definitions themselves are code, not data — reinstall
+    /// them after opening, as on any fresh session.
+    pub fn open_durable(
+        dir: &std::path::Path,
+        config: EngineConfig,
+        wal_opts: pg_wal::WalOptions,
+    ) -> Result<(Session, pg_wal::RecoveryReport), pg_wal::RecoveryError> {
+        let (durable, graph, report) =
+            pg_wal::Durable::open(dir, wal_opts, pg_wal::RecoveryOptions::default())?;
+        let mut session = Session::with_config(config);
+        session.graph = graph;
+        session.durable = Some(durable);
+        Ok((session, report))
+    }
+
+    /// Whether this session persists commits through a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The attached durability layer, if any.
+    pub fn durable(&self) -> Option<&pg_wal::Durable> {
+        self.durable.as_ref()
+    }
+
+    /// Sequence number of the last durable commit frame (0 when not
+    /// durable or nothing committed yet).
+    pub fn wal_seq(&self) -> u64 {
+        self.durable.as_ref().map(|d| d.seq()).unwrap_or(0)
+    }
+
+    /// Force buffered group-commit frames to disk. No-op when not durable.
+    pub fn wal_flush(&self) -> std::io::Result<()> {
+        match &self.durable {
+            Some(d) => d.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Cut a compacted snapshot and truncate the WAL it supersedes.
+    /// Also the way *unlogged* work (bulk loads via [`Session::graph_mut`]
+    /// outside a transaction) becomes durable. Returns the snapshot's
+    /// commit sequence.
+    pub fn checkpoint(&mut self) -> std::io::Result<u64> {
+        if self.tx_mark.is_some() {
+            return Err(std::io::Error::other(
+                "cannot checkpoint inside an explicit transaction",
+            ));
+        }
+        match &self.durable {
+            Some(d) => d.checkpoint(&self.graph),
+            None => Err(std::io::Error::other("session is not durable")),
+        }
+    }
+
+    /// Cleanly shut down durability: flush, checkpoint, and detach the
+    /// WAL. The session keeps working in-memory afterwards; the directory
+    /// holds a snapshot equal to the final state (recovery replays zero
+    /// frames).
+    pub fn close_durable(&mut self) -> std::io::Result<()> {
+        if self.tx_mark.is_some() {
+            return Err(std::io::Error::other(
+                "cannot close durability inside an explicit transaction",
+            ));
+        }
+        if let Some(d) = self.durable.take() {
+            d.flush()?;
+            d.checkpoint(&self.graph)?;
+            self.graph.set_commit_sink(None);
+        }
+        Ok(())
     }
 
     /// Attach a PG-Schema graph type; every subsequent commit validates the

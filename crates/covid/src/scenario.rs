@@ -86,6 +86,37 @@ impl Scenario {
         }
     }
 
+    /// Build the scenario on a **durable** session rooted at `dir`.
+    ///
+    /// The baseline dataset is bulk-loaded outside any transaction, so the
+    /// generator's writes bypass the WAL entirely; the checkpoint taken
+    /// right after (and after the paper indexes, when enabled, so their
+    /// definitions land in the snapshot) is what makes the baseline
+    /// durable. Every subsequent scenario event commits through the WAL
+    /// and survives a crash.
+    pub fn new_durable(
+        cfg: ScenarioConfig,
+        dir: &std::path::Path,
+        wal: pg_triggers::WalOptions,
+    ) -> Result<Scenario, pg_triggers::RecoveryError> {
+        let (mut session, _) =
+            Session::open_durable(dir, pg_triggers::EngineConfig::default(), wal)?;
+        let dataset = generate(session.graph_mut(), &cfg.generator);
+        if cfg.indexed {
+            crate::triggers::install_paper_indexes(&mut session);
+        }
+        session
+            .checkpoint()
+            .map_err(pg_triggers::RecoveryError::from)?;
+        install_paper_triggers(&mut session).expect("paper triggers install");
+        Ok(Scenario {
+            session,
+            dataset,
+            cfg,
+            admission_counter: 0,
+        })
+    }
+
     /// Discover a new mutation; when `critical`, it is linked to a critical
     /// effect in the same statement (fires `NewCriticalMutation`).
     pub fn discover_mutation(&mut self, idx: usize, critical: bool) -> Result<(), TriggerError> {

@@ -29,6 +29,10 @@ pub enum GraphError {
         key: String,
         type_name: &'static str,
     },
+    /// The attached [`crate::store::CommitSink`] refused the commit (e.g.
+    /// a WAL append or fsync failed). The transaction has been undone: the
+    /// in-memory state never diverges from the durable log.
+    Durability(String),
 }
 
 impl fmt::Display for GraphError {
@@ -50,6 +54,9 @@ impl fmt::Display for GraphError {
                     f,
                     "value of type {type_name} cannot be stored as property '{key}'"
                 )
+            }
+            GraphError::Durability(reason) => {
+                write!(f, "commit rejected by durability layer: {reason}")
             }
         }
     }

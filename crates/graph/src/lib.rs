@@ -33,6 +33,7 @@
 //! layers a Cypher subset on top of the [`GraphView`] trait and the mutation
 //! API of [`Graph`].
 
+pub mod codec;
 pub mod composite;
 pub mod delta;
 pub mod error;
@@ -48,6 +49,7 @@ pub mod store;
 pub mod value;
 pub mod view;
 
+pub use codec::CodecError;
 pub use composite::{CompositeIndex, CompositeTrailing, NodeCompositeIndex, RelCompositeIndex};
 pub use delta::{Delta, LabelEvent, PropAssign, PropRemove};
 pub use error::{GraphError, Result};
@@ -58,6 +60,6 @@ pub use props::PropertyMap;
 pub use record::{NodeRecord, RelRecord};
 pub use snapshot::{GraphHandle, Snapshot};
 pub use stats::{degree_bucket, DegreeHistogram, Histogram, DEGREE_BUCKETS};
-pub use store::{Graph, IndexProbes, StatementMark, WritePolicy};
+pub use store::{CommitSink, Graph, IndexProbes, StatementMark, WritePolicy};
 pub use value::{Direction, Value};
 pub use view::{GraphView, PreStateView};

@@ -80,6 +80,81 @@ impl Op {
         }
     }
 
+    /// The inverse operation: applying `op` then `op.invert()` restores
+    /// the starting state, and `op.invert().invert() == op`.
+    ///
+    /// This is the algebra behind every undo path (rollback,
+    /// `rollback_to`, aborted cascades) and behind WAL replay: the store
+    /// applies an op *forward* by undoing its inverse, so recovery and
+    /// rollback exercise exactly the same index-maintenance code.
+    pub fn invert(&self) -> Op {
+        match self {
+            Op::CreateNode { record } => Op::DeleteNode {
+                record: record.clone(),
+            },
+            Op::DeleteNode { record } => Op::CreateNode {
+                record: record.clone(),
+            },
+            Op::CreateRel { record } => Op::DeleteRel {
+                record: record.clone(),
+            },
+            Op::DeleteRel { record } => Op::CreateRel {
+                record: record.clone(),
+            },
+            Op::SetLabel { node, label } => Op::RemoveLabel {
+                node: *node,
+                label: label.clone(),
+            },
+            Op::RemoveLabel { node, label } => Op::SetLabel {
+                node: *node,
+                label: label.clone(),
+            },
+            Op::SetNodeProp {
+                node,
+                key,
+                old,
+                new,
+            } => match old {
+                Some(old_v) => Op::SetNodeProp {
+                    node: *node,
+                    key: key.clone(),
+                    old: Some(new.clone()),
+                    new: old_v.clone(),
+                },
+                None => Op::RemoveNodeProp {
+                    node: *node,
+                    key: key.clone(),
+                    old: new.clone(),
+                },
+            },
+            Op::RemoveNodeProp { node, key, old } => Op::SetNodeProp {
+                node: *node,
+                key: key.clone(),
+                old: None,
+                new: old.clone(),
+            },
+            Op::SetRelProp { rel, key, old, new } => match old {
+                Some(old_v) => Op::SetRelProp {
+                    rel: *rel,
+                    key: key.clone(),
+                    old: Some(new.clone()),
+                    new: old_v.clone(),
+                },
+                None => Op::RemoveRelProp {
+                    rel: *rel,
+                    key: key.clone(),
+                    old: new.clone(),
+                },
+            },
+            Op::RemoveRelProp { rel, key, old } => Op::SetRelProp {
+                rel: *rel,
+                key: key.clone(),
+                old: None,
+                new: old.clone(),
+            },
+        }
+    }
+
     /// Short human-readable tag, used in traces and error messages.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -118,5 +193,53 @@ mod tests {
         assert_eq!(op.rel_id(), Some(RelId(4)));
         assert_eq!(op.node_id(), None);
         assert_eq!(op.kind(), "SetRelProp");
+    }
+
+    #[test]
+    fn invert_is_an_involution() {
+        let mut rec = NodeRecord::new(NodeId(7));
+        rec.labels.insert("L".to_string());
+        rec.props.set("k", Value::Int(3));
+        let ops = [
+            Op::CreateNode {
+                record: rec.clone(),
+            },
+            Op::DeleteNode { record: rec },
+            Op::SetLabel {
+                node: NodeId(7),
+                label: "X".into(),
+            },
+            Op::SetNodeProp {
+                node: NodeId(7),
+                key: "k".into(),
+                old: Some(Value::Int(3)),
+                new: Value::Int(4),
+            },
+            Op::SetNodeProp {
+                node: NodeId(7),
+                key: "k".into(),
+                old: None,
+                new: Value::Int(4),
+            },
+            Op::RemoveNodeProp {
+                node: NodeId(7),
+                key: "k".into(),
+                old: Value::Int(3),
+            },
+            Op::SetRelProp {
+                rel: RelId(4),
+                key: "w".into(),
+                old: None,
+                new: Value::Int(1),
+            },
+            Op::RemoveRelProp {
+                rel: RelId(4),
+                key: "w".into(),
+                old: Value::Int(1),
+            },
+        ];
+        for op in &ops {
+            assert_eq!(&op.invert().invert(), op, "double inversion of {op:?}");
+        }
     }
 }

@@ -504,6 +504,31 @@ impl StoreState {
     }
 }
 
+/// A durability hook invoked at every non-empty commit, *before* the new
+/// state is published to snapshot readers.
+///
+/// The WAL layer (`pg-wal`) implements this to append the committed op
+/// stream to disk; the graph itself stays storage-agnostic. The contract:
+///
+/// * `ops` is the **post-cascade** committed op log — trigger effects are
+///   already materialized as plain ops, so replaying them verbatim at
+///   recovery reconstructs cascade effects without re-entering trigger
+///   dispatch;
+/// * `next_node` / `next_rel` are the id-allocator watermarks *after* the
+///   transaction (rolled-back work advances them too, so recovery must
+///   restore the watermarks from the log, not from surviving records);
+/// * returning `Err` vetoes the commit: the graph undoes the
+///   transaction's ops and surfaces [`GraphError::Durability`], so a
+///   commit either becomes durable or never happened.
+pub trait CommitSink: std::fmt::Debug + Send {
+    fn on_commit(
+        &mut self,
+        ops: &[Op],
+        next_node: u64,
+        next_rel: u64,
+    ) -> std::result::Result<(), String>;
+}
+
 /// The in-memory property graph.
 ///
 /// Mutations performed while a transaction is active are recorded in an
@@ -539,6 +564,8 @@ pub struct Graph {
     policy: WritePolicy,
     /// Debug counters over index probes (see [`IndexProbes`]).
     probes: ProbeCounters,
+    /// Durability hook called at every non-empty commit (see [`CommitSink`]).
+    sink: Option<Box<dyn CommitSink>>,
 }
 
 impl Graph {
@@ -572,14 +599,46 @@ impl Graph {
     /// Commit the active transaction, returning its full operation log.
     /// Advances the commit epoch and publishes the new state to snapshot
     /// readers.
+    ///
+    /// When a [`CommitSink`] is attached, a non-empty commit is offered to
+    /// it **before** publication; a sink failure undoes the transaction
+    /// (as if rolled back) and surfaces [`GraphError::Durability`], so no
+    /// state a reader can observe ever lacks its durable record.
     pub fn commit(&mut self) -> Result<Vec<Op>> {
         match self.tx.take() {
             Some(tx) => {
+                if !tx.ops.is_empty() {
+                    if let Some(mut sink) = self.sink.take() {
+                        let res = sink.on_commit(&tx.ops, self.next_node, self.next_rel);
+                        self.sink = Some(sink);
+                        if let Err(reason) = res {
+                            self.state_mut().undo_ops(&tx.ops);
+                            self.maybe_publish();
+                            return Err(GraphError::Durability(reason));
+                        }
+                    }
+                }
                 self.maybe_publish();
                 Ok(tx.ops)
             }
             None => Err(GraphError::NoActiveTransaction),
         }
+    }
+
+    /// Attach (or with `None`, detach) the durability hook, returning the
+    /// previous one. The sink only observes transactional commits: bulk
+    /// loads outside a transaction bypass the op log entirely and must be
+    /// made durable by a snapshot/checkpoint instead.
+    pub fn set_commit_sink(
+        &mut self,
+        sink: Option<Box<dyn CommitSink>>,
+    ) -> Option<Box<dyn CommitSink>> {
+        std::mem::replace(&mut self.sink, sink)
+    }
+
+    /// Whether a durability hook is attached.
+    pub fn has_commit_sink(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// Roll back the active transaction, restoring the pre-transaction state.
@@ -1372,6 +1431,95 @@ impl Graph {
             st.rebuild_degree_hist(&label, &rel_type, DEG_OUT);
             st.rebuild_degree_hist(&label, &rel_type, DEG_IN);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery and bulk load (the WAL layer's write-side surface)
+    // ------------------------------------------------------------------
+
+    /// Re-apply a committed op sequence verbatim (WAL replay).
+    ///
+    /// Forward application reuses the undo machinery: applying `op` is
+    /// undoing `op.invert()`, so replay exercises exactly the same
+    /// index-maintenance code as rollback — there is no second,
+    /// subtly-different apply path to keep consistent. Ops are applied
+    /// unlogged and outside any transaction (replay is not undoable), and
+    /// the id-allocator watermarks advance past every id seen so
+    /// post-recovery allocations never collide with replayed records.
+    ///
+    /// Callers replay *effects*: the ops were recorded post-cascade, so
+    /// trigger dispatch must not be re-entered around this call.
+    pub fn apply_committed_ops(&mut self, ops: &[Op]) -> Result<()> {
+        if self.in_tx() {
+            return Err(GraphError::TransactionActive);
+        }
+        let mut next_node = self.next_node;
+        let mut next_rel = self.next_rel;
+        for op in ops {
+            if let Some(n) = op.node_id() {
+                next_node = next_node.max(n.0 + 1);
+            }
+            if let Some(r) = op.rel_id() {
+                next_rel = next_rel.max(r.0 + 1);
+            }
+        }
+        let st = self.state_mut();
+        for op in ops {
+            st.undo_ops(std::slice::from_ref(&op.invert()));
+        }
+        self.next_node = next_node;
+        self.next_rel = next_rel;
+        Ok(())
+    }
+
+    /// Insert a node record verbatim (snapshot load). Indexes and degree
+    /// statistics are maintained; the node-id watermark advances past the
+    /// record's id. Unlogged, so only valid outside a transaction.
+    pub fn load_node(&mut self, record: NodeRecord) -> Result<()> {
+        if self.in_tx() {
+            return Err(GraphError::TransactionActive);
+        }
+        self.next_node = self.next_node.max(record.id.0 + 1);
+        self.state_mut().raw_insert_node(record);
+        Ok(())
+    }
+
+    /// Insert a relationship record verbatim (snapshot load). Load nodes
+    /// first: degree statistics attribute the edge to the endpoint labels
+    /// visible at insert time.
+    pub fn load_rel(&mut self, record: RelRecord) -> Result<()> {
+        if self.in_tx() {
+            return Err(GraphError::TransactionActive);
+        }
+        self.next_rel = self.next_rel.max(record.id.0 + 1);
+        self.state_mut().raw_insert_rel(record);
+        Ok(())
+    }
+
+    /// The id-allocator watermarks `(next_node, next_rel)`. Persisted in
+    /// every WAL frame and snapshot: surviving records alone under-count
+    /// (rolled-back and deleted work advances the allocators too), and
+    /// recovering a lower watermark would re-issue ids.
+    pub fn id_watermarks(&self) -> (u64, u64) {
+        (self.next_node, self.next_rel)
+    }
+
+    /// Raise the id-allocator watermarks to at least `(next_node,
+    /// next_rel)`. Lowering is impossible by design — max semantics — so
+    /// replaying frames in any order converges on the highest watermark.
+    pub fn set_id_floor(&mut self, next_node: u64, next_rel: u64) {
+        self.next_node = self.next_node.max(next_node);
+        self.next_rel = self.next_rel.max(next_rel);
+    }
+
+    /// All node records in id order (snapshot writing, state comparison).
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeRecord> {
+        self.state.nodes.values().map(|rec| rec.as_ref())
+    }
+
+    /// All relationship records in id order.
+    pub fn rels(&self) -> impl Iterator<Item = &RelRecord> {
+        self.state.rels.values().map(|rec| rec.as_ref())
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,82 @@
+//! Typed recovery failures.
+//!
+//! Recovery reads arbitrary bytes off disk — a crashed process leaves
+//! torn tails, an operator leaves mismatched file sets — so every failure
+//! mode is a variant, never a panic. The torn-tail variants
+//! ([`RecoveryError::TruncatedFrame`], [`RecoveryError::ChecksumMismatch`]
+//! *at end of file*) are only raised in strict mode; default recovery
+//! treats them as the expected signature of a crash mid-append and stops
+//! at the last fully-committed frame.
+
+use pg_graph::codec::CodecError;
+use std::fmt;
+use std::io;
+
+/// Why recovery (or snapshot loading) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Filesystem error (open/read/metadata) outside the format itself.
+    Io(String),
+    /// The WAL file exists but does not start with the WAL magic — wrong
+    /// file, wrong version, or header-level corruption.
+    BadWalHeader,
+    /// A frame's length prefix promises more bytes than the file holds.
+    /// Tolerated at end-of-file unless strict (a crash mid-append).
+    TruncatedFrame { offset: u64 },
+    /// A frame's payload does not match its checksum. Tolerated when the
+    /// frame is the file's final one (torn tail) unless strict; an
+    /// interior mismatch is always corruption (appends never rewrite
+    /// interior bytes).
+    ChecksumMismatch { offset: u64 },
+    /// The snapshot file is unreadable as a snapshot: bad magic, short
+    /// payload, or checksum failure. Never tolerated — a snapshot is
+    /// written atomically (tmp + rename), so a torn snapshot cannot occur
+    /// under the protocol and means the file set was tampered with.
+    SnapshotCorrupt { reason: String },
+    /// The WAL does not connect to the snapshot: the first frame past the
+    /// snapshot has sequence `have` where `need` was required (a missing
+    /// snapshot, a deleted WAL segment, or files from different stores).
+    EpochGap { have: u64, need: u64 },
+    /// A frame passed its checksum but its payload failed to decode —
+    /// a format bug or a hand-edited file.
+    Codec(CodecError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "recovery I/O error: {e}"),
+            RecoveryError::BadWalHeader => write!(f, "WAL file has a bad header"),
+            RecoveryError::TruncatedFrame { offset } => {
+                write!(f, "truncated WAL frame at byte {offset}")
+            }
+            RecoveryError::ChecksumMismatch { offset } => {
+                write!(f, "WAL frame checksum mismatch at byte {offset}")
+            }
+            RecoveryError::SnapshotCorrupt { reason } => {
+                write!(f, "snapshot corrupt: {reason}")
+            }
+            RecoveryError::EpochGap { have, need } => {
+                write!(
+                    f,
+                    "epoch gap between snapshot and WAL: first frame is seq {have}, need {need}"
+                )
+            }
+            RecoveryError::Codec(e) => write!(f, "WAL frame payload undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> Self {
+        RecoveryError::Io(e.to_string())
+    }
+}
+
+impl From<CodecError> for RecoveryError {
+    fn from(e: CodecError) -> Self {
+        RecoveryError::Codec(e)
+    }
+}

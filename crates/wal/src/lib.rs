@@ -1,0 +1,173 @@
+//! # pg-wal — durability for the PG-Triggers store
+//!
+//! An append-only binary write-ahead log plus compacted snapshots and
+//! crash recovery for [`pg_graph::Graph`]. The design leans on two facts
+//! about the engine above it:
+//!
+//! * **The op log is the WAL.** Every committed transaction already
+//!   linearizes its mutations as an undo-capable [`pg_graph::Op`] stream;
+//!   the WAL persists exactly that stream (via the [`pg_graph::codec`]
+//!   byte format), and replay re-applies it through the same
+//!   index-maintenance code rollback uses.
+//! * **Triggers are recovered by effect, not by cause.** Frames are cut
+//!   at commit boundaries, *after* trigger cascades ran, so the log
+//!   contains cascade effects as plain ops. Recovery replays them
+//!   verbatim and never re-enters trigger dispatch — a trigger that fired
+//!   before the crash fires zero additional times during recovery (the
+//!   paper's reactive semantics made durable without re-execution
+//!   hazards).
+//!
+//! The moving parts:
+//!
+//! * [`log`] — frame format, the group-commit append side
+//!   ([`SyncPolicy`]: `PG_WAL_SYNC=always|group|never`), and the
+//!   torn-tail-classifying scanner;
+//! * [`snapshot`] — crash-atomic compacted snapshots (tmp + fsync +
+//!   rename) that truncate the log;
+//! * [`mod@recover`] — snapshot-then-replay recovery with typed
+//!   [`RecoveryError`]s and a [`RecoveryReport`] of what survived;
+//! * [`Durable`] — the front door: open-or-recover a directory, attach
+//!   the WAL as the graph's [`pg_graph::CommitSink`], checkpoint, flush.
+//!
+//! ```no_run
+//! use pg_wal::{Durable, RecoveryOptions, WalOptions};
+//!
+//! let (durable, mut graph, report) = Durable::open(
+//!     std::path::Path::new("/var/lib/pg-triggers"),
+//!     WalOptions::default(),
+//!     RecoveryOptions::default(),
+//! ).unwrap();
+//! assert_eq!(report.last_seq, durable.seq());
+//! // graph commits now append WAL frames; periodically:
+//! durable.checkpoint(&graph).unwrap();
+//! ```
+
+pub mod crc;
+pub mod errors;
+pub mod log;
+pub mod recover;
+pub mod snapshot;
+
+pub use errors::RecoveryError;
+pub use log::{scan_wal, Frame, SyncPolicy, TailState, Wal, WalOptions, WAL_FILE, WAL_MAGIC};
+pub use recover::{recover, RecoveryOptions, RecoveryReport};
+pub use snapshot::{
+    encode_snapshot, load_snapshot, write_snapshot, LoadedSnapshot, SNAPSHOT_FILE, SNAPSHOT_MAGIC,
+    SNAPSHOT_TMP,
+};
+
+use pg_graph::{CommitSink, Graph, Op};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The graph's durability hook: appends each committed op stream as one
+/// WAL frame, applying the configured sync policy.
+#[derive(Debug)]
+struct WalSink {
+    wal: Arc<Mutex<Wal>>,
+}
+
+impl CommitSink for WalSink {
+    fn on_commit(
+        &mut self,
+        ops: &[Op],
+        next_node: u64,
+        next_rel: u64,
+    ) -> std::result::Result<(), String> {
+        let mut wal = self
+            .wal
+            .lock()
+            .map_err(|_| "WAL lock poisoned".to_string())?;
+        wal.append(ops, next_node, next_rel)
+            .map(|_| ())
+            .map_err(|e| format!("WAL append failed: {e}"))
+    }
+}
+
+/// A durable store directory: `wal.log` + `snapshot.pgs`.
+///
+/// [`Durable::open`] recovers whatever the directory holds (empty is
+/// fine), hands back the rebuilt graph with the WAL attached as its
+/// commit sink, and keeps shared ownership of the log for flushes and
+/// checkpoints. Bulk loads performed *outside* a transaction bypass the
+/// op log (and therefore the WAL) — call [`Durable::checkpoint`] after
+/// them, or they die with the process.
+pub struct Durable {
+    dir: PathBuf,
+    wal: Arc<Mutex<Wal>>,
+}
+
+impl Durable {
+    /// Open (creating if needed) the durable directory, recover its
+    /// state, and attach the WAL to the recovered graph's commit path.
+    pub fn open(
+        dir: &Path,
+        wal_opts: WalOptions,
+        recovery_opts: RecoveryOptions,
+    ) -> Result<(Durable, Graph, RecoveryReport), RecoveryError> {
+        fs::create_dir_all(dir)?;
+        // A stale in-progress snapshot is crash debris: the rename never
+        // landed, so the previous snapshot (or none) is authoritative.
+        let _ = fs::remove_file(dir.join(SNAPSHOT_TMP));
+
+        let (mut graph, report) = recover(dir, &recovery_opts)?;
+
+        let wal_path = dir.join(WAL_FILE);
+        let wal = if report.wal_valid_len >= WAL_MAGIC.len() as u64 {
+            Wal::reopen(&wal_path, report.last_seq, report.wal_valid_len, wal_opts)?
+        } else {
+            Wal::create(&wal_path, report.last_seq, wal_opts)?
+        };
+        let wal = Arc::new(Mutex::new(wal));
+        graph.set_commit_sink(Some(Box::new(WalSink {
+            wal: Arc::clone(&wal),
+        })));
+        Ok((
+            Durable {
+                dir: dir.to_path_buf(),
+                wal,
+            },
+            graph,
+            report,
+        ))
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence of the last appended commit frame.
+    pub fn seq(&self) -> u64 {
+        self.wal.lock().expect("WAL lock").seq()
+    }
+
+    /// Byte length of the current WAL file (observability/benches).
+    pub fn wal_len(&self) -> std::io::Result<u64> {
+        let wal = self.wal.lock().expect("WAL lock");
+        fs::metadata(wal.path()).map(|m| m.len())
+    }
+
+    /// Force buffered group-commit frames to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.wal.lock().expect("WAL lock").sync()
+    }
+
+    /// Cut a compacted snapshot of `graph` and truncate the log it
+    /// supersedes. Returns the snapshot's commit sequence.
+    ///
+    /// Call outside a transaction, with the same graph this `Durable` is
+    /// attached to. Every crash window is safe: before the rename the old
+    /// snapshot + full log recover; after the rename but before the
+    /// truncation the new snapshot recovers and the (now superseded)
+    /// frames are skipped by their sequence numbers.
+    pub fn checkpoint(&self, graph: &Graph) -> std::io::Result<u64> {
+        let mut wal = self.wal.lock().expect("WAL lock");
+        wal.sync()?;
+        let seq = wal.seq();
+        write_snapshot(&self.dir, graph, seq)?;
+        wal.truncate_frames()?;
+        Ok(seq)
+    }
+}

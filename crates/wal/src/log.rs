@@ -1,0 +1,328 @@
+//! The append-only write-ahead log: frame format, writer, and scanner.
+//!
+//! File layout:
+//!
+//! ```text
+//! wal.log := MAGIC frame*
+//! MAGIC   := "PGWAL\0v1"                      (8 bytes)
+//! frame   := len:u32 crc:u32 payload          (len = payload byte count,
+//!                                              crc = crc32(payload))
+//! payload := kind:u8(=1) seq:u64 next_node:u64 next_rel:u64 ops
+//! ops     := count:u32 op*                    (pg_graph::codec encoding)
+//! ```
+//!
+//! One frame per non-empty commit, carrying the **post-cascade** committed
+//! op stream plus the id-allocator watermarks (rolled-back work advances
+//! the allocators, so surviving records alone under-count). `seq` is a
+//! dense commit sequence number: frame N+1 always has `seq = N.seq + 1`,
+//! which is what lets recovery prove the log connects to the snapshot.
+//!
+//! Writes are append-only — interior bytes are never rewritten — so the
+//! only damage a crash can inflict is a *torn tail*: a final frame whose
+//! bytes are short or whose checksum fails. The scanner classifies tails
+//! (see [`TailState`]) instead of erroring so default recovery can land on
+//! the last fully-committed frame.
+
+use crate::crc::crc32;
+use crate::errors::RecoveryError;
+use pg_graph::codec::{self, CodecError, Reader};
+use pg_graph::Op;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// WAL file name inside a durable directory.
+pub const WAL_FILE: &str = "wal.log";
+/// 8-byte file magic; doubles as the format version.
+pub const WAL_MAGIC: &[u8; 8] = b"PGWAL\0v1";
+/// Frame kind byte for a commit frame (the only kind, room for more).
+const FRAME_COMMIT: u8 = 1;
+
+/// When appended frames reach the disk platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every commit: no committed transaction is ever lost,
+    /// at one disk round-trip per commit.
+    Always,
+    /// Group commit: frames are written to the OS immediately but fsynced
+    /// once per [`WalOptions::group_bytes`] of log (and at checkpoints/
+    /// explicit flushes). A crash can lose the unsynced suffix of
+    /// *acknowledged* commits — never a prefix, never consistency.
+    Group,
+    /// Never fsync; the OS decides. For bulk loads and benchmarks.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Read `PG_WAL_SYNC` (`always` / `group` / `never`, default `group`).
+    pub fn from_env() -> SyncPolicy {
+        match std::env::var("PG_WAL_SYNC").as_deref() {
+            Ok("always") => SyncPolicy::Always,
+            Ok("never") => SyncPolicy::Never,
+            _ => SyncPolicy::Group,
+        }
+    }
+}
+
+/// Tuning for the WAL writer.
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    pub sync: SyncPolicy,
+    /// Under [`SyncPolicy::Group`], fsync once this many unsynced bytes
+    /// accumulate.
+    pub group_bytes: usize,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            sync: SyncPolicy::from_env(),
+            group_bytes: 32 * 1024,
+        }
+    }
+}
+
+/// The append-side of the log. Single writer, mirroring the store.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Sequence of the last appended frame (0 = none yet).
+    seq: u64,
+    /// Bytes appended since the last fsync (group-commit accounting).
+    unsynced: usize,
+    opts: WalOptions,
+}
+
+impl Wal {
+    /// Create a fresh WAL at `path` (truncating any existing file) with
+    /// the given starting sequence — `0` for an empty store, the
+    /// checkpoint sequence after compaction.
+    pub fn create(path: &Path, start_seq: u64, opts: WalOptions) -> std::io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            seq: start_seq,
+            unsynced: 0,
+            opts,
+        })
+    }
+
+    /// Reopen an existing WAL for appending after recovery. `valid_len`
+    /// is the byte length of the last fully-valid frame's end (the scan's
+    /// [`WalScan::valid_len`]); any torn tail beyond it is cut off so the
+    /// next append starts on a frame boundary.
+    pub fn reopen(path: &Path, seq: u64, valid_len: u64, opts: WalOptions) -> std::io::Result<Wal> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            seq,
+            unsynced: 0,
+            opts,
+        })
+    }
+
+    /// Sequence of the last appended frame.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one commit frame and apply the sync policy. Returns the
+    /// frame's sequence number.
+    pub fn append(&mut self, ops: &[Op], next_node: u64, next_rel: u64) -> std::io::Result<u64> {
+        let seq = self.seq + 1;
+        let mut payload = Vec::with_capacity(64 + ops.len() * 32);
+        codec::put_u8(&mut payload, FRAME_COMMIT);
+        codec::put_u64(&mut payload, seq);
+        codec::put_u64(&mut payload, next_node);
+        codec::put_u64(&mut payload, next_rel);
+        codec::encode_ops(ops, &mut payload);
+
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        codec::put_u32(&mut frame, payload.len() as u32);
+        codec::put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.seq = seq;
+        self.unsynced += frame.len();
+        match self.opts.sync {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::Group => {
+                if self.unsynced >= self.opts.group_bytes {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Force everything appended so far to disk (group-commit flush).
+    /// A no-op when nothing is pending.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_all()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Drop every frame (after a durable checkpoint has superseded them):
+    /// truncate back to the magic header. The sequence counter keeps
+    /// running — the next frame continues the dense numbering, which is
+    /// how recovery ties the post-checkpoint log to the snapshot.
+    pub fn truncate_frames(&mut self) -> std::io::Result<()> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// One decoded commit frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub seq: u64,
+    pub next_node: u64,
+    pub next_rel: u64,
+    pub ops: Vec<Op>,
+    /// Byte offset of the frame's length prefix in the file.
+    pub offset: u64,
+}
+
+/// What the scanner found at the end of the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailState {
+    /// The file ends exactly on a frame boundary.
+    Clean,
+    /// The final frame's bytes are short of its length prefix (crash
+    /// mid-append). `offset` is the frame's start.
+    Truncated { offset: u64 },
+    /// The final frame is complete but fails its checksum (crash between
+    /// the tail of one write and the head of the next, or a torn sector).
+    Corrupt { offset: u64 },
+}
+
+/// Result of scanning a WAL file: every fully-valid frame, the byte
+/// length they span (magic included), and the tail classification.
+#[derive(Debug)]
+pub struct WalScan {
+    pub frames: Vec<Frame>,
+    pub valid_len: u64,
+    pub tail: TailState,
+}
+
+/// Scan `path`, stopping at the first torn tail. Interior damage —
+/// a checksum mismatch or short frame *with more log after it* — is an
+/// error regardless of mode: appends never rewrite interior bytes, so
+/// that is corruption, not a crash signature. A missing file scans as
+/// empty (a store that never committed).
+pub fn scan_wal(path: &Path) -> Result<WalScan, RecoveryError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                frames: Vec::new(),
+                valid_len: 0,
+                tail: TailState::Clean,
+            });
+        }
+        Err(e) => return Err(e.into()),
+    }
+    if bytes.len() < WAL_MAGIC.len() {
+        // A crash during file creation can leave a short magic; anything
+        // that is not a prefix of the magic is the wrong file.
+        if WAL_MAGIC.starts_with(&bytes[..]) {
+            return Ok(WalScan {
+                frames: Vec::new(),
+                valid_len: 0,
+                tail: TailState::Truncated { offset: 0 },
+            });
+        }
+        return Err(RecoveryError::BadWalHeader);
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(RecoveryError::BadWalHeader);
+    }
+
+    let mut frames = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    let mut tail = TailState::Clean;
+    while pos < bytes.len() {
+        let offset = pos as u64;
+        if bytes.len() - pos < 8 {
+            tail = TailState::Truncated { offset };
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if bytes.len() - pos - 8 < len {
+            tail = TailState::Truncated { offset };
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            if pos + 8 + len == bytes.len() {
+                // Final frame: a torn sector inside the last append.
+                tail = TailState::Corrupt { offset };
+                break;
+            }
+            // Interior frame: real corruption, never a crash artifact.
+            return Err(RecoveryError::ChecksumMismatch { offset });
+        }
+        frames.push(decode_frame(payload, offset)?);
+        pos += 8 + len;
+    }
+    Ok(WalScan {
+        frames,
+        valid_len: pos as u64,
+        tail,
+    })
+}
+
+fn decode_frame(payload: &[u8], offset: u64) -> Result<Frame, RecoveryError> {
+    let mut r = Reader::new(payload);
+    let kind = r.u8("frame kind")?;
+    if kind != FRAME_COMMIT {
+        return Err(RecoveryError::Codec(CodecError::BadTag {
+            what: "frame kind",
+            tag: kind,
+        }));
+    }
+    let seq = r.u64("frame seq")?;
+    let next_node = r.u64("frame next_node")?;
+    let next_rel = r.u64("frame next_rel")?;
+    let ops = codec::decode_ops(&mut r)?;
+    if !r.is_empty() {
+        return Err(RecoveryError::Codec(CodecError::BadTag {
+            what: "bytes after frame payload",
+            tag: r.u8("trailing byte")?,
+        }));
+    }
+    Ok(Frame {
+        seq,
+        next_node,
+        next_rel,
+        ops,
+        offset,
+    })
+}

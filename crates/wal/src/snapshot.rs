@@ -1,0 +1,236 @@
+//! Compacted snapshots: a point-in-time serialization of the whole store.
+//!
+//! A snapshot supersedes every WAL frame with `seq <= snapshot.seq`, which
+//! is what keeps the log from growing without bound. The file carries the
+//! commit sequence it was cut at, the id-allocator watermarks, every index
+//! *definition* (index entries are rebuilt by loading records through the
+//! normal index-maintaining insert paths), and every record:
+//!
+//! ```text
+//! snapshot.pgs := MAGIC payload_len:u64 crc:u32 payload
+//! MAGIC        := "PGSNAP01"
+//! payload      := seq:u64 next_node:u64 next_rel:u64
+//!                 node_indexes rel_indexes composite_indexes
+//!                 rel_composite_indexes nodes rels
+//! ```
+//!
+//! Writing is crash-atomic: the bytes go to `snapshot.pgs.tmp`, are
+//! fsynced, and only then renamed over `snapshot.pgs` (rename is atomic on
+//! POSIX). A crash mid-write leaves a stale `.tmp` that recovery ignores
+//! and removes — the previous snapshot (or none) stays authoritative, and
+//! the WAL frames it would have superseded are still present because the
+//! log is only truncated *after* the rename lands.
+
+use crate::crc::crc32;
+use crate::errors::RecoveryError;
+use pg_graph::codec::{self, Reader};
+use pg_graph::Graph;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Snapshot file name inside a durable directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.pgs";
+/// In-progress snapshot (crash debris unless renamed).
+pub const SNAPSHOT_TMP: &str = "snapshot.pgs.tmp";
+/// 8-byte file magic; doubles as the format version.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PGSNAP01";
+
+fn encode_string_pairs(pairs: &[(String, String)], out: &mut Vec<u8>) {
+    codec::put_u32(out, pairs.len() as u32);
+    for (a, b) in pairs {
+        codec::put_str(out, a);
+        codec::put_str(out, b);
+    }
+}
+
+fn decode_string_pairs(r: &mut Reader<'_>) -> Result<Vec<(String, String)>, RecoveryError> {
+    let n = r.u32("index definition count")?;
+    let mut pairs = Vec::with_capacity((n as usize).min(1 << 16));
+    for _ in 0..n {
+        pairs.push((r.string("index label")?, r.string("index key")?));
+    }
+    Ok(pairs)
+}
+
+fn encode_composite_defs(defs: &[(String, Vec<String>)], out: &mut Vec<u8>) {
+    codec::put_u32(out, defs.len() as u32);
+    for (label, cols) in defs {
+        codec::put_str(out, label);
+        codec::put_u32(out, cols.len() as u32);
+        for c in cols {
+            codec::put_str(out, c);
+        }
+    }
+}
+
+fn decode_composite_defs(r: &mut Reader<'_>) -> Result<Vec<(String, Vec<String>)>, RecoveryError> {
+    let n = r.u32("composite definition count")?;
+    let mut defs = Vec::with_capacity((n as usize).min(1 << 16));
+    for _ in 0..n {
+        let label = r.string("composite label")?;
+        let n_cols = r.u32("composite column count")?;
+        let mut cols = Vec::with_capacity((n_cols as usize).min(64));
+        for _ in 0..n_cols {
+            cols.push(r.string("composite column")?);
+        }
+        defs.push((label, cols));
+    }
+    Ok(defs)
+}
+
+/// Serialize the full store state as cut at commit sequence `seq`.
+pub fn encode_snapshot(graph: &Graph, seq: u64) -> Vec<u8> {
+    let mut payload = Vec::new();
+    codec::put_u64(&mut payload, seq);
+    let (next_node, next_rel) = graph.id_watermarks();
+    codec::put_u64(&mut payload, next_node);
+    codec::put_u64(&mut payload, next_rel);
+    encode_string_pairs(&graph.indexes(), &mut payload);
+    encode_string_pairs(&graph.rel_indexes(), &mut payload);
+    encode_composite_defs(&graph.composite_indexes(), &mut payload);
+    encode_composite_defs(&graph.rel_composite_indexes(), &mut payload);
+    codec::put_u64(&mut payload, graph.node_count() as u64);
+    for rec in graph.nodes() {
+        codec::encode_node_record(rec, &mut payload);
+    }
+    codec::put_u64(&mut payload, graph.rel_count() as u64);
+    for rec in graph.rels() {
+        codec::encode_rel_record(rec, &mut payload);
+    }
+
+    let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 12 + payload.len());
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    codec::put_u64(&mut bytes, payload.len() as u64);
+    codec::put_u32(&mut bytes, crc32(&payload));
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Write a snapshot of `graph` (as of commit sequence `seq`) into `dir`,
+/// crash-atomically: tmp + fsync + rename + directory fsync.
+pub fn write_snapshot(dir: &Path, graph: &Graph, seq: u64) -> std::io::Result<()> {
+    let bytes = encode_snapshot(graph, seq);
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let dst = dir.join(SNAPSHOT_FILE);
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, &dst)?;
+    // Make the rename itself durable (POSIX: fsync the directory).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// A decoded snapshot: the store as of commit sequence `seq`, loaded into
+/// a fresh graph with all index definitions re-created and entries/stats
+/// rebuilt through the normal insert paths.
+pub struct LoadedSnapshot {
+    pub seq: u64,
+    pub graph: Graph,
+    pub nodes: usize,
+    pub rels: usize,
+}
+
+/// Decode snapshot bytes. Every format violation — bad magic, short
+/// payload, checksum failure, undecodable record — is
+/// [`RecoveryError::SnapshotCorrupt`]: the atomic write protocol means a
+/// damaged snapshot cannot be crash debris.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<LoadedSnapshot, RecoveryError> {
+    let corrupt = |reason: &str| RecoveryError::SnapshotCorrupt {
+        reason: reason.to_string(),
+    };
+    let header = SNAPSHOT_MAGIC.len() + 12;
+    if bytes.len() < header || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic or short header"));
+    }
+    let mut r = Reader::new(&bytes[SNAPSHOT_MAGIC.len()..]);
+    let payload_len = r
+        .u64("snapshot payload length")
+        .map_err(|_| corrupt("short header"))? as usize;
+    let crc = r.u32("snapshot crc").map_err(|_| corrupt("short header"))?;
+    if bytes.len() != header + payload_len {
+        return Err(corrupt("payload length mismatch"));
+    }
+    let payload = &bytes[header..];
+    if crc32(payload) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+
+    let snap_err = |e: RecoveryError| match e {
+        RecoveryError::Codec(c) => RecoveryError::SnapshotCorrupt {
+            reason: format!("undecodable payload: {c}"),
+        },
+        other => other,
+    };
+    let mut r = Reader::new(payload);
+    let mut decode = || -> Result<LoadedSnapshot, RecoveryError> {
+        let seq = r.u64("snapshot seq")?;
+        let next_node = r.u64("snapshot next_node")?;
+        let next_rel = r.u64("snapshot next_rel")?;
+        let mut graph = Graph::new();
+        // Definitions before records: loading through the normal insert
+        // paths then maintains every index incrementally.
+        for (label, key) in decode_string_pairs(&mut r)? {
+            graph.create_index(&label, &key);
+        }
+        for (ty, key) in decode_string_pairs(&mut r)? {
+            graph.create_rel_index(&ty, &key);
+        }
+        for (label, cols) in decode_composite_defs(&mut r)? {
+            graph.create_composite_index(&label, &cols);
+        }
+        for (ty, cols) in decode_composite_defs(&mut r)? {
+            graph.create_rel_composite_index(&ty, &cols);
+        }
+        let n_nodes = r.u64("snapshot node count")? as usize;
+        for _ in 0..n_nodes {
+            let rec = codec::decode_node_record(&mut r)?;
+            graph.load_node(rec).expect("snapshot load outside tx");
+        }
+        let n_rels = r.u64("snapshot rel count")? as usize;
+        for _ in 0..n_rels {
+            let rec = codec::decode_rel_record(&mut r)?;
+            graph.load_rel(rec).expect("snapshot load outside tx");
+        }
+        if !r.is_empty() {
+            return Err(corrupt("trailing bytes after payload"));
+        }
+        graph.set_id_floor(next_node, next_rel);
+        Ok(LoadedSnapshot {
+            seq,
+            graph,
+            nodes: n_nodes,
+            rels: n_rels,
+        })
+    };
+    decode().map_err(snap_err).map_err(|e| match e {
+        e @ RecoveryError::SnapshotCorrupt { .. } => e,
+        RecoveryError::Io(io) => RecoveryError::Io(io),
+        other => RecoveryError::SnapshotCorrupt {
+            reason: other.to_string(),
+        },
+    })
+}
+
+/// Load the snapshot from `dir`, if one exists. A stale `.tmp` (crash
+/// mid-snapshot) is never read.
+pub fn load_snapshot(dir: &Path) -> Result<Option<LoadedSnapshot>, RecoveryError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = Vec::new();
+    match File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    decode_snapshot(&bytes).map(Some)
+}

@@ -1,0 +1,77 @@
+//! Shared helpers for the WAL integration tests.
+//!
+//! Each test binary compiles its own copy; not every binary uses every
+//! helper, so dead-code lints are off.
+#![allow(dead_code)]
+
+use pg_graph::{Graph, PropertyMap, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A self-deleting scratch directory under the system temp dir.
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    pub fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pg_wal_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A comparable dump of full graph state: records + id watermarks.
+pub fn dump(g: &Graph) -> Vec<String> {
+    let mut out = vec![format!("watermarks {:?}", g.id_watermarks())];
+    out.extend(g.nodes().map(|n| format!("{n:?}")));
+    out.extend(g.rels().map(|r| format!("{r:?}")));
+    out
+}
+
+/// Run the `i`-th canned transaction against `g` (inside its own
+/// begin/commit). Mixes creates, property churn, label churn, rels, and
+/// deletes so WAL frames exercise every op variant.
+pub fn canned_commit(g: &mut Graph, i: u64) {
+    g.begin().unwrap();
+    let props: PropertyMap = [
+        (format!("n{i}"), Value::Int(i as i64)),
+        ("tag".to_string(), Value::str(format!("commit-{i}"))),
+    ]
+    .into_iter()
+    .collect();
+    let a = g
+        .create_node([format!("L{}", i % 3), "All".to_string()], props)
+        .unwrap();
+    let b = g.create_node(["All"], PropertyMap::new()).unwrap();
+    g.create_rel(a, b, format!("T{}", i % 2), PropertyMap::new())
+        .unwrap();
+    g.set_node_prop(b, "w", Value::Int((i * 7) as i64)).unwrap();
+    g.set_label(b, "Extra").unwrap();
+    if i.is_multiple_of(2) {
+        g.remove_label(b, "Extra").unwrap();
+        g.set_node_prop(b, "w", Value::Null).unwrap();
+    }
+    if i % 3 == 2 {
+        // Delete the previous commit's spare node if it survived.
+        let ids = pg_graph::GraphView::all_node_ids(g);
+        if let Some(&victim) = ids.first() {
+            let _ = g.detach_delete_node(victim);
+        }
+    }
+    g.commit().unwrap();
+}

@@ -1,0 +1,190 @@
+//! One asserting test per [`RecoveryError`] variant: recovery surfaces
+//! typed errors, never panics, for every way a durable directory can be
+//! damaged.
+
+mod common;
+
+use common::{canned_commit, TempDir};
+use pg_graph::codec;
+use pg_wal::{
+    recover, scan_wal, Durable, RecoveryError, RecoveryOptions, SyncPolicy, WalOptions,
+    SNAPSHOT_FILE, WAL_FILE, WAL_MAGIC,
+};
+
+fn build(tag: &str, commits: u64, checkpoint_at: Option<u64>) -> TempDir {
+    let tmp = TempDir::new(tag);
+    let (durable, mut graph, _) = Durable::open(
+        tmp.path(),
+        WalOptions {
+            sync: SyncPolicy::Always,
+            group_bytes: 32 * 1024,
+        },
+        RecoveryOptions::default(),
+    )
+    .unwrap();
+    for i in 0..commits {
+        canned_commit(&mut graph, i);
+        if checkpoint_at == Some(i + 1) {
+            durable.checkpoint(&graph).unwrap();
+        }
+    }
+    durable.flush().unwrap();
+    tmp
+}
+
+fn strict() -> RecoveryOptions {
+    RecoveryOptions { strict_tail: true }
+}
+
+#[test]
+fn bad_wal_header() {
+    let tmp = TempDir::new("badhdr");
+    std::fs::write(tmp.path().join(WAL_FILE), b"NOTAWAL!frames follow").unwrap();
+    let err = recover(tmp.path(), &RecoveryOptions::default()).unwrap_err();
+    assert_eq!(err, RecoveryError::BadWalHeader);
+}
+
+#[test]
+fn truncated_frame_is_typed_in_strict_mode() {
+    let tmp = build("trunc", 3, None);
+    let wal = tmp.path().join(WAL_FILE);
+    let bytes = std::fs::read(&wal).unwrap();
+    // Cut into the middle of the final frame.
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+
+    let err = recover(tmp.path(), &strict()).unwrap_err();
+    let RecoveryError::TruncatedFrame { offset } = err else {
+        panic!("expected TruncatedFrame, got {err:?}");
+    };
+    assert!(offset >= WAL_MAGIC.len() as u64);
+
+    // Lenient mode lands on the previous commit instead.
+    let (_, report) = recover(tmp.path(), &RecoveryOptions::default()).unwrap();
+    assert_eq!(report.commits_replayed, 2);
+    assert_eq!(report.last_seq, 2);
+}
+
+#[test]
+fn tail_checksum_mismatch_is_typed_in_strict_mode() {
+    let tmp = build("tailcrc", 3, None);
+    let wal = tmp.path().join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    // Flip one payload byte of the *final* frame (a torn sector).
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let err = recover(tmp.path(), &strict()).unwrap_err();
+    assert!(
+        matches!(err, RecoveryError::ChecksumMismatch { .. }),
+        "expected ChecksumMismatch, got {err:?}"
+    );
+
+    let (_, report) = recover(tmp.path(), &RecoveryOptions::default()).unwrap();
+    assert_eq!(report.commits_replayed, 2, "torn tail dropped, prefix kept");
+}
+
+#[test]
+fn interior_checksum_mismatch_always_errors() {
+    let tmp = build("midcrc", 3, None);
+    let wal = tmp.path().join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    // Flip a byte in the *first* frame's payload: corruption followed by
+    // more log can never be a crash artifact.
+    let offset = WAL_MAGIC.len() + 8 + 4;
+    bytes[offset] ^= 0xff;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    for opts in [RecoveryOptions::default(), strict()] {
+        let err = recover(tmp.path(), &opts).unwrap_err();
+        assert_eq!(
+            err,
+            RecoveryError::ChecksumMismatch {
+                offset: WAL_MAGIC.len() as u64
+            },
+            "mode {opts:?}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_corruption_always_errors() {
+    let tmp = build("snapcrc", 3, Some(2));
+    let snap = tmp.path().join(SNAPSHOT_FILE);
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    for opts in [RecoveryOptions::default(), strict()] {
+        let err = recover(tmp.path(), &opts).unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::SnapshotCorrupt { .. }),
+            "mode {opts:?}: expected SnapshotCorrupt, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn missing_snapshot_with_later_frames_is_an_epoch_gap() {
+    // Checkpoint at 2 truncates frames 1-2; frames 3-4 follow. Deleting
+    // the snapshot leaves a log that starts at seq 3 with nothing to
+    // stand on — recovery must refuse, not silently replay a suffix.
+    let tmp = build("gap", 4, Some(2));
+    std::fs::remove_file(tmp.path().join(SNAPSHOT_FILE)).unwrap();
+
+    let err = recover(tmp.path(), &RecoveryOptions::default()).unwrap_err();
+    assert_eq!(err, RecoveryError::EpochGap { have: 3, need: 1 });
+}
+
+#[test]
+fn valid_crc_with_undecodable_payload_is_a_codec_error() {
+    let tmp = build("codec", 1, None);
+    let wal = tmp.path().join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    // Hand-craft a frame whose checksum passes but whose payload is not a
+    // valid commit record (wrong kind byte), followed by a real-looking
+    // second frame so it is interior... tail position is enough: codec
+    // errors are raised wherever the frame sits, because a passing CRC
+    // rules out a torn write.
+    let mut payload = Vec::new();
+    codec::put_u8(&mut payload, 9); // unknown frame kind
+    codec::put_u64(&mut payload, 2);
+    let mut frame = Vec::new();
+    codec::put_u32(&mut frame, payload.len() as u32);
+    codec::put_u32(&mut frame, pg_wal::crc::crc32(&payload));
+    frame.extend_from_slice(&payload);
+    bytes.extend_from_slice(&frame);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let err = recover(tmp.path(), &RecoveryOptions::default()).unwrap_err();
+    assert!(
+        matches!(err, RecoveryError::Codec(_)),
+        "expected Codec, got {err:?}"
+    );
+}
+
+#[test]
+fn io_failure_is_typed() {
+    let tmp = TempDir::new("io");
+    // A directory where the WAL file should be: opens, then fails to read.
+    std::fs::create_dir(tmp.path().join(WAL_FILE)).unwrap();
+    let err = recover(tmp.path(), &RecoveryOptions::default()).unwrap_err();
+    assert!(matches!(err, RecoveryError::Io(_)), "got {err:?}");
+}
+
+#[test]
+fn scan_reports_offsets_that_match_the_file() {
+    let tmp = build("offsets", 4, None);
+    let scan = scan_wal(&tmp.path().join(WAL_FILE)).unwrap();
+    assert_eq!(scan.frames.len(), 4);
+    assert_eq!(scan.frames[0].offset, WAL_MAGIC.len() as u64);
+    for w in scan.frames.windows(2) {
+        assert!(w[0].offset < w[1].offset);
+        assert_eq!(w[0].seq + 1, w[1].seq);
+    }
+    assert_eq!(
+        scan.valid_len,
+        std::fs::metadata(tmp.path().join(WAL_FILE)).unwrap().len()
+    );
+}

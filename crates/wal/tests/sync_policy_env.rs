@@ -1,0 +1,27 @@
+//! `PG_WAL_SYNC` parsing. Isolated in its own test binary because it
+//! mutates process-global environment variables.
+
+use pg_wal::SyncPolicy;
+
+#[test]
+fn pg_wal_sync_parses_and_defaults() {
+    std::env::remove_var("PG_WAL_SYNC");
+    assert_eq!(
+        SyncPolicy::from_env(),
+        SyncPolicy::Group,
+        "default is group"
+    );
+    std::env::set_var("PG_WAL_SYNC", "always");
+    assert_eq!(SyncPolicy::from_env(), SyncPolicy::Always);
+    std::env::set_var("PG_WAL_SYNC", "never");
+    assert_eq!(SyncPolicy::from_env(), SyncPolicy::Never);
+    std::env::set_var("PG_WAL_SYNC", "group");
+    assert_eq!(SyncPolicy::from_env(), SyncPolicy::Group);
+    std::env::set_var("PG_WAL_SYNC", "unrecognized");
+    assert_eq!(
+        SyncPolicy::from_env(),
+        SyncPolicy::Group,
+        "unknown values fall back to group"
+    );
+    std::env::remove_var("PG_WAL_SYNC");
+}

@@ -1,0 +1,176 @@
+//! Shared helpers for the umbrella durability tests (kill-point recovery
+//! fuzzing and trigger-aware replay).
+//!
+//! Each test binary compiles its own copy; not every binary uses every
+//! helper, so dead-code lints are off.
+#![allow(dead_code)]
+
+use pg_graph::{Graph, Value};
+use pg_triggers::Session;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A self-deleting scratch directory under the system temp dir.
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    pub fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pg_suite_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The trigger set installed on every session in these tests. Trigger
+/// definitions are code, not data: recovery restores the graph and the
+/// application re-installs its triggers, so every twin gets the same set.
+///
+/// The mix covers the dispatch shapes whose effects land in WAL frames:
+/// an `AFTER CREATE` cascade, an `ONCOMMIT` fixpoint round over the
+/// cascade's own output, and an `AFTER SET` property audit.
+pub const TRIGGERS: [&str; 3] = [
+    "CREATE TRIGGER alert AFTER CREATE ON 'Mutation' FOR EACH NODE
+     WHEN EXISTS (NEW)-[:Risk]-(:CriticalEffect)
+     BEGIN CREATE (:Alert {mutation: NEW.name}) END",
+    "CREATE TRIGGER digest ONCOMMIT CREATE ON 'Alert' FOR ALL NODES
+     BEGIN CREATE (:Digest {n: size(NEWNODES)}) END",
+    "CREATE TRIGGER audit AFTER SET ON 'Mutation'.'count' FOR EACH NODE
+     BEGIN CREATE (:Audit {of: NEW.name, val: NEW.count}) END",
+];
+
+pub fn install_triggers(s: &mut Session) {
+    for ddl in TRIGGERS {
+        s.install(ddl).expect("trigger DDL must install");
+    }
+}
+
+/// The fixed query panel both twins answer after recovery. Every query
+/// carries a total `ORDER BY` (or is a bare count), so row-for-row
+/// equality is the right oracle.
+pub const PANEL: [&str; 7] = [
+    "MATCH (m:Mutation) RETURN count(*) AS n",
+    "MATCH (e:CriticalEffect) RETURN count(*) AS n",
+    "MATCH (a:Alert) RETURN count(*) AS n",
+    "MATCH (d:Digest) RETURN d.n AS n ORDER BY n",
+    "MATCH (m:Mutation) RETURN m.name AS n, m.count AS c ORDER BY n, c",
+    "MATCH (m:Mutation)-[:Risk]->(e:CriticalEffect)
+     RETURN m.name AS n, e.description AS d ORDER BY n, d",
+    "MATCH (x:Audit) RETURN x.of AS o, x.val AS v ORDER BY o, v",
+];
+
+/// Evaluate the panel, returning one row set per query.
+pub fn panel_rows(s: &mut Session) -> Vec<Vec<Vec<Value>>> {
+    PANEL
+        .iter()
+        .map(|q| s.run(q).expect("panel query").rows)
+        .collect()
+}
+
+/// A comparable dump of every node and relationship record (sorted, so
+/// map iteration order is moot). Id watermarks are deliberately *not*
+/// included: a snapshot persists the allocator as of the checkpoint,
+/// which may include allocations from transactions rolled back after the
+/// last commit — the recovered watermark is `>=` the replay twin's, not
+/// equal (asserted separately where it matters).
+pub fn dump(g: &Graph) -> Vec<String> {
+    let mut records: Vec<String> = g.nodes().map(|n| format!("{n:?}")).collect();
+    records.extend(g.rels().map(|r| format!("{r:?}")));
+    records.sort();
+    records
+}
+
+/// One command of a random workload script. Statements are built from
+/// small integer picks so scripts are fully deterministic; transaction
+/// commands are model-checked by the driver (invalid ones are skipped
+/// identically on both twins).
+#[derive(Debug, Clone)]
+pub enum Cmd {
+    /// `CREATE (:CriticalEffect {description: 'e<d>'})`
+    Effect(u8),
+    /// A Mutation wired to every existing CriticalEffect — fires `alert`
+    /// (and transitively `digest`) when any effect exists.
+    RiskyMutation(u8),
+    /// A Mutation with no Risk edge — the `alert` condition stays false.
+    PlainMutation(u8),
+    /// `SET m.count = <v>` — fires `audit` when the mutation exists.
+    SetCount(u8, i64),
+    DeleteMutation(u8),
+    DeleteEffect(u8),
+    Begin,
+    Commit,
+    Rollback,
+    /// Compact the WAL into a snapshot (durable sessions only, outside
+    /// transactions; a no-op elsewhere so twins stay in lockstep).
+    Checkpoint,
+}
+
+/// Apply one command. `in_tx` is the driver's transaction model; both
+/// twins share it by replaying the same command sequence.
+pub fn apply_cmd(s: &mut Session, cmd: &Cmd, in_tx: &mut bool) {
+    let stmt = match cmd {
+        Cmd::Begin => {
+            if !*in_tx {
+                s.begin().expect("begin");
+                *in_tx = true;
+            }
+            return;
+        }
+        Cmd::Commit => {
+            if *in_tx {
+                s.commit().expect("commit");
+                *in_tx = false;
+            }
+            return;
+        }
+        Cmd::Rollback => {
+            if *in_tx {
+                s.rollback().expect("rollback");
+                *in_tx = false;
+            }
+            return;
+        }
+        Cmd::Checkpoint => {
+            if s.is_durable() && !*in_tx {
+                s.checkpoint().expect("checkpoint");
+            }
+            return;
+        }
+        Cmd::Effect(d) => format!("CREATE (:CriticalEffect {{description: 'e{}'}})", d % 3),
+        Cmd::RiskyMutation(n) => {
+            format!("MATCH (e:CriticalEffect) CREATE (:Mutation {{name: 'm{n}'}})-[:Risk]->(e)")
+        }
+        Cmd::PlainMutation(n) => format!("CREATE (:Mutation {{name: 'p{n}'}})"),
+        Cmd::SetCount(n, v) => format!("MATCH (m:Mutation {{name: 'm{n}'}}) SET m.count = {v}"),
+        Cmd::DeleteMutation(n) => format!("MATCH (m:Mutation {{name: 'm{n}'}}) DETACH DELETE m"),
+        Cmd::DeleteEffect(d) => format!(
+            "MATCH (e:CriticalEffect {{description: 'e{}'}}) DETACH DELETE e",
+            d % 3
+        ),
+    };
+    s.run(&stmt).expect("workload statement");
+}
+
+/// `PG_FUZZ_CASES` raises the proptest case count for CI soak runs; the
+/// default stays fast enough for every PR.
+pub fn fuzz_cases() -> u32 {
+    std::env::var("PG_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}

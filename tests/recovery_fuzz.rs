@@ -1,0 +1,197 @@
+//! Kill-at-a-random-point recovery fuzzing — the durability analogue of
+//! the differential query fuzzer in `crates/cypher/tests/differential.rs`.
+//!
+//! Each case drives a **durable** session (triggers installed, WAL
+//! attached) through a random script of mutations, explicit
+//! transactions, rollbacks and checkpoints, then simulates a crash by
+//! copying the durable directory with the WAL truncated at a **random
+//! byte offset** — frame boundaries, mid-frame, mid-group-commit batch,
+//! even inside the file magic. A stale `snapshot.pgs.tmp` torn mid-write
+//! is planted in every crash image, so the mid-snapshot kill window is
+//! exercised on every single case.
+//!
+//! Recovery opens the crash image and reports `last_seq = k`. The oracle
+//! is a **never-crashed in-memory twin**: a fresh session with the same
+//! triggers replaying the script prefix up to the command that produced
+//! frame `k` (rolled-back transactions included, so id-allocator state
+//! is reproduced bit-for-bit). Recovered state must match the twin
+//! record-for-record and query-panel-for-query-panel — zero divergences
+//! — the recovered engine must report **zero trigger firings** (frames
+//! carry post-cascade ops; replay never re-enters dispatch), and the
+//! recovered log must accept new commits at `seq = k + 1`.
+//!
+//! `PG_FUZZ_CASES` (read in CI's recovery-fuzz nightly) raises the case
+//! count for soak runs; the default stays fast enough for every PR.
+
+mod common;
+
+use common::{apply_cmd, dump, fuzz_cases, install_triggers, panel_rows, Cmd, TempDir};
+use pg_triggers::{EngineConfig, Session, SyncPolicy, WalOptions};
+use pg_wal::{SNAPSHOT_FILE, SNAPSHOT_TMP, WAL_FILE};
+use proptest::prelude::*;
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    let set_count = (0u8..6, -4i64..5).prop_map(|(n, v)| Cmd::SetCount(n, v));
+    prop_oneof![
+        (0u8..3).prop_map(Cmd::Effect),
+        (0u8..6).prop_map(Cmd::RiskyMutation),
+        (0u8..6).prop_map(Cmd::RiskyMutation),
+        (0u8..6).prop_map(Cmd::PlainMutation),
+        set_count.clone(),
+        set_count,
+        (0u8..6).prop_map(Cmd::DeleteMutation),
+        (0u8..3).prop_map(Cmd::DeleteEffect),
+        Just(Cmd::Begin),
+        Just(Cmd::Commit),
+        Just(Cmd::Rollback),
+        Just(Cmd::Checkpoint),
+    ]
+}
+
+/// Run one kill-point case end to end. `cut_pick` selects the crash
+/// offset within the flushed WAL; `opts` chooses the fsync policy under
+/// which the frames were appended.
+fn run_case(tag: &str, cmds: &[Cmd], cut_pick: u64, opts: WalOptions) {
+    let tmp = TempDir::new(tag);
+    let live = tmp.path().join("live");
+
+    // 1. Random workload against the durable session.
+    let (mut session, _) =
+        Session::open_durable(&live, EngineConfig::default(), opts.clone()).expect("open live");
+    install_triggers(&mut session);
+    let mut in_tx = false;
+    let mut seq_after = Vec::with_capacity(cmds.len());
+    for cmd in cmds {
+        apply_cmd(&mut session, cmd, &mut in_tx);
+        seq_after.push(session.wal_seq());
+    }
+    // Push the OS-visible bytes out so the crash image below is exactly
+    // what a kill after the last group sync would leave behind.
+    session.wal_flush().expect("flush");
+
+    // 2. Crash image: snapshot copied verbatim (its write is atomic by
+    //    construction), WAL truncated at a random byte, and a torn
+    //    snapshot temp file planted to simulate a kill mid-checkpoint.
+    let crash = tmp.path().join("crash");
+    std::fs::create_dir_all(&crash).unwrap();
+    if live.join(SNAPSHOT_FILE).exists() {
+        std::fs::copy(live.join(SNAPSHOT_FILE), crash.join(SNAPSHOT_FILE)).unwrap();
+    }
+    let wal_bytes = std::fs::read(live.join(WAL_FILE)).unwrap();
+    let cut = (cut_pick as usize) % (wal_bytes.len() + 1);
+    std::fs::write(crash.join(WAL_FILE), &wal_bytes[..cut]).unwrap();
+    std::fs::write(crash.join(SNAPSHOT_TMP), b"PGSNAP01torn-mid-write").unwrap();
+
+    // 3. Recover (lenient tail mode — this *is* a crash signature).
+    let (mut recovered, report) =
+        Session::open_durable(&crash, EngineConfig::default(), opts.clone())
+            .expect("recovery must tolerate any kill point");
+    install_triggers(&mut recovered);
+    let k = report.last_seq;
+    assert!(
+        !crash.join(SNAPSHOT_TMP).exists(),
+        "stale snapshot temp file must be cleared on open"
+    );
+
+    // 4. Never-crashed twin: replay the committed prefix in memory.
+    let mut twin = Session::new();
+    install_triggers(&mut twin);
+    if k > 0 {
+        let idx = seq_after
+            .iter()
+            .position(|&s| s == k)
+            .expect("a surviving frame must map back to the command that wrote it");
+        let mut twin_tx = false;
+        for cmd in &cmds[..=idx] {
+            apply_cmd(&mut twin, cmd, &mut twin_tx);
+        }
+        assert!(!twin_tx, "frame {k} can only be produced by a commit point");
+    }
+
+    // 5. Zero divergences: records (ids included), then the query panel.
+    //    Watermarks may only run ahead: a snapshot persists allocator
+    //    state that can include rolled-back allocations newer than the
+    //    last surviving frame.
+    assert_eq!(
+        dump(recovered.graph()),
+        dump(twin.graph()),
+        "recovered records diverge from twin at seq {k} (cut {cut}/{})",
+        wal_bytes.len()
+    );
+    let (rn, rr) = recovered.graph().id_watermarks();
+    let (tn, tr) = twin.graph().id_watermarks();
+    assert!(
+        rn >= tn && rr >= tr,
+        "recovered allocator ({rn}, {rr}) fell behind the twin ({tn}, {tr})"
+    );
+    assert_eq!(
+        panel_rows(&mut recovered),
+        panel_rows(&mut twin),
+        "panel diverges at seq {k} (cut {cut}/{})",
+        wal_bytes.len()
+    );
+
+    // 6. Replay is trigger-free: every firing already happened before the
+    //    crash and its effects travelled inside the frames.
+    assert_eq!(
+        recovered.stats().fired,
+        0,
+        "recovery re-entered trigger dispatch"
+    );
+
+    // 7. The recovered log accepts new durable commits where it left off.
+    recovered
+        .run("CREATE (:CriticalEffect {description: 'post-crash'})")
+        .expect("recovered session must accept writes");
+    assert_eq!(recovered.wal_seq(), k + 1, "WAL must resume at k + 1");
+}
+
+fn always() -> WalOptions {
+    WalOptions {
+        sync: SyncPolicy::Always,
+        group_bytes: 32 * 1024,
+    }
+}
+
+/// Group commit with a tiny batch threshold: frames pile up unsynced and
+/// the random cut routinely lands inside a half-written batch.
+fn group_small() -> WalOptions {
+    WalOptions {
+        sync: SyncPolicy::Group,
+        group_bytes: 512,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: fuzz_cases() })]
+
+    #[test]
+    fn kill_at_random_byte_matches_the_never_crashed_twin(
+        cmds in proptest::collection::vec(cmd_strategy(), 1..32),
+        cut_pick in 0u64..1_000_000,
+    ) {
+        run_case("kill", &cmds, cut_pick, always());
+    }
+
+    #[test]
+    fn kill_mid_group_commit_matches_the_never_crashed_twin(
+        cmds in proptest::collection::vec(cmd_strategy(), 1..32),
+        cut_pick in 0u64..1_000_000,
+    ) {
+        run_case("group", &cmds, cut_pick, group_small());
+    }
+
+    #[test]
+    fn kill_mid_snapshot_lands_on_the_checkpoint_epoch(
+        cmds in proptest::collection::vec(cmd_strategy(), 1..24),
+        at in 0usize..24,
+        cut_pick in 0u64..1_000_000,
+    ) {
+        // Force a checkpoint at a random script position so the crash
+        // image carries a real snapshot plus a post-checkpoint log
+        // suffix (plus the torn `snapshot.pgs.tmp` run_case plants).
+        let mut cmds = cmds.to_vec();
+        cmds.insert(at % (cmds.len() + 1), Cmd::Checkpoint);
+        run_case("snap", &cmds, cut_pick, always());
+    }
+}
