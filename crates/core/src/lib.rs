@@ -58,7 +58,9 @@ pub use ddl::{
 };
 pub use error::{InstallError, TriggerError};
 pub use pg_wal as wal;
-pub use pg_wal::{RecoveryError, RecoveryOptions, RecoveryReport, SyncPolicy, WalOptions};
+pub use pg_wal::{
+    RecoveryError, RecoveryOptions, RecoveryReport, SyncPolicy, WalError, WalOptions,
+};
 pub use read_session::ReadSession;
 pub use schema_guard::{EnforcementMode, SchemaGuard, SchemaViolation};
 pub use session::{EngineConfig, EngineStats, ExecResult, Session};

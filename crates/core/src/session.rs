@@ -217,7 +217,7 @@ impl Session {
     /// Force buffered group-commit frames to disk. No-op when not durable.
     pub fn wal_flush(&self) -> std::io::Result<()> {
         match &self.durable {
-            Some(d) => d.flush(),
+            Some(d) => d.flush().map_err(Into::into),
             None => Ok(()),
         }
     }
@@ -233,7 +233,7 @@ impl Session {
             ));
         }
         match &self.durable {
-            Some(d) => d.checkpoint(&self.graph),
+            Some(d) => d.checkpoint(&self.graph).map_err(Into::into),
             None => Err(std::io::Error::other("session is not durable")),
         }
     }

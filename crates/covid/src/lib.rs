@@ -14,6 +14,7 @@ pub mod generator;
 pub mod scenario;
 pub mod schema;
 pub mod triggers;
+pub mod wire;
 
 pub use generator::{generate, CovidDataset, GeneratorConfig};
 pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};

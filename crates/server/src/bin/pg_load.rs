@@ -1,0 +1,660 @@
+//! `pg-load` — sustained mixed-workload generator for `pg-server`,
+//! driving the §6 COVID reactive scenario over real sockets and emitting
+//! `BENCH_server.json` (ops/sec, latency percentiles, cascade-visibility
+//! lag).
+//!
+//! ```text
+//! pg-load [--addr HOST:PORT] [--clients N] [--writers W] [--secs S]
+//!         [--ops-per-client N] [--pull-chunk N] [--out PATH]
+//!         [--quick] [--smoke]
+//!
+//!   --addr            drive an external server (it must have been started
+//!                     with `pg-serverd --covid`); omitted = spawn an
+//!                     in-process server on an ephemeral port (still
+//!                     exercised over real TCP sockets)
+//!   --clients N       total concurrent connections        (default 8)
+//!   --writers W       how many of them write              (default clients/2)
+//!   --secs S          wall-clock budget                   (default 10)
+//!   --ops-per-client  op budget instead of a time budget
+//!   --pull-chunk N    records per PULL                    (default 256)
+//!   --out PATH        report path                         (default BENCH_server.json)
+//!   --quick           CI mode: 4 clients, small op budget, asserts
+//!   --smoke           scripted single-client session, asserts, exits
+//! ```
+//!
+//! **Workload.** Writers mix ICU admissions against the undersized Sacco
+//! ICU (overflow fires the §6.2.3 relocation cascade), tagged critical-
+//! mutation discoveries (§6.2.1 alert cascade), and lineage
+//! redesignations (§6.2.2 property-change trigger). Readers mix alert
+//! aggregates, indexed patient point reads, per-hospital ICU counts, an
+//! orphaned-patient invariant probe (must always read 0 — snapshot
+//! atomicity of the relocation cascade), and a **cascade-visibility
+//! probe**: each discovery's commit time is recorded, and the first
+//! reader snapshot that contains the cascade's alert dates the
+//! visibility lag.
+
+use pg_graph::Value;
+use pg_server::{Client, ClientError, Server};
+use pg_triggers::Session;
+use serde_json::json;
+use std::collections::VecDeque;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ----------------------------------------------------------------------
+// Configuration
+// ----------------------------------------------------------------------
+
+struct Args {
+    addr: Option<String>,
+    clients: usize,
+    writers: usize,
+    secs: u64,
+    ops_per_client: Option<u64>,
+    pull_chunk: u64,
+    out: String,
+    quick: bool,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        clients: 8,
+        writers: 0, // 0 = clients/2, resolved below
+        secs: 10,
+        ops_per_client: None,
+        pull_chunk: 256,
+        out: "BENCH_server.json".to_string(),
+        quick: false,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| -> Result<String, String> {
+            it.next().ok_or(format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = Some(val("--addr")?),
+            "--clients" => args.clients = val("--clients")?.parse().map_err(|e| format!("{e}"))?,
+            "--writers" => args.writers = val("--writers")?.parse().map_err(|e| format!("{e}"))?,
+            "--secs" => args.secs = val("--secs")?.parse().map_err(|e| format!("{e}"))?,
+            "--ops-per-client" => {
+                args.ops_per_client = Some(
+                    val("--ops-per-client")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--pull-chunk" => {
+                args.pull_chunk = val("--pull-chunk")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--out" => args.out = val("--out")?,
+            "--quick" => args.quick = true,
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                return Err("see module docs: pg-load [--addr ..] [--quick] [--smoke]".into())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.quick {
+        args.clients = 4;
+        args.writers = 2;
+        args.ops_per_client = Some(args.ops_per_client.unwrap_or(120));
+        args.secs = 60; // generous deadline; the op budget is the limiter
+    }
+    if args.writers == 0 {
+        args.writers = (args.clients / 2).max(1);
+    }
+    if args.writers >= args.clients {
+        return Err("--writers must leave at least one reader".into());
+    }
+    Ok(args)
+}
+
+// ----------------------------------------------------------------------
+// Shared run state
+// ----------------------------------------------------------------------
+
+/// A discovery waiting to be observed by a reader snapshot.
+struct Probe {
+    tag: u64,
+    committed_at: Instant,
+}
+
+#[derive(Default)]
+struct Metrics {
+    write_us: Vec<u64>,
+    read_us: Vec<u64>,
+    cascade_lag_us: Vec<u64>,
+    errors: Vec<String>,
+    orphan_violations: u64,
+    discoveries_committed: u64,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    next_tag: AtomicU64,
+    probes: Mutex<VecDeque<Probe>>,
+    metrics: Mutex<Metrics>,
+}
+
+impl Shared {
+    fn record(&self, f: impl FnOnce(&mut Metrics)) {
+        f(&mut self.metrics.lock().unwrap());
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn latency_summary(mut samples: Vec<u64>) -> serde_json::Value {
+    samples.sort_unstable();
+    json!({
+        "count": samples.len(),
+        "p50": percentile(&samples, 50.0),
+        "p95": percentile(&samples, 95.0),
+        "p99": percentile(&samples, 99.0),
+        "max": samples.last().copied().unwrap_or(0),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Workload threads
+// ----------------------------------------------------------------------
+
+fn timed<T>(f: impl FnOnce() -> Result<T, ClientError>) -> (Result<T, ClientError>, u64) {
+    let start = Instant::now();
+    let res = f();
+    (res, start.elapsed().as_micros() as u64)
+}
+
+fn writer_loop(
+    addr: String,
+    shared: Arc<Shared>,
+    deadline: Instant,
+    op_budget: Option<u64>,
+    writer_idx: usize,
+) {
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.record(|m| m.errors.push(format!("writer connect: {e}")));
+            return;
+        }
+    };
+    let designations = ["Delta", "Kappa", "Delta Plus", "Epsilon"];
+    let mut ops: u64 = 0;
+    while !shared.stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+        if let Some(budget) = op_budget {
+            if ops >= budget {
+                break;
+            }
+        }
+        let tag = shared.next_tag.fetch_add(1, Ordering::Relaxed);
+        // Mix: 1/6 cascade-probe discovery, 1/12 redesignation, rest ICU
+        // admissions (the cascade-prone hot path).
+        let step = ops % 12;
+        let (res, us) = if step == 0 {
+            let stmt = pg_covid::wire::discover_critical_mutation(tag);
+            let (res, us) = timed(|| client.run_all(&stmt, &[]));
+            if res.is_ok() {
+                shared.probes.lock().unwrap().push_back(Probe {
+                    tag,
+                    committed_at: Instant::now(),
+                });
+                shared.record(|m| m.discoveries_committed += 1);
+            }
+            (res.map(|_| ()), us)
+        } else if step == 6 {
+            let to = designations[(ops as usize / 12 + writer_idx) % designations.len()];
+            let stmt = pg_covid::wire::redesignate_lineage(to);
+            let (res, us) = timed(|| client.run_all(&stmt, &[]));
+            (res.map(|_| ()), us)
+        } else {
+            let stmt = pg_covid::wire::icu_admission(tag, "Sacco", (tag % 10) as i64);
+            let (res, us) = timed(|| client.run_all(&stmt, &[]));
+            (res.map(|_| ()), us)
+        };
+        match res {
+            Ok(()) => shared.record(|m| m.write_us.push(us)),
+            Err(e) => {
+                shared.record(|m| m.errors.push(format!("writer op: {e}")));
+                // The connection auto-resets on server failures; transport
+                // errors end the thread.
+                if matches!(e, ClientError::Wire(_)) {
+                    return;
+                }
+            }
+        }
+        ops += 1;
+    }
+    let _ = client.goodbye();
+}
+
+fn reader_loop(
+    addr: String,
+    shared: Arc<Shared>,
+    deadline: Instant,
+    op_budget: Option<u64>,
+    pull_chunk: u64,
+) {
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.record(|m| m.errors.push(format!("reader connect: {e}")));
+            return;
+        }
+    };
+    let mut ops: u64 = 0;
+    while !shared.stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+        if let Some(budget) = op_budget {
+            if ops >= budget {
+                break;
+            }
+        }
+        let step = ops % 5;
+        let outcome: Result<(), ClientError> = match step {
+            // Cascade-visibility probe: is the oldest outstanding
+            // discovery's alert visible to a fresh snapshot yet?
+            0 => {
+                let probe = shared.probes.lock().unwrap().pop_front();
+                match probe {
+                    None => {
+                        // Nothing outstanding; fall back to the aggregate.
+                        let (res, us) =
+                            timed(|| client.run_all(pg_covid::wire::ALERT_COUNT_QUERY, &[]));
+                        res.map(|_| shared.record(|m| m.read_us.push(us)))
+                    }
+                    Some(probe) => {
+                        let query = pg_covid::wire::cascade_alert_query(probe.tag);
+                        let (res, us) = timed(|| client.run_all(&query, &[]));
+                        match res {
+                            Ok(out) => {
+                                shared.record(|m| m.read_us.push(us));
+                                if out.single_i64() == Some(1) {
+                                    let lag = probe.committed_at.elapsed().as_micros() as u64;
+                                    shared.record(|m| m.cascade_lag_us.push(lag));
+                                } else {
+                                    // Not visible yet — requeue for a later
+                                    // snapshot.
+                                    shared.probes.lock().unwrap().push_back(probe);
+                                }
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                }
+            }
+            // Snapshot-atomicity invariant: the relocation cascade must
+            // never leave a hospitalized patient without a hospital.
+            1 => {
+                let (res, us) =
+                    timed(|| client.run_all(pg_covid::wire::ORPHANED_PATIENTS_QUERY, &[]));
+                match res {
+                    Ok(out) => {
+                        shared.record(|m| m.read_us.push(us));
+                        if out.single_i64() != Some(0) {
+                            shared.record(|m| m.orphan_violations += 1);
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            // Indexed point read of a recently admitted patient.
+            2 => {
+                let recent = shared.next_tag.load(Ordering::Relaxed).saturating_sub(1);
+                let query = pg_covid::wire::patient_lookup(recent);
+                let (res, us) = timed(|| client.run_all(&query, &[]));
+                res.map(|_| shared.record(|m| m.read_us.push(us)))
+            }
+            // Per-hospital ICU occupancy (chunk-pulled: exercises
+            // backpressure streaming even for small results).
+            3 => {
+                let query = pg_covid::wire::treated_at_query("Niguarda");
+                let (res, us) = timed(|| {
+                    client.run(&query, &[])?;
+                    client.pull_all_chunked(pull_chunk)
+                });
+                res.map(|_| shared.record(|m| m.read_us.push(us)))
+            }
+            // Alert aggregate.
+            _ => {
+                let (res, us) = timed(|| client.run_all(pg_covid::wire::ALERT_COUNT_QUERY, &[]));
+                res.map(|_| shared.record(|m| m.read_us.push(us)))
+            }
+        };
+        if let Err(e) = outcome {
+            shared.record(|m| m.errors.push(format!("reader op: {e}")));
+            if matches!(e, ClientError::Wire(_)) {
+                return;
+            }
+        }
+        ops += 1;
+    }
+    let _ = client.goodbye();
+}
+
+// ----------------------------------------------------------------------
+// Smoke mode: one scripted session, asserted end to end
+// ----------------------------------------------------------------------
+
+fn run_smoke(addr: &str) -> Result<(), String> {
+    let fail = |what: &str, detail: String| format!("smoke: {what}: {detail}");
+    let mut c = Client::connect(addr).map_err(|e| fail("connect", e.to_string()))?;
+
+    // 1. Scalar round trip.
+    let out = c
+        .run_all("RETURN 1 AS one", &[])
+        .map_err(|e| fail("RETURN 1", e.to_string()))?;
+    if out.single_i64() != Some(1) || out.columns != ["one"] {
+        return Err(fail("RETURN 1", format!("{out:?}")));
+    }
+
+    // 2. Writes + reads (fresh labels; idempotent via cleanup first).
+    c.run_all("MATCH (n:SmokeNode) DETACH DELETE n", &[]).ok();
+    c.run_all("MATCH (n:SmokeAlert) DETACH DELETE n", &[]).ok();
+    c.run_all("MATCH (n:SmokeSrc) DETACH DELETE n", &[]).ok();
+    for i in 0..10 {
+        c.run_all(&format!("CREATE (:SmokeNode {{i: {i}}})"), &[])
+            .map_err(|e| fail("create", e.to_string()))?;
+    }
+
+    // 3. Chunked streaming with backpressure: 10 rows pulled 3 at a time.
+    c.run("MATCH (n:SmokeNode) RETURN n.i AS i", &[])
+        .map_err(|e| fail("run stream", e.to_string()))?;
+    let mut rows = 0;
+    let mut pulls = 0;
+    loop {
+        let (batch, has_more) = c.pull(3).map_err(|e| fail("pull", e.to_string()))?;
+        rows += batch.len();
+        pulls += 1;
+        if !has_more {
+            break;
+        }
+        if batch.len() != 3 {
+            return Err(fail(
+                "pull",
+                format!("short non-final batch: {}", batch.len()),
+            ));
+        }
+    }
+    if rows != 10 || pulls != 4 {
+        return Err(fail(
+            "stream",
+            format!("rows={rows} pulls={pulls}, want 10/4"),
+        ));
+    }
+
+    // 4. A trigger cascade over the wire.
+    c.run_all("DROP TRIGGER SmokeEcho", &[]).ok();
+    c.run_all(
+        "CREATE TRIGGER SmokeEcho AFTER CREATE ON 'SmokeSrc' FOR EACH NODE \
+         BEGIN CREATE (:SmokeAlert {src: NEW.tag}) END",
+        &[],
+    )
+    .map_err(|e| fail("trigger install", e.to_string()))?;
+    let out = c
+        .run_all("CREATE (:SmokeSrc {tag: 'probe'})", &[])
+        .map_err(|e| fail("trigger fire", e.to_string()))?;
+    if out.fired < 1 {
+        return Err(fail("trigger fire", format!("fired = {}", out.fired)));
+    }
+    let out = c
+        .run_all(
+            "MATCH (a:SmokeAlert {src: 'probe'}) RETURN count(*) AS n",
+            &[],
+        )
+        .map_err(|e| fail("trigger read", e.to_string()))?;
+    if out.single_i64() != Some(1) {
+        return Err(fail("trigger read", format!("{out:?}")));
+    }
+
+    // 5. Explicit transactions: rollback leaves nothing, commit lands.
+    c.begin().map_err(|e| fail("begin", e.to_string()))?;
+    c.run_all("CREATE (:SmokeTx {kind: 'rolled'})", &[])
+        .map_err(|e| fail("tx stmt", e.to_string()))?;
+    c.rollback().map_err(|e| fail("rollback", e.to_string()))?;
+    c.begin().map_err(|e| fail("begin2", e.to_string()))?;
+    c.run_all("CREATE (:SmokeTx {kind: 'committed'})", &[])
+        .map_err(|e| fail("tx stmt2", e.to_string()))?;
+    c.commit().map_err(|e| fail("commit", e.to_string()))?;
+    let out = c
+        .run_all("MATCH (t:SmokeTx) RETURN t.kind AS kind", &[])
+        .map_err(|e| fail("tx read", e.to_string()))?;
+    if out.rows.len() != 1 || out.rows[0][0] != Value::str("committed") {
+        return Err(fail("tx read", format!("{:?}", out.rows)));
+    }
+
+    // 6. Failure → RESET → usable again (run_all auto-resets).
+    match c.run_all("THIS IS NOT CYPHER", &[]) {
+        Err(ClientError::Server { .. }) => {}
+        other => return Err(fail("syntax error", format!("{other:?}"))),
+    }
+    let out = c
+        .run_all("RETURN 2 AS two", &[])
+        .map_err(|e| fail("post-reset", e.to_string()))?;
+    if out.single_i64() != Some(2) {
+        return Err(fail("post-reset", format!("{out:?}")));
+    }
+
+    // 7. EXPLAIN over the wire renders a plan.
+    let out = c
+        .run_all("EXPLAIN MATCH (n:SmokeNode) RETURN n.i", &[])
+        .map_err(|e| fail("explain", e.to_string()))?;
+    if out.columns != ["plan"] || out.rows.is_empty() {
+        return Err(fail("explain", format!("{out:?}")));
+    }
+
+    // Cleanup.
+    c.run_all("DROP TRIGGER SmokeEcho", &[]).ok();
+    for label in ["SmokeNode", "SmokeAlert", "SmokeSrc", "SmokeTx"] {
+        c.run_all(&format!("MATCH (n:{label}) DETACH DELETE n"), &[])
+            .ok();
+    }
+    c.goodbye().ok();
+    println!("SMOKE OK");
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Main
+// ----------------------------------------------------------------------
+
+fn spawn_local_server() -> Result<(pg_server::ServerHandle, String), String> {
+    let mut session = Session::new();
+    for stmt in pg_covid::wire::setup_statements() {
+        session
+            .execute(&stmt)
+            .map_err(|e| format!("local covid setup `{stmt}`: {e}"))?;
+    }
+    let server =
+        Server::bind("127.0.0.1:0", session).map_err(|e| format!("local server bind: {e}"))?;
+    let addr = server.local_addr().to_string();
+    Ok((server.spawn(), addr))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Resolve the target server: external, or a self-spawned local one.
+    let (handle, addr) = match &args.addr {
+        Some(addr) => (None, addr.clone()),
+        None => match spawn_local_server() {
+            Ok((handle, addr)) => {
+                eprintln!("pg-load: spawned local server on {addr}");
+                (Some(handle), addr)
+            }
+            Err(e) => {
+                eprintln!("pg-load: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    if args.smoke {
+        let result = run_smoke(&addr);
+        if let Some(h) = handle {
+            h.shutdown();
+        }
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        next_tag: AtomicU64::new(1),
+        probes: Mutex::new(VecDeque::new()),
+        metrics: Mutex::new(Metrics::default()),
+    });
+
+    let readers = args.clients - args.writers;
+    eprintln!(
+        "pg-load: {} writers + {} readers against {addr} ({})",
+        args.writers,
+        readers,
+        match args.ops_per_client {
+            Some(n) => format!("{n} ops/client"),
+            None => format!("{}s", args.secs),
+        }
+    );
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(args.secs);
+    let mut threads = Vec::new();
+    for w in 0..args.writers {
+        let (addr, shared) = (addr.clone(), Arc::clone(&shared));
+        let budget = args.ops_per_client;
+        threads.push(std::thread::spawn(move || {
+            writer_loop(addr, shared, deadline, budget, w)
+        }));
+    }
+    for _ in 0..readers {
+        let (addr, shared) = (addr.clone(), Arc::clone(&shared));
+        let (budget, chunk) = (args.ops_per_client, args.pull_chunk);
+        threads.push(std::thread::spawn(move || {
+            reader_loop(addr, shared, deadline, budget, chunk)
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    shared.stop.store(true, Ordering::SeqCst);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Final consistency audit on a fresh connection: every committed
+    // discovery's cascade alert must be visible by now.
+    let audit = (|| -> Result<(u64, i64), ClientError> {
+        let mut c = Client::connect(&addr)?;
+        let alerts = c
+            .run_all(
+                "MATCH (a:Alert {desc: 'New critical mutation'}) RETURN count(*) AS n",
+                &[],
+            )?
+            .single_i64()
+            .unwrap_or(-1);
+        let orphans = c
+            .run_all(pg_covid::wire::ORPHANED_PATIENTS_QUERY, &[])?
+            .single_i64()
+            .unwrap_or(-1);
+        c.goodbye().ok();
+        Ok((orphans.max(0) as u64, alerts))
+    })();
+
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+
+    let metrics = shared.metrics.lock().unwrap();
+    let total_ops = metrics.write_us.len() + metrics.read_us.len();
+    let (final_orphans, final_alerts) = match audit {
+        Ok((o, a)) => (o, a),
+        Err(e) => {
+            eprintln!("pg-load: final audit failed: {e}");
+            (u64::MAX, -1)
+        }
+    };
+    let alerts_match = final_alerts == metrics.discoveries_committed as i64;
+    let checks_ok = metrics.errors.is_empty()
+        && metrics.orphan_violations == 0
+        && final_orphans == 0
+        && alerts_match
+        && total_ops > 0;
+
+    let config = json!({
+        "clients": args.clients,
+        "writers": args.writers,
+        "readers": readers,
+        "quick": args.quick,
+        "external_server": args.addr.is_some(),
+        "pull_chunk": args.pull_chunk,
+    });
+    let totals = json!({
+        "ops": total_ops,
+        "write_ops": metrics.write_us.len(),
+        "read_ops": metrics.read_us.len(),
+        "elapsed_secs": elapsed,
+        "ops_per_sec": total_ops as f64 / elapsed,
+        "errors": metrics.errors.len(),
+    });
+    let final_orphans_field = if final_orphans == u64::MAX {
+        -1
+    } else {
+        final_orphans as i64
+    };
+    let checks = json!({
+        "discoveries_committed": metrics.discoveries_committed,
+        "cascade_alerts_observed": final_alerts,
+        "alerts_match_discoveries": alerts_match,
+        "orphan_violations": metrics.orphan_violations,
+        "final_orphans": final_orphans_field,
+        "ok": checks_ok,
+    });
+    let report = json!({
+        "bench": "server",
+        "config": config,
+        "totals": totals,
+        "write_latency_us": latency_summary(metrics.write_us.clone()),
+        "read_latency_us": latency_summary(metrics.read_us.clone()),
+        "cascade_visibility_us": latency_summary(metrics.cascade_lag_us.clone()),
+        "checks": checks,
+    });
+    let rendered = serde_json::to_string_pretty(&report).unwrap();
+    if let Err(e) = std::fs::write(&args.out, &rendered) {
+        eprintln!("pg-load: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{rendered}");
+    if !metrics.errors.is_empty() {
+        for e in metrics.errors.iter().take(10) {
+            eprintln!("pg-load error: {e}");
+        }
+    }
+    if checks_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pg-load: consistency checks FAILED");
+        ExitCode::FAILURE
+    }
+}

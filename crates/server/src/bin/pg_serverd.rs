@@ -1,0 +1,135 @@
+//! `pg-serverd` — the PG-Triggers wire-protocol daemon.
+//!
+//! ```text
+//! pg-serverd [--addr HOST:PORT] [--dir PATH] [--covid] [--threads N]
+//!
+//!   --addr HOST:PORT   listen address           (default 127.0.0.1:7687)
+//!   --dir PATH         durable data directory (WAL + snapshots); omitted
+//!                      = in-memory. PG_WAL_SYNC picks the sync policy
+//!                      (always/group/never; invalid spellings refuse to
+//!                      start — no silent fallback).
+//!   --covid            stand up the §6 COVID scenario (indexes, seed
+//!                      graph, paper triggers) before serving
+//! ```
+//!
+//! The process serves until killed. A durable directory is protected by a
+//! PID lock file: starting a second daemon on the same `--dir` while the
+//! first lives fails with a `Locked` error instead of corrupting the WAL.
+
+use pg_server::Server;
+use pg_triggers::{EngineConfig, Session, WalOptions};
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    dir: Option<std::path::PathBuf>,
+    covid: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7687".to_string(),
+        dir: None,
+        covid: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().ok_or("--addr needs a value")?,
+            "--dir" => args.dir = Some(it.next().ok_or("--dir needs a value")?.into()),
+            "--covid" => args.covid = true,
+            "--help" | "-h" => {
+                return Err("usage: pg-serverd [--addr HOST:PORT] [--dir PATH] [--covid]".into())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut session = match &args.dir {
+        Some(dir) => {
+            let wal = match WalOptions::from_env() {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("pg-serverd: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Session::open_durable(dir, EngineConfig::default(), wal) {
+                Ok((session, report)) => {
+                    eprintln!(
+                        "pg-serverd: recovered {} (snapshot seq {}, replayed {} frames, wal seq {})",
+                        dir.display(),
+                        report.snapshot_seq,
+                        report.commits_replayed,
+                        report.last_seq
+                    );
+                    session
+                }
+                Err(e) => {
+                    eprintln!("pg-serverd: cannot open {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => Session::new(),
+    };
+
+    if args.covid {
+        // Idempotence over restarts: a recovered durable store already
+        // holds the seed — detect it and only (re)install the triggers,
+        // which are code, not data (never persisted).
+        let seeded = session
+            .run("MATCH (h:Hospital {name: 'Sacco'}) RETURN count(*) AS n")
+            .ok()
+            .and_then(|o| o.single().and_then(|v| v.as_i64()))
+            .unwrap_or(0)
+            > 0;
+        let stmts = if seeded {
+            pg_covid::triggers::PAPER_TRIGGERS
+                .iter()
+                .map(|t| t.to_string())
+                .collect()
+        } else {
+            pg_covid::wire::setup_statements()
+        };
+        for stmt in &stmts {
+            if let Err(e) = session.execute(stmt) {
+                eprintln!("pg-serverd: covid setup failed on `{stmt}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "pg-serverd: covid scenario {} ({} statements)",
+            if seeded { "re-armed" } else { "installed" },
+            stmts.len()
+        );
+    }
+
+    let server = match Server::bind(args.addr.as_str(), session) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pg-serverd: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parsed by scripts (CI smoke) to learn the resolved port.
+    println!("listening on {}", server.local_addr());
+    match server.serve_forever() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pg-serverd: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

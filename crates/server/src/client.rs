@@ -1,0 +1,259 @@
+//! A blocking wire client: the load generator's and the tests' view of
+//! the server — and a reference implementation of the protocol for any
+//! other client.
+//!
+//! [`Client::connect`] performs the `HELLO` handshake. [`Client::run`]
+//! submits a statement and returns its field names; records are then
+//! pulled in chunks with [`Client::pull`] (the backpressure lever — the
+//! server sends at most `n` records per request) or all at once with
+//! [`Client::pull_all`]. [`Client::run_all`] does the common
+//! run-then-drain round trip.
+//!
+//! After a server `FAILURE` the session ignores everything until `RESET`;
+//! [`Client::run`]/[`Client::pull`] surface the failure as
+//! [`ClientError::Server`] and [`Client::reset`] clears it.
+
+use crate::protocol::{self, meta_value, Request, Response, WireError, MAX_FRAME};
+use pg_graph::Value;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport/protocol, or a typed server refusal.
+#[derive(Debug)]
+pub enum ClientError {
+    Wire(WireError),
+    /// The server answered `FAILURE {code, message}`.
+    Server {
+        code: String,
+        message: String,
+    },
+    /// The server answered `IGNORED` (session in failed state — RESET).
+    Ignored,
+    /// The server answered something the current exchange does not allow.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server failure [{code}]: {message}")
+            }
+            ClientError::Ignored => write!(f, "request ignored (session failed; RESET first)"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A consumed statement result.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    /// Trigger firings the statement caused (from the RUN metadata).
+    pub fired: i64,
+    /// Snapshot epoch (reads) or WAL sequence (writes) the result
+    /// reflects, when the server reported one.
+    pub epoch: Option<i64>,
+    pub wal_seq: Option<i64>,
+}
+
+impl QueryResult {
+    /// First value of the first row (single-value convenience).
+    pub fn single(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// First value of the first row as an integer.
+    pub fn single_i64(&self) -> Option<i64> {
+        self.single().and_then(|v| v.as_i64())
+    }
+}
+
+/// One open connection.
+pub struct Client {
+    r: BufReader<TcpStream>,
+    w: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect and complete the `HELLO` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Self::connect_as(addr, concat!("pg-client/", env!("CARGO_PKG_VERSION")))
+    }
+
+    /// Connect with an explicit agent string.
+    pub fn connect_as(addr: impl ToSocketAddrs, agent: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone().map_err(WireError::Io)?;
+        let mut client = Client {
+            r: BufReader::new(stream),
+            w: BufWriter::new(write_half),
+        };
+        client.request(&Request::Hello {
+            agent: agent.to_string(),
+        })?;
+        Ok(client)
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), WireError> {
+        let mut payload = Vec::new();
+        protocol::encode_request(req, &mut payload);
+        debug_assert!(payload.len() as u32 <= MAX_FRAME);
+        protocol::write_frame(&mut self.w, &payload)?;
+        self.w.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, WireError> {
+        let payload = protocol::read_frame(&mut self.r)?;
+        protocol::decode_response(&payload)
+    }
+
+    /// One request → one terminal response (no records expected). Returns
+    /// the SUCCESS metadata.
+    fn request(&mut self, req: &Request) -> Result<Vec<(String, Value)>, ClientError> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Success { meta } => Ok(meta),
+            Response::Failure { code, message } => Err(ClientError::Server { code, message }),
+            Response::Ignored => Err(ClientError::Ignored),
+            Response::Record { .. } => Err(ClientError::Unexpected("RECORD outside PULL")),
+        }
+    }
+
+    /// Submit a statement; returns its column names. Records wait
+    /// server-side until pulled.
+    pub fn run(
+        &mut self,
+        query: &str,
+        params: &[(String, Value)],
+    ) -> Result<QueryResult, ClientError> {
+        let meta = self.request(&Request::Run {
+            query: query.to_string(),
+            params: params.to_vec(),
+        })?;
+        let columns = match meta_value(&meta, "fields") {
+            Some(Value::List(items)) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => s.clone(),
+                    other => format!("{other:?}"),
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let as_int = |key: &str| meta_value(&meta, key).and_then(|v| v.as_i64());
+        Ok(QueryResult {
+            columns,
+            rows: Vec::new(),
+            fired: as_int("fired").unwrap_or(0),
+            epoch: as_int("epoch"),
+            wal_seq: as_int("wal_seq"),
+        })
+    }
+
+    /// Pull up to `n` records. Returns `(records, has_more)`.
+    pub fn pull(&mut self, n: u64) -> Result<(Vec<Vec<Value>>, bool), ClientError> {
+        self.send(&Request::Pull { n })?;
+        let mut rows = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Record { values } => rows.push(values),
+                Response::Success { meta } => {
+                    let has_more = matches!(meta_value(&meta, "has_more"), Some(Value::Bool(true)));
+                    return Ok((rows, has_more));
+                }
+                Response::Failure { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                Response::Ignored => return Err(ClientError::Ignored),
+            }
+        }
+    }
+
+    /// Drain the pending result completely, `chunk` records per PULL.
+    pub fn pull_all_chunked(&mut self, chunk: u64) -> Result<Vec<Vec<Value>>, ClientError> {
+        let mut rows = Vec::new();
+        loop {
+            let (mut batch, has_more) = self.pull(chunk)?;
+            rows.append(&mut batch);
+            if !has_more {
+                return Ok(rows);
+            }
+        }
+    }
+
+    /// Drain the pending result in one PULL.
+    pub fn pull_all(&mut self) -> Result<Vec<Vec<Value>>, ClientError> {
+        let (rows, has_more) = self.pull(u64::MAX)?;
+        debug_assert!(!has_more);
+        Ok(rows)
+    }
+
+    /// Run + drain: the common round trip. On a server failure the
+    /// session is RESET before returning the error, so the connection
+    /// stays usable.
+    pub fn run_all(
+        &mut self,
+        query: &str,
+        params: &[(String, Value)],
+    ) -> Result<QueryResult, ClientError> {
+        let mut result = match self.run(query, params) {
+            Ok(r) => r,
+            Err(e @ ClientError::Server { .. }) => {
+                self.reset()?;
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+        result.rows = self.pull_all()?;
+        Ok(result)
+    }
+
+    /// Abandon the rest of the pending result.
+    pub fn discard(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Discard).map(|_| ())
+    }
+
+    /// Open an explicit transaction (holds the server's writer until
+    /// commit/rollback/reset/disconnect).
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Begin).map(|_| ())
+    }
+
+    /// Commit the open transaction; returns the cascade firing count the
+    /// commit phase added (ONCOMMIT/DETACHED triggers).
+    pub fn commit(&mut self) -> Result<i64, ClientError> {
+        let meta = self.request(&Request::Commit)?;
+        Ok(meta_value(&meta, "fired")
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0))
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Rollback).map(|_| ())
+    }
+
+    /// Clear a failed session state (and roll back an open transaction).
+    pub fn reset(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Reset).map(|_| ())
+    }
+
+    /// Polite close. The server answers nothing; the socket just ends.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        self.send(&Request::Goodbye)?;
+        Ok(())
+    }
+}

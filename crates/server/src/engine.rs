@@ -1,0 +1,118 @@
+//! The shared engine behind all connections: one writer [`Session`], N
+//! snapshot readers.
+//!
+//! The concurrency model is the engine's own (see `pg-graph`'s MVCC-lite
+//! store): a **single writer** runs statements with full trigger
+//! semantics, committing epochs that are published atomically; any number
+//! of **readers** pin immutable snapshots of published epochs. The wire
+//! layer maps onto that directly:
+//!
+//! * every connection shares one writer session behind a mutex — write
+//!   statements serialize, and an explicit transaction holds the writer
+//!   for its whole span (so its statements are one atomic unit and other
+//!   writers queue behind it);
+//! * every connection owns a private [`ReadSession`] — auto-commit
+//!   read-only queries never touch the writer lock, and each one re-pins
+//!   the latest published epoch first, so a client always observes commit
+//!   atomicity: a trigger cascade's effects appear all-or-nothing.
+
+use pg_graph::GraphHandle;
+use pg_triggers::{ReadSession, Session};
+use std::sync::{Mutex, MutexGuard};
+
+/// The shared state every connection handler holds an `Arc` of.
+pub struct Engine {
+    writer: Mutex<Session>,
+    handle: GraphHandle,
+}
+
+impl Engine {
+    /// Wrap a prepared session (schema/triggers/data already installed —
+    /// or recovered, for durable sessions) for serving.
+    ///
+    /// The session must not have an open explicit transaction.
+    pub fn new(mut session: Session) -> Engine {
+        let handle = session.reader_handle();
+        Engine {
+            writer: Mutex::new(session),
+            handle,
+        }
+    }
+
+    /// Lock the writer session. Blocks while another connection holds it
+    /// (e.g. for an explicit transaction).
+    ///
+    /// Poisoning (a handler thread panicking mid-statement) is recovered
+    /// into the guard: the session's own statement/transaction rollback
+    /// already restored store consistency before the unwind, and refusing
+    /// every later write would turn one bad statement into a dead server.
+    pub fn writer(&self) -> MutexGuard<'_, Session> {
+        match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// A new private snapshot reader pinned to the latest published epoch.
+    pub fn read_session(&self) -> ReadSession {
+        ReadSession::new(self.handle.clone())
+    }
+
+    /// The epoch a fresh snapshot would pin right now.
+    pub fn epoch(&self) -> u64 {
+        self.handle.epoch()
+    }
+
+    /// Tear the engine down, returning the writer session (tests and
+    /// clean server shutdown — e.g. to `close_durable` it).
+    pub fn into_session(self) -> Session {
+        match self.writer.into_inner() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_pin_published_epochs_only() {
+        let mut session = Session::new();
+        session.run("CREATE (:T {v: 1})").unwrap();
+        let engine = Engine::new(session);
+
+        let mut r = engine.read_session();
+        let n = |r: &mut ReadSession| {
+            r.run("MATCH (t:T) RETURN count(*) AS n")
+                .unwrap()
+                .single()
+                .and_then(|v| v.as_i64())
+                .unwrap()
+        };
+        assert_eq!(n(&mut r), 1);
+
+        engine.writer().run("CREATE (:T {v: 2})").unwrap();
+        // Pinned reader is unaffected until refreshed.
+        assert_eq!(n(&mut r), 1);
+        r.refresh();
+        assert_eq!(n(&mut r), 2);
+        // Fresh readers see the latest epoch immediately.
+        let mut r2 = engine.read_session();
+        assert_eq!(n(&mut r2), 2);
+    }
+
+    #[test]
+    fn writer_lock_serializes() {
+        let engine = Engine::new(Session::new());
+        {
+            let mut w = engine.writer();
+            w.run("CREATE (:A)").unwrap();
+        }
+        let mut w = engine.writer();
+        w.run("CREATE (:A)").unwrap();
+        let out = w.run("MATCH (a:A) RETURN count(*) AS n").unwrap();
+        assert_eq!(out.single().and_then(|v| v.as_i64()), Some(2));
+    }
+}

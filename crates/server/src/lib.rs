@@ -1,0 +1,41 @@
+//! # pg-server — the wire-protocol front door
+//!
+//! Puts the PG-Triggers engine behind TCP: a Bolt-style length-prefixed
+//! request/response protocol (`HELLO`/`RUN`/`PULL`/`DISCARD`/`RESET` plus
+//! explicit `BEGIN`/`COMMIT`/`ROLLBACK`), typed result streams encoded
+//! with [`pg_graph::codec`] (the WAL's own byte encoding — one
+//! serialization scheme for disk and wire), and a session pool that maps
+//! every connection onto **one shared writer** [`pg_triggers::Session`]
+//! plus a **private snapshot reader** ([`pg_triggers::ReadSession`]).
+//!
+//! What the paper's semantics buy here: concurrent clients observe each
+//! other's *trigger cascades atomically*. A write that fires a cascade
+//! commits the statement's effects and every transitive trigger effect as
+//! one published epoch; any other client's read — served from a pinned
+//! snapshot — sees all of it or none of it, never a half-applied cascade.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — frame format, message tags, codecs (shared by server
+//!   and client; see the module docs for the wire grammar);
+//! * [`engine`] — the shared writer + snapshot-reader pool;
+//! * `handler` — the per-connection state machine (handshake, streaming
+//!   with client-paced backpressure, explicit transactions with
+//!   auto-rollback on disconnect, failed-state/RESET semantics);
+//! * [`server`] — TCP accept loop ([`Server::bind`] → [`Server::spawn`]);
+//! * [`client`] — a blocking reference client ([`Client`]), used by the
+//!   integration tests, the `pg-load` generator, and the CI smoke script.
+//!
+//! Binaries: `pg-serverd` (the daemon) and `pg-load` (the sustained-load
+//! harness emitting `BENCH_server.json`).
+
+pub mod client;
+pub mod engine;
+mod handler;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, QueryResult};
+pub use engine::Engine;
+pub use protocol::{Request, Response, WireError, MAX_FRAME, SERVER_AGENT};
+pub use server::{Server, ServerHandle};

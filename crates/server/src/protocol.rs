@@ -1,0 +1,454 @@
+//! The wire protocol: a Bolt-style length-prefixed request/response
+//! subset over TCP.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! frame    := len:u32  payload                (len = payload byte count,
+//!                                              little-endian, max 64 MiB)
+//! payload  := tag:u8  fields                  (pg_graph::codec encoding)
+//! ```
+//!
+//! Requests (client → server):
+//!
+//! | tag    | message    | fields                                   |
+//! |--------|------------|------------------------------------------|
+//! | `0x01` | `HELLO`    | `agent:str`                              |
+//! | `0x02` | `GOODBYE`  | —                                        |
+//! | `0x0F` | `RESET`    | —                                        |
+//! | `0x10` | `RUN`      | `query:str` `params:u32 (str value)*`    |
+//! | `0x11` | `BEGIN`    | —                                        |
+//! | `0x12` | `COMMIT`   | —                                        |
+//! | `0x13` | `ROLLBACK` | —                                        |
+//! | `0x2F` | `DISCARD`  | —                                        |
+//! | `0x3F` | `PULL`     | `n:u64` (`u64::MAX` = all)               |
+//!
+//! Responses (server → client):
+//!
+//! | tag    | message   | fields                                    |
+//! |--------|-----------|-------------------------------------------|
+//! | `0x70` | `SUCCESS` | `meta:u32 (str value)*`                   |
+//! | `0x71` | `RECORD`  | `values:u32 value*`                       |
+//! | `0x7E` | `IGNORED` | —                                         |
+//! | `0x7F` | `FAILURE` | `code:str` `message:str`                  |
+//!
+//! Values reuse [`pg_graph::codec`] — the same byte encoding the WAL
+//! persists, so a `Value` that round-trips through the log round-trips
+//! through the wire. Strings, maps and lists are codec-encoded; there is
+//! no second serialization scheme to keep in sync.
+//!
+//! The response protocol is Bolt's: `RUN` answers `SUCCESS` with a
+//! `fields` list, each `PULL n` streams up to `n` `RECORD` frames
+//! followed by one `SUCCESS` carrying `has_more`, and after a `FAILURE`
+//! the connection ignores everything except `RESET` (answering `IGNORED`)
+//! so pipelined requests cannot run against a failed state.
+
+use pg_graph::codec::{self, CodecError, Reader};
+use pg_graph::Value;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload (64 MiB): a corrupt or hostile
+/// length prefix must not allocate unbounded memory server-side.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Protocol version string sent back by HELLO.
+pub const SERVER_AGENT: &str = concat!("pg-server/", env!("CARGO_PKG_VERSION"));
+
+// Request tags.
+pub const TAG_HELLO: u8 = 0x01;
+pub const TAG_GOODBYE: u8 = 0x02;
+pub const TAG_RESET: u8 = 0x0F;
+pub const TAG_RUN: u8 = 0x10;
+pub const TAG_BEGIN: u8 = 0x11;
+pub const TAG_COMMIT: u8 = 0x12;
+pub const TAG_ROLLBACK: u8 = 0x13;
+pub const TAG_DISCARD: u8 = 0x2F;
+pub const TAG_PULL: u8 = 0x3F;
+
+// Response tags.
+pub const TAG_SUCCESS: u8 = 0x70;
+pub const TAG_RECORD: u8 = 0x71;
+pub const TAG_IGNORED: u8 = 0x7E;
+pub const TAG_FAILURE: u8 = 0x7F;
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Hello {
+        agent: String,
+    },
+    Goodbye,
+    Reset,
+    Run {
+        query: String,
+        params: Vec<(String, Value)>,
+    },
+    Begin,
+    Commit,
+    Rollback,
+    Discard,
+    Pull {
+        n: u64,
+    },
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Success { meta: Vec<(String, Value)> },
+    Record { values: Vec<Value> },
+    Ignored,
+    Failure { code: String, message: String },
+}
+
+/// Wire-level failure: I/O, framing, or codec.
+#[derive(Debug)]
+pub enum WireError {
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// A length prefix exceeded [`MAX_FRAME`].
+    FrameTooLarge {
+        len: u32,
+    },
+    /// The payload failed to decode.
+    Codec(CodecError),
+    /// An unknown message tag.
+    BadTag {
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::Codec(e) => write!(f, "frame payload undecodable: {e}"),
+            WireError::BadTag { tag } => write!(f, "unknown message tag {tag:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Framing
+// ----------------------------------------------------------------------
+
+/// Write one frame: length prefix + payload. One `write_all` per frame so
+/// a record stream backpressures through the socket, not through a
+/// server-side buffer of the whole result.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    codec::put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    Ok(())
+}
+
+/// Read one frame's payload. `Closed` when the peer hung up cleanly
+/// between frames (EOF on the length prefix).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Err(WireError::Closed);
+            }
+            return Err(WireError::Io(io::ErrorKind::UnexpectedEof.into()));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+// ----------------------------------------------------------------------
+// Requests
+// ----------------------------------------------------------------------
+
+fn encode_pairs(pairs: &[(String, Value)], out: &mut Vec<u8>) {
+    codec::put_u32(out, pairs.len() as u32);
+    for (k, v) in pairs {
+        codec::put_str(out, k);
+        codec::encode_value(v, out);
+    }
+}
+
+fn decode_pairs(r: &mut Reader<'_>) -> Result<Vec<(String, Value)>, CodecError> {
+    let n = r.u32("pair count")?;
+    let mut pairs = Vec::with_capacity((n as usize).min(1 << 12));
+    for _ in 0..n {
+        let k = r.string("pair key")?;
+        let v = codec::decode_value(r)?;
+        pairs.push((k, v));
+    }
+    Ok(pairs)
+}
+
+/// Encode a request into a payload (framing applied by the caller).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Hello { agent } => {
+            codec::put_u8(out, TAG_HELLO);
+            codec::put_str(out, agent);
+        }
+        Request::Goodbye => codec::put_u8(out, TAG_GOODBYE),
+        Request::Reset => codec::put_u8(out, TAG_RESET),
+        Request::Run { query, params } => {
+            codec::put_u8(out, TAG_RUN);
+            codec::put_str(out, query);
+            encode_pairs(params, out);
+        }
+        Request::Begin => codec::put_u8(out, TAG_BEGIN),
+        Request::Commit => codec::put_u8(out, TAG_COMMIT),
+        Request::Rollback => codec::put_u8(out, TAG_ROLLBACK),
+        Request::Discard => codec::put_u8(out, TAG_DISCARD),
+        Request::Pull { n } => {
+            codec::put_u8(out, TAG_PULL);
+            codec::put_u64(out, *n);
+        }
+    }
+}
+
+/// Decode one request payload, requiring full consumption.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8("request tag")?;
+    let req = match tag {
+        TAG_HELLO => Request::Hello {
+            agent: r.string("hello agent")?,
+        },
+        TAG_GOODBYE => Request::Goodbye,
+        TAG_RESET => Request::Reset,
+        TAG_RUN => Request::Run {
+            query: r.string("run query")?,
+            params: decode_pairs(&mut r)?,
+        },
+        TAG_BEGIN => Request::Begin,
+        TAG_COMMIT => Request::Commit,
+        TAG_ROLLBACK => Request::Rollback,
+        TAG_DISCARD => Request::Discard,
+        TAG_PULL => Request::Pull {
+            n: r.u64("pull n")?,
+        },
+        tag => return Err(WireError::BadTag { tag }),
+    };
+    if !r.is_empty() {
+        return Err(WireError::Codec(CodecError::BadTag {
+            what: "bytes after request payload",
+            tag: r.u8("trailing byte")?,
+        }));
+    }
+    Ok(req)
+}
+
+// ----------------------------------------------------------------------
+// Responses
+// ----------------------------------------------------------------------
+
+/// Encode a response into a payload (framing applied by the caller).
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::Success { meta } => {
+            codec::put_u8(out, TAG_SUCCESS);
+            encode_pairs(meta, out);
+        }
+        Response::Record { values } => {
+            codec::put_u8(out, TAG_RECORD);
+            codec::put_u32(out, values.len() as u32);
+            for v in values {
+                codec::encode_value(v, out);
+            }
+        }
+        Response::Ignored => codec::put_u8(out, TAG_IGNORED),
+        Response::Failure { code, message } => {
+            codec::put_u8(out, TAG_FAILURE);
+            codec::put_str(out, code);
+            codec::put_str(out, message);
+        }
+    }
+}
+
+/// Decode one response payload, requiring full consumption.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8("response tag")?;
+    let resp = match tag {
+        TAG_SUCCESS => Response::Success {
+            meta: decode_pairs(&mut r)?,
+        },
+        TAG_RECORD => {
+            let n = r.u32("record width")?;
+            let mut values = Vec::with_capacity((n as usize).min(1 << 12));
+            for _ in 0..n {
+                values.push(codec::decode_value(&mut r)?);
+            }
+            Response::Record { values }
+        }
+        TAG_IGNORED => Response::Ignored,
+        TAG_FAILURE => Response::Failure {
+            code: r.string("failure code")?,
+            message: r.string("failure message")?,
+        },
+        tag => return Err(WireError::BadTag { tag }),
+    };
+    if !r.is_empty() {
+        return Err(WireError::Codec(CodecError::BadTag {
+            what: "bytes after response payload",
+            tag: r.u8("trailing byte")?,
+        }));
+    }
+    Ok(resp)
+}
+
+/// Convenience: metadata lookup by key.
+pub fn meta_value<'a>(meta: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    meta.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        assert_eq!(decode_request(&buf).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        assert_eq!(decode_response(&buf).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            agent: "test/1".into(),
+        });
+        roundtrip_req(Request::Goodbye);
+        roundtrip_req(Request::Reset);
+        roundtrip_req(Request::Run {
+            query: "MATCH (n) RETURN n".into(),
+            params: vec![
+                ("k".into(), Value::Int(1)),
+                ("s".into(), Value::str("x")),
+                ("l".into(), Value::list([Value::Bool(true), Value::Null])),
+            ],
+        });
+        roundtrip_req(Request::Begin);
+        roundtrip_req(Request::Commit);
+        roundtrip_req(Request::Rollback);
+        roundtrip_req(Request::Discard);
+        roundtrip_req(Request::Pull { n: 64 });
+        roundtrip_req(Request::Pull { n: u64::MAX });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Success {
+            meta: vec![
+                ("fields".into(), Value::list([Value::str("n")])),
+                ("has_more".into(), Value::Bool(false)),
+            ],
+        });
+        roundtrip_resp(Response::Record {
+            values: vec![Value::Int(7), Value::Float(1.5), Value::Null],
+        });
+        roundtrip_resp(Response::Ignored);
+        roundtrip_resp(Response::Failure {
+            code: "SyntaxError".into(),
+            message: "unexpected token".into(),
+        });
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_pipe() {
+        let mut pipe = Vec::new();
+        let mut p1 = Vec::new();
+        encode_request(
+            &Request::Run {
+                query: "RETURN 1".into(),
+                params: vec![],
+            },
+            &mut p1,
+        );
+        write_frame(&mut pipe, &p1).unwrap();
+        let mut p2 = Vec::new();
+        encode_request(&Request::Pull { n: 10 }, &mut p2);
+        write_frame(&mut pipe, &p2).unwrap();
+
+        let mut cursor = &pipe[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), p1);
+        assert_eq!(read_frame(&mut cursor).unwrap(), p2);
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_without_allocating() {
+        let mut buf = Vec::new();
+        codec::put_u32(&mut buf, MAX_FRAME + 1);
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_typed_errors() {
+        assert!(matches!(
+            decode_request(&[0xAA]),
+            Err(WireError::BadTag { tag: 0xAA })
+        ));
+        assert!(matches!(
+            decode_response(&[0x55]),
+            Err(WireError::BadTag { tag: 0x55 })
+        ));
+        // RESET followed by a stray byte.
+        assert!(decode_request(&[TAG_RESET, 0x00]).is_err());
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Run {
+                query: "MATCH (n) RETURN n".into(),
+                params: vec![("a".into(), Value::Int(3))],
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert!(
+                decode_request(&buf[..cut]).is_err(),
+                "a {cut}-byte prefix must not decode"
+            );
+        }
+    }
+}

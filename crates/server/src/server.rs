@@ -1,0 +1,133 @@
+//! The TCP front door: bind, accept, one handler thread per connection.
+//!
+//! ```no_run
+//! use pg_server::{Client, Server};
+//! use pg_triggers::Session;
+//!
+//! let server = Server::bind("127.0.0.1:0", Session::new()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let result = client.run_all("RETURN 1 AS one", &[]).unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! client.goodbye().ok();
+//! handle.shutdown();
+//! ```
+
+use crate::engine::Engine;
+use crate::handler::serve_connection;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A bound-but-not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    local_addr: SocketAddr,
+}
+
+/// Control handle for a serving server: address + graceful shutdown.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port) and
+    /// wrap `session` as the shared writer. The session carries whatever
+    /// schema, triggers, indexes, and data it was prepared with — for a
+    /// durable server, open it with [`pg_triggers::Session::open_durable`]
+    /// first.
+    pub fn bind(
+        addr: impl std::net::ToSocketAddrs,
+        session: pg_triggers::Session,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            engine: Arc::new(Engine::new(session)),
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared engine (tests peek at epochs through this).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Start accepting in a background thread and return the control
+    /// handle. Each connection gets its own handler thread; handler
+    /// threads exit when their peer disconnects.
+    pub fn spawn(self) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let engine = Arc::clone(&self.engine);
+        let local_addr = self.local_addr;
+        let accept_stop = Arc::clone(&stop);
+        let accept_engine = Arc::clone(&self.engine);
+        let listener = self.listener;
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let engine = Arc::clone(&accept_engine);
+                std::thread::spawn(move || {
+                    // Transport errors just end the connection; the engine
+                    // state is protected by per-request transaction
+                    // handling, not by the connection's fate.
+                    let _ = serve_connection(&engine, stream);
+                });
+            }
+        });
+        ServerHandle {
+            local_addr,
+            stop,
+            accept_thread,
+            engine,
+        }
+    }
+
+    /// Serve on the calling thread, forever (the daemon binary's mode).
+    pub fn serve_forever(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            let engine = Arc::clone(&self.engine);
+            std::thread::spawn(move || {
+                let _ = serve_connection(&engine, stream);
+            });
+        }
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stop accepting new connections and join the accept thread. Open
+    /// connections finish on their own threads (clients disconnect them);
+    /// call after the test's clients said GOODBYE.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept_thread.join();
+    }
+}

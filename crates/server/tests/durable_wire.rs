@@ -1,0 +1,166 @@
+//! Durability meets the wire: writes made over sockets survive a server
+//! restart via WAL recovery, the recovered server serves the same data,
+//! and the PID lock file refuses a second writer on a live directory.
+
+use pg_server::{Client, Server};
+use pg_triggers::{EngineConfig, Session};
+use pg_wal::{RecoveryError, SyncPolicy, WalOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pg_server_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wal_options() -> WalOptions {
+    WalOptions {
+        sync: SyncPolicy::Always,
+        ..WalOptions::default()
+    }
+}
+
+fn open_session(dir: &Path) -> Result<(Session, pg_wal::RecoveryReport), RecoveryError> {
+    Session::open_durable(dir, EngineConfig::default(), wal_options())
+}
+
+/// The handler threads hold the engine (and with it the WAL lock) until
+/// their sockets close; after a client GOODBYE + handle shutdown that is
+/// a race measured in microseconds, but a race nonetheless — reopen with
+/// a bounded retry on `Locked`.
+fn reopen_when_released(dir: &Path) -> (Session, pg_wal::RecoveryReport) {
+    for _ in 0..200 {
+        match open_session(dir) {
+            Ok(opened) => return opened,
+            Err(RecoveryError::Locked { .. }) => {
+                std::thread::sleep(std::time::Duration::from_millis(10))
+            }
+            Err(e) => panic!("reopen failed: {e}"),
+        }
+    }
+    panic!("previous server never released the WAL lock");
+}
+
+#[test]
+fn wire_writes_survive_a_server_restart() {
+    let tmp = TempDir::new("restart");
+
+    // Generation 1: a durable server takes writes over the wire — data,
+    // a trigger, and a cascade the trigger fires.
+    {
+        let (session, _) = open_session(tmp.path()).unwrap();
+        let server = Server::bind("127.0.0.1:0", session).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.spawn();
+
+        let mut c = Client::connect(&addr).unwrap();
+        let out = c.run_all("CREATE (:Fact {k: 'alpha'})", &[]).unwrap();
+        assert!(out.wal_seq.is_some(), "durable writes report a wal_seq");
+        c.run_all(
+            "CREATE TRIGGER FactEcho AFTER CREATE ON 'Fact' FOR EACH NODE \
+             BEGIN CREATE (:Echo {k: NEW.k}) END",
+            &[],
+        )
+        .unwrap();
+        let out = c.run_all("CREATE (:Fact {k: 'beta'})", &[]).unwrap();
+        assert_eq!(out.fired, 1);
+
+        // An explicit transaction, committed over the wire.
+        c.begin().unwrap();
+        c.run_all("CREATE (:Fact {k: 'gamma'})", &[]).unwrap();
+        c.commit().unwrap();
+
+        // And one abandoned mid-transaction: must NOT survive.
+        let mut doomed = Client::connect(&addr).unwrap();
+        doomed.begin().unwrap();
+        doomed.run_all("CREATE (:Fact {k: 'doomed'})", &[]).unwrap();
+        drop(doomed);
+
+        c.goodbye().ok();
+        handle.shutdown();
+    }
+
+    // Generation 2: recovery replays the committed history — including
+    // the trigger's cascade effect — and serves it over the wire again.
+    let (session, report) = reopen_when_released(tmp.path());
+    assert!(report.last_seq > 0, "the WAL recorded the first generation");
+    let server = Server::bind("127.0.0.1:0", session).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    let mut c = Client::connect(&addr).unwrap();
+    let facts = c.run_all("MATCH (f:Fact) RETURN f.k AS k", &[]).unwrap();
+    let mut keys: Vec<String> = facts
+        .rows
+        .iter()
+        .filter_map(|r| r.first().and_then(|v| v.as_str().map(|s| s.to_string())))
+        .collect();
+    keys.sort();
+    assert_eq!(keys, ["alpha", "beta", "gamma"], "doomed must not recover");
+    let echoes = c
+        .run_all("MATCH (e:Echo {k: 'beta'}) RETURN count(*) AS n", &[])
+        .unwrap();
+    assert_eq!(
+        echoes.single_i64(),
+        Some(1),
+        "the cascade effect recovers with its statement"
+    );
+
+    // The recovered store keeps taking durable writes.
+    let out = c.run_all("CREATE (:Fact {k: 'delta'})", &[]).unwrap();
+    assert!(out.wal_seq.unwrap() > 0);
+    c.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn second_open_is_refused_while_the_server_lives() {
+    let tmp = TempDir::new("live_lock");
+    let (session, _) = open_session(tmp.path()).unwrap();
+    let server = Server::bind("127.0.0.1:0", session).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn();
+
+    // The server is live (prove it over the wire)...
+    let mut c = Client::connect(&addr).unwrap();
+    c.run_all("CREATE (:Guard)", &[]).unwrap();
+
+    // ...so a second durable open on the same directory must refuse, and
+    // name this very process as the holder.
+    match open_session(tmp.path()) {
+        Err(RecoveryError::Locked { holder_pid }) => {
+            assert_eq!(holder_pid, std::process::id())
+        }
+        Ok(_) => panic!("second open on a live directory must be refused"),
+        Err(e) => panic!("expected Locked, got {e}"),
+    }
+
+    // The refusal did not disturb the serving generation.
+    let n = c
+        .run_all("MATCH (g:Guard) RETURN count(*) AS n", &[])
+        .unwrap();
+    assert_eq!(n.single_i64(), Some(1));
+    c.goodbye().ok();
+    handle.shutdown();
+}

@@ -1,0 +1,244 @@
+//! Single-connection protocol semantics over a real socket: handshake
+//! discipline, chunked streaming with backpressure, DISCARD, the
+//! failed-state FAILURE → IGNORED → RESET cycle, parameters, and
+//! EXPLAIN/DDL results.
+
+use pg_graph::Value;
+use pg_server::{Client, ClientError, Server, ServerHandle};
+use pg_triggers::Session;
+
+fn spawn_empty() -> (ServerHandle, String) {
+    let server = Server::bind("127.0.0.1:0", Session::new()).unwrap();
+    let addr = server.local_addr().to_string();
+    (server.spawn(), addr)
+}
+
+#[test]
+fn hello_handshake_is_required_before_anything_else() {
+    use pg_server::{Request, Response};
+    use std::io::Write;
+    let (handle, addr) = spawn_empty();
+
+    // A raw connection whose first frame is RUN, not HELLO.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut payload = Vec::new();
+    pg_server::protocol::encode_request(
+        &Request::Run {
+            query: "RETURN 1".into(),
+            params: Vec::new(),
+        },
+        &mut payload,
+    );
+    pg_server::protocol::write_frame(&mut stream, &payload).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let frame = pg_server::protocol::read_frame(&mut reader).unwrap();
+    match pg_server::protocol::decode_response(&frame).unwrap() {
+        Response::Failure { code, .. } => assert_eq!(code, "Request.Invalid"),
+        other => panic!("expected FAILURE before handshake, got {other:?}"),
+    }
+    // The server hangs up after refusing the handshake.
+    match pg_server::protocol::read_frame(&mut reader) {
+        Err(_) => {}
+        Ok(frame) => panic!("connection should be closed, read {} bytes", frame.len()),
+    }
+
+    // A proper HELLO still works on a fresh connection.
+    let mut client = Client::connect(&addr).unwrap();
+    let out = client.run_all("RETURN 1 AS one", &[]).unwrap();
+    assert_eq!(out.single_i64(), Some(1));
+    client.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn pull_streams_in_chunks_with_has_more() {
+    let (handle, addr) = spawn_empty();
+    let mut client = Client::connect(&addr).unwrap();
+    for i in 0..10 {
+        client
+            .run_all(&format!("CREATE (:Row {{i: {i}}})"), &[])
+            .unwrap();
+    }
+    let result = client.run("MATCH (r:Row) RETURN r.i AS i", &[]).unwrap();
+    assert_eq!(result.columns, ["i"]);
+
+    // 10 records, pulled 4 at a time: 4 + 4 + 2, has_more true/true/false.
+    let (batch, more) = client.pull(4).unwrap();
+    assert_eq!((batch.len(), more), (4, true));
+    let (batch, more) = client.pull(4).unwrap();
+    assert_eq!((batch.len(), more), (4, true));
+    let (batch, more) = client.pull(4).unwrap();
+    assert_eq!((batch.len(), more), (2, false));
+
+    // The stream is consumed: a fresh RUN is accepted immediately.
+    let out = client
+        .run_all("MATCH (r:Row) RETURN count(*) AS n", &[])
+        .unwrap();
+    assert_eq!(out.single_i64(), Some(10));
+    client.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn pull_zero_keeps_the_stream_open() {
+    let (handle, addr) = spawn_empty();
+    let mut client = Client::connect(&addr).unwrap();
+    client.run_all("CREATE (:One)", &[]).unwrap();
+    client.run("MATCH (o:One) RETURN o", &[]).unwrap();
+    let (batch, more) = client.pull(0).unwrap();
+    assert_eq!((batch.len(), more), (0, true));
+    let (batch, more) = client.pull(1).unwrap();
+    assert_eq!((batch.len(), more), (1, false));
+    client.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn discard_abandons_the_pending_result() {
+    let (handle, addr) = spawn_empty();
+    let mut client = Client::connect(&addr).unwrap();
+    for i in 0..5 {
+        client
+            .run_all(&format!("CREATE (:D {{i: {i}}})"), &[])
+            .unwrap();
+    }
+    client.run("MATCH (d:D) RETURN d.i", &[]).unwrap();
+    let (batch, more) = client.pull(2).unwrap();
+    assert_eq!((batch.len(), more), (2, true));
+    client.discard().unwrap();
+
+    // Nothing left to pull; the session accepts new work at once.
+    let out = client.run_all("RETURN 7 AS seven", &[]).unwrap();
+    assert_eq!(out.single_i64(), Some(7));
+    client.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn run_while_results_pend_is_refused_but_recoverable() {
+    let (handle, addr) = spawn_empty();
+    let mut client = Client::connect(&addr).unwrap();
+    client.run_all("CREATE (:P)", &[]).unwrap();
+    client.run("MATCH (p:P) RETURN p", &[]).unwrap();
+    match client.run("RETURN 1", &[]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "Request.Invalid"),
+        other => panic!("expected refusal, got {other:?}"),
+    }
+    client.reset().unwrap();
+    assert_eq!(
+        client.run_all("RETURN 1 AS one", &[]).unwrap().single_i64(),
+        Some(1)
+    );
+    client.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn failure_then_ignored_then_reset() {
+    let (handle, addr) = spawn_empty();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // A statement error fails the session...
+    match client.run("THIS IS NOT A STATEMENT", &[]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "Statement.Error"),
+        other => panic!("expected Statement.Error, got {other:?}"),
+    }
+    // ...after which everything except RESET is IGNORED...
+    match client.run("RETURN 1", &[]) {
+        Err(ClientError::Ignored) => {}
+        other => panic!("expected IGNORED, got {other:?}"),
+    }
+    match client.pull(1) {
+        Err(ClientError::Ignored) => {}
+        other => panic!("expected IGNORED, got {other:?}"),
+    }
+    // ...and RESET restores service.
+    client.reset().unwrap();
+    let out = client.run_all("RETURN 42 AS n", &[]).unwrap();
+    assert_eq!(out.single_i64(), Some(42));
+    client.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn parameters_reach_the_statement() {
+    let (handle, addr) = spawn_empty();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .run_all("CREATE (:City {name: 'Milano', pop: 1400000})", &[])
+        .unwrap();
+    let out = client
+        .run_all(
+            "MATCH (c:City {name: $name}) RETURN c.pop AS pop",
+            &[("name".to_string(), Value::str("Milano"))],
+        )
+        .unwrap();
+    assert_eq!(out.single_i64(), Some(1400000));
+    client.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn ddl_explain_and_trigger_metadata_over_the_wire() {
+    let (handle, addr) = spawn_empty();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // DDL answers a one-row summary.
+    let out = client.run_all("CREATE INDEX ON :City(name)", &[]).unwrap();
+    assert_eq!(out.columns, ["summary"]);
+    assert_eq!(out.rows.len(), 1);
+
+    // EXPLAIN renders the plan, one line per row.
+    client
+        .run_all("CREATE (:City {name: 'Como'})", &[])
+        .unwrap();
+    let out = client
+        .run_all("EXPLAIN MATCH (c:City {name: 'Como'}) RETURN c", &[])
+        .unwrap();
+    assert_eq!(out.columns, ["plan"]);
+    assert!(!out.rows.is_empty());
+
+    // A trigger install is DDL; firing it reports `fired` in the metadata.
+    client
+        .run_all(
+            "CREATE TRIGGER CityEcho AFTER CREATE ON 'City' FOR EACH NODE \
+             BEGIN CREATE (:Echo {city: NEW.name}) END",
+            &[],
+        )
+        .unwrap();
+    let out = client
+        .run_all("CREATE (:City {name: 'Lecco'})", &[])
+        .unwrap();
+    assert_eq!(out.fired, 1);
+    assert!(out.wal_seq.is_none(), "in-memory server reports no wal_seq");
+    let out = client
+        .run_all("MATCH (e:Echo {city: 'Lecco'}) RETURN count(*) AS n", &[])
+        .unwrap();
+    assert_eq!(out.single_i64(), Some(1));
+    assert!(out.epoch.is_some(), "reads report their snapshot epoch");
+    client.goodbye().ok();
+    handle.shutdown();
+}
+
+#[test]
+fn reads_report_monotonic_epochs() {
+    let (handle, addr) = spawn_empty();
+    let mut client = Client::connect(&addr).unwrap();
+    let mut last = -1;
+    for i in 0..5 {
+        client
+            .run_all(&format!("CREATE (:E {{i: {i}}})"), &[])
+            .unwrap();
+        let out = client
+            .run_all("MATCH (e:E) RETURN count(*) AS n", &[])
+            .unwrap();
+        assert_eq!(out.single_i64(), Some(i + 1), "reads see their own writes");
+        let epoch = out.epoch.expect("reads carry an epoch");
+        assert!(epoch > last, "epoch must advance: {epoch} after {last}");
+        last = epoch;
+    }
+    client.goodbye().ok();
+    handle.shutdown();
+}

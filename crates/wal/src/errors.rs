@@ -17,6 +17,14 @@ use std::io;
 pub enum RecoveryError {
     /// Filesystem error (open/read/metadata) outside the format itself.
     Io(String),
+    /// The durability configuration is invalid — e.g. `PG_WAL_SYNC` is set
+    /// to an unrecognized spelling. Raised at open time, before any byte
+    /// is written under the wrong policy.
+    Config(String),
+    /// Another live process holds the directory's lock file. Two writers
+    /// interleaving appends would corrupt the WAL, so the second open is
+    /// refused instead.
+    Locked { holder_pid: u32 },
     /// The WAL file exists but does not start with the WAL magic — wrong
     /// file, wrong version, or header-level corruption.
     BadWalHeader,
@@ -46,6 +54,16 @@ impl fmt::Display for RecoveryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecoveryError::Io(e) => write!(f, "recovery I/O error: {e}"),
+            RecoveryError::Config(reason) => {
+                write!(f, "invalid durability configuration: {reason}")
+            }
+            RecoveryError::Locked { holder_pid } => {
+                write!(
+                    f,
+                    "durable directory is locked by live process {holder_pid} \
+                     (one writer per directory; close it or remove a stale lock)"
+                )
+            }
             RecoveryError::BadWalHeader => write!(f, "WAL file has a bad header"),
             RecoveryError::TruncatedFrame { offset } => {
                 write!(f, "truncated WAL frame at byte {offset}")
@@ -78,5 +96,51 @@ impl From<io::Error> for RecoveryError {
 impl From<CodecError> for RecoveryError {
     fn from(e: CodecError) -> Self {
         RecoveryError::Codec(e)
+    }
+}
+
+/// Why a runtime WAL operation (append, flush, checkpoint) failed after
+/// the log was successfully opened.
+///
+/// Poisoning deserves a variant of its own: a worker that panicked while
+/// holding the WAL mutex may have left a partially appended frame behind,
+/// so later operations must refuse with an error the commit path can turn
+/// into a veto ([`pg_graph::GraphError::Durability`]) — never a panic of
+/// their own.
+#[derive(Debug)]
+pub enum WalError {
+    /// A thread panicked while holding the WAL lock; the log's in-memory
+    /// and on-disk state can no longer be trusted for further appends.
+    Poisoned,
+    /// The underlying file operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Poisoned => write!(
+                f,
+                "WAL lock poisoned by a panicked writer; refusing further appends"
+            ),
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<WalError> for io::Error {
+    fn from(e: WalError) -> Self {
+        match e {
+            WalError::Io(io) => io,
+            WalError::Poisoned => io::Error::other(e.to_string()),
+        }
     }
 }

@@ -29,12 +29,19 @@
 //! * [`Durable`] — the front door: open-or-recover a directory, attach
 //!   the WAL as the graph's [`pg_graph::CommitSink`], checkpoint, flush.
 //!
+//! Opening is exclusive: [`Durable::open`] takes a PID lock file
+//! ([`LOCK_FILE`]) under the directory so a second live process (or a
+//! second handle in the same process) gets [`RecoveryError::Locked`]
+//! instead of interleaving corrupt frames; locks left by dead processes
+//! are detected stale and reclaimed. A set-but-malformed `PG_WAL_SYNC` is
+//! a hard [`RecoveryError::Config`] at open time.
+//!
 //! ```no_run
 //! use pg_wal::{Durable, RecoveryOptions, WalOptions};
 //!
 //! let (durable, mut graph, report) = Durable::open(
 //!     std::path::Path::new("/var/lib/pg-triggers"),
-//!     WalOptions::default(),
+//!     WalOptions::from_env().unwrap(),
 //!     RecoveryOptions::default(),
 //! ).unwrap();
 //! assert_eq!(report.last_seq, durable.seq());
@@ -48,7 +55,7 @@ pub mod log;
 pub mod recover;
 pub mod snapshot;
 
-pub use errors::RecoveryError;
+pub use errors::{RecoveryError, WalError};
 pub use log::{scan_wal, Frame, SyncPolicy, TailState, Wal, WalOptions, WAL_FILE, WAL_MAGIC};
 pub use recover::{recover, RecoveryOptions, RecoveryReport};
 pub use snapshot::{
@@ -58,8 +65,12 @@ pub use snapshot::{
 
 use pg_graph::{CommitSink, Graph, Op};
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock file name inside a durable directory. Holds the owning PID.
+pub const LOCK_FILE: &str = "pg.lock";
 
 /// The graph's durability hook: appends each committed op stream as one
 /// WAL frame, applying the configured sync policy.
@@ -75,17 +86,21 @@ impl CommitSink for WalSink {
         next_node: u64,
         next_rel: u64,
     ) -> std::result::Result<(), String> {
+        // A poisoned lock means a writer panicked mid-operation: the file
+        // may hold a partial frame, so the commit must be vetoed — the
+        // engine rolls the transaction back and the error surfaces as
+        // `GraphError::Durability`, never a panic of its own.
         let mut wal = self
             .wal
             .lock()
-            .map_err(|_| "WAL lock poisoned".to_string())?;
+            .map_err(|_| WalError::Poisoned.to_string())?;
         wal.append(ops, next_node, next_rel)
             .map(|_| ())
             .map_err(|e| format!("WAL append failed: {e}"))
     }
 }
 
-/// A durable store directory: `wal.log` + `snapshot.pgs`.
+/// A durable store directory: `wal.log` + `snapshot.pgs` + `pg.lock`.
 ///
 /// [`Durable::open`] recovers whatever the directory holds (empty is
 /// fine), hands back the rebuilt graph with the WAL attached as its
@@ -93,44 +108,130 @@ impl CommitSink for WalSink {
 /// checkpoints. Bulk loads performed *outside* a transaction bypass the
 /// op log (and therefore the WAL) — call [`Durable::checkpoint`] after
 /// them, or they die with the process.
+///
+/// The handle owns the directory's PID lock; dropping it (or
+/// `Session::close_durable` upstream) releases the lock for the next
+/// opener.
 pub struct Durable {
     dir: PathBuf,
     wal: Arc<Mutex<Wal>>,
+    lock_path: PathBuf,
+}
+
+/// Whether `pid` is a live process. On Linux the `/proc` entry disappears
+/// with the process; on platforms without `/proc` we err on the side of
+/// liveness (a stale lock then needs manual removal, which is safer than
+/// two writers).
+fn pid_is_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if proc_root.is_dir() {
+        proc_root.join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// Take the directory's exclusive PID lock. `create_new` makes the
+/// creation atomic; an existing file is probed for staleness (dead PID or
+/// unreadable content → reclaim) and otherwise refused with
+/// [`RecoveryError::Locked`]. The reclaim loop is bounded so two racing
+/// openers terminate with one winner and one `Locked`.
+fn take_lock(dir: &Path) -> Result<PathBuf, RecoveryError> {
+    let lock_path = dir.join(LOCK_FILE);
+    let my_pid = std::process::id();
+    for _ in 0..8 {
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock_path)
+        {
+            Ok(mut f) => {
+                f.write_all(my_pid.to_string().as_bytes())?;
+                f.sync_all()?;
+                return Ok(lock_path);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = fs::read_to_string(&lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid_is_alive(pid) => {
+                        return Err(RecoveryError::Locked { holder_pid: pid });
+                    }
+                    // Dead PID or garbage content: crash debris. Remove and
+                    // retry the atomic create (another process may win).
+                    _ => {
+                        let _ = fs::remove_file(&lock_path);
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(RecoveryError::Io(format!(
+        "could not take {} after repeated stale-lock reclaims",
+        lock_path.display()
+    )))
 }
 
 impl Durable {
     /// Open (creating if needed) the durable directory, recover its
     /// state, and attach the WAL to the recovered graph's commit path.
+    ///
+    /// Fails with [`RecoveryError::Locked`] when a live process already
+    /// holds the directory, and with [`RecoveryError::Config`] when
+    /// `PG_WAL_SYNC` is set to an unrecognized spelling — even if `opts`
+    /// was built programmatically, a policy the operator *believes* is in
+    /// force must at least parse.
     pub fn open(
         dir: &Path,
         wal_opts: WalOptions,
         recovery_opts: RecoveryOptions,
     ) -> Result<(Durable, Graph, RecoveryReport), RecoveryError> {
+        // Validate the environment before touching any file: a typo'd
+        // PG_WAL_SYNC must never run a weaker policy than the operator
+        // asked for (see `SyncPolicy::parse`).
+        let _ = SyncPolicy::from_env()?;
+
         fs::create_dir_all(dir)?;
-        // A stale in-progress snapshot is crash debris: the rename never
-        // landed, so the previous snapshot (or none) is authoritative.
-        let _ = fs::remove_file(dir.join(SNAPSHOT_TMP));
+        let lock_path = take_lock(dir)?;
 
-        let (mut graph, report) = recover(dir, &recovery_opts)?;
+        // Everything below runs under the lock; release it on any failure
+        // so an aborted open does not wedge the directory.
+        let opened = (|| {
+            // A stale in-progress snapshot is crash debris: the rename never
+            // landed, so the previous snapshot (or none) is authoritative.
+            let _ = fs::remove_file(dir.join(SNAPSHOT_TMP));
 
-        let wal_path = dir.join(WAL_FILE);
-        let wal = if report.wal_valid_len >= WAL_MAGIC.len() as u64 {
-            Wal::reopen(&wal_path, report.last_seq, report.wal_valid_len, wal_opts)?
-        } else {
-            Wal::create(&wal_path, report.last_seq, wal_opts)?
-        };
-        let wal = Arc::new(Mutex::new(wal));
-        graph.set_commit_sink(Some(Box::new(WalSink {
-            wal: Arc::clone(&wal),
-        })));
-        Ok((
-            Durable {
-                dir: dir.to_path_buf(),
-                wal,
-            },
-            graph,
-            report,
-        ))
+            let (mut graph, report) = recover(dir, &recovery_opts)?;
+
+            let wal_path = dir.join(WAL_FILE);
+            let wal = if report.wal_valid_len >= WAL_MAGIC.len() as u64 {
+                Wal::reopen(&wal_path, report.last_seq, report.wal_valid_len, wal_opts)?
+            } else {
+                Wal::create(&wal_path, report.last_seq, wal_opts)?
+            };
+            let wal = Arc::new(Mutex::new(wal));
+            graph.set_commit_sink(Some(Box::new(WalSink {
+                wal: Arc::clone(&wal),
+            })));
+            Ok((wal, graph, report))
+        })();
+        match opened {
+            Ok((wal, graph, report)) => Ok((
+                Durable {
+                    dir: dir.to_path_buf(),
+                    wal,
+                    lock_path,
+                },
+                graph,
+                report,
+            )),
+            Err(e) => {
+                let _ = fs::remove_file(&lock_path);
+                Err(e)
+            }
+        }
     }
 
     /// The directory this store persists into.
@@ -138,20 +239,33 @@ impl Durable {
         &self.dir
     }
 
+    /// Lock the WAL for a mutating operation, mapping poisoning to the
+    /// typed error instead of propagating the panic.
+    fn lock_wal(&self) -> Result<MutexGuard<'_, Wal>, WalError> {
+        self.wal.lock().map_err(|_| WalError::Poisoned)
+    }
+
     /// Sequence of the last appended commit frame.
+    ///
+    /// Readable even after a poisoning panic: the sequence counter is a
+    /// plain integer whose last consistent value is still the best answer
+    /// observability can give (appends themselves stay refused).
     pub fn seq(&self) -> u64 {
-        self.wal.lock().expect("WAL lock").seq()
+        match self.wal.lock() {
+            Ok(wal) => wal.seq(),
+            Err(poisoned) => poisoned.into_inner().seq(),
+        }
     }
 
     /// Byte length of the current WAL file (observability/benches).
-    pub fn wal_len(&self) -> std::io::Result<u64> {
-        let wal = self.wal.lock().expect("WAL lock");
-        fs::metadata(wal.path()).map(|m| m.len())
+    pub fn wal_len(&self) -> Result<u64, WalError> {
+        let wal = self.lock_wal()?;
+        Ok(fs::metadata(wal.path()).map(|m| m.len())?)
     }
 
     /// Force buffered group-commit frames to disk.
-    pub fn flush(&self) -> std::io::Result<()> {
-        self.wal.lock().expect("WAL lock").sync()
+    pub fn flush(&self) -> Result<(), WalError> {
+        Ok(self.lock_wal()?.sync()?)
     }
 
     /// Cut a compacted snapshot of `graph` and truncate the log it
@@ -162,12 +276,34 @@ impl Durable {
     /// snapshot + full log recover; after the rename but before the
     /// truncation the new snapshot recovers and the (now superseded)
     /// frames are skipped by their sequence numbers.
-    pub fn checkpoint(&self, graph: &Graph) -> std::io::Result<u64> {
-        let mut wal = self.wal.lock().expect("WAL lock");
+    pub fn checkpoint(&self, graph: &Graph) -> Result<u64, WalError> {
+        let mut wal = self.lock_wal()?;
         wal.sync()?;
         let seq = wal.seq();
         write_snapshot(&self.dir, graph, seq)?;
         wal.truncate_frames()?;
         Ok(seq)
+    }
+
+    /// Poison the WAL mutex the way a panicking writer thread would —
+    /// test scaffolding for the poisoning contract (commit vetoes instead
+    /// of panics). Hidden from docs; harmless outside tests but useless.
+    #[doc(hidden)]
+    pub fn poison_lock_for_test(&self) {
+        let wal = Arc::clone(&self.wal);
+        let _ = std::thread::spawn(move || {
+            let _guard = wal.lock().unwrap();
+            panic!("deliberate poison (test)");
+        })
+        .join();
+    }
+}
+
+impl Drop for Durable {
+    fn drop(&mut self) {
+        // Release the directory for the next opener. Crash-safe either
+        // way: a lock that outlives us is reclaimed via the stale-PID
+        // probe on the next open.
+        let _ = fs::remove_file(&self.lock_path);
     }
 }

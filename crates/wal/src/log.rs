@@ -54,12 +54,33 @@ pub enum SyncPolicy {
 }
 
 impl SyncPolicy {
-    /// Read `PG_WAL_SYNC` (`always` / `group` / `never`, default `group`).
-    pub fn from_env() -> SyncPolicy {
-        match std::env::var("PG_WAL_SYNC").as_deref() {
-            Ok("always") => SyncPolicy::Always,
-            Ok("never") => SyncPolicy::Never,
-            _ => SyncPolicy::Group,
+    /// Parse one spelling. Exactly `always`, `group`, and `never` are
+    /// accepted — nothing else. A typo like `alway` silently falling back
+    /// to the *weaker* `Group` policy is how acknowledged commits get lost
+    /// on the one machine whose operator asked for `always`, so unknown
+    /// values are a hard error instead.
+    pub fn parse(s: &str) -> Result<SyncPolicy, RecoveryError> {
+        match s {
+            "always" => Ok(SyncPolicy::Always),
+            "group" => Ok(SyncPolicy::Group),
+            "never" => Ok(SyncPolicy::Never),
+            other => Err(RecoveryError::Config(format!(
+                "PG_WAL_SYNC={other:?} is not a sync policy \
+                 (expected \"always\", \"group\", or \"never\")"
+            ))),
+        }
+    }
+
+    /// Read `PG_WAL_SYNC`: unset defaults to `group`, a set value must
+    /// parse ([`SyncPolicy::parse`]) — unknown spellings are an error, not
+    /// a silent fallback.
+    pub fn from_env() -> Result<SyncPolicy, RecoveryError> {
+        match std::env::var("PG_WAL_SYNC") {
+            Ok(s) => SyncPolicy::parse(&s),
+            Err(std::env::VarError::NotPresent) => Ok(SyncPolicy::Group),
+            Err(std::env::VarError::NotUnicode(_)) => Err(RecoveryError::Config(
+                "PG_WAL_SYNC is set to non-unicode bytes".into(),
+            )),
         }
     }
 }
@@ -74,11 +95,26 @@ pub struct WalOptions {
 }
 
 impl Default for WalOptions {
+    /// `Group` with the 32 KiB batch — **not** environment-sensitive.
+    /// Environment resolution is explicit ([`WalOptions::from_env`]) so a
+    /// malformed `PG_WAL_SYNC` can fail loudly instead of being swallowed
+    /// inside a `Default` impl that cannot report it.
     fn default() -> Self {
         WalOptions {
-            sync: SyncPolicy::from_env(),
+            sync: SyncPolicy::Group,
             group_bytes: 32 * 1024,
         }
+    }
+}
+
+impl WalOptions {
+    /// Default options with the sync policy resolved from `PG_WAL_SYNC`.
+    /// A set-but-unrecognized value is a hard [`RecoveryError::Config`].
+    pub fn from_env() -> Result<WalOptions, RecoveryError> {
+        Ok(WalOptions {
+            sync: SyncPolicy::from_env()?,
+            ..WalOptions::default()
+        })
     }
 }
 

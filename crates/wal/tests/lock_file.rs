@@ -1,0 +1,106 @@
+//! Multi-process (and multi-handle) protection on the durable directory.
+//!
+//! Two writers appending to one `wal.log` interleave frames and corrupt
+//! the log; the lock file turns that latent corruption into a typed
+//! refusal at open time. "One process per directory" used to be a
+//! convention — these tests pin it as a contract.
+
+mod common;
+
+use common::{canned_commit, dump, TempDir};
+use pg_wal::{Durable, RecoveryError, RecoveryOptions, WalOptions, LOCK_FILE};
+
+fn open(
+    dir: &std::path::Path,
+) -> Result<(Durable, pg_graph::Graph, pg_wal::RecoveryReport), RecoveryError> {
+    Durable::open(dir, WalOptions::default(), RecoveryOptions::default())
+}
+
+#[test]
+fn second_open_on_a_live_directory_is_refused() {
+    let tmp = TempDir::new("locked");
+    let (first, mut graph, _) = open(tmp.path()).unwrap();
+    canned_commit(&mut graph, 0);
+
+    // A second handle — same process, same liveness — must be refused
+    // with the holder's PID, not silently given the same file.
+    match open(tmp.path()) {
+        Err(RecoveryError::Locked { holder_pid }) => {
+            assert_eq!(holder_pid, std::process::id());
+        }
+        other => panic!(
+            "second open must be Locked, got {:?}",
+            other.map(|_| "opened")
+        ),
+    }
+
+    // The refused open must not have damaged the live handle's lock.
+    assert!(tmp.path().join(LOCK_FILE).exists());
+    canned_commit(&mut graph, 1);
+    assert_eq!(first.seq(), 2);
+}
+
+#[test]
+fn lock_is_released_on_drop_and_the_directory_reopens() {
+    let tmp = TempDir::new("release");
+    let want = {
+        let (durable, mut graph, _) = open(tmp.path()).unwrap();
+        canned_commit(&mut graph, 0);
+        durable.flush().unwrap();
+        dump(&graph)
+        // durable drops here → lock released
+    };
+    assert!(
+        !tmp.path().join(LOCK_FILE).exists(),
+        "drop must release the lock file"
+    );
+    let (_durable, graph, report) = open(tmp.path()).unwrap();
+    assert_eq!(report.commits_replayed, 1);
+    assert_eq!(dump(&graph), want);
+}
+
+#[test]
+fn stale_lock_from_a_dead_pid_is_reclaimed() {
+    let tmp = TempDir::new("stale");
+    // Seed the directory with one real commit, then fake a crash that
+    // left the lock file behind: plant a PID that cannot be alive.
+    {
+        let (durable, mut graph, _) = open(tmp.path()).unwrap();
+        canned_commit(&mut graph, 0);
+        durable.flush().unwrap();
+    }
+    // PIDs are bounded well under 2^22 by default on Linux.
+    std::fs::write(tmp.path().join(LOCK_FILE), b"4194000").unwrap();
+    let (_durable, _graph, report) =
+        open(tmp.path()).expect("a dead holder's lock must be reclaimed");
+    assert_eq!(report.commits_replayed, 1);
+    // And the reclaimed lock now names us.
+    let holder = std::fs::read_to_string(tmp.path().join(LOCK_FILE)).unwrap();
+    assert_eq!(holder.trim(), std::process::id().to_string());
+}
+
+#[test]
+fn garbage_lock_content_is_treated_as_stale() {
+    let tmp = TempDir::new("garbage");
+    std::fs::create_dir_all(tmp.path()).unwrap();
+    std::fs::write(tmp.path().join(LOCK_FILE), b"not-a-pid\n").unwrap();
+    let (_durable, _graph, _) =
+        open(tmp.path()).expect("unreadable lock content is crash debris, not a holder");
+}
+
+#[test]
+fn failed_open_does_not_wedge_the_directory() {
+    let tmp = TempDir::new("unwedge");
+    // Corrupt WAL header → open fails *after* the lock was taken...
+    std::fs::create_dir_all(tmp.path()).unwrap();
+    std::fs::write(tmp.path().join(pg_wal::WAL_FILE), b"NOTAWAL!").unwrap();
+    match open(tmp.path()) {
+        Err(RecoveryError::BadWalHeader) => {}
+        other => panic!("expected BadWalHeader, got {:?}", other.map(|_| "opened")),
+    }
+    // ...so the error path must have released it for the next attempt.
+    assert!(
+        !tmp.path().join(LOCK_FILE).exists(),
+        "failed open must release the lock"
+    );
+}

@@ -1,27 +1,89 @@
 //! `PG_WAL_SYNC` parsing. Isolated in its own test binary because it
 //! mutates process-global environment variables.
+//!
+//! The contract under test is the hardened one: exactly `always`,
+//! `group`, and `never` are accepted; any other set value — including the
+//! typo `alway` that used to *silently weaken* the policy to `Group` — is
+//! a hard [`RecoveryError::Config`], raised both by [`SyncPolicy::from_env`]
+//! and at [`Durable::open`] time even when explicit options are passed.
 
-use pg_wal::SyncPolicy;
+use pg_wal::{Durable, RecoveryError, RecoveryOptions, SyncPolicy, WalOptions};
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pg_wal_sync_env_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 #[test]
-fn pg_wal_sync_parses_and_defaults() {
+fn pg_wal_sync_accepts_exact_spellings_and_rejects_the_rest() {
+    // Accepted spellings, one assertion each.
     std::env::remove_var("PG_WAL_SYNC");
     assert_eq!(
-        SyncPolicy::from_env(),
+        SyncPolicy::from_env().unwrap(),
         SyncPolicy::Group,
-        "default is group"
+        "unset defaults to group"
     );
     std::env::set_var("PG_WAL_SYNC", "always");
-    assert_eq!(SyncPolicy::from_env(), SyncPolicy::Always);
-    std::env::set_var("PG_WAL_SYNC", "never");
-    assert_eq!(SyncPolicy::from_env(), SyncPolicy::Never);
+    assert_eq!(SyncPolicy::from_env().unwrap(), SyncPolicy::Always);
     std::env::set_var("PG_WAL_SYNC", "group");
-    assert_eq!(SyncPolicy::from_env(), SyncPolicy::Group);
-    std::env::set_var("PG_WAL_SYNC", "unrecognized");
-    assert_eq!(
-        SyncPolicy::from_env(),
-        SyncPolicy::Group,
-        "unknown values fall back to group"
-    );
+    assert_eq!(SyncPolicy::from_env().unwrap(), SyncPolicy::Group);
+    std::env::set_var("PG_WAL_SYNC", "never");
+    assert_eq!(SyncPolicy::from_env().unwrap(), SyncPolicy::Never);
+
+    // Rejected spellings: the old behaviour mapped all of these to the
+    // weaker Group policy; every one must now be a typed Config error.
+    for bad in ["alway", "Always", "ALWAYS", "fsync", "grouped", "nevr", ""] {
+        std::env::set_var("PG_WAL_SYNC", bad);
+        match SyncPolicy::from_env() {
+            Err(RecoveryError::Config(reason)) => {
+                assert!(
+                    reason.contains("PG_WAL_SYNC"),
+                    "error should name the variable: {reason}"
+                );
+            }
+            other => panic!("PG_WAL_SYNC={bad:?} must be Config error, got {other:?}"),
+        }
+
+        // And the same typo is refused at the durable front door, even
+        // with explicit (valid) options — before any file is created.
+        let dir = tmp_dir("reject");
+        match Durable::open(&dir, WalOptions::default(), RecoveryOptions::default()) {
+            Err(RecoveryError::Config(_)) => {}
+            other => panic!(
+                "Durable::open under PG_WAL_SYNC={bad:?} must refuse, got {:?}",
+                other.map(|_| "opened")
+            ),
+        }
+        assert!(
+            !dir.exists(),
+            "a refused open must not create the directory"
+        );
+    }
     std::env::remove_var("PG_WAL_SYNC");
+
+    // WalOptions::from_env mirrors the policy resolution.
+    std::env::set_var("PG_WAL_SYNC", "always");
+    assert_eq!(
+        WalOptions::from_env().unwrap().sync,
+        SyncPolicy::Always,
+        "WalOptions::from_env applies the parsed policy"
+    );
+    std::env::set_var("PG_WAL_SYNC", "alway");
+    assert!(WalOptions::from_env().is_err());
+    std::env::remove_var("PG_WAL_SYNC");
+
+    // With a clean environment the open path works and the parse API
+    // accepts the same three spellings directly.
+    assert_eq!(SyncPolicy::parse("always").unwrap(), SyncPolicy::Always);
+    assert_eq!(SyncPolicy::parse("group").unwrap(), SyncPolicy::Group);
+    assert_eq!(SyncPolicy::parse("never").unwrap(), SyncPolicy::Never);
+    assert!(SyncPolicy::parse("alway").is_err());
+
+    let dir = tmp_dir("accept");
+    let (durable, graph, _) =
+        Durable::open(&dir, WalOptions::default(), RecoveryOptions::default()).unwrap();
+    durable.checkpoint(&graph).unwrap();
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
 }

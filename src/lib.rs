@@ -7,7 +7,8 @@
 //! * [`pg_triggers`] — the PG-Trigger engine (the paper's contribution);
 //! * [`pg_graph`] / [`pg_cypher`] / [`pg_schema`] — the substrates;
 //! * [`pg_apoc`] / [`pg_memgraph`] — target-system emulations + translators;
-//! * [`pg_covid`] — the §6 running example.
+//! * [`pg_covid`] — the §6 running example;
+//! * [`pg_server`] — the wire-protocol server, client, and load harness.
 //!
 //! The repository README is included below verbatim; its quickstart code
 //! block runs as a doctest of this crate, so a drifting README fails
@@ -20,4 +21,5 @@ pub use pg_cypher;
 pub use pg_graph;
 pub use pg_memgraph;
 pub use pg_schema;
+pub use pg_server;
 pub use pg_triggers;

@@ -45,6 +45,17 @@ fn umbrella_reexports_resolve_and_work() {
     let _apoc = suite::pg_apoc::ApocDb::new();
     let _memgraph = suite::pg_memgraph::MemgraphDb::new();
     assert!(!suite::pg_covid::PAPER_TRIGGERS.is_empty());
+
+    // The wire server, end to end through the umbrella paths.
+    let server =
+        suite::pg_server::Server::bind("127.0.0.1:0", suite::pg_triggers::Session::new()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = suite::pg_server::Client::connect(addr).unwrap();
+    let out = client.run_all("RETURN 1 AS one", &[]).unwrap();
+    assert_eq!(out.single_i64(), Some(1));
+    client.goodbye().ok();
+    handle.shutdown();
 }
 
 #[test]
@@ -57,4 +68,5 @@ fn flat_crate_paths_also_resolve() {
     let _ = pg_memgraph::MemgraphDb::new();
     let _ = pg_covid::GeneratorConfig::default();
     let _ = pg_cypher::Params::new();
+    let _ = pg_server::MAX_FRAME;
 }
